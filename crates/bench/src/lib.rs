@@ -1,0 +1,159 @@
+//! Shared harness for the evaluation binaries and Criterion benches.
+//!
+//! The paper's evaluation is one table (Table 1: per-program Mtds, Stmts,
+//! Time, LO, LS, FP, FPR) plus six case studies. [`run_subject`] executes
+//! the full pipeline on one subject and scores it against ground truth;
+//! [`table1_rows`] produces the whole table. The `table1` binary prints
+//! it; the `experiments` binary adds the ablations and the
+//! static-vs-dynamic comparison; the Criterion benches measure the same
+//! pipelines.
+
+use leakchecker::{check, AnalysisResult, DetectorConfig};
+use leakchecker_benchsuite::{all_subjects, by_name, evaluate, Subject};
+use std::fmt::Write as _;
+
+/// One row of the reproduced Table 1.
+#[derive(Clone, Debug)]
+pub struct TableRow {
+    /// Subject name.
+    pub name: String,
+    /// Reachable methods (Mtds).
+    pub methods: usize,
+    /// Statements in reachable methods (Stmts).
+    pub statements: usize,
+    /// Analysis time in seconds (Time).
+    pub time_secs: f64,
+    /// Context-sensitive allocation sites in the loop (LO).
+    pub loop_objects: usize,
+    /// Reported context-sensitive leaking sites (LS).
+    pub leaking_sites: usize,
+    /// Context-sensitive false positives (FP).
+    pub false_positives: usize,
+    /// FP / LS.
+    pub fpr: f64,
+    /// Leaks the detector failed to cover (0 in a healthy reproduction —
+    /// the paper reports no missed known leaks).
+    pub missed: usize,
+}
+
+/// Runs the full pipeline on a subject with its case-study configuration.
+///
+/// # Panics
+///
+/// Panics if the subject fails to compile or resolve — suite bugs covered
+/// by tests.
+pub fn run_subject(subject: &Subject) -> (AnalysisResult, evaluate::Score) {
+    run_subject_with(subject, subject.detector_config())
+}
+
+/// Like [`run_subject`] with an explicit detector configuration
+/// (ablations).
+pub fn run_subject_with(
+    subject: &Subject,
+    config: DetectorConfig,
+) -> (AnalysisResult, evaluate::Score) {
+    let unit = subject.compile();
+    let result = check(&unit.program, subject.target(&unit), config)
+        .unwrap_or_else(|e| panic!("{}: {e}", subject.name));
+    let score = evaluate::score(&result.program, &result);
+    (result, score)
+}
+
+/// Produces every row of the reproduced Table 1.
+pub fn table1_rows() -> Vec<TableRow> {
+    all_subjects()
+        .iter()
+        .map(|subject| {
+            let (result, score) = run_subject(subject);
+            TableRow {
+                name: subject.name.to_string(),
+                methods: result.stats.methods,
+                statements: result.stats.statements,
+                time_secs: result.stats.time_secs,
+                loop_objects: result.stats.loop_objects,
+                leaking_sites: result.stats.leaking_sites,
+                false_positives: score.false_positives_ctx,
+                fpr: score.fpr(),
+                missed: score.missed_leaks,
+            }
+        })
+        .collect()
+}
+
+/// Renders the rows as an aligned text table, with the average FPR line
+/// the paper quotes (49.8% in the original).
+pub fn render_table(rows: &[TableRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<18} {:>6} {:>7} {:>8} {:>5} {:>4} {:>4} {:>7} {:>7}",
+        "Program", "Mtds", "Stmts", "Time(s)", "LO", "LS", "FP", "FPR", "Missed"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(74));
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:<18} {:>6} {:>7} {:>8.3} {:>5} {:>4} {:>4} {:>6.1}% {:>7}",
+            row.name,
+            row.methods,
+            row.statements,
+            row.time_secs,
+            row.loop_objects,
+            row.leaking_sites,
+            row.false_positives,
+            row.fpr * 100.0,
+            row.missed
+        );
+    }
+    let avg = if rows.is_empty() {
+        0.0
+    } else {
+        rows.iter().map(|r| r.fpr).sum::<f64>() / rows.len() as f64
+    };
+    let _ = writeln!(out, "{}", "-".repeat(74));
+    let _ = writeln!(
+        out,
+        "average FPR: {:.1}%   (paper reports 49.8%)",
+        avg * 100.0
+    );
+    out
+}
+
+/// Resolves a subject by name for `--case` style flags.
+///
+/// # Panics
+///
+/// Panics with the list of valid names when `name` is unknown.
+pub fn subject_or_exit(name: &str) -> Subject {
+    by_name(name).unwrap_or_else(|| {
+        let names: Vec<&str> = all_subjects().iter().map(|s| s.name).collect();
+        panic!("unknown subject `{name}`; expected one of {names:?}")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_eight_rows_and_no_missed_leaks() {
+        let rows = table1_rows();
+        assert_eq!(rows.len(), 8);
+        for row in &rows {
+            assert_eq!(row.missed, 0, "{} misses leaks", row.name);
+            assert!(row.leaking_sites > 0, "{} reports nothing", row.name);
+            assert!(row.methods > 0 && row.statements > 0);
+        }
+        let text = render_table(&rows);
+        assert!(text.contains("average FPR"));
+        assert!(text.contains("specjbb"));
+    }
+
+    #[test]
+    fn log4j_row_has_zero_fpr() {
+        let rows = table1_rows();
+        let log4j = rows.iter().find(|r| r.name == "log4j").unwrap();
+        assert_eq!(log4j.false_positives, 0);
+        assert_eq!(log4j.fpr, 0.0);
+    }
+}

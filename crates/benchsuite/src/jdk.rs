@@ -1,0 +1,338 @@
+//! A miniature standard library ("mini-JDK") written in the surface
+//! language.
+//!
+//! The paper's library modeling (Section 4) exists because real leaks
+//! hide behind container internals: `HashMap.put` reads entries from its
+//! bucket array while probing, and a naive analysis would mistake those
+//! internal reads for the application retrieving its objects. The subject
+//! programs therefore store their leaked objects into these `library
+//! class` containers, whose implementations deliberately perform internal
+//! probe reads.
+//!
+//! Containers are monomorphic over `Object` (the language has no
+//! generics) and use `int` keys (no hashing infrastructure); neither
+//! affects the reference-flow behavior the detector analyzes.
+
+/// Source text of the mini-JDK, prepended to every subject program.
+pub const JDK_SOURCE: &str = r#"
+library class ArrayList {
+    Object[] data = new Object[1024];
+    int count;
+    void add(Object e) {
+        Object[] d = this.data;
+        d[this.count] = e;
+        this.count = this.count + 1;
+    }
+    Object get(int i) {
+        Object[] d = this.data;
+        Object v = d[i];
+        return v;
+    }
+    int size() { return this.count; }
+    boolean isEmpty() {
+        if (this.count == 0) { return true; }
+        return false;
+    }
+    void clear() {
+        this.data = new Object[1024];
+        this.count = 0;
+    }
+    Object removeLast() {
+        Object[] d = this.data;
+        this.count = this.count - 1;
+        Object v = d[this.count];
+        return v;
+    }
+}
+
+library class MapEntry {
+    int key;
+    Object value;
+    MapEntry next;
+}
+
+library class HashMap {
+    MapEntry[] table = new MapEntry[64];
+    int count;
+    void put(int k, Object v) {
+        MapEntry[] t = this.table;
+        int idx = k % 64;
+        MapEntry e = t[idx];
+        while (e != null) {
+            // Internal probe: reads existing values without surfacing
+            // them to the caller.
+            Object existing = e.value;
+            if (e.key == k) {
+                e.value = v;
+                return;
+            }
+            e = e.next;
+        }
+        MapEntry fresh = @fp("library-container-node") new MapEntry();
+        fresh.key = k;
+        fresh.value = v;
+        fresh.next = t[idx];
+        t[idx] = fresh;
+        this.count = this.count + 1;
+    }
+    Object get(int k) {
+        MapEntry[] t = this.table;
+        MapEntry e = t[k % 64];
+        while (e != null) {
+            if (e.key == k) {
+                Object v = e.value;
+                return v;
+            }
+            e = e.next;
+        }
+        return null;
+    }
+    boolean containsKey(int k) {
+        MapEntry[] t = this.table;
+        MapEntry e = t[k % 64];
+        while (e != null) {
+            if (e.key == k) { return true; }
+            e = e.next;
+        }
+        return false;
+    }
+    int size() { return this.count; }
+    void clear() {
+        this.table = new MapEntry[64];
+        this.count = 0;
+    }
+}
+
+library class IdentityHashMap {
+    MapEntry[] table = new MapEntry[64];
+    int count;
+    void put(int k, Object v) {
+        MapEntry[] t = this.table;
+        MapEntry e = t[k % 64];
+        while (e != null) {
+            Object probe = e.value;
+            if (e.key == k) {
+                e.value = v;
+                return;
+            }
+            e = e.next;
+        }
+        MapEntry fresh = @fp("library-container-node") new MapEntry();
+        fresh.key = k;
+        fresh.value = v;
+        fresh.next = t[k % 64];
+        t[k % 64] = fresh;
+        this.count = this.count + 1;
+    }
+    int size() { return this.count; }
+}
+
+library class Hashtable {
+    MapEntry[] table = new MapEntry[64];
+    int count;
+    void put(int k, Object v) {
+        MapEntry[] t = this.table;
+        MapEntry e = t[k % 64];
+        while (e != null) {
+            Object probe = e.value;
+            if (e.key == k) {
+                e.value = v;
+                return;
+            }
+            e = e.next;
+        }
+        MapEntry fresh = @fp("library-container-node") new MapEntry();
+        fresh.key = k;
+        fresh.value = v;
+        fresh.next = t[k % 64];
+        t[k % 64] = fresh;
+        this.count = this.count + 1;
+    }
+    Object get(int k) {
+        MapEntry[] t = this.table;
+        MapEntry e = t[k % 64];
+        while (e != null) {
+            if (e.key == k) {
+                Object v = e.value;
+                return v;
+            }
+            e = e.next;
+        }
+        return null;
+    }
+    int size() { return this.count; }
+}
+
+library class Stack {
+    Object[] data = new Object[1024];
+    int top;
+    void push(Object e) {
+        Object[] d = this.data;
+        d[this.top] = e;
+        this.top = this.top + 1;
+    }
+    Object pop() {
+        Object[] d = this.data;
+        this.top = this.top - 1;
+        Object v = d[this.top];
+        return v;
+    }
+    Object peek() {
+        Object[] d = this.data;
+        Object v = d[this.top - 1];
+        return v;
+    }
+    boolean isEmpty() {
+        if (this.top == 0) { return true; }
+        return false;
+    }
+}
+
+library class ListNode {
+    Object item;
+    ListNode next;
+}
+
+library class LinkedList {
+    ListNode head;
+    ListNode tail;
+    int count;
+    void addLast(Object e) {
+        ListNode n = @fp("library-container-node") new ListNode();
+        n.item = e;
+        ListNode t = this.tail;
+        if (t == null) {
+            this.head = n;
+        } else {
+            t.next = n;
+        }
+        this.tail = n;
+        this.count = this.count + 1;
+    }
+    Object getFirst() {
+        ListNode h = this.head;
+        if (h == null) { return null; }
+        Object v = h.item;
+        return v;
+    }
+    Object removeFirst() {
+        ListNode h = this.head;
+        if (h == null) { return null; }
+        this.head = h.next;
+        if (this.head == null) { this.tail = null; }
+        this.count = this.count - 1;
+        Object v = h.item;
+        return v;
+    }
+    void dropFirst() {
+        ListNode h = this.head;
+        if (h != null) {
+            this.head = h.next;
+            if (this.head == null) { this.tail = null; }
+            this.count = this.count - 1;
+        }
+    }
+    int size() { return this.count; }
+}
+
+library class StringBuilder {
+    int[] chars = new int[4096];
+    int length;
+    void append(int c) {
+        int[] cs = this.chars;
+        cs[this.length] = c;
+        this.length = this.length + 1;
+    }
+    int length() { return this.length; }
+}
+
+library class Thread {
+    boolean started;
+    void start() {
+        // The runtime would schedule run() concurrently; for analysis
+        // purposes starting the thread is what publishes the object.
+        this.started = true;
+    }
+    void run() { }
+}
+"#;
+
+/// Prepends the mini-JDK to a subject's own source.
+pub fn with_jdk(subject_source: &str) -> String {
+    format!("{JDK_SOURCE}\n{subject_source}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leakchecker_frontend::compile;
+    use leakchecker_ir::validate::assert_valid;
+
+    #[test]
+    fn jdk_compiles_standalone() {
+        let src = with_jdk("class Main { static void main() { } }");
+        let unit = compile(&src).unwrap();
+        assert_valid(&unit.program);
+        // Library classes are flagged.
+        for name in [
+            "ArrayList",
+            "HashMap",
+            "Hashtable",
+            "IdentityHashMap",
+            "Stack",
+            "LinkedList",
+            "StringBuilder",
+            "Thread",
+            "MapEntry",
+            "ListNode",
+        ] {
+            let c = unit
+                .program
+                .class_by_name(name)
+                .unwrap_or_else(|| panic!("{name} missing"));
+            assert!(unit.program.class(c).is_library, "{name} must be library");
+        }
+    }
+
+    #[test]
+    fn containers_execute_correctly() {
+        let src = with_jdk(
+            "class Main {
+               static int result;
+               static void main() {
+                 ArrayList list = new ArrayList();
+                 Object a = new Object();
+                 list.add(a);
+                 list.add(new Object());
+                 HashMap map = new HashMap();
+                 map.put(3, a);
+                 map.put(67, new Object());   // collides with 3 mod 64
+                 map.put(3, a);               // overwrite
+                 Stack st = new Stack();
+                 st.push(a);
+                 Object popped = st.pop();
+                 LinkedList ll = new LinkedList();
+                 ll.addLast(a);
+                 ll.addLast(new Object());
+                 Object first = ll.removeFirst();
+                 Main.result = list.size() + map.size() + ll.size();
+               }
+             }",
+        );
+        let unit = compile(&src).unwrap();
+        let exec = leakchecker_interp::run(
+            &unit.program,
+            leakchecker_interp::Config::default(),
+        )
+        .unwrap();
+        let result_field = unit
+            .program
+            .field_on(unit.program.class_by_name("Main").unwrap(), "result")
+            .unwrap();
+        // list 2 + map 2 (one overwrite) + ll 1 (one removed) = 5
+        assert_eq!(
+            exec.statics[&result_field],
+            leakchecker_interp::Value::Int(5)
+        );
+    }
+}

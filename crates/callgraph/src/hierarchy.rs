@@ -1,0 +1,76 @@
+//! Precomputed class-hierarchy queries.
+
+use leakchecker_ir::ids::ClassId;
+use leakchecker_ir::Program;
+
+/// A precomputed subclass index over a program's class hierarchy.
+///
+/// [`Program`] answers `is_subclass` by walking superclass chains; this
+/// structure inverts the relation so that *all* subclasses of a class can
+/// be enumerated in O(answer) — the access pattern CHA/RTA need.
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    /// `children[c]` = direct subclasses of `c`.
+    children: Vec<Vec<ClassId>>,
+}
+
+impl Hierarchy {
+    /// Builds the index for `program`.
+    pub fn new(program: &Program) -> Hierarchy {
+        let mut children = vec![Vec::new(); program.classes().len()];
+        for (i, class) in program.classes().iter().enumerate() {
+            if let Some(sup) = class.superclass {
+                children[sup.index()].push(ClassId::from_index(i));
+            }
+        }
+        Hierarchy { children }
+    }
+
+    /// Direct subclasses of `class`.
+    pub fn direct_subclasses(&self, class: ClassId) -> &[ClassId] {
+        &self.children[class.index()]
+    }
+
+    /// All transitive subclasses of `class`, including `class` itself,
+    /// in preorder.
+    pub fn subclasses(&self, class: ClassId) -> Vec<ClassId> {
+        let mut out = Vec::new();
+        let mut stack = vec![class];
+        while let Some(c) = stack.pop() {
+            out.push(c);
+            stack.extend(self.children[c.index()].iter().copied());
+        }
+        out
+    }
+
+    /// Returns `true` if `class` has no subclasses.
+    pub fn is_leaf(&self, class: ClassId) -> bool {
+        self.children[class.index()].is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leakchecker_ir::builder::ProgramBuilder;
+
+    #[test]
+    fn subclass_enumeration() {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.add_class("A", None);
+        let b = pb.add_class("B", Some(a));
+        let c = pb.add_class("C", Some(a));
+        let d = pb.add_class("D", Some(b));
+        let p = pb.finish();
+        let h = Hierarchy::new(&p);
+        let subs = h.subclasses(a);
+        assert_eq!(subs.len(), 4);
+        assert!(subs.contains(&a) && subs.contains(&b) && subs.contains(&c) && subs.contains(&d));
+        assert_eq!(h.direct_subclasses(b), &[d]);
+        assert!(h.is_leaf(c));
+        assert!(!h.is_leaf(a));
+        // Object is the root of everything.
+        let all = h.subclasses(p.object_class());
+        assert_eq!(all.len(), p.classes().len());
+    }
+}

@@ -1,0 +1,376 @@
+//! Class-hierarchy and call-graph construction.
+//!
+//! The LeakChecker pipeline needs two things from a call graph: the set of
+//! methods reachable from the analyzed loop (so allocation sites can be
+//! enumerated with calling contexts) and resolution of virtual call sites
+//! to their possible targets. This crate provides both, with two
+//! construction algorithms:
+//!
+//! * **CHA** (class hierarchy analysis): a virtual call `x.m()` where `x`
+//!   has static type `C` may dispatch to `m` as declared in `C` or
+//!   overridden in any subclass of `C`.
+//! * **RTA** (rapid type analysis): like CHA, but only classes that are
+//!   actually instantiated somewhere in the reachable portion of the
+//!   program are considered as receiver types. RTA is the default: it is
+//!   noticeably more precise on plugin-style code where many subclasses
+//!   exist but few are constructed.
+//!
+//! The `Mtds` column of the paper's Table 1 — "number of reachable methods
+//! in the call graph" — is exactly [`CallGraph::reachable_count`] from
+//! the program entry.
+
+pub mod hierarchy;
+
+use leakchecker_ir::ids::{CallSite, ClassId, MethodId};
+use leakchecker_ir::stmt::{CallKind, Stmt};
+use leakchecker_ir::visit::walk_stmts;
+use leakchecker_ir::Program;
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+
+pub use hierarchy::Hierarchy;
+
+/// Which algorithm builds the call graph.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum Algorithm {
+    /// Class hierarchy analysis: all subclasses are candidate receivers.
+    Cha,
+    /// Rapid type analysis: only instantiated classes are candidate
+    /// receivers (computed together with reachability, starting from the
+    /// given roots).
+    #[default]
+    Rta,
+}
+
+/// A call graph: resolved targets per call site plus reachability.
+#[derive(Clone, Debug)]
+pub struct CallGraph {
+    /// Resolved targets of each call site (empty for unreachable sites).
+    targets: HashMap<CallSite, Vec<MethodId>>,
+    /// Methods reachable from the roots.
+    reachable: BTreeSet<MethodId>,
+    /// The algorithm used.
+    pub algorithm: Algorithm,
+}
+
+impl CallGraph {
+    /// Builds a call graph from the program entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program has no entry; use [`CallGraph::build_from`]
+    /// with explicit roots for entry-less programs (e.g. library units).
+    pub fn build(program: &Program, algorithm: Algorithm) -> CallGraph {
+        let entry = program.entry().expect("program has no entry point");
+        Self::build_from(program, &[entry], algorithm)
+    }
+
+    /// Builds a call graph from explicit root methods.
+    pub fn build_from(program: &Program, roots: &[MethodId], algorithm: Algorithm) -> CallGraph {
+        let hierarchy = Hierarchy::new(program);
+        let mut targets: HashMap<CallSite, Vec<MethodId>> = HashMap::new();
+        let mut reachable: BTreeSet<MethodId> = BTreeSet::new();
+        let mut instantiated: HashSet<ClassId> = HashSet::new();
+        let mut worklist: VecDeque<MethodId> = roots.iter().copied().collect();
+        // Virtual call sites seen so far (RTA only): their target sets may
+        // grow as new classes become instantiated.
+        let mut pending_virtual: Vec<(CallSite, MethodId)> = Vec::new();
+
+        while let Some(method) = worklist.pop_front() {
+            if !reachable.insert(method) {
+                continue;
+            }
+            let body = &program.method(method).body;
+            let mut new_sites: Vec<(CallSite, CallKind, MethodId)> = Vec::new();
+            let mut new_classes: Vec<ClassId> = Vec::new();
+            walk_stmts(body, &mut |stmt| match stmt {
+                Stmt::New { class, .. } => new_classes.push(*class),
+                Stmt::Call {
+                    kind,
+                    method: target,
+                    site,
+                    ..
+                } => new_sites.push((*site, *kind, *target)),
+                _ => {}
+            });
+            for class in new_classes {
+                if instantiated.insert(class) && algorithm == Algorithm::Rta {
+                    // Revisit known virtual sites: the new class may add
+                    // dispatch targets.
+                    for &(site, declared) in &pending_virtual {
+                        for target in resolve_rta(program, &hierarchy, declared, &instantiated) {
+                            let entry = targets.entry(site).or_default();
+                            if !entry.contains(&target) {
+                                entry.push(target);
+                                if !reachable.contains(&target) {
+                                    worklist.push_back(target);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            for (site, kind, declared) in new_sites {
+                let resolved: Vec<MethodId> = match kind {
+                    CallKind::Static | CallKind::Special => vec![declared],
+                    CallKind::Virtual => match algorithm {
+                        Algorithm::Cha => resolve_cha(program, &hierarchy, declared),
+                        Algorithm::Rta => {
+                            pending_virtual.push((site, declared));
+                            resolve_rta(program, &hierarchy, declared, &instantiated)
+                        }
+                    },
+                };
+                let entry = targets.entry(site).or_default();
+                for target in resolved {
+                    if !entry.contains(&target) {
+                        entry.push(target);
+                        if !reachable.contains(&target) {
+                            worklist.push_back(target);
+                        }
+                    }
+                }
+            }
+        }
+
+        CallGraph {
+            targets,
+            reachable,
+            algorithm,
+        }
+    }
+
+    /// The possible targets of a call site (empty if unreachable).
+    pub fn targets(&self, site: CallSite) -> &[MethodId] {
+        self.targets.get(&site).map_or(&[], Vec::as_slice)
+    }
+
+    /// Methods reachable from the roots, in id order.
+    pub fn reachable_methods(&self) -> impl Iterator<Item = MethodId> + '_ {
+        self.reachable.iter().copied()
+    }
+
+    /// Number of reachable methods (the `Mtds` column of Table 1).
+    pub fn reachable_count(&self) -> usize {
+        self.reachable.len()
+    }
+
+    /// Returns `true` if `method` is reachable from the roots.
+    pub fn is_reachable(&self, method: MethodId) -> bool {
+        self.reachable.contains(&method)
+    }
+
+    /// Total number of statements in reachable methods (the `Stmts`
+    /// column of Table 1 counts Jimple statements in reachable methods).
+    pub fn reachable_statement_count(&self, program: &Program) -> usize {
+        fn count(stmts: &[Stmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::If {
+                        then_branch,
+                        else_branch,
+                        ..
+                    } => 1 + count(then_branch) + count(else_branch),
+                    Stmt::While { body, .. } => 1 + count(body),
+                    _ => 1,
+                })
+                .sum()
+        }
+        self.reachable
+            .iter()
+            .map(|&m| count(&program.method(m).body))
+            .sum()
+    }
+}
+
+/// CHA resolution: the declared target plus every override in subclasses
+/// of the class that declares it.
+fn resolve_cha(program: &Program, hierarchy: &Hierarchy, declared: MethodId) -> Vec<MethodId> {
+    let decl = program.method(declared);
+    let name = decl.name.clone();
+    let owner = decl.owner;
+    let mut out = vec![declared];
+    for sub in hierarchy.subclasses(owner) {
+        if sub == owner {
+            continue;
+        }
+        if let Some(m) = program.method_on(sub, &name) {
+            if !out.contains(&m) {
+                out.push(m);
+            }
+        }
+    }
+    out
+}
+
+/// RTA resolution: dispatch `declared` on each instantiated subclass of
+/// the receiver's declared owner, walking up for inherited definitions.
+fn resolve_rta(
+    program: &Program,
+    hierarchy: &Hierarchy,
+    declared: MethodId,
+    instantiated: &HashSet<ClassId>,
+) -> Vec<MethodId> {
+    let decl = program.method(declared);
+    let name = decl.name.clone();
+    let owner = decl.owner;
+    let mut out = Vec::new();
+    for sub in hierarchy.subclasses(owner) {
+        if !instantiated.contains(&sub) {
+            continue;
+        }
+        if let Some(m) = program.resolve_method(sub, &name) {
+            if !out.contains(&m) {
+                out.push(m);
+            }
+        }
+    }
+    // A receiver of an uninstantiated type can still exist (e.g. it came
+    // from a library stub); keep the declared target so a reachable site
+    // never resolves to nothing.
+    if out.is_empty() {
+        out.push(declared);
+    }
+    out
+}
+
+/// Resolves a virtual call given a *known* runtime receiver class
+/// (used by the concrete interpreter).
+pub fn dispatch(program: &Program, receiver_class: ClassId, declared: MethodId) -> MethodId {
+    let name = &program.method(declared).name;
+    program
+        .resolve_method(receiver_class, name)
+        .unwrap_or(declared)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leakchecker_ir::builder::ProgramBuilder;
+    use leakchecker_ir::types::Type;
+
+    /// Builds:
+    /// ```text
+    /// class A       { void m() {} }
+    /// class B : A   { void m() {} }
+    /// class C : A   { /* inherits m */ }
+    /// main() { A a = new B(); a.m(); }
+    /// ```
+    fn dispatch_program(instantiate_c: bool) -> Program {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.add_class("A", None);
+        let b = pb.add_class("B", Some(a));
+        let c = pb.add_class("C", Some(a));
+        let mut am = pb.method(a, "m", Type::Void, false);
+        am.ret(None);
+        let am_id = am.id();
+        am.finish();
+        let mut bm = pb.method(b, "m", Type::Void, false);
+        bm.ret(None);
+        bm.finish();
+        let main_class = pb.add_class("Main", None);
+        let mut main = pb.method(main_class, "main", Type::Void, true);
+        let x = main.local("x", Type::Ref(a));
+        main.new_object(x, b);
+        if instantiate_c {
+            main.new_object(x, c);
+        }
+        main.call_virtual(None, x, am_id, &[]);
+        main.finish();
+        let main_id = pb.program().method_by_path("Main.main").unwrap();
+        pb.set_entry(main_id);
+        pb.finish()
+    }
+
+    #[test]
+    fn cha_includes_all_overrides() {
+        let p = dispatch_program(false);
+        let cg = CallGraph::build(&p, Algorithm::Cha);
+        let site = CallSite(0);
+        let targets = cg.targets(site);
+        let names: Vec<String> = targets.iter().map(|&m| p.qualified_name(m)).collect();
+        assert!(names.contains(&"A.m".to_string()));
+        assert!(names.contains(&"B.m".to_string()));
+        // C inherits A.m: CHA reports the declaration, not a duplicate.
+        assert_eq!(targets.len(), 2);
+    }
+
+    #[test]
+    fn rta_prunes_uninstantiated_receivers() {
+        let p = dispatch_program(false);
+        let cg = CallGraph::build(&p, Algorithm::Rta);
+        let names: Vec<String> = cg
+            .targets(CallSite(0))
+            .iter()
+            .map(|&m| p.qualified_name(m))
+            .collect();
+        // Only B is instantiated, so only B.m is a target.
+        assert_eq!(names, vec!["B.m".to_string()]);
+    }
+
+    #[test]
+    fn rta_adds_inherited_target_when_subclass_instantiated() {
+        let p = dispatch_program(true);
+        let cg = CallGraph::build(&p, Algorithm::Rta);
+        let names: Vec<String> = cg
+            .targets(CallSite(0))
+            .iter()
+            .map(|&m| p.qualified_name(m))
+            .collect();
+        assert!(names.contains(&"B.m".to_string()));
+        // C is instantiated and inherits A.m.
+        assert!(names.contains(&"A.m".to_string()));
+    }
+
+    #[test]
+    fn reachability_counts() {
+        let p = dispatch_program(false);
+        let cg = CallGraph::build(&p, Algorithm::Rta);
+        // main + B.m reachable; A.m unreachable under RTA.
+        assert!(cg.is_reachable(p.method_by_path("Main.main").unwrap()));
+        assert!(cg.is_reachable(p.method_by_path("B.m").unwrap()));
+        assert!(!cg.is_reachable(p.method_by_path("A.m").unwrap()));
+        assert_eq!(cg.reachable_count(), 2);
+        assert!(cg.reachable_statement_count(&p) >= 3);
+    }
+
+    #[test]
+    fn runtime_dispatch_picks_most_derived() {
+        let p = dispatch_program(false);
+        let a = p.class_by_name("A").unwrap();
+        let b = p.class_by_name("B").unwrap();
+        let c = p.class_by_name("C").unwrap();
+        let am = p.method_by_path("A.m").unwrap();
+        assert_eq!(dispatch(&p, b, am), p.method_by_path("B.m").unwrap());
+        assert_eq!(dispatch(&p, c, am), am);
+        assert_eq!(dispatch(&p, a, am), am);
+    }
+
+    #[test]
+    fn static_calls_resolve_directly() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None);
+        let mut f = pb.method(c, "f", Type::Void, true);
+        f.ret(None);
+        let f_id = f.id();
+        f.finish();
+        let mut main = pb.method(c, "main", Type::Void, true);
+        main.call_static(None, f_id, &[]);
+        main.finish();
+        let main_id = pb.program().method_by_path("C.main").unwrap();
+        pb.set_entry(main_id);
+        let p = pb.finish();
+        let cg = CallGraph::build(&p, Algorithm::Rta);
+        assert_eq!(cg.targets(CallSite(0)), &[f_id]);
+        assert_eq!(cg.reachable_count(), 2);
+    }
+
+    #[test]
+    fn build_from_explicit_roots() {
+        let p = dispatch_program(false);
+        let root = p.method_by_path("B.m").unwrap();
+        let cg = CallGraph::build_from(&p, &[root], Algorithm::Rta);
+        assert_eq!(cg.reachable_count(), 1);
+        assert!(cg.is_reachable(root));
+    }
+}

@@ -1,0 +1,447 @@
+//! Library backend of the `leakc` command-line tool.
+//!
+//! The binary is a thin wrapper: argument parsing and command dispatch
+//! live here so they can be unit-tested without spawning processes.
+
+use leakchecker::{check, render_all, CheckTarget, DetectorConfig};
+use leakchecker_callgraph::Algorithm;
+use leakchecker_dynbaseline::{detect as dyn_detect, heap_growth_curve, DynConfig};
+use leakchecker_frontend::CompiledUnit;
+use leakchecker_interp::{run as interp_run, Config as InterpConfig, NonDetPolicy};
+use leakchecker_ir::ids::LoopId;
+use leakchecker_ir::loops::all_loops;
+use leakchecker_ir::pretty::print_program;
+use std::fmt::Write as _;
+
+/// A parsed command line.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Command {
+    /// `leakc check <file> [options]`
+    Check {
+        /// Source file path.
+        file: String,
+        /// Explicit loop index (into the program loop table); `None`
+        /// uses the `@check` / `@region` annotations or `--auto`.
+        loop_index: Option<usize>,
+        /// `--auto`: pick the highest-scoring candidate loop.
+        auto: bool,
+        /// Detector options.
+        options: CheckOptions,
+    },
+    /// `leakc run <file> [--iterations N]` — execute and apply the
+    /// dynamic baseline.
+    Run {
+        /// Source file path.
+        file: String,
+        /// Iteration budget for the tracked loop.
+        iterations: u64,
+    },
+    /// `leakc print <file>` — pretty-print the compiled IR.
+    Print {
+        /// Source file path.
+        file: String,
+    },
+    /// `leakc loops <file>` — rank candidate loops.
+    Loops {
+        /// Source file path.
+        file: String,
+    },
+    /// `leakc --help` or parse failure with a message.
+    Help,
+}
+
+/// Detector-affecting flags.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct CheckOptions {
+    /// `--no-pivot`.
+    pub pivot: bool,
+    /// `--threads`.
+    pub threads: bool,
+    /// `--no-library-modeling`.
+    pub library_modeling: bool,
+    /// `--k <n>`.
+    pub k: usize,
+    /// `--cha` (default RTA).
+    pub cha: bool,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            pivot: true,
+            threads: false,
+            library_modeling: true,
+            k: 8,
+            cha: false,
+        }
+    }
+}
+
+impl CheckOptions {
+    /// Converts the flags to a detector configuration.
+    pub fn to_config(self) -> DetectorConfig {
+        let mut config = DetectorConfig {
+            pivot_mode: self.pivot,
+            model_threads: self.threads,
+            library_modeling: self.library_modeling,
+            callgraph: if self.cha {
+                Algorithm::Cha
+            } else {
+                Algorithm::Rta
+            },
+            ..DetectorConfig::default()
+        };
+        config.contexts.k = self.k;
+        config
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+leakc — loop-centric static memory leak detection (CGO 2014 reproduction)
+
+USAGE:
+  leakc check <file.jml> [--loop N | --auto] [--no-pivot] [--threads]
+                         [--no-library-modeling] [--k N] [--cha]
+  leakc run   <file.jml> [--iterations N]
+  leakc print <file.jml>
+  leakc loops <file.jml>
+
+The source language is Java-like; annotate the loop to analyze with
+`@check while (...) { ... }`, a checkable region method with `@region`,
+or pass --auto to rank candidate loops structurally.
+";
+
+/// Parses a command line (excluding argv[0]).
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed invocations.
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "--help" | "-h" | "help" => Ok(Command::Help),
+        "check" => {
+            let file = it
+                .next()
+                .ok_or_else(|| "check: missing <file>".to_string())?
+                .clone();
+            let mut loop_index = None;
+            let mut auto = false;
+            let mut options = CheckOptions::default();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--loop" => {
+                        let n = it.next().ok_or("--loop needs a number")?;
+                        loop_index =
+                            Some(n.parse::<usize>().map_err(|_| "--loop needs a number")?);
+                    }
+                    "--auto" => auto = true,
+                    "--no-pivot" => options.pivot = false,
+                    "--threads" => options.threads = true,
+                    "--no-library-modeling" => options.library_modeling = false,
+                    "--cha" => options.cha = true,
+                    "--k" => {
+                        let n = it.next().ok_or("--k needs a number")?;
+                        options.k = n.parse::<usize>().map_err(|_| "--k needs a number")?;
+                    }
+                    other => return Err(format!("check: unknown flag `{other}`")),
+                }
+            }
+            Ok(Command::Check {
+                file,
+                loop_index,
+                auto,
+                options,
+            })
+        }
+        "run" => {
+            let file = it
+                .next()
+                .ok_or_else(|| "run: missing <file>".to_string())?
+                .clone();
+            let mut iterations = 100;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--iterations" => {
+                        let n = it.next().ok_or("--iterations needs a number")?;
+                        iterations = n
+                            .parse::<u64>()
+                            .map_err(|_| "--iterations needs a number")?;
+                    }
+                    other => return Err(format!("run: unknown flag `{other}`")),
+                }
+            }
+            Ok(Command::Run { file, iterations })
+        }
+        "print" => {
+            let file = it
+                .next()
+                .ok_or_else(|| "print: missing <file>".to_string())?
+                .clone();
+            Ok(Command::Print { file })
+        }
+        "loops" => {
+            let file = it
+                .next()
+                .ok_or_else(|| "loops: missing <file>".to_string())?
+                .clone();
+            Ok(Command::Loops { file })
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn compile_file(file: &str) -> Result<CompiledUnit, String> {
+    let source =
+        std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    leakchecker_frontend::compile(&source).map_err(|e| format!("{file}: {e}"))
+}
+
+/// Executes a command, returning the text to print (or an error message).
+///
+/// # Errors
+///
+/// Returns a message for I/O, compile, and analysis failures.
+pub fn execute(command: Command) -> Result<String, String> {
+    match command {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Print { file } => {
+            let unit = compile_file(&file)?;
+            Ok(print_program(&unit.program))
+        }
+        Command::Loops { file } => {
+            let unit = compile_file(&file)?;
+            let ranked = all_loops(&unit.program);
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "{:<10} {:<28} {:>6} {:>7} {:>7} {:>7}",
+                "loop", "method", "depth", "allocs", "calls", "score"
+            );
+            for stats in ranked {
+                let _ = writeln!(
+                    out,
+                    "{:<10} {:<28} {:>6} {:>7} {:>7} {:>7}",
+                    stats.id.to_string(),
+                    unit.program.qualified_name(stats.method),
+                    stats.depth,
+                    stats.allocs_inside,
+                    stats.calls_inside,
+                    stats.score()
+                );
+            }
+            if out.lines().count() == 1 {
+                let _ = writeln!(out, "(no loops found)");
+            }
+            Ok(out)
+        }
+        Command::Check {
+            file,
+            loop_index,
+            auto,
+            options,
+        } => {
+            let unit = compile_file(&file)?;
+            let targets: Vec<CheckTarget> = if let Some(idx) = loop_index {
+                vec![CheckTarget::Loop(LoopId(idx as u32))]
+            } else if auto {
+                let ranked = all_loops(&unit.program);
+                let best = ranked
+                    .first()
+                    .ok_or_else(|| "no loops to analyze".to_string())?;
+                vec![CheckTarget::Loop(best.id)]
+            } else {
+                let mut t: Vec<CheckTarget> = unit
+                    .checked_loops
+                    .iter()
+                    .map(|&l| CheckTarget::Loop(l))
+                    .collect();
+                t.extend(unit.region_methods.iter().map(|&m| CheckTarget::Region(m)));
+                if t.is_empty() {
+                    return Err(
+                        "no @check loop or @region method; use --loop N or --auto".to_string()
+                    );
+                }
+                t
+            };
+            let mut out = String::new();
+            for target in targets {
+                let result = check(&unit.program, target, options.to_config())
+                    .map_err(|e| e.to_string())?;
+                let _ = writeln!(
+                    out,
+                    "target {:?}: {} methods, {} statements, LO = {}, LS = {} ({:.3}s)",
+                    target,
+                    result.stats.methods,
+                    result.stats.statements,
+                    result.stats.loop_objects,
+                    result.stats.leaking_sites,
+                    result.stats.time_secs
+                );
+                out.push_str(&render_all(&result.program, &result.reports));
+                out.push('\n');
+            }
+            Ok(out)
+        }
+        Command::Run { file, iterations } => {
+            let unit = compile_file(&file)?;
+            let tracked = unit.checked_loops.first().copied();
+            let exec = interp_run(
+                &unit.program,
+                InterpConfig {
+                    tracked_loop: tracked,
+                    nondet: NonDetPolicy::Always(true),
+                    max_tracked_iterations: Some(iterations),
+                    ..InterpConfig::default()
+                },
+            )
+            .map_err(|e| e.to_string())?;
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "executed {} steps, {} tracked iterations, {} objects allocated",
+                exec.steps,
+                exec.iterations,
+                exec.heap.len()
+            );
+            let curve = heap_growth_curve(&exec, 8);
+            let _ = writeln!(out, "escaped-heap growth: {curve:?}");
+            let report = dyn_detect(&unit.program, &exec, DynConfig::default());
+            if report.findings.is_empty() {
+                let _ = writeln!(out, "dynamic baseline: no findings at this input size");
+            } else {
+                for f in &report.findings {
+                    let _ = writeln!(
+                        out,
+                        "dynamic baseline: {} — {} stale of {} instances{}",
+                        unit.program.alloc(f.site).describe,
+                        f.stale_instances,
+                        f.total_instances,
+                        if f.growing { " (growing)" } else { "" }
+                    );
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_check_with_flags() {
+        let cmd = parse_args(&argv(&[
+            "check",
+            "app.jml",
+            "--no-pivot",
+            "--threads",
+            "--k",
+            "4",
+            "--cha",
+        ]))
+        .unwrap();
+        let Command::Check { file, options, .. } = cmd else {
+            panic!("expected check");
+        };
+        assert_eq!(file, "app.jml");
+        assert!(!options.pivot);
+        assert!(options.threads);
+        assert_eq!(options.k, 4);
+        assert!(options.cha);
+        let config = options.to_config();
+        assert!(!config.pivot_mode);
+        assert_eq!(config.contexts.k, 4);
+    }
+
+    #[test]
+    fn parses_run_and_loop_flags() {
+        let cmd = parse_args(&argv(&["run", "x.jml", "--iterations", "7"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Run {
+                file: "x.jml".to_string(),
+                iterations: 7
+            }
+        );
+        let cmd = parse_args(&argv(&["check", "x.jml", "--loop", "2"])).unwrap();
+        let Command::Check { loop_index, .. } = cmd else {
+            panic!()
+        };
+        assert_eq!(loop_index, Some(2));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_args(&argv(&["check"])).is_err());
+        assert!(parse_args(&argv(&["check", "x", "--k"])).is_err());
+        assert!(parse_args(&argv(&["check", "x", "--wat"])).is_err());
+        assert!(parse_args(&argv(&["frobnicate"])).is_err());
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn executes_end_to_end_from_a_temp_file() {
+        let dir = std::env::temp_dir().join("leakc-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("leaky.jml");
+        std::fs::write(
+            &path,
+            "class Item { }
+             class Holder { Item item; }
+             class Main {
+               static void main() {
+                 Holder h = new Holder();
+                 @check while (nondet()) {
+                   Item it = new Item();
+                   h.item = it;
+                 }
+               }
+             }",
+        )
+        .unwrap();
+        let file = path.to_string_lossy().to_string();
+
+        let text = execute(Command::Check {
+            file: file.clone(),
+            loop_index: None,
+            auto: false,
+            options: CheckOptions::default(),
+        })
+        .unwrap();
+        assert!(text.contains("new Item"), "{text}");
+        assert!(text.contains("redundant edge"), "{text}");
+
+        let text = execute(Command::Run {
+            file: file.clone(),
+            iterations: 30,
+        })
+        .unwrap();
+        assert!(text.contains("30 tracked iterations"), "{text}");
+        assert!(text.contains("dynamic baseline"), "{text}");
+
+        let text = execute(Command::Loops { file: file.clone() }).unwrap();
+        assert!(text.contains("Main.main"), "{text}");
+
+        let text = execute(Command::Print { file }).unwrap();
+        assert!(text.contains("class Holder"), "{text}");
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let err = execute(Command::Print {
+            file: "/nonexistent/х.jml".to_string(),
+        })
+        .unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
+    }
+}

@@ -1,0 +1,20 @@
+//! The `leakc` binary: thin wrapper over the CLI library.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match leakchecker_cli::parse_args(&args) {
+        Ok(cmd) => cmd,
+        Err(message) => {
+            eprintln!("error: {message}\n");
+            eprintln!("{}", leakchecker_cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    match leakchecker_cli::execute(command) {
+        Ok(text) => print!("{text}"),
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Dynamic leak-detection baselines.
+//!
+//! The paper contrasts its static approach with the dynamic detectors
+//! that dominated prior work: tools that watch a *particular execution*
+//! and flag suspicious objects by **staleness** (time since an object was
+//! last used) or by **growing types** (types whose live-instance count
+//! keeps rising). Dynamic tools can only find a leak when the test input
+//! actually triggers it — the motivating limitation LeakChecker removes.
+//!
+//! This crate implements both heuristics over the concrete interpreter's
+//! execution traces, so the benchmark harness can demonstrate the
+//! comparison: the static detector flags the leak with *no* input, while
+//! the dynamic baseline needs a leak-triggering number of loop iterations
+//! before its signal crosses threshold.
+
+use leakchecker_interp::{EffectLog, Execution, Heap};
+use leakchecker_ir::ids::AllocSite;
+use leakchecker_ir::Program;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Configuration of the dynamic detector.
+#[derive(Copy, Clone, Debug)]
+pub struct DynConfig {
+    /// An object is *stale* if it was last loaded at least this many
+    /// tracked-loop iterations before the end of the run (and survived to
+    /// the end).
+    pub staleness_threshold: u64,
+    /// A site is reported once at least this many stale instances
+    /// accumulated; the growing-types heuristic also compares midpoint
+    /// and endpoint live counts.
+    pub growth_threshold: usize,
+}
+
+impl Default for DynConfig {
+    fn default() -> Self {
+        DynConfig {
+            staleness_threshold: 2,
+            growth_threshold: 4,
+        }
+    }
+}
+
+/// What the dynamic detector reports for one site.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DynFinding {
+    /// The suspicious allocation site.
+    pub site: AllocSite,
+    /// Number of stale instances observed.
+    pub stale_instances: usize,
+    /// Total instances created during the run.
+    pub total_instances: usize,
+    /// `true` when the growing-types heuristic also fired.
+    pub growing: bool,
+}
+
+/// The dynamic analysis result.
+#[derive(Clone, Debug, Default)]
+pub struct DynReport {
+    /// Findings ordered by site.
+    pub findings: Vec<DynFinding>,
+}
+
+impl DynReport {
+    /// The reported sites.
+    pub fn sites(&self) -> BTreeSet<AllocSite> {
+        self.findings.iter().map(|f| f.site).collect()
+    }
+}
+
+/// Runs the staleness + growing-types heuristics over an execution.
+///
+/// An instance counts as stale when it was created inside the tracked
+/// loop, survives to the end of the run reachable from an *outside*
+/// object (its escape is what keeps it alive), and its last load happened
+/// more than [`DynConfig::staleness_threshold`] iterations before the
+/// run's final iteration.
+pub fn detect(program: &Program, exec: &Execution, config: DynConfig) -> DynReport {
+    let heap = &exec.heap;
+    let effects = &exec.effects;
+    let final_iter = exec.iterations;
+
+    let last_load = last_load_iteration(effects);
+    let escaped = escaped_objects(heap);
+
+    // Per-site tallies.
+    let mut stale: BTreeMap<AllocSite, usize> = BTreeMap::new();
+    let mut total: BTreeMap<AllocSite, usize> = BTreeMap::new();
+    let mut live_mid: BTreeMap<AllocSite, usize> = BTreeMap::new();
+    let mut live_end: BTreeMap<AllocSite, usize> = BTreeMap::new();
+    let midpoint = final_iter / 2;
+
+    for (obj, info) in heap.iter() {
+        *total.entry(info.site).or_default() += 1;
+        if info.iteration == 0 {
+            continue;
+        }
+        if !escaped.contains(&obj) {
+            // Unreachable from outside objects at run end: dead for leak
+            // purposes (the interpreter never collects, but a dynamic
+            // detector samples reachability).
+            continue;
+        }
+        if info.iteration <= midpoint {
+            *live_mid.entry(info.site).or_default() += 1;
+        }
+        *live_end.entry(info.site).or_default() += 1;
+        let last = last_load.get(&obj).copied().unwrap_or(info.iteration);
+        if final_iter.saturating_sub(last) >= config.staleness_threshold {
+            *stale.entry(info.site).or_default() += 1;
+        }
+    }
+
+    let mut findings = Vec::new();
+    for (&site, &stale_count) in &stale {
+        let end = live_end.get(&site).copied().unwrap_or(0);
+        let mid = live_mid.get(&site).copied().unwrap_or(0);
+        let growing = end >= config.growth_threshold && end > mid;
+        if stale_count >= config.growth_threshold.max(1) {
+            findings.push(DynFinding {
+                site,
+                stale_instances: stale_count,
+                total_instances: total.get(&site).copied().unwrap_or(0),
+                growing,
+            });
+        }
+    }
+    findings.sort_by_key(|f| f.site);
+    let _ = program;
+    DynReport { findings }
+}
+
+/// Measures live-heap growth: objects reachable from outside objects per
+/// completed iteration band. Used by the harness to *demonstrate* each
+/// subject's leak as monotone heap growth.
+pub fn heap_growth_curve(exec: &Execution, bands: usize) -> Vec<usize> {
+    let escaped = escaped_objects(&exec.heap);
+    let total_iters = exec.iterations.max(1);
+    let mut curve = vec![0usize; bands.max(1)];
+    for (obj, info) in exec.heap.iter() {
+        if info.iteration == 0 || !escaped.contains(&obj) {
+            continue;
+        }
+        // The object occupies the heap from its creating iteration on.
+        let bands = curve.len();
+        let start_band =
+            (((info.iteration - 1) * bands as u64 / total_iters) as usize).min(bands - 1);
+        for slot in curve.iter_mut().skip(start_band) {
+            *slot += 1;
+        }
+    }
+    curve
+}
+
+fn last_load_iteration(effects: &EffectLog) -> BTreeMap<leakchecker_interp::ObjId, u64> {
+    let mut last = BTreeMap::new();
+    for l in &effects.loads {
+        let entry = last.entry(l.value).or_insert(0);
+        *entry = (*entry).max(l.iteration);
+    }
+    last
+}
+
+/// Inside objects (transitively) reachable from outside-stamped objects
+/// via the final heap.
+fn escaped_objects(heap: &Heap) -> BTreeSet<leakchecker_interp::ObjId> {
+    let mut reachable = BTreeSet::new();
+    let mut queue: Vec<leakchecker_interp::ObjId> = heap
+        .iter()
+        .filter(|(_, o)| o.iteration == 0)
+        .map(|(id, _)| id)
+        .collect();
+    let mut seen: BTreeSet<_> = queue.iter().copied().collect();
+    while let Some(obj) = queue.pop() {
+        for (_, target) in heap.out_edges(obj) {
+            if seen.insert(target) {
+                queue.push(target);
+            }
+        }
+        if heap.get(obj).iteration > 0 {
+            reachable.insert(obj);
+        }
+    }
+    reachable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leakchecker_frontend::compile;
+    use leakchecker_interp::{run, Config, NonDetPolicy};
+
+    fn execute(src: &str, iters: u64) -> (leakchecker_ir::Program, Execution) {
+        let unit = compile(src).unwrap();
+        let exec = run(
+            &unit.program,
+            Config {
+                tracked_loop: Some(unit.checked_loops[0]),
+                nondet: NonDetPolicy::Always(true),
+                max_tracked_iterations: Some(iters),
+                ..Config::default()
+            },
+        )
+        .unwrap();
+        (unit.program, exec)
+    }
+
+    const LEAKY: &str = "
+        class Item { }
+        class Node { Item item; Node next; }
+        class Holder { Node head; }
+        class Main {
+          static void main() {
+            Holder h = new Holder();
+            @check while (nondet()) {
+              Node n = new Node();
+              n.item = new Item();
+              n.next = h.head;
+              h.head = n;
+            }
+          }
+        }";
+
+    #[test]
+    fn staleness_flags_leak_with_enough_iterations() {
+        let (p, exec) = execute(LEAKY, 50);
+        let report = detect(&p, &exec, DynConfig::default());
+        assert!(
+            !report.findings.is_empty(),
+            "long run must reveal the leak dynamically"
+        );
+        assert!(report.findings.iter().any(|f| f.growing));
+    }
+
+    #[test]
+    fn short_run_hides_leak_from_dynamic_detector() {
+        // The paper's point: without a leak-triggering input, the dynamic
+        // detector reports nothing.
+        let (p, exec) = execute(LEAKY, 1);
+        let report = detect(&p, &exec, DynConfig::default());
+        assert!(report.findings.is_empty(), "{report:?}");
+    }
+
+    #[test]
+    fn healthy_program_is_quiet() {
+        let (p, exec) = execute(
+            "class Order { }
+             class Tx { Order curr; }
+             class Main {
+               static void main() {
+                 Tx t = new Tx();
+                 @check while (nondet()) {
+                   Order prev = t.curr;
+                   Order o = new Order();
+                   t.curr = o;
+                 }
+               }
+             }",
+            50,
+        );
+        // Every escaped instance except the last is overwritten (becomes
+        // unreachable), and the survivor is recent: nothing crosses the
+        // threshold.
+        let report = detect(&p, &exec, DynConfig::default());
+        assert!(report.findings.is_empty(), "{report:?}");
+    }
+
+    #[test]
+    fn growth_curve_is_monotone_for_leaks() {
+        let (_p, exec) = execute(LEAKY, 40);
+        let curve = heap_growth_curve(&exec, 8);
+        assert_eq!(curve.len(), 8);
+        for w in curve.windows(2) {
+            assert!(w[1] >= w[0], "leak curve must be monotone: {curve:?}");
+        }
+        assert!(curve[7] > curve[0]);
+    }
+
+    #[test]
+    fn stale_counts_reflect_instances() {
+        let (p, exec) = execute(LEAKY, 30);
+        let report = detect(&p, &exec, DynConfig::default());
+        for f in &report.findings {
+            assert!(f.stale_instances <= f.total_instances);
+            assert!(f.stale_instances >= DynConfig::default().growth_threshold);
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Abstract semantic domains of the type-and-effect system.
+//!
+//! Types abstract run-time objects as `(allocation site, ERA)` pairs
+//! (paper Figure 4). A variable's abstract value is a bounded *set* of
+//! such types: the paper's single-site-or-`⊤` domain is the special case
+//! with set bound 1, and the bound is configurable so the formal system of
+//! Section 3 can be reproduced exactly while the default gives the
+//! precision a practical tool needs. Exceeding the bound collapses to the
+//! `⊤` type ("any object"), matching Figure 6's absorbing joins.
+
+use crate::era::Era;
+use leakchecker_ir::ids::{AllocSite, FieldId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identity part of an abstract type.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum TypeKey {
+    /// Objects created at the given allocation site.
+    Site(AllocSite),
+    /// The pseudo-object holding all static fields. Statics behave like
+    /// fields of a single outside object, which is exactly how the
+    /// detector treats escape through globals.
+    Globals,
+}
+
+impl fmt::Display for TypeKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeKey::Site(s) => write!(f, "{s}"),
+            TypeKey::Globals => write!(f, "<globals>"),
+        }
+    }
+}
+
+/// An abstract type `τ = (key, era)`.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct AbsType {
+    /// Which objects.
+    pub key: TypeKey,
+    /// Their extended-recency value.
+    pub era: Era,
+}
+
+impl AbsType {
+    /// Convenience constructor.
+    pub fn new(key: TypeKey, era: Era) -> AbsType {
+        AbsType { key, era }
+    }
+
+    /// A site type.
+    pub fn site(site: AllocSite, era: Era) -> AbsType {
+        AbsType::new(TypeKey::Site(site), era)
+    }
+}
+
+impl fmt::Display for AbsType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.key, self.era)
+    }
+}
+
+/// A lattice value: `⊥`, a bounded set of types, or `⊤`.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub enum Val {
+    /// No object (null / unassigned).
+    #[default]
+    Bottom,
+    /// One of the given abstract objects. Invariant: non-empty, each key
+    /// appears at most once (eras joined), size ≤ the configured bound.
+    Types(BTreeMap<TypeKey, Era>),
+    /// Any object.
+    Top,
+}
+
+impl Val {
+    /// A singleton value.
+    pub fn one(ty: AbsType) -> Val {
+        let mut m = BTreeMap::new();
+        m.insert(ty.key, ty.era);
+        Val::Types(m)
+    }
+
+    /// Returns `true` for `⊥`.
+    pub fn is_bottom(&self) -> bool {
+        matches!(self, Val::Bottom)
+    }
+
+    /// Returns `true` for `⊤`.
+    pub fn is_top(&self) -> bool {
+        matches!(self, Val::Top)
+    }
+
+    /// The types in this value (empty for `⊥` and `⊤`).
+    pub fn types(&self) -> impl Iterator<Item = AbsType> + '_ {
+        let map = match self {
+            Val::Types(m) => Some(m),
+            _ => None,
+        };
+        map.into_iter()
+            .flat_map(|m| m.iter().map(|(&key, &era)| AbsType { key, era }))
+    }
+
+    /// Joins two values, collapsing to `⊤` beyond `bound` distinct keys.
+    ///
+    /// With `bound == 1` this is exactly Figure 6: same-site types join
+    /// their ERAs, different sites are incomparable and give `⊤`.
+    pub fn join(&self, other: &Val, bound: usize) -> Val {
+        match (self, other) {
+            (Val::Bottom, v) | (v, Val::Bottom) => v.clone(),
+            (Val::Top, _) | (_, Val::Top) => Val::Top,
+            (Val::Types(a), Val::Types(b)) => {
+                let mut out = a.clone();
+                for (&key, &era) in b {
+                    out.entry(key)
+                        .and_modify(|e| *e = e.join(era))
+                        .or_insert(era);
+                }
+                if out.len() > bound {
+                    Val::Top
+                } else {
+                    Val::Types(out)
+                }
+            }
+        }
+    }
+
+    /// Applies the iteration-boundary aging operator to every type.
+    pub fn age(&self) -> Val {
+        match self {
+            Val::Types(m) => Val::Types(m.iter().map(|(&k, &e)| (k, e.age())).collect()),
+            other => other.clone(),
+        }
+    }
+
+    /// Returns `true` if any type (or `⊤`) may denote an object that
+    /// persists across loop iterations.
+    pub fn may_persist(&self) -> bool {
+        match self {
+            Val::Bottom => false,
+            Val::Top => true,
+            Val::Types(m) => m.values().any(|e| e.persists()),
+        }
+    }
+}
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Val::Bottom => write!(f, "⊥"),
+            Val::Top => write!(f, "⊤"),
+            Val::Types(m) => {
+                write!(f, "{{")?;
+                for (i, (k, e)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "({k}, {e})")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// The base of an abstract heap effect: a concrete abstract type or the
+/// unknown (`⊤`) object.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum EffectBase {
+    /// A known abstract object.
+    Type(AbsType),
+    /// Any object.
+    Top,
+}
+
+impl EffectBase {
+    /// The ERA of the base (`⊤` bases conservatively persist).
+    pub fn era(&self) -> Era {
+        match self {
+            EffectBase::Type(t) => t.era,
+            EffectBase::Top => Era::Top,
+        }
+    }
+
+    /// The site key, if known.
+    pub fn key(&self) -> Option<TypeKey> {
+        match self {
+            EffectBase::Type(t) => Some(t.key),
+            EffectBase::Top => None,
+        }
+    }
+}
+
+/// An abstract heap effect: a store `τ1 ▷_g τ2` or a load `τ1 ◁_g τ2`
+/// (paper Figure 4), tagged with whether it was observed under the
+/// designated loop and whether it executed inside standard-library code.
+///
+/// The library flag implements the stronger flows-in condition of the
+/// paper's Section 4: a heap read performed by a library class (e.g. the
+/// internal probe reads of `HashMap.put`) establishes a flows-in
+/// relationship only if the loaded object is also returned to application
+/// code — see `EffectSummary::returned_from_library`.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct AbsEffect {
+    /// The moved object (`τ1`).
+    pub value: AbsType,
+    /// The field (`g`; arrays use the smashed `elem`).
+    pub field: FieldId,
+    /// The base object (`τ2`).
+    pub base: EffectBase,
+    /// `true` when the access executed (abstractly) inside the loop.
+    pub inside_loop: bool,
+    /// `true` when the access statement is in a library class.
+    pub in_library: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(site: u32, era: Era) -> AbsType {
+        AbsType::site(AllocSite(site), era)
+    }
+
+    #[test]
+    fn join_same_site_joins_eras() {
+        let a = Val::one(t(1, Era::Current));
+        let b = Val::one(t(1, Era::Top));
+        let j = a.join(&b, 4);
+        let types: Vec<AbsType> = j.types().collect();
+        assert_eq!(types, vec![t(1, Era::Top)]);
+    }
+
+    #[test]
+    fn join_different_sites_bounded() {
+        let a = Val::one(t(1, Era::Current));
+        let b = Val::one(t(2, Era::Current));
+        // Paper domain (bound 1): incomparable sites give ⊤.
+        assert!(a.join(&b, 1).is_top());
+        // Set domain keeps both.
+        let j = a.join(&b, 4);
+        assert_eq!(j.types().count(), 2);
+    }
+
+    #[test]
+    fn bottom_is_identity_top_absorbs() {
+        let a = Val::one(t(1, Era::Future));
+        assert_eq!(Val::Bottom.join(&a, 4), a);
+        assert!(a.join(&Val::Top, 4).is_top());
+        assert!(Val::Bottom.is_bottom());
+    }
+
+    #[test]
+    fn aging_maps_over_types() {
+        let v = Val::one(t(1, Era::Current)).join(&Val::one(t(2, Era::Outside)), 4);
+        let aged = v.age();
+        let eras: Vec<Era> = aged.types().map(|ty| ty.era).collect();
+        assert!(eras.contains(&Era::Top));
+        assert!(eras.contains(&Era::Outside));
+    }
+
+    #[test]
+    fn persistence() {
+        assert!(!Val::one(t(1, Era::Current)).may_persist());
+        assert!(Val::one(t(1, Era::Future)).may_persist());
+        assert!(Val::one(t(1, Era::Outside)).may_persist());
+        assert!(Val::Top.may_persist());
+        assert!(!Val::Bottom.may_persist());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Val::Bottom.to_string(), "⊥");
+        assert_eq!(Val::Top.to_string(), "⊤");
+        assert_eq!(Val::one(t(1, Era::Current)).to_string(), "{(alloc#1, c)}");
+        assert_eq!(
+            AbsType::new(TypeKey::Globals, Era::Outside).to_string(),
+            "(<globals>, 0)"
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! The Extended Recency Abstraction (ERA) lattice.
+//!
+//! Each abstract object carries one of four ERA values with respect to the
+//! designated loop `l` (paper Section 2):
+//!
+//! * `0̂` ([`Era::Outside`]) — created outside `l`;
+//! * `ĉ` ([`Era::Current`]) — iteration-local: every instance dies before
+//!   its creating iteration finishes;
+//! * `f̂` ([`Era::Future`]) — instances may escape their creating
+//!   iteration, and if they do, they may flow back into a later iteration;
+//! * `⊤̂` ([`Era::Top`]) — instances may escape and will *not* flow back:
+//!   the leak signature.
+//!
+//! The inside values form the chain `ĉ ⊑ f̂ ⊑ ⊤̂`; `0̂` never joins with
+//! inside values in well-formed states (an allocation site is either
+//! inside or outside the loop for a given inlining path), but the join is
+//! total and conservatively yields `⊤̂` when they meet.
+
+use std::fmt;
+
+/// An ERA lattice value. See the module docs.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub enum Era {
+    /// `0̂` — created outside the designated loop.
+    Outside,
+    /// `ĉ` — iteration-local.
+    #[default]
+    Current,
+    /// `f̂` — escapes but flows back into a later iteration.
+    Future,
+    /// `⊤̂` — escapes and never flows back.
+    Top,
+}
+
+impl Era {
+    /// The lattice join (`⊔` of Figure 6).
+    pub fn join(self, other: Era) -> Era {
+        use Era::*;
+        match (self, other) {
+            (a, b) if a == b => a,
+            // 0̂ meeting an inside value is conservatively ⊤̂.
+            (Outside, _) | (_, Outside) => Top,
+            (Top, _) | (_, Top) => Top,
+            (Future, _) | (_, Future) => Future,
+            (Current, Current) => Current,
+        }
+    }
+
+    /// The iteration-boundary aging operator (`⊕ 1` of rule TWhile):
+    /// inside objects surviving into a new iteration are no longer
+    /// "current"; until a load proves they flow back they are `⊤̂`.
+    pub fn age(self) -> Era {
+        match self {
+            Era::Outside => Era::Outside,
+            Era::Current | Era::Future | Era::Top => Era::Top,
+        }
+    }
+
+    /// Returns `true` for the inside values `ĉ`, `f̂`, `⊤̂`.
+    pub fn is_inside(self) -> bool {
+        self != Era::Outside
+    }
+
+    /// Returns `true` when instances with this ERA may persist across
+    /// iterations (anything but `ĉ`): loads through such a base may
+    /// observe objects created in earlier iterations.
+    pub fn persists(self) -> bool {
+        self != Era::Current
+    }
+
+    /// Partial-order test: `self ⊑ other` in the inside chain.
+    pub fn le(self, other: Era) -> bool {
+        self.join(other) == other
+    }
+}
+
+impl fmt::Display for Era {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Era::Outside => write!(f, "0"),
+            Era::Current => write!(f, "c"),
+            Era::Future => write!(f, "f"),
+            Era::Top => write!(f, "T"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const ALL: [Era; 4] = [Era::Outside, Era::Current, Era::Future, Era::Top];
+
+    #[test]
+    fn join_table() {
+        assert_eq!(Era::Current.join(Era::Future), Era::Future);
+        assert_eq!(Era::Future.join(Era::Top), Era::Top);
+        assert_eq!(Era::Current.join(Era::Top), Era::Top);
+        assert_eq!(Era::Outside.join(Era::Outside), Era::Outside);
+        assert_eq!(Era::Outside.join(Era::Current), Era::Top);
+    }
+
+    #[test]
+    fn aging() {
+        assert_eq!(Era::Current.age(), Era::Top);
+        assert_eq!(Era::Future.age(), Era::Top);
+        assert_eq!(Era::Top.age(), Era::Top);
+        assert_eq!(Era::Outside.age(), Era::Outside);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Era::Current.is_inside());
+        assert!(!Era::Outside.is_inside());
+        assert!(Era::Outside.persists());
+        assert!(!Era::Current.persists());
+        assert!(Era::Current.le(Era::Top));
+        assert!(!Era::Top.le(Era::Current));
+    }
+
+    proptest! {
+        #[test]
+        fn join_is_commutative(a in 0usize..4, b in 0usize..4) {
+            let (a, b) = (ALL[a], ALL[b]);
+            prop_assert_eq!(a.join(b), b.join(a));
+        }
+
+        #[test]
+        fn join_is_associative(a in 0usize..4, b in 0usize..4, c in 0usize..4) {
+            let (a, b, c) = (ALL[a], ALL[b], ALL[c]);
+            prop_assert_eq!(a.join(b).join(c), a.join(b.join(c)));
+        }
+
+        #[test]
+        fn join_is_idempotent(a in 0usize..4) {
+            let a = ALL[a];
+            prop_assert_eq!(a.join(a), a);
+        }
+
+        #[test]
+        fn aging_is_monotone_and_extensive(a in 0usize..4, b in 0usize..4) {
+            let (a, b) = (ALL[a], ALL[b]);
+            // extensive on the inside chain: x ⊑ age(x)
+            if a != Era::Outside {
+                prop_assert!(a.le(a.age()));
+            }
+            // monotone: a ⊑ b ⟹ age(a) ⊑ age(b)
+            if a.le(b) {
+                prop_assert!(a.age().le(b.age()));
+            }
+        }
+
+        #[test]
+        fn top_is_absorbing(a in 0usize..4) {
+            prop_assert_eq!(ALL[a].join(Era::Top), Era::Top);
+        }
+    }
+}

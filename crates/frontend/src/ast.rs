@@ -1,0 +1,279 @@
+//! Abstract syntax tree of the surface language.
+//!
+//! The parser produces this tree; the resolver lowers it to the
+//! three-address IR of `leakchecker-ir`.
+
+use crate::error::Span;
+
+/// A parsed compilation unit: a list of class declarations.
+#[derive(Clone, Debug, Default)]
+pub struct Unit {
+    /// All classes in source order.
+    pub classes: Vec<ClassDecl>,
+}
+
+/// A class declaration.
+#[derive(Clone, Debug)]
+pub struct ClassDecl {
+    /// Class name.
+    pub name: String,
+    /// Superclass name, if an `extends` clause is present.
+    pub superclass: Option<String>,
+    /// `library class` marks standard-library code.
+    pub is_library: bool,
+    /// Field declarations.
+    pub fields: Vec<FieldDecl>,
+    /// Method and constructor declarations.
+    pub methods: Vec<MethodDecl>,
+    /// Source location of the `class` keyword.
+    pub span: Span,
+}
+
+/// A field declaration, optionally with an initializer expression.
+#[derive(Clone, Debug)]
+pub struct FieldDecl {
+    /// Field name.
+    pub name: String,
+    /// Declared type.
+    pub ty: TypeName,
+    /// `static` flag.
+    pub is_static: bool,
+    /// Optional initializer, lowered into constructor prologues
+    /// (or a static initializer for static fields).
+    pub init: Option<Expr>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A method or constructor declaration.
+#[derive(Clone, Debug)]
+pub struct MethodDecl {
+    /// Method name; constructors use the class name and are lowered to
+    /// `<init>`.
+    pub name: String,
+    /// `true` when this is a constructor.
+    pub is_ctor: bool,
+    /// `static` flag.
+    pub is_static: bool,
+    /// `@region` marks the method as a checkable region: the detector
+    /// wraps its body in an artificial loop (paper Section 1).
+    pub is_region: bool,
+    /// Return type (`void` for constructors).
+    pub ret_ty: TypeName,
+    /// Parameter list.
+    pub params: Vec<Param>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source location of the declaration.
+    pub span: Span,
+}
+
+/// A formal parameter.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Declared type.
+    pub ty: TypeName,
+}
+
+/// A syntactic type name (resolved to `leakchecker_ir::Type` later).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TypeName {
+    /// Base name: `int`, `boolean`, `void`, or a class name.
+    pub base: String,
+    /// Number of `[]` suffixes.
+    pub dims: usize,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A statement.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// `T x;` or `T x = e;`
+    VarDecl {
+        /// Declared type.
+        ty: TypeName,
+        /// Variable name.
+        name: String,
+        /// Optional initializer.
+        init: Option<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// `lhs = e;` where `lhs` is a local, field, array element or static
+    /// field place.
+    Assign {
+        /// Assignment target.
+        target: Expr,
+        /// Right-hand side.
+        value: Expr,
+        /// Location.
+        span: Span,
+    },
+    /// An expression evaluated for effect (a call).
+    Expr(Expr),
+    /// `if (cond) { .. } else { .. }`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_branch: Vec<Stmt>,
+        /// Else branch (possibly empty).
+        else_branch: Vec<Stmt>,
+        /// Location.
+        span: Span,
+    },
+    /// `while (cond) { .. }`, possibly annotated `@check`.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+        /// `@check` designates this loop for leak analysis.
+        checked: bool,
+        /// Location.
+        span: Span,
+    },
+    /// `return;` or `return e;`
+    Return(Option<Expr>, Span),
+    /// `break;`
+    Break(Span),
+    /// `continue;`
+    Continue(Span),
+}
+
+/// A ground-truth annotation attached to a `new` expression.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AllocAnnotation {
+    /// `@leak` — the site is a genuine leak.
+    Leak,
+    /// `@fp("why")` — reporting this site is an expected false positive.
+    FalsePositive(String),
+}
+
+/// An expression.
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// `null`.
+    Null(Span),
+    /// `this`.
+    This(Span),
+    /// Integer literal.
+    Int(i64, Span),
+    /// `true` / `false`.
+    Bool(bool, Span),
+    /// A plain name (local variable; resolved later).
+    Name(String, Span),
+    /// `e.f` field access — `e` may resolve to a class name, making this a
+    /// static field access.
+    Field {
+        /// Receiver expression.
+        base: Box<Expr>,
+        /// Field name.
+        name: String,
+        /// Location.
+        span: Span,
+    },
+    /// `e[i]` array element access.
+    Index {
+        /// Array expression.
+        base: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// `e.m(args)` / `ClassName.m(args)` / `m(args)` (implicit `this`).
+    Call {
+        /// Receiver; `None` means implicit `this` or same-class static.
+        base: Option<Box<Expr>>,
+        /// Method name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// `new C(args)` with optional `@leak` / `@fp` annotation.
+    New {
+        /// Class name.
+        class: String,
+        /// Constructor arguments.
+        args: Vec<Expr>,
+        /// Ground-truth annotation.
+        annotation: Option<AllocAnnotation>,
+        /// Location.
+        span: Span,
+    },
+    /// `new T[len]` with optional annotation.
+    NewArray {
+        /// Element type.
+        elem: TypeName,
+        /// Length expression.
+        len: Box<Expr>,
+        /// Ground-truth annotation.
+        annotation: Option<AllocAnnotation>,
+        /// Location.
+        span: Span,
+    },
+    /// `a OP b`.
+    Binary {
+        /// Operator token text (`+`, `==`, `&&`, ...).
+        op: &'static str,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// `!e`.
+    Not(Box<Expr>, Span),
+    /// `-e`.
+    Neg(Box<Expr>, Span),
+    /// `nondet()` — an opaque boolean the analyses treat as unknown.
+    NonDet(Span),
+}
+
+impl Expr {
+    /// The source location of this expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Null(s)
+            | Expr::This(s)
+            | Expr::Int(_, s)
+            | Expr::Bool(_, s)
+            | Expr::Name(_, s)
+            | Expr::Not(_, s)
+            | Expr::Neg(_, s)
+            | Expr::NonDet(s) => *s,
+            Expr::Field { span, .. }
+            | Expr::Index { span, .. }
+            | Expr::Call { span, .. }
+            | Expr::New { span, .. }
+            | Expr::NewArray { span, .. }
+            | Expr::Binary { span, .. } => *span,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::Pos;
+
+    #[test]
+    fn expr_span_round_trip() {
+        let s = Span::at(Pos::new(2, 5));
+        let e = Expr::Binary {
+            op: "+",
+            lhs: Box::new(Expr::Int(1, s)),
+            rhs: Box::new(Expr::Int(2, s)),
+            span: s,
+        };
+        assert_eq!(e.span(), s);
+        assert_eq!(Expr::NonDet(s).span(), s);
+    }
+}

@@ -1,0 +1,130 @@
+//! Source positions and frontend error types.
+
+use std::fmt;
+
+/// A position in the source text (1-based line and column).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Pos {
+    /// Creates a position.
+    pub fn new(line: u32, col: u32) -> Self {
+        Pos { line, col }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A half-open span of source text.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Span {
+    /// First character of the spanned region.
+    pub start: Pos,
+    /// Position one past the end of the region.
+    pub end: Pos,
+}
+
+impl Span {
+    /// Creates a span from two positions.
+    pub fn new(start: Pos, end: Pos) -> Self {
+        Span { start, end }
+    }
+
+    /// A zero-width span at one position.
+    pub fn at(pos: Pos) -> Self {
+        Span {
+            start: pos,
+            end: pos,
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.start)
+    }
+}
+
+/// The phase in which a frontend error was detected.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Phase {
+    /// Tokenization.
+    Lex,
+    /// Syntactic analysis.
+    Parse,
+    /// Name resolution and lowering to IR.
+    Resolve,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phase::Lex => write!(f, "lexical error"),
+            Phase::Parse => write!(f, "syntax error"),
+            Phase::Resolve => write!(f, "resolution error"),
+        }
+    }
+}
+
+/// An error produced while compiling source text to IR.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CompileError {
+    /// Detection phase.
+    pub phase: Phase,
+    /// Location of the offending text.
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl CompileError {
+    /// Creates an error.
+    pub fn new(phase: Phase, span: Span, message: impl Into<String>) -> Self {
+        CompileError {
+            phase,
+            span,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}: {}", self.phase, self.span, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Frontend result alias.
+pub type Result<T> = std::result::Result<T, CompileError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = CompileError::new(
+            Phase::Parse,
+            Span::at(Pos::new(3, 7)),
+            "expected `;`",
+        );
+        assert_eq!(e.to_string(), "syntax error at 3:7: expected `;`");
+    }
+
+    #[test]
+    fn positions_order() {
+        assert!(Pos::new(1, 9) < Pos::new(2, 1));
+        assert!(Pos::new(2, 1) < Pos::new(2, 2));
+    }
+}

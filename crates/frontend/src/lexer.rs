@@ -1,0 +1,377 @@
+//! Tokenizer for the Java-like surface language.
+
+use crate::error::{CompileError, Phase, Pos, Result, Span};
+use std::fmt;
+
+/// The kind of a token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TokenKind {
+    /// Identifier or keyword text.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// String literal (only used inside `@fp("...")`).
+    Str(String),
+    /// `@`-annotation name (without the `@`), e.g. `leak`, `check`.
+    At(String),
+    /// A punctuation / operator token, e.g. `{`, `==`, `&&`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Returns the identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Int(v) => write!(f, "`{v}`"),
+            TokenKind::Str(s) => write!(f, "\"{s}\""),
+            TokenKind::At(s) => write!(f, "`@{s}`"),
+            TokenKind::Punct(p) => write!(f, "`{p}`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it was lexed.
+    pub span: Span,
+}
+
+/// Multi-character operators, longest first so maximal munch works.
+const MULTI_PUNCT: &[&str] = &["==", "!=", "<=", ">=", "&&", "||"];
+/// Single-character punctuation.
+const SINGLE_PUNCT: &[&str] = &[
+    "{", "}", "(", ")", "[", "]", ";", ",", ".", "=", "<", ">", "+", "-", "*", "/", "%", "!",
+];
+
+/// Tokenizes `source` completely.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] with [`Phase::Lex`] on unterminated comments
+/// or strings, malformed numbers, and unexpected characters.
+pub fn tokenize(source: &str) -> Result<Vec<Token>> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'s> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    source_len: usize,
+    _marker: std::marker::PhantomData<&'s ()>,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(source: &'s str) -> Self {
+        let chars: Vec<char> = source.chars().collect();
+        Lexer {
+            source_len: chars.len(),
+            chars,
+            pos: 0,
+            line: 1,
+            col: 1,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    fn here(&self) -> Pos {
+        Pos::new(self.line, self.col)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn error(&self, start: Pos, message: impl Into<String>) -> CompileError {
+        CompileError::new(Phase::Lex, Span::new(start, self.here()), message)
+    }
+
+    fn skip_trivia(&mut self) -> Result<()> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.peek2() == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some('/') if self.peek2() == Some('*') => {
+                    let start = self.here();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some('*'), Some('/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(self.error(start, "unterminated block comment"))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        let mut tokens = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let start = self.here();
+            let Some(c) = self.peek() else {
+                tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    span: Span::at(start),
+                });
+                break;
+            };
+            if c.is_ascii_alphabetic() || c == '_' || c == '$' {
+                let mut text = String::new();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '$' {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(text),
+                    span: Span::new(start, self.here()),
+                });
+            } else if c.is_ascii_digit() {
+                let mut value: i64 = 0;
+                let mut overflow = false;
+                while let Some(c) = self.peek() {
+                    if let Some(d) = c.to_digit(10) {
+                        let (v, o1) = value.overflowing_mul(10);
+                        let (v, o2) = v.overflowing_add(d as i64);
+                        overflow |= o1 || o2;
+                        value = v;
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if overflow {
+                    return Err(self.error(start, "integer literal overflows i64"));
+                }
+                if matches!(self.peek(), Some(c) if c.is_ascii_alphabetic()) {
+                    return Err(self.error(start, "identifier cannot start with a digit"));
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Int(value),
+                    span: Span::new(start, self.here()),
+                });
+            } else if c == '"' {
+                self.bump();
+                let mut text = String::new();
+                loop {
+                    match self.bump() {
+                        Some('"') => break,
+                        Some('\\') => match self.bump() {
+                            Some('n') => text.push('\n'),
+                            Some('t') => text.push('\t'),
+                            Some(other) => text.push(other),
+                            None => return Err(self.error(start, "unterminated string literal")),
+                        },
+                        Some(other) => text.push(other),
+                        None => return Err(self.error(start, "unterminated string literal")),
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(text),
+                    span: Span::new(start, self.here()),
+                });
+            } else if c == '@' {
+                self.bump();
+                let mut text = String::new();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if text.is_empty() {
+                    return Err(self.error(start, "expected annotation name after `@`"));
+                }
+                tokens.push(Token {
+                    kind: TokenKind::At(text),
+                    span: Span::new(start, self.here()),
+                });
+            } else {
+                let mut matched = None;
+                for p in MULTI_PUNCT {
+                    let mut chars = p.chars();
+                    if Some(c) == chars.next() && self.peek2() == chars.next() {
+                        matched = Some(*p);
+                        break;
+                    }
+                }
+                if let Some(p) = matched {
+                    self.bump();
+                    self.bump();
+                    tokens.push(Token {
+                        kind: TokenKind::Punct(p),
+                        span: Span::new(start, self.here()),
+                    });
+                } else if let Some(p) = SINGLE_PUNCT.iter().find(|p| p.starts_with(c)) {
+                    self.bump();
+                    tokens.push(Token {
+                        kind: TokenKind::Punct(p),
+                        span: Span::new(start, self.here()),
+                    });
+                } else {
+                    return Err(self.error(start, format!("unexpected character `{c}`")));
+                }
+            }
+            if self.pos > self.source_len {
+                break;
+            }
+        }
+        Ok(tokens)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_identifiers_and_keywords() {
+        let k = kinds("class Foo extends Bar");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("class".into()),
+                TokenKind::Ident("Foo".into()),
+                TokenKind::Ident("extends".into()),
+                TokenKind::Ident("Bar".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators_with_maximal_munch() {
+        let k = kinds("a <= b == c && d");
+        assert!(k.contains(&TokenKind::Punct("<=")));
+        assert!(k.contains(&TokenKind::Punct("==")));
+        assert!(k.contains(&TokenKind::Punct("&&")));
+        let k = kinds("a < = b");
+        assert!(k.contains(&TokenKind::Punct("<")));
+        assert!(k.contains(&TokenKind::Punct("=")));
+    }
+
+    #[test]
+    fn lexes_numbers_strings_annotations() {
+        let k = kinds("x = 42; @fp(\"singleton\")");
+        assert!(k.contains(&TokenKind::Int(42)));
+        assert!(k.contains(&TokenKind::At("fp".into())));
+        assert!(k.contains(&TokenKind::Str("singleton".into())));
+    }
+
+    #[test]
+    fn skips_comments() {
+        let k = kinds("a // line comment\n /* block\ncomment */ b");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_positions() {
+        let toks = tokenize("ab\n  cd").unwrap();
+        assert_eq!(toks[0].span.start, Pos::new(1, 1));
+        assert_eq!(toks[1].span.start, Pos::new(2, 3));
+    }
+
+    #[test]
+    fn rejects_unterminated_comment() {
+        let err = tokenize("/* never closed").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+        assert_eq!(err.phase, Phase::Lex);
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(tokenize("\"oops").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        let err = tokenize("a # b").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+    }
+
+    #[test]
+    fn rejects_overflowing_int() {
+        assert!(tokenize("99999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn string_escapes() {
+        let k = kinds(r#""a\nb\"c""#);
+        assert_eq!(k[0], TokenKind::Str("a\nb\"c".into()));
+    }
+}

@@ -1,0 +1,879 @@
+//! Recursive-descent parser for the surface language.
+
+use crate::ast::{
+    AllocAnnotation, ClassDecl, Expr, FieldDecl, MethodDecl, Param, Stmt, TypeName, Unit,
+};
+use crate::error::{CompileError, Phase, Result, Span};
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// Parses a complete compilation unit.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error encountered.
+pub fn parse(source: &str) -> Result<Unit> {
+    let tokens = tokenize(source)?;
+    Parser { tokens, pos: 0 }.unit()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    fn peek2_kind(&self) -> &TokenKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn span(&self) -> Span {
+        self.peek().span
+    }
+
+    fn error(&self, message: impl Into<String>) -> CompileError {
+        CompileError::new(Phase::Parse, self.span(), message)
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek_kind(), TokenKind::Punct(q) if *q == p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<()> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{p}`, found {}", self.peek_kind())))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek_kind(), TokenKind::Ident(s) if s == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{kw}`, found {}", self.peek_kind())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Span)> {
+        match self.peek_kind().clone() {
+            TokenKind::Ident(s) if !is_keyword(&s) => {
+                let span = self.span();
+                self.bump();
+                Ok((s, span))
+            }
+            other => Err(self.error(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn unit(&mut self) -> Result<Unit> {
+        let mut classes = Vec::new();
+        while !matches!(self.peek_kind(), TokenKind::Eof) {
+            classes.push(self.class_decl()?);
+        }
+        Ok(Unit { classes })
+    }
+
+    fn class_decl(&mut self) -> Result<ClassDecl> {
+        let span = self.span();
+        let is_library = self.eat_keyword("library");
+        self.expect_keyword("class")?;
+        let (name, _) = self.expect_ident()?;
+        let superclass = if self.eat_keyword("extends") {
+            Some(self.expect_ident()?.0)
+        } else {
+            None
+        };
+        self.expect_punct("{")?;
+        let mut fields = Vec::new();
+        let mut methods = Vec::new();
+        while !self.eat_punct("}") {
+            if matches!(self.peek_kind(), TokenKind::Eof) {
+                return Err(self.error("unexpected end of input inside class body"));
+            }
+            self.member(&name, &mut fields, &mut methods)?;
+        }
+        Ok(ClassDecl {
+            name,
+            superclass,
+            is_library,
+            fields,
+            methods,
+            span,
+        })
+    }
+
+    fn member(
+        &mut self,
+        class_name: &str,
+        fields: &mut Vec<FieldDecl>,
+        methods: &mut Vec<MethodDecl>,
+    ) -> Result<()> {
+        let span = self.span();
+        let mut is_region = false;
+        while let TokenKind::At(a) = self.peek_kind().clone() {
+            if a == "region" {
+                is_region = true;
+                self.bump();
+            } else {
+                return Err(self.error(format!("annotation `@{a}` is not valid on members")));
+            }
+        }
+        let is_static = self.eat_keyword("static");
+
+        // Constructor: `ClassName ( ... )`.
+        if !is_static
+            && matches!(self.peek_kind(), TokenKind::Ident(s) if s == class_name)
+            && matches!(self.peek2_kind(), TokenKind::Punct("("))
+        {
+            let (_, _) = self.expect_ident()?;
+            let params = self.params()?;
+            let body = self.block()?;
+            methods.push(MethodDecl {
+                name: "<init>".to_string(),
+                is_ctor: true,
+                is_static: false,
+                is_region,
+                ret_ty: TypeName {
+                    base: "void".to_string(),
+                    dims: 0,
+                    span,
+                },
+                params,
+                body,
+                span,
+            });
+            return Ok(());
+        }
+
+        let ty = self.type_name()?;
+        let (name, _) = self.expect_ident()?;
+        if matches!(self.peek_kind(), TokenKind::Punct("(")) {
+            let params = self.params()?;
+            let body = self.block()?;
+            methods.push(MethodDecl {
+                name,
+                is_ctor: false,
+                is_static,
+                is_region,
+                ret_ty: ty,
+                params,
+                body,
+                span,
+            });
+        } else {
+            if is_region {
+                return Err(self.error("`@region` is only valid on methods"));
+            }
+            let init = if self.eat_punct("=") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.expect_punct(";")?;
+            fields.push(FieldDecl {
+                name,
+                ty,
+                is_static,
+                init,
+                span,
+            });
+        }
+        Ok(())
+    }
+
+    fn params(&mut self) -> Result<Vec<Param>> {
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                let ty = self.type_name()?;
+                let (name, _) = self.expect_ident()?;
+                params.push(Param { name, ty });
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+        }
+        Ok(params)
+    }
+
+    fn type_name(&mut self) -> Result<TypeName> {
+        let span = self.span();
+        let base = match self.peek_kind().clone() {
+            TokenKind::Ident(s) if s == "int" || s == "boolean" || s == "void" || !is_keyword(&s) => {
+                self.bump();
+                s
+            }
+            other => return Err(self.error(format!("expected type name, found {other}"))),
+        };
+        let mut dims = 0;
+        while matches!(self.peek_kind(), TokenKind::Punct("["))
+            && matches!(self.peek2_kind(), TokenKind::Punct("]"))
+        {
+            self.bump();
+            self.bump();
+            dims += 1;
+        }
+        Ok(TypeName { base, dims, span })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>> {
+        self.expect_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.eat_punct("}") {
+            if matches!(self.peek_kind(), TokenKind::Eof) {
+                return Err(self.error("unexpected end of input inside block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        let span = self.span();
+
+        // `@check while (...)` — designated loop.
+        if let TokenKind::At(a) = self.peek_kind().clone() {
+            if a == "check" {
+                self.bump();
+                self.expect_keyword("while")?;
+                return self.while_stmt(true, span);
+            }
+            // allocation annotations are handled inside expressions
+        }
+
+        match self.peek_kind().clone() {
+            TokenKind::Ident(kw) if kw == "if" => {
+                self.bump();
+                self.expect_punct("(")?;
+                let cond = self.expr()?;
+                self.expect_punct(")")?;
+                let then_branch = self.block()?;
+                let else_branch = if self.eat_keyword("else") {
+                    if matches!(self.peek_kind(), TokenKind::Ident(s) if s == "if") {
+                        vec![self.stmt()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                    span,
+                })
+            }
+            TokenKind::Ident(kw) if kw == "while" => {
+                self.bump();
+                self.while_stmt(false, span)
+            }
+            TokenKind::Ident(kw) if kw == "return" => {
+                self.bump();
+                let value = if self.eat_punct(";") {
+                    None
+                } else {
+                    let e = self.expr()?;
+                    self.expect_punct(";")?;
+                    Some(e)
+                };
+                Ok(Stmt::Return(value, span))
+            }
+            TokenKind::Ident(kw) if kw == "break" => {
+                self.bump();
+                self.expect_punct(";")?;
+                Ok(Stmt::Break(span))
+            }
+            TokenKind::Ident(kw) if kw == "continue" => {
+                self.bump();
+                self.expect_punct(";")?;
+                Ok(Stmt::Continue(span))
+            }
+            // Variable declaration: `Type name ...` — distinguish from an
+            // assignment/expression by lookahead: ident ident, or
+            // ident[] ident. The base type is a class name or one of the
+            // primitive type keywords.
+            TokenKind::Ident(s)
+                if (s == "int" || s == "boolean" || !is_keyword(&s))
+                    && (matches!(self.peek2_kind(), TokenKind::Ident(n) if !is_keyword(n))
+                        || self.looks_like_array_decl()) =>
+            {
+                let ty = self.type_name()?;
+                let (name, _) = self.expect_ident()?;
+                let init = if self.eat_punct("=") {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.expect_punct(";")?;
+                Ok(Stmt::VarDecl {
+                    ty,
+                    name,
+                    init,
+                    span,
+                })
+            }
+            _ => {
+                let e = self.expr()?;
+                if self.eat_punct("=") {
+                    let value = self.expr()?;
+                    self.expect_punct(";")?;
+                    Ok(Stmt::Assign {
+                        target: e,
+                        value,
+                        span,
+                    })
+                } else {
+                    self.expect_punct(";")?;
+                    Ok(Stmt::Expr(e))
+                }
+            }
+        }
+    }
+
+    /// True for `Ident [ ] Ident`, the start of an array-typed declaration.
+    fn looks_like_array_decl(&self) -> bool {
+        matches!(self.peek2_kind(), TokenKind::Punct("["))
+            && matches!(
+                self.tokens.get(self.pos + 2).map(|t| &t.kind),
+                Some(TokenKind::Punct("]"))
+            )
+    }
+
+    fn while_stmt(&mut self, checked: bool, span: Span) -> Result<Stmt> {
+        self.expect_punct("(")?;
+        let cond = self.expr()?;
+        self.expect_punct(")")?;
+        let body = self.block()?;
+        Ok(Stmt::While {
+            cond,
+            body,
+            checked,
+            span,
+        })
+    }
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.and_expr()?;
+        while matches!(self.peek_kind(), TokenKind::Punct("||")) {
+            let span = self.span();
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary {
+                op: "||",
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.cmp_expr()?;
+        while matches!(self.peek_kind(), TokenKind::Punct("&&")) {
+            let span = self.span();
+            self.bump();
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Binary {
+                op: "&&",
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek_kind() {
+            TokenKind::Punct(p @ ("==" | "!=" | "<" | "<=" | ">" | ">=")) => *p,
+            _ => return Ok(lhs),
+        };
+        let span = self.span();
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+            span,
+        })
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Punct(p @ ("+" | "-")) => *p,
+                _ => break,
+            };
+            let span = self.span();
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Punct(p @ ("*" | "/" | "%")) => *p,
+                _ => break,
+            };
+            let span = self.span();
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        let span = self.span();
+        if self.eat_punct("!") {
+            let e = self.unary_expr()?;
+            return Ok(Expr::Not(Box::new(e), span));
+        }
+        if self.eat_punct("-") {
+            let e = self.unary_expr()?;
+            return Ok(Expr::Neg(Box::new(e), span));
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr> {
+        let mut e = self.primary_expr()?;
+        loop {
+            let span = self.span();
+            if self.eat_punct(".") {
+                let (name, _) = self.expect_ident()?;
+                if matches!(self.peek_kind(), TokenKind::Punct("(")) {
+                    let args = self.args()?;
+                    e = Expr::Call {
+                        base: Some(Box::new(e)),
+                        name,
+                        args,
+                        span,
+                    };
+                } else {
+                    e = Expr::Field {
+                        base: Box::new(e),
+                        name,
+                        span,
+                    };
+                }
+            } else if matches!(self.peek_kind(), TokenKind::Punct("["))
+                && !matches!(self.peek2_kind(), TokenKind::Punct("]"))
+            {
+                self.bump();
+                let index = self.expr()?;
+                self.expect_punct("]")?;
+                e = Expr::Index {
+                    base: Box::new(e),
+                    index: Box::new(index),
+                    span,
+                };
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn args(&mut self) -> Result<Vec<Expr>> {
+        self.expect_punct("(")?;
+        let mut args = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                args.push(self.expr()?);
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+        }
+        Ok(args)
+    }
+
+    fn alloc_annotation(&mut self) -> Result<Option<AllocAnnotation>> {
+        if let TokenKind::At(a) = self.peek_kind().clone() {
+            match a.as_str() {
+                "leak" => {
+                    self.bump();
+                    return Ok(Some(AllocAnnotation::Leak));
+                }
+                "fp" => {
+                    self.bump();
+                    self.expect_punct("(")?;
+                    let reason = match self.peek_kind().clone() {
+                        TokenKind::Str(s) => {
+                            self.bump();
+                            s
+                        }
+                        other => {
+                            return Err(
+                                self.error(format!("expected string in `@fp(..)`, found {other}"))
+                            )
+                        }
+                    };
+                    self.expect_punct(")")?;
+                    return Ok(Some(AllocAnnotation::FalsePositive(reason)));
+                }
+                other => {
+                    return Err(self.error(format!(
+                        "annotation `@{other}` is not valid in expression position"
+                    )))
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr> {
+        let span = self.span();
+        let annotation = self.alloc_annotation()?;
+        if let Some(annotation) = annotation {
+            // Annotation must be followed by `new`.
+            self.expect_keyword("new")?;
+            return self.new_expr(Some(annotation), span);
+        }
+        match self.peek_kind().clone() {
+            TokenKind::Punct("(") => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v, span))
+            }
+            TokenKind::Ident(s) => match s.as_str() {
+                "null" => {
+                    self.bump();
+                    Ok(Expr::Null(span))
+                }
+                "this" => {
+                    self.bump();
+                    Ok(Expr::This(span))
+                }
+                "true" => {
+                    self.bump();
+                    Ok(Expr::Bool(true, span))
+                }
+                "false" => {
+                    self.bump();
+                    Ok(Expr::Bool(false, span))
+                }
+                "new" => {
+                    self.bump();
+                    self.new_expr(None, span)
+                }
+                "nondet" => {
+                    self.bump();
+                    self.expect_punct("(")?;
+                    self.expect_punct(")")?;
+                    Ok(Expr::NonDet(span))
+                }
+                _ if is_keyword(&s) => {
+                    Err(self.error(format!("unexpected keyword `{s}` in expression")))
+                }
+                _ => {
+                    self.bump();
+                    if matches!(self.peek_kind(), TokenKind::Punct("(")) {
+                        let args = self.args()?;
+                        Ok(Expr::Call {
+                            base: None,
+                            name: s,
+                            args,
+                            span,
+                        })
+                    } else {
+                        Ok(Expr::Name(s, span))
+                    }
+                }
+            },
+            other => Err(self.error(format!("unexpected {other} in expression"))),
+        }
+    }
+
+    fn new_expr(&mut self, annotation: Option<AllocAnnotation>, span: Span) -> Result<Expr> {
+        let ty = self.type_name()?;
+        if matches!(self.peek_kind(), TokenKind::Punct("[")) {
+            self.bump();
+            let len = self.expr()?;
+            self.expect_punct("]")?;
+            Ok(Expr::NewArray {
+                elem: ty,
+                len: Box::new(len),
+                annotation,
+                span,
+            })
+        } else if ty.dims > 0 {
+            Err(self.error("array allocation requires a length: `new T[n]`"))
+        } else {
+            let args = self.args()?;
+            Ok(Expr::New {
+                class: ty.base,
+                args,
+                annotation,
+                span,
+            })
+        }
+    }
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "class"
+            | "extends"
+            | "library"
+            | "static"
+            | "if"
+            | "else"
+            | "while"
+            | "return"
+            | "break"
+            | "continue"
+            | "new"
+            | "null"
+            | "this"
+            | "true"
+            | "false"
+            | "int"
+            | "boolean"
+            | "void"
+            | "nondet"
+            | "super"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_class_with_fields_and_methods() {
+        let unit = parse(
+            "class Order { int id; }
+             class Transaction {
+               Order curr;
+               static int count;
+               void process(Order p) { this.curr = p; }
+             }",
+        )
+        .unwrap();
+        assert_eq!(unit.classes.len(), 2);
+        let tx = &unit.classes[1];
+        assert_eq!(tx.fields.len(), 2);
+        assert!(tx.fields[1].is_static);
+        assert_eq!(tx.methods.len(), 1);
+        assert_eq!(tx.methods[0].params.len(), 1);
+    }
+
+    #[test]
+    fn parses_constructor() {
+        let unit = parse("class C { int x; C(int v) { this.x = v; } }").unwrap();
+        let m = &unit.classes[0].methods[0];
+        assert!(m.is_ctor);
+        assert_eq!(m.name, "<init>");
+    }
+
+    #[test]
+    fn parses_checked_loop_and_annotations() {
+        let unit = parse(
+            "class Main {
+               static void main() {
+                 int i;
+                 i = 0;
+                 @check while (i < 10) {
+                   Main m = @leak new Main();
+                   i = i + 1;
+                 }
+               }
+             }",
+        )
+        .unwrap();
+        let body = &unit.classes[0].methods[0].body;
+        let Stmt::While { checked, body, .. } = &body[2] else {
+            panic!("expected while");
+        };
+        assert!(checked);
+        let Stmt::VarDecl { init: Some(e), .. } = &body[0] else {
+            panic!("expected var decl");
+        };
+        let Expr::New { annotation, .. } = e else {
+            panic!("expected new");
+        };
+        assert_eq!(*annotation, Some(AllocAnnotation::Leak));
+    }
+
+    #[test]
+    fn parses_fp_annotation() {
+        let unit = parse(
+            "class C { static void m() { C x = @fp(\"singleton\") new C(); } }",
+        )
+        .unwrap();
+        let Stmt::VarDecl { init: Some(e), .. } = &unit.classes[0].methods[0].body[0] else {
+            panic!()
+        };
+        let Expr::New { annotation, .. } = e else { panic!() };
+        assert_eq!(
+            *annotation,
+            Some(AllocAnnotation::FalsePositive("singleton".into()))
+        );
+    }
+
+    #[test]
+    fn parses_arrays() {
+        let unit = parse(
+            "class C {
+               C[] items;
+               void m(int n) {
+                 C[] a = new C[n];
+                 a[0] = new C();
+                 C x = a[n - 1];
+                 this.items = a;
+               }
+             }",
+        )
+        .unwrap();
+        let m = &unit.classes[0].methods[0];
+        assert_eq!(m.body.len(), 4);
+        let Stmt::Assign { target, .. } = &m.body[1] else {
+            panic!()
+        };
+        assert!(matches!(target, Expr::Index { .. }));
+    }
+
+    #[test]
+    fn parses_operator_precedence() {
+        let unit = parse("class C { static void m() { int x = 1 + 2 * 3; } }").unwrap();
+        let Stmt::VarDecl {
+            init: Some(Expr::Binary { op, rhs, .. }),
+            ..
+        } = &unit.classes[0].methods[0].body[0]
+        else {
+            panic!()
+        };
+        assert_eq!(*op, "+");
+        assert!(matches!(**rhs, Expr::Binary { op: "*", .. }));
+    }
+
+    #[test]
+    fn parses_if_else_chain_and_calls() {
+        let unit = parse(
+            "class C {
+               int f() { return 1; }
+               void m(C other) {
+                 if (nondet()) { other.f(); }
+                 else if (this.f() == 1) { f(); }
+                 else { }
+               }
+             }",
+        )
+        .unwrap();
+        let m = &unit.classes[0].methods[1];
+        let Stmt::If { else_branch, .. } = &m.body[0] else {
+            panic!()
+        };
+        assert!(matches!(else_branch[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn parses_region_annotation() {
+        let unit = parse("class P { @region void run() { } }").unwrap();
+        assert!(unit.classes[0].methods[0].is_region);
+    }
+
+    #[test]
+    fn parses_library_class() {
+        let unit = parse("library class HashMap { }").unwrap();
+        assert!(unit.classes[0].is_library);
+    }
+
+    #[test]
+    fn rejects_missing_semicolon() {
+        let err = parse("class C { void m() { int x = 1 } }").unwrap_err();
+        assert!(err.message.contains("`;`"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_annotation_position() {
+        assert!(parse("class C { void m() { @check int x; } }").is_err());
+    }
+
+    #[test]
+    fn rejects_unclosed_class() {
+        assert!(parse("class C { void m() { }").is_err());
+    }
+
+    #[test]
+    fn field_initializers_parse() {
+        let unit = parse("class C { C next = null; int n = 3; }").unwrap();
+        assert!(unit.classes[0].fields[0].init.is_some());
+        assert!(unit.classes[0].fields[1].init.is_some());
+    }
+
+    #[test]
+    fn parses_logical_operators() {
+        let unit =
+            parse("class C { static void m(int a) { if (a < 1 && a > -5 || a == 3) { } } }")
+                .unwrap();
+        let Stmt::If { cond, .. } = &unit.classes[0].methods[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(cond, Expr::Binary { op: "||", .. }));
+    }
+}

@@ -1,0 +1,123 @@
+//! Concrete heap effects (the paper's Ψ and Ω sets).
+//!
+//! The operational semantics (Figure 3) records a *store effect*
+//! `ô1 ▷_g^j ô2` whenever a reference to `ô1` is written into field `g` of
+//! `ô2` in iteration `j` of the designated loop, and a *load effect*
+//! `ô1 ◁_g^j ô2` whenever `ô1` is read out of `g` of `ô2` in iteration `j`.
+//! These sets drive the ground-truth leak computation of Definition 1 and
+//! the differential tests against the abstract type-and-effect system.
+
+use crate::value::ObjId;
+use leakchecker_ir::ids::FieldId;
+
+/// A concrete store effect `ô1 ▷_g^j ô2`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct StoreEffect {
+    /// The stored object (`ô1`).
+    pub value: ObjId,
+    /// The field written (`g`; arrays report the smashed `elem`).
+    pub field: FieldId,
+    /// The object written into (`ô2`).
+    pub base: ObjId,
+    /// Iteration of the designated loop at the moment of the store
+    /// (0 outside the loop).
+    pub iteration: u64,
+}
+
+/// A concrete load effect `ô1 ◁_g^j ô2`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct LoadEffect {
+    /// The loaded object (`ô1`).
+    pub value: ObjId,
+    /// The field read.
+    pub field: FieldId,
+    /// The object read from (`ô2`).
+    pub base: ObjId,
+    /// Iteration of the designated loop at the moment of the load
+    /// (0 outside the loop).
+    pub iteration: u64,
+}
+
+/// The pair of effect logs produced by an execution.
+#[derive(Clone, Debug, Default)]
+pub struct EffectLog {
+    /// All store effects, in execution order (Ψ).
+    pub stores: Vec<StoreEffect>,
+    /// All load effects, in execution order (Ω).
+    pub loads: Vec<LoadEffect>,
+}
+
+impl EffectLog {
+    /// Records a store effect.
+    pub fn store(&mut self, value: ObjId, field: FieldId, base: ObjId, iteration: u64) {
+        self.stores.push(StoreEffect {
+            value,
+            field,
+            base,
+            iteration,
+        });
+    }
+
+    /// Records a load effect.
+    pub fn load(&mut self, value: ObjId, field: FieldId, base: ObjId, iteration: u64) {
+        self.loads.push(LoadEffect {
+            value,
+            field,
+            base,
+            iteration,
+        });
+    }
+
+    /// Returns `true` if `value` was ever loaded (from anywhere) in an
+    /// iteration strictly after `after` — the flow-back test of
+    /// Definition 1, condition (2).
+    pub fn loaded_after(&self, value: ObjId, after: u64) -> bool {
+        self.loads
+            .iter()
+            .any(|l| l.value == value && l.iteration > after && l.iteration > 0)
+    }
+
+    /// Returns `true` if `value` was loaded specifically from `base.field`
+    /// in an iteration strictly after `after` — the flow-back test of
+    /// Definition 1, condition (1).
+    pub fn loaded_from_after(&self, value: ObjId, field: FieldId, base: ObjId, after: u64) -> bool {
+        self.loads.iter().any(|l| {
+            l.value == value
+                && l.field == field
+                && l.base == base
+                && l.iteration > after
+                && l.iteration > 0
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loaded_after_respects_iteration_order() {
+        let mut log = EffectLog::default();
+        log.load(ObjId(1), FieldId(0), ObjId(2), 3);
+        assert!(log.loaded_after(ObjId(1), 2));
+        assert!(!log.loaded_after(ObjId(1), 3));
+        assert!(!log.loaded_after(ObjId(9), 0));
+    }
+
+    #[test]
+    fn loads_outside_loop_do_not_count_as_flow_back() {
+        let mut log = EffectLog::default();
+        log.load(ObjId(1), FieldId(0), ObjId(2), 0);
+        assert!(!log.loaded_after(ObjId(1), 0));
+    }
+
+    #[test]
+    fn loaded_from_after_matches_exact_location() {
+        let mut log = EffectLog::default();
+        log.load(ObjId(1), FieldId(4), ObjId(2), 5);
+        assert!(log.loaded_from_after(ObjId(1), FieldId(4), ObjId(2), 1));
+        assert!(!log.loaded_from_after(ObjId(1), FieldId(5), ObjId(2), 1));
+        assert!(!log.loaded_from_after(ObjId(1), FieldId(4), ObjId(3), 1));
+        assert!(!log.loaded_from_after(ObjId(1), FieldId(4), ObjId(2), 5));
+    }
+}

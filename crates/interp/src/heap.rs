@@ -1,0 +1,206 @@
+//! The concrete heap: objects, fields, and iteration stamps.
+
+use crate::value::{ObjId, Value};
+use leakchecker_ir::ids::{AllocSite, ClassId, FieldId};
+use leakchecker_ir::ids::ARRAY_ELEM_FIELD;
+use std::collections::HashMap;
+
+/// What kind of object a heap cell is.
+#[derive(Clone, Debug)]
+pub enum ObjKind {
+    /// A class instance.
+    Instance {
+        /// The dynamic class.
+        class: ClassId,
+    },
+    /// An array; element accesses use real indices at run time but are
+    /// reported to analyses as the smashed `elem` pseudo-field.
+    Array {
+        /// Declared length (informational; accesses are not bounds-checked
+        /// so execution stays total).
+        length: i64,
+    },
+}
+
+/// A run-time heap object.
+#[derive(Clone, Debug)]
+pub struct Obj {
+    /// Instance or array.
+    pub kind: ObjKind,
+    /// The allocation site that created this object.
+    pub site: AllocSite,
+    /// The iteration of the designated loop in which the object was
+    /// created; 0 when created outside the loop. This is the `j` of the
+    /// paper's `o^(l,j)` stamps.
+    pub iteration: u64,
+    /// Instance fields (for arrays, keyed by element index as an
+    /// interned pseudo field).
+    fields: HashMap<FieldKey, Value>,
+}
+
+/// Field storage key: real fields for instances, indices for arrays.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum FieldKey {
+    /// An instance field.
+    Field(FieldId),
+    /// An array slot.
+    Index(i64),
+}
+
+/// The concrete heap.
+#[derive(Clone, Debug, Default)]
+pub struct Heap {
+    objects: Vec<Obj>,
+}
+
+impl Heap {
+    /// Creates an empty heap.
+    pub fn new() -> Heap {
+        Heap::default()
+    }
+
+    /// Allocates a class instance stamped with `iteration`.
+    pub fn alloc_instance(&mut self, class: ClassId, site: AllocSite, iteration: u64) -> ObjId {
+        self.push(Obj {
+            kind: ObjKind::Instance { class },
+            site,
+            iteration,
+            fields: HashMap::new(),
+        })
+    }
+
+    /// Allocates an array stamped with `iteration`.
+    pub fn alloc_array(&mut self, length: i64, site: AllocSite, iteration: u64) -> ObjId {
+        self.push(Obj {
+            kind: ObjKind::Array { length },
+            site,
+            iteration,
+            fields: HashMap::new(),
+        })
+    }
+
+    fn push(&mut self, obj: Obj) -> ObjId {
+        let id = ObjId(u32::try_from(self.objects.len()).expect("heap exhausted"));
+        self.objects.push(obj);
+        id
+    }
+
+    /// Looks up an object.
+    pub fn get(&self, id: ObjId) -> &Obj {
+        &self.objects[id.index()]
+    }
+
+    /// The dynamic class of an instance (`None` for arrays).
+    pub fn class_of(&self, id: ObjId) -> Option<ClassId> {
+        match self.get(id).kind {
+            ObjKind::Instance { class } => Some(class),
+            ObjKind::Array { .. } => None,
+        }
+    }
+
+    /// Reads an instance field (missing fields read as their default).
+    pub fn load(&self, id: ObjId, field: FieldId) -> Value {
+        self.objects[id.index()]
+            .fields
+            .get(&FieldKey::Field(field))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Writes an instance field.
+    pub fn store(&mut self, id: ObjId, field: FieldId, value: Value) {
+        self.objects[id.index()]
+            .fields
+            .insert(FieldKey::Field(field), value);
+    }
+
+    /// Reads an array element (out-of-range reads yield the default).
+    pub fn load_index(&self, id: ObjId, index: i64) -> Value {
+        self.objects[id.index()]
+            .fields
+            .get(&FieldKey::Index(index))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Writes an array element.
+    pub fn store_index(&mut self, id: ObjId, index: i64, value: Value) {
+        self.objects[id.index()]
+            .fields
+            .insert(FieldKey::Index(index), value);
+    }
+
+    /// Number of objects ever allocated.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Returns `true` if nothing was ever allocated.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Iterates over all objects with their ids.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjId, &Obj)> {
+        self.objects
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (ObjId(i as u32), o))
+    }
+
+    /// All outgoing reference edges of an object, as
+    /// `(field-as-reported-to-analyses, target)` pairs. Array slots are
+    /// reported as the smashed `elem` field.
+    pub fn out_edges(&self, id: ObjId) -> Vec<(FieldId, ObjId)> {
+        self.objects[id.index()]
+            .fields
+            .iter()
+            .filter_map(|(key, value)| {
+                let target = value.as_ref()?;
+                let field = match key {
+                    FieldKey::Field(f) => *f,
+                    FieldKey::Index(_) => ARRAY_ELEM_FIELD,
+                };
+                Some((field, target))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_fields_default_and_update() {
+        let mut heap = Heap::new();
+        let o = heap.alloc_instance(ClassId(1), AllocSite(0), 3);
+        assert_eq!(heap.load(o, FieldId(2)), Value::Null);
+        heap.store(o, FieldId(2), Value::Int(9));
+        assert_eq!(heap.load(o, FieldId(2)), Value::Int(9));
+        assert_eq!(heap.get(o).iteration, 3);
+        assert_eq!(heap.class_of(o), Some(ClassId(1)));
+    }
+
+    #[test]
+    fn arrays_use_indices_but_report_elem() {
+        let mut heap = Heap::new();
+        let a = heap.alloc_array(4, AllocSite(1), 0);
+        let o = heap.alloc_instance(ClassId(1), AllocSite(0), 1);
+        heap.store_index(a, 2, Value::Ref(o));
+        assert_eq!(heap.load_index(a, 2), Value::Ref(o));
+        assert_eq!(heap.load_index(a, 3), Value::Null);
+        assert_eq!(heap.class_of(a), None);
+        let edges = heap.out_edges(a);
+        assert_eq!(edges, vec![(ARRAY_ELEM_FIELD, o)]);
+    }
+
+    #[test]
+    fn out_edges_skip_primitives_and_null() {
+        let mut heap = Heap::new();
+        let o = heap.alloc_instance(ClassId(1), AllocSite(0), 0);
+        heap.store(o, FieldId(1), Value::Int(5));
+        heap.store(o, FieldId(2), Value::Null);
+        assert!(heap.out_edges(o).is_empty());
+    }
+}

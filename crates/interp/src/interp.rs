@@ -1,0 +1,762 @@
+//! The tree-walking interpreter implementing the concrete semantics.
+
+use crate::effects::EffectLog;
+use crate::heap::Heap;
+use crate::value::{ObjId, Value};
+use leakchecker_callgraph::dispatch;
+use leakchecker_ir::ids::{FieldId, LoopId, MethodId};
+use leakchecker_ir::stmt::{BinOp, CallKind, Cond, Operand, Stmt};
+use leakchecker_ir::Program;
+use std::collections::HashMap;
+use std::fmt;
+
+/// How `nondet()` and `while (*)` conditions are resolved at run time.
+#[derive(Clone, Debug)]
+pub enum NonDetPolicy {
+    /// Alternate `true, false, true, ...` deterministically.
+    Alternate,
+    /// Always the given value.
+    Always(bool),
+    /// A deterministic linear-congruential stream with the given seed and
+    /// percentage probability of `true` (0..=100).
+    Lcg {
+        /// Stream seed.
+        seed: u64,
+        /// Probability of `true` in percent.
+        p_true: u8,
+    },
+}
+
+impl Default for NonDetPolicy {
+    fn default() -> Self {
+        NonDetPolicy::Lcg {
+            seed: 0x5DEECE66D,
+            p_true: 60,
+        }
+    }
+}
+
+struct NonDetStream {
+    policy: NonDetPolicy,
+    state: u64,
+    toggle: bool,
+}
+
+impl NonDetStream {
+    fn new(policy: NonDetPolicy) -> Self {
+        let state = match &policy {
+            NonDetPolicy::Lcg { seed, .. } => *seed,
+            _ => 0,
+        };
+        NonDetStream {
+            policy,
+            state,
+            toggle: false,
+        }
+    }
+
+    fn next(&mut self) -> bool {
+        match self.policy {
+            NonDetPolicy::Alternate => {
+                self.toggle = !self.toggle;
+                self.toggle
+            }
+            NonDetPolicy::Always(v) => v,
+            NonDetPolicy::Lcg { p_true, .. } => {
+                // Numerical Recipes LCG; deterministic and dependency-free.
+                self.state = self
+                    .state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((self.state >> 33) % 100) < u64::from(p_true)
+            }
+        }
+    }
+}
+
+/// Interpreter configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Maximum number of executed simple statements before the run is
+    /// aborted with [`InterpError::StepLimit`].
+    pub step_limit: u64,
+    /// Maximum call depth before [`InterpError::StackOverflow`].
+    pub max_call_depth: usize,
+    /// The loop whose iterations stamp allocations and effects
+    /// (the paper's designated loop `l`). `None` runs with all stamps 0.
+    pub tracked_loop: Option<LoopId>,
+    /// Resolution of non-deterministic conditions.
+    pub nondet: NonDetPolicy,
+    /// Hard cap on iterations of the tracked loop (`None` = unlimited);
+    /// lets clients run "N events" workloads against `while (nondet())`
+    /// event loops.
+    pub max_tracked_iterations: Option<u64>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            step_limit: 5_000_000,
+            max_call_depth: 512,
+            tracked_loop: None,
+            nondet: NonDetPolicy::default(),
+            max_tracked_iterations: None,
+        }
+    }
+}
+
+/// Why an execution stopped abnormally.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum InterpError {
+    /// The step budget was exhausted (likely an unbounded loop).
+    StepLimit,
+    /// Call depth exceeded the configured maximum.
+    StackOverflow,
+    /// A field access or call on `null`.
+    NullDeref {
+        /// The method in which the dereference happened.
+        method: MethodId,
+    },
+    /// The program has no entry point.
+    NoEntry,
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::StepLimit => write!(f, "step limit exhausted"),
+            InterpError::StackOverflow => write!(f, "call stack overflow"),
+            InterpError::NullDeref { method } => {
+                write!(f, "null dereference in {method}")
+            }
+            InterpError::NoEntry => write!(f, "program has no entry point"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// The observable outcome of an execution.
+#[derive(Clone, Debug)]
+pub struct Execution {
+    /// Final heap (all objects ever allocated; nothing is collected).
+    pub heap: Heap,
+    /// Concrete store/load effect logs (Ψ and Ω).
+    pub effects: EffectLog,
+    /// Number of simple statements executed.
+    pub steps: u64,
+    /// Completed iterations of the tracked loop.
+    pub iterations: u64,
+    /// Final values of static fields.
+    pub statics: HashMap<FieldId, Value>,
+}
+
+/// Runs `program` from its entry point under `config`.
+///
+/// # Errors
+///
+/// Returns [`InterpError`] on missing entry, null dereference, step-limit
+/// or stack-limit exhaustion. The heap and effects observed up to the
+/// error are discarded; use [`Interp`] directly to inspect partial state.
+pub fn run(program: &Program, config: Config) -> Result<Execution, InterpError> {
+    let entry = program.entry().ok_or(InterpError::NoEntry)?;
+    let mut interp = Interp::new(program, config);
+    interp.call(entry, Value::Null, &[])?;
+    Ok(interp.into_execution())
+}
+
+/// Control flow escaping a statement sequence.
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(Value),
+}
+
+/// The interpreter state machine. Most clients should use [`run`].
+pub struct Interp<'p> {
+    program: &'p Program,
+    config: Config,
+    heap: Heap,
+    effects: EffectLog,
+    statics: HashMap<FieldId, Value>,
+    nondet: NonDetStream,
+    steps: u64,
+    depth: usize,
+    /// Current iteration of the tracked loop (0 = outside).
+    current_iteration: u64,
+    /// Total completed iterations of the tracked loop.
+    total_iterations: u64,
+    /// Nesting depth inside the tracked loop (handles recursion into the
+    /// loop's method).
+    tracked_depth: usize,
+}
+
+impl<'p> Interp<'p> {
+    /// Creates an interpreter with empty state.
+    pub fn new(program: &'p Program, config: Config) -> Self {
+        let nondet = NonDetStream::new(config.nondet.clone());
+        Interp {
+            program,
+            config,
+            heap: Heap::new(),
+            effects: EffectLog::default(),
+            statics: HashMap::new(),
+            nondet,
+            steps: 0,
+            depth: 0,
+            current_iteration: 0,
+            total_iterations: 0,
+            tracked_depth: 0,
+        }
+    }
+
+    /// Consumes the interpreter, returning the observable outcome.
+    pub fn into_execution(self) -> Execution {
+        Execution {
+            heap: self.heap,
+            effects: self.effects,
+            steps: self.steps,
+            iterations: self.total_iterations,
+            statics: self.statics,
+        }
+    }
+
+    /// Calls `method` with the given receiver and arguments.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`InterpError`] raised during execution.
+    pub fn call(
+        &mut self,
+        method: MethodId,
+        receiver: Value,
+        args: &[Value],
+    ) -> Result<Value, InterpError> {
+        if self.depth >= self.config.max_call_depth {
+            return Err(InterpError::StackOverflow);
+        }
+        self.depth += 1;
+        let m = self.program.method(method);
+        let mut locals = vec![Value::Null; m.locals.len()];
+        let mut slot = 0;
+        if !m.is_static {
+            locals[0] = receiver;
+            slot = 1;
+        }
+        for (i, arg) in args.iter().enumerate() {
+            locals[slot + i] = *arg;
+        }
+        let mut frame = Frame {
+            method,
+            locals,
+        };
+        // Clone the body handle: bodies are immutable during execution.
+        let flow = self.exec_stmts(&m.body, &mut frame)?;
+        self.depth -= 1;
+        Ok(match flow {
+            Flow::Return(v) => v,
+            _ => Value::Null,
+        })
+    }
+
+    fn tick(&mut self) -> Result<(), InterpError> {
+        self.steps += 1;
+        if self.steps > self.config.step_limit {
+            Err(InterpError::StepLimit)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn exec_stmts(&mut self, stmts: &[Stmt], frame: &mut Frame) -> Result<Flow, InterpError> {
+        for stmt in stmts {
+            match self.exec_stmt(stmt, frame)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn operand(&self, op: &Operand, frame: &Frame) -> Value {
+        match op {
+            Operand::Local(l) => frame.locals[l.index()],
+            Operand::Const(c) => Value::Int(*c),
+        }
+    }
+
+    fn non_null(&self, v: Value, frame: &Frame) -> Result<ObjId, InterpError> {
+        v.as_ref().ok_or(InterpError::NullDeref {
+            method: frame.method,
+        })
+    }
+
+    fn eval_cond(&mut self, cond: &Cond, frame: &Frame) -> bool {
+        match cond {
+            Cond::NonDet => self.nondet.next(),
+            Cond::IsNull(l) => frame.locals[l.index()].is_null(),
+            Cond::NotNull(l) => !frame.locals[l.index()].is_null(),
+            Cond::Local(l) => frame.locals[l.index()].as_bool(),
+            Cond::NotLocal(l) => !frame.locals[l.index()].as_bool(),
+            Cond::Cmp { op, lhs, rhs } => {
+                let a = self.operand(lhs, frame).as_int();
+                let b = self.operand(rhs, frame).as_int();
+                eval_binop(*op, a, b) != 0
+            }
+        }
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt, frame: &mut Frame) -> Result<Flow, InterpError> {
+        self.tick()?;
+        match stmt {
+            Stmt::New { dst, class, site } => {
+                let obj = self
+                    .heap
+                    .alloc_instance(*class, *site, self.current_iteration);
+                frame.locals[dst.index()] = Value::Ref(obj);
+            }
+            Stmt::NewArray { dst, len, site, .. } => {
+                let length = self.operand(len, frame).as_int();
+                let obj = self.heap.alloc_array(length, *site, self.current_iteration);
+                frame.locals[dst.index()] = Value::Ref(obj);
+            }
+            Stmt::Assign { dst, src } => {
+                frame.locals[dst.index()] = frame.locals[src.index()];
+            }
+            Stmt::AssignNull { dst } => frame.locals[dst.index()] = Value::Null,
+            Stmt::Const { dst, value } => frame.locals[dst.index()] = Value::Int(*value),
+            Stmt::NonDetBool { dst } => {
+                frame.locals[dst.index()] = Value::from(self.nondet.next());
+            }
+            Stmt::BinOp { dst, op, lhs, rhs } => {
+                let a = self.operand(lhs, frame).as_int();
+                let b = self.operand(rhs, frame).as_int();
+                frame.locals[dst.index()] = Value::Int(eval_binop(*op, a, b));
+            }
+            Stmt::Load { dst, base, field } => {
+                let obj = self.non_null(frame.locals[base.index()], frame)?;
+                let value = self.heap.load(obj, *field);
+                if let Some(loaded) = value.as_ref() {
+                    self.effects
+                        .load(loaded, *field, obj, self.current_iteration);
+                }
+                frame.locals[dst.index()] = value;
+            }
+            Stmt::Store { base, field, src } => {
+                let obj = self.non_null(frame.locals[base.index()], frame)?;
+                let value = frame.locals[src.index()];
+                if let Some(stored) = value.as_ref() {
+                    self.effects
+                        .store(stored, *field, obj, self.current_iteration);
+                }
+                self.heap.store(obj, *field, value);
+            }
+            Stmt::ArrayLoad { dst, base, index } => {
+                let obj = self.non_null(frame.locals[base.index()], frame)?;
+                let idx = self.operand(index, frame).as_int();
+                let value = self.heap.load_index(obj, idx);
+                if let Some(loaded) = value.as_ref() {
+                    self.effects.load(
+                        loaded,
+                        leakchecker_ir::ids::ARRAY_ELEM_FIELD,
+                        obj,
+                        self.current_iteration,
+                    );
+                }
+                frame.locals[dst.index()] = value;
+            }
+            Stmt::ArrayStore { base, index, src } => {
+                let obj = self.non_null(frame.locals[base.index()], frame)?;
+                let idx = self.operand(index, frame).as_int();
+                let value = frame.locals[src.index()];
+                if let Some(stored) = value.as_ref() {
+                    self.effects.store(
+                        stored,
+                        leakchecker_ir::ids::ARRAY_ELEM_FIELD,
+                        obj,
+                        self.current_iteration,
+                    );
+                }
+                self.heap.store_index(obj, idx, value);
+            }
+            Stmt::StaticLoad { dst, field } => {
+                frame.locals[dst.index()] =
+                    self.statics.get(field).copied().unwrap_or_default();
+            }
+            Stmt::StaticStore { field, src } => {
+                self.statics.insert(*field, frame.locals[src.index()]);
+            }
+            Stmt::Call {
+                dst,
+                kind,
+                method,
+                receiver,
+                args,
+                ..
+            } => {
+                let recv_value = receiver
+                    .map(|r| frame.locals[r.index()])
+                    .unwrap_or(Value::Null);
+                let target = match kind {
+                    CallKind::Static | CallKind::Special => *method,
+                    CallKind::Virtual => {
+                        let obj = self.non_null(recv_value, frame)?;
+                        match self.heap.class_of(obj) {
+                            Some(class) => dispatch(self.program, class, *method),
+                            // Calls on arrays fall back to the declared
+                            // target (e.g. Object methods).
+                            None => *method,
+                        }
+                    }
+                };
+                if matches!(kind, CallKind::Virtual | CallKind::Special) {
+                    // Instance call on null: Special (ctor) receivers are
+                    // always fresh, Virtual checked above.
+                    self.non_null(recv_value, frame)?;
+                }
+                let arg_values: Vec<Value> =
+                    args.iter().map(|a| frame.locals[a.index()]).collect();
+                let result = self.call(target, recv_value, &arg_values)?;
+                if let Some(d) = dst {
+                    frame.locals[d.index()] = result;
+                }
+            }
+            Stmt::Return(value) => {
+                let v = value
+                    .map(|l| frame.locals[l.index()])
+                    .unwrap_or(Value::Null);
+                return Ok(Flow::Return(v));
+            }
+            Stmt::Break => return Ok(Flow::Break),
+            Stmt::Continue => return Ok(Flow::Continue),
+            Stmt::Nop => {}
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let taken = self.eval_cond(cond, frame);
+                let branch = if taken { then_branch } else { else_branch };
+                return self.exec_stmts(branch, frame);
+            }
+            Stmt::While { id, cond, body } => {
+                let tracked = self.config.tracked_loop == Some(*id);
+                if tracked {
+                    self.tracked_depth += 1;
+                }
+                loop {
+                    if !self.eval_cond(cond, frame) {
+                        break;
+                    }
+                    if tracked && self.tracked_depth == 1 {
+                        if let Some(max) = self.config.max_tracked_iterations {
+                            if self.total_iterations >= max {
+                                break;
+                            }
+                        }
+                        self.total_iterations += 1;
+                        self.current_iteration = self.total_iterations;
+                    }
+                    self.tick()?;
+                    match self.exec_stmts(body, frame)? {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => break,
+                        ret @ Flow::Return(_) => {
+                            if tracked {
+                                self.leave_tracked();
+                            }
+                            return Ok(ret);
+                        }
+                    }
+                }
+                if tracked {
+                    self.leave_tracked();
+                }
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn leave_tracked(&mut self) {
+        self.tracked_depth -= 1;
+        if self.tracked_depth == 0 {
+            self.current_iteration = 0;
+        }
+    }
+}
+
+struct Frame {
+    method: MethodId,
+    locals: Vec<Value>,
+}
+
+fn eval_binop(op: BinOp, a: i64, b: i64) -> i64 {
+    match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        // Division/remainder by zero yield zero to keep execution total.
+        BinOp::Div => a.checked_div(b).unwrap_or(0),
+        BinOp::Rem => a.checked_rem(b).unwrap_or(0),
+        BinOp::Lt => i64::from(a < b),
+        BinOp::Le => i64::from(a <= b),
+        BinOp::Gt => i64::from(a > b),
+        BinOp::Ge => i64::from(a >= b),
+        BinOp::Eq => i64::from(a == b),
+        BinOp::Ne => i64::from(a != b),
+        BinOp::And => i64::from(a != 0 && b != 0),
+        BinOp::Or => i64::from(a != 0 || b != 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leakchecker_ir::builder::ProgramBuilder;
+    use leakchecker_ir::types::Type;
+
+    #[test]
+    fn binop_semantics() {
+        assert_eq!(eval_binop(BinOp::Add, 2, 3), 5);
+        assert_eq!(eval_binop(BinOp::Div, 7, 2), 3);
+        assert_eq!(eval_binop(BinOp::Div, 7, 0), 0);
+        assert_eq!(eval_binop(BinOp::Rem, 7, 0), 0);
+        assert_eq!(eval_binop(BinOp::Lt, 1, 2), 1);
+        assert_eq!(eval_binop(BinOp::And, 1, 0), 0);
+        assert_eq!(eval_binop(BinOp::Or, 1, 0), 1);
+    }
+
+    #[test]
+    fn nondet_policies_are_deterministic() {
+        let mut a = NonDetStream::new(NonDetPolicy::Alternate);
+        assert!(a.next());
+        assert!(!a.next());
+        assert!(a.next());
+        let mut t = NonDetStream::new(NonDetPolicy::Always(false));
+        assert!(!t.next());
+        let mut l1 = NonDetStream::new(NonDetPolicy::Lcg {
+            seed: 42,
+            p_true: 50,
+        });
+        let mut l2 = NonDetStream::new(NonDetPolicy::Lcg {
+            seed: 42,
+            p_true: 50,
+        });
+        let s1: Vec<bool> = (0..32).map(|_| l1.next()).collect();
+        let s2: Vec<bool> = (0..32).map(|_| l2.next()).collect();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn counted_loop_executes_n_times() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None);
+        let counter = pb.add_field(c, "count", Type::Int, true);
+        let mut main = pb.method(c, "main", Type::Void, true);
+        let x = main.local("x", Type::Int);
+        let one = main.local("one", Type::Int);
+        main.const_int(x, 0);
+        main.const_int(one, 1);
+        main.counted_loop(10, |mb, _| {
+            mb.binop(x, BinOp::Add, Operand::Local(x), Operand::Const(1));
+        });
+        main.static_store(counter, x);
+        main.finish();
+        let entry = pb.program().method_by_path("C.main").unwrap();
+        pb.set_entry(entry);
+        let p = pb.finish();
+        let exec = run(&p, Config::default()).unwrap();
+        assert_eq!(exec.statics[&counter], Value::Int(10));
+    }
+
+    #[test]
+    fn step_limit_stops_unbounded_loops() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None);
+        let mut main = pb.method(c, "main", Type::Void, true);
+        let x = main.local("x", Type::Int);
+        main.while_cond(
+            Cond::Cmp {
+                op: BinOp::Eq,
+                lhs: Operand::Const(0),
+                rhs: Operand::Const(0),
+            },
+            |mb| mb.const_int(x, 1),
+        );
+        main.finish();
+        let entry = pb.program().method_by_path("C.main").unwrap();
+        pb.set_entry(entry);
+        let p = pb.finish();
+        let err = run(
+            &p,
+            Config {
+                step_limit: 1000,
+                ..Config::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, InterpError::StepLimit);
+    }
+
+    #[test]
+    fn null_dereference_is_reported() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None);
+        let f = pb.add_field(c, "f", Type::Int, false);
+        let mut main = pb.method(c, "main", Type::Void, true);
+        let x = main.local("x", Type::Ref(c));
+        let y = main.local("y", Type::Int);
+        main.assign_null(x);
+        main.load(y, x, f);
+        main.finish();
+        let entry = pb.program().method_by_path("C.main").unwrap();
+        pb.set_entry(entry);
+        let p = pb.finish();
+        let err = run(&p, Config::default()).unwrap_err();
+        assert!(matches!(err, InterpError::NullDeref { .. }));
+    }
+
+    #[test]
+    fn tracked_loop_stamps_allocations_and_effects() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None);
+        let holder = pb.add_class("Holder", None);
+        let f = pb.add_field(holder, "f", Type::Ref(c), false);
+        let mut main = pb.method(c, "main", Type::Void, true);
+        let h = main.local("h", Type::Ref(holder));
+        let x = main.local("x", Type::Ref(c));
+        main.new_object(h, holder); // outside: stamp 0
+        let lp = main.counted_loop(3, |mb, _| {
+            mb.new_object(x, c); // inside: stamps 1, 2, 3
+            mb.store(h, f, x);
+        });
+        main.finish();
+        let entry = pb.program().method_by_path("C.main").unwrap();
+        pb.set_entry(entry);
+        let p = pb.finish();
+        let exec = run(
+            &p,
+            Config {
+                tracked_loop: Some(lp),
+                ..Config::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(exec.iterations, 3);
+        let stamps: Vec<u64> = exec.heap.iter().map(|(_, o)| o.iteration).collect();
+        assert_eq!(stamps, vec![0, 1, 2, 3]);
+        assert_eq!(exec.effects.stores.len(), 3);
+        assert_eq!(exec.effects.stores[2].iteration, 3);
+    }
+
+    #[test]
+    fn max_tracked_iterations_bounds_event_loops() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None);
+        let mut main = pb.method(c, "main", Type::Void, true);
+        let x = main.local("x", Type::Int);
+        let lp = main.while_loop(|mb| {
+            mb.const_int(x, 1);
+        });
+        main.finish();
+        let entry = pb.program().method_by_path("C.main").unwrap();
+        pb.set_entry(entry);
+        let p = pb.finish();
+        let exec = run(
+            &p,
+            Config {
+                tracked_loop: Some(lp),
+                nondet: NonDetPolicy::Always(true),
+                max_tracked_iterations: Some(25),
+                ..Config::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(exec.iterations, 25);
+    }
+
+    #[test]
+    fn virtual_dispatch_selects_runtime_class() {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.add_class("A", None);
+        let b = pb.add_class("B", Some(a));
+        let result = pb.add_field(a, "result", Type::Int, true);
+        let mut am = pb.method(a, "tag", Type::Int, false);
+        let r = am.local("r", Type::Int);
+        am.const_int(r, 1);
+        am.ret(Some(r));
+        let am_id = am.id();
+        am.finish();
+        let mut bm = pb.method(b, "tag", Type::Int, false);
+        let r = bm.local("r", Type::Int);
+        bm.const_int(r, 2);
+        bm.ret(Some(r));
+        bm.finish();
+        let mut main = pb.method(a, "main", Type::Void, true);
+        let x = main.local("x", Type::Ref(a));
+        let t = main.local("t", Type::Int);
+        main.new_object(x, b);
+        main.call_virtual(Some(t), x, am_id, &[]);
+        main.static_store(result, t);
+        main.finish();
+        let entry = pb.program().method_by_path("A.main").unwrap();
+        pb.set_entry(entry);
+        let p = pb.finish();
+        let exec = run(&p, Config::default()).unwrap();
+        assert_eq!(exec.statics[&result], Value::Int(2));
+    }
+
+    #[test]
+    fn break_and_continue() {
+        // i = 0; while (i < 10) { i = i + 1; if (i % 2 == 0) continue;
+        //   if (i == 7) break; sum = sum + i; }
+        // Odd i before 7: 1 + 3 + 5 = 9.
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None);
+        let total = pb.add_field(c, "total", Type::Int, true);
+        let mut main = pb.method(c, "main", Type::Void, true);
+        let sum = main.local("sum", Type::Int);
+        let i = main.local("i", Type::Int);
+        main.const_int(sum, 0);
+        main.const_int(i, 0);
+        main.while_cond(
+            Cond::Cmp {
+                op: BinOp::Lt,
+                lhs: Operand::Local(i),
+                rhs: Operand::Const(10),
+            },
+            |mb| {
+                mb.binop(i, BinOp::Add, Operand::Local(i), Operand::Const(1));
+                let tmp = mb.temp(Type::Int);
+                mb.binop(tmp, BinOp::Rem, Operand::Local(i), Operand::Const(2));
+                mb.if_else(
+                    Cond::Cmp {
+                        op: BinOp::Eq,
+                        lhs: Operand::Local(tmp),
+                        rhs: Operand::Const(0),
+                    },
+                    |mb| mb.cont(),
+                    |_| {},
+                );
+                mb.if_else(
+                    Cond::Cmp {
+                        op: BinOp::Eq,
+                        lhs: Operand::Local(i),
+                        rhs: Operand::Const(7),
+                    },
+                    |mb| mb.brk(),
+                    |_| {},
+                );
+                mb.binop(sum, BinOp::Add, Operand::Local(sum), Operand::Local(i));
+            },
+        );
+        main.static_store(total, sum);
+        main.finish();
+        let entry = pb.program().method_by_path("C.main").unwrap();
+        pb.set_entry(entry);
+        let p = pb.finish();
+        let exec = run(&p, Config::default()).unwrap();
+        assert_eq!(exec.statics[&total], Value::Int(9));
+    }
+}

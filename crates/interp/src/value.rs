@@ -1,0 +1,102 @@
+//! Run-time values of the concrete semantics.
+
+use std::fmt;
+
+/// Identity of a run-time heap object.
+///
+/// Distinct from allocation sites: one site can create many objects, one
+/// per execution of its `new` statement. The pair of a site and the loop
+/// iteration in which it executed is the paper's `ô = o^(l,j)`.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ObjId(pub u32);
+
+impl ObjId {
+    /// Index into the heap's object table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj#{}", self.0)
+    }
+}
+
+/// A run-time value: `null`, a primitive, or a heap reference.
+///
+/// Booleans are represented as the integers 0 and 1, matching the IR.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum Value {
+    /// The null reference (also the default value of reference locals).
+    #[default]
+    Null,
+    /// An `int` or `boolean` value.
+    Int(i64),
+    /// A reference to a heap object.
+    Ref(ObjId),
+}
+
+impl Value {
+    /// Truthiness for booleans: nonzero integers are true, `null` and
+    /// references are not booleans (returns `false` conservatively).
+    pub fn as_bool(self) -> bool {
+        matches!(self, Value::Int(v) if v != 0)
+    }
+
+    /// The integer value, or 0 for non-integers (keeps execution total).
+    pub fn as_int(self) -> i64 {
+        match self {
+            Value::Int(v) => v,
+            _ => 0,
+        }
+    }
+
+    /// The referenced object, if this is a non-null reference.
+    pub fn as_ref(self) -> Option<ObjId> {
+        match self {
+            Value::Ref(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for [`Value::Null`].
+    pub fn is_null(self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Int(i64::from(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_predicates() {
+        assert_eq!(Value::from(true), Value::Int(1));
+        assert_eq!(Value::from(7i64).as_int(), 7);
+        assert!(Value::Int(2).as_bool());
+        assert!(!Value::Int(0).as_bool());
+        assert!(!Value::Null.as_bool());
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Ref(ObjId(3)).as_ref(), Some(ObjId(3)));
+        assert_eq!(Value::Null.as_ref(), None);
+        assert_eq!(Value::Ref(ObjId(3)).as_int(), 0);
+    }
+
+    #[test]
+    fn default_is_null() {
+        assert_eq!(Value::default(), Value::Null);
+    }
+}

@@ -1,0 +1,483 @@
+//! Flattened control-flow graphs over structured method bodies.
+//!
+//! The analyses in this reproduction mostly consume the structured body
+//! directly (the paper's type-and-effect system is defined over a structured
+//! while-language). A conventional basic-block CFG is still useful — for
+//! natural-loop discovery when the tool user has not designated a loop, and
+//! for generic dataflow clients — so this module lowers a structured body to
+//! blocks of simple statements connected by edges.
+
+use crate::ids::MethodId;
+use crate::program::Program;
+use crate::stmt::Stmt;
+use std::collections::HashMap;
+
+/// Index of a basic block within a [`Cfg`].
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// Index into [`Cfg::blocks`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A basic block: a maximal straight-line sequence of simple statements.
+#[derive(Clone, Debug, Default)]
+pub struct Block {
+    /// Indices into the flattened statement list of the owning [`Cfg`].
+    pub stmts: Vec<usize>,
+    /// Successor blocks.
+    pub succs: Vec<BlockId>,
+    /// Predecessor blocks.
+    pub preds: Vec<BlockId>,
+}
+
+/// A control-flow graph for one method.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// The method this CFG was built from.
+    pub method: MethodId,
+    /// Flattened copies of the method's simple statements
+    /// (control statements are represented by edges only).
+    pub stmts: Vec<Stmt>,
+    /// Basic blocks; block 0 is the entry, block 1 the exit.
+    pub blocks: Vec<Block>,
+}
+
+/// Entry block id (always block 0).
+pub const ENTRY: BlockId = BlockId(0);
+/// Exit block id (always block 1).
+pub const EXIT: BlockId = BlockId(1);
+
+struct Builder {
+    stmts: Vec<Stmt>,
+    blocks: Vec<Block>,
+    current: BlockId,
+    /// (continue-target, break-target) for each open loop.
+    loop_stack: Vec<(BlockId, BlockId)>,
+    /// Whether the current block has been terminated (return/break/continue).
+    terminated: bool,
+}
+
+impl Builder {
+    fn new_block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block::default());
+        id
+    }
+
+    fn edge(&mut self, from: BlockId, to: BlockId) {
+        self.blocks[from.index()].succs.push(to);
+        self.blocks[to.index()].preds.push(from);
+    }
+
+    fn emit(&mut self, stmt: &Stmt) {
+        if self.terminated {
+            return;
+        }
+        let idx = self.stmts.len();
+        self.stmts.push(stmt.clone());
+        let cur = self.current;
+        self.blocks[cur.index()].stmts.push(idx);
+    }
+
+    fn lower(&mut self, stmts: &[Stmt]) {
+        for stmt in stmts {
+            if self.terminated {
+                break;
+            }
+            match stmt {
+                Stmt::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    let cond_block = self.current;
+                    let then_entry = self.new_block();
+                    let else_entry = self.new_block();
+                    let join = self.new_block();
+                    self.edge(cond_block, then_entry);
+                    self.edge(cond_block, else_entry);
+
+                    self.current = then_entry;
+                    self.terminated = false;
+                    self.lower(then_branch);
+                    if !self.terminated {
+                        let cur = self.current;
+                        self.edge(cur, join);
+                    }
+
+                    self.current = else_entry;
+                    self.terminated = false;
+                    self.lower(else_branch);
+                    if !self.terminated {
+                        let cur = self.current;
+                        self.edge(cur, join);
+                    }
+
+                    self.current = join;
+                    self.terminated = false;
+                }
+                Stmt::While { body, .. } => {
+                    let before = self.current;
+                    let header = self.new_block();
+                    let body_entry = self.new_block();
+                    let after = self.new_block();
+                    self.edge(before, header);
+                    self.edge(header, body_entry);
+                    self.edge(header, after);
+                    self.loop_stack.push((header, after));
+
+                    self.current = body_entry;
+                    self.terminated = false;
+                    self.lower(body);
+                    if !self.terminated {
+                        let cur = self.current;
+                        self.edge(cur, header);
+                    }
+
+                    self.loop_stack.pop();
+                    self.current = after;
+                    self.terminated = false;
+                }
+                Stmt::Return(_) => {
+                    self.emit(stmt);
+                    let cur = self.current;
+                    self.edge(cur, EXIT);
+                    self.terminated = true;
+                }
+                Stmt::Break => {
+                    if let Some(&(_, after)) = self.loop_stack.last() {
+                        let cur = self.current;
+                        self.edge(cur, after);
+                    }
+                    self.terminated = true;
+                }
+                Stmt::Continue => {
+                    if let Some(&(header, _)) = self.loop_stack.last() {
+                        let cur = self.current;
+                        self.edge(cur, header);
+                    }
+                    self.terminated = true;
+                }
+                simple => self.emit(simple),
+            }
+        }
+    }
+}
+
+impl Cfg {
+    /// Builds the CFG of `method`.
+    pub fn build(program: &Program, method: MethodId) -> Cfg {
+        let mut b = Builder {
+            stmts: Vec::new(),
+            blocks: Vec::new(),
+            current: ENTRY,
+            loop_stack: Vec::new(),
+            terminated: false,
+        };
+        let entry = b.new_block();
+        let exit = b.new_block();
+        debug_assert_eq!(entry, ENTRY);
+        debug_assert_eq!(exit, EXIT);
+        b.lower(&program.method(method).body);
+        if !b.terminated {
+            let cur = b.current;
+            b.edge(cur, EXIT);
+        }
+        Cfg {
+            method,
+            stmts: b.stmts,
+            blocks: b.blocks,
+        }
+    }
+
+    /// Number of basic blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Blocks reachable from the entry, in reverse postorder.
+    pub fn reverse_postorder(&self) -> Vec<BlockId> {
+        let mut visited = vec![false; self.blocks.len()];
+        let mut post = Vec::new();
+        // Iterative DFS with an explicit stack of (block, next-successor).
+        let mut stack = vec![(ENTRY, 0usize)];
+        visited[ENTRY.index()] = true;
+        while let Some(&mut (block, ref mut next)) = stack.last_mut() {
+            let succs = &self.blocks[block.index()].succs;
+            if *next < succs.len() {
+                let s = succs[*next];
+                *next += 1;
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(block);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        post
+    }
+
+    /// Computes immediate dominators for all blocks reachable from entry,
+    /// using the classic iterative algorithm (Cooper–Harvey–Kennedy).
+    /// Unreachable blocks map to `None`.
+    pub fn dominators(&self) -> Vec<Option<BlockId>> {
+        let rpo = self.reverse_postorder();
+        let mut order = HashMap::new();
+        for (i, &b) in rpo.iter().enumerate() {
+            order.insert(b, i);
+        }
+        let mut idom: Vec<Option<BlockId>> = vec![None; self.blocks.len()];
+        idom[ENTRY.index()] = Some(ENTRY);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let preds: Vec<BlockId> = self.blocks[b.index()]
+                    .preds
+                    .iter()
+                    .copied()
+                    .filter(|p| idom[p.index()].is_some() && order.contains_key(p))
+                    .collect();
+                let Some(&first) = preds.first() else {
+                    continue;
+                };
+                let mut new_idom = first;
+                for &p in &preds[1..] {
+                    new_idom = intersect(&idom, &order, p, new_idom);
+                }
+                if idom[b.index()] != Some(new_idom) {
+                    idom[b.index()] = Some(new_idom);
+                    changed = true;
+                }
+            }
+        }
+        idom
+    }
+
+    /// Returns `true` if `a` dominates `b` (reflexively).
+    pub fn dominates(&self, idom: &[Option<BlockId>], a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match idom[cur.index()] {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+
+    /// Discovers the natural loops of the CFG: for every back edge
+    /// `t → h` (where `h` dominates `t`), the loop body is `h` plus every
+    /// block that reaches `t` without passing through `h`. Loops sharing
+    /// a header are merged. Returned headers are in block order.
+    pub fn natural_loops(&self) -> Vec<NaturalLoop> {
+        let idom = self.dominators();
+        let mut loops: HashMap<BlockId, std::collections::BTreeSet<BlockId>> = HashMap::new();
+        for (bi, block) in self.blocks.iter().enumerate() {
+            let tail = BlockId(bi as u32);
+            for &head in &block.succs {
+                if self.dominates(&idom, head, tail) {
+                    // Collect the loop body by walking predecessors from
+                    // the tail until the header.
+                    let body = loops.entry(head).or_default();
+                    body.insert(head);
+                    let mut stack = vec![tail];
+                    while let Some(b) = stack.pop() {
+                        if body.insert(b) {
+                            stack.extend(self.blocks[b.index()].preds.iter().copied());
+                        }
+                    }
+                }
+            }
+        }
+        let mut out: Vec<NaturalLoop> = loops
+            .into_iter()
+            .map(|(header, body)| NaturalLoop {
+                header,
+                body: body.into_iter().collect(),
+            })
+            .collect();
+        out.sort_by_key(|l| l.header);
+        out
+    }
+}
+
+/// A natural loop discovered from a back edge; see [`Cfg::natural_loops`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// The loop header (dominates every block in the body).
+    pub header: BlockId,
+    /// All blocks in the loop, including the header, in block order.
+    pub body: Vec<BlockId>,
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    order: &HashMap<BlockId, usize>,
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while order[&a] > order[&b] {
+            a = idom[a.index()].expect("dominator of processed block");
+        }
+        while order[&b] > order[&a] {
+            b = idom[b.index()].expect("dominator of processed block");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::types::Type;
+
+    fn linear_program() -> (Program, MethodId) {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None);
+        let mut mb = pb.method(c, "m", Type::Void, true);
+        let x = mb.local("x", Type::Int);
+        mb.const_int(x, 1);
+        mb.const_int(x, 2);
+        mb.finish();
+        let p = pb.finish();
+        let m = p.method_by_path("C.m").unwrap();
+        (p, m)
+    }
+
+    #[test]
+    fn linear_body_is_one_block() {
+        let (p, m) = linear_program();
+        let cfg = Cfg::build(&p, m);
+        assert_eq!(cfg.blocks[ENTRY.index()].stmts.len(), 2);
+        assert_eq!(cfg.blocks[ENTRY.index()].succs, vec![EXIT]);
+    }
+
+    #[test]
+    fn if_produces_diamond() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None);
+        let mut mb = pb.method(c, "m", Type::Void, true);
+        let x = mb.local("x", Type::Int);
+        mb.if_nondet(
+            |mb| mb.const_int(x, 1),
+            |mb| mb.const_int(x, 2),
+        );
+        mb.const_int(x, 3);
+        mb.finish();
+        let p = pb.finish();
+        let m = p.method_by_path("C.m").unwrap();
+        let cfg = Cfg::build(&p, m);
+        // entry, exit, then, else, join
+        assert_eq!(cfg.block_count(), 5);
+        assert_eq!(cfg.blocks[ENTRY.index()].succs.len(), 2);
+        let idom = cfg.dominators();
+        // The join block is dominated by the entry.
+        let join = cfg.blocks[ENTRY.index()].succs[0].index();
+        assert!(cfg.dominates(&idom, ENTRY, BlockId(join as u32)));
+    }
+
+    #[test]
+    fn while_produces_back_edge() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None);
+        let mut mb = pb.method(c, "m", Type::Void, true);
+        let x = mb.local("x", Type::Int);
+        mb.while_loop(|mb| mb.const_int(x, 1));
+        mb.finish();
+        let p = pb.finish();
+        let m = p.method_by_path("C.m").unwrap();
+        let cfg = Cfg::build(&p, m);
+        // Find a back edge: a successor that dominates its source.
+        let idom = cfg.dominators();
+        let mut back_edges = 0;
+        for (bi, block) in cfg.blocks.iter().enumerate() {
+            for &s in &block.succs {
+                if cfg.dominates(&idom, s, BlockId(bi as u32)) {
+                    back_edges += 1;
+                }
+            }
+        }
+        assert_eq!(back_edges, 1);
+    }
+
+    #[test]
+    fn return_terminates_block() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None);
+        let mut mb = pb.method(c, "m", Type::Void, true);
+        let x = mb.local("x", Type::Int);
+        mb.ret(None);
+        mb.const_int(x, 1); // dead code
+        mb.finish();
+        let p = pb.finish();
+        let m = p.method_by_path("C.m").unwrap();
+        let cfg = Cfg::build(&p, m);
+        // The dead statement is dropped.
+        assert_eq!(cfg.stmts.len(), 1);
+        assert!(matches!(cfg.stmts[0], Stmt::Return(None)));
+    }
+
+    #[test]
+    fn natural_loops_found_for_while() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None);
+        let mut mb = pb.method(c, "m", Type::Void, true);
+        let x = mb.local("x", Type::Int);
+        mb.while_loop(|mb| {
+            mb.const_int(x, 1);
+            mb.while_loop(|mb| mb.const_int(x, 2));
+        });
+        mb.finish();
+        let p = pb.finish();
+        let m = p.method_by_path("C.m").unwrap();
+        let cfg = Cfg::build(&p, m);
+        let loops = cfg.natural_loops();
+        assert_eq!(loops.len(), 2, "{loops:?}");
+        // The outer loop's body contains the inner loop's header.
+        let (outer, inner) = if loops[0].body.len() > loops[1].body.len() {
+            (&loops[0], &loops[1])
+        } else {
+            (&loops[1], &loops[0])
+        };
+        assert!(outer.body.contains(&inner.header));
+        for l in &loops {
+            assert!(l.body.contains(&l.header));
+        }
+    }
+
+    #[test]
+    fn straight_line_code_has_no_natural_loops() {
+        let (p, m) = linear_program();
+        let cfg = Cfg::build(&p, m);
+        assert!(cfg.natural_loops().is_empty());
+    }
+
+    #[test]
+    fn break_and_continue_edges() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None);
+        let mut mb = pb.method(c, "m", Type::Void, true);
+        mb.while_loop(|mb| {
+            mb.if_nondet(|mb| mb.brk(), |mb| mb.cont());
+        });
+        mb.finish();
+        let p = pb.finish();
+        let m = p.method_by_path("C.m").unwrap();
+        let cfg = Cfg::build(&p, m);
+        let rpo = cfg.reverse_postorder();
+        // All blocks reachable, exit included.
+        assert!(rpo.contains(&EXIT));
+    }
+}

@@ -1,0 +1,170 @@
+//! Natural-loop discovery and heuristic loop ranking.
+//!
+//! The paper relies on the developer to designate the "main event loop" to
+//! check. For convenience this module also *discovers* candidate loops: it
+//! enumerates the structured loops of each method together with structural
+//! statistics (nesting depth, number of allocation and call statements in
+//! the body) that a client can use to rank candidates — mirroring the
+//! paper's future-work suggestion of "identifying suspicious loops using
+//! structural information extracted from the code".
+
+use crate::ids::{LoopId, MethodId};
+use crate::program::Program;
+use crate::stmt::Stmt;
+use crate::visit::walk_stmts;
+
+/// Structural statistics about one loop, used for candidate ranking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LoopStats {
+    /// The loop's identity.
+    pub id: LoopId,
+    /// The method that contains the loop.
+    pub method: MethodId,
+    /// Nesting depth within the method (0 = outermost).
+    pub depth: usize,
+    /// Number of allocation statements lexically inside the body.
+    pub allocs_inside: usize,
+    /// Number of call statements lexically inside the body.
+    pub calls_inside: usize,
+    /// Number of heap store statements lexically inside the body.
+    pub stores_inside: usize,
+    /// Total number of statements lexically inside the body.
+    pub body_size: usize,
+}
+
+impl LoopStats {
+    /// Heuristic interest score: loops that allocate and call a lot are
+    /// likelier event loops. Higher is more interesting.
+    pub fn score(&self) -> usize {
+        self.allocs_inside * 4 + self.calls_inside * 2 + self.stores_inside
+            - self.depth.min(self.body_size)
+    }
+}
+
+/// Collects statistics for every structured loop in `method`.
+pub fn loops_in_method(program: &Program, method: MethodId) -> Vec<LoopStats> {
+    let mut out = Vec::new();
+    collect(program, method, &program.method(method).body, 0, &mut out);
+    out
+}
+
+/// Collects statistics for every structured loop in the whole program,
+/// sorted by descending [`LoopStats::score`].
+pub fn all_loops(program: &Program) -> Vec<LoopStats> {
+    let mut out = Vec::new();
+    for (i, _) in program.methods().iter().enumerate() {
+        let method = MethodId::from_index(i);
+        collect(program, method, &program.method(method).body, 0, &mut out);
+    }
+    out.sort_by_key(|s| std::cmp::Reverse(s.score()));
+    out
+}
+
+fn collect(
+    program: &Program,
+    method: MethodId,
+    stmts: &[Stmt],
+    depth: usize,
+    out: &mut Vec<LoopStats>,
+) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::While { id, body, .. } => {
+                let mut allocs = 0;
+                let mut calls = 0;
+                let mut stores = 0;
+                let mut size = 0;
+                walk_stmts(body, &mut |s| {
+                    size += 1;
+                    match s {
+                        Stmt::New { .. } | Stmt::NewArray { .. } => allocs += 1,
+                        Stmt::Call { .. } => calls += 1,
+                        Stmt::Store { .. } | Stmt::ArrayStore { .. } | Stmt::StaticStore { .. } => {
+                            stores += 1
+                        }
+                        _ => {}
+                    }
+                });
+                out.push(LoopStats {
+                    id: *id,
+                    method,
+                    depth,
+                    allocs_inside: allocs,
+                    calls_inside: calls,
+                    stores_inside: stores,
+                    body_size: size,
+                });
+                collect(program, method, body, depth + 1, out);
+            }
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                collect(program, method, then_branch, depth, out);
+                collect(program, method, else_branch, depth, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::types::Type;
+
+    #[test]
+    fn stats_reflect_body_contents() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None);
+        let f = pb.add_field(c, "f", Type::Ref(c), false);
+        let mut mb = pb.method(c, "m", Type::Void, false);
+        let this = mb.this();
+        let x = mb.local("x", Type::Ref(c));
+        let outer = mb.while_loop(|mb| {
+            mb.new_object(x, c);
+            mb.store(this, f, x);
+            mb.while_loop(|mb| {
+                mb.new_object(x, c);
+            });
+        });
+        mb.finish();
+        let p = pb.finish();
+        let m = p.method_by_path("C.m").unwrap();
+        let stats = loops_in_method(&p, m);
+        assert_eq!(stats.len(), 2);
+        let outer_stats = stats.iter().find(|s| s.id == outer).unwrap();
+        assert_eq!(outer_stats.depth, 0);
+        assert_eq!(outer_stats.allocs_inside, 2);
+        assert_eq!(outer_stats.stores_inside, 1);
+        let inner_stats = stats.iter().find(|s| s.id != outer).unwrap();
+        assert_eq!(inner_stats.depth, 1);
+        assert_eq!(inner_stats.allocs_inside, 1);
+    }
+
+    #[test]
+    fn all_loops_ranks_by_score() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None);
+        let mut mb = pb.method(c, "busy", Type::Void, true);
+        let x = mb.local("x", Type::Ref(c));
+        mb.while_loop(|mb| {
+            mb.new_object(x, c);
+            mb.new_object(x, c);
+        });
+        mb.finish();
+        let mut mb = pb.method(c, "idle", Type::Void, true);
+        let y = mb.local("y", Type::Int);
+        mb.while_loop(|mb| {
+            mb.const_int(y, 0);
+        });
+        mb.finish();
+        let p = pb.finish();
+        let ranked = all_loops(&p);
+        assert_eq!(ranked.len(), 2);
+        assert_eq!(ranked[0].method, p.method_by_path("C.busy").unwrap());
+        assert!(ranked[0].score() > ranked[1].score());
+    }
+}

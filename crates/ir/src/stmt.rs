@@ -1,0 +1,485 @@
+//! Statements, conditions and operands of the structured IR.
+
+use crate::ids::{AllocSite, CallSite, ClassId, FieldId, LocalId, LoopId, MethodId};
+
+/// Ground-truth label attached to an allocation site by a subject program.
+///
+/// Subject programs in the benchmark suite annotate allocation sites with
+/// whether the site is a genuine leak (`@leak`) or an expected
+/// false positive (`@fp("reason")`). The Table 1 harness compares the
+/// detector's report against these labels to compute the FP / FPR columns
+/// without manual inspection.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub enum SiteLabel {
+    /// No ground-truth annotation; reporting this site is a false positive
+    /// unless it carries `Leak`.
+    #[default]
+    None,
+    /// The site genuinely leaks: its instances escape the checked loop and
+    /// are never used by later iterations.
+    Leak,
+    /// Reporting this site is an *expected* false positive, with the cause
+    /// the paper identified (e.g. "singleton", "destructive-update",
+    /// "gui-temporary", "terminating-thread").
+    FalsePositive(String),
+}
+
+impl SiteLabel {
+    /// Returns `true` for [`SiteLabel::Leak`].
+    pub fn is_leak(&self) -> bool {
+        matches!(self, SiteLabel::Leak)
+    }
+
+    /// Returns `true` for [`SiteLabel::FalsePositive`].
+    pub fn is_expected_fp(&self) -> bool {
+        matches!(self, SiteLabel::FalsePositive(_))
+    }
+}
+
+/// Binary operators over `int`/`boolean` operands.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum BinOp {
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Integer division (rounds toward zero; division by zero yields zero
+    /// in the concrete interpreter to keep execution total).
+    Div,
+    /// Integer remainder (remainder by zero yields zero).
+    Rem,
+    /// Less-than comparison producing a boolean.
+    Lt,
+    /// Less-or-equal comparison.
+    Le,
+    /// Greater-than comparison.
+    Gt,
+    /// Greater-or-equal comparison.
+    Ge,
+    /// Equality on integers or booleans.
+    Eq,
+    /// Inequality on integers or booleans.
+    Ne,
+    /// Logical conjunction on booleans.
+    And,
+    /// Logical disjunction on booleans.
+    Or,
+}
+
+impl BinOp {
+    /// Returns `true` if the operator produces a boolean result.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
+    }
+
+    /// Returns `true` for the logical connectives `&&` and `||`.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+}
+
+/// An operand of a [`BinOp`] or a comparison in a [`Cond`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Operand {
+    /// The current value of a local variable.
+    Local(LocalId),
+    /// An integer constant.
+    Const(i64),
+}
+
+/// A branch / loop condition.
+///
+/// Static analyses treat every condition as non-deterministic (both branches
+/// are merged at joins), exactly as the paper's abstract semantics does. The
+/// concrete interpreter evaluates conditions for real so subject programs
+/// execute deterministically.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Cond {
+    /// An opaque condition the analysis knows nothing about. The concrete
+    /// interpreter resolves it from a scripted decision stream.
+    NonDet,
+    /// `x == null`.
+    IsNull(LocalId),
+    /// `x != null`.
+    NotNull(LocalId),
+    /// `a OP b` where `OP` is a comparison or the operands are booleans.
+    Cmp {
+        /// Comparison operator; must satisfy [`BinOp::is_comparison`] or be
+        /// a logical connective applied to boolean locals.
+        op: BinOp,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// The boolean value of a local.
+    Local(LocalId),
+    /// Negation of a boolean local.
+    NotLocal(LocalId),
+}
+
+/// How a call site dispatches.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum CallKind {
+    /// Virtual dispatch on the dynamic type of the receiver.
+    Virtual,
+    /// Static (class) method invocation; no receiver.
+    Static,
+    /// Non-virtual instance call: constructors (`<init>`) and `super` calls.
+    Special,
+}
+
+/// A statement in the structured IR.
+///
+/// The heap-relevant statement forms mirror the paper's while language
+/// (Figure 2): allocation, variable copy, null assignment, field load and
+/// field store, plus structured `if` / `while`. The remaining forms (integer
+/// arithmetic, array accesses with real indices, calls, returns) extend the
+/// formal core to a language in which realistic subject programs can be
+/// written, matching what Soot's Jimple provides to the original tool.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Stmt {
+    /// `dst = new C` — allocate an instance of class `class` at site `site`.
+    New {
+        /// Destination local.
+        dst: LocalId,
+        /// Class being instantiated.
+        class: ClassId,
+        /// The static allocation site identifier.
+        site: AllocSite,
+    },
+    /// `dst = new T[len]` — allocate an array at site `site`.
+    NewArray {
+        /// Destination local.
+        dst: LocalId,
+        /// Element type of the array.
+        elem: crate::types::Type,
+        /// Length operand.
+        len: Operand,
+        /// The static allocation site identifier.
+        site: AllocSite,
+    },
+    /// `dst = src` — copy between locals.
+    Assign {
+        /// Destination local.
+        dst: LocalId,
+        /// Source local.
+        src: LocalId,
+    },
+    /// `dst = null`.
+    AssignNull {
+        /// Destination local.
+        dst: LocalId,
+    },
+    /// `dst = c` — integer or boolean constant.
+    Const {
+        /// Destination local.
+        dst: LocalId,
+        /// Constant value (booleans are 0 / 1).
+        value: i64,
+    },
+    /// `dst = nondet()` — an opaque boolean. Static analyses treat the
+    /// result as unknown; the concrete interpreter resolves it from its
+    /// scripted decision stream.
+    NonDetBool {
+        /// Destination local.
+        dst: LocalId,
+    },
+    /// `dst = lhs OP rhs` over primitives.
+    BinOp {
+        /// Destination local.
+        dst: LocalId,
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// `dst = base.field` — instance field load.
+    Load {
+        /// Destination local.
+        dst: LocalId,
+        /// Object whose field is read.
+        base: LocalId,
+        /// Field being read.
+        field: FieldId,
+    },
+    /// `base.field = src` — instance field store.
+    Store {
+        /// Object whose field is written.
+        base: LocalId,
+        /// Field being written.
+        field: FieldId,
+        /// Value stored.
+        src: LocalId,
+    },
+    /// `dst = base[index]` — array element load (field `elem` to analyses).
+    ArrayLoad {
+        /// Destination local.
+        dst: LocalId,
+        /// Array object.
+        base: LocalId,
+        /// Element index; analyses ignore it, the interpreter does not.
+        index: Operand,
+    },
+    /// `base[index] = src` — array element store.
+    ArrayStore {
+        /// Array object.
+        base: LocalId,
+        /// Element index.
+        index: Operand,
+        /// Value stored.
+        src: LocalId,
+    },
+    /// `dst = C.field` — static field load.
+    StaticLoad {
+        /// Destination local.
+        dst: LocalId,
+        /// Static field being read.
+        field: FieldId,
+    },
+    /// `C.field = src` — static field store.
+    StaticStore {
+        /// Static field being written.
+        field: FieldId,
+        /// Value stored.
+        src: LocalId,
+    },
+    /// `dst = recv.m(args)` / `dst = C.m(args)` — method invocation.
+    Call {
+        /// Destination local for the return value, if any.
+        dst: Option<LocalId>,
+        /// Dispatch kind.
+        kind: CallKind,
+        /// Statically resolved target (the declaration found in the
+        /// receiver's declared class; virtual dispatch may select an
+        /// override at run time / analysis time).
+        method: MethodId,
+        /// Receiver local for instance calls.
+        receiver: Option<LocalId>,
+        /// Argument locals, excluding the receiver.
+        args: Vec<LocalId>,
+        /// The call-site identifier (a CFL parenthesis).
+        site: CallSite,
+    },
+    /// `return` / `return v`.
+    Return(Option<LocalId>),
+    /// `if (cond) { then } else { otherwise }`.
+    If {
+        /// Branch condition.
+        cond: Cond,
+        /// Statements executed when the condition holds.
+        then_branch: Vec<Stmt>,
+        /// Statements executed otherwise (possibly empty).
+        else_branch: Vec<Stmt>,
+    },
+    /// `while (cond) { body }` — a structured loop with identity `id`.
+    While {
+        /// The loop identity, registered in [`crate::Program::loops`].
+        id: LoopId,
+        /// Loop condition.
+        cond: Cond,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `break` out of the innermost enclosing loop.
+    Break,
+    /// `continue` with the next iteration of the innermost enclosing loop.
+    Continue,
+    /// No-op, used by lowering to keep positions stable.
+    Nop,
+}
+
+impl Stmt {
+    /// Returns the allocation site if this statement allocates.
+    pub fn alloc_site(&self) -> Option<AllocSite> {
+        match self {
+            Stmt::New { site, .. } | Stmt::NewArray { site, .. } => Some(*site),
+            _ => None,
+        }
+    }
+
+    /// Returns the call site if this statement is an invocation.
+    pub fn call_site(&self) -> Option<CallSite> {
+        match self {
+            Stmt::Call { site, .. } => Some(*site),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if this is a structured control statement
+    /// (`if` or `while`).
+    pub fn is_control(&self) -> bool {
+        matches!(self, Stmt::If { .. } | Stmt::While { .. })
+    }
+
+    /// Returns the local defined (written) by this statement, if it is a
+    /// simple (non-control) statement.
+    pub fn def(&self) -> Option<LocalId> {
+        match self {
+            Stmt::New { dst, .. }
+            | Stmt::NewArray { dst, .. }
+            | Stmt::Assign { dst, .. }
+            | Stmt::AssignNull { dst }
+            | Stmt::Const { dst, .. }
+            | Stmt::NonDetBool { dst }
+            | Stmt::BinOp { dst, .. }
+            | Stmt::Load { dst, .. }
+            | Stmt::ArrayLoad { dst, .. }
+            | Stmt::StaticLoad { dst, .. } => Some(*dst),
+            Stmt::Call { dst, .. } => *dst,
+            _ => None,
+        }
+    }
+
+    /// Collects the locals used (read) by this statement, ignoring nested
+    /// statements of control forms.
+    pub fn uses(&self) -> Vec<LocalId> {
+        fn operand(out: &mut Vec<LocalId>, op: &Operand) {
+            if let Operand::Local(l) = op {
+                out.push(*l);
+            }
+        }
+        fn cond(out: &mut Vec<LocalId>, c: &Cond) {
+            match c {
+                Cond::NonDet => {}
+                Cond::IsNull(l) | Cond::NotNull(l) | Cond::Local(l) | Cond::NotLocal(l) => {
+                    out.push(*l)
+                }
+                Cond::Cmp { lhs, rhs, .. } => {
+                    operand(out, lhs);
+                    operand(out, rhs);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        match self {
+            Stmt::New { .. }
+            | Stmt::AssignNull { .. }
+            | Stmt::Const { .. }
+            | Stmt::NonDetBool { .. } => {}
+            Stmt::NewArray { len, .. } => operand(&mut out, len),
+            Stmt::Assign { src, .. } => out.push(*src),
+            Stmt::BinOp { lhs, rhs, .. } => {
+                operand(&mut out, lhs);
+                operand(&mut out, rhs);
+            }
+            Stmt::Load { base, .. } => out.push(*base),
+            Stmt::Store { base, src, .. } => {
+                out.push(*base);
+                out.push(*src);
+            }
+            Stmt::ArrayLoad { base, index, .. } => {
+                out.push(*base);
+                operand(&mut out, index);
+            }
+            Stmt::ArrayStore { base, index, src } => {
+                out.push(*base);
+                operand(&mut out, index);
+                out.push(*src);
+            }
+            Stmt::StaticLoad { .. } => {}
+            Stmt::StaticStore { src, .. } => out.push(*src),
+            Stmt::Call { receiver, args, .. } => {
+                if let Some(r) = receiver {
+                    out.push(*r);
+                }
+                out.extend(args.iter().copied());
+            }
+            Stmt::Return(Some(v)) => out.push(*v),
+            Stmt::Return(None) | Stmt::Break | Stmt::Continue | Stmt::Nop => {}
+            Stmt::If { cond: c, .. } => cond(&mut out, c),
+            Stmt::While { cond: c, .. } => cond(&mut out, c),
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn def_and_uses() {
+        let s = Stmt::Store {
+            base: LocalId(1),
+            field: FieldId(2),
+            src: LocalId(3),
+        };
+        assert_eq!(s.def(), None);
+        assert_eq!(s.uses(), vec![LocalId(1), LocalId(3)]);
+
+        let l = Stmt::Load {
+            dst: LocalId(0),
+            base: LocalId(1),
+            field: FieldId(2),
+        };
+        assert_eq!(l.def(), Some(LocalId(0)));
+        assert_eq!(l.uses(), vec![LocalId(1)]);
+    }
+
+    #[test]
+    fn call_uses_include_receiver_and_args() {
+        let c = Stmt::Call {
+            dst: Some(LocalId(9)),
+            kind: CallKind::Virtual,
+            method: MethodId(4),
+            receiver: Some(LocalId(0)),
+            args: vec![LocalId(1), LocalId(2)],
+            site: CallSite(0),
+        };
+        assert_eq!(c.def(), Some(LocalId(9)));
+        assert_eq!(c.uses(), vec![LocalId(0), LocalId(1), LocalId(2)]);
+        assert_eq!(c.call_site(), Some(CallSite(0)));
+    }
+
+    #[test]
+    fn alloc_site_accessors() {
+        let s = Stmt::New {
+            dst: LocalId(0),
+            class: ClassId(1),
+            site: AllocSite(5),
+        };
+        assert_eq!(s.alloc_site(), Some(AllocSite(5)));
+        assert_eq!(s.call_site(), None);
+        assert!(!s.is_control());
+    }
+
+    #[test]
+    fn condition_uses() {
+        let s = Stmt::If {
+            cond: Cond::Cmp {
+                op: BinOp::Lt,
+                lhs: Operand::Local(LocalId(3)),
+                rhs: Operand::Const(10),
+            },
+            then_branch: vec![],
+            else_branch: vec![],
+        };
+        assert!(s.is_control());
+        assert_eq!(s.uses(), vec![LocalId(3)]);
+    }
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Lt.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(BinOp::And.is_logical());
+        assert!(!BinOp::Eq.is_logical());
+    }
+
+    #[test]
+    fn site_label_predicates() {
+        assert!(SiteLabel::Leak.is_leak());
+        assert!(!SiteLabel::Leak.is_expected_fp());
+        assert!(SiteLabel::FalsePositive("singleton".into()).is_expected_fp());
+        assert!(!SiteLabel::None.is_leak());
+        assert_eq!(SiteLabel::default(), SiteLabel::None);
+    }
+}

@@ -1,0 +1,110 @@
+//! Static types of the IR language.
+
+use crate::ids::ClassId;
+use std::fmt;
+
+/// A static type in the IR language.
+///
+/// The language distinguishes reference types (classes and arrays) from the
+/// two primitive value types `int` and `boolean`. Only reference-typed
+/// values participate in the heap analyses; primitives exist so that subject
+/// programs can have realistic loop counters, indices and flags, and so the
+/// concrete interpreter can execute them deterministically.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// The 64-bit signed integer primitive.
+    Int,
+    /// The boolean primitive.
+    Bool,
+    /// Absence of a value; only valid as a method return type.
+    Void,
+    /// A reference to an instance of the named class (or a subclass).
+    Ref(ClassId),
+    /// A reference to an array with the given element type.
+    Array(Box<Type>),
+}
+
+impl Type {
+    /// Returns `true` if values of this type are heap references
+    /// (class instances, arrays, or `null`).
+    pub fn is_reference(&self) -> bool {
+        matches!(self, Type::Ref(_) | Type::Array(_))
+    }
+
+    /// Returns `true` for the primitive value types `int` and `boolean`.
+    pub fn is_primitive(&self) -> bool {
+        matches!(self, Type::Int | Type::Bool)
+    }
+
+    /// Returns the element type if this is an array type.
+    pub fn element(&self) -> Option<&Type> {
+        match self {
+            Type::Array(elem) => Some(elem),
+            _ => None,
+        }
+    }
+
+    /// Returns the class behind a plain reference type.
+    pub fn class(&self) -> Option<ClassId> {
+        match self {
+            Type::Ref(class) => Some(*class),
+            _ => None,
+        }
+    }
+
+    /// Wraps this type in one level of array.
+    pub fn into_array(self) -> Type {
+        Type::Array(Box::new(self))
+    }
+
+    /// Returns the number of array dimensions (0 for non-arrays).
+    pub fn dimensions(&self) -> usize {
+        match self {
+            Type::Array(elem) => 1 + elem.dimensions(),
+            _ => 0,
+        }
+    }
+}
+
+impl fmt::Debug for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int => write!(f, "int"),
+            Type::Bool => write!(f, "boolean"),
+            Type::Void => write!(f, "void"),
+            Type::Ref(class) => write!(f, "ref({class})"),
+            Type::Array(elem) => write!(f, "{elem:?}[]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_predicates() {
+        assert!(Type::Ref(ClassId(0)).is_reference());
+        assert!(Type::Int.into_array().is_reference());
+        assert!(!Type::Int.is_reference());
+        assert!(Type::Bool.is_primitive());
+        assert!(!Type::Void.is_primitive());
+    }
+
+    #[test]
+    fn array_element_access() {
+        let ty = Type::Ref(ClassId(3)).into_array().into_array();
+        assert_eq!(ty.dimensions(), 2);
+        let inner = ty.element().unwrap();
+        assert_eq!(inner.dimensions(), 1);
+        assert_eq!(inner.element(), Some(&Type::Ref(ClassId(3))));
+        assert_eq!(ty.class(), None);
+        assert_eq!(Type::Ref(ClassId(3)).class(), Some(ClassId(3)));
+    }
+
+    #[test]
+    fn debug_formatting() {
+        let ty = Type::Int.into_array();
+        assert_eq!(format!("{ty:?}"), "int[]");
+    }
+}

@@ -1,0 +1,389 @@
+//! Structural well-formedness checks for IR programs.
+//!
+//! The frontend and builders should only produce valid programs; analyses
+//! assume validity, so `validate` exists to catch construction bugs early
+//! (and to sanity-check programs produced by the random generator used in
+//! property tests).
+
+use crate::ids::{LocalId, MethodId};
+use crate::program::Program;
+use crate::stmt::{Operand, Stmt};
+use std::fmt;
+
+/// A structural validity violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ValidateError {
+    /// The offending method, when the violation is inside a body.
+    pub method: Option<MethodId>,
+    /// Description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.method {
+            Some(m) => write!(f, "in {m}: {}", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Checks the whole program, returning every violation found.
+pub fn validate(program: &Program) -> Vec<ValidateError> {
+    let mut errors = Vec::new();
+
+    // Class hierarchy must be acyclic.
+    for (ci, _) in program.classes().iter().enumerate() {
+        let start = crate::ids::ClassId::from_index(ci);
+        let mut slow = Some(start);
+        let mut fast = program.class(start).superclass;
+        while let (Some(s), Some(f)) = (slow, fast) {
+            if s == f {
+                errors.push(ValidateError {
+                    method: None,
+                    message: format!("class hierarchy cycle through {}", program.class(s).name),
+                });
+                break;
+            }
+            slow = program.class(s).superclass;
+            fast = program
+                .class(f)
+                .superclass
+                .and_then(|n| program.class(n).superclass);
+        }
+    }
+
+    for (mi, method) in program.methods().iter().enumerate() {
+        let id = MethodId::from_index(mi);
+        let local_count = method.locals.len();
+        let check_local = |errors: &mut Vec<ValidateError>, l: LocalId, what: &str| {
+            if l.index() >= local_count {
+                errors.push(ValidateError {
+                    method: Some(id),
+                    message: format!("{what} local {l} out of range ({local_count} locals)"),
+                });
+            }
+        };
+        let check_operand = |errors: &mut Vec<ValidateError>, op: &Operand| {
+            if let Operand::Local(l) = op {
+                check_local(errors, *l, "operand");
+            }
+        };
+        validate_stmts(
+            program,
+            id,
+            &method.body,
+            0,
+            &mut errors,
+            &check_local,
+            &check_operand,
+        );
+    }
+
+    // Allocation/call/loop tables must reference real methods.
+    for info in program.allocs() {
+        if info.method.index() >= program.methods().len() {
+            errors.push(ValidateError {
+                method: None,
+                message: format!("allocation site references missing method {}", info.method),
+            });
+        }
+    }
+    for info in program.loops() {
+        if info.method.index() >= program.methods().len() {
+            errors.push(ValidateError {
+                method: None,
+                message: format!("loop references missing method {}", info.method),
+            });
+        }
+    }
+
+    errors
+}
+
+/// Convenience: panics with a readable message when the program is invalid.
+///
+/// # Panics
+///
+/// Panics if [`validate`] reports any violation.
+pub fn assert_valid(program: &Program) {
+    let errors = validate(program);
+    assert!(
+        errors.is_empty(),
+        "invalid program:\n{}",
+        errors
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn validate_stmts(
+    program: &Program,
+    method: MethodId,
+    stmts: &[Stmt],
+    loop_depth: usize,
+    errors: &mut Vec<ValidateError>,
+    check_local: &impl Fn(&mut Vec<ValidateError>, LocalId, &str),
+    check_operand: &impl Fn(&mut Vec<ValidateError>, &Operand),
+) {
+    for stmt in stmts {
+        for used in stmt.uses() {
+            check_local(errors, used, "used");
+        }
+        if let Some(def) = stmt.def() {
+            check_local(errors, def, "defined");
+        }
+        match stmt {
+            Stmt::New { class, site, .. } => {
+                if class.index() >= program.classes().len() {
+                    errors.push(ValidateError {
+                        method: Some(method),
+                        message: format!("new of missing class {class}"),
+                    });
+                }
+                if site.index() >= program.allocs().len() {
+                    errors.push(ValidateError {
+                        method: Some(method),
+                        message: format!("unregistered allocation site {site}"),
+                    });
+                } else if program.alloc(*site).method != method {
+                    errors.push(ValidateError {
+                        method: Some(method),
+                        message: format!("allocation site {site} registered to another method"),
+                    });
+                }
+            }
+            Stmt::NewArray { len, site, .. } => {
+                check_operand(errors, len);
+                if site.index() >= program.allocs().len() {
+                    errors.push(ValidateError {
+                        method: Some(method),
+                        message: format!("unregistered allocation site {site}"),
+                    });
+                }
+            }
+            Stmt::Load { field, .. } | Stmt::Store { field, .. } => {
+                if field.index() >= program.fields().len() {
+                    errors.push(ValidateError {
+                        method: Some(method),
+                        message: format!("access to missing field {field}"),
+                    });
+                } else if program.field(*field).is_static {
+                    errors.push(ValidateError {
+                        method: Some(method),
+                        message: format!(
+                            "instance access to static field {}",
+                            program.field_name(*field)
+                        ),
+                    });
+                }
+            }
+            Stmt::StaticLoad { field, .. } | Stmt::StaticStore { field, .. } => {
+                if field.index() >= program.fields().len() {
+                    errors.push(ValidateError {
+                        method: Some(method),
+                        message: format!("access to missing static field {field}"),
+                    });
+                } else if !program.field(*field).is_static {
+                    errors.push(ValidateError {
+                        method: Some(method),
+                        message: format!(
+                            "static access to instance field {}",
+                            program.field_name(*field)
+                        ),
+                    });
+                }
+            }
+            Stmt::BinOp { lhs, rhs, .. } => {
+                check_operand(errors, lhs);
+                check_operand(errors, rhs);
+            }
+            Stmt::ArrayLoad { index, .. } => check_operand(errors, index),
+            Stmt::ArrayStore { index, .. } => check_operand(errors, index),
+            Stmt::Call {
+                method: target,
+                receiver,
+                args,
+                ..
+            } => {
+                if target.index() >= program.methods().len() {
+                    errors.push(ValidateError {
+                        method: Some(method),
+                        message: format!("call to missing method {target}"),
+                    });
+                } else {
+                    let callee = program.method(*target);
+                    if callee.is_static && receiver.is_some() {
+                        errors.push(ValidateError {
+                            method: Some(method),
+                            message: format!(
+                                "static callee {} given a receiver",
+                                program.qualified_name(*target)
+                            ),
+                        });
+                    }
+                    if !callee.is_static && receiver.is_none() {
+                        errors.push(ValidateError {
+                            method: Some(method),
+                            message: format!(
+                                "instance callee {} missing a receiver",
+                                program.qualified_name(*target)
+                            ),
+                        });
+                    }
+                    if callee.param_count != args.len() {
+                        errors.push(ValidateError {
+                            method: Some(method),
+                            message: format!(
+                                "call to {} passes {} args, expects {}",
+                                program.qualified_name(*target),
+                                args.len(),
+                                callee.param_count
+                            ),
+                        });
+                    }
+                }
+            }
+            Stmt::Break | Stmt::Continue => {
+                if loop_depth == 0 {
+                    errors.push(ValidateError {
+                        method: Some(method),
+                        message: "break/continue outside of a loop".to_string(),
+                    });
+                }
+            }
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                validate_stmts(
+                    program,
+                    method,
+                    then_branch,
+                    loop_depth,
+                    errors,
+                    check_local,
+                    check_operand,
+                );
+                validate_stmts(
+                    program,
+                    method,
+                    else_branch,
+                    loop_depth,
+                    errors,
+                    check_local,
+                    check_operand,
+                );
+            }
+            Stmt::While { id, body, .. } => {
+                if id.index() >= program.loops().len() {
+                    errors.push(ValidateError {
+                        method: Some(method),
+                        message: format!("unregistered loop {id}"),
+                    });
+                }
+                validate_stmts(
+                    program,
+                    method,
+                    body,
+                    loop_depth + 1,
+                    errors,
+                    check_local,
+                    check_operand,
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::types::Type;
+
+    #[test]
+    fn builder_output_is_valid() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None);
+        let f = pb.add_field(c, "f", Type::Ref(c), false);
+        let mut mb = pb.method(c, "m", Type::Void, false);
+        let this = mb.this();
+        let x = mb.local("x", Type::Ref(c));
+        mb.new_object(x, c);
+        mb.store(this, f, x);
+        mb.while_loop(|mb| {
+            mb.if_nondet(|mb| mb.brk(), |mb| mb.cont());
+        });
+        mb.ret(None);
+        mb.finish();
+        let p = pb.finish();
+        assert_valid(&p);
+    }
+
+    #[test]
+    fn detects_out_of_range_local() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None);
+        let mut mb = pb.method(c, "m", Type::Void, true);
+        mb.assign(LocalId(5), LocalId(7));
+        mb.finish();
+        let p = pb.finish();
+        let errors = validate(&p);
+        assert!(errors.iter().any(|e| e.message.contains("out of range")));
+    }
+
+    #[test]
+    fn detects_break_outside_loop() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None);
+        let mut mb = pb.method(c, "m", Type::Void, true);
+        mb.brk();
+        mb.finish();
+        let p = pb.finish();
+        let errors = validate(&p);
+        assert!(errors
+            .iter()
+            .any(|e| e.message.contains("outside of a loop")));
+    }
+
+    #[test]
+    fn detects_arity_mismatch() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None);
+        let mut callee = pb.method_with_params(c, "f", Type::Void, true, &[("a", Type::Int)]);
+        callee.ret(None);
+        let callee_id = callee.id();
+        callee.finish();
+        let mut mb = pb.method(c, "g", Type::Void, true);
+        mb.call_static(None, callee_id, &[]);
+        mb.finish();
+        let p = pb.finish();
+        let errors = validate(&p);
+        assert!(errors.iter().any(|e| e.message.contains("expects 1")));
+    }
+
+    #[test]
+    fn detects_static_instance_field_confusion() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None);
+        let stat = pb.add_field(c, "s", Type::Ref(c), true);
+        let mut mb = pb.method(c, "m", Type::Void, false);
+        let this = mb.this();
+        let x = mb.local("x", Type::Ref(c));
+        mb.load(x, this, stat); // instance access to static field
+        mb.finish();
+        let p = pb.finish();
+        let errors = validate(&p);
+        assert!(errors
+            .iter()
+            .any(|e| e.message.contains("instance access to static field")));
+    }
+}

@@ -1,0 +1,163 @@
+//! Recursive walkers over structured statement trees.
+
+use crate::stmt::Stmt;
+
+/// Visits every statement in `stmts` in source order, recursing into the
+/// bodies of `if` and `while` statements. The callback sees control
+/// statements *before* their nested bodies.
+pub fn walk_stmts<'s>(stmts: &'s [Stmt], visit: &mut impl FnMut(&'s Stmt)) {
+    for stmt in stmts {
+        visit(stmt);
+        match stmt {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                walk_stmts(then_branch, visit);
+                walk_stmts(else_branch, visit);
+            }
+            Stmt::While { body, .. } => walk_stmts(body, visit),
+            _ => {}
+        }
+    }
+}
+
+/// Like [`walk_stmts`] but tracks the current loop-nesting depth: the depth
+/// is 0 outside any loop and increments inside each `while` body.
+pub fn walk_stmts_with_depth<'s>(stmts: &'s [Stmt], visit: &mut impl FnMut(&'s Stmt, usize)) {
+    fn go<'s>(stmts: &'s [Stmt], depth: usize, visit: &mut impl FnMut(&'s Stmt, usize)) {
+        for stmt in stmts {
+            visit(stmt, depth);
+            match stmt {
+                Stmt::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    go(then_branch, depth, visit);
+                    go(else_branch, depth, visit);
+                }
+                Stmt::While { body, .. } => go(body, depth + 1, visit),
+                _ => {}
+            }
+        }
+    }
+    go(stmts, 0, visit)
+}
+
+/// Finds the body of the loop with the given id anywhere inside `stmts`.
+pub fn find_loop<'s>(stmts: &'s [Stmt], id: crate::ids::LoopId) -> Option<&'s [Stmt]> {
+    for stmt in stmts {
+        match stmt {
+            Stmt::While {
+                id: found, body, ..
+            } => {
+                if *found == id {
+                    return Some(body);
+                }
+                if let Some(b) = find_loop(body, id) {
+                    return Some(b);
+                }
+            }
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                if let Some(b) = find_loop(then_branch, id) {
+                    return Some(b);
+                }
+                if let Some(b) = find_loop(else_branch, id) {
+                    return Some(b);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::types::Type;
+
+    #[test]
+    fn walk_visits_nested_statements() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None);
+        let mut mb = pb.method(c, "m", Type::Void, true);
+        let x = mb.local("x", Type::Ref(c));
+        mb.new_object(x, c);
+        mb.while_loop(|mb| {
+            mb.if_nondet(
+                |mb| {
+                    mb.new_object(x, c);
+                },
+                |_| {},
+            );
+        });
+        mb.finish();
+        let p = pb.finish();
+        let m = p.method_by_path("C.m").unwrap();
+        let mut count = 0usize;
+        let mut allocs = 0usize;
+        walk_stmts(&p.method(m).body, &mut |s| {
+            count += 1;
+            if s.alloc_site().is_some() {
+                allocs += 1;
+            }
+        });
+        // new, while, if, new
+        assert_eq!(count, 4);
+        assert_eq!(allocs, 2);
+    }
+
+    #[test]
+    fn depth_tracks_loops_only() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None);
+        let mut mb = pb.method(c, "m", Type::Void, true);
+        let x = mb.local("x", Type::Ref(c));
+        mb.while_loop(|mb| {
+            mb.while_loop(|mb| {
+                mb.new_object(x, c);
+            });
+        });
+        mb.finish();
+        let p = pb.finish();
+        let m = p.method_by_path("C.m").unwrap();
+        let mut max_depth = 0usize;
+        walk_stmts_with_depth(&p.method(m).body, &mut |s, d| {
+            if s.alloc_site().is_some() {
+                max_depth = max_depth.max(d);
+            }
+        });
+        assert_eq!(max_depth, 2);
+    }
+
+    #[test]
+    fn find_loop_locates_nested_bodies() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None);
+        let mut mb = pb.method(c, "m", Type::Void, true);
+        let x = mb.local("x", Type::Ref(c));
+        let mut inner_id = None;
+        mb.if_nondet(
+            |mb| {
+                inner_id = Some(mb.while_loop(|mb| {
+                    mb.new_object(x, c);
+                }));
+            },
+            |_| {},
+        );
+        mb.finish();
+        let p = pb.finish();
+        let m = p.method_by_path("C.m").unwrap();
+        let body = find_loop(&p.method(m).body, inner_id.unwrap()).unwrap();
+        assert_eq!(body.len(), 1);
+        assert!(find_loop(&p.method(m).body, crate::ids::LoopId(99)).is_none());
+    }
+}

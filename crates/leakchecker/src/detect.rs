@@ -1,0 +1,428 @@
+//! The end-to-end detection pipeline.
+//!
+//! `check` runs: call-graph construction → type-and-effect analysis of the
+//! designated loop → flow-relation matching → pivot-mode filtering →
+//! context-sensitive report generation. This is the reproduction of the
+//! tool's command line: point it at a loop (or region), get a list of
+//! leaking allocation sites with the redundant reference edge and the
+//! calling contexts under which the objects are allocated.
+
+use crate::contexts::{enumerate, ContextConfig, ContextTable};
+use crate::flows::{build as build_flows, FlowConfig, FlowRelations, OutsideEdge};
+use crate::report::LeakReport;
+use crate::target::{resolve, CheckTarget, ResolvedTarget, TargetError};
+use leakchecker_callgraph::{Algorithm, CallGraph};
+use leakchecker_effects::{analyze_from, EffectConfig, EffectSummary, Era};
+use leakchecker_ir::ids::AllocSite;
+use leakchecker_ir::Program;
+use leakchecker_pointsto::Context;
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+/// Detector configuration.
+#[derive(Copy, Clone, Debug)]
+pub struct DetectorConfig {
+    /// Call-graph construction algorithm.
+    pub callgraph: Algorithm,
+    /// Effect-analysis knobs.
+    pub effects: EffectConfig,
+    /// Context-enumeration knobs.
+    pub contexts: ContextConfig,
+    /// Pivot mode: report only the roots of leaking structures
+    /// (paper Section 4; the evaluation runs with it on).
+    pub pivot_mode: bool,
+    /// Library modeling: apply the stronger flows-in condition to
+    /// library-internal reads.
+    pub library_modeling: bool,
+    /// Thread modeling: treat started threads as outside objects.
+    pub model_threads: bool,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            callgraph: Algorithm::Rta,
+            effects: EffectConfig::default(),
+            contexts: ContextConfig::default(),
+            pivot_mode: true,
+            library_modeling: true,
+            model_threads: false,
+        }
+    }
+}
+
+/// Aggregate statistics of one run (the columns of Table 1).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct RunStats {
+    /// Reachable methods in the call graph (`Mtds`).
+    pub methods: usize,
+    /// Statements in reachable methods (`Stmts`).
+    pub statements: usize,
+    /// Analysis wall-clock time in seconds (`Time`).
+    pub time_secs: f64,
+    /// Context-sensitive allocation sites in the analyzed loop (`LO`).
+    pub loop_objects: usize,
+    /// Reported context-sensitive leaking allocation sites (`LS`).
+    pub leaking_sites: usize,
+}
+
+/// The detector's output.
+#[derive(Clone, Debug)]
+pub struct AnalysisResult {
+    /// Leak reports, one per reported allocation site, ordered by site.
+    pub reports: Vec<LeakReport>,
+    /// Run statistics (Table 1 columns).
+    pub stats: RunStats,
+    /// The effect summary (exposed for clients that post-process).
+    pub summary: EffectSummary,
+    /// The flow relations (exposed for clients that post-process).
+    pub flows: FlowRelations,
+    /// The context table for the analyzed loop.
+    pub contexts: ContextTable,
+    /// The program as analyzed (augmented with a driver for regions).
+    pub program: Program,
+}
+
+impl AnalysisResult {
+    /// The reported allocation sites.
+    pub fn reported_sites(&self) -> BTreeSet<AllocSite> {
+        self.reports.iter().map(|r| r.site).collect()
+    }
+}
+
+/// Runs the detector on a target.
+///
+/// # Errors
+///
+/// Returns [`TargetError`] when the target cannot be resolved (unknown
+/// loop, region without a constructible receiver, missing entry point).
+pub fn check(
+    program: &Program,
+    target: CheckTarget,
+    config: DetectorConfig,
+) -> Result<AnalysisResult, TargetError> {
+    let ResolvedTarget {
+        program,
+        designated,
+        root,
+    } = resolve(program, target)?;
+
+    let start = Instant::now();
+    let callgraph = CallGraph::build_from(&program, &[root], config.callgraph);
+    let effect_config = EffectConfig {
+        model_threads: config.model_threads,
+        ..config.effects
+    };
+    let summary = analyze_from(&program, &callgraph, root, designated, effect_config);
+    let flow_config = FlowConfig {
+        library_modeling: config.library_modeling,
+        model_threads: config.model_threads,
+    };
+    let flows = build_flows(&program, &summary, flow_config);
+    let contexts = enumerate(&program, &callgraph, designated, config.contexts);
+
+    // Candidate selection (Definition 3 + the Section 2 matching rule):
+    // an escaping inside site is reported when its ERA is ⊤̂ (it never
+    // flows back), or when some outside edge it escapes through has no
+    // matching flows-in (a redundant reference).
+    let mut candidates: BTreeSet<AllocSite> = BTreeSet::new();
+    for &site in &summary.inside_sites {
+        if !flows.escapes(site) {
+            continue;
+        }
+        let era = summary.era(site);
+        let unmatched = flows.unmatched_edges(site);
+        if era == Era::Top || !unmatched.is_empty() {
+            candidates.insert(site);
+        }
+    }
+
+    // Pivot mode: drop leaking sites contained in another leaking site's
+    // structure; inspecting the root is enough to fix the leak. Library
+    // allocation sites (container internals like map entries) never
+    // suppress application sites — the report must name the application
+    // objects the developer can act on.
+    let reported: BTreeSet<AllocSite> = if config.pivot_mode {
+        candidates
+            .iter()
+            .copied()
+            .filter(|&site| {
+                !candidates.iter().any(|&other| {
+                    other != site
+                        && !program.is_library_method(program.alloc(other).method)
+                        && flows.members_of(other).contains(&site)
+                })
+            })
+            .collect()
+    } else {
+        candidates
+    };
+
+    let mut reports: Vec<LeakReport> = reported
+        .into_iter()
+        .map(|site| {
+            let era = summary.era(site);
+            let mut edges: Vec<OutsideEdge> = flows.unmatched_edges(site);
+            if edges.is_empty() {
+                // ⊤̂-classified with all edges "matched" can still be
+                // reported (era ⊤̂ means no flow-back on some path);
+                // surface every outside edge for inspection.
+                edges = flows
+                    .flows_out
+                    .get(&site)
+                    .map(|s| s.iter().cloned().collect())
+                    .unwrap_or_default();
+            }
+            let ctxs: Vec<Context> = contexts.of(site).cloned().collect();
+            LeakReport {
+                site,
+                era,
+                edges,
+                contexts: ctxs,
+                describe: program.alloc(site).describe.clone(),
+                method: program.qualified_name(program.alloc(site).method),
+            }
+        })
+        .collect();
+    reports.sort_by_key(|r| r.site);
+
+    let leaking_sites = reports
+        .iter()
+        .map(|r| r.contexts.len().max(1))
+        .sum::<usize>();
+    let stats = RunStats {
+        methods: callgraph.reachable_count(),
+        statements: callgraph.reachable_statement_count(&program),
+        time_secs: start.elapsed().as_secs_f64(),
+        loop_objects: contexts.pair_count(),
+        leaking_sites,
+    };
+
+    Ok(AnalysisResult {
+        reports,
+        stats,
+        summary,
+        flows,
+        contexts,
+        program,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leakchecker_frontend::compile;
+
+    fn run(src: &str, config: DetectorConfig) -> AnalysisResult {
+        let unit = compile(src).unwrap();
+        check(
+            &unit.program,
+            CheckTarget::Loop(unit.checked_loops[0]),
+            config,
+        )
+        .unwrap()
+    }
+
+    fn names(result: &AnalysisResult) -> Vec<String> {
+        result.reports.iter().map(|r| r.describe.clone()).collect()
+    }
+
+    #[test]
+    fn canonical_leak_is_reported() {
+        let result = run(
+            "class Item { }
+             class Holder { Item item; }
+             class Main {
+               static void main() {
+                 Holder h = new Holder();
+                 @check while (nondet()) {
+                   Item it = new Item();
+                   h.item = it;
+                 }
+               }
+             }",
+            DetectorConfig::default(),
+        );
+        assert_eq!(names(&result), vec!["new Item"]);
+        assert_eq!(result.stats.loop_objects, 1);
+        assert_eq!(result.stats.leaking_sites, 1);
+        assert!(result.stats.methods >= 1);
+        assert!(result.stats.statements > 0);
+    }
+
+    #[test]
+    fn properly_carried_over_object_is_not_reported() {
+        let result = run(
+            "class Order { }
+             class Tx { Order curr; }
+             class Main {
+               static void main() {
+                 Tx t = new Tx();
+                 @check while (nondet()) {
+                   Order prev = t.curr;
+                   Order o = new Order();
+                   t.curr = o;
+                 }
+               }
+             }",
+            DetectorConfig::default(),
+        );
+        assert!(result.reports.is_empty(), "{:?}", names(&result));
+    }
+
+    #[test]
+    fn iteration_local_objects_are_never_reported() {
+        let result = run(
+            "class Item { }
+             class Bag { Item item; }
+             class Main {
+               static void main() {
+                 @check while (nondet()) {
+                   Bag b = new Bag();
+                   b.item = new Item();
+                   Item got = b.item;
+                 }
+               }
+             }",
+            DetectorConfig::default(),
+        );
+        assert!(result.reports.is_empty(), "{:?}", names(&result));
+    }
+
+    #[test]
+    fn pivot_mode_reports_only_roots() {
+        let src = "
+             class Item { }
+             class Node { Item item; }
+             class Holder { Node node; }
+             class Main {
+               static void main() {
+                 Holder h = new Holder();
+                 @check while (nondet()) {
+                   Node n = new Node();
+                   Item it = new Item();
+                   n.item = it;
+                   h.node = n;
+                 }
+               }
+             }";
+        let pivot = run(src, DetectorConfig::default());
+        assert_eq!(names(&pivot), vec!["new Node"], "root only");
+        let full = run(
+            src,
+            DetectorConfig {
+                pivot_mode: false,
+                ..DetectorConfig::default()
+            },
+        );
+        assert_eq!(full.reports.len(), 2, "both node and item");
+    }
+
+    #[test]
+    fn figure1_redundant_edge_is_identified() {
+        let result = run(
+            "class Order { }
+             class Tx {
+               Order curr;
+               Order[] orders = new Order[64];
+               int n;
+               void process(Order o) {
+                 this.curr = o;
+                 Order[] arr = this.orders;
+                 arr[this.n] = o;
+                 this.n = this.n + 1;
+               }
+               void display() {
+                 Order o = this.curr;
+                 if (o != null) { this.curr = null; }
+               }
+             }
+             class Main {
+               static void main() {
+                 Tx t = new Tx();
+                 @check while (nondet()) {
+                   t.display();
+                   Order o = new Order();
+                   t.process(o);
+                 }
+               }
+             }",
+            DetectorConfig::default(),
+        );
+        assert_eq!(names(&result), vec!["new Order"]);
+        let report = &result.reports[0];
+        assert_eq!(report.edges.len(), 1);
+        assert_eq!(
+            result.program.field(report.edges[0].field).name,
+            "elem",
+            "the redundant reference is the array slot"
+        );
+    }
+
+    #[test]
+    fn region_target_end_to_end() {
+        let unit = compile(
+            "class Entry { }
+             class History {
+               Entry[] entries = new Entry[256];
+               int n;
+               void addEntry(Entry e) {
+                 Entry[] arr = this.entries;
+                 arr[this.n] = e;
+                 this.n = this.n + 1;
+               }
+             }
+             class Plugin {
+               History history = new History();
+               @region void runCompare() {
+                 Entry e = new Entry();
+                 History h = this.history;
+                 h.addEntry(e);
+               }
+             }
+             class Main { static void main() { } }",
+        )
+        .unwrap();
+        let result = check(
+            &unit.program,
+            CheckTarget::Region(unit.region_methods[0]),
+            DetectorConfig::default(),
+        )
+        .unwrap();
+        let reported = names(&result);
+        assert!(
+            reported.contains(&"new Entry".to_string()),
+            "history entries leak across region invocations: {reported:?}"
+        );
+    }
+
+    #[test]
+    fn contexts_attached_to_reports() {
+        let result = run(
+            "class Item { }
+             class Factory {
+               static Item make() { Item it = new Item(); return it; }
+             }
+             class Holder { Item a; Item b; }
+             class Main {
+               static void main() {
+                 Holder h = new Holder();
+                 @check while (nondet()) {
+                   Item x = Factory.make();
+                   Item y = Factory.make();
+                   h.a = x;
+                   h.b = y;
+                 }
+               }
+             }",
+            DetectorConfig::default(),
+        );
+        assert_eq!(result.reports.len(), 1);
+        assert_eq!(
+            result.reports[0].contexts.len(),
+            2,
+            "one report, two calling contexts (LS counts both)"
+        );
+        assert_eq!(result.stats.leaking_sites, 2);
+    }
+}

@@ -1,0 +1,475 @@
+//! Transitive flows-out / flows-in relations and leak matching.
+//!
+//! From the abstract effect sets Ψ̃ (stores) and Ω̃ (loads) the detector
+//! derives, per Definition 2 of the paper:
+//!
+//! * **flows-out** `s ▷*_g b` — an inside site `s` is reachable through a
+//!   chain of inside-loop stores from an object saved in field `g` of an
+//!   outside object `b` (the *closest* outside object in the chain);
+//! * **flows-in** `s ◁*_g b` — `s` is retrieved back from `b.g` inside
+//!   the loop (directly or as a member of the retrieved structure).
+//!
+//! A flows-out edge with no matching flows-in edge is a *redundant
+//! reference*: the field keeps instances of `s` alive although the loop
+//! never reads them back — the leak signature (Definition 3 plus the
+//! Section 2 matching rule for `f̂`-classified sites).
+//!
+//! "Outside" bases are outside-allocated objects, the statics
+//! pseudo-object, `⊤` bases (conservative), and — under thread modeling —
+//! started `Thread` objects regardless of their own ERA.
+
+use leakchecker_effects::{EffectBase, EffectSummary, Era, TypeKey};
+use leakchecker_ir::ids::{AllocSite, FieldId};
+use leakchecker_ir::Program;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// One outside edge a site escapes through: field `g` of outside base `b`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct OutsideEdge {
+    /// The outside base (`None` encodes a `⊤` base).
+    pub base: Option<TypeKey>,
+    /// The field of the base holding the escaping structure.
+    pub field: FieldId,
+}
+
+/// The flow relations of one analyzed loop.
+#[derive(Clone, Debug, Default)]
+pub struct FlowRelations {
+    /// Flows-out: per inside site, the outside edges its instances (or
+    /// structures containing them) are saved through.
+    pub flows_out: BTreeMap<AllocSite, BTreeSet<OutsideEdge>>,
+    /// Flows-in: per inside site, the outside edges it is retrieved from.
+    pub flows_in: BTreeMap<AllocSite, BTreeSet<OutsideEdge>>,
+    /// Sites loaded back (from any persistent base) inside the loop —
+    /// the edge-insensitive flow-back witness used for structure members.
+    pub loaded_back: BTreeSet<AllocSite>,
+    /// Containment among inside sites: `container → members` via
+    /// inside-loop stores (used by pivot mode).
+    pub contains: BTreeMap<AllocSite, BTreeSet<AllocSite>>,
+}
+
+/// Options for building the relations.
+#[derive(Copy, Clone, Debug)]
+pub struct FlowConfig {
+    /// Apply the stronger flows-in condition to library-internal loads.
+    pub library_modeling: bool,
+    /// Treat started threads as outside objects.
+    pub model_threads: bool,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        FlowConfig {
+            library_modeling: true,
+            model_threads: false,
+        }
+    }
+}
+
+/// Is this effect base an "outside object" for escape purposes?
+fn is_outside_base(
+    summary: &EffectSummary,
+    config: FlowConfig,
+    base: &EffectBase,
+) -> bool {
+    match base {
+        EffectBase::Top => true,
+        EffectBase::Type(t) => {
+            if t.era == Era::Outside || t.key == TypeKey::Globals {
+                return true;
+            }
+            config.model_threads && summary.started_threads.contains(&t.key)
+        }
+    }
+}
+
+/// An inside-site key, if the effect value is an inside site.
+fn inside_site(summary: &EffectSummary, value_key: TypeKey) -> Option<AllocSite> {
+    match value_key {
+        TypeKey::Site(s) if summary.inside_sites.contains(&s) => Some(s),
+        _ => None,
+    }
+}
+
+/// Builds the flow relations from an effect summary.
+pub fn build(_program: &Program, summary: &EffectSummary, config: FlowConfig) -> FlowRelations {
+    let mut rel = FlowRelations::default();
+
+    // Direct outside escapes and inside containment edges.
+    let mut direct_out: BTreeMap<AllocSite, BTreeSet<OutsideEdge>> = BTreeMap::new();
+    for e in summary.stores.iter().filter(|e| e.inside_loop) {
+        let Some(value) = inside_site(summary, e.value.key) else {
+            continue;
+        };
+        if is_outside_base(summary, config, &e.base) {
+            direct_out.entry(value).or_default().insert(OutsideEdge {
+                base: e.base.key(),
+                field: e.field,
+            });
+        } else if let Some(TypeKey::Site(base_site)) = e.base.key() {
+            if summary.inside_sites.contains(&base_site) {
+                rel.contains
+                    .entry(base_site)
+                    .or_default()
+                    .insert(value);
+            }
+        }
+    }
+
+    // Transitive flows-out: members of an escaping structure escape
+    // through the same outside edge (r ⊐* o ▷_g b  ⟹  r ▷*_g b).
+    rel.flows_out = direct_out.clone();
+    let mut queue: VecDeque<AllocSite> = direct_out.keys().copied().collect();
+    while let Some(container) = queue.pop_front() {
+        let edges = rel.flows_out.get(&container).cloned().unwrap_or_default();
+        let members = rel.contains.get(&container).cloned().unwrap_or_default();
+        for member in members {
+            let entry = rel.flows_out.entry(member).or_default();
+            let before = entry.len();
+            entry.extend(edges.iter().cloned());
+            if entry.len() != before {
+                queue.push_back(member);
+            }
+        }
+    }
+
+    // Flows-in: loads of inside sites from outside bases, with the
+    // stronger library condition.
+    for e in summary.loads.iter().filter(|e| e.inside_loop) {
+        let Some(value) = inside_site(summary, e.value.key) else {
+            continue;
+        };
+        if config.library_modeling
+            && e.in_library
+            && !summary.returned_from_library.contains(&e.value.key)
+        {
+            // Library-internal read never surfaced to application code
+            // (e.g. HashMap.put probing): not a flow back.
+            continue;
+        }
+        if is_outside_base(summary, config, &e.base) {
+            rel.flows_in.entry(value).or_default().insert(OutsideEdge {
+                base: e.base.key(),
+                field: e.field,
+            });
+        }
+        // Any persistent-base load marks the value as loaded back.
+        let persists = match &e.base {
+            EffectBase::Top => true,
+            EffectBase::Type(t) => t.era.persists(),
+        };
+        if persists {
+            rel.loaded_back.insert(value);
+        }
+    }
+
+    rel
+}
+
+impl FlowRelations {
+    /// The flows-out edges of `site` that have no matching flows-in edge.
+    ///
+    /// Matching follows Section 2: the edge's field must agree and the
+    /// outside bases must may-alias — in the site abstraction, carry the
+    /// same key. A `⊤` base matches anything (conservative: it *may* be
+    /// the same object, so the flows-in suppresses the report).
+    pub fn unmatched_edges(&self, site: AllocSite) -> Vec<OutsideEdge> {
+        let outs = match self.flows_out.get(&site) {
+            Some(o) => o,
+            None => return Vec::new(),
+        };
+        let ins = self.flows_in.get(&site);
+        outs.iter()
+            .filter(|edge| {
+                let matched = ins.is_some_and(|ins| {
+                    ins.iter().any(|i| {
+                        i.field == edge.field
+                            && match (&i.base, &edge.base) {
+                                (None, _) | (_, None) => true,
+                                (Some(a), Some(b)) => a == b,
+                            }
+                    })
+                });
+                !matched
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Does `site` escape at all (transitively reach an outside edge)?
+    pub fn escapes(&self, site: AllocSite) -> bool {
+        self.flows_out
+            .get(&site)
+            .is_some_and(|edges| !edges.is_empty())
+    }
+
+    /// All sites contained (transitively) in `site`'s structure.
+    pub fn members_of(&self, site: AllocSite) -> BTreeSet<AllocSite> {
+        let mut out = BTreeSet::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(site);
+        while let Some(s) = queue.pop_front() {
+            if let Some(members) = self.contains.get(&s) {
+                for &m in members {
+                    if m != site && out.insert(m) {
+                        queue.push_back(m);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leakchecker_callgraph::{Algorithm, CallGraph};
+    use leakchecker_effects::{analyze, EffectConfig};
+    use leakchecker_frontend::compile;
+
+    fn relations(src: &str, config: FlowConfig) -> (leakchecker_ir::Program, FlowRelations) {
+        let unit = compile(src).unwrap();
+        let cg = CallGraph::build(&unit.program, Algorithm::Rta);
+        let summary = analyze(
+            &unit.program,
+            &cg,
+            unit.checked_loops[0],
+            EffectConfig {
+                model_threads: config.model_threads,
+                ..EffectConfig::default()
+            },
+        );
+        let rel = build(&unit.program, &summary, config);
+        (unit.program, rel)
+    }
+
+    fn site_of(p: &leakchecker_ir::Program, describe: &str) -> AllocSite {
+        p.allocs()
+            .iter()
+            .enumerate()
+            .find(|(_, a)| a.describe == describe)
+            .map(|(i, _)| AllocSite::from_index(i))
+            .unwrap()
+    }
+
+    #[test]
+    fn unmatched_edge_for_canonical_leak() {
+        let (p, rel) = relations(
+            "class Item { }
+             class Holder { Item item; }
+             class Main {
+               static void main() {
+                 Holder h = new Holder();
+                 @check while (nondet()) {
+                   Item it = new Item();
+                   h.item = it;
+                 }
+               }
+             }",
+            FlowConfig::default(),
+        );
+        let item = site_of(&p, "new Item");
+        assert!(rel.escapes(item));
+        assert_eq!(rel.unmatched_edges(item).len(), 1);
+    }
+
+    #[test]
+    fn matched_edge_for_carried_over_object() {
+        let (p, rel) = relations(
+            "class Order { }
+             class Tx { Order curr; }
+             class Main {
+               static void main() {
+                 Tx t = new Tx();
+                 @check while (nondet()) {
+                   Order prev = t.curr;
+                   Order o = new Order();
+                   t.curr = o;
+                 }
+               }
+             }",
+            FlowConfig::default(),
+        );
+        let order = site_of(&p, "new Order");
+        assert!(rel.escapes(order));
+        assert!(rel.unmatched_edges(order).is_empty());
+        assert!(rel.loaded_back.contains(&order));
+    }
+
+    #[test]
+    fn figure1_two_edges_one_matched() {
+        // The Figure 1 shape: Order escapes through Tx.curr (read back)
+        // AND through an order array (never read back). The array edge
+        // stays unmatched.
+        let (p, rel) = relations(
+            "class Order { }
+             class Tx {
+               Order curr;
+               Order[] orders = new Order[64];
+               int n;
+               void process(Order o) {
+                 this.curr = o;
+                 Order[] arr = this.orders;
+                 arr[this.n] = o;
+                 this.n = this.n + 1;
+               }
+               void display() {
+                 Order o = this.curr;
+                 if (o != null) { this.curr = null; }
+               }
+             }
+             class Main {
+               static void main() {
+                 Tx t = new Tx();
+                 @check while (nondet()) {
+                   t.display();
+                   Order o = new Order();
+                   t.process(o);
+                 }
+               }
+             }",
+            FlowConfig::default(),
+        );
+        let order = site_of(&p, "new Order");
+        let out_edges = rel.flows_out.get(&order).unwrap();
+        assert_eq!(out_edges.len(), 2, "{out_edges:?}");
+        let unmatched = rel.unmatched_edges(order);
+        assert_eq!(unmatched.len(), 1, "{unmatched:?}");
+        let f = unmatched[0].field;
+        assert_eq!(p.field(f).name, "elem", "the redundant edge is the array");
+    }
+
+    #[test]
+    fn transitive_members_escape_through_root_edge() {
+        let (p, rel) = relations(
+            "class Item { }
+             class Node { Item item; }
+             class Holder { Node node; }
+             class Main {
+               static void main() {
+                 Holder h = new Holder();
+                 @check while (nondet()) {
+                   Node n = new Node();
+                   Item it = new Item();
+                   n.item = it;
+                   h.node = n;
+                 }
+               }
+             }",
+            FlowConfig::default(),
+        );
+        let node = site_of(&p, "new Node");
+        let item = site_of(&p, "new Item");
+        assert!(rel.escapes(node));
+        assert!(rel.escapes(item), "member inherits the outside edge");
+        assert!(rel.members_of(node).contains(&item));
+        assert_eq!(rel.unmatched_edges(item).len(), 1);
+    }
+
+    #[test]
+    fn library_loads_do_not_count_without_return() {
+        // The library container reads its slots internally (put probing)
+        // but never returns them: no flows-in.
+        let src = "
+             library class Bucket {
+               Item slot;
+               void put(Item it) {
+                 Item probe = this.slot;
+                 this.slot = it;
+               }
+             }
+             class Item { }
+             class Main {
+               static void main() {
+                 Bucket b = new Bucket();
+                 @check while (nondet()) {
+                   Item it = new Item();
+                   b.put(it);
+                 }
+               }
+             }";
+        let (p, rel) = relations(src, FlowConfig::default());
+        let item = site_of(&p, "new Item");
+        assert_eq!(
+            rel.unmatched_edges(item).len(),
+            1,
+            "library-internal probe read must not mask the leak"
+        );
+        // Without library modeling the probe read masks it.
+        let (p2, rel2) = relations(
+            src,
+            FlowConfig {
+                library_modeling: false,
+                ..FlowConfig::default()
+            },
+        );
+        let item2 = site_of(&p2, "new Item");
+        assert!(rel2.unmatched_edges(item2).is_empty());
+    }
+
+    #[test]
+    fn library_loads_count_when_returned() {
+        let (p, rel) = relations(
+            "library class Bucket {
+               Item slot;
+               void put(Item it) { this.slot = it; }
+               Item get() { Item v = this.slot; return v; }
+             }
+             class Item { }
+             class Main {
+               static void main() {
+                 Bucket b = new Bucket();
+                 @check while (nondet()) {
+                   Item prev = b.get();
+                   Item it = new Item();
+                   b.put(it);
+                 }
+               }
+             }",
+            FlowConfig::default(),
+        );
+        let item = site_of(&p, "new Item");
+        assert!(
+            rel.unmatched_edges(item).is_empty(),
+            "returned library load is a proper flows-in"
+        );
+    }
+
+    #[test]
+    fn thread_modeling_adds_outside_edges() {
+        let src = "
+             library class Thread {
+               void start() { this.run(); }
+               void run() { }
+             }
+             class Worker extends Thread {
+               Item captured;
+               void run() { }
+             }
+             class Item { }
+             class Main {
+               static void main() {
+                 @check while (nondet()) {
+                   Worker w = new Worker();
+                   Item it = new Item();
+                   w.captured = it;
+                   w.start();
+                 }
+               }
+             }";
+        let (p, rel) = relations(
+            src,
+            FlowConfig {
+                model_threads: true,
+                ..FlowConfig::default()
+            },
+        );
+        let item = site_of(&p, "new Item");
+        assert!(rel.escapes(item), "captured by a started thread");
+        // Without thread modeling there is no escape at all.
+        let (p2, rel2) = relations(src, FlowConfig::default());
+        let item2 = site_of(&p2, "new Item");
+        assert!(!rel2.escapes(item2));
+    }
+}

@@ -1,0 +1,125 @@
+//! Leak reports and their human-readable rendering.
+
+use crate::flows::OutsideEdge;
+use leakchecker_effects::{Era, TypeKey};
+use leakchecker_ir::ids::AllocSite;
+use leakchecker_ir::Program;
+use leakchecker_pointsto::Context;
+use std::fmt::Write as _;
+
+/// One reported leaking allocation site.
+#[derive(Clone, Debug)]
+pub struct LeakReport {
+    /// The leaking allocation site.
+    pub site: AllocSite,
+    /// Its extended-recency classification.
+    pub era: Era,
+    /// The redundant reference edges (field of an outside object through
+    /// which instances are kept alive but never read back).
+    pub edges: Vec<OutsideEdge>,
+    /// Calling contexts under which the site executes inside the loop.
+    pub contexts: Vec<Context>,
+    /// Human-readable allocation description (e.g. `"new Order"`).
+    pub describe: String,
+    /// Qualified name of the method containing the allocation.
+    pub method: String,
+}
+
+impl LeakReport {
+    /// Renders the report as the tool's plain-text output.
+    pub fn render(&self, program: &Program) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "leak: {} ({}) allocated in {} [ERA = {}]",
+            self.describe, self.site, self.method, self.era
+        );
+        for edge in &self.edges {
+            let base = match edge.base {
+                Some(TypeKey::Site(s)) => {
+                    format!("{} ({s})", program.alloc(s).describe)
+                }
+                Some(TypeKey::Globals) => "<static fields>".to_string(),
+                None => "<unknown object>".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "  redundant edge: {}.{}",
+                base,
+                program.field(edge.field).name
+            );
+        }
+        if self.contexts.is_empty() {
+            let _ = writeln!(out, "  context: <loop body>");
+        }
+        for ctx in &self.contexts {
+            let _ = writeln!(out, "  context: {ctx}");
+        }
+        out
+    }
+}
+
+/// Renders a full result summary, one block per report.
+pub fn render_all(program: &Program, reports: &[LeakReport]) -> String {
+    if reports.is_empty() {
+        return "no leaks reported\n".to_string();
+    }
+    let mut out = String::new();
+    for (i, report) in reports.iter().enumerate() {
+        let _ = write!(out, "[{}] {}", i + 1, report.render(program));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::{check, DetectorConfig};
+    use crate::target::CheckTarget;
+    use leakchecker_frontend::compile;
+
+    #[test]
+    fn render_includes_site_edge_and_context() {
+        let unit = compile(
+            "class Item { }
+             class Holder { Item item; }
+             class Main {
+               static void main() {
+                 Holder h = new Holder();
+                 @check while (nondet()) {
+                   Item it = new Item();
+                   h.item = it;
+                 }
+               }
+             }",
+        )
+        .unwrap();
+        let result = check(
+            &unit.program,
+            CheckTarget::Loop(unit.checked_loops[0]),
+            DetectorConfig::default(),
+        )
+        .unwrap();
+        let text = render_all(&result.program, &result.reports);
+        assert!(text.contains("new Item"), "{text}");
+        assert!(text.contains("redundant edge"), "{text}");
+        assert!(text.contains("new Holder"), "{text}");
+        assert!(text.contains("item"), "{text}");
+    }
+
+    #[test]
+    fn render_empty() {
+        let unit = compile("class Main { static void main() { @check while (nondet()) { } } }")
+            .unwrap();
+        let result = check(
+            &unit.program,
+            CheckTarget::Loop(unit.checked_loops[0]),
+            DetectorConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            render_all(&result.program, &result.reports),
+            "no leaks reported\n"
+        );
+    }
+}

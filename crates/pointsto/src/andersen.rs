@@ -1,0 +1,265 @@
+//! Exhaustive Andersen-style points-to analysis.
+//!
+//! A whole-program, context-insensitive, flow-insensitive, subset-based
+//! analysis with field-sensitive heap cells `(alloc-site, field)`. It is
+//! deliberately the *textbook* algorithm: the demand-driven CFL engine is
+//! differentially tested against it (every demand answer must be a subset
+//! of the exhaustive answer after stripping contexts), and the concrete
+//! interpreter's observed points-to facts must be a subset of both.
+
+use crate::pag::{Node, NodeId, Pag};
+use leakchecker_ir::ids::{AllocSite, FieldId};
+use leakchecker_ir::Program;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// Result of the exhaustive analysis: context-insensitive points-to sets.
+#[derive(Clone, Debug)]
+pub struct Andersen {
+    /// Points-to set per PAG node.
+    var_pts: Vec<BTreeSet<AllocSite>>,
+    /// Points-to set per heap cell `(site, field)`.
+    heap_pts: HashMap<(AllocSite, FieldId), BTreeSet<AllocSite>>,
+}
+
+impl Andersen {
+    /// Runs the analysis to a fixed point over `pag`.
+    pub fn run(_program: &Program, pag: &Pag) -> Andersen {
+        let n = pag.len();
+        let mut var_pts: Vec<BTreeSet<AllocSite>> = vec![BTreeSet::new(); n];
+        let mut heap_pts: HashMap<(AllocSite, FieldId), BTreeSet<AllocSite>> = HashMap::new();
+
+        // Seed: allocation edges.
+        let mut worklist: VecDeque<NodeId> = VecDeque::new();
+        for i in 0..n {
+            let id = NodeId(i as u32);
+            for &site in pag.allocs_into(id) {
+                var_pts[i].insert(site);
+            }
+            if !var_pts[i].is_empty() {
+                worklist.push_back(id);
+            }
+        }
+
+        // Collect per-field access lists once.
+        let fields: Vec<FieldId> = {
+            let mut f: BTreeSet<FieldId> = BTreeSet::new();
+            for i in 0..n {
+                let _ = i;
+            }
+            // Fields are keyed inside the PAG; gather from load/store maps.
+            for field in pag.all_fields() {
+                f.insert(field);
+            }
+            f.into_iter().collect()
+        };
+
+        // Iterate to fixed point: copy edges + load/store constraints.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            // Propagate along copy edges (ignore labels: context-insensitive).
+            while let Some(node) = worklist.pop_front() {
+                let pts = var_pts[node.index()].clone();
+                for &(target, _) in pag.edges_out_of(node) {
+                    let before = var_pts[target.index()].len();
+                    var_pts[target.index()].extend(pts.iter().copied());
+                    if var_pts[target.index()].len() != before {
+                        worklist.push_back(target);
+                        changed = true;
+                    }
+                }
+            }
+            // Apply field constraints.
+            for &field in &fields {
+                for store in pag.stores_of(field) {
+                    let src_pts = var_pts[store.src.index()].clone();
+                    let base_pts = var_pts[store.base.index()].clone();
+                    for base in &base_pts {
+                        let cell = heap_pts.entry((*base, field)).or_default();
+                        let before = cell.len();
+                        cell.extend(src_pts.iter().copied());
+                        if cell.len() != before {
+                            changed = true;
+                        }
+                    }
+                }
+                for load in pag.loads_of(field) {
+                    let base_pts = var_pts[load.base.index()].clone();
+                    let mut incoming = BTreeSet::new();
+                    for base in &base_pts {
+                        if let Some(cell) = heap_pts.get(&(*base, field)) {
+                            incoming.extend(cell.iter().copied());
+                        }
+                    }
+                    let before = var_pts[load.dst.index()].len();
+                    var_pts[load.dst.index()].extend(incoming);
+                    if var_pts[load.dst.index()].len() != before {
+                        worklist.push_back(load.dst);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        Andersen { var_pts, heap_pts }
+    }
+
+    /// The points-to set of a PAG node.
+    pub fn points_to(&self, node: NodeId) -> &BTreeSet<AllocSite> {
+        &self.var_pts[node.index()]
+    }
+
+    /// The points-to set of a node looked up by its [`Node`] key
+    /// (empty set when the node does not exist in the PAG).
+    pub fn points_to_node(&self, pag: &Pag, node: Node) -> BTreeSet<AllocSite> {
+        pag.find(node)
+            .map(|id| self.var_pts[id.index()].clone())
+            .unwrap_or_default()
+    }
+
+    /// The contents of a heap cell `(site, field)`.
+    pub fn heap_cell(&self, site: AllocSite, field: FieldId) -> Option<&BTreeSet<AllocSite>> {
+        self.heap_pts.get(&(site, field))
+    }
+
+    /// Returns `true` if the two nodes may point to a common object.
+    pub fn may_alias(&self, a: NodeId, b: NodeId) -> bool {
+        let (small, large) = if self.var_pts[a.index()].len() <= self.var_pts[b.index()].len() {
+            (&self.var_pts[a.index()], &self.var_pts[b.index()])
+        } else {
+            (&self.var_pts[b.index()], &self.var_pts[a.index()])
+        };
+        small.iter().any(|s| large.contains(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leakchecker_callgraph::{Algorithm, CallGraph};
+    use leakchecker_frontend::compile;
+    use leakchecker_ir::ids::LocalId;
+    use leakchecker_ir::Program;
+
+    fn analyze(src: &str) -> (Program, Pag, Andersen) {
+        let unit = compile(src).unwrap();
+        let cg = CallGraph::build(&unit.program, Algorithm::Rta);
+        let pag = Pag::build(&unit.program, &cg);
+        let a = Andersen::run(&unit.program, &pag);
+        (unit.program, pag, a)
+    }
+
+    /// Finds the node of a named local in a method.
+    fn local_node(p: &Program, pag: &Pag, path: &str, name: &str) -> NodeId {
+        let m = p.method_by_path(path).unwrap();
+        let idx = p
+            .method(m)
+            .locals
+            .iter()
+            .position(|l| l.name == name)
+            .unwrap_or_else(|| panic!("no local {name} in {path}"));
+        pag.find(Node::Local(m, LocalId::from_index(idx)))
+            .unwrap_or_else(|| panic!("local {name} has no PAG node"))
+    }
+
+    #[test]
+    fn direct_and_copied_allocations() {
+        let (p, pag, a) = analyze(
+            "class C { static void main() { C x = new C(); C y = x; } }",
+        );
+        let x = local_node(&p, &pag, "C.main", "x");
+        let y = local_node(&p, &pag, "C.main", "y");
+        assert_eq!(a.points_to(x).len(), 1);
+        assert_eq!(a.points_to(x), a.points_to(y));
+        assert!(a.may_alias(x, y));
+    }
+
+    #[test]
+    fn heap_flow_through_fields() {
+        let (p, pag, a) = analyze(
+            "class Box { Item item; }
+             class Item { }
+             class Main {
+               static void main() {
+                 Box b = new Box();
+                 Item i = new Item();
+                 b.item = i;
+                 Item j = b.item;
+               }
+             }",
+        );
+        let i = local_node(&p, &pag, "Main.main", "i");
+        let j = local_node(&p, &pag, "Main.main", "j");
+        assert_eq!(a.points_to(i), a.points_to(j));
+        assert!(a.may_alias(i, j));
+    }
+
+    #[test]
+    fn separate_objects_do_not_alias() {
+        let (p, pag, a) = analyze(
+            "class C { static void main() { C x = new C(); C y = new C(); } }",
+        );
+        let x = local_node(&p, &pag, "C.main", "x");
+        let y = local_node(&p, &pag, "C.main", "y");
+        assert!(!a.may_alias(x, y));
+    }
+
+    #[test]
+    fn interprocedural_flow_through_return() {
+        let (p, pag, a) = analyze(
+            "class C {
+               static C make() { C c = new C(); return c; }
+               static void main() { C got = C.make(); }
+             }",
+        );
+        let got = local_node(&p, &pag, "C.main", "got");
+        assert_eq!(a.points_to(got).len(), 1);
+    }
+
+    #[test]
+    fn context_insensitive_merging_is_expected() {
+        // Both call sites of id() merge: x and y appear to alias. This is
+        // the imprecision the demand-driven engine removes.
+        let (p, pag, a) = analyze(
+            "class C {
+               static C id(C v) { return v; }
+               static void main() {
+                 C x = C.id(new C());
+                 C y = C.id(new C());
+               }
+             }",
+        );
+        let x = local_node(&p, &pag, "C.main", "x");
+        let y = local_node(&p, &pag, "C.main", "y");
+        assert!(a.may_alias(x, y), "Andersen merges call sites");
+        assert_eq!(a.points_to(x).len(), 2);
+    }
+
+    #[test]
+    fn flow_through_static_fields() {
+        let (p, pag, a) = analyze(
+            "class C {
+               static C g;
+               static void main() { C.g = new C(); C got = C.g; }
+             }",
+        );
+        let got = local_node(&p, &pag, "C.main", "got");
+        assert_eq!(a.points_to(got).len(), 1);
+    }
+
+    #[test]
+    fn arrays_smash_to_elem() {
+        let (p, pag, a) = analyze(
+            "class C {
+               static void main() {
+                 C[] arr = new C[2];
+                 arr[0] = new C();
+                 C got = arr[1];
+               }
+             }",
+        );
+        let got = local_node(&p, &pag, "C.main", "got");
+        // Index-insensitive: reading slot 1 sees the slot-0 store.
+        assert_eq!(a.points_to(got).len(), 1);
+    }
+}

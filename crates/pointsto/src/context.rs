@@ -1,0 +1,158 @@
+//! k-limited call-string calling contexts.
+//!
+//! The CFL-reachability formulation distinguishes objects "not only by
+//! their allocation sites … but also by their calling contexts" (paper
+//! Section 4). Contexts here are call strings: the stack of call sites
+//! descended through, innermost last, truncated to the analysis's `k`
+//! bound. An empty context is a *wildcard*: it stands for any calling
+//! context (the state of a query that has not yet crossed a call boundary,
+//! or whose history was truncated).
+
+use leakchecker_ir::ids::CallSite;
+use std::fmt;
+use std::sync::Arc;
+
+/// An immutable, cheaply clonable k-limited call string.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Context(Arc<Vec<CallSite>>);
+
+impl Context {
+    /// The empty (wildcard) context.
+    pub fn empty() -> Context {
+        Context::default()
+    }
+
+    /// Returns `true` for the empty context.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The call sites, outermost first.
+    pub fn frames(&self) -> &[CallSite] {
+        &self.0
+    }
+
+    /// The innermost call site, if any.
+    pub fn top(&self) -> Option<CallSite> {
+        self.0.last().copied()
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Extends the context by descending through `site`, keeping at most
+    /// the innermost `k` frames.
+    pub fn push(&self, site: CallSite, k: usize) -> Context {
+        let mut frames = (*self.0).clone();
+        frames.push(site);
+        while frames.len() > k {
+            frames.remove(0);
+        }
+        Context(Arc::new(frames))
+    }
+
+    /// Ascends out of a call through `site`.
+    ///
+    /// Returns the caller context when the innermost frame is `site`;
+    /// returns the wildcard when this context is empty (truncated history
+    /// matches anything); returns `None` when the innermost frame is a
+    /// *different* site — an unbalanced call/return path the CFL filter
+    /// rejects.
+    pub fn pop_matching(&self, site: CallSite) -> Option<Context> {
+        match self.0.last() {
+            None => Some(Context::empty()),
+            Some(&top) if top == site => {
+                let mut frames = (*self.0).clone();
+                frames.pop();
+                Some(Context(Arc::new(frames)))
+            }
+            Some(_) => None,
+        }
+    }
+
+    /// Returns `true` if `self` and `other` could describe the same
+    /// concrete call stack: one is a suffix-compatible truncation of the
+    /// other (the wildcard is compatible with everything).
+    pub fn compatible(&self, other: &Context) -> bool {
+        let a = &self.0;
+        let b = &other.0;
+        let n = a.len().min(b.len());
+        // Compare the innermost n frames.
+        a[a.len() - n..] == b[b.len() - n..]
+    }
+}
+
+impl fmt::Debug for Context {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "[*]");
+        }
+        write!(f, "[")?;
+        for (i, site) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ">")?;
+            }
+            write!(f, "{site}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for Context {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_k_limit() {
+        let c = Context::empty()
+            .push(CallSite(1), 2)
+            .push(CallSite(2), 2)
+            .push(CallSite(3), 2);
+        assert_eq!(c.frames(), &[CallSite(2), CallSite(3)]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.top(), Some(CallSite(3)));
+    }
+
+    #[test]
+    fn pop_matching_balances_parentheses() {
+        let c = Context::empty().push(CallSite(1), 8).push(CallSite(2), 8);
+        let popped = c.pop_matching(CallSite(2)).unwrap();
+        assert_eq!(popped.frames(), &[CallSite(1)]);
+        // Mismatched close paren is rejected.
+        assert!(c.pop_matching(CallSite(9)).is_none());
+        // Wildcard matches anything.
+        assert_eq!(
+            Context::empty().pop_matching(CallSite(5)),
+            Some(Context::empty())
+        );
+    }
+
+    #[test]
+    fn compatibility_is_suffix_based() {
+        let long = Context::empty()
+            .push(CallSite(1), 8)
+            .push(CallSite(2), 8)
+            .push(CallSite(3), 8);
+        let short = Context::empty().push(CallSite(2), 8).push(CallSite(3), 8);
+        let other = Context::empty().push(CallSite(9), 8).push(CallSite(3), 8);
+        assert!(long.compatible(&short));
+        assert!(short.compatible(&long));
+        assert!(!long.compatible(&other));
+        assert!(Context::empty().compatible(&long));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Context::empty().to_string(), "[*]");
+        let c = Context::empty().push(CallSite(1), 8).push(CallSite(2), 8);
+        assert_eq!(c.to_string(), "[call#1>call#2]");
+    }
+}

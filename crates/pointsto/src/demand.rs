@@ -1,0 +1,462 @@
+//! Demand-driven, context-sensitive points-to queries via
+//! CFL-reachability.
+//!
+//! This is the engine the paper's implementation section describes:
+//! "program semantics is encoded as a flow graph in which nodes represent
+//! variables and edges represent propagation of object references.
+//! Points-to relationships are determined by traversing the graph", with
+//! interprocedural edges required to satisfy a matched-parentheses
+//! property over call sites, and with queries issued *on demand* for
+//! individual variables rather than after a whole-program analysis.
+//!
+//! A query walks the pointer-assignment graph backwards from a variable
+//! toward the allocation sites that flow into it:
+//!
+//! * plain copy edges are followed directly;
+//! * `Enter(cs)` edges (argument → parameter) are followed backwards only
+//!   when the current call string's innermost frame is `cs` (or the
+//!   string is the truncation wildcard) — a *close parenthesis*;
+//! * `Exit(cs)` edges (return → destination) push `cs` — an *open
+//!   parenthesis*;
+//! * a load `dst = base.field` is matched against every store
+//!   `sbase.field = src` whose base may alias `base` (a recursive alias
+//!   query), continuing from `src`;
+//! * static-field nodes erase the call string (globals are
+//!   context-insensitive).
+//!
+//! Every query runs under a step *budget*; exhausting it marks the result
+//! incomplete, which clients must treat conservatively. This mirrors the
+//! refinement-based demand-driven points-to analyses the paper builds on.
+
+use crate::context::Context;
+use crate::pag::{EdgeLabel, LoadStmt, Node, NodeId, Pag};
+use leakchecker_ir::ids::AllocSite;
+use leakchecker_ir::Program;
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Tuning knobs for demand queries.
+#[derive(Copy, Clone, Debug)]
+pub struct DemandConfig {
+    /// Call-string limit (frames kept per context).
+    pub k: usize,
+    /// Traversal step budget per top-level query (shared with nested
+    /// alias queries).
+    pub budget: usize,
+    /// Depth limit for nested alias queries.
+    pub max_alias_depth: usize,
+}
+
+impl Default for DemandConfig {
+    fn default() -> Self {
+        DemandConfig {
+            k: 8,
+            budget: 100_000,
+            max_alias_depth: 24,
+        }
+    }
+}
+
+/// A context-qualified abstract object.
+pub type CtxObject = (AllocSite, Context);
+
+/// The answer to a points-to query.
+#[derive(Clone, Debug, Default)]
+pub struct PtResult {
+    /// Abstract objects that may flow to the queried variable.
+    pub objects: BTreeSet<CtxObject>,
+    /// `false` when the budget or depth limit was hit and the set may be
+    /// missing objects — treat as "may point to anything" for soundness.
+    pub complete: bool,
+}
+
+impl PtResult {
+    /// The allocation sites, contexts stripped.
+    pub fn sites(&self) -> BTreeSet<AllocSite> {
+        self.objects.iter().map(|(s, _)| *s).collect()
+    }
+}
+
+/// The demand-driven points-to analysis.
+pub struct DemandPointsTo<'a> {
+    program: &'a Program,
+    pag: &'a Pag,
+    config: DemandConfig,
+    /// Loads keyed by their destination node.
+    loads_by_dst: HashMap<NodeId, Vec<LoadStmt>>,
+    /// Memoized answers for *completed* queries.
+    memo: RefCell<HashMap<(NodeId, Context), PtResult>>,
+}
+
+impl<'a> DemandPointsTo<'a> {
+    /// Creates the engine over a prebuilt PAG.
+    pub fn new(program: &'a Program, pag: &'a Pag, config: DemandConfig) -> Self {
+        let mut loads_by_dst: HashMap<NodeId, Vec<LoadStmt>> = HashMap::new();
+        for field in pag.all_fields() {
+            for load in pag.loads_of(field) {
+                loads_by_dst.entry(load.dst).or_default().push(*load);
+            }
+        }
+        DemandPointsTo {
+            program,
+            pag,
+            config,
+            loads_by_dst,
+            memo: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> DemandConfig {
+        self.config
+    }
+
+    /// Points-to query for a [`Node`] under `ctx`.
+    ///
+    /// Returns an empty incomplete result for nodes absent from the PAG
+    /// (never-assigned variables).
+    pub fn points_to(&self, node: Node, ctx: &Context) -> PtResult {
+        match self.pag.find(node) {
+            Some(id) => {
+                let mut budget = self.config.budget;
+                self.query(id, ctx.clone(), &mut budget, 0)
+            }
+            None => PtResult {
+                objects: BTreeSet::new(),
+                complete: true,
+            },
+        }
+    }
+
+    /// May the two variables point to the same object? Incomplete queries
+    /// answer `true` (conservative).
+    pub fn may_alias(&self, a: Node, ctx_a: &Context, b: Node, ctx_b: &Context) -> bool {
+        let ra = self.points_to(a, ctx_a);
+        let rb = self.points_to(b, ctx_b);
+        if !ra.complete || !rb.complete {
+            return true;
+        }
+        let sa = ra.sites();
+        let sb = rb.sites();
+        sa.iter().any(|s| sb.contains(s))
+    }
+
+    fn query(&self, start: NodeId, ctx: Context, budget: &mut usize, depth: usize) -> PtResult {
+        if let Some(hit) = self.memo.borrow().get(&(start, ctx.clone())) {
+            return hit.clone();
+        }
+        if depth > self.config.max_alias_depth {
+            return PtResult {
+                objects: BTreeSet::new(),
+                complete: false,
+            };
+        }
+        let mut objects: BTreeSet<CtxObject> = BTreeSet::new();
+        let mut complete = true;
+        let mut visited: HashSet<(NodeId, Context)> = HashSet::new();
+        let mut stack: Vec<(NodeId, Context)> = vec![(start, ctx.clone())];
+        visited.insert((start, ctx.clone()));
+
+        while let Some((node, cur)) = stack.pop() {
+            if *budget == 0 {
+                complete = false;
+                break;
+            }
+            *budget -= 1;
+
+            // Allocation seeds.
+            for &site in self.pag.allocs_into(node) {
+                objects.insert((site, cur.clone()));
+            }
+
+            // Statics erase context.
+            let erase = matches!(self.pag.node_info(node), Node::Static(_));
+
+            // Copy edges (with CFL parenthesis matching).
+            for &(src, label) in self.pag.edges_into(node) {
+                let next_ctx = match label {
+                    EdgeLabel::None => {
+                        if erase {
+                            Some(Context::empty())
+                        } else {
+                            Some(cur.clone())
+                        }
+                    }
+                    // Backwards over arg->param: leaving the callee.
+                    EdgeLabel::Enter(cs) => cur.pop_matching(cs),
+                    // Backwards over ret->dst: entering the callee.
+                    EdgeLabel::Exit(cs) => Some(cur.push(cs, self.config.k)),
+                };
+                if let Some(nc) = next_ctx {
+                    if visited.insert((src, nc.clone())) {
+                        stack.push((src, nc));
+                    }
+                }
+            }
+
+            // Field loads: match against may-aliased stores.
+            if let Some(loads) = self.loads_by_dst.get(&node) {
+                let loads = loads.clone();
+                for load in loads {
+                    let base_result = self.query(load.base, cur.clone(), budget, depth + 1);
+                    if !base_result.complete {
+                        complete = false;
+                    }
+                    let base_sites = base_result.sites();
+                    for store in self.pag.stores_of(load.field) {
+                        let sbase_result =
+                            self.query(store.base, Context::empty(), budget, depth + 1);
+                        if !sbase_result.complete {
+                            complete = false;
+                        }
+                        let alias = !base_result.complete
+                            || !sbase_result.complete
+                            || sbase_result.sites().iter().any(|s| base_sites.contains(s));
+                        if alias {
+                            let entry = (store.src, Context::empty());
+                            if visited.insert(entry.clone()) {
+                                stack.push(entry);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let result = PtResult { objects, complete };
+        if result.complete {
+            self.memo
+                .borrow_mut()
+                .insert((start, ctx), result.clone());
+        }
+        let _ = self.program;
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leakchecker_callgraph::{Algorithm, CallGraph};
+    use leakchecker_frontend::compile;
+    use leakchecker_ir::ids::LocalId;
+    use leakchecker_ir::Program;
+
+    struct Fixture {
+        program: Program,
+        pag: Pag,
+    }
+
+    impl Fixture {
+        fn new(src: &str) -> Fixture {
+            let unit = compile(src).unwrap();
+            let cg = CallGraph::build(&unit.program, Algorithm::Rta);
+            let pag = Pag::build(&unit.program, &cg);
+            Fixture {
+                program: unit.program,
+                pag,
+            }
+        }
+
+        fn engine(&self) -> DemandPointsTo<'_> {
+            DemandPointsTo::new(&self.program, &self.pag, DemandConfig::default())
+        }
+
+        fn local(&self, path: &str, name: &str) -> Node {
+            let m = self.program.method_by_path(path).unwrap();
+            let idx = self
+                .program
+                .method(m)
+                .locals
+                .iter()
+                .position(|l| l.name == name)
+                .unwrap_or_else(|| panic!("no local {name}"));
+            Node::Local(m, LocalId::from_index(idx))
+        }
+    }
+
+    #[test]
+    fn direct_allocation() {
+        let f = Fixture::new("class C { static void main() { C x = new C(); } }");
+        let e = f.engine();
+        let r = e.points_to(f.local("C.main", "x"), &Context::empty());
+        assert!(r.complete);
+        assert_eq!(r.objects.len(), 1);
+    }
+
+    #[test]
+    fn context_sensitivity_distinguishes_call_sites() {
+        // The id() factory: Andersen merges, the demand engine does not.
+        let f = Fixture::new(
+            "class C {
+               static C id(C v) { return v; }
+               static void main() {
+                 C a = new C();
+                 C b = new C();
+                 C x = C.id(a);
+                 C y = C.id(b);
+               }
+             }",
+        );
+        let e = f.engine();
+        let rx = e.points_to(f.local("C.main", "x"), &Context::empty());
+        let ry = e.points_to(f.local("C.main", "y"), &Context::empty());
+        assert!(rx.complete && ry.complete);
+        assert_eq!(rx.sites().len(), 1, "{rx:?}");
+        assert_eq!(ry.sites().len(), 1, "{ry:?}");
+        assert_ne!(rx.sites(), ry.sites());
+        assert!(!e.may_alias(
+            f.local("C.main", "x"),
+            &Context::empty(),
+            f.local("C.main", "y"),
+            &Context::empty()
+        ));
+    }
+
+    #[test]
+    fn heap_flow_via_alias_matching() {
+        let f = Fixture::new(
+            "class Box { Item item; }
+             class Item { }
+             class Main {
+               static void main() {
+                 Box b = new Box();
+                 Item i = new Item();
+                 b.item = i;
+                 Item j = b.item;
+               }
+             }",
+        );
+        let e = f.engine();
+        let rj = e.points_to(f.local("Main.main", "j"), &Context::empty());
+        assert!(rj.complete);
+        assert_eq!(rj.sites(), {
+            let ri = e.points_to(f.local("Main.main", "i"), &Context::empty());
+            ri.sites()
+        });
+    }
+
+    #[test]
+    fn distinct_boxes_do_not_conflate() {
+        let f = Fixture::new(
+            "class Box { Item item; }
+             class Item { }
+             class Main {
+               static void main() {
+                 Box b1 = new Box();
+                 Box b2 = new Box();
+                 Item i1 = new Item();
+                 Item i2 = new Item();
+                 b1.item = i1;
+                 b2.item = i2;
+                 Item j = b1.item;
+               }
+             }",
+        );
+        let e = f.engine();
+        let rj = e.points_to(f.local("Main.main", "j"), &Context::empty());
+        assert!(rj.complete);
+        // b1.item only holds i1's object.
+        assert_eq!(rj.sites().len(), 1);
+        let ri1 = e.points_to(f.local("Main.main", "i1"), &Context::empty());
+        assert_eq!(rj.sites(), ri1.sites());
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let f = Fixture::new(
+            "class C {
+               static C id(C v) { return v; }
+               static void main() { C x = C.id(C.id(C.id(new C()))); }
+             }",
+        );
+        let pag = &f.pag;
+        let e = DemandPointsTo::new(
+            &f.program,
+            pag,
+            DemandConfig {
+                budget: 2,
+                ..DemandConfig::default()
+            },
+        );
+        let r = e.points_to(f.local("C.main", "x"), &Context::empty());
+        assert!(!r.complete);
+        // Conservative alias answer under exhaustion.
+        assert!(e.may_alias(
+            f.local("C.main", "x"),
+            &Context::empty(),
+            f.local("C.main", "x"),
+            &Context::empty()
+        ));
+    }
+
+    #[test]
+    fn flows_through_static_erase_context() {
+        let f = Fixture::new(
+            "class C {
+               static C g;
+               static void set(C v) { C.g = v; }
+               static void main() {
+                 C.set(new C());
+                 C got = C.g;
+               }
+             }",
+        );
+        let e = f.engine();
+        let r = e.points_to(f.local("C.main", "got"), &Context::empty());
+        assert!(r.complete);
+        assert_eq!(r.sites().len(), 1);
+    }
+
+    #[test]
+    fn results_subset_of_andersen() {
+        // Differential: every demand answer must be within Andersen's.
+        let src = "
+            class Node { Node next; Payload p; }
+            class Payload { }
+            class Main {
+              static Node build(int n) {
+                Node head = null;
+                int i = 0;
+                while (i < n) {
+                  Node fresh = new Node();
+                  fresh.next = head;
+                  fresh.p = new Payload();
+                  head = fresh;
+                  i = i + 1;
+                }
+                return head;
+              }
+              static void main() {
+                Node list = Main.build(10);
+                Node cur = list;
+                while (cur != null) {
+                  Payload q = cur.p;
+                  cur = cur.next;
+                }
+              }
+            }";
+        let f = Fixture::new(src);
+        let e = f.engine();
+        let andersen = crate::andersen::Andersen::run(&f.program, &f.pag);
+        for (path, name) in [
+            ("Main.main", "list"),
+            ("Main.main", "cur"),
+            ("Main.main", "q"),
+            ("Main.build", "head"),
+            ("Main.build", "fresh"),
+        ] {
+            let node = f.local(path, name);
+            let demand = e.points_to(node, &Context::empty());
+            if demand.complete {
+                let exhaustive = andersen.points_to_node(&f.pag, node);
+                for site in demand.sites() {
+                    assert!(
+                        exhaustive.contains(&site),
+                        "{path}.{name}: demand found {site} missing from Andersen"
+                    );
+                }
+            }
+        }
+    }
+}

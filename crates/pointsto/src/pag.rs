@@ -1,0 +1,443 @@
+//! Pointer assignment graph (PAG) construction.
+//!
+//! The PAG encodes the program's reference-flow semantics as a graph:
+//! nodes are variables (locals, per-method return nodes, static fields)
+//! and edges are reference copies. Heap accesses are *not* edges — loads
+//! and stores are recorded side tables that the demand-driven engine
+//! matches through alias queries, exactly as in demand-driven
+//! CFL-reachability points-to formulations.
+
+use leakchecker_callgraph::CallGraph;
+use leakchecker_ir::ids::{AllocSite, CallSite, FieldId, LocalId, MethodId, ARRAY_ELEM_FIELD};
+use leakchecker_ir::stmt::Stmt;
+use leakchecker_ir::visit::walk_stmts;
+use leakchecker_ir::Program;
+use std::collections::HashMap;
+
+/// A PAG node.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Node {
+    /// A local variable slot of a method.
+    Local(MethodId, LocalId),
+    /// The canonical return-value node of a method.
+    Ret(MethodId),
+    /// A static field (global).
+    Static(FieldId),
+}
+
+/// Dense node index within a [`Pag`].
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Index into the PAG's node tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An interprocedural copy edge label.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum EdgeLabel {
+    /// An intraprocedural copy (no parenthesis).
+    None,
+    /// Entering a callee through call site `cs` (argument → parameter,
+    /// an open parenthesis in the CFL).
+    Enter(CallSite),
+    /// Leaving a callee through call site `cs` (return → destination,
+    /// a close parenthesis).
+    Exit(CallSite),
+}
+
+/// A field load `dst = base.field`.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct LoadStmt {
+    /// Destination node.
+    pub dst: NodeId,
+    /// Base variable node.
+    pub base: NodeId,
+    /// The loaded field (arrays use `elem`).
+    pub field: FieldId,
+    /// The containing method.
+    pub method: MethodId,
+}
+
+/// A field store `base.field = src`.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct StoreStmt {
+    /// Stored-value node.
+    pub src: NodeId,
+    /// Base variable node.
+    pub base: NodeId,
+    /// The written field (arrays use `elem`).
+    pub field: FieldId,
+    /// The containing method.
+    pub method: MethodId,
+}
+
+/// The pointer assignment graph over a program's reachable methods.
+#[derive(Clone, Debug)]
+pub struct Pag {
+    node_ids: HashMap<Node, NodeId>,
+    nodes: Vec<Node>,
+    /// `into[n]` = copy edges flowing *into* node `n`.
+    into: Vec<Vec<(NodeId, EdgeLabel)>>,
+    /// `out_of[n]` = copy edges flowing *out of* node `n`.
+    out_of: Vec<Vec<(NodeId, EdgeLabel)>>,
+    /// `allocs_into[n]` = allocation sites whose objects flow directly
+    /// into node `n` (New statements assigning to it).
+    allocs_into: Vec<Vec<AllocSite>>,
+    /// All loads, indexed by field for alias matching.
+    loads_by_field: HashMap<FieldId, Vec<LoadStmt>>,
+    /// All stores, indexed by field.
+    stores_by_field: HashMap<FieldId, Vec<StoreStmt>>,
+}
+
+impl Pag {
+    /// Builds the PAG for every method reachable in `callgraph`.
+    pub fn build(program: &Program, callgraph: &CallGraph) -> Pag {
+        let mut pag = Pag {
+            node_ids: HashMap::new(),
+            nodes: Vec::new(),
+            into: Vec::new(),
+            out_of: Vec::new(),
+            allocs_into: Vec::new(),
+            loads_by_field: HashMap::new(),
+            stores_by_field: HashMap::new(),
+        };
+        for method in callgraph.reachable_methods() {
+            let body = &program.method(method).body;
+            walk_stmts(body, &mut |stmt| {
+                pag.add_stmt(program, callgraph, method, stmt);
+            });
+        }
+        pag
+    }
+
+    /// Interns a node.
+    pub fn node(&mut self, node: Node) -> NodeId {
+        if let Some(&id) = self.node_ids.get(&node) {
+            return id;
+        }
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("PAG node overflow"));
+        self.node_ids.insert(node, id);
+        self.nodes.push(node);
+        self.into.push(Vec::new());
+        self.out_of.push(Vec::new());
+        self.allocs_into.push(Vec::new());
+        id
+    }
+
+    /// Looks up an existing node without creating it.
+    pub fn find(&self, node: Node) -> Option<NodeId> {
+        self.node_ids.get(&node).copied()
+    }
+
+    /// The node behind an id.
+    pub fn node_info(&self, id: NodeId) -> Node {
+        self.nodes[id.index()]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` when the PAG has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Copy edges flowing into `n` as `(source, label)` pairs.
+    pub fn edges_into(&self, n: NodeId) -> &[(NodeId, EdgeLabel)] {
+        &self.into[n.index()]
+    }
+
+    /// Copy edges flowing out of `n` as `(target, label)` pairs.
+    pub fn edges_out_of(&self, n: NodeId) -> &[(NodeId, EdgeLabel)] {
+        &self.out_of[n.index()]
+    }
+
+    /// Allocation sites assigned directly to `n`.
+    pub fn allocs_into(&self, n: NodeId) -> &[AllocSite] {
+        &self.allocs_into[n.index()]
+    }
+
+    /// All loads of `field`.
+    pub fn loads_of(&self, field: FieldId) -> &[LoadStmt] {
+        self.loads_by_field.get(&field).map_or(&[], Vec::as_slice)
+    }
+
+    /// All stores to `field`.
+    pub fn stores_of(&self, field: FieldId) -> &[StoreStmt] {
+        self.stores_by_field.get(&field).map_or(&[], Vec::as_slice)
+    }
+
+    /// Every field that appears in at least one load or store.
+    pub fn all_fields(&self) -> impl Iterator<Item = FieldId> + '_ {
+        let mut fields: std::collections::BTreeSet<FieldId> =
+            self.loads_by_field.keys().copied().collect();
+        fields.extend(self.stores_by_field.keys().copied());
+        fields.into_iter()
+    }
+
+    fn copy(&mut self, from: Node, to: Node, label: EdgeLabel) {
+        let from = self.node(from);
+        let to = self.node(to);
+        self.into[to.index()].push((from, label));
+        self.out_of[from.index()].push((to, label));
+    }
+
+    fn add_stmt(
+        &mut self,
+        program: &Program,
+        callgraph: &CallGraph,
+        method: MethodId,
+        stmt: &Stmt,
+    ) {
+        let local = |l: &LocalId| Node::Local(method, *l);
+        match stmt {
+            Stmt::New { dst, site, .. } | Stmt::NewArray { dst, site, .. } => {
+                let n = self.node(local(dst));
+                self.allocs_into[n.index()].push(*site);
+            }
+            Stmt::Assign { dst, src } => {
+                if is_ref(program, method, *dst) {
+                    self.copy(local(src), local(dst), EdgeLabel::None);
+                }
+            }
+            Stmt::Load { dst, base, field } => {
+                if program.field(*field).ty.is_reference() {
+                    let l = LoadStmt {
+                        dst: self.node(local(dst)),
+                        base: self.node(local(base)),
+                        field: *field,
+                        method,
+                    };
+                    self.loads_by_field.entry(*field).or_default().push(l);
+                }
+            }
+            Stmt::Store { base, field, src } => {
+                if program.field(*field).ty.is_reference() {
+                    let s = StoreStmt {
+                        src: self.node(local(src)),
+                        base: self.node(local(base)),
+                        field: *field,
+                        method,
+                    };
+                    self.stores_by_field.entry(*field).or_default().push(s);
+                }
+            }
+            Stmt::ArrayLoad { dst, base, .. } => {
+                if is_ref(program, method, *dst) {
+                    let l = LoadStmt {
+                        dst: self.node(local(dst)),
+                        base: self.node(local(base)),
+                        field: ARRAY_ELEM_FIELD,
+                        method,
+                    };
+                    self.loads_by_field
+                        .entry(ARRAY_ELEM_FIELD)
+                        .or_default()
+                        .push(l);
+                }
+            }
+            Stmt::ArrayStore { base, src, .. } => {
+                if is_ref(program, method, *src) {
+                    let s = StoreStmt {
+                        src: self.node(local(src)),
+                        base: self.node(local(base)),
+                        field: ARRAY_ELEM_FIELD,
+                        method,
+                    };
+                    self.stores_by_field
+                        .entry(ARRAY_ELEM_FIELD)
+                        .or_default()
+                        .push(s);
+                }
+            }
+            Stmt::StaticLoad { dst, field } => {
+                if program.field(*field).ty.is_reference() {
+                    self.copy(Node::Static(*field), local(dst), EdgeLabel::None);
+                }
+            }
+            Stmt::StaticStore { field, src } => {
+                if program.field(*field).ty.is_reference() {
+                    self.copy(local(src), Node::Static(*field), EdgeLabel::None);
+                }
+            }
+            Stmt::Call {
+                dst,
+                receiver,
+                args,
+                site,
+                ..
+            } => {
+                for &target in callgraph.targets(*site) {
+                    let callee = program.method(target);
+                    if !callee.is_static {
+                        if let Some(r) = receiver {
+                            self.copy(
+                                local(r),
+                                Node::Local(target, LocalId(0)),
+                                EdgeLabel::Enter(*site),
+                            );
+                        }
+                    }
+                    let offset = usize::from(!callee.is_static);
+                    for (i, arg) in args.iter().enumerate() {
+                        if is_ref(program, method, *arg) {
+                            self.copy(
+                                local(arg),
+                                Node::Local(target, LocalId::from_index(offset + i)),
+                                EdgeLabel::Enter(*site),
+                            );
+                        }
+                    }
+                    if let Some(d) = dst {
+                        if is_ref(program, method, *d) {
+                            self.copy(Node::Ret(target), local(d), EdgeLabel::Exit(*site));
+                        }
+                    }
+                }
+            }
+            Stmt::Return(Some(v)) => {
+                if is_ref(program, method, *v) {
+                    self.copy(local(v), Node::Ret(method), EdgeLabel::None);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn is_ref(program: &Program, method: MethodId, local: LocalId) -> bool {
+    program.method(method).locals[local.index()].ty.is_reference()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leakchecker_callgraph::Algorithm;
+    use leakchecker_frontend::compile;
+
+    fn pag_for(src: &str) -> (leakchecker_ir::Program, Pag) {
+        let unit = compile(src).unwrap();
+        let cg = CallGraph::build(&unit.program, Algorithm::Rta);
+        let pag = Pag::build(&unit.program, &cg);
+        (unit.program, pag)
+    }
+
+    #[test]
+    fn assignments_create_copy_edges() {
+        let (p, pag) = pag_for(
+            "class C { static void main() { C a = new C(); C b = a; } }",
+        );
+        let main = p.entry().unwrap();
+        // Find b's node: it has one incoming copy edge from a's node.
+        let mut found = false;
+        for (i, node) in (0..pag.len()).map(|i| (i, pag.node_info(NodeId(i as u32)))) {
+            if let Node::Local(m, _) = node {
+                if m == main && !pag.edges_into(NodeId(i as u32)).is_empty() {
+                    found = true;
+                }
+            }
+        }
+        assert!(found, "expected at least one copy edge in main");
+    }
+
+    #[test]
+    fn loads_and_stores_are_indexed_by_field() {
+        let (p, pag) = pag_for(
+            "class C {
+               C f;
+               static void main() {
+                 C a = new C();
+                 C b = new C();
+                 a.f = b;
+                 C c = a.f;
+               }
+             }",
+        );
+        let f = p
+            .field_on(p.class_by_name("C").unwrap(), "f")
+            .unwrap();
+        assert_eq!(pag.stores_of(f).len(), 1);
+        assert_eq!(pag.loads_of(f).len(), 1);
+        assert_eq!(pag.stores_of(f)[0].field, f);
+    }
+
+    #[test]
+    fn array_accesses_use_elem_field() {
+        let (_p, pag) = pag_for(
+            "class C {
+               static void main() {
+                 C[] a = new C[4];
+                 a[0] = new C();
+                 C x = a[1];
+               }
+             }",
+        );
+        assert_eq!(pag.stores_of(ARRAY_ELEM_FIELD).len(), 1);
+        assert_eq!(pag.loads_of(ARRAY_ELEM_FIELD).len(), 1);
+    }
+
+    #[test]
+    fn calls_create_labeled_edges() {
+        let (p, pag) = pag_for(
+            "class C {
+               C id(C x) { return x; }
+               static void main() {
+                 C c = new C();
+                 C d = c.id(c);
+               }
+             }",
+        );
+        let id_m = p.method_by_path("C.id").unwrap();
+        // Parameter x (slot 1) has an Enter edge; some local in main has an
+        // Exit edge from Ret(id).
+        let x_node = pag.find(Node::Local(id_m, LocalId(1))).unwrap();
+        assert!(pag
+            .edges_into(x_node)
+            .iter()
+            .any(|(_, l)| matches!(l, EdgeLabel::Enter(_))));
+        let ret_node = pag.find(Node::Ret(id_m)).unwrap();
+        assert!(pag
+            .edges_out_of(ret_node)
+            .iter()
+            .any(|(_, l)| matches!(l, EdgeLabel::Exit(_))));
+        // And the return statement created a copy into Ret(id).
+        assert!(!pag.edges_into(ret_node).is_empty());
+    }
+
+    #[test]
+    fn static_fields_are_global_nodes() {
+        let (p, pag) = pag_for(
+            "class C {
+               static C global;
+               static void main() {
+                 C a = new C();
+                 C.global = a;
+                 C b = C.global;
+               }
+             }",
+        );
+        let g = p
+            .field_on(p.class_by_name("C").unwrap(), "global")
+            .unwrap();
+        let gn = pag.find(Node::Static(g)).unwrap();
+        assert_eq!(pag.edges_into(gn).len(), 1);
+        assert_eq!(pag.edges_out_of(gn).len(), 1);
+    }
+
+    #[test]
+    fn primitive_assignments_are_ignored() {
+        let (_p, pag) = pag_for(
+            "class C { static void main() { int a = 1; int b = a; } }",
+        );
+        // No copy edges at all (only possibly nodes).
+        for i in 0..pag.len() {
+            assert!(pag.edges_into(NodeId(i as u32)).is_empty());
+        }
+    }
+}

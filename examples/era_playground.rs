@@ -1,0 +1,104 @@
+//! The type-and-effect system on its own: reproduces the worked example
+//! of the paper's Section 3.1 and prints the computed extended-recency
+//! abstraction (ERA) per allocation site.
+//!
+//! ```text
+//! cargo run --example era_playground
+//! ```
+//!
+//! Four sites demonstrate all four ERA values:
+//! * the holder `b` is created before the loop — `0` (outside);
+//! * `c` never leaves its iteration — `c` (iteration-local);
+//! * `d` escapes into `b.g` and is read back every iteration — `f`;
+//! * `e` escapes into `d.h` but is read back only on one branch — `T`,
+//!   the leak signature.
+
+use leakchecker_callgraph::{Algorithm, CallGraph};
+use leakchecker_effects::{analyze, EffectConfig};
+use leakchecker_ir::AllocSite;
+
+const PROGRAM: &str = r#"
+class O1 { O3 g; }
+class O3 { O4 h; }
+class O4 { }
+class O2 { }
+
+class Main {
+    static void main() {
+        O1 b = new O1();
+        @check while (nondet()) {
+            O2 c = new O2();
+            O3 d = new O3();
+            O4 e = new O4();
+            O3 m = b.g;
+            if (nondet()) {
+                if (m != null) {
+                    O4 n = m.h;
+                }
+            }
+            if (nondet()) {
+                b.g = d;
+                d.h = e;
+            }
+        }
+    }
+}
+"#;
+
+fn main() {
+    let unit = leakchecker_frontend::compile(PROGRAM).expect("program compiles");
+    let cg = CallGraph::build(&unit.program, Algorithm::Rta);
+    let summary = analyze(
+        &unit.program,
+        &cg,
+        unit.checked_loops[0],
+        EffectConfig::default(),
+    );
+
+    println!("extended recency abstraction per allocation site:\n");
+    for (i, alloc) in unit.program.allocs().iter().enumerate() {
+        let site = AllocSite::from_index(i);
+        let era = summary.era(site);
+        println!(
+            "  {:<10} {:<12} ERA = {}",
+            site.to_string(),
+            alloc.describe,
+            era
+        );
+    }
+
+    println!("\nabstract store effects (Ψ̃) recorded under the loop:");
+    for e in summary.stores.iter().filter(|e| e.inside_loop) {
+        println!(
+            "  {} ▷_{} {:?}",
+            e.value,
+            unit.program.field(e.field).name,
+            e.base
+        );
+    }
+    println!("\nabstract load effects (Ω̃) recorded under the loop:");
+    for e in summary.loads.iter().filter(|e| e.inside_loop) {
+        println!(
+            "  {} ◁_{} {:?}",
+            e.value,
+            unit.program.field(e.field).name,
+            e.base
+        );
+    }
+
+    // The classification the paper's Section 3.1 derives.
+    let era_of = |name: &str| {
+        unit.program
+            .allocs()
+            .iter()
+            .enumerate()
+            .find(|(_, a)| a.describe == format!("new {name}"))
+            .map(|(i, _)| summary.era(AllocSite::from_index(i)))
+            .expect("site exists")
+    };
+    assert_eq!(era_of("O1").to_string(), "0");
+    assert_eq!(era_of("O2").to_string(), "c");
+    assert_eq!(era_of("O3").to_string(), "f");
+    assert_eq!(era_of("O4").to_string(), "T");
+    println!("\nclassification matches the paper's worked example: 0, c, f, T.");
+}

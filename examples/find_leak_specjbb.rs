@@ -1,0 +1,58 @@
+//! End-to-end case study on the SPECjbb-style subject: run the static
+//! detector, score it against ground truth, then *demonstrate* the leak
+//! by executing the program and watching the escaped-heap curve grow.
+//!
+//! ```text
+//! cargo run --example find_leak_specjbb
+//! ```
+
+use leakchecker::{check, render_all};
+use leakchecker_benchsuite::{by_name, evaluate};
+use leakchecker_dynbaseline::heap_growth_curve;
+use leakchecker_interp::{run, Config, NonDetPolicy};
+
+fn main() {
+    let subject = by_name("specjbb").expect("subject registered");
+    println!("subject: {} — {}\n", subject.name, subject.description);
+
+    // Static detection: no inputs, no execution.
+    let unit = subject.compile();
+    let result = check(
+        &unit.program,
+        subject.target(&unit),
+        subject.detector_config(),
+    )
+    .expect("analysis runs");
+    print!("{}", render_all(&result.program, &result.reports));
+
+    let score = evaluate::score(&result.program, &result);
+    println!(
+        "\nground truth: {} true positive(s), {} false positive(s), {} missed",
+        score.true_positives, score.false_positives, score.missed_leaks
+    );
+    assert_eq!(score.missed_leaks, 0);
+
+    // Dynamic demonstration: execute the transaction loop and measure the
+    // number of loop-created objects still pinned by outside objects.
+    println!("\nexecuting 200 transactions to demonstrate the leak...");
+    let exec = run(
+        &unit.program,
+        Config {
+            tracked_loop: Some(unit.checked_loops[0]),
+            nondet: NonDetPolicy::Always(true),
+            max_tracked_iterations: Some(200),
+            ..Config::default()
+        },
+    )
+    .expect("subject executes");
+    let curve = heap_growth_curve(&exec, 10);
+    println!("escaped-heap curve (objects pinned, per 20-iteration band):");
+    for (i, v) in curve.iter().enumerate() {
+        println!("  band {:>2}: {:>5} {}", i + 1, v, "#".repeat(*v / 4));
+    }
+    assert!(
+        curve.last().unwrap() > curve.first().unwrap(),
+        "the leak must show as monotone growth"
+    );
+    println!("\nthe curve grows without bound: exactly what the static report predicted.");
+}

@@ -1,0 +1,86 @@
+//! Quickstart: compile a small Java-like program, point LeakChecker at
+//! its event loop, and print the leak report.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! The program is the paper's Figure 1 shape: a transaction loop where
+//! each `Order` is saved both in `Transaction.curr` (properly read back by
+//! the next iteration's `display()`) and in a per-customer order array
+//! that nothing ever reads — the redundant reference that leaks.
+
+use leakchecker::{check, render_all, CheckTarget, DetectorConfig};
+
+const PROGRAM: &str = r#"
+class Order { int custId; }
+
+class Customer {
+    Order[] orders = new Order[64];
+    int n;
+    void addOrder(Order y) {
+        Order[] arr = this.orders;
+        arr[this.n] = y;
+        this.n = this.n + 1;
+    }
+}
+
+class Transaction {
+    Customer[] customers = new Customer[4];
+    Order curr;
+    Transaction() {
+        int i = 0;
+        while (i < 4) {
+            Customer newCust = new Customer();
+            Customer[] cs = this.customers;
+            cs[i] = newCust;
+            i = i + 1;
+        }
+    }
+    void process(Order p) {
+        this.curr = p;
+        Customer[] custs = this.customers;
+        Customer c = custs[p.custId];
+        c.addOrder(p);
+    }
+    void display() {
+        Order o = this.curr;
+        if (o != null) {
+            this.curr = null;
+        }
+    }
+}
+
+class Main {
+    static void main() {
+        Transaction t = new Transaction();
+        @check while (nondet()) {
+            t.display();
+            Order order = new Order();
+            t.process(order);
+        }
+    }
+}
+"#;
+
+fn main() {
+    let unit = leakchecker_frontend::compile(PROGRAM).expect("program compiles");
+    let result = check(
+        &unit.program,
+        CheckTarget::Loop(unit.checked_loops[0]),
+        DetectorConfig::default(),
+    )
+    .expect("analysis runs");
+
+    println!("analyzed loop: 1 designated, {} reachable methods, {} statements\n",
+        result.stats.methods, result.stats.statements);
+    print!("{}", render_all(&result.program, &result.reports));
+
+    // The report names the Order allocation and the redundant edge — the
+    // customer order array — while the properly carried-over curr edge is
+    // recognized as matched and not reported.
+    assert_eq!(result.reports.len(), 1);
+    assert_eq!(result.reports[0].describe, "new Order");
+    println!("\nthe `Transaction.curr` edge was matched by display() and not reported;");
+    println!("the order-array edge has no matching read: the leak's root cause.");
+}

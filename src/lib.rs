@@ -1,0 +1,16 @@
+//! Umbrella crate re-exporting the LeakChecker reproduction workspace.
+//!
+//! See the individual `leakchecker-*` crates for the actual functionality;
+//! this package exists to host the workspace-level examples and integration
+//! tests.
+
+pub use leakchecker;
+pub use leakchecker_benchsuite as benchsuite;
+pub use leakchecker_callgraph as callgraph;
+pub use leakchecker_dynbaseline as dynbaseline;
+pub use leakchecker_effects as effects;
+pub use leakchecker_frontend as frontend;
+pub use leakchecker_interp as interp;
+pub use leakchecker_ir as ir;
+pub use leakchecker_pointsto as pointsto;
+

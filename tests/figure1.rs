@@ -1,0 +1,134 @@
+//! End-to-end integration test for the paper's Figure 1 example: the
+//! SPECjbb-style transaction loop in which each `Order` is saved both in
+//! `Transaction.curr` (properly read back) and in a per-customer order
+//! array (never read back — the leak).
+
+use leakchecker::{check, CheckTarget, DetectorConfig};
+use leakchecker_effects::Era;
+use leakchecker_interp::{compute_ground_truth, run, Config, NonDetPolicy};
+
+const FIGURE1: &str = r#"
+class Order { int custId; }
+
+class Customer {
+    Order[] orders = new Order[64];
+    int n;
+    void addOrder(Order y) {
+        Order[] arr = this.orders;
+        arr[this.n] = y;
+        this.n = this.n + 1;
+    }
+}
+
+class Transaction {
+    Customer[] customers = new Customer[4];
+    Order curr;
+    Transaction() {
+        int i = 0;
+        while (i < 4) {
+            Customer newCust = new Customer();
+            Customer[] cs = this.customers;
+            cs[i] = newCust;
+            i = i + 1;
+        }
+    }
+    void process(Order p) {
+        this.curr = p;
+        Customer[] custs = this.customers;
+        Customer c = custs[p.custId];
+        c.addOrder(p);
+    }
+    void display() {
+        Order o = this.curr;
+        if (o != null) {
+            this.curr = null;
+        }
+    }
+}
+
+class Main {
+    static void main() {
+        Transaction t = new Transaction();
+        @check while (nondet()) {
+            t.display();
+            Order order = new Order();
+            t.process(order);
+        }
+    }
+}
+"#;
+
+#[test]
+fn figure1_static_detection() {
+    let unit = leakchecker_frontend::compile(FIGURE1).unwrap();
+    let result = check(
+        &unit.program,
+        CheckTarget::Loop(unit.checked_loops[0]),
+        DetectorConfig::default(),
+    )
+    .unwrap();
+
+    // Exactly the Order site is reported.
+    assert_eq!(result.reports.len(), 1);
+    let report = &result.reports[0];
+    assert_eq!(report.describe, "new Order");
+    // The Order escapes through two edges; only the array edge lacks a
+    // matching flows-in, and the report pinpoints it, as in Section 2.
+    // (The site-level ERA joins the flowed-back curr occurrence with the
+    // never-read array occurrence, so it is f̂ or ⊤̂ depending on which
+    // dominates; both classify the site as escaping.)
+    assert!(report.era == Era::Future || report.era == Era::Top);
+    assert_eq!(report.edges.len(), 1);
+    assert_eq!(result.program.field(report.edges[0].field).name, "elem");
+}
+
+#[test]
+fn figure1_concrete_ground_truth_agrees() {
+    let unit = leakchecker_frontend::compile(FIGURE1).unwrap();
+    let exec = run(
+        &unit.program,
+        Config {
+            tracked_loop: Some(unit.checked_loops[0]),
+            nondet: NonDetPolicy::Always(true),
+            max_tracked_iterations: Some(40),
+            ..Config::default()
+        },
+    )
+    .unwrap();
+    let gt = compute_ground_truth(&exec.heap, &exec.effects);
+    // Concretely, the Order instances leak (pinned by the order arrays).
+    let order_site = unit
+        .program
+        .allocs()
+        .iter()
+        .enumerate()
+        .find(|(_, a)| a.describe == "new Order")
+        .map(|(i, _)| leakchecker_ir::AllocSite::from_index(i))
+        .unwrap();
+    assert!(gt.leaked_sites().contains(&order_site));
+    // Most of the 40 instances are stuck (the current one may not be).
+    assert!(gt.instances_of(order_site) >= 38);
+}
+
+#[test]
+fn figure1_fixed_version_is_quiet() {
+    // The fix: the customer order array is pruned... modeled simply by
+    // the processing not archiving the order at all.
+    let fixed = FIGURE1.replace("c.addOrder(p);", "");
+    let unit = leakchecker_frontend::compile(&fixed).unwrap();
+    let result = check(
+        &unit.program,
+        CheckTarget::Loop(unit.checked_loops[0]),
+        DetectorConfig::default(),
+    )
+    .unwrap();
+    assert!(
+        result.reports.is_empty(),
+        "fixed program must be quiet: {:?}",
+        result
+            .reports
+            .iter()
+            .map(|r| r.describe.clone())
+            .collect::<Vec<_>>()
+    );
+}
