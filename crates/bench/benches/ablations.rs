@@ -1,70 +1,51 @@
 //! Ablation benches: the cost of each design choice the paper discusses —
 //! library modeling, pivot mode, thread modeling, context depth.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use leakchecker_bench::stopwatch::bench;
 use leakchecker_bench::{run_subject_with, subject_or_exit};
-use std::hint::black_box;
 
-fn bench_ablations(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablations");
-    group.sample_size(10);
-
+fn main() {
     let findbugs = subject_or_exit("findbugs");
-    group.bench_function("library-modeling-on", |b| {
-        b.iter(|| {
-            let config = findbugs.detector_config();
-            black_box(run_subject_with(&findbugs, config).1.reported_sites)
-        })
+    bench("ablations/library-modeling-on", 10, || {
+        run_subject_with(&findbugs, findbugs.detector_config())
+            .1
+            .reported_sites
     });
-    group.bench_function("library-modeling-off", |b| {
-        b.iter(|| {
-            let mut config = findbugs.detector_config();
-            config.library_modeling = false;
-            black_box(run_subject_with(&findbugs, config).1.reported_sites)
-        })
+    bench("ablations/library-modeling-off", 10, || {
+        let mut config = findbugs.detector_config();
+        config.library_modeling = false;
+        run_subject_with(&findbugs, config).1.reported_sites
     });
 
     let specjbb = subject_or_exit("specjbb");
-    group.bench_function("pivot-on", |b| {
-        b.iter(|| {
-            let config = specjbb.detector_config();
-            black_box(run_subject_with(&specjbb, config).1.reported_sites)
-        })
+    bench("ablations/pivot-on", 10, || {
+        run_subject_with(&specjbb, specjbb.detector_config())
+            .1
+            .reported_sites
     });
-    group.bench_function("pivot-off", |b| {
-        b.iter(|| {
-            let mut config = specjbb.detector_config();
-            config.pivot_mode = false;
-            black_box(run_subject_with(&specjbb, config).1.reported_sites)
-        })
+    bench("ablations/pivot-off", 10, || {
+        let mut config = specjbb.detector_config();
+        config.pivot_mode = false;
+        run_subject_with(&specjbb, config).1.reported_sites
     });
 
     let mikou = subject_or_exit("mikou");
-    group.bench_function("threads-on", |b| {
-        b.iter(|| {
-            let config = mikou.detector_config();
-            black_box(run_subject_with(&mikou, config).1.reported_sites)
-        })
+    bench("ablations/threads-on", 10, || {
+        run_subject_with(&mikou, mikou.detector_config())
+            .1
+            .reported_sites
     });
-    group.bench_function("threads-off", |b| {
-        b.iter(|| {
-            let mut config = mikou.detector_config();
-            config.model_threads = false;
-            black_box(run_subject_with(&mikou, config).1.reported_sites)
-        })
+    bench("ablations/threads-off", 10, || {
+        let mut config = mikou.detector_config();
+        config.model_threads = false;
+        run_subject_with(&mikou, config).1.reported_sites
     });
 
     for k in [1usize, 4, 8] {
-        group.bench_function(format!("context-k{k}"), |b| {
-            b.iter(|| {
-                let mut config = specjbb.detector_config();
-                config.contexts.k = k;
-                black_box(run_subject_with(&specjbb, config).0.stats.loop_objects)
-            })
+        bench(&format!("ablations/context-k{k}"), 10, || {
+            let mut config = specjbb.detector_config();
+            config.contexts.k = k;
+            run_subject_with(&specjbb, config).0.stats.loop_objects
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_ablations);
-criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! queries vs the exhaustive Andersen baseline, and the type-and-effect
 //! fixpoint on its own.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use leakchecker_bench::stopwatch::bench;
 use leakchecker_benchsuite::{generate, jdk::with_jdk, GenConfig};
 use leakchecker_callgraph::{Algorithm, CallGraph};
 use leakchecker_effects::{analyze, EffectConfig};
@@ -11,7 +11,7 @@ use leakchecker_ir::ids::LocalId;
 use leakchecker_pointsto::{Andersen, Context, DemandConfig, DemandPointsTo, Node, Pag};
 use std::hint::black_box;
 
-fn bench_pointsto(c: &mut Criterion) {
+fn main() {
     let generated = generate(GenConfig {
         handlers: 20,
         leak_percent: 30,
@@ -21,47 +21,31 @@ fn bench_pointsto(c: &mut Criterion) {
     let unit = compile(&generated.source).expect("compiles");
     let cg = CallGraph::build(&unit.program, Algorithm::Rta);
     let pag = Pag::build(&unit.program, &cg);
-    let main = unit.program.entry().expect("entry");
+    let main_method = unit.program.entry().expect("entry");
 
-    let mut group = c.benchmark_group("pointsto");
-    group.sample_size(20);
-    group.bench_function("andersen-exhaustive", |b| {
-        b.iter(|| black_box(Andersen::run(&unit.program, &pag)))
+    bench("pointsto/andersen-exhaustive", 20, || {
+        Andersen::run(&unit.program, &pag)
     });
-    group.bench_function("demand-one-query", |b| {
-        let engine = DemandPointsTo::new(&unit.program, &pag, DemandConfig::default());
-        b.iter(|| {
-            let r = engine.points_to(
-                black_box(Node::Local(main, LocalId(0))),
-                &Context::empty(),
-            );
-            black_box(r.objects.len())
-        })
+    let engine = DemandPointsTo::new(&unit.program, &pag, DemandConfig::default());
+    bench("pointsto/demand-one-query", 20, || {
+        let r = engine.points_to(
+            black_box(Node::Local(main_method, LocalId(0))),
+            &Context::empty(),
+        );
+        r.objects.len()
     });
-    group.finish();
-}
 
-fn bench_effects(c: &mut Criterion) {
     let subject = leakchecker_benchsuite::by_name("derby").expect("subject exists");
     let unit = compile(&with_jdk(subject.source)).expect("compiles");
     let cg = CallGraph::build(&unit.program, Algorithm::Rta);
     let designated = unit.checked_loops[0];
-
-    let mut group = c.benchmark_group("effects");
-    group.sample_size(20);
-    group.bench_function("twhile-fixpoint-derby", |b| {
-        b.iter(|| {
-            let summary = analyze(
-                &unit.program,
-                &cg,
-                black_box(designated),
-                EffectConfig::default(),
-            );
-            black_box(summary.eras.len())
-        })
+    bench("effects/twhile-fixpoint-derby", 20, || {
+        let summary = analyze(
+            &unit.program,
+            &cg,
+            black_box(designated),
+            EffectConfig::default(),
+        );
+        summary.eras.len()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_pointsto, bench_effects);
-criterion_main!(benches);

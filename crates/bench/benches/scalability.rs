@@ -1,15 +1,13 @@
 //! Scalability bench: full-pipeline wall-clock against generated program
 //! size (the trend behind the paper's Time column).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use leakchecker::{check, CheckTarget, DetectorConfig};
+use leakchecker_bench::stopwatch::bench;
 use leakchecker_benchsuite::{generate, GenConfig};
 use leakchecker_frontend::compile;
 use std::hint::black_box;
 
-fn bench_scalability(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scalability");
-    group.sample_size(10);
+fn main() {
     for handlers in [5usize, 10, 20, 40] {
         let generated = generate(GenConfig {
             handlers,
@@ -19,25 +17,15 @@ fn bench_scalability(c: &mut Criterion) {
         });
         let unit = compile(&generated.source).expect("generated source compiles");
         let stmts = unit.program.statement_count();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{handlers}h-{stmts}stmts")),
-            &generated.source,
-            |b, source| {
-                b.iter(|| {
-                    let unit = compile(black_box(source)).expect("compiles");
-                    let result = check(
-                        &unit.program,
-                        CheckTarget::Loop(unit.checked_loops[0]),
-                        DetectorConfig::default(),
-                    )
-                    .expect("analyzes");
-                    black_box(result.reports.len())
-                })
-            },
-        );
+        bench(&format!("scalability/{handlers}h-{stmts}stmts"), 10, || {
+            let unit = compile(black_box(&generated.source)).expect("compiles");
+            let result = check(
+                &unit.program,
+                CheckTarget::Loop(unit.checked_loops[0]),
+                DetectorConfig::default(),
+            )
+            .expect("analyzes");
+            result.reports.len()
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_scalability);
-criterion_main!(benches);

@@ -1,42 +1,25 @@
-//! Criterion benches for the Table 1 pipeline: one end-to-end detector
-//! run per subject. The paper's Time column (seconds per subject on an
-//! i7-2600) becomes a statistically sampled wall-clock measurement here.
+//! Benches for the Table 1 pipeline: one end-to-end detector run per
+//! subject. The paper's Time column (seconds per subject on an i7-2600)
+//! becomes a sampled wall-clock measurement here.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use leakchecker_bench::run_subject;
+use leakchecker_bench::stopwatch::bench;
 use leakchecker_benchsuite::all_subjects;
 use std::hint::black_box;
 
-fn bench_subjects(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1");
-    group.sample_size(10);
+fn main() {
     for subject in all_subjects() {
-        group.bench_function(subject.name, |b| {
-            b.iter(|| {
-                let (result, score) = run_subject(black_box(&subject));
-                black_box((result.reports.len(), score.true_positives))
-            })
+        bench(&format!("table1/{}", subject.name), 10, || {
+            let (result, score) = run_subject(black_box(&subject));
+            (result.reports.len(), score.true_positives)
         });
     }
-    group.finish();
-}
 
-fn bench_phases(c: &mut Criterion) {
     // Phase split on the largest subject: compile vs whole pipeline.
     let subject = leakchecker_benchsuite::by_name("specjbb").expect("subject exists");
-    let mut group = c.benchmark_group("phases");
-    group.sample_size(10);
-    group.bench_function("compile", |b| {
-        b.iter(|| black_box(subject.compile()))
+    bench("phases/compile", 10, || subject.compile());
+    bench("phases/full-pipeline", 10, || {
+        let (result, _) = run_subject(black_box(&subject));
+        result.stats.methods
     });
-    group.bench_function("full-pipeline", |b| {
-        b.iter(|| {
-            let (result, _) = run_subject(black_box(&subject));
-            black_box(result.stats.methods)
-        })
-    });
-    group.finish();
 }
-
-criterion_group!(benches, bench_subjects, bench_phases);
-criterion_main!(benches);

@@ -27,7 +27,10 @@ fn main() {
 /// the container-internal probe reads mask leaks (missed leaks appear).
 fn ablation_library_modeling() {
     println!("== A1: library modeling (paper Section 4, 'Flow into Library Methods')");
-    println!("{:<18} {:>10} {:>10} {:>8} {:>8}", "subject", "LS(on)", "LS(off)", "miss(on)", "miss(off)");
+    println!(
+        "{:<18} {:>10} {:>10} {:>8} {:>8}",
+        "subject", "LS(on)", "LS(off)", "miss(on)", "miss(off)"
+    );
     for name in ["findbugs", "derby", "eclipse-cp"] {
         let subject = subject_or_exit(name);
         let (_, on) = run_subject(&subject);
@@ -45,7 +48,10 @@ fn ablation_library_modeling() {
 /// A2 — pivot mode on/off: report-size reduction at equal coverage.
 fn ablation_pivot_mode() {
     println!("== A2: pivot mode (report roots only)");
-    println!("{:<18} {:>10} {:>10} {:>8} {:>8}", "subject", "sites(on)", "sites(off)", "miss(on)", "miss(off)");
+    println!(
+        "{:<18} {:>10} {:>10} {:>8} {:>8}",
+        "subject", "sites(on)", "sites(off)", "miss(on)", "miss(off)"
+    );
     for name in ["specjbb", "mysql-connectorj", "log4j"] {
         let subject = subject_or_exit(name);
         let (_, on) = run_subject(&subject);
@@ -108,7 +114,10 @@ fn baseline_static_vs_dynamic() {
         "static: {} true leak site(s) found with zero executions",
         score.true_positives
     );
-    println!("{:>12} {:>14} {:>12}", "iterations", "dyn findings", "heap curve");
+    println!(
+        "{:>12} {:>14} {:>12}",
+        "iterations", "dyn findings", "heap curve"
+    );
     for iters in [1u64, 2, 5, 20, 100] {
         let exec = interp_run(
             &unit.program,
@@ -131,7 +140,10 @@ fn baseline_static_vs_dynamic() {
 /// program size (the paper's Time column trend).
 fn scalability_sweep() {
     println!("== S1: scalability (generated programs, full pipeline)");
-    println!("{:>9} {:>8} {:>9} {:>10} {:>8}", "handlers", "stmts", "time(s)", "planted", "found");
+    println!(
+        "{:>9} {:>8} {:>9} {:>10} {:>8}",
+        "handlers", "stmts", "time(s)", "planted", "found"
+    );
     for handlers in [5usize, 10, 20, 40, 80] {
         let generated = generate(GenConfig {
             handlers,

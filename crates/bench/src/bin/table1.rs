@@ -4,25 +4,102 @@
 //! ```text
 //! cargo run -p leakchecker-bench --release --bin table1
 //! cargo run -p leakchecker-bench --release --bin table1 -- --case derby
+//! cargo run -p leakchecker-bench --release --bin table1 -- --jobs 4 --sweep --json BENCH_table1.json
 //! ```
 
 use leakchecker::render_all as render_reports;
-use leakchecker_bench::{run_subject, subject_or_exit, table1_rows, render_table};
+use leakchecker_bench::{
+    render_json, render_table, run_subject, size_sweep, subject_or_exit, table1_rows_jobs,
+    SweepPoint,
+};
+
+struct Args {
+    case: Option<String>,
+    jobs: usize,
+    json: Option<String>,
+    sweep: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        case: None,
+        jobs: 1,
+        json: None,
+        sweep: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--case" => args.case = it.next().cloned(),
+            "--jobs" => {
+                args.jobs = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--json" => args.json = it.next().cloned(),
+            "--sweep" => args.sweep = true,
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn usage() -> ! {
+    eprintln!("usage: table1 [--case <subject>] [--jobs N] [--json <path>] [--sweep]");
+    std::process::exit(2);
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.len() == 2 && args[0] == "--case" {
-        case_study(&args[1]);
+    let args = parse_args();
+    if let Some(name) = &args.case {
+        case_study(name);
         return;
     }
-    if !args.is_empty() {
-        eprintln!("usage: table1 [--case <subject>]");
-        std::process::exit(2);
-    }
-    println!("Reproduction of Table 1 (analysis results on eight subjects)\n");
-    let rows = table1_rows();
+    println!(
+        "Reproduction of Table 1 (analysis results on eight subjects, {} job(s))\n",
+        leakchecker::effective_jobs(args.jobs)
+    );
+    let rows = table1_rows_jobs(args.jobs);
     print!("{}", render_table(&rows));
     println!();
+
+    let sweep: Vec<SweepPoint> = if args.sweep {
+        let par_jobs = if args.jobs > 1 { args.jobs } else { 4 };
+        println!("jobs sweep over generated programs (jobs=1 vs jobs={par_jobs}):");
+        let sweep = size_sweep(&[16, 48, 96, 160], par_jobs);
+        println!(
+            "{:>9} {:>7} {:>10} {:>10} {:>8}",
+            "handlers", "stmts", "seq(s)", "par(s)", "speedup"
+        );
+        for p in &sweep {
+            println!(
+                "{:>9} {:>7} {:>10.4} {:>10.4} {:>7.2}x",
+                p.handlers,
+                p.statements,
+                p.seq_secs,
+                p.par_secs,
+                p.speedup()
+            );
+        }
+        println!();
+        sweep
+    } else {
+        Vec::new()
+    };
+
+    if let Some(path) = &args.json {
+        let json = render_json(&rows, &sweep);
+        match std::fs::write(path, json) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     println!("Notes: absolute Mtds/Stmts/Time differ from the paper (the subjects");
     println!("are synthetic models, not the original megabyte-scale binaries);");
     println!("the shape — every known leak found, FP causes per case study, the");
@@ -37,6 +114,11 @@ fn case_study(name: &str) {
     println!(
         "pipeline: {} reachable methods, {} statements, {:.3}s",
         result.stats.methods, result.stats.statements, result.stats.time_secs
+    );
+    let p = result.stats.phases;
+    println!(
+        "phases: callgraph {:.3}s, effects {:.3}s, flows {:.3}s, contexts {:.3}s, matching {:.3}s",
+        p.callgraph_secs, p.effects_secs, p.flows_secs, p.contexts_secs, p.matching_secs
     );
     println!(
         "LO = {} context-sensitive allocation sites in the analyzed loop",

@@ -8,9 +8,13 @@
 //! static-vs-dynamic comparison; the Criterion benches measure the same
 //! pipelines.
 
-use leakchecker::{check, AnalysisResult, DetectorConfig};
-use leakchecker_benchsuite::{all_subjects, by_name, evaluate, Subject};
+use leakchecker::parallel::{effective_jobs, parallel_map};
+use leakchecker::{check, AnalysisResult, CheckTarget, DetectorConfig};
+use leakchecker_benchsuite::{all_subjects, by_name, evaluate, generate, GenConfig, Subject};
 use std::fmt::Write as _;
+use std::time::Instant;
+
+pub mod stopwatch;
 
 /// One row of the reproduced Table 1.
 #[derive(Clone, Debug)]
@@ -61,23 +65,29 @@ pub fn run_subject_with(
 
 /// Produces every row of the reproduced Table 1.
 pub fn table1_rows() -> Vec<TableRow> {
-    all_subjects()
-        .iter()
-        .map(|subject| {
-            let (result, score) = run_subject(subject);
-            TableRow {
-                name: subject.name.to_string(),
-                methods: result.stats.methods,
-                statements: result.stats.statements,
-                time_secs: result.stats.time_secs,
-                loop_objects: result.stats.loop_objects,
-                leaking_sites: result.stats.leaking_sites,
-                false_positives: score.false_positives_ctx,
-                fpr: score.fpr(),
-                missed: score.missed_leaks,
-            }
-        })
-        .collect()
+    table1_rows_jobs(1)
+}
+
+/// Like [`table1_rows`] with the eight subjects analyzed concurrently on
+/// up to `jobs` worker threads. Rows come back in registry order
+/// regardless of completion order, and each subject runs its detector
+/// sequentially (the parallelism is across subjects), so the rows equal
+/// the sequential ones modulo the timing columns.
+pub fn table1_rows_jobs(jobs: usize) -> Vec<TableRow> {
+    parallel_map(jobs, all_subjects(), |subject| {
+        let (result, score) = run_subject(&subject);
+        TableRow {
+            name: subject.name.to_string(),
+            methods: result.stats.methods,
+            statements: result.stats.statements,
+            time_secs: result.stats.time_secs,
+            loop_objects: result.stats.loop_objects,
+            leaking_sites: result.stats.leaking_sites,
+            false_positives: score.false_positives_ctx,
+            fpr: score.fpr(),
+            missed: score.missed_leaks,
+        }
+    })
 }
 
 /// Renders the rows as an aligned text table, with the average FPR line
@@ -119,6 +129,142 @@ pub fn render_table(rows: &[TableRow]) -> String {
     out
 }
 
+/// One point of the jobs-scaling sweep over generated programs.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// Generator size knob (handler classes).
+    pub handlers: usize,
+    /// Statements in the generated program's reachable methods.
+    pub statements: usize,
+    /// End-to-end wall-clock with `jobs = 1`, in seconds.
+    pub seq_secs: f64,
+    /// End-to-end wall-clock with `jobs = par_jobs`, in seconds.
+    pub par_secs: f64,
+    /// Worker threads of the parallel run (after resolving `0`).
+    pub par_jobs: usize,
+    /// Reports found (identical across the two runs by construction).
+    pub reports: usize,
+}
+
+impl SweepPoint {
+    /// Sequential-over-parallel wall-clock ratio.
+    pub fn speedup(&self) -> f64 {
+        if self.par_secs > 0.0 {
+            self.seq_secs / self.par_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Runs the size sweep: for each generator size, one sequential and one
+/// `jobs`-wide detector run over the same program, verifying both modes
+/// report the same sites.
+///
+/// # Panics
+///
+/// Panics if a generated program fails to compile or analyze, or if the
+/// two modes disagree — generator/determinism bugs covered by tests.
+pub fn size_sweep(sizes: &[usize], jobs: usize) -> Vec<SweepPoint> {
+    sizes
+        .iter()
+        .map(|&handlers| {
+            let generated = generate(GenConfig {
+                handlers,
+                leak_percent: 30,
+                padding_methods: 3,
+                seed: 0xC0FFEE,
+            });
+            let unit =
+                leakchecker_frontend::compile(&generated.source).expect("generated compiles");
+            let target = CheckTarget::Loop(unit.checked_loops[0]);
+            let run = |jobs: usize| {
+                let config = DetectorConfig {
+                    jobs,
+                    ..DetectorConfig::default()
+                };
+                let start = Instant::now();
+                let result = check(&unit.program, target, config).expect("analysis runs");
+                (start.elapsed().as_secs_f64(), result)
+            };
+            let (seq_secs, seq) = run(1);
+            let (par_secs, par) = run(jobs);
+            assert_eq!(
+                seq.reported_sites(),
+                par.reported_sites(),
+                "jobs={jobs} changed the verdict at {handlers} handlers"
+            );
+            SweepPoint {
+                handlers,
+                statements: seq.stats.statements,
+                seq_secs,
+                par_secs,
+                par_jobs: effective_jobs(jobs),
+                reports: seq.reports.len(),
+            }
+        })
+        .collect()
+}
+
+/// Escapes a string for JSON embedding.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the Table-1 rows and the jobs sweep as a JSON document
+/// (hand-rolled: the build is hermetic, no serde).
+pub fn render_json(rows: &[TableRow], sweep: &[SweepPoint]) -> String {
+    let mut out = String::from("{\n  \"table1\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"methods\": {}, \"statements\": {}, \
+             \"time_secs\": {:.6}, \"loop_objects\": {}, \"leaking_sites\": {}, \
+             \"false_positives\": {}, \"fpr\": {:.4}, \"missed\": {}}}",
+            json_escape(&row.name),
+            row.methods,
+            row.statements,
+            row.time_secs,
+            row.loop_objects,
+            row.leaking_sites,
+            row.false_positives,
+            row.fpr,
+            row.missed
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n  \"jobs_sweep\": [\n");
+    for (i, point) in sweep.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"handlers\": {}, \"statements\": {}, \"seq_secs\": {:.6}, \
+             \"par_secs\": {:.6}, \"par_jobs\": {}, \"speedup\": {:.3}, \"reports\": {}}}",
+            point.handlers,
+            point.statements,
+            point.seq_secs,
+            point.par_secs,
+            point.par_jobs,
+            point.speedup(),
+            point.reports
+        );
+        out.push_str(if i + 1 < sweep.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Resolves a subject by name for `--case` style flags.
 ///
 /// # Panics
@@ -155,5 +301,36 @@ mod tests {
         let log4j = rows.iter().find(|r| r.name == "log4j").unwrap();
         assert_eq!(log4j.false_positives, 0);
         assert_eq!(log4j.fpr, 0.0);
+    }
+
+    #[test]
+    fn concurrent_rows_match_sequential() {
+        let seq = table1_rows();
+        let par = table1_rows_jobs(4);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.name, b.name, "registry order preserved");
+            assert_eq!(a.leaking_sites, b.leaking_sites);
+            assert_eq!(a.false_positives, b.false_positives);
+            assert_eq!(a.loop_objects, b.loop_objects);
+        }
+    }
+
+    #[test]
+    fn sweep_and_json_render() {
+        let sweep = size_sweep(&[8, 16], 2);
+        assert_eq!(sweep.len(), 2);
+        assert!(sweep[0].statements < sweep[1].statements);
+        for point in &sweep {
+            assert!(point.reports > 0, "planted leaks must be found");
+            assert!(point.seq_secs > 0.0 && point.par_secs > 0.0);
+        }
+        let rows = table1_rows();
+        let json = render_json(&rows, &sweep);
+        assert!(json.contains("\"table1\""));
+        assert!(json.contains("\"jobs_sweep\""));
+        assert!(json.contains("\"specjbb\""));
+        assert!(json.contains("\"speedup\""));
+        assert_eq!(json.matches("\"handlers\"").count(), 2);
     }
 }

@@ -7,8 +7,7 @@
 //! (the detector must find every planted leak pattern and stay quiet on
 //! the healthy variants).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 use std::fmt::Write as _;
 
 /// What each generated handler class does with its per-event object.
@@ -71,13 +70,13 @@ impl Generated {
 /// Generates a program: an event loop dispatching over `handlers`
 /// handler classes, each with its own payload type and registry slot.
 pub fn generate(config: GenConfig) -> Generated {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = SplitMix64::new(config.seed);
     let mut kinds = Vec::with_capacity(config.handlers);
     for _ in 0..config.handlers {
-        let roll: u8 = rng.gen_range(0..100);
+        let roll = rng.gen_range(0, 100) as u8;
         let kind = if roll < config.leak_percent {
             HandlerKind::Leak
-        } else if roll % 2 == 0 {
+        } else if roll.is_multiple_of(2) {
             HandlerKind::CarryOver
         } else {
             HandlerKind::Local
@@ -125,8 +124,8 @@ pub fn generate(config: GenConfig) -> Generated {
         }
         let _ = writeln!(src, "  }}");
         for pad in 0..config.padding_methods {
-            let a: i64 = rng.gen_range(1..100);
-            let b: i64 = rng.gen_range(1..100);
+            let a = rng.gen_range(1, 100) as i64;
+            let b = rng.gen_range(1, 100) as i64;
             let _ = writeln!(
                 src,
                 "  int pad{pad}(int x) {{\n\

@@ -320,11 +320,8 @@ mod tests {
              }",
         );
         let unit = compile(&src).unwrap();
-        let exec = leakchecker_interp::run(
-            &unit.program,
-            leakchecker_interp::Config::default(),
-        )
-        .unwrap();
+        let exec =
+            leakchecker_interp::run(&unit.program, leakchecker_interp::Config::default()).unwrap();
         let result_field = unit
             .program
             .field_on(unit.program.class_by_name("Main").unwrap(), "result")

@@ -33,10 +33,12 @@
 pub mod evaluate;
 pub mod generator;
 pub mod jdk;
+pub mod rng;
 pub mod subjects;
 
 pub use evaluate::{score, Score};
 pub use generator::{generate, GenConfig, Generated, HandlerKind};
+pub use rng::SplitMix64;
 pub use subjects::{all as all_subjects, by_name, PaperRow, Subject};
 
 #[cfg(test)]
@@ -59,7 +61,8 @@ mod tests {
             .unwrap_or_else(|e| panic!("{}: {e}", subject.name));
             let s = score(&result.program, &result);
             assert_eq!(
-                s.missed_leaks, 0,
+                s.missed_leaks,
+                0,
                 "{}: detector missed planted leaks; reported: {:?}",
                 subject.name,
                 result

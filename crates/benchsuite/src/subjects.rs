@@ -11,8 +11,8 @@
 //! against them mechanically.
 
 use crate::jdk::with_jdk;
-use leakchecker_frontend::{compile, CompiledUnit};
 use leakchecker::{CheckTarget, DetectorConfig};
+use leakchecker_frontend::{compile, CompiledUnit};
 
 /// Values the paper reports for a subject (for EXPERIMENTS.md deltas).
 #[derive(Copy, Clone, Debug)]

@@ -63,6 +63,8 @@ pub struct CheckOptions {
     pub k: usize,
     /// `--cha` (default RTA).
     pub cha: bool,
+    /// `--jobs <n>` worker threads (0 = machine width, 1 = sequential).
+    pub jobs: usize,
 }
 
 impl Default for CheckOptions {
@@ -73,6 +75,7 @@ impl Default for CheckOptions {
             library_modeling: true,
             k: 8,
             cha: false,
+            jobs: 1,
         }
     }
 }
@@ -89,6 +92,7 @@ impl CheckOptions {
             } else {
                 Algorithm::Rta
             },
+            jobs: self.jobs,
             ..DetectorConfig::default()
         };
         config.contexts.k = self.k;
@@ -102,7 +106,7 @@ leakc — loop-centric static memory leak detection (CGO 2014 reproduction)
 
 USAGE:
   leakc check <file.jml> [--loop N | --auto] [--no-pivot] [--threads]
-                         [--no-library-modeling] [--k N] [--cha]
+                         [--no-library-modeling] [--k N] [--cha] [--jobs N]
   leakc run   <file.jml> [--iterations N]
   leakc print <file.jml>
   leakc loops <file.jml>
@@ -136,8 +140,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 match flag.as_str() {
                     "--loop" => {
                         let n = it.next().ok_or("--loop needs a number")?;
-                        loop_index =
-                            Some(n.parse::<usize>().map_err(|_| "--loop needs a number")?);
+                        loop_index = Some(n.parse::<usize>().map_err(|_| "--loop needs a number")?);
                     }
                     "--auto" => auto = true,
                     "--no-pivot" => options.pivot = false,
@@ -147,6 +150,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     "--k" => {
                         let n = it.next().ok_or("--k needs a number")?;
                         options.k = n.parse::<usize>().map_err(|_| "--k needs a number")?;
+                    }
+                    "--jobs" => {
+                        let n = it.next().ok_or("--jobs needs a number")?;
+                        options.jobs = n.parse::<usize>().map_err(|_| "--jobs needs a number")?;
                     }
                     other => return Err(format!("check: unknown flag `{other}`")),
                 }
@@ -196,8 +203,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
 }
 
 fn compile_file(file: &str) -> Result<CompiledUnit, String> {
-    let source =
-        std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let source = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
     leakchecker_frontend::compile(&source).map_err(|e| format!("{file}: {e}"))
 }
 
@@ -270,8 +276,8 @@ pub fn execute(command: Command) -> Result<String, String> {
             };
             let mut out = String::new();
             for target in targets {
-                let result = check(&unit.program, target, options.to_config())
-                    .map_err(|e| e.to_string())?;
+                let result =
+                    check(&unit.program, target, options.to_config()).map_err(|e| e.to_string())?;
                 let _ = writeln!(
                     out,
                     "target {:?}: {} methods, {} statements, LO = {}, LS = {} ({:.3}s)",
@@ -281,6 +287,21 @@ pub fn execute(command: Command) -> Result<String, String> {
                     result.stats.loop_objects,
                     result.stats.leaking_sites,
                     result.stats.time_secs
+                );
+                let p = result.stats.phases;
+                let _ = writeln!(
+                    out,
+                    "  phases: callgraph {:.3}s, effects {:.3}s, flows {:.3}s, \
+                     contexts {:.3}s, matching {:.3}s  \
+                     ({} flow edges, {} candidates, {} jobs)",
+                    p.callgraph_secs,
+                    p.effects_secs,
+                    p.flows_secs,
+                    p.contexts_secs,
+                    p.matching_secs,
+                    result.stats.flow_edges,
+                    result.stats.candidate_sites,
+                    result.stats.jobs
                 );
                 out.push_str(&render_all(&result.program, &result.reports));
                 out.push('\n');
@@ -361,6 +382,55 @@ mod tests {
         let config = options.to_config();
         assert!(!config.pivot_mode);
         assert_eq!(config.contexts.k, 4);
+    }
+
+    #[test]
+    fn parses_jobs_flag() {
+        let cmd = parse_args(&argv(&["check", "app.jml", "--jobs", "4"])).unwrap();
+        let Command::Check { options, .. } = cmd else {
+            panic!("expected check");
+        };
+        assert_eq!(options.jobs, 4);
+        assert_eq!(options.to_config().jobs, 4);
+        assert!(parse_args(&argv(&["check", "x", "--jobs"])).is_err());
+        assert!(parse_args(&argv(&["check", "x", "--jobs", "many"])).is_err());
+        // Default stays sequential.
+        assert_eq!(CheckOptions::default().jobs, 1);
+    }
+
+    #[test]
+    fn check_prints_phase_stats() {
+        let dir = std::env::temp_dir().join("leakc-test-jobs");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("leaky.jml");
+        std::fs::write(
+            &path,
+            "class Item { }
+             class Holder { Item item; }
+             class Main {
+               static void main() {
+                 Holder h = new Holder();
+                 @check while (nondet()) {
+                   Item it = new Item();
+                   h.item = it;
+                 }
+               }
+             }",
+        )
+        .unwrap();
+        let text = execute(Command::Check {
+            file: path.to_string_lossy().to_string(),
+            loop_index: None,
+            auto: false,
+            options: CheckOptions {
+                jobs: 2,
+                ..CheckOptions::default()
+            },
+        })
+        .unwrap();
+        assert!(text.contains("phases: callgraph"), "{text}");
+        assert!(text.contains("2 jobs"), "{text}");
+        assert!(text.contains("new Item"), "{text}");
     }
 
     #[test]

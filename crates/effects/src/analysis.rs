@@ -644,13 +644,12 @@ impl AbstractInterp<'_> {
         let mut queue: VecDeque<(TypeKey, Era)> = VecDeque::new();
         let mut eras: HashMap<AllocSite, Era> = HashMap::new();
 
-        let add = |q: &mut VecDeque<(TypeKey, Era)>,
-                       seen: &mut BTreeSet<(TypeKey, Era)>,
-                       ty: AbsType| {
-            if seen.insert((ty.key, ty.era)) {
-                q.push_back((ty.key, ty.era));
-            }
-        };
+        let add =
+            |q: &mut VecDeque<(TypeKey, Era)>, seen: &mut BTreeSet<(TypeKey, Era)>, ty: AbsType| {
+                if seen.insert((ty.key, ty.era)) {
+                    q.push_back((ty.key, ty.era));
+                }
+            };
 
         for env in &self.final_roots {
             for val in env.locals.iter().chain(std::iter::once(&env.ret)) {
@@ -737,4 +736,3 @@ fn age_env(env: &Env) -> Env {
         ret: env.ret.age(),
     }
 }
-

@@ -114,11 +114,7 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let e = CompileError::new(
-            Phase::Parse,
-            Span::at(Pos::new(3, 7)),
-            "expected `;`",
-        );
+        let e = CompileError::new(Phase::Parse, Span::at(Pos::new(3, 7)), "expected `;`");
         assert_eq!(e.to_string(), "syntax error at 3:7: expected `;`");
     }
 

@@ -231,7 +231,9 @@ impl Parser {
     fn type_name(&mut self) -> Result<TypeName> {
         let span = self.span();
         let base = match self.peek_kind().clone() {
-            TokenKind::Ident(s) if s == "int" || s == "boolean" || s == "void" || !is_keyword(&s) => {
+            TokenKind::Ident(s)
+                if s == "int" || s == "boolean" || s == "void" || !is_keyword(&s) =>
+            {
                 self.bump();
                 s
             }
@@ -440,11 +442,8 @@ impl Parser {
 
     fn add_expr(&mut self) -> Result<Expr> {
         let mut lhs = self.mul_expr()?;
-        loop {
-            let op = match self.peek_kind() {
-                TokenKind::Punct(p @ ("+" | "-")) => *p,
-                _ => break,
-            };
+        while let TokenKind::Punct(p @ ("+" | "-")) = self.peek_kind() {
+            let op = *p;
             let span = self.span();
             self.bump();
             let rhs = self.mul_expr()?;
@@ -460,11 +459,8 @@ impl Parser {
 
     fn mul_expr(&mut self) -> Result<Expr> {
         let mut lhs = self.unary_expr()?;
-        loop {
-            let op = match self.peek_kind() {
-                TokenKind::Punct(p @ ("*" | "/" | "%")) => *p,
-                _ => break,
-            };
+        while let TokenKind::Punct(p @ ("*" | "/" | "%")) = self.peek_kind() {
+            let op = *p;
             let span = self.span();
             self.bump();
             let rhs = self.unary_expr()?;
@@ -761,14 +757,14 @@ mod tests {
 
     #[test]
     fn parses_fp_annotation() {
-        let unit = parse(
-            "class C { static void m() { C x = @fp(\"singleton\") new C(); } }",
-        )
-        .unwrap();
+        let unit =
+            parse("class C { static void m() { C x = @fp(\"singleton\") new C(); } }").unwrap();
         let Stmt::VarDecl { init: Some(e), .. } = &unit.classes[0].methods[0].body[0] else {
             panic!()
         };
-        let Expr::New { annotation, .. } = e else { panic!() };
+        let Expr::New { annotation, .. } = e else {
+            panic!()
+        };
         assert_eq!(
             *annotation,
             Some(AllocAnnotation::FalsePositive("singleton".into()))
@@ -868,9 +864,8 @@ mod tests {
 
     #[test]
     fn parses_logical_operators() {
-        let unit =
-            parse("class C { static void m(int a) { if (a < 1 && a > -5 || a == 3) { } } }")
-                .unwrap();
+        let unit = parse("class C { static void m(int a) { if (a < 1 && a > -5 || a == 3) { } } }")
+            .unwrap();
         let Stmt::If { cond, .. } = &unit.classes[0].methods[0].body[0] else {
             panic!()
         };

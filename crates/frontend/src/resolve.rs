@@ -5,9 +5,7 @@
 //! The second pass lowers each method body to three-address statements,
 //! materializing compound expressions into compiler temporaries.
 
-use crate::ast::{
-    AllocAnnotation, ClassDecl, Expr, Stmt as AStmt, TypeName, Unit,
-};
+use crate::ast::{AllocAnnotation, ClassDecl, Expr, Stmt as AStmt, TypeName, Unit};
 use crate::error::{CompileError, Phase, Result, Span};
 use leakchecker_ir::builder::{MethodBuilder, ProgramBuilder};
 use leakchecker_ir::ids::{ClassId, LocalId, LoopId, MethodId};
@@ -581,8 +579,7 @@ impl BodyCtx<'_> {
                 if !(bop.is_comparison()) {
                     return Ok(None);
                 }
-                let (Some((l, lt)), Some((r, rt))) =
-                    (as_operand(self, lhs), as_operand(self, rhs))
+                let (Some((l, lt)), Some((r, rt))) = (as_operand(self, lhs), as_operand(self, rhs))
                 else {
                     return Ok(None);
                 };
@@ -972,9 +969,9 @@ impl BodyCtx<'_> {
     fn apply_annotation(&mut self, annotation: &Option<AllocAnnotation>) {
         match annotation {
             Some(AllocAnnotation::Leak) => self.mb.label_next(SiteLabel::Leak),
-            Some(AllocAnnotation::FalsePositive(why)) => self
-                .mb
-                .label_next(SiteLabel::FalsePositive(why.clone())),
+            Some(AllocAnnotation::FalsePositive(why)) => {
+                self.mb.label_next(SiteLabel::FalsePositive(why.clone()))
+            }
             None => {}
         }
     }

@@ -1,8 +1,8 @@
 //! The concrete heap: objects, fields, and iteration stamps.
 
 use crate::value::{ObjId, Value};
-use leakchecker_ir::ids::{AllocSite, ClassId, FieldId};
 use leakchecker_ir::ids::ARRAY_ELEM_FIELD;
+use leakchecker_ir::ids::{AllocSite, ClassId, FieldId};
 use std::collections::HashMap;
 
 /// What kind of object a heap cell is.

@@ -247,10 +247,7 @@ impl<'p> Interp<'p> {
         for (i, arg) in args.iter().enumerate() {
             locals[slot + i] = *arg;
         }
-        let mut frame = Frame {
-            method,
-            locals,
-        };
+        let mut frame = Frame { method, locals };
         // Clone the body handle: bodies are immutable during execution.
         let flow = self.exec_stmts(&m.body, &mut frame)?;
         self.depth -= 1;
@@ -381,8 +378,7 @@ impl<'p> Interp<'p> {
                 self.heap.store_index(obj, idx, value);
             }
             Stmt::StaticLoad { dst, field } => {
-                frame.locals[dst.index()] =
-                    self.statics.get(field).copied().unwrap_or_default();
+                frame.locals[dst.index()] = self.statics.get(field).copied().unwrap_or_default();
             }
             Stmt::StaticStore { field, src } => {
                 self.statics.insert(*field, frame.locals[src.index()]);
@@ -415,8 +411,7 @@ impl<'p> Interp<'p> {
                     // always fresh, Virtual checked above.
                     self.non_null(recv_value, frame)?;
                 }
-                let arg_values: Vec<Value> =
-                    args.iter().map(|a| frame.locals[a.index()]).collect();
+                let arg_values: Vec<Value> = args.iter().map(|a| frame.locals[a.index()]).collect();
                 let result = self.call(target, recv_value, &arg_values)?;
                 if let Some(d) = dst {
                     frame.locals[d.index()] = result;

@@ -370,10 +370,7 @@ mod tests {
         let c = pb.add_class("C", None);
         let mut mb = pb.method(c, "m", Type::Void, true);
         let x = mb.local("x", Type::Int);
-        mb.if_nondet(
-            |mb| mb.const_int(x, 1),
-            |mb| mb.const_int(x, 2),
-        );
+        mb.if_nondet(|mb| mb.const_int(x, 1), |mb| mb.const_int(x, 2));
         mb.const_int(x, 3);
         mb.finish();
         let p = pb.finish();

@@ -44,7 +44,7 @@ impl LoopStats {
 /// Collects statistics for every structured loop in `method`.
 pub fn loops_in_method(program: &Program, method: MethodId) -> Vec<LoopStats> {
     let mut out = Vec::new();
-    collect(program, method, &program.method(method).body, 0, &mut out);
+    collect(method, &program.method(method).body, 0, &mut out);
     out
 }
 
@@ -54,19 +54,13 @@ pub fn all_loops(program: &Program) -> Vec<LoopStats> {
     let mut out = Vec::new();
     for (i, _) in program.methods().iter().enumerate() {
         let method = MethodId::from_index(i);
-        collect(program, method, &program.method(method).body, 0, &mut out);
+        collect(method, &program.method(method).body, 0, &mut out);
     }
     out.sort_by_key(|s| std::cmp::Reverse(s.score()));
     out
 }
 
-fn collect(
-    program: &Program,
-    method: MethodId,
-    stmts: &[Stmt],
-    depth: usize,
-    out: &mut Vec<LoopStats>,
-) {
+fn collect(method: MethodId, stmts: &[Stmt], depth: usize, out: &mut Vec<LoopStats>) {
     for stmt in stmts {
         match stmt {
             Stmt::While { id, body, .. } => {
@@ -94,15 +88,15 @@ fn collect(
                     stores_inside: stores,
                     body_size: size,
                 });
-                collect(program, method, body, depth + 1, out);
+                collect(method, body, depth + 1, out);
             }
             Stmt::If {
                 then_branch,
                 else_branch,
                 ..
             } => {
-                collect(program, method, then_branch, depth, out);
-                collect(program, method, else_branch, depth, out);
+                collect(method, then_branch, depth, out);
+                collect(method, else_branch, depth, out);
             }
             _ => {}
         }

@@ -82,7 +82,11 @@ pub fn print_method(program: &Program, method: MethodId, indent: usize) -> Strin
         );
     }
     // Declare every non-parameter local (skip `this`).
-    let skip = if m.is_static { m.param_count } else { m.param_count + 1 };
+    let skip = if m.is_static {
+        m.param_count
+    } else {
+        m.param_count + 1
+    };
     let body_pad = "  ".repeat(indent + 1);
     for (i, local) in m.locals.iter().enumerate().skip(skip) {
         let _ = writeln!(
@@ -92,7 +96,7 @@ pub fn print_method(program: &Program, method: MethodId, indent: usize) -> Strin
             names[i]
         );
     }
-    print_stmts(program, method, &names, &m.body, indent + 1, &mut out);
+    print_stmts(program, &names, &m.body, indent + 1, &mut out);
     let _ = writeln!(out, "{pad}}}");
     out
 }
@@ -118,7 +122,6 @@ fn unique_local_names(m: &crate::program::Method) -> Vec<String> {
 
 fn print_stmts(
     program: &Program,
-    method: MethodId,
     names: &[String],
     stmts: &[Stmt],
     indent: usize,
@@ -166,12 +169,12 @@ fn print_stmts(
                 else_branch,
             } => {
                 let _ = writeln!(out, "{pad}if ({}) {{", cond_str(program, names, cond));
-                print_stmts(program, method, names, then_branch, indent + 1, out);
+                print_stmts(program, names, then_branch, indent + 1, out);
                 if else_branch.is_empty() {
                     let _ = writeln!(out, "{pad}}}");
                 } else {
                     let _ = writeln!(out, "{pad}}} else {{");
-                    print_stmts(program, method, names, else_branch, indent + 1, out);
+                    print_stmts(program, names, else_branch, indent + 1, out);
                     let _ = writeln!(out, "{pad}}}");
                 }
             }
@@ -181,14 +184,17 @@ fn print_stmts(
                     "{pad}while /*{id}*/ ({}) {{",
                     cond_str(program, names, cond)
                 );
-                print_stmts(program, method, names, body, indent + 1, out);
+                print_stmts(program, names, body, indent + 1, out);
                 let _ = writeln!(out, "{pad}}}");
             }
             // Constructor invocations are implicit in `new C()` surface
             // syntax; printing them would not re-parse.
-            Stmt::Call { kind, method: target, .. }
-                if matches!(kind, crate::stmt::CallKind::Special)
-                    && program.method(*target).name == "<init>" => {}
+            Stmt::Call {
+                kind,
+                method: target,
+                ..
+            } if matches!(kind, crate::stmt::CallKind::Special)
+                && program.method(*target).name == "<init>" => {}
             simple => {
                 let _ = writeln!(out, "{pad}{}", stmt_str_named(program, names, simple));
             }
@@ -289,7 +295,7 @@ fn stmt_str_named(program: &Program, names: &[String], stmt: &Stmt) -> String {
                     let _ = write!(s, "{}", program.qualified_name(*target));
                 }
             }
-            let arg_names: Vec<String> = args.iter().map(|a| l(a)).collect();
+            let arg_names: Vec<String> = args.iter().map(&l).collect();
             let _ = write!(s, "({}); // {site}", arg_names.join(", "));
             s
         }

@@ -249,13 +249,11 @@ fn validate_stmts(
                     }
                 }
             }
-            Stmt::Break | Stmt::Continue => {
-                if loop_depth == 0 {
-                    errors.push(ValidateError {
-                        method: Some(method),
-                        message: "break/continue outside of a loop".to_string(),
-                    });
-                }
+            Stmt::Break | Stmt::Continue if loop_depth == 0 => {
+                errors.push(ValidateError {
+                    method: Some(method),
+                    message: "break/continue outside of a loop".to_string(),
+                });
             }
             Stmt::If {
                 then_branch,

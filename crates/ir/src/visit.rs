@@ -47,7 +47,7 @@ pub fn walk_stmts_with_depth<'s>(stmts: &'s [Stmt], visit: &mut impl FnMut(&'s S
 }
 
 /// Finds the body of the loop with the given id anywhere inside `stmts`.
-pub fn find_loop<'s>(stmts: &'s [Stmt], id: crate::ids::LoopId) -> Option<&'s [Stmt]> {
+pub fn find_loop(stmts: &[Stmt], id: crate::ids::LoopId) -> Option<&[Stmt]> {
     for stmt in stmts {
         match stmt {
             Stmt::While {

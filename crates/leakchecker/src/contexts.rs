@@ -7,6 +7,7 @@
 //! calling contexts, and the top call sites of those contexts identify
 //! which transaction types are implicated.
 
+use crate::parallel::{effective_jobs, parallel_map};
 use leakchecker_callgraph::CallGraph;
 use leakchecker_ir::ids::{AllocSite, LoopId, MethodId};
 use leakchecker_ir::stmt::Stmt;
@@ -61,6 +62,44 @@ impl ContextTable {
     }
 }
 
+/// Walks the call graph from `roots`, recording every (site, context)
+/// pair reached, until the DFS drains or `pairs` exceeds the cap.
+fn explore(
+    program: &Program,
+    callgraph: &CallGraph,
+    config: ContextConfig,
+    roots: Vec<(MethodId, Context)>,
+    table: &mut ContextTable,
+    pairs: &mut usize,
+) {
+    let mut visited: HashSet<(MethodId, Context)> = roots.iter().cloned().collect();
+    let mut stack = roots;
+    while let Some((method, ctx)) = stack.pop() {
+        if *pairs > config.max_pairs {
+            table.truncated = true;
+            break;
+        }
+        let mut nested_calls = Vec::new();
+        walk_stmts(&program.method(method).body, &mut |stmt| match stmt {
+            Stmt::New { site, .. } | Stmt::NewArray { site, .. }
+                if table.contexts.entry(*site).or_default().insert(ctx.clone()) =>
+            {
+                *pairs += 1;
+            }
+            Stmt::Call { site, .. } => nested_calls.push(*site),
+            _ => {}
+        });
+        for cs in nested_calls {
+            for &target in callgraph.targets(cs) {
+                let next = ctx.push(cs, config.k);
+                if visited.insert((target, next.clone())) {
+                    stack.push((target, next));
+                }
+            }
+        }
+    }
+}
+
 /// Enumerates the context-sensitive allocation sites executed under
 /// `designated` (lexically in its body, or in methods transitively called
 /// from it, with k-limited call strings rooted at the loop body).
@@ -70,6 +109,25 @@ pub fn enumerate(
     designated: LoopId,
     config: ContextConfig,
 ) -> ContextTable {
+    enumerate_jobs(program, callgraph, designated, config, 1)
+}
+
+/// Like [`enumerate`] with the DFS fanned out across up to `jobs` worker
+/// threads (one call-graph root per work item, partial tables merged in
+/// root order).
+///
+/// The merged table equals the sequential one whenever the enumeration is
+/// not truncated: the reachable (site, context) set is a fixpoint, and
+/// set-union is order-independent. Truncated enumerations (`max_pairs`
+/// exceeded) may retain different representative pairs per mode — the cap
+/// is per worker here, global in the sequential walk.
+pub fn enumerate_jobs(
+    program: &Program,
+    callgraph: &CallGraph,
+    designated: LoopId,
+    config: ContextConfig,
+    jobs: usize,
+) -> ContextTable {
     let method = program.loop_info(designated).method;
     let body = find_loop(&program.method(method).body, designated);
     let mut table = ContextTable::default();
@@ -77,7 +135,6 @@ pub fn enumerate(
         return table;
     };
     let mut pairs = 0usize;
-    let mut visited: HashSet<(MethodId, Context)> = HashSet::new();
 
     // Sites lexically inside the loop body.
     let mut call_sites = Vec::new();
@@ -94,44 +151,46 @@ pub fn enumerate(
         _ => {}
     });
 
-    // Descend through calls.
-    let mut stack: Vec<(MethodId, Context)> = Vec::new();
+    // Descend through calls: one root per (call site, target) pair.
+    let mut roots: Vec<(MethodId, Context)> = Vec::new();
+    let mut seen_roots: HashSet<(MethodId, Context)> = HashSet::new();
     for cs in call_sites {
         for &target in callgraph.targets(cs) {
             let ctx = Context::empty().push(cs, config.k);
-            if visited.insert((target, ctx.clone())) {
-                stack.push((target, ctx));
+            if seen_roots.insert((target, ctx.clone())) {
+                roots.push((target, ctx));
             }
         }
     }
-    while let Some((method, ctx)) = stack.pop() {
-        if pairs > config.max_pairs {
-            table.truncated = true;
-            break;
+
+    if effective_jobs(jobs) <= 1 || roots.len() <= 1 {
+        explore(program, callgraph, config, roots, &mut table, &mut pairs);
+        return table;
+    }
+
+    // Each root explores independently (workers may revisit methods other
+    // roots also reach; the merge dedups). Merge in root order.
+    let partials = parallel_map(jobs, roots, |root| {
+        let mut part = ContextTable::default();
+        let mut part_pairs = pairs;
+        explore(
+            program,
+            callgraph,
+            config,
+            vec![root],
+            &mut part,
+            &mut part_pairs,
+        );
+        part
+    });
+    for part in partials {
+        table.truncated |= part.truncated;
+        for (site, ctxs) in part.contexts {
+            table.contexts.entry(site).or_default().extend(ctxs);
         }
-        let mut nested_calls = Vec::new();
-        walk_stmts(&program.method(method).body, &mut |stmt| match stmt {
-            Stmt::New { site, .. } | Stmt::NewArray { site, .. } => {
-                if table
-                    .contexts
-                    .entry(*site)
-                    .or_default()
-                    .insert(ctx.clone())
-                {
-                    pairs += 1;
-                }
-            }
-            Stmt::Call { site, .. } => nested_calls.push(*site),
-            _ => {}
-        });
-        for cs in nested_calls {
-            for &target in callgraph.targets(cs) {
-                let next = ctx.push(cs, config.k);
-                if visited.insert((target, next.clone())) {
-                    stack.push((target, next));
-                }
-            }
-        }
+    }
+    if table.pair_count() > config.max_pairs {
+        table.truncated = true;
     }
     table
 }

@@ -7,8 +7,9 @@
 //! leaking allocation sites with the redundant reference edge and the
 //! calling contexts under which the objects are allocated.
 
-use crate::contexts::{enumerate, ContextConfig, ContextTable};
+use crate::contexts::{enumerate_jobs, ContextConfig, ContextTable};
 use crate::flows::{build as build_flows, FlowConfig, FlowRelations, OutsideEdge};
+use crate::parallel::parallel_map;
 use crate::report::LeakReport;
 use crate::target::{resolve, CheckTarget, ResolvedTarget, TargetError};
 use leakchecker_callgraph::{Algorithm, CallGraph};
@@ -36,6 +37,10 @@ pub struct DetectorConfig {
     pub library_modeling: bool,
     /// Thread modeling: treat started threads as outside objects.
     pub model_threads: bool,
+    /// Worker threads for the fan-out phases (context enumeration, pivot
+    /// filtering, report building). `1` runs fully sequential; `0` uses
+    /// the machine's available parallelism.
+    pub jobs: usize,
 }
 
 impl Default for DetectorConfig {
@@ -47,11 +52,28 @@ impl Default for DetectorConfig {
             pivot_mode: true,
             library_modeling: true,
             model_threads: false,
+            jobs: 1,
         }
     }
 }
 
-/// Aggregate statistics of one run (the columns of Table 1).
+/// Per-phase wall-clock split of one run, in seconds.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct PhaseTimes {
+    /// Call-graph construction.
+    pub callgraph_secs: f64,
+    /// Type-and-effect analysis of the loop.
+    pub effects_secs: f64,
+    /// Flow-relation construction (transitive closure + indexing).
+    pub flows_secs: f64,
+    /// Context-sensitive allocation-site enumeration.
+    pub contexts_secs: f64,
+    /// Candidate selection, pivot filtering, and report building.
+    pub matching_secs: f64,
+}
+
+/// Aggregate statistics of one run (the columns of Table 1, plus the
+/// per-phase timing split and the engine counters behind them).
 #[derive(Copy, Clone, Debug, Default)]
 pub struct RunStats {
     /// Reachable methods in the call graph (`Mtds`).
@@ -64,6 +86,14 @@ pub struct RunStats {
     pub loop_objects: usize,
     /// Reported context-sensitive leaking allocation sites (`LS`).
     pub leaking_sites: usize,
+    /// Where the wall-clock went.
+    pub phases: PhaseTimes,
+    /// Total flows-out edges over all inside sites.
+    pub flow_edges: usize,
+    /// Sites surviving candidate selection (before pivot filtering).
+    pub candidate_sites: usize,
+    /// Worker threads the run was configured with (after resolving 0).
+    pub jobs: usize,
 }
 
 /// The detector's output.
@@ -108,83 +138,102 @@ pub fn check(
     } = resolve(program, target)?;
 
     let start = Instant::now();
+    let mut phases = PhaseTimes::default();
     let callgraph = CallGraph::build_from(&program, &[root], config.callgraph);
+    phases.callgraph_secs = start.elapsed().as_secs_f64();
+
+    let phase_start = Instant::now();
     let effect_config = EffectConfig {
         model_threads: config.model_threads,
         ..config.effects
     };
     let summary = analyze_from(&program, &callgraph, root, designated, effect_config);
+    phases.effects_secs = phase_start.elapsed().as_secs_f64();
+
+    let phase_start = Instant::now();
     let flow_config = FlowConfig {
         library_modeling: config.library_modeling,
         model_threads: config.model_threads,
     };
     let flows = build_flows(&program, &summary, flow_config);
-    let contexts = enumerate(&program, &callgraph, designated, config.contexts);
+    phases.flows_secs = phase_start.elapsed().as_secs_f64();
+
+    let phase_start = Instant::now();
+    let contexts = enumerate_jobs(
+        &program,
+        &callgraph,
+        designated,
+        config.contexts,
+        config.jobs,
+    );
+    phases.contexts_secs = phase_start.elapsed().as_secs_f64();
 
     // Candidate selection (Definition 3 + the Section 2 matching rule):
     // an escaping inside site is reported when its ERA is ⊤̂ (it never
     // flows back), or when some outside edge it escapes through has no
     // matching flows-in (a redundant reference).
+    let phase_start = Instant::now();
     let mut candidates: BTreeSet<AllocSite> = BTreeSet::new();
     for &site in &summary.inside_sites {
         if !flows.escapes(site) {
             continue;
         }
         let era = summary.era(site);
-        let unmatched = flows.unmatched_edges(site);
-        if era == Era::Top || !unmatched.is_empty() {
+        if era == Era::Top || flows.unmatched_edges(site).next().is_some() {
             candidates.insert(site);
         }
     }
+    let candidate_sites = candidates.len();
 
     // Pivot mode: drop leaking sites contained in another leaking site's
     // structure; inspecting the root is enough to fix the leak. Library
     // allocation sites (container internals like map entries) never
     // suppress application sites — the report must name the application
     // objects the developer can act on.
-    let reported: BTreeSet<AllocSite> = if config.pivot_mode {
-        candidates
-            .iter()
-            .copied()
-            .filter(|&site| {
-                !candidates.iter().any(|&other| {
-                    other != site
-                        && !program.is_library_method(program.alloc(other).method)
-                        && flows.members_of(other).contains(&site)
-                })
+    let reported: Vec<AllocSite> = if config.pivot_mode {
+        let items: Vec<AllocSite> = candidates.iter().copied().collect();
+        let keep = parallel_map(config.jobs, items.clone(), |site| {
+            !candidates.iter().any(|&other| {
+                other != site
+                    && !program.is_library_method(program.alloc(other).method)
+                    && flows.members_of(other).contains(&site)
             })
+        });
+        items
+            .into_iter()
+            .zip(keep)
+            .filter_map(|(site, keep)| keep.then_some(site))
             .collect()
     } else {
-        candidates
+        candidates.into_iter().collect()
     };
 
-    let mut reports: Vec<LeakReport> = reported
-        .into_iter()
-        .map(|site| {
-            let era = summary.era(site);
-            let mut edges: Vec<OutsideEdge> = flows.unmatched_edges(site);
-            if edges.is_empty() {
-                // ⊤̂-classified with all edges "matched" can still be
-                // reported (era ⊤̂ means no flow-back on some path);
-                // surface every outside edge for inspection.
-                edges = flows
-                    .flows_out
-                    .get(&site)
-                    .map(|s| s.iter().cloned().collect())
-                    .unwrap_or_default();
-            }
-            let ctxs: Vec<Context> = contexts.of(site).cloned().collect();
-            LeakReport {
-                site,
-                era,
-                edges,
-                contexts: ctxs,
-                describe: program.alloc(site).describe.clone(),
-                method: program.qualified_name(program.alloc(site).method),
-            }
-        })
-        .collect();
-    reports.sort_by_key(|r| r.site);
+    // Reports are built per site in parallel; the work list is already in
+    // site order, so the merged Vec is too.
+    let reports: Vec<LeakReport> = parallel_map(config.jobs, reported, |site| {
+        let era = summary.era(site);
+        let mut edges: Vec<OutsideEdge> = flows.unmatched_edges(site).cloned().collect();
+        if edges.is_empty() {
+            // ⊤̂-classified with all edges "matched" can still be
+            // reported (era ⊤̂ means no flow-back on some path);
+            // surface every outside edge for inspection.
+            edges = flows
+                .flows_out
+                .get(&site)
+                .map(|s| s.iter().cloned().collect())
+                .unwrap_or_default();
+        }
+        let ctxs: Vec<Context> = contexts.of(site).cloned().collect();
+        LeakReport {
+            site,
+            era,
+            edges,
+            contexts: ctxs,
+            describe: program.alloc(site).describe.clone(),
+            method: program.qualified_name(program.alloc(site).method),
+        }
+    });
+    phases.matching_secs = phase_start.elapsed().as_secs_f64();
 
     let leaking_sites = reports
         .iter()
@@ -196,6 +245,10 @@ pub fn check(
         time_secs: start.elapsed().as_secs_f64(),
         loop_objects: contexts.pair_count(),
         leaking_sites,
+        phases,
+        flow_edges: flows.flows_out.values().map(BTreeSet::len).sum(),
+        candidate_sites,
+        jobs: crate::parallel::effective_jobs(config.jobs),
     };
 
     Ok(AnalysisResult {

@@ -32,6 +32,18 @@ pub struct OutsideEdge {
     pub field: FieldId,
 }
 
+/// Matchable flows-in facts for one `(site, field)` pair: the set of
+/// outside bases the site is read back through, collapsed so an
+/// unmatched-edge probe is one map lookup instead of a scan over every
+/// flows-in edge.
+#[derive(Clone, Debug, Default)]
+struct InMatch {
+    /// A `⊤`-based read exists: matches any outside base.
+    wildcard: bool,
+    /// Concrete outside bases the site is read back from.
+    bases: BTreeSet<TypeKey>,
+}
+
 /// The flow relations of one analyzed loop.
 #[derive(Clone, Debug, Default)]
 pub struct FlowRelations {
@@ -46,6 +58,9 @@ pub struct FlowRelations {
     /// Containment among inside sites: `container → members` via
     /// inside-loop stores (used by pivot mode).
     pub contains: BTreeMap<AllocSite, BTreeSet<AllocSite>>,
+    /// `(site, field)` index over `flows_in` used by
+    /// [`FlowRelations::unmatched_edges`].
+    in_index: BTreeMap<(AllocSite, FieldId), InMatch>,
 }
 
 /// Options for building the relations.
@@ -67,11 +82,7 @@ impl Default for FlowConfig {
 }
 
 /// Is this effect base an "outside object" for escape purposes?
-fn is_outside_base(
-    summary: &EffectSummary,
-    config: FlowConfig,
-    base: &EffectBase,
-) -> bool {
+fn is_outside_base(summary: &EffectSummary, config: FlowConfig, base: &EffectBase) -> bool {
     match base {
         EffectBase::Top => true,
         EffectBase::Type(t) => {
@@ -92,7 +103,7 @@ fn inside_site(summary: &EffectSummary, value_key: TypeKey) -> Option<AllocSite>
 }
 
 /// Builds the flow relations from an effect summary.
-pub fn build(_program: &Program, summary: &EffectSummary, config: FlowConfig) -> FlowRelations {
+pub fn build(program: &Program, summary: &EffectSummary, config: FlowConfig) -> FlowRelations {
     let mut rel = FlowRelations::default();
 
     // Direct outside escapes and inside containment edges.
@@ -108,28 +119,66 @@ pub fn build(_program: &Program, summary: &EffectSummary, config: FlowConfig) ->
             });
         } else if let Some(TypeKey::Site(base_site)) = e.base.key() {
             if summary.inside_sites.contains(&base_site) {
-                rel.contains
-                    .entry(base_site)
-                    .or_default()
-                    .insert(value);
+                rel.contains.entry(base_site).or_default().insert(value);
             }
         }
     }
 
     // Transitive flows-out: members of an escaping structure escape
     // through the same outside edge (r ⊐* o ▷_g b  ⟹  r ▷*_g b).
-    rel.flows_out = direct_out.clone();
+    //
+    // The distinct outside edges get dense ids and each site gets a
+    // bitset row over them, so a worklist step ORs a handful of words
+    // instead of cloning and merging `BTreeSet`s per pop.
+    let mut edge_of_id: Vec<OutsideEdge> = Vec::new();
+    let mut id_of_edge: BTreeMap<&OutsideEdge, usize> = BTreeMap::new();
+    for edge in direct_out.values().flatten() {
+        id_of_edge.entry(edge).or_insert_with(|| {
+            edge_of_id.push(edge.clone());
+            edge_of_id.len() - 1
+        });
+    }
+    let words = edge_of_id.len().div_ceil(64);
+    let mut rows: Vec<Vec<u64>> = vec![vec![0u64; words]; program.allocs().len()];
+    for (site, edges) in &direct_out {
+        for edge in edges {
+            let id = id_of_edge[edge];
+            rows[site.index()][id / 64] |= 1u64 << (id % 64);
+        }
+    }
     let mut queue: VecDeque<AllocSite> = direct_out.keys().copied().collect();
     while let Some(container) = queue.pop_front() {
-        let edges = rel.flows_out.get(&container).cloned().unwrap_or_default();
-        let members = rel.contains.get(&container).cloned().unwrap_or_default();
-        for member in members {
-            let entry = rel.flows_out.entry(member).or_default();
-            let before = entry.len();
-            entry.extend(edges.iter().cloned());
-            if entry.len() != before {
+        let Some(members) = rel.contains.get(&container) else {
+            continue;
+        };
+        let src = rows[container.index()].clone();
+        for &member in members {
+            let dst = &mut rows[member.index()];
+            let mut changed = false;
+            for (d, &s) in dst.iter_mut().zip(&src) {
+                let merged = *d | s;
+                if merged != *d {
+                    *d = merged;
+                    changed = true;
+                }
+            }
+            if changed {
                 queue.push_back(member);
             }
+        }
+    }
+    for (index, row) in rows.iter().enumerate() {
+        let mut edges = BTreeSet::new();
+        for (word, &bits) in row.iter().enumerate() {
+            let mut bits = bits;
+            while bits != 0 {
+                let id = word * 64 + bits.trailing_zeros() as usize;
+                edges.insert(edge_of_id[id].clone());
+                bits &= bits - 1;
+            }
+        }
+        if !edges.is_empty() {
+            rel.flows_out.insert(AllocSite::from_index(index), edges);
         }
     }
 
@@ -148,10 +197,18 @@ pub fn build(_program: &Program, summary: &EffectSummary, config: FlowConfig) ->
             continue;
         }
         if is_outside_base(summary, config, &e.base) {
+            let base = e.base.key();
             rel.flows_in.entry(value).or_default().insert(OutsideEdge {
-                base: e.base.key(),
+                base,
                 field: e.field,
             });
+            let index = rel.in_index.entry((value, e.field)).or_default();
+            match base {
+                None => index.wildcard = true,
+                Some(key) => {
+                    index.bases.insert(key);
+                }
+            }
         }
         // Any persistent-base load marks the value as loaded back.
         let persists = match &e.base {
@@ -173,27 +230,26 @@ impl FlowRelations {
     /// outside bases must may-alias — in the site abstraction, carry the
     /// same key. A `⊤` base matches anything (conservative: it *may* be
     /// the same object, so the flows-in suppresses the report).
-    pub fn unmatched_edges(&self, site: AllocSite) -> Vec<OutsideEdge> {
-        let outs = match self.flows_out.get(&site) {
-            Some(o) => o,
-            None => return Vec::new(),
-        };
-        let ins = self.flows_in.get(&site);
-        outs.iter()
-            .filter(|edge| {
-                let matched = ins.is_some_and(|ins| {
-                    ins.iter().any(|i| {
-                        i.field == edge.field
-                            && match (&i.base, &edge.base) {
-                                (None, _) | (_, None) => true,
-                                (Some(a), Some(b)) => a == b,
-                            }
-                    })
-                });
+    ///
+    /// Borrows from the relation: use `.next().is_some()` for the
+    /// candidate test and `.cloned().collect()` only when edges must be
+    /// kept.
+    pub fn unmatched_edges(&self, site: AllocSite) -> impl Iterator<Item = &OutsideEdge> + '_ {
+        self.flows_out
+            .get(&site)
+            .into_iter()
+            .flatten()
+            .filter(move |edge| {
+                let matched =
+                    self.in_index
+                        .get(&(site, edge.field))
+                        .is_some_and(|index| match edge.base {
+                            // A ⊤ out-base may alias any in-base on the field.
+                            None => true,
+                            Some(base) => index.wildcard || index.bases.contains(&base),
+                        });
                 !matched
             })
-            .cloned()
-            .collect()
     }
 
     /// Does `site` escape at all (transitively reach an outside edge)?
@@ -271,7 +327,7 @@ mod tests {
         );
         let item = site_of(&p, "new Item");
         assert!(rel.escapes(item));
-        assert_eq!(rel.unmatched_edges(item).len(), 1);
+        assert_eq!(rel.unmatched_edges(item).count(), 1);
     }
 
     #[test]
@@ -293,7 +349,7 @@ mod tests {
         );
         let order = site_of(&p, "new Order");
         assert!(rel.escapes(order));
-        assert!(rel.unmatched_edges(order).is_empty());
+        assert!(rel.unmatched_edges(order).next().is_none());
         assert!(rel.loaded_back.contains(&order));
     }
 
@@ -334,7 +390,7 @@ mod tests {
         let order = site_of(&p, "new Order");
         let out_edges = rel.flows_out.get(&order).unwrap();
         assert_eq!(out_edges.len(), 2, "{out_edges:?}");
-        let unmatched = rel.unmatched_edges(order);
+        let unmatched: Vec<_> = rel.unmatched_edges(order).collect();
         assert_eq!(unmatched.len(), 1, "{unmatched:?}");
         let f = unmatched[0].field;
         assert_eq!(p.field(f).name, "elem", "the redundant edge is the array");
@@ -364,7 +420,7 @@ mod tests {
         assert!(rel.escapes(node));
         assert!(rel.escapes(item), "member inherits the outside edge");
         assert!(rel.members_of(node).contains(&item));
-        assert_eq!(rel.unmatched_edges(item).len(), 1);
+        assert_eq!(rel.unmatched_edges(item).count(), 1);
     }
 
     #[test]
@@ -392,7 +448,7 @@ mod tests {
         let (p, rel) = relations(src, FlowConfig::default());
         let item = site_of(&p, "new Item");
         assert_eq!(
-            rel.unmatched_edges(item).len(),
+            rel.unmatched_edges(item).count(),
             1,
             "library-internal probe read must not mask the leak"
         );
@@ -405,7 +461,7 @@ mod tests {
             },
         );
         let item2 = site_of(&p2, "new Item");
-        assert!(rel2.unmatched_edges(item2).is_empty());
+        assert!(rel2.unmatched_edges(item2).next().is_none());
     }
 
     #[test]
@@ -431,7 +487,7 @@ mod tests {
         );
         let item = site_of(&p, "new Item");
         assert!(
-            rel.unmatched_edges(item).is_empty(),
+            rel.unmatched_edges(item).next().is_none(),
             "returned library load is a proper flows-in"
         );
     }

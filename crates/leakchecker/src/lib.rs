@@ -55,11 +55,13 @@
 pub mod contexts;
 pub mod detect;
 pub mod flows;
+pub mod parallel;
 pub mod report;
 pub mod target;
 
 pub use contexts::{ContextConfig, ContextTable};
-pub use detect::{check, AnalysisResult, DetectorConfig, RunStats};
+pub use detect::{check, AnalysisResult, DetectorConfig, PhaseTimes, RunStats};
 pub use flows::{FlowConfig, FlowRelations, OutsideEdge};
+pub use parallel::{effective_jobs, parallel_map};
 pub use report::{render_all, LeakReport};
 pub use target::{CheckTarget, ResolvedTarget, TargetError};

@@ -1,0 +1,107 @@
+//! A minimal deterministic fork-join scheduler over `std::thread::scope`.
+//!
+//! The detector's fan-out points (context enumeration roots, per-site
+//! flow matching, report building) are all embarrassingly parallel maps
+//! over an indexed work list. This module provides exactly that shape —
+//! no external crates, no work stealing — with two properties the
+//! detector relies on:
+//!
+//! * **deterministic merge order** — each worker writes its result into
+//!   the slot of the item it claimed, so the output `Vec` is always in
+//!   input order regardless of which thread ran which item;
+//! * **bounded threads** — at most `jobs` workers exist at a time, and
+//!   `jobs == 0` resolves to the machine's available parallelism.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolves a `jobs` knob: `0` means "use the machine", anything else is
+/// taken literally.
+pub fn effective_jobs(jobs: usize) -> usize {
+    if jobs != 0 {
+        jobs
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Maps `f` over `items` with up to `jobs` worker threads, returning the
+/// results in input order.
+///
+/// Work is claimed item-at-a-time from a shared atomic cursor (so uneven
+/// item costs balance), but each result lands at its item's index — the
+/// output is byte-identical to the sequential map. `jobs <= 1` (after
+/// [`effective_jobs`] resolution) runs inline with no threads at all.
+pub fn parallel_map<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let jobs = effective_jobs(jobs).min(items.len().max(1));
+    if jobs <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i].lock().unwrap().take().expect("item claimed once");
+                let result = f(item);
+                *slots[i].lock().unwrap() = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("worker filled slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_resolves_to_machine_width() {
+        assert!(effective_jobs(0) >= 1);
+        assert_eq!(effective_jobs(3), 3);
+    }
+
+    #[test]
+    fn results_are_in_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let expected: Vec<usize> = items.iter().map(|x| x * x).collect();
+        for jobs in [1, 2, 4, 8] {
+            assert_eq!(parallel_map(jobs, items.clone(), |x| x * x), expected);
+        }
+    }
+
+    #[test]
+    fn uneven_costs_still_merge_deterministically() {
+        let items: Vec<u64> = (0..32).collect();
+        let out = parallel_map(4, items.clone(), |x| {
+            // Make early items slow so late items finish first.
+            if x < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            x * 2
+        });
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_item_lists() {
+        assert_eq!(parallel_map(8, Vec::<u32>::new(), |x| x), Vec::<u32>::new());
+        assert_eq!(parallel_map(8, vec![7u32], |x| x + 1), vec![8]);
+    }
+}

@@ -109,8 +109,8 @@ mod tests {
 
     #[test]
     fn render_empty() {
-        let unit = compile("class Main { static void main() { @check while (nondet()) { } } }")
-            .unwrap();
+        let unit =
+            compile("class Main { static void main() { @check while (nondet()) { } } }").unwrap();
         let result = check(
             &unit.program,
             CheckTarget::Loop(unit.checked_loops[0]),

@@ -51,7 +51,10 @@ impl std::fmt::Display for TargetError {
         match self {
             TargetError::UnknownLoop(l) => write!(f, "unknown loop {l}"),
             TargetError::RegionNeedsDefaultCtor(m) => {
-                write!(f, "region method {m} needs a no-argument receiver constructor")
+                write!(
+                    f,
+                    "region method {m} needs a no-argument receiver constructor"
+                )
             }
             TargetError::NoEntry => write!(f, "program has no entry point"),
         }
@@ -83,10 +86,7 @@ pub fn resolve(program: &Program, target: CheckTarget) -> Result<ResolvedTarget,
 }
 
 /// Builds the artificial driver loop around a region method.
-fn synthesize_driver(
-    program: &Program,
-    region: MethodId,
-) -> Result<ResolvedTarget, TargetError> {
+fn synthesize_driver(program: &Program, region: MethodId) -> Result<ResolvedTarget, TargetError> {
     let mut pb = ProgramBuilder::resume(program.clone());
     let m = pb.program().method(region).clone();
     let owner = m.owner;
@@ -172,10 +172,8 @@ mod tests {
 
     #[test]
     fn loop_target_uses_program_entry() {
-        let unit = compile(
-            "class Main { static void main() { @check while (nondet()) { } } }",
-        )
-        .unwrap();
+        let unit =
+            compile("class Main { static void main() { @check while (nondet()) { } } }").unwrap();
         let resolved = resolve(&unit.program, CheckTarget::Loop(unit.checked_loops[0])).unwrap();
         assert_eq!(resolved.designated, unit.checked_loops[0]);
         assert_eq!(resolved.root, unit.program.entry().unwrap());

@@ -30,12 +30,12 @@ impl Andersen {
 
         // Seed: allocation edges.
         let mut worklist: VecDeque<NodeId> = VecDeque::new();
-        for i in 0..n {
+        for (i, pts) in var_pts.iter_mut().enumerate() {
             let id = NodeId(i as u32);
             for &site in pag.allocs_into(id) {
-                var_pts[i].insert(site);
+                pts.insert(site);
             }
-            if !var_pts[i].is_empty() {
+            if !pts.is_empty() {
                 worklist.push_back(id);
             }
         }
@@ -164,9 +164,7 @@ mod tests {
 
     #[test]
     fn direct_and_copied_allocations() {
-        let (p, pag, a) = analyze(
-            "class C { static void main() { C x = new C(); C y = x; } }",
-        );
+        let (p, pag, a) = analyze("class C { static void main() { C x = new C(); C y = x; } }");
         let x = local_node(&p, &pag, "C.main", "x");
         let y = local_node(&p, &pag, "C.main", "y");
         assert_eq!(a.points_to(x).len(), 1);
@@ -196,9 +194,8 @@ mod tests {
 
     #[test]
     fn separate_objects_do_not_alias() {
-        let (p, pag, a) = analyze(
-            "class C { static void main() { C x = new C(); C y = new C(); } }",
-        );
+        let (p, pag, a) =
+            analyze("class C { static void main() { C x = new C(); C y = new C(); } }");
         let x = local_node(&p, &pag, "C.main", "x");
         let y = local_node(&p, &pag, "C.main", "y");
         assert!(!a.may_alias(x, y));

@@ -22,6 +22,12 @@ impl Context {
         Context::default()
     }
 
+    /// Builds a context directly from frames (outermost first). Used by
+    /// the interner to materialize arena entries without re-pushing.
+    pub(crate) fn from_frames(frames: Vec<CallSite>) -> Context {
+        Context(Arc::new(frames))
+    }
+
     /// Returns `true` for the empty context.
     pub fn is_empty(&self) -> bool {
         self.0.is_empty()

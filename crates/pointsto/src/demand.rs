@@ -29,11 +29,14 @@
 //! refinement-based demand-driven points-to analyses the paper builds on.
 
 use crate::context::Context;
+use crate::intern::{ContextInterner, CtxId};
 use crate::pag::{EdgeLabel, LoadStmt, Node, NodeId, Pag};
 use leakchecker_ir::ids::AllocSite;
 use leakchecker_ir::Program;
-use std::cell::RefCell;
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 /// Tuning knobs for demand queries.
 #[derive(Copy, Clone, Debug)]
@@ -77,15 +80,117 @@ impl PtResult {
     }
 }
 
+/// Per-query counters, returned by
+/// [`DemandPointsTo::points_to_with_stats`].
+#[derive(Copy, Clone, Debug, Default)]
+pub struct QueryStats {
+    /// Worklist steps taken (including nested alias queries).
+    pub steps: u64,
+    /// Memo-table hits that short-circuited a sub-query.
+    pub memo_hits: u64,
+    /// `true` when the step budget ran out.
+    pub budget_exhausted: bool,
+}
+
+/// Cumulative engine counters (snapshot of atomics; safe to read while
+/// other threads keep querying).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct EngineStats {
+    /// Top-level queries answered.
+    pub queries: u64,
+    /// Total worklist steps across all queries.
+    pub steps: u64,
+    /// Total memo hits.
+    pub memo_hits: u64,
+    /// Queries (top-level) that exhausted their budget.
+    pub budget_exhaustions: u64,
+    /// Completed results currently memoized.
+    pub memo_entries: usize,
+    /// Distinct calling contexts interned.
+    pub contexts_interned: usize,
+}
+
+/// Counters shared across threads.
+#[derive(Default)]
+struct Counters {
+    queries: AtomicU64,
+    steps: AtomicU64,
+    memo_hits: AtomicU64,
+    budget_exhaustions: AtomicU64,
+}
+
+const MEMO_SHARDS: usize = 16;
+
+/// One shard of the memo table: completed query results keyed by
+/// `(node, interned context)`.
+type MemoShard = RwLock<HashMap<(NodeId, CtxId), Arc<PtResult>>>;
+
+/// A sharded `(NodeId, CtxId) → Arc<PtResult>` table. Concurrent queries
+/// on different shards never contend; completed results are shared by
+/// `Arc` instead of deep-cloned.
+struct ShardedMemo {
+    shards: Vec<MemoShard>,
+}
+
+impl ShardedMemo {
+    fn new() -> ShardedMemo {
+        ShardedMemo {
+            shards: (0..MEMO_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &(NodeId, CtxId)) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) % MEMO_SHARDS
+    }
+
+    fn get(&self, key: &(NodeId, CtxId)) -> Option<Arc<PtResult>> {
+        self.shards[self.shard(key)]
+            .read()
+            .unwrap()
+            .get(key)
+            .cloned()
+    }
+
+    fn insert(&self, key: (NodeId, CtxId), value: Arc<PtResult>) {
+        self.shards[self.shard(&key)]
+            .write()
+            .unwrap()
+            .insert(key, value);
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().unwrap().len()).sum()
+    }
+}
+
+/// Mutable state threaded through one top-level query and its nested
+/// alias sub-queries.
+struct QueryState {
+    budget: usize,
+    stats: QueryStats,
+}
+
 /// The demand-driven points-to analysis.
+///
+/// The engine is `Sync`: one instance can serve points-to queries from
+/// many scoped worker threads at once, sharing the context arena and the
+/// memo table (completed sub-query results computed by one thread are
+/// hits for every other).
 pub struct DemandPointsTo<'a> {
     program: &'a Program,
     pag: &'a Pag,
     config: DemandConfig,
     /// Loads keyed by their destination node.
     loads_by_dst: HashMap<NodeId, Vec<LoadStmt>>,
+    /// Interned call-string arena shared by all queries.
+    interner: ContextInterner,
     /// Memoized answers for *completed* queries.
-    memo: RefCell<HashMap<(NodeId, Context), PtResult>>,
+    memo: ShardedMemo,
+    counters: Counters,
 }
 
 impl<'a> DemandPointsTo<'a> {
@@ -102,7 +207,9 @@ impl<'a> DemandPointsTo<'a> {
             pag,
             config,
             loads_by_dst,
-            memo: RefCell::new(HashMap::new()),
+            interner: ContextInterner::new(config.k),
+            memo: ShardedMemo::new(),
+            counters: Counters::default(),
         }
     }
 
@@ -111,20 +218,63 @@ impl<'a> DemandPointsTo<'a> {
         self.config
     }
 
+    /// The shared context arena (exposed for clients that want to keep
+    /// working with `CtxId` handles).
+    pub fn interner(&self) -> &ContextInterner {
+        &self.interner
+    }
+
+    /// Snapshot of the cumulative engine counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            queries: self.counters.queries.load(Ordering::Relaxed),
+            steps: self.counters.steps.load(Ordering::Relaxed),
+            memo_hits: self.counters.memo_hits.load(Ordering::Relaxed),
+            budget_exhaustions: self.counters.budget_exhaustions.load(Ordering::Relaxed),
+            memo_entries: self.memo.len(),
+            contexts_interned: self.interner.len(),
+        }
+    }
+
     /// Points-to query for a [`Node`] under `ctx`.
     ///
     /// Returns an empty incomplete result for nodes absent from the PAG
     /// (never-assigned variables).
     pub fn points_to(&self, node: Node, ctx: &Context) -> PtResult {
+        self.points_to_with_stats(node, ctx).0
+    }
+
+    /// Like [`DemandPointsTo::points_to`], also returning the per-query
+    /// counters.
+    pub fn points_to_with_stats(&self, node: Node, ctx: &Context) -> (PtResult, QueryStats) {
         match self.pag.find(node) {
             Some(id) => {
-                let mut budget = self.config.budget;
-                self.query(id, ctx.clone(), &mut budget, 0)
+                let mut state = QueryState {
+                    budget: self.config.budget,
+                    stats: QueryStats::default(),
+                };
+                let result = self.query(id, self.interner.intern(ctx), &mut state, 0);
+                self.counters.queries.fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .steps
+                    .fetch_add(state.stats.steps, Ordering::Relaxed);
+                self.counters
+                    .memo_hits
+                    .fetch_add(state.stats.memo_hits, Ordering::Relaxed);
+                if state.stats.budget_exhausted {
+                    self.counters
+                        .budget_exhaustions
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                ((*result).clone(), state.stats)
             }
-            None => PtResult {
-                objects: BTreeSet::new(),
-                complete: true,
-            },
+            None => (
+                PtResult {
+                    objects: BTreeSet::new(),
+                    complete: true,
+                },
+                QueryStats::default(),
+            ),
         }
     }
 
@@ -141,32 +291,50 @@ impl<'a> DemandPointsTo<'a> {
         sa.iter().any(|s| sb.contains(s))
     }
 
-    fn query(&self, start: NodeId, ctx: Context, budget: &mut usize, depth: usize) -> PtResult {
-        if let Some(hit) = self.memo.borrow().get(&(start, ctx.clone())) {
-            return hit.clone();
+    /// Internal CFL traversal, entirely on interned `CtxId` handles: the
+    /// visited set hashes `(u32, u32)` pairs and context transitions are
+    /// arena reads instead of `Arc<Vec>` clones. Contexts are only
+    /// materialized when an allocation seed is recorded.
+    fn query(
+        &self,
+        start: NodeId,
+        ctx: CtxId,
+        state: &mut QueryState,
+        depth: usize,
+    ) -> Arc<PtResult> {
+        let key = (start, ctx);
+        if let Some(hit) = self.memo.get(&key) {
+            state.stats.memo_hits += 1;
+            return hit;
         }
         if depth > self.config.max_alias_depth {
-            return PtResult {
+            return Arc::new(PtResult {
                 objects: BTreeSet::new(),
                 complete: false,
-            };
+            });
         }
         let mut objects: BTreeSet<CtxObject> = BTreeSet::new();
         let mut complete = true;
-        let mut visited: HashSet<(NodeId, Context)> = HashSet::new();
-        let mut stack: Vec<(NodeId, Context)> = vec![(start, ctx.clone())];
-        visited.insert((start, ctx.clone()));
+        let mut visited: HashSet<(NodeId, CtxId)> = HashSet::new();
+        let mut stack: Vec<(NodeId, CtxId)> = vec![key];
+        visited.insert(key);
 
         while let Some((node, cur)) = stack.pop() {
-            if *budget == 0 {
+            if state.budget == 0 {
                 complete = false;
+                state.stats.budget_exhausted = true;
                 break;
             }
-            *budget -= 1;
+            state.budget -= 1;
+            state.stats.steps += 1;
 
             // Allocation seeds.
-            for &site in self.pag.allocs_into(node) {
-                objects.insert((site, cur.clone()));
+            let allocs = self.pag.allocs_into(node);
+            if !allocs.is_empty() {
+                let cur_ctx = self.interner.resolve(cur);
+                for &site in allocs {
+                    objects.insert((site, cur_ctx.clone()));
+                }
             }
 
             // Statics erase context.
@@ -177,18 +345,18 @@ impl<'a> DemandPointsTo<'a> {
                 let next_ctx = match label {
                     EdgeLabel::None => {
                         if erase {
-                            Some(Context::empty())
+                            Some(CtxId::EMPTY)
                         } else {
-                            Some(cur.clone())
+                            Some(cur)
                         }
                     }
                     // Backwards over arg->param: leaving the callee.
-                    EdgeLabel::Enter(cs) => cur.pop_matching(cs),
+                    EdgeLabel::Enter(cs) => self.interner.pop_matching(cur, cs),
                     // Backwards over ret->dst: entering the callee.
-                    EdgeLabel::Exit(cs) => Some(cur.push(cs, self.config.k)),
+                    EdgeLabel::Exit(cs) => Some(self.interner.push(cur, cs)),
                 };
                 if let Some(nc) = next_ctx {
-                    if visited.insert((src, nc.clone())) {
+                    if visited.insert((src, nc)) {
                         stack.push((src, nc));
                     }
                 }
@@ -196,16 +364,14 @@ impl<'a> DemandPointsTo<'a> {
 
             // Field loads: match against may-aliased stores.
             if let Some(loads) = self.loads_by_dst.get(&node) {
-                let loads = loads.clone();
                 for load in loads {
-                    let base_result = self.query(load.base, cur.clone(), budget, depth + 1);
+                    let base_result = self.query(load.base, cur, state, depth + 1);
                     if !base_result.complete {
                         complete = false;
                     }
                     let base_sites = base_result.sites();
                     for store in self.pag.stores_of(load.field) {
-                        let sbase_result =
-                            self.query(store.base, Context::empty(), budget, depth + 1);
+                        let sbase_result = self.query(store.base, CtxId::EMPTY, state, depth + 1);
                         if !sbase_result.complete {
                             complete = false;
                         }
@@ -213,8 +379,8 @@ impl<'a> DemandPointsTo<'a> {
                             || !sbase_result.complete
                             || sbase_result.sites().iter().any(|s| base_sites.contains(s));
                         if alias {
-                            let entry = (store.src, Context::empty());
-                            if visited.insert(entry.clone()) {
+                            let entry = (store.src, CtxId::EMPTY);
+                            if visited.insert(entry) {
                                 stack.push(entry);
                             }
                         }
@@ -223,11 +389,9 @@ impl<'a> DemandPointsTo<'a> {
             }
         }
 
-        let result = PtResult { objects, complete };
+        let result = Arc::new(PtResult { objects, complete });
         if result.complete {
-            self.memo
-                .borrow_mut()
-                .insert((start, ctx), result.clone());
+            self.memo.insert(key, Arc::clone(&result));
         }
         let _ = self.program;
         result
@@ -406,6 +570,53 @@ mod tests {
         let r = e.points_to(f.local("C.main", "got"), &Context::empty());
         assert!(r.complete);
         assert_eq!(r.sites().len(), 1);
+    }
+
+    #[test]
+    fn engine_is_sync_and_answers_concurrently() {
+        fn assert_sync<T: Sync>(_: &T) {}
+        let f = Fixture::new(
+            "class C {
+               static C id(C v) { return v; }
+               static void main() {
+                 C a = new C();
+                 C x = C.id(a);
+               }
+             }",
+        );
+        let e = f.engine();
+        assert_sync(&e);
+        let node = f.local("C.main", "x");
+        let results: Vec<PtResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| scope.spawn(|| e.points_to(node, &Context::empty())))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for r in &results {
+            assert!(r.complete);
+            assert_eq!(r.objects, results[0].objects);
+        }
+        let stats = e.stats();
+        assert_eq!(stats.queries, 4);
+        assert!(stats.steps > 0);
+        assert!(stats.contexts_interned >= 1);
+    }
+
+    #[test]
+    fn query_stats_count_steps_and_memo_hits() {
+        let f = Fixture::new("class C { static void main() { C x = new C(); } }");
+        let e = f.engine();
+        let node = f.local("C.main", "x");
+        let (r1, s1) = e.points_to_with_stats(node, &Context::empty());
+        assert!(r1.complete);
+        assert!(s1.steps > 0);
+        assert!(!s1.budget_exhausted);
+        // Second identical query is a pure memo hit: no traversal steps.
+        let (r2, s2) = e.points_to_with_stats(node, &Context::empty());
+        assert_eq!(r1.objects, r2.objects);
+        assert_eq!(s2.steps, 0);
+        assert_eq!(s2.memo_hits, 1);
     }
 
     #[test]

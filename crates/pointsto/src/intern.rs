@@ -1,0 +1,250 @@
+//! Interned k-limited call-string contexts.
+//!
+//! The demand engine's hot loop clones a [`Context`] (an `Arc<Vec>`) on
+//! every worklist step, memo probe, and visited-set insert. Interning
+//! replaces those clones with a `Copy` [`CtxId`] handle into an
+//! append-only arena: equal call strings always receive the same id, so
+//! id equality *is* context equality and hashing an id is hashing a
+//! `u32`.
+//!
+//! Each arena entry records its top frame and the id of its parent (the
+//! context with the top frame removed), so the CFL transitions become
+//! array reads:
+//!
+//! * `pop_matching` — compare the stored top frame, return the stored
+//!   parent id;
+//! * `push` — one probe of a `(CtxId, CallSite) → CtxId` transition
+//!   cache; the slow path (first time a transition is taken) interns the
+//!   k-limited extension and caches it.
+//!
+//! The arena is guarded by one `RwLock`: reads (resolve, pop, cached
+//! push) share the lock, only first-time interning takes it exclusively.
+//! This keeps the structure `Sync`, which is what lets the whole demand
+//! engine be shared across scoped worker threads.
+
+use crate::context::Context;
+use leakchecker_ir::ids::CallSite;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::RwLock;
+
+/// A `Copy` handle to an interned context. Ids are dense indices into
+/// the arena; `CtxId::EMPTY` is always the wildcard context.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CtxId(pub u32);
+
+impl CtxId {
+    /// The empty (wildcard) context's id.
+    pub const EMPTY: CtxId = CtxId(0);
+
+    /// The arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for CtxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ctx#{}", self.0)
+    }
+}
+
+struct Entry {
+    /// The materialized call string (outermost first).
+    ctx: Context,
+    /// Innermost frame (`None` only for the empty context).
+    top: Option<CallSite>,
+    /// Id of the context with the innermost frame removed.
+    parent: CtxId,
+}
+
+struct Inner {
+    entries: Vec<Entry>,
+    by_ctx: HashMap<Context, CtxId>,
+    /// `(caller-view id, call site) → callee-view id` push transitions.
+    push_cache: HashMap<(CtxId, CallSite), CtxId>,
+}
+
+impl Inner {
+    fn intern(&mut self, ctx: &Context) -> CtxId {
+        if let Some(&id) = self.by_ctx.get(ctx) {
+            return id;
+        }
+        let frames = ctx.frames();
+        let parent = if frames.is_empty() {
+            CtxId::EMPTY
+        } else {
+            self.intern(&Context::from_frames(frames[..frames.len() - 1].to_vec()))
+        };
+        let id = CtxId(u32::try_from(self.entries.len()).expect("context arena overflow"));
+        self.entries.push(Entry {
+            ctx: ctx.clone(),
+            top: frames.last().copied(),
+            parent,
+        });
+        self.by_ctx.insert(ctx.clone(), id);
+        id
+    }
+}
+
+/// The append-only context arena.
+pub struct ContextInterner {
+    /// Call-string limit applied by [`ContextInterner::push`].
+    k: usize,
+    inner: RwLock<Inner>,
+}
+
+impl ContextInterner {
+    /// Creates an arena holding only the empty context, with push
+    /// transitions k-limited to `k` frames.
+    pub fn new(k: usize) -> ContextInterner {
+        let mut inner = Inner {
+            entries: Vec::new(),
+            by_ctx: HashMap::new(),
+            push_cache: HashMap::new(),
+        };
+        inner.intern(&Context::empty());
+        ContextInterner {
+            k,
+            inner: RwLock::new(inner),
+        }
+    }
+
+    /// The call-string limit in effect.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of distinct contexts interned so far.
+    pub fn len(&self) -> usize {
+        self.inner.read().unwrap().entries.len()
+    }
+
+    /// `true` when only the empty context exists.
+    pub fn is_empty(&self) -> bool {
+        self.len() <= 1
+    }
+
+    /// Interns a context, returning its stable id.
+    pub fn intern(&self, ctx: &Context) -> CtxId {
+        if ctx.is_empty() {
+            return CtxId::EMPTY;
+        }
+        if let Some(&id) = self.inner.read().unwrap().by_ctx.get(ctx) {
+            return id;
+        }
+        self.inner.write().unwrap().intern(ctx)
+    }
+
+    /// The materialized call string for an id (cheap `Arc` clone).
+    pub fn resolve(&self, id: CtxId) -> Context {
+        self.inner.read().unwrap().entries[id.index()].ctx.clone()
+    }
+
+    /// Extends `id` by descending through `site`, keeping at most the
+    /// innermost `k` frames — the CFL *open parenthesis*.
+    pub fn push(&self, id: CtxId, site: CallSite) -> CtxId {
+        {
+            let inner = self.inner.read().unwrap();
+            if let Some(&next) = inner.push_cache.get(&(id, site)) {
+                return next;
+            }
+        }
+        let extended = self.resolve(id).push(site, self.k);
+        let mut inner = self.inner.write().unwrap();
+        let next = inner.intern(&extended);
+        inner.push_cache.insert((id, site), next);
+        next
+    }
+
+    /// Ascends out of a call through `site` — the CFL *close
+    /// parenthesis*. Wildcard matches anything; a different innermost
+    /// frame is an unbalanced path and returns `None`.
+    pub fn pop_matching(&self, id: CtxId, site: CallSite) -> Option<CtxId> {
+        if id == CtxId::EMPTY {
+            return Some(CtxId::EMPTY);
+        }
+        let inner = self.inner.read().unwrap();
+        let entry = &inner.entries[id.index()];
+        (entry.top == Some(site)).then_some(entry.parent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_id_zero() {
+        let arena = ContextInterner::new(8);
+        assert_eq!(arena.intern(&Context::empty()), CtxId::EMPTY);
+        assert!(arena.resolve(CtxId::EMPTY).is_empty());
+        assert!(arena.is_empty());
+    }
+
+    #[test]
+    fn interning_is_stable_and_injective() {
+        let arena = ContextInterner::new(8);
+        let a = arena.push(CtxId::EMPTY, CallSite(1));
+        let b = arena.push(a, CallSite(2));
+        let b2 = arena.push(arena.push(CtxId::EMPTY, CallSite(1)), CallSite(2));
+        assert_eq!(b, b2, "same call string, same id");
+        assert_ne!(a, b);
+        assert_eq!(arena.len(), 3, "empty + two strings");
+    }
+
+    #[test]
+    fn ctxid_round_trips_k_limited_call_strings() {
+        // Satellite requirement: an interned id resolves back to exactly
+        // the k-limited call string Context::push would build.
+        for k in [1usize, 2, 4, 8] {
+            let arena = ContextInterner::new(k);
+            let mut id = CtxId::EMPTY;
+            let mut ctx = Context::empty();
+            for s in 1..=10u32 {
+                id = arena.push(id, CallSite(s));
+                ctx = ctx.push(CallSite(s), k);
+                assert_eq!(arena.resolve(id), ctx, "k={k} after frame {s}");
+                assert_eq!(arena.intern(&ctx), id, "intern agrees with push");
+                assert!(ctx.len() <= k);
+            }
+        }
+    }
+
+    #[test]
+    fn pop_matching_mirrors_context_semantics() {
+        let arena = ContextInterner::new(8);
+        let ab = arena.push(arena.push(CtxId::EMPTY, CallSite(1)), CallSite(2));
+        let a = arena.pop_matching(ab, CallSite(2)).unwrap();
+        assert_eq!(arena.resolve(a).frames(), &[CallSite(1)]);
+        assert_eq!(arena.pop_matching(ab, CallSite(9)), None, "unbalanced");
+        assert_eq!(
+            arena.pop_matching(CtxId::EMPTY, CallSite(5)),
+            Some(CtxId::EMPTY),
+            "wildcard matches anything"
+        );
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let arena = ContextInterner::new(4);
+        let ids: Vec<Vec<CtxId>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(|| {
+                        (1..=32u32)
+                            .map(|s| {
+                                let a = arena.push(CtxId::EMPTY, CallSite(s % 7));
+                                arena.push(a, CallSite(s % 5))
+                            })
+                            .collect()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for other in &ids[1..] {
+            assert_eq!(&ids[0], other, "same transitions, same ids on every thread");
+        }
+    }
+}

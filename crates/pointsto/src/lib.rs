@@ -34,9 +34,11 @@
 pub mod andersen;
 pub mod context;
 pub mod demand;
+pub mod intern;
 pub mod pag;
 
 pub use andersen::Andersen;
 pub use context::Context;
-pub use demand::{CtxObject, DemandConfig, DemandPointsTo, PtResult};
+pub use demand::{CtxObject, DemandConfig, DemandPointsTo, EngineStats, PtResult, QueryStats};
+pub use intern::{ContextInterner, CtxId};
 pub use pag::{EdgeLabel, LoadStmt, Node, NodeId, Pag, StoreStmt};

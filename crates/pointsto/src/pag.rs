@@ -201,70 +201,56 @@ impl Pag {
                 let n = self.node(local(dst));
                 self.allocs_into[n.index()].push(*site);
             }
-            Stmt::Assign { dst, src } => {
-                if is_ref(program, method, *dst) {
-                    self.copy(local(src), local(dst), EdgeLabel::None);
-                }
+            Stmt::Assign { dst, src } if is_ref(program, method, *dst) => {
+                self.copy(local(src), local(dst), EdgeLabel::None);
             }
-            Stmt::Load { dst, base, field } => {
-                if program.field(*field).ty.is_reference() {
-                    let l = LoadStmt {
-                        dst: self.node(local(dst)),
-                        base: self.node(local(base)),
-                        field: *field,
-                        method,
-                    };
-                    self.loads_by_field.entry(*field).or_default().push(l);
-                }
+            Stmt::Load { dst, base, field } if program.field(*field).ty.is_reference() => {
+                let l = LoadStmt {
+                    dst: self.node(local(dst)),
+                    base: self.node(local(base)),
+                    field: *field,
+                    method,
+                };
+                self.loads_by_field.entry(*field).or_default().push(l);
             }
-            Stmt::Store { base, field, src } => {
-                if program.field(*field).ty.is_reference() {
-                    let s = StoreStmt {
-                        src: self.node(local(src)),
-                        base: self.node(local(base)),
-                        field: *field,
-                        method,
-                    };
-                    self.stores_by_field.entry(*field).or_default().push(s);
-                }
+            Stmt::Store { base, field, src } if program.field(*field).ty.is_reference() => {
+                let s = StoreStmt {
+                    src: self.node(local(src)),
+                    base: self.node(local(base)),
+                    field: *field,
+                    method,
+                };
+                self.stores_by_field.entry(*field).or_default().push(s);
             }
-            Stmt::ArrayLoad { dst, base, .. } => {
-                if is_ref(program, method, *dst) {
-                    let l = LoadStmt {
-                        dst: self.node(local(dst)),
-                        base: self.node(local(base)),
-                        field: ARRAY_ELEM_FIELD,
-                        method,
-                    };
-                    self.loads_by_field
-                        .entry(ARRAY_ELEM_FIELD)
-                        .or_default()
-                        .push(l);
-                }
+            Stmt::ArrayLoad { dst, base, .. } if is_ref(program, method, *dst) => {
+                let l = LoadStmt {
+                    dst: self.node(local(dst)),
+                    base: self.node(local(base)),
+                    field: ARRAY_ELEM_FIELD,
+                    method,
+                };
+                self.loads_by_field
+                    .entry(ARRAY_ELEM_FIELD)
+                    .or_default()
+                    .push(l);
             }
-            Stmt::ArrayStore { base, src, .. } => {
-                if is_ref(program, method, *src) {
-                    let s = StoreStmt {
-                        src: self.node(local(src)),
-                        base: self.node(local(base)),
-                        field: ARRAY_ELEM_FIELD,
-                        method,
-                    };
-                    self.stores_by_field
-                        .entry(ARRAY_ELEM_FIELD)
-                        .or_default()
-                        .push(s);
-                }
+            Stmt::ArrayStore { base, src, .. } if is_ref(program, method, *src) => {
+                let s = StoreStmt {
+                    src: self.node(local(src)),
+                    base: self.node(local(base)),
+                    field: ARRAY_ELEM_FIELD,
+                    method,
+                };
+                self.stores_by_field
+                    .entry(ARRAY_ELEM_FIELD)
+                    .or_default()
+                    .push(s);
             }
-            Stmt::StaticLoad { dst, field } => {
-                if program.field(*field).ty.is_reference() {
-                    self.copy(Node::Static(*field), local(dst), EdgeLabel::None);
-                }
+            Stmt::StaticLoad { dst, field } if program.field(*field).ty.is_reference() => {
+                self.copy(Node::Static(*field), local(dst), EdgeLabel::None);
             }
-            Stmt::StaticStore { field, src } => {
-                if program.field(*field).ty.is_reference() {
-                    self.copy(local(src), Node::Static(*field), EdgeLabel::None);
-                }
+            Stmt::StaticStore { field, src } if program.field(*field).ty.is_reference() => {
+                self.copy(local(src), Node::Static(*field), EdgeLabel::None);
             }
             Stmt::Call {
                 dst,
@@ -301,10 +287,8 @@ impl Pag {
                     }
                 }
             }
-            Stmt::Return(Some(v)) => {
-                if is_ref(program, method, *v) {
-                    self.copy(local(v), Node::Ret(method), EdgeLabel::None);
-                }
+            Stmt::Return(Some(v)) if is_ref(program, method, *v) => {
+                self.copy(local(v), Node::Ret(method), EdgeLabel::None);
             }
             _ => {}
         }
@@ -312,7 +296,9 @@ impl Pag {
 }
 
 fn is_ref(program: &Program, method: MethodId, local: LocalId) -> bool {
-    program.method(method).locals[local.index()].ty.is_reference()
+    program.method(method).locals[local.index()]
+        .ty
+        .is_reference()
 }
 
 #[cfg(test)]
@@ -330,9 +316,7 @@ mod tests {
 
     #[test]
     fn assignments_create_copy_edges() {
-        let (p, pag) = pag_for(
-            "class C { static void main() { C a = new C(); C b = a; } }",
-        );
+        let (p, pag) = pag_for("class C { static void main() { C a = new C(); C b = a; } }");
         let main = p.entry().unwrap();
         // Find b's node: it has one incoming copy edge from a's node.
         let mut found = false;
@@ -359,9 +343,7 @@ mod tests {
                }
              }",
         );
-        let f = p
-            .field_on(p.class_by_name("C").unwrap(), "f")
-            .unwrap();
+        let f = p.field_on(p.class_by_name("C").unwrap(), "f").unwrap();
         assert_eq!(pag.stores_of(f).len(), 1);
         assert_eq!(pag.loads_of(f).len(), 1);
         assert_eq!(pag.stores_of(f)[0].field, f);
@@ -422,9 +404,7 @@ mod tests {
                }
              }",
         );
-        let g = p
-            .field_on(p.class_by_name("C").unwrap(), "global")
-            .unwrap();
+        let g = p.field_on(p.class_by_name("C").unwrap(), "global").unwrap();
         let gn = pag.find(Node::Static(g)).unwrap();
         assert_eq!(pag.edges_into(gn).len(), 1);
         assert_eq!(pag.edges_out_of(gn).len(), 1);
@@ -432,9 +412,7 @@ mod tests {
 
     #[test]
     fn primitive_assignments_are_ignored() {
-        let (_p, pag) = pag_for(
-            "class C { static void main() { int a = 1; int b = a; } }",
-        );
+        let (_p, pag) = pag_for("class C { static void main() { int a = 1; int b = a; } }");
         // No copy edges at all (only possibly nodes).
         for i in 0..pag.len() {
             assert!(pag.edges_into(NodeId(i as u32)).is_empty());

@@ -72,8 +72,10 @@ fn main() {
     )
     .expect("analysis runs");
 
-    println!("analyzed loop: 1 designated, {} reachable methods, {} statements\n",
-        result.stats.methods, result.stats.statements);
+    println!(
+        "analyzed loop: 1 designated, {} reachable methods, {} statements\n",
+        result.stats.methods, result.stats.statements
+    );
     print!("{}", render_all(&result.program, &result.reports));
 
     // The report names the Order allocation and the redundant edge — the

@@ -13,4 +13,3 @@ pub use leakchecker_frontend as frontend;
 pub use leakchecker_interp as interp;
 pub use leakchecker_ir as ir;
 pub use leakchecker_pointsto as pointsto;
-

@@ -26,8 +26,7 @@ fn reported(result: &leakchecker::AnalysisResult) -> Vec<String> {
 fn leak_through_virtual_override_is_found() {
     // The store into the outside sink happens in an override selected by
     // dynamic dispatch; the declared type's method is harmless.
-    let result = run(
-        "class Sink { Object kept; }
+    let result = run("class Sink { Object kept; }
          class Handler {
            Sink sink;
            void handle(Object o) { }
@@ -49,8 +48,7 @@ fn leak_through_virtual_override_is_found() {
                h.handle(item);
              }
            }
-         }",
-    );
+         }");
     assert_eq!(reported(&result), vec!["new Object"]);
 }
 
@@ -59,8 +57,7 @@ fn nested_inner_loop_objects_belong_to_outer_iteration() {
     // Objects allocated by an inner loop escape the designated outer loop:
     // they must be reported; the paper's formulation tracks only the
     // designated loop.
-    let result = run(
-        "class Batch { Item[] slots = new Item[1024]; int n; }
+    let result = run("class Batch { Item[] slots = new Item[1024]; int n; }
          class Item { }
          class Main {
            static void main() {
@@ -76,15 +73,13 @@ fn nested_inner_loop_objects_belong_to_outer_iteration() {
                }
              }
            }
-         }",
-    );
+         }");
     assert_eq!(reported(&result), vec!["new Item"]);
 }
 
 #[test]
 fn iteration_local_inner_loop_structure_is_quiet() {
-    let result = run(
-        "class Node { Node next; }
+    let result = run("class Node { Node next; }
          class Main {
            static void main() {
              @check while (nondet()) {
@@ -98,8 +93,7 @@ fn iteration_local_inner_loop_structure_is_quiet() {
                }
              }
            }
-         }",
-    );
+         }");
     assert!(reported(&result).is_empty(), "{:?}", reported(&result));
 }
 
@@ -107,8 +101,7 @@ fn iteration_local_inner_loop_structure_is_quiet() {
 fn recursive_escape_is_still_covered() {
     // The escape happens through a recursive helper; inlining cuts the
     // recursion but the first unrolling already sees the store.
-    let result = run(
-        "class Sink { Object kept; }
+    let result = run("class Sink { Object kept; }
          class Main {
            static void save(Sink s, Object o, int depth) {
              if (depth > 0) {
@@ -124,8 +117,7 @@ fn recursive_escape_is_still_covered() {
                Main.save(sink, item, 3);
              }
            }
-         }",
-    );
+         }");
     assert_eq!(reported(&result), vec!["new Object"]);
 }
 
@@ -159,8 +151,7 @@ fn static_sink_and_pivot_interaction() {
 fn overwritten_local_only_retention_is_not_reported() {
     // A conditional assignment keeps at most one old instance alive via a
     // local: ERA may be ⊤̂ but there is no flows-out, hence no report.
-    let result = run(
-        "class Item { }
+    let result = run("class Item { }
          class Main {
            static void main() {
              Item keep = null;
@@ -171,8 +162,7 @@ fn overwritten_local_only_retention_is_not_reported() {
                }
              }
            }
-         }",
-    );
+         }");
     assert!(reported(&result).is_empty(), "{:?}", reported(&result));
 }
 
@@ -180,8 +170,7 @@ fn overwritten_local_only_retention_is_not_reported() {
 fn region_and_loop_targets_agree_on_equivalent_programs() {
     // The same body checked as an explicit loop and as a region must
     // produce the same site report.
-    let loop_version = run(
-        "class Sink { Object kept; }
+    let loop_version = run("class Sink { Object kept; }
          class Main {
            static void main() {
              Sink s = new Sink();
@@ -190,8 +179,7 @@ fn region_and_loop_targets_agree_on_equivalent_programs() {
                s.kept = o;
              }
            }
-         }",
-    );
+         }");
     let region_unit = compile(
         "class Sink { Object kept; }
          class Worker {
@@ -282,8 +270,7 @@ fn cha_and_rta_callgraphs_both_work() {
 fn escape_established_before_designated_loop_is_outside() {
     // Objects stored into the sink *before* the loop are outside objects:
     // nothing inside the loop escapes, nothing is reported.
-    let result = run(
-        "class Sink { Object kept; }
+    let result = run("class Sink { Object kept; }
          class Main {
            static void main() {
              Sink s = new Sink();
@@ -293,7 +280,6 @@ fn escape_established_before_designated_loop_is_outside() {
                Object probe = s.kept;
              }
            }
-         }",
-    );
+         }");
     assert!(reported(&result).is_empty());
 }

@@ -33,8 +33,7 @@ fn bound1_domain_is_no_less_conservative() {
         // Collapsing can only add reports, never shrink them below the
         // set-domain's true-positive coverage.
         assert!(
-            s_bound1.true_positives + s_bound1.reported_sites
-                >= s_default.true_positives,
+            s_bound1.true_positives + s_bound1.reported_sites >= s_default.true_positives,
             "{}: bound-1 lost coverage",
             subject.name
         );

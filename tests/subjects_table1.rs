@@ -68,7 +68,11 @@ fn derby_reports_resultsets_not_sections_as_leaks() {
     );
     // Sections appear in the report (the paper's FPs) but are labeled.
     let score = evaluate::score(&result.program, &result);
-    assert!(score.fp_causes.contains_key("singleton"), "{:?}", score.fp_causes);
+    assert!(
+        score.fp_causes.contains_key("singleton"),
+        "{:?}",
+        score.fp_causes
+    );
 }
 
 #[test]
@@ -82,10 +86,7 @@ fn eclipse_diff_region_finds_history_entries() {
     )
     .unwrap();
     let names: Vec<String> = result.reports.iter().map(|r| r.describe.clone()).collect();
-    assert!(
-        names.contains(&"new HistoryEntry".to_string()),
-        "{names:?}"
-    );
+    assert!(names.contains(&"new HistoryEntry".to_string()), "{names:?}");
     let score = evaluate::score(&result.program, &result);
     assert_eq!(
         score.fp_causes.get("gui-temporary").copied().unwrap_or(0),
