@@ -37,7 +37,9 @@ pub mod rng;
 pub mod subjects;
 
 pub use evaluate::{score, Score};
-pub use generator::{generate, GenConfig, Generated, HandlerKind};
+pub use generator::{
+    generate, generate_from_kinds, generate_fuzz, Expectation, GenConfig, Generated, HandlerKind,
+};
 pub use rng::SplitMix64;
 pub use subjects::{all as all_subjects, by_name, PaperRow, Subject};
 

@@ -46,8 +46,50 @@ pub enum Command {
         /// Source file path.
         file: String,
     },
+    /// `leakc fuzz [options]` — differential fuzzing campaign: the
+    /// static detector versus interpreter-derived ground truth.
+    Fuzz {
+        /// Campaign options.
+        options: FuzzOptions,
+    },
     /// `leakc --help` or parse failure with a message.
     Help,
+}
+
+/// Flags of the `fuzz` subcommand.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FuzzOptions {
+    /// `--seeds N` — number of programs.
+    pub seeds: u64,
+    /// `--seed S` — base seed (program `i` uses `S + i`).
+    pub seed: u64,
+    /// `--jobs N` — worker threads (0 = machine width).
+    pub jobs: usize,
+    /// `--iterations N` — tracked-loop iterations per handler.
+    pub iterations: u64,
+    /// `--json PATH` — write the campaign summary JSON here.
+    pub json: Option<String>,
+    /// `--corpus-dir DIR` — write minimized reproducers of any
+    /// soundness violation into this directory.
+    pub corpus_dir: Option<String>,
+    /// `--write-exemplars` — (re)generate the per-kind exemplar corpus
+    /// entries in `--corpus-dir` and exit.
+    pub write_exemplars: bool,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> Self {
+        let defaults = leakchecker_fuzz::FuzzConfig::default();
+        FuzzOptions {
+            seeds: defaults.seeds,
+            seed: defaults.base_seed,
+            jobs: defaults.jobs,
+            iterations: defaults.iterations_per_handler,
+            json: None,
+            corpus_dir: None,
+            write_exemplars: false,
+        }
+    }
 }
 
 /// Detector-affecting flags.
@@ -110,10 +152,18 @@ USAGE:
   leakc run   <file.jml> [--iterations N]
   leakc print <file.jml>
   leakc loops <file.jml>
+  leakc fuzz  [--seeds N] [--seed S] [--jobs N] [--iterations N]
+              [--json PATH] [--corpus-dir DIR] [--write-exemplars]
 
 The source language is Java-like; annotate the loop to analyze with
 `@check while (...) { ... }`, a checkable region method with `@region`,
 or pass --auto to rank candidate loops structurally.
+
+`fuzz` runs a differential campaign: each seed generates a dispatcher
+program from the mutation grammar, the concrete interpreter derives
+per-site must-leak facts, and any dynamically confirmed leak the static
+detector misses is a soundness violation — minimized and written to
+--corpus-dir. A failing seed reproduces with `--seed S --seeds 1`.
 ";
 
 /// Parses a command line (excluding argv[0]).
@@ -197,6 +247,45 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 .ok_or_else(|| "loops: missing <file>".to_string())?
                 .clone();
             Ok(Command::Loops { file })
+        }
+        "fuzz" => {
+            let mut options = FuzzOptions::default();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--seeds" => {
+                        let n = it.next().ok_or("--seeds needs a number")?;
+                        options.seeds = n.parse::<u64>().map_err(|_| "--seeds needs a number")?;
+                    }
+                    "--seed" => {
+                        let n = it.next().ok_or("--seed needs a number")?;
+                        options.seed = n.parse::<u64>().map_err(|_| "--seed needs a number")?;
+                    }
+                    "--jobs" => {
+                        let n = it.next().ok_or("--jobs needs a number")?;
+                        options.jobs = n.parse::<usize>().map_err(|_| "--jobs needs a number")?;
+                    }
+                    "--iterations" => {
+                        let n = it.next().ok_or("--iterations needs a number")?;
+                        options.iterations = n
+                            .parse::<u64>()
+                            .map_err(|_| "--iterations needs a number")?;
+                    }
+                    "--json" => {
+                        let p = it.next().ok_or("--json needs a path")?;
+                        options.json = Some(p.clone());
+                    }
+                    "--corpus-dir" => {
+                        let p = it.next().ok_or("--corpus-dir needs a path")?;
+                        options.corpus_dir = Some(p.clone());
+                    }
+                    "--write-exemplars" => options.write_exemplars = true,
+                    other => return Err(format!("fuzz: unknown flag `{other}`")),
+                }
+            }
+            if options.write_exemplars && options.corpus_dir.is_none() {
+                return Err("--write-exemplars needs --corpus-dir".to_string());
+            }
+            Ok(Command::Fuzz { options })
         }
         other => Err(format!("unknown command `{other}`")),
     }
@@ -348,7 +437,112 @@ pub fn execute(command: Command) -> Result<String, String> {
             }
             Ok(out)
         }
+        Command::Fuzz { options } => execute_fuzz(&options),
     }
+}
+
+fn execute_fuzz(options: &FuzzOptions) -> Result<String, String> {
+    use leakchecker_fuzz::{
+        render_campaign_json, render_entry, run_campaign, write_exemplars, CorpusEntry, FuzzConfig,
+    };
+
+    if options.write_exemplars {
+        let dir = options
+            .corpus_dir
+            .as_deref()
+            .ok_or("--write-exemplars needs --corpus-dir")?;
+        let written = write_exemplars(std::path::Path::new(dir), options.iterations)?;
+        let mut out = String::new();
+        for path in &written {
+            let _ = writeln!(out, "wrote {}", path.display());
+        }
+        let _ = writeln!(out, "{} exemplar corpus entries", written.len());
+        return Ok(out);
+    }
+
+    let campaign = run_campaign(&FuzzConfig {
+        seeds: options.seeds,
+        base_seed: options.seed,
+        jobs: options.jobs,
+        iterations_per_handler: options.iterations,
+    });
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fuzzed {} programs (base seed {}, {} statements explored)",
+        campaign.programs, campaign.base_seed, campaign.statements
+    );
+    let _ = writeln!(
+        out,
+        "reports: {} static, {} dynamically confirmed must-leaks, {} unconfirmed",
+        campaign.reports,
+        campaign.must_leaks,
+        campaign.fp_causes.values().sum::<u64>()
+    );
+    let _ = writeln!(
+        out,
+        "dynamic baseline: missed {} ground-truth leaks, {} extra findings",
+        campaign.dynamic_missed, campaign.dynamic_extra
+    );
+    if !campaign.fp_causes.is_empty() {
+        let causes: Vec<String> = campaign
+            .fp_causes
+            .iter()
+            .map(|(c, n)| format!("{c}: {n}"))
+            .collect();
+        let _ = writeln!(out, "fp causes: {}", causes.join(", "));
+    }
+    let _ = writeln!(out, "soundness violations: {}", campaign.violations.len());
+    for violation in &campaign.violations {
+        let v = &violation.verdict;
+        let _ = writeln!(
+            out,
+            "  VIOLATION seed={} kinds=[{}] missed={:?} (reproduce: leakc fuzz --seed {} --seeds 1)",
+            v.seed,
+            v.kinds.join(","),
+            v.missed,
+            v.seed
+        );
+        if let Some(dir) = &options.corpus_dir {
+            std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+            let (kinds, source, verdict_line) = match &violation.reduction {
+                Some(reduction) => (
+                    reduction.kinds.clone(),
+                    reduction.source.clone(),
+                    reduction.verdict.verdict_line(),
+                ),
+                None => (
+                    leakchecker_benchsuite::generate_fuzz(v.seed).kinds,
+                    leakchecker_benchsuite::generate_fuzz(v.seed).source,
+                    v.verdict_line(),
+                ),
+            };
+            let entry = CorpusEntry {
+                seed: v.seed,
+                kinds,
+                iterations_per_handler: options.iterations,
+                verdict: verdict_line,
+                source,
+            };
+            let path = std::path::Path::new(dir).join(entry.file_name("violation"));
+            std::fs::write(&path, render_entry(&entry))
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            let _ = writeln!(out, "  reproducer written to {}", path.display());
+        }
+    }
+    if !campaign.errors.is_empty() {
+        let _ = writeln!(out, "harness errors: {}", campaign.errors.len());
+        for e in &campaign.errors {
+            let _ = writeln!(out, "  ERROR {e}");
+        }
+    }
+    if let Some(path) = &options.json {
+        std::fs::write(path, render_campaign_json(&campaign))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        let _ = writeln!(out, "campaign summary written to {path}");
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -504,6 +698,81 @@ mod tests {
 
         let text = execute(Command::Print { file }).unwrap();
         assert!(text.contains("class Holder"), "{text}");
+    }
+
+    #[test]
+    fn parses_fuzz_flags() {
+        let cmd = parse_args(&argv(&[
+            "fuzz",
+            "--seeds",
+            "50",
+            "--seed",
+            "1234",
+            "--jobs",
+            "0",
+            "--iterations",
+            "4",
+            "--json",
+            "out.json",
+            "--corpus-dir",
+            "corpus",
+        ]))
+        .unwrap();
+        let Command::Fuzz { options } = cmd else {
+            panic!("expected fuzz");
+        };
+        assert_eq!(options.seeds, 50);
+        assert_eq!(options.seed, 1234);
+        assert_eq!(options.jobs, 0);
+        assert_eq!(options.iterations, 4);
+        assert_eq!(options.json.as_deref(), Some("out.json"));
+        assert_eq!(options.corpus_dir.as_deref(), Some("corpus"));
+        assert!(!options.write_exemplars);
+
+        assert!(parse_args(&argv(&["fuzz", "--seeds"])).is_err());
+        assert!(parse_args(&argv(&["fuzz", "--wat"])).is_err());
+        assert!(
+            parse_args(&argv(&["fuzz", "--write-exemplars"])).is_err(),
+            "--write-exemplars requires --corpus-dir"
+        );
+    }
+
+    #[test]
+    fn fuzz_runs_a_bounded_campaign() {
+        let dir = std::env::temp_dir().join("leakc-test-fuzz");
+        std::fs::create_dir_all(&dir).unwrap();
+        let json = dir.join("campaign.json");
+        let text = execute(Command::Fuzz {
+            options: FuzzOptions {
+                seeds: 6,
+                seed: 42,
+                jobs: 2,
+                json: Some(json.to_string_lossy().to_string()),
+                ..FuzzOptions::default()
+            },
+        })
+        .unwrap();
+        assert!(text.contains("fuzzed 6 programs"), "{text}");
+        assert!(text.contains("soundness violations: 0"), "{text}");
+        let written = std::fs::read_to_string(&json).unwrap();
+        assert!(written.contains("\"programs\": 6"), "{written}");
+    }
+
+    #[test]
+    fn fuzz_writes_exemplar_corpus() {
+        let dir = std::env::temp_dir().join("leakc-test-exemplars");
+        let _ = std::fs::remove_dir_all(&dir);
+        let text = execute(Command::Fuzz {
+            options: FuzzOptions {
+                corpus_dir: Some(dir.to_string_lossy().to_string()),
+                write_exemplars: true,
+                ..FuzzOptions::default()
+            },
+        })
+        .unwrap();
+        assert!(text.contains("11 exemplar corpus entries"), "{text}");
+        let count = std::fs::read_dir(&dir).unwrap().count();
+        assert_eq!(count, 11);
     }
 
     #[test]

@@ -129,6 +129,49 @@ pub fn detect(program: &Program, exec: &Execution, config: DynConfig) -> DynRepo
     DynReport { findings }
 }
 
+/// Three-way comparison of the static detector's coverage, the dynamic
+/// baseline's report, and interpreter-derived ground truth for one
+/// program — the quantitative form of the paper's static-vs-dynamic
+/// argument, aggregated across programs by the fuzzing campaign.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ThreeWay {
+    /// Ground-truth leaks absent from the static coverage (soundness
+    /// violations).
+    pub static_missed: Vec<AllocSite>,
+    /// Statically covered sites the ground truth did not confirm.
+    pub static_extra: Vec<AllocSite>,
+    /// Ground-truth leaks the dynamic baseline failed to flag — the
+    /// motivating limitation: dynamic tools need a leak-triggering run.
+    pub dynamic_missed: Vec<AllocSite>,
+    /// Dynamically flagged sites the ground truth did not confirm.
+    pub dynamic_extra: Vec<AllocSite>,
+    /// Ground-truth leaks found by both detectors.
+    pub agreed: Vec<AllocSite>,
+}
+
+/// Compares static coverage and a dynamic report against the truth set.
+pub fn three_way(
+    static_covered: &BTreeSet<AllocSite>,
+    dynamic: &DynReport,
+    truth: &BTreeSet<AllocSite>,
+) -> ThreeWay {
+    let dyn_sites = dynamic.sites();
+    let diff = |a: &BTreeSet<AllocSite>, b: &BTreeSet<AllocSite>| -> Vec<AllocSite> {
+        a.difference(b).copied().collect()
+    };
+    ThreeWay {
+        static_missed: diff(truth, static_covered),
+        static_extra: diff(static_covered, truth),
+        dynamic_missed: diff(truth, &dyn_sites),
+        dynamic_extra: diff(&dyn_sites, truth),
+        agreed: truth
+            .iter()
+            .filter(|s| static_covered.contains(s) && dyn_sites.contains(s))
+            .copied()
+            .collect(),
+    }
+}
+
 /// Measures live-heap growth: objects reachable from outside objects per
 /// completed iteration band. Used by the harness to *demonstrate* each
 /// subject's leak as monotone heap growth.
@@ -273,6 +316,147 @@ mod tests {
             assert!(w[1] >= w[0], "leak curve must be monotone: {curve:?}");
         }
         assert!(curve[7] > curve[0]);
+    }
+
+    /// A single-site leak: each node links the previous head (so every
+    /// node except the newest gets loaded exactly once, one iteration
+    /// after its creation), giving precise control over staleness.
+    const CHAIN: &str = "
+        class Node { Node next; }
+        class Holder { Node head; }
+        class Main {
+          static void main() {
+            Holder h = new Holder();
+            @check while (nondet()) {
+              Node n = new Node();
+              n.next = h.head;
+              h.head = n;
+            }
+          }
+        }";
+
+    #[test]
+    fn staleness_exactly_at_threshold_counts() {
+        // 6 iterations: node created in iteration i is last loaded in
+        // iteration i+1 (when the next node links it); the newest is
+        // never loaded. Node 1 has staleness 6 - 2 = 4: with the
+        // threshold at exactly 4 it is the only stale instance, one
+        // notch higher it is not.
+        let (p, exec) = execute(CHAIN, 6);
+        let at = detect(
+            &p,
+            &exec,
+            DynConfig {
+                staleness_threshold: 4,
+                growth_threshold: 1,
+            },
+        );
+        assert_eq!(at.findings.len(), 1, "{at:?}");
+        assert_eq!(at.findings[0].stale_instances, 1);
+        let above = detect(
+            &p,
+            &exec,
+            DynConfig {
+                staleness_threshold: 5,
+                growth_threshold: 1,
+            },
+        );
+        assert!(above.findings.is_empty(), "{above:?}");
+    }
+
+    #[test]
+    fn growth_exactly_at_threshold_fires() {
+        // 10 iterations, staleness 2: nodes 1..=7 are stale (node i is
+        // last loaded at i+1; 10 - 8 = 2 is the newest stale load).
+        let (p, exec) = execute(CHAIN, 10);
+        let at = detect(
+            &p,
+            &exec,
+            DynConfig {
+                staleness_threshold: 2,
+                growth_threshold: 7,
+            },
+        );
+        assert_eq!(at.findings.len(), 1, "{at:?}");
+        assert_eq!(at.findings[0].stale_instances, 7);
+        let above = detect(
+            &p,
+            &exec,
+            DynConfig {
+                staleness_threshold: 2,
+                growth_threshold: 8,
+            },
+        );
+        assert!(above.findings.is_empty(), "{above:?}");
+    }
+
+    #[test]
+    fn zero_iteration_loop_reports_nothing() {
+        let unit = compile(CHAIN).unwrap();
+        let exec = run(
+            &unit.program,
+            Config {
+                tracked_loop: Some(unit.checked_loops[0]),
+                nondet: NonDetPolicy::Always(false),
+                ..Config::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(exec.iterations, 0);
+        let report = detect(&unit.program, &exec, DynConfig::default());
+        assert!(report.findings.is_empty(), "{report:?}");
+        let curve = heap_growth_curve(&exec, 4);
+        assert_eq!(curve, vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn three_way_partitions_by_truth() {
+        let s = AllocSite;
+        let truth: BTreeSet<AllocSite> = [s(1), s(2), s(3)].into();
+        let static_covered: BTreeSet<AllocSite> = [s(1), s(2), s(9)].into();
+        let dynamic = DynReport {
+            findings: vec![DynFinding {
+                site: s(2),
+                stale_instances: 5,
+                total_instances: 5,
+                growing: true,
+            }],
+        };
+        let cmp = three_way(&static_covered, &dynamic, &truth);
+        assert_eq!(cmp.static_missed, vec![s(3)]);
+        assert_eq!(cmp.static_extra, vec![s(9)]);
+        assert_eq!(cmp.dynamic_missed, vec![s(1), s(3)]);
+        assert!(cmp.dynamic_extra.is_empty());
+        assert_eq!(cmp.agreed, vec![s(2)]);
+    }
+
+    #[test]
+    fn three_way_on_a_real_run() {
+        // Long leaky run: dynamic and static agree; short run: only the
+        // static side covers the truth.
+        let (p, exec) = execute(CHAIN, 50);
+        let node = p
+            .allocs()
+            .iter()
+            .enumerate()
+            .find(|(_, a)| a.describe == "new Node")
+            .map(|(i, _)| AllocSite::from_index(i))
+            .unwrap();
+        let truth: BTreeSet<AllocSite> = [node].into();
+        let report = detect(&p, &exec, DynConfig::default());
+        let cmp = three_way(&truth, &report, &truth);
+        assert!(cmp.static_missed.is_empty());
+        assert_eq!(cmp.agreed, vec![node]);
+
+        let (p2, exec2) = execute(CHAIN, 1);
+        let report2 = detect(&p2, &exec2, DynConfig::default());
+        let cmp2 = three_way(&truth, &report2, &truth);
+        assert_eq!(
+            cmp2.dynamic_missed,
+            vec![node],
+            "short run hides the leak from the dynamic detector"
+        );
+        assert!(cmp2.static_missed.is_empty());
     }
 
     #[test]

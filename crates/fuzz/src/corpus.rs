@@ -1,0 +1,241 @@
+//! The reproducer corpus: self-describing `.jml` files under
+//! `tests/corpus/` that lock fuzzing verdicts as regression tests.
+//!
+//! Each entry is a surface-language program prefixed with a comment
+//! header carrying the generator seed, the handler-kind labels, the
+//! interpreter budget, and the canonical verdict line. The replay test
+//! recompiles the *stored* source (not a regeneration) and asserts the
+//! recorded verdict, so a detector change that flips any corpus verdict
+//! fails loudly with the seed needed to reproduce it.
+
+use crate::oracle::{run_generated, ProgramVerdict};
+use leakchecker_benchsuite::{generate_from_kinds, Generated, HandlerKind};
+
+/// One corpus file's content, parsed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CorpusEntry {
+    /// Generator seed the program came from (`leakc fuzz --seed <s>`).
+    pub seed: u64,
+    /// Handler kinds, in declaration order.
+    pub kinds: Vec<HandlerKind>,
+    /// Interpreter budget the verdict was recorded under.
+    pub iterations_per_handler: u64,
+    /// The canonical verdict line ([`ProgramVerdict::verdict_line`]).
+    pub verdict: String,
+    /// The program source.
+    pub source: String,
+}
+
+impl CorpusEntry {
+    /// Stable file name for this entry.
+    pub fn file_name(&self, prefix: &str) -> String {
+        format!("{prefix}-{:016x}.jml", self.seed)
+    }
+}
+
+/// Renders an entry to file content.
+pub fn render_entry(entry: &CorpusEntry) -> String {
+    let labels: Vec<String> = entry.kinds.iter().map(|k| k.label()).collect();
+    format!(
+        "// leakchecker-fuzz corpus entry\n\
+         // seed: {}\n\
+         // kinds: {}\n\
+         // iterations-per-handler: {}\n\
+         // verdict: {}\n\
+         \n\
+         {}",
+        entry.seed,
+        labels.join(","),
+        entry.iterations_per_handler,
+        entry.verdict,
+        entry.source,
+    )
+}
+
+/// Parses file content written by [`render_entry`].
+///
+/// # Errors
+///
+/// Reports the first malformed or missing header field.
+pub fn parse_entry(text: &str) -> Result<CorpusEntry, String> {
+    let mut seed = None;
+    let mut kinds = None;
+    let mut iterations = None;
+    let mut verdict = None;
+    let mut rest = text;
+    loop {
+        let line_end = rest.find('\n').map_or(rest.len(), |i| i + 1);
+        let trimmed = rest[..line_end].trim();
+        if let Some(header) = trimmed.strip_prefix("//") {
+            let header = header.trim();
+            if let Some(v) = header.strip_prefix("seed:") {
+                seed = Some(
+                    v.trim()
+                        .parse::<u64>()
+                        .map_err(|e| format!("bad seed: {e}"))?,
+                );
+            } else if let Some(v) = header.strip_prefix("kinds:") {
+                let parsed: Result<Vec<HandlerKind>, String> = v
+                    .trim()
+                    .split(',')
+                    .map(|l| {
+                        HandlerKind::parse_label(l.trim())
+                            .ok_or_else(|| format!("unknown kind label `{l}`"))
+                    })
+                    .collect();
+                kinds = Some(parsed?);
+            } else if let Some(v) = header.strip_prefix("iterations-per-handler:") {
+                iterations = Some(
+                    v.trim()
+                        .parse::<u64>()
+                        .map_err(|e| format!("bad iterations: {e}"))?,
+                );
+            } else if let Some(v) = header.strip_prefix("verdict:") {
+                verdict = Some(v.trim().to_string());
+            }
+        } else if !trimmed.is_empty() || line_end == rest.len() {
+            // First non-comment, non-blank line: the source body.
+            break;
+        }
+        rest = &rest[line_end..];
+    }
+    let source = rest.trim_start().to_string();
+    if source.is_empty() {
+        return Err("corpus entry has no source body".to_string());
+    }
+    Ok(CorpusEntry {
+        seed: seed.ok_or("missing `// seed:` header")?,
+        kinds: kinds.ok_or("missing `// kinds:` header")?,
+        iterations_per_handler: iterations.ok_or("missing `// iterations-per-handler:` header")?,
+        verdict: verdict.ok_or("missing `// verdict:` header")?,
+        source,
+    })
+}
+
+/// Re-judges the *stored* source of an entry and returns the fresh
+/// verdict (compare its `verdict_line()` with `entry.verdict`).
+///
+/// # Errors
+///
+/// Propagates oracle failures, tagged with the entry's seed.
+pub fn replay(entry: &CorpusEntry) -> Result<ProgramVerdict, String> {
+    let generated = Generated {
+        source: entry.source.clone(),
+        kinds: entry.kinds.clone(),
+    };
+    run_generated(&generated, entry.seed, entry.iterations_per_handler)
+}
+
+/// Builds one exemplar entry per grammar kind: a single-handler program
+/// with the kind's recorded verdict. These seed the committed corpus so
+/// the replay lock covers the whole grammar even when the campaign
+/// finds no violations.
+///
+/// # Errors
+///
+/// Propagates oracle failures (a grammar kind that cannot be judged).
+pub fn exemplars(iterations_per_handler: u64) -> Result<Vec<CorpusEntry>, String> {
+    let all = [
+        HandlerKind::Leak,
+        HandlerKind::CarryOver,
+        HandlerKind::Local,
+        HandlerKind::AliasChain { links: 2 },
+        HandlerKind::CondEscape,
+        HandlerKind::CondCarry,
+        HandlerKind::LibraryStore,
+        HandlerKind::LibraryCarry,
+        HandlerKind::NestedLoop { inner: 3 },
+        HandlerKind::RecursiveEscape { depth: 2 },
+        HandlerKind::DoubleEdge,
+    ];
+    let mut out = Vec::with_capacity(all.len());
+    for kind in all {
+        let generated = generate_from_kinds(&[kind], 0, 0);
+        let verdict = run_generated(&generated, 0, iterations_per_handler)?;
+        out.push(CorpusEntry {
+            seed: 0,
+            kinds: vec![kind],
+            iterations_per_handler,
+            verdict: verdict.verdict_line(),
+            source: generated.source,
+        });
+    }
+    Ok(out)
+}
+
+/// Writes the exemplar entries into `dir` (one file per grammar kind,
+/// named `exemplar-<label>.jml`), creating the directory if needed.
+///
+/// # Errors
+///
+/// Propagates I/O and oracle failures.
+pub fn write_exemplars(
+    dir: &std::path::Path,
+    iterations_per_handler: u64,
+) -> Result<Vec<std::path::PathBuf>, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let mut written = Vec::new();
+    for entry in exemplars(iterations_per_handler)? {
+        let label = entry.kinds[0].label();
+        let path = dir.join(format!("exemplar-{label}.jml"));
+        std::fs::write(&path, render_entry(&entry))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::DEFAULT_ITERATIONS_PER_HANDLER;
+
+    #[test]
+    fn entries_round_trip_through_render_and_parse() {
+        let entries = exemplars(DEFAULT_ITERATIONS_PER_HANDLER).unwrap();
+        assert_eq!(entries.len(), 11);
+        for entry in &entries {
+            let text = render_entry(entry);
+            let parsed =
+                parse_entry(&text).unwrap_or_else(|e| panic!("kind {:?}: {e}", entry.kinds));
+            assert_eq!(&parsed, entry);
+        }
+    }
+
+    #[test]
+    fn replay_matches_recorded_verdicts() {
+        for entry in exemplars(DEFAULT_ITERATIONS_PER_HANDLER).unwrap() {
+            let fresh = replay(&entry).unwrap();
+            assert_eq!(
+                fresh.verdict_line(),
+                entry.verdict,
+                "kind {:?} (seed {}) verdict drifted",
+                entry.kinds,
+                entry.seed
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_entries_are_rejected() {
+        assert!(parse_entry("").is_err());
+        assert!(parse_entry("// seed: 1\nclass A { }").is_err());
+        assert!(parse_entry(
+            "// seed: x\n// kinds: leak\n// iterations-per-handler: 8\n// verdict: v\nclass A { }"
+        )
+        .is_err());
+        assert!(parse_entry(
+            "// seed: 1\n// kinds: wat\n// iterations-per-handler: 8\n// verdict: v\nclass A { }"
+        )
+        .is_err());
+        let ok = parse_entry(
+            "// seed: 1\n// kinds: leak,alias-chain-2\n// iterations-per-handler: 8\n// verdict: v\n\nclass A { }",
+        )
+        .unwrap();
+        assert_eq!(
+            ok.kinds,
+            vec![HandlerKind::Leak, HandlerKind::AliasChain { links: 2 }]
+        );
+        assert_eq!(ok.source, "class A { }");
+    }
+}

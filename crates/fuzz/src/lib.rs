@@ -1,0 +1,386 @@
+//! Differential fuzzing of the static detector against the concrete
+//! interpreter — the soundness gate the paper's contract implies.
+//!
+//! The campaign draws seeds, renders each into a dispatcher program
+//! from the mutation grammar ([`leakchecker_benchsuite::generate_fuzz`]:
+//! aliasing chains, conditional escapes and flow-backs, library-wrapped
+//! stores/loads, nested loops, recursion, double edges), and judges
+//! each with the [`oracle`]: the detector must cover every
+//! interpreter-confirmed must-leak site (Definition 1, site-level),
+//! while unconfirmed reports are bucketed into FP causes. Violations
+//! are delta-debugged ([`reduce`]) to handler-minimal reproducers and
+//! written to the [`corpus`] for regression locking.
+//!
+//! Everything is deterministic in the base seed: program `i` uses seed
+//! `base_seed + i`, workers never share mutable state, and the campaign
+//! JSON carries no timings — `--jobs 1` and `--jobs 8` produce
+//! byte-identical output, which the test suite asserts.
+
+pub mod corpus;
+pub mod oracle;
+pub mod reduce;
+
+pub use corpus::{exemplars, parse_entry, render_entry, replay, write_exemplars, CorpusEntry};
+pub use oracle::{run_generated, run_one, ProgramVerdict, DEFAULT_ITERATIONS_PER_HANDLER};
+pub use reduce::{reduce_violation, Reduction};
+
+use leakchecker::parallel_map;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Campaign parameters.
+#[derive(Copy, Clone, Debug)]
+pub struct FuzzConfig {
+    /// Number of programs to generate and judge.
+    pub seeds: u64,
+    /// Seed of the first program; program `i` uses `base_seed + i`.
+    pub base_seed: u64,
+    /// Worker threads (0 = machine width); workers judge whole
+    /// programs, the detector itself runs single-threaded per program.
+    pub jobs: usize,
+    /// Tracked-loop iterations granted per handler.
+    pub iterations_per_handler: u64,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seeds: 200,
+            base_seed: 0xF0CC5,
+            jobs: 1,
+            iterations_per_handler: DEFAULT_ITERATIONS_PER_HANDLER,
+        }
+    }
+}
+
+/// One soundness violation, with its minimized reproducer when the
+/// reducer confirmed it.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// The offending program's verdict.
+    pub verdict: ProgramVerdict,
+    /// The minimized reproducer (`None` when re-rendering without
+    /// padding no longer reproduces — commit the original then).
+    pub reduction: Option<Reduction>,
+}
+
+/// The aggregated campaign result.
+#[derive(Clone, Debug, Default)]
+pub struct Campaign {
+    /// Seeds judged.
+    pub programs: u64,
+    /// First seed.
+    pub base_seed: u64,
+    /// Iteration budget per handler.
+    pub iterations_per_handler: u64,
+    /// Total statements across analyzed programs.
+    pub statements: u64,
+    /// Total static reports.
+    pub reports: u64,
+    /// Total interpreter-confirmed must-leak sites.
+    pub must_leaks: u64,
+    /// Grammar coverage: programs per handler-kind label.
+    pub kind_counts: BTreeMap<String, u64>,
+    /// Unconfirmed static reports by acquitting dynamic fact.
+    pub fp_causes: BTreeMap<String, u64>,
+    /// Histogram of per-program FP rate (unconfirmed / reports) in
+    /// five bands: 0%, (0,25]%, (25,50]%, (50,75]%, (75,100]%.
+    pub fp_rate_bands: [u64; 5],
+    /// Ground-truth leaks the dynamic baseline missed (the paper's
+    /// motivating static-vs-dynamic gap).
+    pub dynamic_missed: u64,
+    /// Dynamic findings ground truth did not confirm.
+    pub dynamic_extra: u64,
+    /// Soundness violations with reproducers.
+    pub violations: Vec<Violation>,
+    /// Harness failures (generation/compile/interpreter errors), each
+    /// message carrying its seed.
+    pub errors: Vec<String>,
+}
+
+impl Campaign {
+    /// Index of the FP-rate band for one program's verdict.
+    fn fp_band(verdict: &ProgramVerdict) -> usize {
+        if verdict.reports == 0 || verdict.unconfirmed() == 0 {
+            return 0;
+        }
+        let rate = verdict.unconfirmed() as f64 / verdict.reports as f64;
+        match rate {
+            r if r <= 0.25 => 1,
+            r if r <= 0.50 => 2,
+            r if r <= 0.75 => 3,
+            _ => 4,
+        }
+    }
+}
+
+/// Runs a campaign. Verdicts are aggregated in seed order regardless of
+/// `jobs`, so the result (and its JSON) is deterministic in
+/// `base_seed`.
+pub fn run_campaign(config: &FuzzConfig) -> Campaign {
+    let seeds: Vec<u64> = (0..config.seeds)
+        .map(|i| config.base_seed.wrapping_add(i))
+        .collect();
+    let iterations = config.iterations_per_handler;
+    let results = parallel_map(config.jobs, seeds, |seed| {
+        run_one(seed, iterations).map(|verdict| {
+            let reduction = if verdict.is_sound() {
+                None
+            } else {
+                let kinds = leakchecker_benchsuite::generate_fuzz(seed).kinds;
+                reduce_violation(&kinds, seed, iterations)
+            };
+            (verdict, reduction)
+        })
+    });
+
+    let mut campaign = Campaign {
+        programs: config.seeds,
+        base_seed: config.base_seed,
+        iterations_per_handler: iterations,
+        ..Campaign::default()
+    };
+    for result in results {
+        match result {
+            Err(e) => campaign.errors.push(e),
+            Ok((verdict, reduction)) => {
+                campaign.statements += verdict.statements;
+                campaign.reports += verdict.reports;
+                campaign.must_leaks += verdict.must_leak;
+                for kind in &verdict.kinds {
+                    *campaign.kind_counts.entry(kind.clone()).or_default() += 1;
+                }
+                for (cause, n) in &verdict.fp_causes {
+                    *campaign.fp_causes.entry(cause.clone()).or_default() += n;
+                }
+                campaign.fp_rate_bands[Campaign::fp_band(&verdict)] += 1;
+                campaign.dynamic_missed += verdict.dynamic_missed;
+                campaign.dynamic_extra += verdict.dynamic_extra;
+                if !verdict.is_sound() {
+                    campaign.violations.push(Violation { verdict, reduction });
+                }
+            }
+        }
+    }
+    campaign
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_str_map(out: &mut String, map: &BTreeMap<String, u64>) {
+    out.push('{');
+    for (i, (k, v)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{}\": {v}", json_escape(k));
+    }
+    out.push('}');
+}
+
+/// Renders the campaign summary as JSON (hand-rolled: the build is
+/// hermetic, no serde). Deliberately carries no timings or host
+/// details, so identical seeds give byte-identical documents at any
+/// `--jobs` value.
+pub fn render_campaign_json(campaign: &Campaign) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"programs\": {},", campaign.programs);
+    let _ = writeln!(out, "  \"base_seed\": {},", campaign.base_seed);
+    let _ = writeln!(
+        out,
+        "  \"iterations_per_handler\": {},",
+        campaign.iterations_per_handler
+    );
+    let _ = writeln!(out, "  \"statements\": {},", campaign.statements);
+    let _ = writeln!(out, "  \"reports\": {},", campaign.reports);
+    let _ = writeln!(out, "  \"must_leaks\": {},", campaign.must_leaks);
+    out.push_str("  \"kind_counts\": ");
+    json_str_map(&mut out, &campaign.kind_counts);
+    out.push_str(",\n  \"fp_causes\": ");
+    json_str_map(&mut out, &campaign.fp_causes);
+    let bands = campaign.fp_rate_bands;
+    let _ = write!(
+        out,
+        ",\n  \"fp_rate_histogram\": {{\"0\": {}, \"(0,25]\": {}, \"(25,50]\": {}, \
+         \"(50,75]\": {}, \"(75,100]\": {}}},\n",
+        bands[0], bands[1], bands[2], bands[3], bands[4]
+    );
+    let _ = writeln!(out, "  \"dynamic_missed\": {},", campaign.dynamic_missed);
+    let _ = writeln!(out, "  \"dynamic_extra\": {},", campaign.dynamic_extra);
+    let _ = writeln!(
+        out,
+        "  \"soundness_violations\": {},",
+        campaign.violations.len()
+    );
+    out.push_str("  \"violations\": [");
+    for (i, violation) in campaign.violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let v = &violation.verdict;
+        let kinds: Vec<String> = v
+            .kinds
+            .iter()
+            .map(|k| format!("\"{}\"", json_escape(k)))
+            .collect();
+        let missed: Vec<String> = v
+            .missed
+            .iter()
+            .map(|m| format!("\"{}\"", json_escape(m)))
+            .collect();
+        let _ = write!(
+            out,
+            "\n    {{\"seed\": {}, \"kinds\": [{}], \"missed\": [{}]",
+            v.seed,
+            kinds.join(", "),
+            missed.join(", ")
+        );
+        if let Some(reduction) = &violation.reduction {
+            let reduced: Vec<String> = reduction
+                .kinds
+                .iter()
+                .map(|k| format!("\"{}\"", json_escape(&k.label())))
+                .collect();
+            let _ = write!(
+                out,
+                ", \"reduced_kinds\": [{}], \"reduced_statements\": {}",
+                reduced.join(", "),
+                reduction.statements
+            );
+        }
+        out.push('}');
+    }
+    if campaign.violations.is_empty() {
+        out.push_str("],\n");
+    } else {
+        out.push_str("\n  ],\n");
+    }
+    out.push_str("  \"errors\": [");
+    for (i, e) in campaign.errors.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{}\"", json_escape(e));
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_campaign_is_sound_and_clean() {
+        let campaign = run_campaign(&FuzzConfig {
+            seeds: 24,
+            base_seed: 1,
+            jobs: 1,
+            iterations_per_handler: DEFAULT_ITERATIONS_PER_HANDLER,
+        });
+        assert!(
+            campaign.errors.is_empty(),
+            "harness errors: {:?}",
+            campaign.errors
+        );
+        assert!(
+            campaign.violations.is_empty(),
+            "soundness violations: {:?}",
+            campaign
+                .violations
+                .iter()
+                .map(|v| (v.verdict.seed, v.verdict.kinds.clone()))
+                .collect::<Vec<_>>()
+        );
+        assert!(campaign.must_leaks > 0, "campaign must confirm some leaks");
+        assert!(campaign.statements > 0);
+        assert!(
+            campaign.kind_counts.len() > 6,
+            "grammar coverage: {:?}",
+            campaign.kind_counts
+        );
+    }
+
+    #[test]
+    fn campaign_json_is_deterministic_across_jobs() {
+        let base = FuzzConfig {
+            seeds: 16,
+            base_seed: 0xDECAF,
+            jobs: 1,
+            iterations_per_handler: DEFAULT_ITERATIONS_PER_HANDLER,
+        };
+        let sequential = render_campaign_json(&run_campaign(&base));
+        let parallel = render_campaign_json(&run_campaign(&FuzzConfig { jobs: 8, ..base }));
+        assert_eq!(
+            sequential, parallel,
+            "campaign JSON must be byte-identical at --jobs 1 and --jobs 8 \
+             (base_seed={:#x} seeds={})",
+            base.base_seed, base.seeds
+        );
+        let again = render_campaign_json(&run_campaign(&base));
+        assert_eq!(sequential, again, "same seed must give the same JSON");
+    }
+
+    #[test]
+    fn json_shape_is_well_formed() {
+        let campaign = run_campaign(&FuzzConfig {
+            seeds: 4,
+            base_seed: 7,
+            jobs: 2,
+            iterations_per_handler: DEFAULT_ITERATIONS_PER_HANDLER,
+        });
+        let json = render_campaign_json(&campaign);
+        for key in [
+            "\"programs\": 4",
+            "\"base_seed\": 7",
+            "\"kind_counts\"",
+            "\"fp_causes\"",
+            "\"fp_rate_histogram\"",
+            "\"soundness_violations\": 0",
+            "\"violations\": []",
+            "\"errors\": []",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        // No timing fields may sneak in.
+        assert!(!json.contains("secs"), "{json}");
+        assert!(!json.contains("time"), "{json}");
+    }
+
+    #[test]
+    fn fp_band_partitions() {
+        let mut v = ProgramVerdict {
+            seed: 0,
+            kinds: vec![],
+            statements: 0,
+            reports: 0,
+            must_leak: 0,
+            missed: vec![],
+            fp_causes: BTreeMap::new(),
+            dynamic_missed: 0,
+            dynamic_extra: 0,
+        };
+        assert_eq!(Campaign::fp_band(&v), 0);
+        v.reports = 4;
+        v.fp_causes.insert("flows-back-observed".to_string(), 1);
+        assert_eq!(Campaign::fp_band(&v), 1);
+        v.fp_causes.insert("never-escaped".to_string(), 1);
+        assert_eq!(Campaign::fp_band(&v), 2);
+        v.fp_causes.insert("single-instance".to_string(), 2);
+        assert_eq!(Campaign::fp_band(&v), 4);
+    }
+}

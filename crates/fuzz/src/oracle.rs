@@ -1,0 +1,286 @@
+//! The per-program differential oracle.
+//!
+//! One seed buys one generated program, which is judged three ways:
+//!
+//! 1. **statically** — the detector runs on the `@check` loop and its
+//!    coverage closure (reports plus reported-structure members) is
+//!    collected;
+//! 2. **concretely** — the interpreter executes the dispatcher long
+//!    enough for every handler to fire several times, and
+//!    `site_facts` classifies each allocation site from the effect log
+//!    (escaped at least twice and never used app-visibly afterwards ⇒
+//!    must-leak, the site-level reading of Definition 1);
+//! 3. **dynamically** — the staleness/growth baseline runs over the
+//!    same execution for the three-way comparison.
+//!
+//! A must-leak site missing from the static coverage is a *soundness
+//! violation* — the hard failure the campaign exists to find. Reported
+//! sites the run did not confirm are precision telemetry, bucketed by
+//! the dynamic fact that acquits them.
+
+use leakchecker::{check, covered_sites, oracle_compare, CheckTarget, DetectorConfig};
+use leakchecker_benchsuite::{generate_fuzz, Generated};
+use leakchecker_dynbaseline::{detect as dyn_detect, three_way, DynConfig};
+use leakchecker_interp::{
+    run as interp_run, site_facts, Config as InterpConfig, NonDetPolicy, SiteFacts,
+};
+use leakchecker_ir::ids::AllocSite;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// Tracked-loop iterations granted per handler (the dispatcher gives
+/// each handler one call every `handlers` iterations).
+pub const DEFAULT_ITERATIONS_PER_HANDLER: u64 = 8;
+
+/// The oracle's judgment of one generated program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProgramVerdict {
+    /// The generator seed (reproduce with `leakc fuzz --seed <s> --seeds 1`).
+    pub seed: u64,
+    /// Handler kind labels, in declaration order.
+    pub kinds: Vec<String>,
+    /// Statement count of the analyzed program.
+    pub statements: u64,
+    /// Number of static reports.
+    pub reports: u64,
+    /// Number of dynamically confirmed must-leak sites.
+    pub must_leak: u64,
+    /// Descriptions of must-leak sites absent from the static coverage:
+    /// soundness violations. Empty on a sound program.
+    pub missed: Vec<String>,
+    /// Unconfirmed static reports bucketed by the dynamic fact that
+    /// acquits them (the EXPERIMENTS.md-style FP causes).
+    pub fp_causes: BTreeMap<String, u64>,
+    /// Ground-truth leaks the dynamic baseline failed to flag.
+    pub dynamic_missed: u64,
+    /// Dynamic findings the ground truth did not confirm.
+    pub dynamic_extra: u64,
+}
+
+impl ProgramVerdict {
+    /// `true` when no dynamically confirmed leak was missed statically.
+    pub fn is_sound(&self) -> bool {
+        self.missed.is_empty()
+    }
+
+    /// Unconfirmed static reports (potential FPs).
+    pub fn unconfirmed(&self) -> u64 {
+        self.fp_causes.values().sum()
+    }
+
+    /// Canonical one-line verdict, recorded in corpus headers and
+    /// asserted by the replay test. Contains no timings or paths.
+    pub fn verdict_line(&self) -> String {
+        let mut fp = String::new();
+        for (i, (cause, n)) in self.fp_causes.iter().enumerate() {
+            if i > 0 {
+                fp.push(',');
+            }
+            let _ = write!(fp, "{cause}:{n}");
+        }
+        format!(
+            "sound={} reports={} must_leak={} missed={} fp=[{}] dyn_missed={} dyn_extra={}",
+            self.is_sound(),
+            self.reports,
+            self.must_leak,
+            self.missed.len(),
+            fp,
+            self.dynamic_missed,
+            self.dynamic_extra,
+        )
+    }
+}
+
+/// Names the dynamic fact that acquits an unconfirmed static report.
+fn fp_cause(facts: Option<&SiteFacts>) -> &'static str {
+    match facts {
+        None => "never-allocated",
+        Some(f) if f.escaped == 0 => "never-escaped",
+        Some(f) if f.flow_back_uses > 0 => "flows-back-observed",
+        Some(f) if f.leaked <= 1 => "single-instance",
+        Some(_) => "uncategorized",
+    }
+}
+
+/// Judges one pre-rendered program. `seed` is carried into the verdict
+/// and every error message so failures reproduce via
+/// `leakc fuzz --seed <s> --seeds 1`.
+///
+/// # Errors
+///
+/// Compile or interpreter failures are harness bugs, reported with the
+/// seed and kind list embedded.
+pub fn run_generated(
+    generated: &Generated,
+    seed: u64,
+    iterations_per_handler: u64,
+) -> Result<ProgramVerdict, String> {
+    let labels: Vec<String> = generated.kinds.iter().map(|k| k.label()).collect();
+    let describe_failure = |what: &str, detail: &str| {
+        format!(
+            "{what} (seed={seed} kinds=[{}] iterations_per_handler={iterations_per_handler}): {detail}",
+            labels.join(",")
+        )
+    };
+
+    let unit = leakchecker_frontend::compile(&generated.source)
+        .map_err(|e| describe_failure("generated program failed to compile", &e.to_string()))?;
+    let target_loop = *unit
+        .checked_loops
+        .first()
+        .ok_or_else(|| describe_failure("generated program has no @check loop", ""))?;
+
+    let result = check(
+        &unit.program,
+        CheckTarget::Loop(target_loop),
+        DetectorConfig::default(),
+    )
+    .map_err(|e| describe_failure("static detector failed", &e.to_string()))?;
+
+    let budget = (generated.kinds.len() as u64).max(1) * iterations_per_handler;
+    let exec = interp_run(
+        &unit.program,
+        InterpConfig {
+            tracked_loop: Some(target_loop),
+            nondet: NonDetPolicy::Always(true),
+            max_tracked_iterations: Some(budget),
+            ..InterpConfig::default()
+        },
+    )
+    .map_err(|e| describe_failure("interpreter failed", &e.to_string()))?;
+
+    let facts = site_facts(&exec.heap, &exec.effects);
+    let must_leak: BTreeSet<AllocSite> = facts
+        .values()
+        .filter(|f| f.must_leak())
+        .map(|f| f.site)
+        .collect();
+
+    let cmp = oracle_compare(&result, &must_leak);
+    let missed: Vec<String> = cmp
+        .missed
+        .iter()
+        .map(|&s| result.program.alloc(s).describe.clone())
+        .collect();
+    let mut fp_causes: BTreeMap<String, u64> = BTreeMap::new();
+    for &site in &cmp.unconfirmed {
+        *fp_causes
+            .entry(fp_cause(facts.get(&site)).to_string())
+            .or_default() += 1;
+    }
+
+    let dyn_report = dyn_detect(&unit.program, &exec, DynConfig::default());
+    let three = three_way(&covered_sites(&result), &dyn_report, &must_leak);
+
+    Ok(ProgramVerdict {
+        seed,
+        kinds: labels,
+        statements: result.stats.statements as u64,
+        reports: result.reports.len() as u64,
+        must_leak: must_leak.len() as u64,
+        missed,
+        fp_causes,
+        dynamic_missed: three.dynamic_missed.len() as u64,
+        dynamic_extra: three.dynamic_extra.len() as u64,
+    })
+}
+
+/// Generates and judges the program of one seed.
+///
+/// # Errors
+///
+/// See [`run_generated`].
+pub fn run_one(seed: u64, iterations_per_handler: u64) -> Result<ProgramVerdict, String> {
+    run_generated(&generate_fuzz(seed), seed, iterations_per_handler)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leakchecker_benchsuite::{generate_from_kinds, HandlerKind};
+
+    fn judge(kinds: &[HandlerKind]) -> ProgramVerdict {
+        let generated = generate_from_kinds(kinds, 0, 0);
+        run_generated(&generated, 0, DEFAULT_ITERATIONS_PER_HANDLER).unwrap_or_else(|e| {
+            panic!("oracle failed: {e}");
+        })
+    }
+
+    #[test]
+    fn planted_leak_is_confirmed_and_sound() {
+        let v = judge(&[HandlerKind::Leak, HandlerKind::Local]);
+        assert!(v.is_sound(), "{}", v.verdict_line());
+        assert_eq!(v.must_leak, 1);
+        assert_eq!(v.reports, 1);
+        assert_eq!(v.unconfirmed(), 0);
+        assert!(v.dynamic_missed <= 1, "{}", v.verdict_line());
+    }
+
+    #[test]
+    fn healthy_kinds_produce_no_must_leaks() {
+        let v = judge(&[
+            HandlerKind::CarryOver,
+            HandlerKind::Local,
+            HandlerKind::LibraryCarry,
+        ]);
+        assert!(v.is_sound(), "{}", v.verdict_line());
+        assert_eq!(v.must_leak, 0, "{}", v.verdict_line());
+        assert_eq!(v.reports, 0, "{}", v.verdict_line());
+    }
+
+    #[test]
+    fn double_edge_is_a_bucketed_false_positive() {
+        let v = judge(&[HandlerKind::DoubleEdge]);
+        assert!(v.is_sound(), "{}", v.verdict_line());
+        assert_eq!(v.must_leak, 0, "every instance flows back");
+        assert_eq!(v.reports, 1, "the unmatched array edge is reported");
+        assert_eq!(
+            v.fp_causes.get("flows-back-observed").copied(),
+            Some(1),
+            "{}",
+            v.verdict_line()
+        );
+    }
+
+    #[test]
+    fn every_grammar_kind_passes_the_oracle() {
+        let all = [
+            HandlerKind::Leak,
+            HandlerKind::CarryOver,
+            HandlerKind::Local,
+            HandlerKind::AliasChain { links: 2 },
+            HandlerKind::CondEscape,
+            HandlerKind::CondCarry,
+            HandlerKind::LibraryStore,
+            HandlerKind::LibraryCarry,
+            HandlerKind::NestedLoop { inner: 3 },
+            HandlerKind::RecursiveEscape { depth: 2 },
+            HandlerKind::DoubleEdge,
+        ];
+        for kind in all {
+            let v = judge(&[kind]);
+            assert!(
+                v.is_sound(),
+                "kind {kind:?} violates soundness: {}",
+                v.verdict_line()
+            );
+            if kind.is_dynamic_leak() {
+                assert!(
+                    v.must_leak >= 1,
+                    "kind {kind:?} should be a confirmed leak: {}",
+                    v.verdict_line()
+                );
+            } else {
+                assert_eq!(
+                    v.must_leak,
+                    0,
+                    "kind {kind:?} should not must-leak: {}",
+                    v.verdict_line()
+                );
+            }
+        }
+        let mixed = judge(&all);
+        assert!(mixed.is_sound(), "mixed: {}", mixed.verdict_line());
+        assert_eq!(mixed.must_leak, 6, "mixed: {}", mixed.verdict_line());
+    }
+}

@@ -22,6 +22,8 @@ pub struct StoreEffect {
     /// Iteration of the designated loop at the moment of the store
     /// (0 outside the loop).
     pub iteration: u64,
+    /// `true` when the store executed inside a `library class` method.
+    pub in_library: bool,
 }
 
 /// A concrete load effect `ô1 ◁_g^j ô2`.
@@ -36,6 +38,25 @@ pub struct LoadEffect {
     /// Iteration of the designated loop at the moment of the load
     /// (0 outside the loop).
     pub iteration: u64,
+    /// `true` when the load executed inside a `library class` method.
+    /// Library-internal reads (`HashMap.put` probing a bucket) do not by
+    /// themselves constitute a use of the object — the paper's library
+    /// modeling counts them only when the value is returned to
+    /// application code, recorded separately as a [`ReturnEffect`].
+    pub in_library: bool,
+}
+
+/// A library-to-application return event: a reference created by the
+/// program crossed the library boundary back into application code.
+/// This is the concrete counterpart of the abstract
+/// `returned_from_library` set that the static library modeling uses.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ReturnEffect {
+    /// The returned object.
+    pub value: ObjId,
+    /// Iteration of the designated loop at the moment of the return
+    /// (0 outside the loop).
+    pub iteration: u64,
 }
 
 /// The pair of effect logs produced by an execution.
@@ -45,27 +66,50 @@ pub struct EffectLog {
     pub stores: Vec<StoreEffect>,
     /// All load effects, in execution order (Ω).
     pub loads: Vec<LoadEffect>,
+    /// Library-boundary return events, in execution order.
+    pub returns: Vec<ReturnEffect>,
 }
 
 impl EffectLog {
     /// Records a store effect.
-    pub fn store(&mut self, value: ObjId, field: FieldId, base: ObjId, iteration: u64) {
+    pub fn store(
+        &mut self,
+        value: ObjId,
+        field: FieldId,
+        base: ObjId,
+        iteration: u64,
+        in_library: bool,
+    ) {
         self.stores.push(StoreEffect {
             value,
             field,
             base,
             iteration,
+            in_library,
         });
     }
 
     /// Records a load effect.
-    pub fn load(&mut self, value: ObjId, field: FieldId, base: ObjId, iteration: u64) {
+    pub fn load(
+        &mut self,
+        value: ObjId,
+        field: FieldId,
+        base: ObjId,
+        iteration: u64,
+        in_library: bool,
+    ) {
         self.loads.push(LoadEffect {
             value,
             field,
             base,
             iteration,
+            in_library,
         });
+    }
+
+    /// Records a library-to-application return of `value`.
+    pub fn library_return(&mut self, value: ObjId, iteration: u64) {
+        self.returns.push(ReturnEffect { value, iteration });
     }
 
     /// Returns `true` if `value` was ever loaded (from anywhere) in an
@@ -98,7 +142,7 @@ mod tests {
     #[test]
     fn loaded_after_respects_iteration_order() {
         let mut log = EffectLog::default();
-        log.load(ObjId(1), FieldId(0), ObjId(2), 3);
+        log.load(ObjId(1), FieldId(0), ObjId(2), 3, false);
         assert!(log.loaded_after(ObjId(1), 2));
         assert!(!log.loaded_after(ObjId(1), 3));
         assert!(!log.loaded_after(ObjId(9), 0));
@@ -107,17 +151,37 @@ mod tests {
     #[test]
     fn loads_outside_loop_do_not_count_as_flow_back() {
         let mut log = EffectLog::default();
-        log.load(ObjId(1), FieldId(0), ObjId(2), 0);
+        log.load(ObjId(1), FieldId(0), ObjId(2), 0, false);
         assert!(!log.loaded_after(ObjId(1), 0));
     }
 
     #[test]
     fn loaded_from_after_matches_exact_location() {
         let mut log = EffectLog::default();
-        log.load(ObjId(1), FieldId(4), ObjId(2), 5);
+        log.load(ObjId(1), FieldId(4), ObjId(2), 5, false);
         assert!(log.loaded_from_after(ObjId(1), FieldId(4), ObjId(2), 1));
         assert!(!log.loaded_from_after(ObjId(1), FieldId(5), ObjId(2), 1));
         assert!(!log.loaded_from_after(ObjId(1), FieldId(4), ObjId(3), 1));
         assert!(!log.loaded_from_after(ObjId(1), FieldId(4), ObjId(2), 5));
+    }
+
+    #[test]
+    fn library_returns_are_recorded_in_order() {
+        let mut log = EffectLog::default();
+        log.library_return(ObjId(3), 1);
+        log.library_return(ObjId(4), 2);
+        assert_eq!(
+            log.returns,
+            vec![
+                ReturnEffect {
+                    value: ObjId(3),
+                    iteration: 1
+                },
+                ReturnEffect {
+                    value: ObjId(4),
+                    iteration: 2
+                }
+            ]
+        );
     }
 }

@@ -12,7 +12,7 @@ use crate::effects::EffectLog;
 use crate::heap::Heap;
 use crate::value::ObjId;
 use leakchecker_ir::ids::AllocSite;
-use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 
 /// A leaking run-time object, with the escape edge that pins it.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -109,6 +109,109 @@ pub fn compute(heap: &Heap, effects: &EffectLog) -> GroundTruth {
     let mut leaked: Vec<LeakedObject> = leaked.into_values().collect();
     leaked.sort_by_key(|l| l.object);
     GroundTruth { leaked }
+}
+
+/// Dynamic per-site facts with the paper's library modeling applied:
+/// library-internal reads do not count as uses unless the object also
+/// crossed the library boundary back to application code.
+///
+/// This is the differential-fuzzing oracle's view of one allocation
+/// site: how many instances a run created inside the loop, how many
+/// escaped into an outside structure, how many were never used again
+/// after creation, and how often instances flowed back.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct SiteFacts {
+    /// The allocation site.
+    pub site: AllocSite,
+    /// Instances created inside the tracked loop.
+    pub instances: usize,
+    /// Instances that escaped into an outside object's structure
+    /// (directly or as a member of an escaping structure).
+    pub escaped: usize,
+    /// Escaped instances never used app-visibly in a later iteration.
+    pub leaked: usize,
+    /// App-visible uses of any instance in an iteration strictly after
+    /// its creation (loads outside library code, plus library returns).
+    pub flow_back_uses: usize,
+}
+
+impl SiteFacts {
+    /// The soundness-gate classification: the site *must* be reported by
+    /// a sound static detector when the run shows a sustained escape
+    /// (two or more leaked instances) and not a single instance was ever
+    /// read back. A lone leaked instance is the carried-over tail every
+    /// healthy handler produces at run end, not the leak pattern.
+    pub fn must_leak(&self) -> bool {
+        self.leaked >= 2 && self.flow_back_uses == 0
+    }
+}
+
+/// Extracts [`SiteFacts`] for every allocation site with at least one
+/// inside-loop instance.
+pub fn site_facts(heap: &Heap, effects: &EffectLog) -> BTreeMap<AllocSite, SiteFacts> {
+    // App-visible use events per object: loads recorded outside library
+    // code, plus library-boundary returns (the concrete counterpart of
+    // the static `returned_from_library` condition).
+    let mut uses: HashMap<ObjId, Vec<u64>> = HashMap::new();
+    for l in effects.loads.iter().filter(|l| !l.in_library) {
+        uses.entry(l.value).or_default().push(l.iteration);
+    }
+    for r in &effects.returns {
+        uses.entry(r.value).or_default().push(r.iteration);
+    }
+
+    // Containment among stored references, and the directly escaping
+    // roots (inside value stored into an outside base).
+    let mut contains: HashMap<ObjId, Vec<ObjId>> = HashMap::new();
+    let mut queue = VecDeque::new();
+    let mut escaped: HashSet<ObjId> = HashSet::new();
+    for s in &effects.stores {
+        contains.entry(s.base).or_default().push(s.value);
+        if heap.get(s.value).iteration > 0
+            && heap.get(s.base).iteration == 0
+            && escaped.insert(s.value)
+        {
+            queue.push_back(s.value);
+        }
+    }
+    // Members of an escaping structure escape with it.
+    while let Some(root) = queue.pop_front() {
+        if let Some(children) = contains.get(&root) {
+            for &child in children {
+                if heap.get(child).iteration > 0 && escaped.insert(child) {
+                    queue.push_back(child);
+                }
+            }
+        }
+    }
+
+    let mut facts: BTreeMap<AllocSite, SiteFacts> = BTreeMap::new();
+    for (obj, info) in heap.iter() {
+        if info.iteration == 0 {
+            continue;
+        }
+        let entry = facts.entry(info.site).or_insert(SiteFacts {
+            site: info.site,
+            ..SiteFacts::default()
+        });
+        entry.instances += 1;
+        let later_uses = uses
+            .get(&obj)
+            .map(|its| {
+                its.iter()
+                    .filter(|&&it| it > info.iteration && it > 0)
+                    .count()
+            })
+            .unwrap_or(0);
+        entry.flow_back_uses += later_uses;
+        if escaped.contains(&obj) {
+            entry.escaped += 1;
+            if later_uses == 0 {
+                entry.leaked += 1;
+            }
+        }
+    }
+    facts
 }
 
 #[cfg(test)]
@@ -241,6 +344,113 @@ mod tests {
             .collect();
         assert_eq!(payload_leaks.len(), 4);
         assert!(payload_leaks.iter().all(|l| l.escape_root != l.object));
+    }
+
+    #[test]
+    fn site_facts_classify_sustained_leaks() {
+        let (p, lp, site) = leaky_program(false);
+        let (heap, effects) = execute(&p, lp);
+        let facts = site_facts(&heap, &effects);
+        let f = facts[&site];
+        assert_eq!(f.instances, 5);
+        assert_eq!(f.escaped, 5);
+        assert_eq!(f.leaked, 5);
+        assert_eq!(f.flow_back_uses, 0);
+        assert!(f.must_leak());
+    }
+
+    #[test]
+    fn site_facts_spare_carried_over_sites() {
+        let (p, lp, site) = leaky_program(true);
+        let (heap, effects) = execute(&p, lp);
+        let facts = site_facts(&heap, &effects);
+        let f = facts[&site];
+        assert_eq!(f.instances, 5);
+        assert!(f.flow_back_uses >= 3, "{f:?}");
+        assert!(
+            f.leaked <= 1,
+            "only the run-end tail may look leaked: {f:?}"
+        );
+        assert!(!f.must_leak());
+    }
+
+    #[test]
+    fn site_facts_apply_library_modeling() {
+        // The library bucket probes its slot on every put (a load the
+        // oracle must ignore) but never returns it: the payload site is
+        // a must-leak. With a `get` that returns the value to the
+        // application, the same site flows back.
+        let compile_and_run = |src: &str| {
+            let unit = leakchecker_frontend::compile(src).unwrap();
+            let exec = crate::interp::run(
+                &unit.program,
+                Config {
+                    tracked_loop: Some(unit.checked_loops[0]),
+                    nondet: crate::interp::NonDetPolicy::Always(true),
+                    max_tracked_iterations: Some(6),
+                    ..Config::default()
+                },
+            )
+            .unwrap();
+            let facts = site_facts(&exec.heap, &exec.effects);
+            let site = unit
+                .program
+                .allocs()
+                .iter()
+                .enumerate()
+                .find(|(_, a)| a.describe == "new Item")
+                .map(|(i, _)| leakchecker_ir::AllocSite::from_index(i))
+                .unwrap();
+            facts[&site]
+        };
+        let probe_only = compile_and_run(
+            "library class Bucket {
+               Item slot;
+               void put(Item it) {
+                 Item probe = this.slot;
+                 this.slot = it;
+               }
+             }
+             class Item { }
+             class Main {
+               static void main() {
+                 Bucket b = new Bucket();
+                 @check while (nondet()) {
+                   Item it = new Item();
+                   b.put(it);
+                 }
+               }
+             }",
+        );
+        assert_eq!(
+            probe_only.flow_back_uses, 0,
+            "library probe reads must not count as uses: {probe_only:?}"
+        );
+        assert!(probe_only.must_leak(), "{probe_only:?}");
+
+        let returned = compile_and_run(
+            "library class Bucket {
+               Item slot;
+               void put(Item it) { this.slot = it; }
+               Item get() { Item v = this.slot; return v; }
+             }
+             class Item { }
+             class Main {
+               static void main() {
+                 Bucket b = new Bucket();
+                 @check while (nondet()) {
+                   Item prev = b.get();
+                   Item it = new Item();
+                   b.put(it);
+                 }
+               }
+             }",
+        );
+        assert!(
+            returned.flow_back_uses >= 3,
+            "library returns are app-visible uses: {returned:?}"
+        );
+        assert!(!returned.must_leak());
     }
 
     #[test]

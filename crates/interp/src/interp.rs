@@ -335,8 +335,9 @@ impl<'p> Interp<'p> {
                 let obj = self.non_null(frame.locals[base.index()], frame)?;
                 let value = self.heap.load(obj, *field);
                 if let Some(loaded) = value.as_ref() {
+                    let in_library = self.program.is_library_method(frame.method);
                     self.effects
-                        .load(loaded, *field, obj, self.current_iteration);
+                        .load(loaded, *field, obj, self.current_iteration, in_library);
                 }
                 frame.locals[dst.index()] = value;
             }
@@ -344,8 +345,9 @@ impl<'p> Interp<'p> {
                 let obj = self.non_null(frame.locals[base.index()], frame)?;
                 let value = frame.locals[src.index()];
                 if let Some(stored) = value.as_ref() {
+                    let in_library = self.program.is_library_method(frame.method);
                     self.effects
-                        .store(stored, *field, obj, self.current_iteration);
+                        .store(stored, *field, obj, self.current_iteration, in_library);
                 }
                 self.heap.store(obj, *field, value);
             }
@@ -359,6 +361,7 @@ impl<'p> Interp<'p> {
                         leakchecker_ir::ids::ARRAY_ELEM_FIELD,
                         obj,
                         self.current_iteration,
+                        self.program.is_library_method(frame.method),
                     );
                 }
                 frame.locals[dst.index()] = value;
@@ -373,6 +376,7 @@ impl<'p> Interp<'p> {
                         leakchecker_ir::ids::ARRAY_ELEM_FIELD,
                         obj,
                         self.current_iteration,
+                        self.program.is_library_method(frame.method),
                     );
                 }
                 self.heap.store_index(obj, idx, value);
@@ -413,6 +417,16 @@ impl<'p> Interp<'p> {
                 }
                 let arg_values: Vec<Value> = args.iter().map(|a| frame.locals[a.index()]).collect();
                 let result = self.call(target, recv_value, &arg_values)?;
+                // A reference crossing the library boundary back into
+                // application code is the concrete witness of the static
+                // `returned_from_library` condition.
+                if let Some(obj) = result.as_ref() {
+                    if self.program.is_library_method(target)
+                        && !self.program.is_library_method(frame.method)
+                    {
+                        self.effects.library_return(obj, self.current_iteration);
+                    }
+                }
                 if let Some(d) = dst {
                     frame.locals[d.index()] = result;
                 }

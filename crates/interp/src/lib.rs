@@ -55,8 +55,10 @@ pub mod heap;
 pub mod interp;
 pub mod value;
 
-pub use effects::{EffectLog, LoadEffect, StoreEffect};
-pub use groundtruth::{compute as compute_ground_truth, GroundTruth, LeakedObject};
+pub use effects::{EffectLog, LoadEffect, ReturnEffect, StoreEffect};
+pub use groundtruth::{
+    compute as compute_ground_truth, site_facts, GroundTruth, LeakedObject, SiteFacts,
+};
 pub use heap::{Heap, Obj, ObjKind};
 pub use interp::{run, Config, Execution, Interp, InterpError, NonDetPolicy};
 pub use value::{ObjId, Value};

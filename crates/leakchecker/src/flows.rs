@@ -528,4 +528,153 @@ mod tests {
         let item2 = site_of(&p2, "new Item");
         assert!(!rel2.escapes(item2));
     }
+
+    // ----- in-index edge cases over hand-crafted summaries -----
+    //
+    // `EffectSummary` fields are public, so the `(site, field)` matching
+    // index can be probed directly with exactly the effect combinations
+    // the end-to-end programs above cannot isolate.
+
+    use leakchecker_effects::{AbsEffect, AbsType};
+
+    /// A program whose only purpose is to own four allocation sites for
+    /// the hand-crafted summaries below.
+    fn four_site_program() -> leakchecker_ir::Program {
+        compile(
+            "class A { A f; A g; }
+             class Main {
+                 static void main() {
+                     A a = new A();
+                     A b = new A();
+                     A c = new A();
+                     A d = new A();
+                     @check while (nondet()) { int x = 0; }
+                 }
+             }",
+        )
+        .unwrap()
+        .program
+    }
+
+    fn inside(site: u32) -> AbsType {
+        AbsType::site(AllocSite(site), Era::Current)
+    }
+
+    fn outside_base(site: u32) -> EffectBase {
+        EffectBase::Type(AbsType::site(AllocSite(site), Era::Outside))
+    }
+
+    fn eff(value: AbsType, field: u32, base: EffectBase, in_library: bool) -> AbsEffect {
+        AbsEffect {
+            value,
+            field: FieldId(field),
+            base,
+            inside_loop: true,
+            in_library,
+        }
+    }
+
+    #[test]
+    fn empty_flows_out_yields_no_unmatched_edges() {
+        // A site that is only ever loaded: no flows-out entry at all.
+        let program = four_site_program();
+        let mut summary = EffectSummary::default();
+        summary.inside_sites.insert(AllocSite(0));
+        summary
+            .loads
+            .insert(eff(inside(0), 0, outside_base(1), false));
+        let rel = build(&program, &summary, FlowConfig::default());
+        assert!(!rel.escapes(AllocSite(0)));
+        assert_eq!(rel.unmatched_edges(AllocSite(0)).count(), 0);
+        assert!(rel.flows_in.contains_key(&AllocSite(0)));
+    }
+
+    #[test]
+    fn duplicate_out_edges_to_same_field_match_independently() {
+        // The site escapes through field f of two distinct outside
+        // bases; a flows-in exists only for the first. The second edge
+        // must stay unmatched, and storing the same edge twice must not
+        // double it.
+        let program = four_site_program();
+        let mut summary = EffectSummary::default();
+        summary.inside_sites.insert(AllocSite(0));
+        summary
+            .stores
+            .insert(eff(inside(0), 0, outside_base(1), false));
+        summary
+            .stores
+            .insert(eff(inside(0), 0, outside_base(1), false));
+        summary
+            .stores
+            .insert(eff(inside(0), 0, outside_base(2), false));
+        summary
+            .loads
+            .insert(eff(inside(0), 0, outside_base(1), false));
+        let rel = build(&program, &summary, FlowConfig::default());
+        assert_eq!(rel.flows_out[&AllocSite(0)].len(), 2, "edges deduplicate");
+        let unmatched: Vec<&OutsideEdge> = rel.unmatched_edges(AllocSite(0)).collect();
+        assert_eq!(unmatched.len(), 1);
+        assert_eq!(
+            unmatched[0].base,
+            Some(TypeKey::Site(AllocSite(2))),
+            "only the base without a flows-in stays unmatched"
+        );
+    }
+
+    #[test]
+    fn flows_in_with_no_matching_flows_out_does_not_suppress() {
+        // The site escapes through field f but is read back through a
+        // different field g: the in-index entry for (site, g) must not
+        // satisfy the (site, f) probe.
+        let program = four_site_program();
+        let mut summary = EffectSummary::default();
+        summary.inside_sites.insert(AllocSite(0));
+        summary
+            .stores
+            .insert(eff(inside(0), 0, outside_base(1), false));
+        summary
+            .loads
+            .insert(eff(inside(0), 1, outside_base(1), false));
+        let rel = build(&program, &summary, FlowConfig::default());
+        assert!(rel.flows_in.contains_key(&AllocSite(0)), "flows-in exists");
+        assert_eq!(
+            rel.unmatched_edges(AllocSite(0)).count(),
+            1,
+            "a flows-in on another field is not a match"
+        );
+    }
+
+    #[test]
+    fn library_return_path_supplies_the_only_match() {
+        // The only read of the site happens inside library code. With
+        // the value recorded as returned to application code the edge
+        // is matched; with the return removed the same summary leaves
+        // the edge unmatched.
+        let program = four_site_program();
+        let mut summary = EffectSummary::default();
+        summary.inside_sites.insert(AllocSite(0));
+        summary
+            .stores
+            .insert(eff(inside(0), 0, outside_base(1), false));
+        summary
+            .loads
+            .insert(eff(inside(0), 0, outside_base(1), true));
+        summary
+            .returned_from_library
+            .insert(TypeKey::Site(AllocSite(0)));
+        let rel = build(&program, &summary, FlowConfig::default());
+        assert_eq!(
+            rel.unmatched_edges(AllocSite(0)).count(),
+            0,
+            "returned library load is the match"
+        );
+
+        summary.returned_from_library.clear();
+        let rel = build(&program, &summary, FlowConfig::default());
+        assert_eq!(
+            rel.unmatched_edges(AllocSite(0)).count(),
+            1,
+            "without the return the library probe must not match"
+        );
+    }
 }

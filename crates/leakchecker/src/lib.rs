@@ -55,6 +55,7 @@
 pub mod contexts;
 pub mod detect;
 pub mod flows;
+pub mod oracle;
 pub mod parallel;
 pub mod report;
 pub mod target;
@@ -62,6 +63,7 @@ pub mod target;
 pub use contexts::{ContextConfig, ContextTable};
 pub use detect::{check, AnalysisResult, DetectorConfig, PhaseTimes, RunStats};
 pub use flows::{FlowConfig, FlowRelations, OutsideEdge};
+pub use oracle::{compare as oracle_compare, covered_sites, OracleComparison};
 pub use parallel::{effective_jobs, parallel_map};
 pub use report::{render_all, LeakReport};
 pub use target::{CheckTarget, ResolvedTarget, TargetError};

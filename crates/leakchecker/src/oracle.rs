@@ -1,0 +1,187 @@
+//! Soundness oracle: compares the detector's coverage against an
+//! independent set of must-leak sites (typically derived from a concrete
+//! interpreter run, see `leakchecker_interp::site_facts`).
+//!
+//! The paper's contract (Definitions 1–3) is one-sided: every object
+//! that escapes its creating iteration and never flows back must be
+//! covered by a report. Coverage is the closure of reported sites over
+//! the *reported-members* relation — pivot mode deliberately reports a
+//! data structure's root in place of its internal nodes, so a member of
+//! a reported structure counts as covered (the same closure the Table 1
+//! scoring uses).
+//!
+//! This module is interpreter-agnostic: it works on plain
+//! [`AllocSite`] sets so the fuzzing crate can feed it dynamic facts
+//! without `leakchecker` depending on `leakchecker-interp`.
+
+use crate::detect::AnalysisResult;
+use leakchecker_ir::ids::AllocSite;
+use std::collections::BTreeSet;
+
+/// Result of checking a detector run against a must-leak set.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OracleComparison {
+    /// Must-leak sites absent from the coverage closure: soundness
+    /// violations. Empty on a sound run.
+    pub missed: Vec<AllocSite>,
+    /// Reported sites the oracle did not confirm as must-leak:
+    /// potential false positives (or leaks the concrete run was too
+    /// short to demonstrate). Precision telemetry, not failures.
+    pub unconfirmed: Vec<AllocSite>,
+}
+
+impl OracleComparison {
+    /// `true` when no dynamically confirmed leak was missed.
+    pub fn is_sound(&self) -> bool {
+        self.missed.is_empty()
+    }
+}
+
+/// The detector's coverage closure: reported sites plus every site the
+/// flow relations record as a member of a reported structure.
+pub fn covered_sites(result: &AnalysisResult) -> BTreeSet<AllocSite> {
+    let mut covered = result.reported_sites();
+    for report in &result.reports {
+        covered.extend(result.flows.members_of(report.site).iter().copied());
+    }
+    covered
+}
+
+/// Compares a detector run against the oracle's must-leak sites.
+pub fn compare(result: &AnalysisResult, must_leak: &BTreeSet<AllocSite>) -> OracleComparison {
+    let covered = covered_sites(result);
+    let missed = must_leak
+        .iter()
+        .filter(|s| !covered.contains(s))
+        .copied()
+        .collect();
+    let unconfirmed = result
+        .reported_sites()
+        .into_iter()
+        .filter(|s| !must_leak.contains(s))
+        .collect();
+    OracleComparison {
+        missed,
+        unconfirmed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{check, CheckTarget, DetectorConfig};
+    use leakchecker_frontend::compile;
+
+    fn analyze(src: &str) -> AnalysisResult {
+        let unit = compile(src).unwrap();
+        check(
+            &unit.program,
+            CheckTarget::Loop(unit.checked_loops[0]),
+            DetectorConfig::default(),
+        )
+        .unwrap()
+    }
+
+    fn site_of(result: &AnalysisResult, describe: &str) -> AllocSite {
+        result
+            .program
+            .allocs()
+            .iter()
+            .enumerate()
+            .find(|(_, a)| a.describe == describe)
+            .map(|(i, _)| AllocSite::from_index(i))
+            .unwrap()
+    }
+
+    const LEAKY: &str = "
+        class Item { }
+        class Registry { Item slot; }
+        class Main {
+            static void main() {
+                Registry reg = new Registry();
+                @check while (nondet()) {
+                    Item it = new Item();
+                    reg.slot = it;
+                }
+            }
+        }";
+
+    #[test]
+    fn confirmed_leak_is_sound() {
+        let result = analyze(LEAKY);
+        let item = site_of(&result, "new Item");
+        let cmp = compare(&result, &BTreeSet::from([item]));
+        assert!(cmp.is_sound());
+        assert!(cmp.unconfirmed.is_empty());
+    }
+
+    #[test]
+    fn unreported_must_leak_is_a_violation() {
+        // Healthy program: carried-over slot is read back, so nothing
+        // is reported; claiming it must leak has to surface as missed.
+        let result = analyze(
+            "class Item { int tag; }
+             class Registry { Item slot; }
+             class Main {
+                 static void main() {
+                     Registry reg = new Registry();
+                     @check while (nondet()) {
+                         Item prev = reg.slot;
+                         if (prev != null) { prev.tag = 1; }
+                         Item it = new Item();
+                         reg.slot = it;
+                     }
+                 }
+             }",
+        );
+        let item = site_of(&result, "new Item");
+        assert!(!covered_sites(&result).contains(&item));
+        let cmp = compare(&result, &BTreeSet::from([item]));
+        assert_eq!(cmp.missed, vec![item]);
+        assert!(!cmp.is_sound());
+    }
+
+    #[test]
+    fn unconfirmed_reports_are_telemetry_not_violations() {
+        let result = analyze(LEAKY);
+        let cmp = compare(&result, &BTreeSet::new());
+        assert!(cmp.is_sound(), "empty oracle can't demand anything");
+        let item = site_of(&result, "new Item");
+        assert_eq!(cmp.unconfirmed, vec![item]);
+    }
+
+    #[test]
+    fn members_of_reported_structures_count_as_covered() {
+        // Pivot mode reports the node (structure root); the item it
+        // carries is covered through the members closure.
+        let result = analyze(
+            "class Item { }
+             class Node { Item item; }
+             class List { Node head; }
+             class Main {
+                 static void main() {
+                     List list = new List();
+                     @check while (nondet()) {
+                         Node n = new Node();
+                         Item it = new Item();
+                         n.item = it;
+                         list.head = n;
+                     }
+                 }
+             }",
+        );
+        let item = site_of(&result, "new Item");
+        let covered = covered_sites(&result);
+        assert!(
+            covered.contains(&item),
+            "member must be covered via its reported root; reports: {:?}",
+            result
+                .reports
+                .iter()
+                .map(|r| &r.describe)
+                .collect::<Vec<_>>()
+        );
+        let cmp = compare(&result, &BTreeSet::from([item]));
+        assert!(cmp.is_sound());
+    }
+}

@@ -17,4 +17,11 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --offline --all-targets -- -D warnings
 
+echo "==> fuzz smoke (200 fixed seeds, machine width)"
+cargo run -q --release --offline -p leakchecker-cli --bin leakc -- \
+  fuzz --seeds 200 --jobs 0
+
+echo "==> corpus replay"
+cargo test -q --offline --test corpus_replay
+
 echo "CI OK"

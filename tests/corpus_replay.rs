@@ -1,0 +1,95 @@
+//! Regression lock for the fuzzing corpus.
+//!
+//! Every `.jml` file under `tests/corpus/` is a self-describing corpus
+//! entry (see `leakchecker_fuzz::corpus`): a generated program plus the
+//! verdict the differential oracle recorded when the entry was
+//! committed. This test recompiles each *stored* source through the
+//! static detector, the concrete interpreter, and the dynamic baseline,
+//! and asserts the fresh verdict line matches the recorded one. A
+//! detector or oracle change that flips any corpus verdict fails here
+//! with the seed and kinds needed to reproduce it via
+//! `leakc fuzz --seed <s> --seeds 1`.
+
+use leakchecker_fuzz::{parse_entry, replay};
+
+fn corpus_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+#[test]
+fn every_corpus_entry_replays_to_its_recorded_verdict() {
+    let mut paths: Vec<_> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus must exist")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "jml"))
+        .collect();
+    paths.sort();
+    assert!(
+        !paths.is_empty(),
+        "tests/corpus holds no .jml entries; the corpus seed step was skipped"
+    );
+
+    for path in &paths {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        let entry = parse_entry(&text)
+            .unwrap_or_else(|e| panic!("malformed corpus entry {}: {e}", path.display()));
+        let fresh = replay(&entry).unwrap_or_else(|e| {
+            panic!(
+                "{}: replay failed (seed {} kinds {:?}): {e}",
+                path.display(),
+                entry.seed,
+                entry.kinds
+            )
+        });
+        assert_eq!(
+            fresh.verdict_line(),
+            entry.verdict,
+            "{}: verdict drifted (seed {} kinds {:?}); reproduce with `leakc fuzz --seed {} --seeds 1`",
+            path.display(),
+            entry.seed,
+            entry.kinds,
+            entry.seed
+        );
+    }
+}
+
+#[test]
+fn corpus_covers_every_grammar_kind() {
+    let mut seen = std::collections::BTreeSet::new();
+    for entry in std::fs::read_dir(corpus_dir()).expect("tests/corpus must exist") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().is_none_or(|ext| ext != "jml") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("readable corpus entry");
+        let parsed = parse_entry(&text).expect("well-formed corpus entry");
+        for kind in parsed.kinds {
+            seen.insert(kind.label());
+        }
+    }
+    for label in [
+        "leak",
+        "carry-over",
+        "local",
+        "cond-escape",
+        "cond-carry",
+        "library-store",
+        "library-carry",
+        "double-edge",
+    ] {
+        assert!(seen.contains(label), "no corpus entry exercises `{label}`");
+    }
+    assert!(
+        seen.iter().any(|l| l.starts_with("alias-chain-")),
+        "no corpus entry exercises alias chains"
+    );
+    assert!(
+        seen.iter().any(|l| l.starts_with("nested-loop-")),
+        "no corpus entry exercises nested loops"
+    );
+    assert!(
+        seen.iter().any(|l| l.starts_with("recursive-escape-")),
+        "no corpus entry exercises recursion"
+    );
+}
