@@ -117,8 +117,24 @@ fn case_study(name: &str) {
     );
     let p = result.stats.phases;
     println!(
-        "phases: callgraph {:.3}s, effects {:.3}s, flows {:.3}s, contexts {:.3}s, matching {:.3}s",
-        p.callgraph_secs, p.effects_secs, p.flows_secs, p.contexts_secs, p.matching_secs
+        "phases: callgraph {:.3}s, effects {:.3}s, flows {:.3}s, contexts {:.3}s, \
+         refine {:.3}s, matching {:.3}s",
+        p.callgraph_secs,
+        p.effects_secs,
+        p.flows_secs,
+        p.contexts_secs,
+        p.refine_secs,
+        p.matching_secs
+    );
+    println!(
+        "governance: {} exhausted, {} retries, {} fallbacks, {} quarantined, \
+         {} deadline hits, {} degraded reports",
+        result.stats.exhausted_queries,
+        result.stats.retries,
+        result.stats.fallbacks,
+        result.stats.quarantined,
+        result.stats.deadline_hits,
+        result.stats.degraded_reports
     );
     println!(
         "LO = {} context-sensitive allocation sites in the analyzed loop",

@@ -38,6 +38,11 @@ pub struct TableRow {
     /// Leaks the detector failed to cover (0 in a healthy reproduction —
     /// the paper reports no missed known leaks).
     pub missed: usize,
+    /// Demand queries that fell back to the context-insensitive
+    /// over-approximation (degradation ladder, 0 on an ungoverned run).
+    pub fallbacks: u64,
+    /// Reports tagged `Degraded` rather than `Precise`.
+    pub degraded_reports: usize,
 }
 
 /// Runs the full pipeline on a subject with its case-study configuration.
@@ -86,6 +91,8 @@ pub fn table1_rows_jobs(jobs: usize) -> Vec<TableRow> {
             false_positives: score.false_positives_ctx,
             fpr: score.fpr(),
             missed: score.missed_leaks,
+            fallbacks: result.stats.fallbacks,
+            degraded_reports: result.stats.degraded_reports,
         }
     })
 }
@@ -232,7 +239,8 @@ pub fn render_json(rows: &[TableRow], sweep: &[SweepPoint]) -> String {
             out,
             "    {{\"name\": \"{}\", \"methods\": {}, \"statements\": {}, \
              \"time_secs\": {:.6}, \"loop_objects\": {}, \"leaking_sites\": {}, \
-             \"false_positives\": {}, \"fpr\": {:.4}, \"missed\": {}}}",
+             \"false_positives\": {}, \"fpr\": {:.4}, \"missed\": {}, \
+             \"fallbacks\": {}, \"degraded_reports\": {}}}",
             json_escape(&row.name),
             row.methods,
             row.statements,
@@ -241,7 +249,9 @@ pub fn render_json(rows: &[TableRow], sweep: &[SweepPoint]) -> String {
             row.leaking_sites,
             row.false_positives,
             row.fpr,
-            row.missed
+            row.missed,
+            row.fallbacks,
+            row.degraded_reports
         );
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
@@ -289,6 +299,12 @@ mod tests {
             assert_eq!(row.missed, 0, "{} misses leaks", row.name);
             assert!(row.leaking_sites > 0, "{} reports nothing", row.name);
             assert!(row.methods > 0 && row.statements > 0);
+            assert_eq!(
+                row.fallbacks, 0,
+                "{} degraded under default budgets",
+                row.name
+            );
+            assert_eq!(row.degraded_reports, 0, "{}", row.name);
         }
         let text = render_table(&rows);
         assert!(text.contains("average FPR"));
@@ -331,6 +347,8 @@ mod tests {
         assert!(json.contains("\"jobs_sweep\""));
         assert!(json.contains("\"specjbb\""));
         assert!(json.contains("\"speedup\""));
+        assert!(json.contains("\"fallbacks\""));
+        assert!(json.contains("\"degraded_reports\""));
         assert_eq!(json.matches("\"handlers\"").count(), 2);
     }
 }

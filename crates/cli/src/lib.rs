@@ -3,6 +3,7 @@
 //! The binary is a thin wrapper: argument parsing and command dispatch
 //! live here so they can be unit-tested without spawning processes.
 
+use leakchecker::governor::{parse_fault_plan, FaultPlan, GovernorConfig};
 use leakchecker::{check, render_all, CheckTarget, DetectorConfig};
 use leakchecker_callgraph::Algorithm;
 use leakchecker_dynbaseline::{detect as dyn_detect, heap_growth_curve, DynConfig};
@@ -11,7 +12,72 @@ use leakchecker_interp::{run as interp_run, Config as InterpConfig, NonDetPolicy
 use leakchecker_ir::ids::LoopId;
 use leakchecker_ir::loops::all_loops;
 use leakchecker_ir::pretty::print_program;
+use std::fmt;
 use std::fmt::Write as _;
+
+/// Exit code: nothing to report.
+pub const EXIT_CLEAN: i32 = 0;
+/// Exit code: leaks were reported (or soundness violations found).
+pub const EXIT_LEAKS: i32 = 1;
+/// Exit code: usage or input error (bad flags, unreadable file,
+/// compile failure, unresolvable target).
+pub const EXIT_USAGE: i32 = 2;
+/// Exit code: the run completed but degraded — budget/deadline
+/// fallbacks or quarantined items occurred and nothing (else) was
+/// found, so a clean answer cannot be claimed at full precision.
+pub const EXIT_DEGRADED: i32 = 3;
+/// Exit code: internal failure (unexpected panic).
+pub const EXIT_INTERNAL: i32 = 4;
+
+/// A typed pipeline error, carrying the exit code it maps to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LeakcError {
+    /// Malformed invocation (bad flags or arguments).
+    Usage(String),
+    /// Bad input: unreadable file, compile error, unresolvable target.
+    Input(String),
+    /// An invariant the pipeline relies on failed.
+    Internal(String),
+}
+
+impl LeakcError {
+    /// The process exit code for this error.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            LeakcError::Usage(_) | LeakcError::Input(_) => EXIT_USAGE,
+            LeakcError::Internal(_) => EXIT_INTERNAL,
+        }
+    }
+}
+
+impl fmt::Display for LeakcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LeakcError::Usage(m) | LeakcError::Input(m) | LeakcError::Internal(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for LeakcError {}
+
+/// A command's result: the text to print and the exit code implied by
+/// what the run found.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CliOutput {
+    /// Text for stdout.
+    pub text: String,
+    /// Process exit code per the documented contract.
+    pub exit_code: i32,
+}
+
+impl CliOutput {
+    fn clean(text: String) -> CliOutput {
+        CliOutput {
+            text,
+            exit_code: EXIT_CLEAN,
+        }
+    }
+}
 
 /// A parsed command line.
 #[derive(Clone, PartialEq, Debug)]
@@ -75,6 +141,9 @@ pub struct FuzzOptions {
     /// `--write-exemplars` — (re)generate the per-kind exemplar corpus
     /// entries in `--corpus-dir` and exit.
     pub write_exemplars: bool,
+    /// `--inject SPEC` — campaign-level fault injection, keyed by seed
+    /// offset (`exhaust@N,panic@M,deadline@D`).
+    pub inject: FaultPlan,
 }
 
 impl Default for FuzzOptions {
@@ -88,6 +157,7 @@ impl Default for FuzzOptions {
             json: None,
             corpus_dir: None,
             write_exemplars: false,
+            inject: FaultPlan::none(),
         }
     }
 }
@@ -107,10 +177,19 @@ pub struct CheckOptions {
     pub cha: bool,
     /// `--jobs <n>` worker threads (0 = machine width, 1 = sequential).
     pub jobs: usize,
+    /// `--deadline-ms <n>` wall-clock deadline for the run.
+    pub deadline_ms: Option<u64>,
+    /// `--query-budget <n>` per-query step budget.
+    pub query_budget: usize,
+    /// `--max-retries <n>` adaptive retries after exhaustion.
+    pub max_retries: u32,
+    /// `--inject SPEC` deterministic fault injection (tests/CI).
+    pub inject: FaultPlan,
 }
 
 impl Default for CheckOptions {
     fn default() -> Self {
+        let governor = GovernorConfig::default();
         CheckOptions {
             pivot: true,
             threads: false,
@@ -118,6 +197,10 @@ impl Default for CheckOptions {
             k: 8,
             cha: false,
             jobs: 1,
+            deadline_ms: None,
+            query_budget: governor.query_budget,
+            max_retries: governor.max_retries,
+            inject: FaultPlan::none(),
         }
     }
 }
@@ -135,6 +218,12 @@ impl CheckOptions {
                 Algorithm::Rta
             },
             jobs: self.jobs,
+            governor: GovernorConfig {
+                query_budget: self.query_budget,
+                max_retries: self.max_retries,
+                deadline_ms: self.deadline_ms,
+                faults: self.inject,
+            },
             ..DetectorConfig::default()
         };
         config.contexts.k = self.k;
@@ -149,21 +238,40 @@ leakc — loop-centric static memory leak detection (CGO 2014 reproduction)
 USAGE:
   leakc check <file.jml> [--loop N | --auto] [--no-pivot] [--threads]
                          [--no-library-modeling] [--k N] [--cha] [--jobs N]
+                         [--deadline-ms N] [--query-budget N] [--max-retries N]
+                         [--inject SPEC]
   leakc run   <file.jml> [--iterations N]
   leakc print <file.jml>
   leakc loops <file.jml>
   leakc fuzz  [--seeds N] [--seed S] [--jobs N] [--iterations N]
               [--json PATH] [--corpus-dir DIR] [--write-exemplars]
+              [--inject SPEC]
 
 The source language is Java-like; annotate the loop to analyze with
 `@check while (...) { ... }`, a checkable region method with `@region`,
 or pass --auto to rank candidate loops structurally.
+
+Resource governance: demand queries run under --query-budget steps with
+--max-retries adaptive retries (8x budget each); on final exhaustion or
+--deadline-ms expiry the run degrades soundly to the context-insensitive
+over-approximation, tagging affected reports `(degraded: <cause>)`.
+--inject forces failures deterministically for testing, keyed by
+work-item index: `exhaust@N,panic@M,deadline@D` (check: candidate index;
+fuzz: seed offset; deadline applies to every index >= D).
 
 `fuzz` runs a differential campaign: each seed generates a dispatcher
 program from the mutation grammar, the concrete interpreter derives
 per-site must-leak facts, and any dynamically confirmed leak the static
 detector misses is a soundness violation — minimized and written to
 --corpus-dir. A failing seed reproduces with `--seed S --seeds 1`.
+
+EXIT CODES:
+  0  clean — no leaks reported, full precision
+  1  leaks reported (fuzz: soundness violations found)
+  2  usage or input error
+  3  degraded-incomplete — no leaks found, but budget/deadline fallbacks
+     or quarantined items mean a fully precise run might have found some
+  4  internal error (unexpected panic)
 ";
 
 /// Parses a command line (excluding argv[0]).
@@ -204,6 +312,29 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     "--jobs" => {
                         let n = it.next().ok_or("--jobs needs a number")?;
                         options.jobs = n.parse::<usize>().map_err(|_| "--jobs needs a number")?;
+                    }
+                    "--deadline-ms" => {
+                        let n = it.next().ok_or("--deadline-ms needs a number")?;
+                        options.deadline_ms = Some(
+                            n.parse::<u64>()
+                                .map_err(|_| "--deadline-ms needs a number")?,
+                        );
+                    }
+                    "--query-budget" => {
+                        let n = it.next().ok_or("--query-budget needs a number")?;
+                        options.query_budget = n
+                            .parse::<usize>()
+                            .map_err(|_| "--query-budget needs a number")?;
+                    }
+                    "--max-retries" => {
+                        let n = it.next().ok_or("--max-retries needs a number")?;
+                        options.max_retries = n
+                            .parse::<u32>()
+                            .map_err(|_| "--max-retries needs a number")?;
+                    }
+                    "--inject" => {
+                        let spec = it.next().ok_or("--inject needs a spec")?;
+                        options.inject = parse_fault_plan(spec)?;
                     }
                     other => return Err(format!("check: unknown flag `{other}`")),
                 }
@@ -279,6 +410,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         options.corpus_dir = Some(p.clone());
                     }
                     "--write-exemplars" => options.write_exemplars = true,
+                    "--inject" => {
+                        let spec = it.next().ok_or("--inject needs a spec")?;
+                        options.inject = parse_fault_plan(spec)?;
+                    }
                     other => return Err(format!("fuzz: unknown flag `{other}`")),
                 }
             }
@@ -291,22 +426,25 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     }
 }
 
-fn compile_file(file: &str) -> Result<CompiledUnit, String> {
-    let source = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
-    leakchecker_frontend::compile(&source).map_err(|e| format!("{file}: {e}"))
+fn compile_file(file: &str) -> Result<CompiledUnit, LeakcError> {
+    let source = std::fs::read_to_string(file)
+        .map_err(|e| LeakcError::Input(format!("cannot read {file}: {e}")))?;
+    leakchecker_frontend::compile(&source).map_err(|e| LeakcError::Input(format!("{file}: {e}")))
 }
 
-/// Executes a command, returning the text to print (or an error message).
+/// Executes a command, returning the text to print and the exit code
+/// (see the `EXIT_*` constants and the USAGE contract).
 ///
 /// # Errors
 ///
-/// Returns a message for I/O, compile, and analysis failures.
-pub fn execute(command: Command) -> Result<String, String> {
+/// Returns a typed [`LeakcError`] for I/O, compile, and analysis
+/// failures.
+pub fn execute(command: Command) -> Result<CliOutput, LeakcError> {
     match command {
-        Command::Help => Ok(USAGE.to_string()),
+        Command::Help => Ok(CliOutput::clean(USAGE.to_string())),
         Command::Print { file } => {
             let unit = compile_file(&file)?;
-            Ok(print_program(&unit.program))
+            Ok(CliOutput::clean(print_program(&unit.program)))
         }
         Command::Loops { file } => {
             let unit = compile_file(&file)?;
@@ -332,7 +470,7 @@ pub fn execute(command: Command) -> Result<String, String> {
             if out.lines().count() == 1 {
                 let _ = writeln!(out, "(no loops found)");
             }
-            Ok(out)
+            Ok(CliOutput::clean(out))
         }
         Command::Check {
             file,
@@ -347,7 +485,7 @@ pub fn execute(command: Command) -> Result<String, String> {
                 let ranked = all_loops(&unit.program);
                 let best = ranked
                     .first()
-                    .ok_or_else(|| "no loops to analyze".to_string())?;
+                    .ok_or_else(|| LeakcError::Input("no loops to analyze".to_string()))?;
                 vec![CheckTarget::Loop(best.id)]
             } else {
                 let mut t: Vec<CheckTarget> = unit
@@ -357,16 +495,18 @@ pub fn execute(command: Command) -> Result<String, String> {
                     .collect();
                 t.extend(unit.region_methods.iter().map(|&m| CheckTarget::Region(m)));
                 if t.is_empty() {
-                    return Err(
-                        "no @check loop or @region method; use --loop N or --auto".to_string()
-                    );
+                    return Err(LeakcError::Input(
+                        "no @check loop or @region method; use --loop N or --auto".to_string(),
+                    ));
                 }
                 t
             };
             let mut out = String::new();
+            let mut leaks_found = false;
+            let mut degraded = false;
             for target in targets {
-                let result =
-                    check(&unit.program, target, options.to_config()).map_err(|e| e.to_string())?;
+                let result = check(&unit.program, target, options.to_config())
+                    .map_err(|e| LeakcError::Input(e.to_string()))?;
                 let _ = writeln!(
                     out,
                     "target {:?}: {} methods, {} statements, LO = {}, LS = {} ({:.3}s)",
@@ -381,21 +521,50 @@ pub fn execute(command: Command) -> Result<String, String> {
                 let _ = writeln!(
                     out,
                     "  phases: callgraph {:.3}s, effects {:.3}s, flows {:.3}s, \
-                     contexts {:.3}s, matching {:.3}s  \
-                     ({} flow edges, {} candidates, {} jobs)",
+                     contexts {:.3}s, refine {:.3}s, matching {:.3}s  \
+                     ({} flow edges, {} candidates, {} refuted, {} jobs)",
                     p.callgraph_secs,
                     p.effects_secs,
                     p.flows_secs,
                     p.contexts_secs,
+                    p.refine_secs,
                     p.matching_secs,
                     result.stats.flow_edges,
                     result.stats.candidate_sites,
+                    result.stats.refuted_candidates,
                     result.stats.jobs
                 );
+                let s = result.stats;
+                let _ = writeln!(
+                    out,
+                    "  governance: {} exhausted, {} retries, {} fallbacks, \
+                     {} quarantined, {} deadline hits, {} degraded reports",
+                    s.exhausted_queries,
+                    s.retries,
+                    s.fallbacks,
+                    s.quarantined,
+                    s.deadline_hits,
+                    s.degraded_reports
+                );
+                leaks_found |= !result.reports.is_empty();
+                degraded |= s.is_degraded();
                 out.push_str(&render_all(&result.program, &result.reports));
                 out.push('\n');
             }
-            Ok(out)
+            // Leaks are definite even when degraded (degradation only
+            // over-approximates); exit 3 is reserved for runs that
+            // would otherwise claim a clean bill of health.
+            let exit_code = if leaks_found {
+                EXIT_LEAKS
+            } else if degraded {
+                EXIT_DEGRADED
+            } else {
+                EXIT_CLEAN
+            };
+            Ok(CliOutput {
+                text: out,
+                exit_code,
+            })
         }
         Command::Run { file, iterations } => {
             let unit = compile_file(&file)?;
@@ -409,7 +578,7 @@ pub fn execute(command: Command) -> Result<String, String> {
                     ..InterpConfig::default()
                 },
             )
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| LeakcError::Input(e.to_string()))?;
             let mut out = String::new();
             let _ = writeln!(
                 out,
@@ -435,13 +604,13 @@ pub fn execute(command: Command) -> Result<String, String> {
                     );
                 }
             }
-            Ok(out)
+            Ok(CliOutput::clean(out))
         }
         Command::Fuzz { options } => execute_fuzz(&options),
     }
 }
 
-fn execute_fuzz(options: &FuzzOptions) -> Result<String, String> {
+fn execute_fuzz(options: &FuzzOptions) -> Result<CliOutput, LeakcError> {
     use leakchecker_fuzz::{
         render_campaign_json, render_entry, run_campaign, write_exemplars, CorpusEntry, FuzzConfig,
     };
@@ -450,14 +619,15 @@ fn execute_fuzz(options: &FuzzOptions) -> Result<String, String> {
         let dir = options
             .corpus_dir
             .as_deref()
-            .ok_or("--write-exemplars needs --corpus-dir")?;
-        let written = write_exemplars(std::path::Path::new(dir), options.iterations)?;
+            .ok_or_else(|| LeakcError::Usage("--write-exemplars needs --corpus-dir".to_string()))?;
+        let written = write_exemplars(std::path::Path::new(dir), options.iterations)
+            .map_err(LeakcError::Input)?;
         let mut out = String::new();
         for path in &written {
             let _ = writeln!(out, "wrote {}", path.display());
         }
         let _ = writeln!(out, "{} exemplar corpus entries", written.len());
-        return Ok(out);
+        return Ok(CliOutput::clean(out));
     }
 
     let campaign = run_campaign(&FuzzConfig {
@@ -465,6 +635,10 @@ fn execute_fuzz(options: &FuzzOptions) -> Result<String, String> {
         base_seed: options.seed,
         jobs: options.jobs,
         iterations_per_handler: options.iterations,
+        governor: GovernorConfig {
+            faults: options.inject,
+            ..GovernorConfig::default()
+        },
     });
 
     let mut out = String::new();
@@ -485,6 +659,19 @@ fn execute_fuzz(options: &FuzzOptions) -> Result<String, String> {
         "dynamic baseline: missed {} ground-truth leaks, {} extra findings",
         campaign.dynamic_missed, campaign.dynamic_extra
     );
+    let _ = writeln!(
+        out,
+        "governance: {} degraded runs, {} degraded reports, {} quarantined seeds",
+        campaign.degraded_runs,
+        campaign.degraded_reports,
+        campaign.quarantined_seeds.len()
+    );
+    for seed in &campaign.quarantined_seeds {
+        let _ = writeln!(
+            out,
+            "  QUARANTINED seed={seed} (worker panicked; rerun with: leakc fuzz --seed {seed} --seeds 1)"
+        );
+    }
     if !campaign.fp_causes.is_empty() {
         let causes: Vec<String> = campaign
             .fp_causes
@@ -505,7 +692,8 @@ fn execute_fuzz(options: &FuzzOptions) -> Result<String, String> {
             v.seed
         );
         if let Some(dir) = &options.corpus_dir {
-            std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+            std::fs::create_dir_all(dir)
+                .map_err(|e| LeakcError::Input(format!("cannot create {dir}: {e}")))?;
             let (kinds, source, verdict_line) = match &violation.reduction {
                 Some(reduction) => (
                     reduction.kinds.clone(),
@@ -527,7 +715,7 @@ fn execute_fuzz(options: &FuzzOptions) -> Result<String, String> {
             };
             let path = std::path::Path::new(dir).join(entry.file_name("violation"));
             std::fs::write(&path, render_entry(&entry))
-                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                .map_err(|e| LeakcError::Input(format!("cannot write {}: {e}", path.display())))?;
             let _ = writeln!(out, "  reproducer written to {}", path.display());
         }
     }
@@ -539,10 +727,20 @@ fn execute_fuzz(options: &FuzzOptions) -> Result<String, String> {
     }
     if let Some(path) = &options.json {
         std::fs::write(path, render_campaign_json(&campaign))
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
+            .map_err(|e| LeakcError::Input(format!("cannot write {path}: {e}")))?;
         let _ = writeln!(out, "campaign summary written to {path}");
     }
-    Ok(out)
+    let exit_code = if !campaign.violations.is_empty() {
+        EXIT_LEAKS
+    } else if !campaign.quarantined_seeds.is_empty() {
+        EXIT_DEGRADED
+    } else {
+        EXIT_CLEAN
+    };
+    Ok(CliOutput {
+        text: out,
+        exit_code,
+    })
 }
 
 #[cfg(test)]
@@ -622,7 +820,11 @@ mod tests {
             },
         })
         .unwrap();
+        assert_eq!(text.exit_code, EXIT_LEAKS);
+        let text = text.text;
         assert!(text.contains("phases: callgraph"), "{text}");
+        assert!(text.contains("refine"), "{text}");
+        assert!(text.contains("governance:"), "{text}");
         assert!(text.contains("2 jobs"), "{text}");
         assert!(text.contains("new Item"), "{text}");
     }
@@ -675,28 +877,30 @@ mod tests {
         .unwrap();
         let file = path.to_string_lossy().to_string();
 
-        let text = execute(Command::Check {
+        let out = execute(Command::Check {
             file: file.clone(),
             loop_index: None,
             auto: false,
             options: CheckOptions::default(),
         })
         .unwrap();
-        assert!(text.contains("new Item"), "{text}");
-        assert!(text.contains("redundant edge"), "{text}");
+        assert_eq!(out.exit_code, EXIT_LEAKS, "a found leak must exit 1");
+        assert!(out.text.contains("new Item"), "{}", out.text);
+        assert!(out.text.contains("redundant edge"), "{}", out.text);
 
         let text = execute(Command::Run {
             file: file.clone(),
             iterations: 30,
         })
-        .unwrap();
+        .unwrap()
+        .text;
         assert!(text.contains("30 tracked iterations"), "{text}");
         assert!(text.contains("dynamic baseline"), "{text}");
 
-        let text = execute(Command::Loops { file: file.clone() }).unwrap();
+        let text = execute(Command::Loops { file: file.clone() }).unwrap().text;
         assert!(text.contains("Main.main"), "{text}");
 
-        let text = execute(Command::Print { file }).unwrap();
+        let text = execute(Command::Print { file }).unwrap().text;
         assert!(text.contains("class Holder"), "{text}");
     }
 
@@ -752,8 +956,11 @@ mod tests {
             },
         })
         .unwrap();
+        assert_eq!(text.exit_code, EXIT_CLEAN);
+        let text = text.text;
         assert!(text.contains("fuzzed 6 programs"), "{text}");
         assert!(text.contains("soundness violations: 0"), "{text}");
+        assert!(text.contains("governance: 0 degraded runs"), "{text}");
         let written = std::fs::read_to_string(&json).unwrap();
         assert!(written.contains("\"programs\": 6"), "{written}");
     }
@@ -769,7 +976,8 @@ mod tests {
                 ..FuzzOptions::default()
             },
         })
-        .unwrap();
+        .unwrap()
+        .text;
         assert!(text.contains("11 exemplar corpus entries"), "{text}");
         let count = std::fs::read_dir(&dir).unwrap().count();
         assert_eq!(count, 11);
@@ -781,6 +989,108 @@ mod tests {
             file: "/nonexistent/х.jml".to_string(),
         })
         .unwrap_err();
-        assert!(err.contains("cannot read"), "{err}");
+        assert!(err.to_string().contains("cannot read"), "{err}");
+        assert_eq!(err.exit_code(), EXIT_USAGE);
+    }
+
+    #[test]
+    fn parses_governance_flags() {
+        let cmd = parse_args(&argv(&[
+            "check",
+            "app.jml",
+            "--deadline-ms",
+            "500",
+            "--query-budget",
+            "1234",
+            "--max-retries",
+            "3",
+            "--inject",
+            "exhaust@2,panic@5,deadline@9",
+        ]))
+        .unwrap();
+        let Command::Check { options, .. } = cmd else {
+            panic!("expected check");
+        };
+        assert_eq!(options.deadline_ms, Some(500));
+        assert_eq!(options.query_budget, 1234);
+        assert_eq!(options.max_retries, 3);
+        let config = options.to_config();
+        assert_eq!(config.governor.deadline_ms, Some(500));
+        assert_eq!(config.governor.query_budget, 1234);
+        assert_eq!(config.governor.max_retries, 3);
+        assert!(config.governor.faults.exhausts(2));
+        assert!(config.governor.faults.panics(5));
+        assert!(config.governor.faults.deadline_expired(9));
+
+        assert!(parse_args(&argv(&["check", "x", "--deadline-ms"])).is_err());
+        assert!(parse_args(&argv(&["check", "x", "--inject", "bogus@1"])).is_err());
+        assert!(parse_args(&argv(&["fuzz", "--inject", "exhaust@1,exhaust@2"])).is_err());
+    }
+
+    #[test]
+    fn starved_budget_still_reports_the_leak_with_a_degraded_tag() {
+        let dir = std::env::temp_dir().join("leakc-test-degraded");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("leaky.jml");
+        std::fs::write(
+            &path,
+            "class Item { }
+             class Holder { Item item; }
+             class Main {
+               static void main() {
+                 Holder h = new Holder();
+                 @check while (nondet()) {
+                   Item it = new Item();
+                   h.item = it;
+                 }
+               }
+             }",
+        )
+        .unwrap();
+        let out = execute(Command::Check {
+            file: path.to_string_lossy().to_string(),
+            loop_index: None,
+            auto: false,
+            options: CheckOptions {
+                query_budget: 1,
+                max_retries: 0,
+                ..CheckOptions::default()
+            },
+        })
+        .unwrap();
+        // Degradation may never launder a definite leak into exit 0 or 3:
+        // the leak is found (exit 1), tagged degraded, and counted.
+        assert_eq!(out.exit_code, EXIT_LEAKS, "{}", out.text);
+        assert!(out.text.contains("new Item"), "{}", out.text);
+        assert!(
+            out.text.contains("degraded: budget-exhausted"),
+            "{}",
+            out.text
+        );
+        assert!(out.text.contains("1 degraded reports"), "{}", out.text);
+    }
+
+    #[test]
+    fn injected_fuzz_campaign_exits_degraded() {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = execute(Command::Fuzz {
+            options: FuzzOptions {
+                seeds: 8,
+                seed: 42,
+                jobs: 2,
+                inject: parse_fault_plan("panic@3").unwrap(),
+                ..FuzzOptions::default()
+            },
+        })
+        .unwrap();
+        std::panic::set_hook(hook);
+        assert_eq!(
+            out.exit_code, EXIT_DEGRADED,
+            "a quarantined seed must surface as exit 3: {}",
+            out.text
+        );
+        assert!(out.text.contains("QUARANTINED seed=45"), "{}", out.text);
+        assert!(out.text.contains("soundness violations: 0"), "{}", out.text);
     }
 }

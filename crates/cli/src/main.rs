@@ -1,4 +1,8 @@
 //! The `leakc` binary: thin wrapper over the CLI library.
+//!
+//! Exit-code contract (see `leakc --help`): 0 clean, 1 leaks found,
+//! 2 usage or input error, 3 clean-but-degraded (some evidence fell
+//! down the degradation ladder), 4 internal error (panic).
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -7,14 +11,23 @@ fn main() {
         Err(message) => {
             eprintln!("error: {message}\n");
             eprintln!("{}", leakchecker_cli::USAGE);
-            std::process::exit(2);
+            std::process::exit(leakchecker_cli::EXIT_USAGE);
         }
     };
-    match leakchecker_cli::execute(command) {
-        Ok(text) => print!("{text}"),
-        Err(message) => {
-            eprintln!("error: {message}");
-            std::process::exit(1);
+    let outcome = std::panic::catch_unwind(|| leakchecker_cli::execute(command));
+    match outcome {
+        Ok(Ok(out)) => {
+            print!("{}", out.text);
+            std::process::exit(out.exit_code);
+        }
+        Ok(Err(error)) => {
+            eprintln!("error: {error}");
+            std::process::exit(error.exit_code());
+        }
+        Err(_) => {
+            // The panic hook already printed the message.
+            eprintln!("error: internal panic");
+            std::process::exit(leakchecker_cli::EXIT_INTERNAL);
         }
     }
 }

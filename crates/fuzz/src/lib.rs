@@ -21,10 +21,14 @@ pub mod oracle;
 pub mod reduce;
 
 pub use corpus::{exemplars, parse_entry, render_entry, replay, write_exemplars, CorpusEntry};
-pub use oracle::{run_generated, run_one, ProgramVerdict, DEFAULT_ITERATIONS_PER_HANDLER};
+pub use oracle::{
+    run_generated, run_generated_with, run_one, run_one_with, ProgramVerdict,
+    DEFAULT_ITERATIONS_PER_HANDLER,
+};
 pub use reduce::{reduce_violation, Reduction};
 
-use leakchecker::parallel_map;
+use leakchecker::governor::{FaultPlan, GovernorConfig};
+use leakchecker::{parallel_map_isolated, DetectorConfig};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -40,6 +44,14 @@ pub struct FuzzConfig {
     pub jobs: usize,
     /// Tracked-loop iterations granted per handler.
     pub iterations_per_handler: u64,
+    /// Resource governance for the per-seed detector runs. The fault
+    /// plan is keyed by *seed offset* (not thread arrival order):
+    /// `exhaust@N` forces every demand query of seed offset `N` to
+    /// exhaust its budget with retries disabled, `deadline@D` expires a
+    /// virtual deadline for every offset `>= D`, and `panic@M` panics
+    /// the worker judging offset `M`, exercising campaign-level
+    /// quarantine.
+    pub governor: GovernorConfig,
 }
 
 impl Default for FuzzConfig {
@@ -49,7 +61,34 @@ impl Default for FuzzConfig {
             base_seed: 0xF0CC5,
             jobs: 1,
             iterations_per_handler: DEFAULT_ITERATIONS_PER_HANDLER,
+            governor: GovernorConfig::default(),
         }
+    }
+}
+
+/// Detector configuration used for the seed at campaign offset
+/// `offset`, applying the campaign fault plan. Pure in its inputs, so
+/// the per-seed configuration — and therefore the verdict — is
+/// independent of `jobs`.
+fn detector_for_offset(governor: &GovernorConfig, offset: u64) -> DetectorConfig {
+    let mut per_run = GovernorConfig {
+        faults: FaultPlan::default(),
+        ..*governor
+    };
+    if governor.faults.exhausts(offset) {
+        // Force every query onto the fallback rung: exhaust all
+        // budgets and disable the adaptive retry that would otherwise
+        // absorb the fault.
+        per_run.faults.exhaust_all = true;
+        per_run.max_retries = 0;
+    }
+    if governor.faults.deadline_expired(offset) {
+        // Virtual deadline expiry from the first refinement item on.
+        per_run.faults.deadline_at_item = Some(0);
+    }
+    DetectorConfig {
+        governor: per_run,
+        ..DetectorConfig::default()
     }
 }
 
@@ -96,6 +135,15 @@ pub struct Campaign {
     /// Harness failures (generation/compile/interpreter errors), each
     /// message carrying its seed.
     pub errors: Vec<String>,
+    /// Programs whose run degraded (budget fallback, deadline expiry,
+    /// or refinement-worker quarantine) yet stayed sound.
+    pub degraded_runs: u64,
+    /// Static reports tagged `Degraded` across all programs.
+    pub degraded_reports: u64,
+    /// Seeds whose worker panicked and was quarantined (fault
+    /// injection, or a genuine harness bug); the campaign continues
+    /// past them but the run counts as incomplete.
+    pub quarantined_seeds: Vec<u64>,
 }
 
 impl Campaign {
@@ -116,14 +164,20 @@ impl Campaign {
 
 /// Runs a campaign. Verdicts are aggregated in seed order regardless of
 /// `jobs`, so the result (and its JSON) is deterministic in
-/// `base_seed`.
+/// `base_seed`. Workers run panic-isolated: a panicking seed (injected
+/// via `panic@M` or a genuine harness bug) is quarantined in place and
+/// the remaining seeds still complete.
 pub fn run_campaign(config: &FuzzConfig) -> Campaign {
-    let seeds: Vec<u64> = (0..config.seeds)
-        .map(|i| config.base_seed.wrapping_add(i))
+    let items: Vec<(u64, u64)> = (0..config.seeds)
+        .map(|i| (i, config.base_seed.wrapping_add(i)))
         .collect();
     let iterations = config.iterations_per_handler;
-    let results = parallel_map(config.jobs, seeds, |seed| {
-        run_one(seed, iterations).map(|verdict| {
+    let governor = config.governor;
+    let results = parallel_map_isolated(config.jobs, items.clone(), move |(offset, seed)| {
+        if governor.faults.panics(offset) {
+            panic!("injected worker panic at seed offset {offset}");
+        }
+        run_one_with(seed, iterations, detector_for_offset(&governor, offset)).map(|verdict| {
             let reduction = if verdict.is_sound() {
                 None
             } else {
@@ -140,10 +194,11 @@ pub fn run_campaign(config: &FuzzConfig) -> Campaign {
         iterations_per_handler: iterations,
         ..Campaign::default()
     };
-    for result in results {
+    for (&(_, seed), result) in items.iter().zip(results) {
         match result {
-            Err(e) => campaign.errors.push(e),
-            Ok((verdict, reduction)) => {
+            Err(_) => campaign.quarantined_seeds.push(seed),
+            Ok(Err(e)) => campaign.errors.push(e),
+            Ok(Ok((verdict, reduction))) => {
                 campaign.statements += verdict.statements;
                 campaign.reports += verdict.reports;
                 campaign.must_leaks += verdict.must_leak;
@@ -156,6 +211,10 @@ pub fn run_campaign(config: &FuzzConfig) -> Campaign {
                 campaign.fp_rate_bands[Campaign::fp_band(&verdict)] += 1;
                 campaign.dynamic_missed += verdict.dynamic_missed;
                 campaign.dynamic_extra += verdict.dynamic_extra;
+                campaign.degraded_reports += verdict.degraded_reports;
+                if verdict.degraded_run {
+                    campaign.degraded_runs += 1;
+                }
                 if !verdict.is_sound() {
                     campaign.violations.push(Violation { verdict, reduction });
                 }
@@ -221,6 +280,22 @@ pub fn render_campaign_json(campaign: &Campaign) -> String {
     );
     let _ = writeln!(out, "  \"dynamic_missed\": {},", campaign.dynamic_missed);
     let _ = writeln!(out, "  \"dynamic_extra\": {},", campaign.dynamic_extra);
+    let _ = writeln!(out, "  \"degraded_runs\": {},", campaign.degraded_runs);
+    let _ = writeln!(
+        out,
+        "  \"degraded_reports\": {},",
+        campaign.degraded_reports
+    );
+    let quarantined: Vec<String> = campaign
+        .quarantined_seeds
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let _ = writeln!(
+        out,
+        "  \"quarantined_seeds\": [{}],",
+        quarantined.join(", ")
+    );
     let _ = writeln!(
         out,
         "  \"soundness_violations\": {},",
@@ -290,7 +365,7 @@ mod tests {
             seeds: 24,
             base_seed: 1,
             jobs: 1,
-            iterations_per_handler: DEFAULT_ITERATIONS_PER_HANDLER,
+            ..FuzzConfig::default()
         });
         assert!(
             campaign.errors.is_empty(),
@@ -321,7 +396,7 @@ mod tests {
             seeds: 16,
             base_seed: 0xDECAF,
             jobs: 1,
-            iterations_per_handler: DEFAULT_ITERATIONS_PER_HANDLER,
+            ..FuzzConfig::default()
         };
         let sequential = render_campaign_json(&run_campaign(&base));
         let parallel = render_campaign_json(&run_campaign(&FuzzConfig { jobs: 8, ..base }));
@@ -341,7 +416,7 @@ mod tests {
             seeds: 4,
             base_seed: 7,
             jobs: 2,
-            iterations_per_handler: DEFAULT_ITERATIONS_PER_HANDLER,
+            ..FuzzConfig::default()
         });
         let json = render_campaign_json(&campaign);
         for key in [
@@ -361,6 +436,75 @@ mod tests {
         assert!(!json.contains("time"), "{json}");
     }
 
+    /// Silences the default panic hook around `f` so intentionally
+    /// quarantined workers don't spam test output.
+    fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(hook);
+        out
+    }
+
+    fn injected_config(spec: &str) -> FuzzConfig {
+        FuzzConfig {
+            seeds: 12,
+            base_seed: 0xBEEF,
+            jobs: 1,
+            governor: GovernorConfig {
+                faults: leakchecker::parse_fault_plan(spec).unwrap(),
+                ..GovernorConfig::default()
+            },
+            ..FuzzConfig::default()
+        }
+    }
+
+    #[test]
+    fn injected_faults_stay_sound_and_are_counted() {
+        let campaign =
+            with_quiet_panics(|| run_campaign(&injected_config("exhaust@2,panic@5,deadline@9")));
+        assert!(
+            campaign.violations.is_empty(),
+            "injected faults must never cost soundness: {:?}",
+            campaign
+                .violations
+                .iter()
+                .map(|v| (v.verdict.seed, v.verdict.missed.clone()))
+                .collect::<Vec<_>>()
+        );
+        assert!(campaign.errors.is_empty(), "{:?}", campaign.errors);
+        assert_eq!(
+            campaign.quarantined_seeds,
+            vec![0xBEEF + 5],
+            "exactly the panic@5 seed is quarantined"
+        );
+        assert!(
+            campaign.degraded_runs > 0,
+            "exhaust@2 and deadline@9 must register degraded runs"
+        );
+    }
+
+    #[test]
+    fn injected_campaign_json_is_deterministic_across_jobs() {
+        let base = injected_config("exhaust@1,panic@3,deadline@8");
+        let renders: Vec<String> = with_quiet_panics(|| {
+            [1usize, 2, 8]
+                .iter()
+                .map(|&jobs| render_campaign_json(&run_campaign(&FuzzConfig { jobs, ..base })))
+                .collect()
+        });
+        assert_eq!(
+            renders[0], renders[1],
+            "injected campaign JSON must not depend on --jobs"
+        );
+        assert_eq!(renders[0], renders[2]);
+        assert!(
+            renders[0].contains("\"quarantined_seeds\": [48882]"),
+            "{}",
+            renders[0]
+        );
+    }
+
     #[test]
     fn fp_band_partitions() {
         let mut v = ProgramVerdict {
@@ -373,6 +517,8 @@ mod tests {
             fp_causes: BTreeMap::new(),
             dynamic_missed: 0,
             dynamic_extra: 0,
+            degraded_reports: 0,
+            degraded_run: false,
         };
         assert_eq!(Campaign::fp_band(&v), 0);
         v.reports = 4;

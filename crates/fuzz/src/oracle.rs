@@ -55,6 +55,14 @@ pub struct ProgramVerdict {
     pub dynamic_missed: u64,
     /// Dynamic findings the ground truth did not confirm.
     pub dynamic_extra: u64,
+    /// Static reports whose evidence fell down the degradation ladder
+    /// (budget exhaustion, deadline expiry, or worker panic during
+    /// refinement). Always 0 on an ungoverned run.
+    pub degraded_reports: u64,
+    /// Whether the detector run degraded at all (fallbacks, quarantined
+    /// refinement items, or deadline hits), even if no surviving report
+    /// carries a degraded tag.
+    pub degraded_run: bool,
 }
 
 impl ProgramVerdict {
@@ -78,7 +86,7 @@ impl ProgramVerdict {
             }
             let _ = write!(fp, "{cause}:{n}");
         }
-        format!(
+        let mut line = format!(
             "sound={} reports={} must_leak={} missed={} fp=[{}] dyn_missed={} dyn_extra={}",
             self.is_sound(),
             self.reports,
@@ -87,7 +95,13 @@ impl ProgramVerdict {
             fp,
             self.dynamic_missed,
             self.dynamic_extra,
-        )
+        );
+        // Appended only when nonzero so corpus entries recorded before
+        // governance existed still replay byte-identically.
+        if self.degraded_reports > 0 {
+            let _ = write!(line, " degraded={}", self.degraded_reports);
+        }
+        line
     }
 }
 
@@ -115,6 +129,27 @@ pub fn run_generated(
     seed: u64,
     iterations_per_handler: u64,
 ) -> Result<ProgramVerdict, String> {
+    run_generated_with(
+        generated,
+        seed,
+        iterations_per_handler,
+        DetectorConfig::default(),
+    )
+}
+
+/// [`run_generated`] with an explicit detector configuration, so the
+/// campaign can inject governance faults (forced budget exhaustion,
+/// virtual deadline expiry) into individual seeds.
+///
+/// # Errors
+///
+/// See [`run_generated`].
+pub fn run_generated_with(
+    generated: &Generated,
+    seed: u64,
+    iterations_per_handler: u64,
+    detector: DetectorConfig,
+) -> Result<ProgramVerdict, String> {
     let labels: Vec<String> = generated.kinds.iter().map(|k| k.label()).collect();
     let describe_failure = |what: &str, detail: &str| {
         format!(
@@ -130,12 +165,8 @@ pub fn run_generated(
         .first()
         .ok_or_else(|| describe_failure("generated program has no @check loop", ""))?;
 
-    let result = check(
-        &unit.program,
-        CheckTarget::Loop(target_loop),
-        DetectorConfig::default(),
-    )
-    .map_err(|e| describe_failure("static detector failed", &e.to_string()))?;
+    let result = check(&unit.program, CheckTarget::Loop(target_loop), detector)
+        .map_err(|e| describe_failure("static detector failed", &e.to_string()))?;
 
     let budget = (generated.kinds.len() as u64).max(1) * iterations_per_handler;
     let exec = interp_run(
@@ -182,6 +213,8 @@ pub fn run_generated(
         fp_causes,
         dynamic_missed: three.dynamic_missed.len() as u64,
         dynamic_extra: three.dynamic_extra.len() as u64,
+        degraded_reports: result.stats.degraded_reports as u64,
+        degraded_run: result.stats.is_degraded(),
     })
 }
 
@@ -192,6 +225,19 @@ pub fn run_generated(
 /// See [`run_generated`].
 pub fn run_one(seed: u64, iterations_per_handler: u64) -> Result<ProgramVerdict, String> {
     run_generated(&generate_fuzz(seed), seed, iterations_per_handler)
+}
+
+/// [`run_one`] with an explicit detector configuration.
+///
+/// # Errors
+///
+/// See [`run_generated`].
+pub fn run_one_with(
+    seed: u64,
+    iterations_per_handler: u64,
+    detector: DetectorConfig,
+) -> Result<ProgramVerdict, String> {
+    run_generated_with(&generate_fuzz(seed), seed, iterations_per_handler, detector)
 }
 
 #[cfg(test)]

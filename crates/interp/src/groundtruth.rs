@@ -340,7 +340,7 @@ mod tests {
         let payload_leaks: Vec<_> = gt
             .leaked
             .iter()
-            .filter(|l| heap.class_of(l.object) == p.class_by_name("Payload").map(|c| c))
+            .filter(|l| heap.class_of(l.object) == p.class_by_name("Payload"))
             .collect();
         assert_eq!(payload_leaks.len(), 4);
         assert!(payload_leaks.iter().all(|l| l.escape_root != l.object));

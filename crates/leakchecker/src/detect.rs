@@ -9,14 +9,16 @@
 
 use crate::contexts::{enumerate_jobs, ContextConfig, ContextTable};
 use crate::flows::{build as build_flows, FlowConfig, FlowRelations, OutsideEdge};
+use crate::governor::{Confidence, Governor, GovernorConfig};
 use crate::parallel::parallel_map;
+use crate::refine::refine_candidates;
 use crate::report::LeakReport;
 use crate::target::{resolve, CheckTarget, ResolvedTarget, TargetError};
 use leakchecker_callgraph::{Algorithm, CallGraph};
 use leakchecker_effects::{analyze_from, EffectConfig, EffectSummary, Era};
 use leakchecker_ir::ids::AllocSite;
 use leakchecker_ir::Program;
-use leakchecker_pointsto::Context;
+use leakchecker_pointsto::{Context, Pag};
 use std::collections::BTreeSet;
 use std::time::Instant;
 
@@ -41,6 +43,9 @@ pub struct DetectorConfig {
     /// filtering, report building). `1` runs fully sequential; `0` uses
     /// the machine's available parallelism.
     pub jobs: usize,
+    /// Resource governance: per-query budgets, adaptive retries, the
+    /// run deadline, and (in tests/CI) injected faults.
+    pub governor: GovernorConfig,
 }
 
 impl Default for DetectorConfig {
@@ -53,6 +58,7 @@ impl Default for DetectorConfig {
             library_modeling: true,
             model_threads: false,
             jobs: 1,
+            governor: GovernorConfig::default(),
         }
     }
 }
@@ -68,6 +74,8 @@ pub struct PhaseTimes {
     pub flows_secs: f64,
     /// Context-sensitive allocation-site enumeration.
     pub contexts_secs: f64,
+    /// Demand-driven candidate refinement under the degradation ladder.
+    pub refine_secs: f64,
     /// Candidate selection, pivot filtering, and report building.
     pub matching_secs: f64,
 }
@@ -92,8 +100,30 @@ pub struct RunStats {
     pub flow_edges: usize,
     /// Sites surviving candidate selection (before pivot filtering).
     pub candidate_sites: usize,
+    /// Candidates the refinement phase refuted (dropped before pivot).
+    pub refuted_candidates: usize,
     /// Worker threads the run was configured with (after resolving 0).
     pub jobs: usize,
+    /// Governed queries whose first attempt exhausted its step budget.
+    pub exhausted_queries: u64,
+    /// Adaptive budget retries issued.
+    pub retries: u64,
+    /// Queries answered by the Andersen fallback.
+    pub fallbacks: u64,
+    /// Work items quarantined after a worker panic.
+    pub quarantined: u64,
+    /// Work items that observed deadline expiry (real or injected).
+    pub deadline_hits: u64,
+    /// Reports carrying `Confidence::Degraded`.
+    pub degraded_reports: usize,
+}
+
+impl RunStats {
+    /// `true` when any rung of the degradation ladder fired: the run is
+    /// sound but may be less precise than a fully resourced one.
+    pub fn is_degraded(&self) -> bool {
+        self.fallbacks > 0 || self.quarantined > 0 || self.deadline_hits > 0
+    }
 }
 
 /// The detector's output.
@@ -184,16 +214,39 @@ pub fn check(
         }
     }
     let candidate_sites = candidates.len();
+    phases.matching_secs = phase_start.elapsed().as_secs_f64();
+
+    // Demand-driven refinement under the governor's degradation ladder.
+    // Runs *before* pivot filtering: a refuted candidate is removed from
+    // the pivot universe, so it can never have suppressed a member site
+    // it would otherwise cover.
+    let phase_start = Instant::now();
+    let governor = Governor::new(config.governor);
+    let pag = Pag::build(&program, &callgraph);
+    let refinement = refine_candidates(
+        &program,
+        &summary,
+        &flows,
+        &pag,
+        &candidates,
+        &governor,
+        config.jobs,
+    );
+    let kept: BTreeSet<AllocSite> = refinement.kept().into_iter().collect();
+    let refuted_candidates = candidate_sites - kept.len();
+    let confidence_of = refinement.confidence_of();
+    phases.refine_secs = phase_start.elapsed().as_secs_f64();
 
     // Pivot mode: drop leaking sites contained in another leaking site's
     // structure; inspecting the root is enough to fix the leak. Library
     // allocation sites (container internals like map entries) never
     // suppress application sites — the report must name the application
     // objects the developer can act on.
+    let phase_start = Instant::now();
     let reported: Vec<AllocSite> = if config.pivot_mode {
-        let items: Vec<AllocSite> = candidates.iter().copied().collect();
+        let items: Vec<AllocSite> = kept.iter().copied().collect();
         let keep = parallel_map(config.jobs, items.clone(), |site| {
-            !candidates.iter().any(|&other| {
+            !kept.iter().any(|&other| {
                 other != site
                     && !program.is_library_method(program.alloc(other).method)
                     && flows.members_of(other).contains(&site)
@@ -205,7 +258,7 @@ pub fn check(
             .filter_map(|(site, keep)| keep.then_some(site))
             .collect()
     } else {
-        candidates.into_iter().collect()
+        kept.into_iter().collect()
     };
 
     // Reports are built per site in parallel; the work list is already in
@@ -231,14 +284,19 @@ pub fn check(
             contexts: ctxs,
             describe: program.alloc(site).describe.clone(),
             method: program.qualified_name(program.alloc(site).method),
+            confidence: confidence_of
+                .get(&site)
+                .copied()
+                .unwrap_or(Confidence::Precise),
         }
     });
-    phases.matching_secs = phase_start.elapsed().as_secs_f64();
+    phases.matching_secs += phase_start.elapsed().as_secs_f64();
 
     let leaking_sites = reports
         .iter()
         .map(|r| r.contexts.len().max(1))
         .sum::<usize>();
+    let ladder = governor.stats();
     let stats = RunStats {
         methods: callgraph.reachable_count(),
         statements: callgraph.reachable_statement_count(&program),
@@ -248,7 +306,17 @@ pub fn check(
         phases,
         flow_edges: flows.flows_out.values().map(BTreeSet::len).sum(),
         candidate_sites,
+        refuted_candidates,
         jobs: crate::parallel::effective_jobs(config.jobs),
+        exhausted_queries: ladder.exhausted_queries,
+        retries: ladder.retries,
+        fallbacks: ladder.fallbacks,
+        quarantined: ladder.quarantined,
+        deadline_hits: ladder.deadline_hits,
+        degraded_reports: reports
+            .iter()
+            .filter(|r| r.confidence.is_degraded())
+            .count(),
     };
 
     Ok(AnalysisResult {
@@ -301,6 +369,71 @@ mod tests {
         assert_eq!(result.stats.leaking_sites, 1);
         assert!(result.stats.methods >= 1);
         assert!(result.stats.statements > 0);
+    }
+
+    #[test]
+    fn tiny_budget_does_not_silently_drop_a_known_leak() {
+        // Satellite regression: a starved demand query must escalate
+        // the ladder (retry, then Andersen fallback), never silently
+        // under-approximate and drop the report.
+        let result = run(
+            "class Item { }
+             class Holder { Item item; }
+             class Main {
+               static void main() {
+                 Holder h = new Holder();
+                 @check while (nondet()) {
+                   Item it = new Item();
+                   h.item = it;
+                 }
+               }
+             }",
+            DetectorConfig {
+                governor: crate::governor::GovernorConfig {
+                    query_budget: 1,
+                    max_retries: 0,
+                    ..crate::governor::GovernorConfig::default()
+                },
+                ..DetectorConfig::default()
+            },
+        );
+        assert_eq!(names(&result), vec!["new Item"]);
+        assert!(result.stats.exhausted_queries > 0, "{:?}", result.stats);
+        assert!(result.stats.fallbacks > 0);
+        assert!(result.stats.is_degraded());
+        assert_eq!(result.stats.degraded_reports, 1);
+        assert!(
+            result.reports[0].confidence.is_degraded(),
+            "every degraded report carries a cause"
+        );
+        assert_eq!(
+            result.reports[0].confidence.cause(),
+            Some(crate::governor::DegradeCause::BudgetExhausted)
+        );
+    }
+
+    #[test]
+    fn default_run_is_precise_and_undegraded() {
+        let result = run(
+            "class Item { }
+             class Holder { Item item; }
+             class Main {
+               static void main() {
+                 Holder h = new Holder();
+                 @check while (nondet()) {
+                   Item it = new Item();
+                   h.item = it;
+                 }
+               }
+             }",
+            DetectorConfig::default(),
+        );
+        assert!(!result.stats.is_degraded());
+        assert_eq!(result.stats.degraded_reports, 0);
+        assert_eq!(
+            result.reports[0].confidence,
+            crate::governor::Confidence::Precise
+        );
     }
 
     #[test]

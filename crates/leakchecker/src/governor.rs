@@ -1,0 +1,436 @@
+//! Run-wide resource governance: budgets, deadlines, cancellation, and
+//! deterministic fault injection.
+//!
+//! The demand engine is only practical because its queries run under
+//! bounded effort, but a bound is useless if exhausting it silently
+//! changes the answer. The [`Governor`] makes boundedness a first-class
+//! contract for a whole detector run:
+//!
+//! * a **per-query step budget** with a bounded number of adaptive
+//!   retries (each retry multiplies the budget by
+//!   [`RETRY_BUDGET_FACTOR`]);
+//! * a **wall-clock deadline** shared by every worker through a
+//!   cooperative cancellation token — the first worker to observe
+//!   expiry cancels the rest;
+//! * **aggregate counters** ([`GovernorStats`]) recording every rung of
+//!   the degradation ladder: exhausted queries, retries, fallbacks to
+//!   the Andersen over-approximation, deadline hits, and quarantined
+//!   work items.
+//!
+//! A [`FaultPlan`] injects the same failures deterministically, keyed by
+//! the *work-item index* (never by thread arrival order), so a
+//! fault-injected run produces byte-identical output at any `--jobs`.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Budget multiplier applied on each adaptive retry.
+pub const RETRY_BUDGET_FACTOR: usize = 8;
+
+/// Why a report's evidence was computed at reduced precision.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DegradeCause {
+    /// A demand query exhausted its step budget (including every
+    /// retry); the Andersen over-approximation answered instead.
+    BudgetExhausted,
+    /// The run's deadline expired before the query finished; the
+    /// Andersen over-approximation answered instead.
+    DeadlineExpired,
+    /// The worker analyzing this item panicked; the item was
+    /// quarantined and kept conservatively.
+    WorkerPanic,
+}
+
+impl fmt::Display for DegradeCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DegradeCause::BudgetExhausted => "budget-exhausted",
+            DegradeCause::DeadlineExpired => "deadline-expired",
+            DegradeCause::WorkerPanic => "worker-panic",
+        })
+    }
+}
+
+/// How much a report's evidence can be trusted.
+///
+/// `Degraded` never weakens soundness — every degraded path substitutes
+/// an *over*-approximation (Andersen, or "keep the report") — it only
+/// flags that the run could not afford full precision, so the report
+/// may be a false positive the precise analysis would have refuted.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Confidence {
+    /// Every demand query behind this report completed in full.
+    Precise,
+    /// Some query fell down the degradation ladder.
+    Degraded {
+        /// The first rung failure observed for this report.
+        cause: DegradeCause,
+    },
+}
+
+impl Confidence {
+    /// `true` for any `Degraded` value.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, Confidence::Degraded { .. })
+    }
+
+    /// The cause, when degraded.
+    pub fn cause(&self) -> Option<DegradeCause> {
+        match self {
+            Confidence::Precise => None,
+            Confidence::Degraded { cause } => Some(*cause),
+        }
+    }
+}
+
+/// Deterministic fault injection, keyed by work-item index.
+///
+/// Injection sites are indexed positions in a deterministically ordered
+/// work list (candidate sites in the detector's refinement phase, seed
+/// offsets in a fuzzing campaign) — never thread arrival order — so the
+/// same plan degrades the same items at any `--jobs`.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Force the first attempt of every governed query of item N to
+    /// report budget exhaustion (exercises retry + fallback).
+    pub exhaust_at_item: Option<u64>,
+    /// Force first-attempt exhaustion on *every* item (campaign-level
+    /// injection applies this to whole runs).
+    pub exhaust_all: bool,
+    /// Panic the worker processing item N (exercises quarantine).
+    pub panic_at_item: Option<u64>,
+    /// Treat the deadline as already expired for every item ≥ N
+    /// (virtual expiry: deterministic, unlike a real wall clock).
+    pub deadline_at_item: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan injecting nothing.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// `true` when the plan injects at least one fault.
+    pub fn is_active(&self) -> bool {
+        *self != FaultPlan::default()
+    }
+
+    /// Should item `item`'s first query attempt be forced to exhaust?
+    pub fn exhausts(&self, item: u64) -> bool {
+        self.exhaust_all || self.exhaust_at_item == Some(item)
+    }
+
+    /// Should the worker processing `item` panic?
+    pub fn panics(&self, item: u64) -> bool {
+        self.panic_at_item == Some(item)
+    }
+
+    /// Is the (virtual) deadline expired for `item`?
+    pub fn deadline_expired(&self, item: u64) -> bool {
+        self.deadline_at_item.is_some_and(|n| item >= n)
+    }
+}
+
+/// Resource limits for one detector run.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct GovernorConfig {
+    /// Step budget for each governed demand query's first attempt.
+    pub query_budget: usize,
+    /// Adaptive retries after exhaustion, each with the budget scaled
+    /// by [`RETRY_BUDGET_FACTOR`].
+    pub max_retries: u32,
+    /// Wall-clock deadline for the whole run, in milliseconds. Real
+    /// expiry is sound but inherently nondeterministic in *which*
+    /// queries it degrades; use `FaultPlan::deadline_at_item` where
+    /// determinism matters (tests, CI).
+    pub deadline_ms: Option<u64>,
+    /// Injected faults (empty by default).
+    pub faults: FaultPlan,
+}
+
+impl Default for GovernorConfig {
+    fn default() -> Self {
+        GovernorConfig {
+            query_budget: 100_000,
+            max_retries: 1,
+            deadline_ms: None,
+            faults: FaultPlan::none(),
+        }
+    }
+}
+
+/// Snapshot of the governor's degradation counters.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct GovernorStats {
+    /// Governed queries whose first attempt exhausted its budget.
+    pub exhausted_queries: u64,
+    /// Adaptive retries issued.
+    pub retries: u64,
+    /// Queries answered by the Andersen fallback.
+    pub fallbacks: u64,
+    /// Work items quarantined after a worker panic.
+    pub quarantined: u64,
+    /// Work items that observed deadline expiry (real or injected).
+    pub deadline_hits: u64,
+}
+
+/// Shared run-wide governance state: the cancellation token, the
+/// resolved deadline, and the ladder counters. One instance per
+/// detector run, shared by reference across worker threads.
+pub struct Governor {
+    config: GovernorConfig,
+    deadline: Option<Instant>,
+    cancel: AtomicBool,
+    exhausted_queries: AtomicU64,
+    retries: AtomicU64,
+    fallbacks: AtomicU64,
+    quarantined: AtomicU64,
+    deadline_hits: AtomicU64,
+}
+
+impl Governor {
+    /// Creates a governor, resolving `deadline_ms` against the current
+    /// instant.
+    pub fn new(config: GovernorConfig) -> Governor {
+        Governor {
+            deadline: config
+                .deadline_ms
+                .map(|ms| Instant::now() + Duration::from_millis(ms)),
+            config,
+            cancel: AtomicBool::new(false),
+            exhausted_queries: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            deadline_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &GovernorConfig {
+        &self.config
+    }
+
+    /// The cooperative cancellation token, for threading into query
+    /// tickets.
+    pub fn cancel_token(&self) -> &AtomicBool {
+        &self.cancel
+    }
+
+    /// The resolved wall-clock deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Requests cooperative cancellation of all in-flight governed
+    /// queries.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once cancellation was requested.
+    pub fn cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+
+    /// Has the *real* wall-clock deadline passed? (Injected expiry is a
+    /// per-item property; see [`FaultPlan::deadline_expired`].) On
+    /// first observation the whole run is cancelled so other workers
+    /// stop early.
+    pub fn real_deadline_expired(&self) -> bool {
+        match self.deadline {
+            Some(deadline) if Instant::now() >= deadline => {
+                self.cancel();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Records a first-attempt budget exhaustion.
+    pub fn note_exhausted(&self) {
+        self.exhausted_queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an adaptive retry.
+    pub fn note_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an Andersen fallback.
+    pub fn note_fallback(&self) {
+        self.fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a quarantined work item.
+    pub fn note_quarantined(&self) {
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a work item that observed deadline expiry.
+    pub fn note_deadline_hit(&self) {
+        self.deadline_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> GovernorStats {
+        GovernorStats {
+            exhausted_queries: self.exhausted_queries.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            deadline_hits: self.deadline_hits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Parses an `--inject` specification: comma-separated
+/// `exhaust@N` / `panic@N` / `deadline@N` clauses (each at most once).
+///
+/// ```
+/// use leakchecker::governor::parse_fault_plan;
+/// let plan = parse_fault_plan("exhaust@3,panic@5,deadline@40").unwrap();
+/// assert!(plan.exhausts(3));
+/// assert!(plan.panics(5));
+/// assert!(plan.deadline_expired(41));
+/// ```
+pub fn parse_fault_plan(spec: &str) -> Result<FaultPlan, String> {
+    let mut plan = FaultPlan::none();
+    for clause in spec.split(',').filter(|c| !c.is_empty()) {
+        let (kind, value) = clause
+            .split_once('@')
+            .ok_or_else(|| format!("bad --inject clause '{clause}': expected kind@index"))?;
+        let index: u64 = value
+            .parse()
+            .map_err(|_| format!("bad --inject index '{value}' in '{clause}'"))?;
+        let slot = match kind {
+            "exhaust" => &mut plan.exhaust_at_item,
+            "panic" => &mut plan.panic_at_item,
+            "deadline" => &mut plan.deadline_at_item,
+            _ => {
+                return Err(format!(
+                    "unknown --inject kind '{kind}' (expected exhaust, panic, or deadline)"
+                ))
+            }
+        };
+        if slot.is_some() {
+            return Err(format!("duplicate --inject kind '{kind}'"));
+        }
+        *slot = Some(index);
+    }
+    Ok(plan)
+}
+
+/// Renders a plan back into `--inject` syntax (empty string for the
+/// no-fault plan); `parse_fault_plan` round-trips it.
+pub fn render_fault_plan(plan: &FaultPlan) -> String {
+    let mut clauses = Vec::new();
+    if let Some(n) = plan.exhaust_at_item {
+        clauses.push(format!("exhaust@{n}"));
+    }
+    if let Some(n) = plan.panic_at_item {
+        clauses.push(format!("panic@{n}"));
+    }
+    if let Some(n) = plan.deadline_at_item {
+        clauses.push(format!("deadline@{n}"));
+    }
+    clauses.join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_governor_never_degrades_on_its_own() {
+        let g = Governor::new(GovernorConfig::default());
+        assert!(!g.cancelled());
+        assert!(!g.real_deadline_expired());
+        assert_eq!(g.stats(), GovernorStats::default());
+        assert!(!g.config().faults.is_active());
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let g = Governor::new(GovernorConfig::default());
+        g.note_exhausted();
+        g.note_retry();
+        g.note_retry();
+        g.note_fallback();
+        g.note_quarantined();
+        g.note_deadline_hit();
+        let s = g.stats();
+        assert_eq!(s.exhausted_queries, 1);
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.fallbacks, 1);
+        assert_eq!(s.quarantined, 1);
+        assert_eq!(s.deadline_hits, 1);
+    }
+
+    #[test]
+    fn real_deadline_expiry_cancels_the_run() {
+        let g = Governor::new(GovernorConfig {
+            deadline_ms: Some(0),
+            ..GovernorConfig::default()
+        });
+        assert!(g.real_deadline_expired());
+        assert!(g.cancelled(), "first observer cancels everyone else");
+    }
+
+    #[test]
+    fn fault_plan_is_item_indexed() {
+        let plan = FaultPlan {
+            exhaust_at_item: Some(2),
+            panic_at_item: Some(4),
+            deadline_at_item: Some(10),
+            ..FaultPlan::none()
+        };
+        assert!(plan.is_active());
+        assert!(plan.exhausts(2) && !plan.exhausts(3));
+        assert!(plan.panics(4) && !plan.panics(2));
+        assert!(!plan.deadline_expired(9));
+        assert!(plan.deadline_expired(10) && plan.deadline_expired(11));
+        let all = FaultPlan {
+            exhaust_all: true,
+            ..FaultPlan::none()
+        };
+        assert!(all.exhausts(0) && all.exhausts(999));
+    }
+
+    #[test]
+    fn inject_spec_round_trips() {
+        for spec in [
+            "",
+            "exhaust@0",
+            "panic@7",
+            "deadline@3",
+            "exhaust@1,panic@2,deadline@3",
+        ] {
+            let plan = parse_fault_plan(spec).unwrap();
+            assert_eq!(render_fault_plan(&plan), spec);
+        }
+        assert!(parse_fault_plan("exhaust").is_err());
+        assert!(parse_fault_plan("exhaust@x").is_err());
+        assert!(parse_fault_plan("fizzle@1").is_err());
+        assert!(parse_fault_plan("panic@1,panic@2").is_err());
+    }
+
+    #[test]
+    fn degrade_causes_render_stably() {
+        assert_eq!(
+            DegradeCause::BudgetExhausted.to_string(),
+            "budget-exhausted"
+        );
+        assert_eq!(
+            DegradeCause::DeadlineExpired.to_string(),
+            "deadline-expired"
+        );
+        assert_eq!(DegradeCause::WorkerPanic.to_string(), "worker-panic");
+        assert!(Confidence::Degraded {
+            cause: DegradeCause::WorkerPanic
+        }
+        .is_degraded());
+        assert_eq!(Confidence::Precise.cause(), None);
+    }
+}

@@ -55,15 +55,22 @@
 pub mod contexts;
 pub mod detect;
 pub mod flows;
+pub mod governor;
 pub mod oracle;
 pub mod parallel;
+pub mod refine;
 pub mod report;
 pub mod target;
 
 pub use contexts::{ContextConfig, ContextTable};
 pub use detect::{check, AnalysisResult, DetectorConfig, PhaseTimes, RunStats};
 pub use flows::{FlowConfig, FlowRelations, OutsideEdge};
+pub use governor::{
+    parse_fault_plan, render_fault_plan, Confidence, DegradeCause, FaultPlan, Governor,
+    GovernorConfig, GovernorStats,
+};
 pub use oracle::{compare as oracle_compare, covered_sites, OracleComparison};
-pub use parallel::{effective_jobs, parallel_map};
+pub use parallel::{effective_jobs, parallel_map, parallel_map_isolated};
+pub use refine::{Refinement, SiteVerdict};
 pub use report::{render_all, LeakReport};
 pub use target::{CheckTarget, ResolvedTarget, TargetError};

@@ -12,6 +12,7 @@
 //! * **bounded threads** — at most `jobs` workers exist at a time, and
 //!   `jobs == 0` resolves to the machine's available parallelism.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -67,6 +68,36 @@ where
         .collect()
 }
 
+/// Like [`parallel_map`], but each item runs under `catch_unwind`: a
+/// panicking worker quarantines *that item* (its slot becomes
+/// `Err(panic message)`) instead of killing the whole run, and the
+/// worker thread moves on to the next item.
+///
+/// The inline (`jobs <= 1`) path isolates identically, so the output —
+/// including which items are quarantined — is byte-identical at any
+/// job count. The closure must leave shared state consistent on panic;
+/// the detector's phases only read shared inputs, so this holds.
+pub fn parallel_map_isolated<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<Result<R, String>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let run = |item: T| catch_unwind(AssertUnwindSafe(|| f(item))).map_err(panic_message);
+    parallel_map(jobs, items, run)
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,5 +134,71 @@ mod tests {
     fn empty_and_single_item_lists() {
         assert_eq!(parallel_map(8, Vec::<u32>::new(), |x| x), Vec::<u32>::new());
         assert_eq!(parallel_map(8, vec![7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn more_jobs_than_items_is_fine() {
+        // Excess workers exit immediately; every slot still fills.
+        assert_eq!(
+            parallel_map(64, vec![1u32, 2, 3], |x| x * 10),
+            vec![10, 20, 30]
+        );
+        let out = parallel_map_isolated(64, vec![1u32, 2], |x| x);
+        assert_eq!(out, vec![Ok(1), Ok(2)]);
+    }
+
+    #[test]
+    fn isolated_empty_input() {
+        assert!(parallel_map_isolated(8, Vec::<u32>::new(), |x| x).is_empty());
+    }
+
+    #[test]
+    fn panicking_item_is_quarantined_in_place() {
+        // Quarantine must hit exactly the poisoned item, at its input
+        // position, with the others unaffected — at any job count.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence expected panics
+        for jobs in [1usize, 2, 8] {
+            let items: Vec<u32> = (0..16).collect();
+            let out = parallel_map_isolated(jobs, items, |x| {
+                if x == 5 {
+                    panic!("injected worker panic at item {x}");
+                }
+                x * 2
+            });
+            for (i, r) in out.iter().enumerate() {
+                if i == 5 {
+                    let msg = r.as_ref().unwrap_err();
+                    assert!(msg.contains("injected worker panic"), "jobs={jobs}: {msg}");
+                } else {
+                    assert_eq!(*r, Ok(i as u32 * 2), "jobs={jobs}");
+                }
+            }
+        }
+        std::panic::set_hook(hook);
+    }
+
+    #[test]
+    fn degraded_results_are_deterministic_across_jobs() {
+        // The satellite contract: a run with quarantined items yields
+        // the same Vec (same Ok values, same Err messages, same
+        // positions) for --jobs 1, 2, and 8.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let runs: Vec<Vec<Result<u32, String>>> = [1usize, 2, 8]
+            .into_iter()
+            .map(|jobs| {
+                parallel_map_isolated(jobs, (0..32u32).collect(), |x| {
+                    if x % 11 == 3 {
+                        panic!("poisoned item {x}");
+                    }
+                    x + 100
+                })
+            })
+            .collect();
+        std::panic::set_hook(hook);
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[0], runs[2]);
+        assert_eq!(runs[0][3], Err("poisoned item 3".to_string()));
     }
 }

@@ -1,0 +1,471 @@
+//! Demand-driven refinement of leak candidates under the degradation
+//! ladder.
+//!
+//! Candidate selection works purely on the abstract effect sets: a site
+//! is a candidate when it escapes through an outside edge with no
+//! matching flows-in. That matching is type-based, so a field the loop
+//! stores *other* objects into can make an innocent site look leaked.
+//! This stage re-examines each candidate with the demand-driven
+//! points-to engine: for every unmatched edge it asks whether any store
+//! into that field can actually deposit *this* site's objects (or a
+//! structure containing them). An edge none of whose stores can is
+//! refuted; a candidate whose ERA is not ⊤̂ and all of whose unmatched
+//! edges are refuted is dropped before pivot filtering — *before*, so a
+//! dropped candidate can never have suppressed another site's report.
+//!
+//! Every query runs under the [`Governor`]'s degradation ladder:
+//!
+//! 1. a governed demand query with the per-query step budget, bypassing
+//!    the shared memo so completeness is a deterministic property of the
+//!    query, not of thread interleaving;
+//! 2. on exhaustion, up to `max_retries` adaptive retries with the
+//!    budget scaled by [`RETRY_BUDGET_FACTOR`] each time;
+//! 3. on final exhaustion (or deadline expiry), the precomputed
+//!    context-insensitive Andersen solution — a superset of every
+//!    complete demand answer, so refutation stays sound;
+//! 4. a panicking worker quarantines only its own candidate, which is
+//!    then kept conservatively.
+//!
+//! Soundness: refutation uses *over*-approximations only. If site `s`'s
+//! objects can reach `b.g` at runtime, some store `x.g = y` moves an
+//! object of `s` (or of a structure containing `s`), so `s` or one of
+//! its containers is in the concrete — hence in the Andersen, hence in
+//! any complete demand — points-to set of `y`. An incomplete answer is
+//! never used to refute; it escalates the ladder instead.
+
+use crate::flows::FlowRelations;
+use crate::governor::{Confidence, DegradeCause, Governor, RETRY_BUDGET_FACTOR};
+use crate::parallel::parallel_map_isolated;
+use leakchecker_effects::{EffectSummary, Era};
+use leakchecker_ir::ids::AllocSite;
+use leakchecker_ir::Program;
+use leakchecker_pointsto::{
+    Andersen, Context, DemandConfig, DemandPointsTo, NodeId, Pag, QueryTicket,
+};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::OnceLock;
+
+/// The refinement verdict for one candidate site.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SiteVerdict {
+    /// The candidate.
+    pub site: AllocSite,
+    /// `false` when every unmatched edge was refuted (and the ERA is
+    /// not ⊤̂): the candidate is dropped.
+    pub keep: bool,
+    /// Precision provenance of the queries behind this verdict.
+    pub confidence: Confidence,
+}
+
+/// Outcome of the whole refinement phase.
+#[derive(Debug, Default)]
+pub struct Refinement {
+    /// Per-candidate verdicts, in site order.
+    pub verdicts: Vec<SiteVerdict>,
+}
+
+impl Refinement {
+    /// The surviving sites, in site order.
+    pub fn kept(&self) -> Vec<AllocSite> {
+        self.verdicts
+            .iter()
+            .filter(|v| v.keep)
+            .map(|v| v.site)
+            .collect()
+    }
+
+    /// Confidence lookup for report building.
+    pub fn confidence_of(&self) -> BTreeMap<AllocSite, Confidence> {
+        self.verdicts
+            .iter()
+            .map(|v| (v.site, v.confidence))
+            .collect()
+    }
+}
+
+/// Everything one worker needs, shared immutably across the fan-out.
+struct RefineCx<'a> {
+    program: &'a Program,
+    summary: &'a EffectSummary,
+    flows: &'a FlowRelations,
+    pag: &'a Pag,
+    engine: &'a DemandPointsTo<'a>,
+    andersen: &'a OnceLock<Andersen>,
+    governor: &'a Governor,
+    /// Transitive inside-loop containers per site (inverse of
+    /// `flows.contains`), including the site itself: the *targets* a
+    /// store's points-to set is intersected with.
+    targets: &'a BTreeMap<AllocSite, BTreeSet<AllocSite>>,
+}
+
+impl RefineCx<'_> {
+    fn andersen(&self) -> &Andersen {
+        self.andersen
+            .get_or_init(|| Andersen::run(self.program, self.pag))
+    }
+}
+
+/// Runs the refinement phase over the candidate set.
+pub fn refine_candidates(
+    program: &Program,
+    summary: &EffectSummary,
+    flows: &FlowRelations,
+    pag: &Pag,
+    candidates: &BTreeSet<AllocSite>,
+    governor: &Governor,
+    jobs: usize,
+) -> Refinement {
+    if candidates.is_empty() {
+        return Refinement::default();
+    }
+    let engine = DemandPointsTo::new(
+        program,
+        pag,
+        DemandConfig {
+            budget: governor.config().query_budget,
+            ..DemandConfig::default()
+        },
+    );
+    let andersen: OnceLock<Andersen> = OnceLock::new();
+    let targets = containment_targets(flows, candidates);
+    let cx = RefineCx {
+        program,
+        summary,
+        flows,
+        pag,
+        engine: &engine,
+        andersen: &andersen,
+        governor,
+        targets: &targets,
+    };
+
+    let items: Vec<(u64, AllocSite)> = candidates
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(i, s)| (i as u64, s))
+        .collect();
+    let outcomes = parallel_map_isolated(jobs, items.clone(), |(index, site)| {
+        if cx.governor.config().faults.panics(index) {
+            panic!("injected worker panic at item {index}");
+        }
+        refine_one(&cx, index, site)
+    });
+
+    let verdicts = items
+        .into_iter()
+        .zip(outcomes)
+        .map(|((_, site), outcome)| match outcome {
+            Ok(verdict) => verdict,
+            Err(_) => {
+                // Quarantine: keep the candidate — dropping on a panic
+                // could lose a true leak — and say why it's degraded.
+                governor.note_quarantined();
+                SiteVerdict {
+                    site,
+                    keep: true,
+                    confidence: Confidence::Degraded {
+                        cause: DegradeCause::WorkerPanic,
+                    },
+                }
+            }
+        })
+        .collect();
+    Refinement { verdicts }
+}
+
+/// For each candidate, the site itself plus every inside site that
+/// transitively contains it. A store that deposits any of these into an
+/// outside field keeps the candidate's unmatched edge alive.
+fn containment_targets(
+    flows: &FlowRelations,
+    candidates: &BTreeSet<AllocSite>,
+) -> BTreeMap<AllocSite, BTreeSet<AllocSite>> {
+    let mut containers_of: BTreeMap<AllocSite, Vec<AllocSite>> = BTreeMap::new();
+    for (&container, members) in &flows.contains {
+        for &member in members {
+            containers_of.entry(member).or_default().push(container);
+        }
+    }
+    candidates
+        .iter()
+        .map(|&site| {
+            let mut targets = BTreeSet::from([site]);
+            let mut stack = vec![site];
+            while let Some(s) = stack.pop() {
+                for &up in containers_of.get(&s).map_or(&[][..], Vec::as_slice) {
+                    if targets.insert(up) {
+                        stack.push(up);
+                    }
+                }
+            }
+            (site, targets)
+        })
+        .collect()
+}
+
+/// Refines one candidate; runs inside the isolated fan-out.
+fn refine_one(cx: &RefineCx<'_>, index: u64, site: AllocSite) -> SiteVerdict {
+    let era = cx.summary.era(site);
+    let targets = &cx.targets[&site];
+    // Per-item cache of resolved store sources: several unmatched edges
+    // often share fields/stores, and the cache is item-local so it
+    // cannot couple items across threads.
+    let mut resolved: HashMap<NodeId, (BTreeSet<AllocSite>, Option<DegradeCause>)> = HashMap::new();
+    let mut cause: Option<DegradeCause> = None;
+    let mut any_edge_confirmed = false;
+
+    for edge in cx.flows.unmatched_edges(site) {
+        let stores = cx.pag.stores_of(edge.field);
+        if stores.is_empty() {
+            // No PAG store statement writes this field (e.g. statics
+            // are modeled as copy edges): nothing to refute with.
+            any_edge_confirmed = true;
+            continue;
+        }
+        let mut edge_alive = false;
+        for store in stores {
+            let (sites, degrade) = resolved
+                .entry(store.src)
+                .or_insert_with(|| resolve_store_src(cx, index, store.src))
+                .clone();
+            if let Some(c) = degrade {
+                cause.get_or_insert(c);
+            }
+            if sites.iter().any(|s| targets.contains(s)) {
+                edge_alive = true;
+                break;
+            }
+        }
+        if edge_alive {
+            any_edge_confirmed = true;
+        }
+    }
+
+    let keep = era == Era::Top || any_edge_confirmed;
+    SiteVerdict {
+        site,
+        keep,
+        confidence: match cause {
+            Some(cause) => Confidence::Degraded { cause },
+            None => Confidence::Precise,
+        },
+    }
+}
+
+/// The degradation ladder for one store-source points-to query.
+///
+/// Returns an *over-approximate* site set — either a complete demand
+/// answer (empty context = wildcard, so flows from every caller are
+/// seen) or the Andersen solution — plus the degrade cause if the
+/// ladder went past rung one.
+fn resolve_store_src(
+    cx: &RefineCx<'_>,
+    index: u64,
+    src: NodeId,
+) -> (BTreeSet<AllocSite>, Option<DegradeCause>) {
+    let governor = cx.governor;
+    let config = governor.config();
+    let node = cx.pag.node_info(src);
+    let ctx = Context::empty();
+    let injected_expiry = config.faults.deadline_expired(index);
+
+    if !injected_expiry && !governor.real_deadline_expired() && !governor.cancelled() {
+        let mut budget = config.query_budget;
+        let mut forced_exhaust = config.faults.exhausts(index);
+        for attempt in 0..=config.max_retries {
+            if attempt > 0 {
+                governor.note_retry();
+                budget = budget.saturating_mul(RETRY_BUDGET_FACTOR);
+                forced_exhaust = false;
+            }
+            if forced_exhaust {
+                governor.note_exhausted();
+                continue;
+            }
+            let ticket = QueryTicket {
+                stop: Some(governor.cancel_token()),
+                deadline: governor.deadline(),
+                ..QueryTicket::hermetic(budget)
+            };
+            let (result, stats) = cx.engine.points_to_ticketed(node, &ctx, &ticket);
+            if result.complete {
+                return (result.sites(), None);
+            }
+            if stats.interrupted {
+                // Deadline or cancellation, not workload size: retrying
+                // cannot help.
+                break;
+            }
+            if attempt == 0 {
+                governor.note_exhausted();
+            }
+        }
+    }
+
+    // Rung three: the context-insensitive over-approximation.
+    governor.note_fallback();
+    let cause = if injected_expiry || governor.cancelled() {
+        governor.note_deadline_hit();
+        DegradeCause::DeadlineExpired
+    } else {
+        DegradeCause::BudgetExhausted
+    };
+    (cx.andersen().points_to(src).clone(), Some(cause))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::governor::{FaultPlan, GovernorConfig};
+    use leakchecker_callgraph::{Algorithm, CallGraph};
+    use leakchecker_effects::{analyze_from, EffectConfig};
+    use leakchecker_frontend::compile;
+
+    /// Builds the pipeline up to (but excluding) refinement for the
+    /// canonical leaking program.
+    fn fixture() -> (
+        Program,
+        EffectSummary,
+        FlowRelations,
+        Pag,
+        BTreeSet<AllocSite>,
+    ) {
+        let unit = compile(
+            "class Item { }
+             class Holder { Item item; }
+             class Main {
+               static void main() {
+                 Holder h = new Holder();
+                 @check while (nondet()) {
+                   Item it = new Item();
+                   h.item = it;
+                 }
+               }
+             }",
+        )
+        .unwrap();
+        let program = unit.program;
+        let main = program.method_by_path("Main.main").unwrap();
+        let callgraph = CallGraph::build_from(&program, &[main], Algorithm::Rta);
+        let summary = analyze_from(
+            &program,
+            &callgraph,
+            main,
+            unit.checked_loops[0],
+            EffectConfig::default(),
+        );
+        let flows = crate::flows::build(&program, &summary, crate::flows::FlowConfig::default());
+        let pag = Pag::build(&program, &callgraph);
+        let candidates: BTreeSet<AllocSite> = summary
+            .inside_sites
+            .iter()
+            .copied()
+            .filter(|&s| flows.escapes(s) && flows.unmatched_edges(s).next().is_some())
+            .collect();
+        (program, summary, flows, pag, candidates)
+    }
+
+    #[test]
+    fn true_leak_survives_refinement_precisely() {
+        let (program, summary, flows, pag, candidates) = fixture();
+        assert!(!candidates.is_empty());
+        let governor = Governor::new(GovernorConfig::default());
+        let r = refine_candidates(&program, &summary, &flows, &pag, &candidates, &governor, 1);
+        assert_eq!(r.kept(), candidates.iter().copied().collect::<Vec<_>>());
+        assert!(r
+            .verdicts
+            .iter()
+            .all(|v| v.confidence == Confidence::Precise));
+        assert_eq!(governor.stats(), crate::governor::GovernorStats::default());
+    }
+
+    #[test]
+    fn tiny_budget_falls_back_but_never_drops_the_leak() {
+        let (program, summary, flows, pag, candidates) = fixture();
+        let governor = Governor::new(GovernorConfig {
+            query_budget: 1,
+            max_retries: 0,
+            ..GovernorConfig::default()
+        });
+        let r = refine_candidates(&program, &summary, &flows, &pag, &candidates, &governor, 1);
+        assert_eq!(
+            r.kept(),
+            candidates.iter().copied().collect::<Vec<_>>(),
+            "Andersen fallback must keep the true leak"
+        );
+        let stats = governor.stats();
+        assert!(stats.exhausted_queries > 0);
+        assert!(stats.fallbacks > 0);
+        assert!(r.verdicts.iter().all(|v| v.confidence
+            == Confidence::Degraded {
+                cause: DegradeCause::BudgetExhausted
+            }));
+    }
+
+    #[test]
+    fn adaptive_retry_recovers_full_precision() {
+        let (program, summary, flows, pag, candidates) = fixture();
+        // First attempt is forced to exhaust; one retry at 8× budget
+        // completes, so the verdict is precise and no fallback happens.
+        let governor = Governor::new(GovernorConfig {
+            faults: FaultPlan {
+                exhaust_all: true,
+                ..FaultPlan::none()
+            },
+            ..GovernorConfig::default()
+        });
+        let r = refine_candidates(&program, &summary, &flows, &pag, &candidates, &governor, 1);
+        assert!(r.verdicts.iter().all(|v| v.keep));
+        assert!(r
+            .verdicts
+            .iter()
+            .all(|v| v.confidence == Confidence::Precise));
+        let stats = governor.stats();
+        assert!(stats.retries > 0);
+        assert_eq!(stats.fallbacks, 0);
+    }
+
+    #[test]
+    fn injected_deadline_degrades_with_deadline_cause() {
+        let (program, summary, flows, pag, candidates) = fixture();
+        let governor = Governor::new(GovernorConfig {
+            faults: FaultPlan {
+                deadline_at_item: Some(0),
+                ..FaultPlan::none()
+            },
+            ..GovernorConfig::default()
+        });
+        let r = refine_candidates(&program, &summary, &flows, &pag, &candidates, &governor, 1);
+        assert!(r.verdicts.iter().all(|v| v.keep));
+        assert!(r.verdicts.iter().all(|v| v.confidence
+            == Confidence::Degraded {
+                cause: DegradeCause::DeadlineExpired
+            }));
+        assert!(governor.stats().deadline_hits > 0);
+    }
+
+    #[test]
+    fn injected_panic_quarantines_only_its_item() {
+        let (program, summary, flows, pag, candidates) = fixture();
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let governor = Governor::new(GovernorConfig {
+            faults: FaultPlan {
+                panic_at_item: Some(0),
+                ..FaultPlan::none()
+            },
+            ..GovernorConfig::default()
+        });
+        let r = refine_candidates(&program, &summary, &flows, &pag, &candidates, &governor, 2);
+        std::panic::set_hook(hook);
+        assert!(r.verdicts[0].keep, "quarantined item kept conservatively");
+        assert_eq!(
+            r.verdicts[0].confidence,
+            Confidence::Degraded {
+                cause: DegradeCause::WorkerPanic
+            }
+        );
+        assert_eq!(governor.stats().quarantined, 1);
+    }
+}

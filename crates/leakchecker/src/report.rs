@@ -1,6 +1,7 @@
 //! Leak reports and their human-readable rendering.
 
 use crate::flows::OutsideEdge;
+use crate::governor::Confidence;
 use leakchecker_effects::{Era, TypeKey};
 use leakchecker_ir::ids::AllocSite;
 use leakchecker_ir::Program;
@@ -23,15 +24,23 @@ pub struct LeakReport {
     pub describe: String,
     /// Qualified name of the method containing the allocation.
     pub method: String,
+    /// Whether the evidence behind this report was computed at full
+    /// precision or fell down the degradation ladder (see
+    /// [`crate::governor`]).
+    pub confidence: Confidence,
 }
 
 impl LeakReport {
     /// Renders the report as the tool's plain-text output.
     pub fn render(&self, program: &Program) -> String {
         let mut out = String::new();
+        let degraded = match self.confidence.cause() {
+            Some(cause) => format!(" (degraded: {cause})"),
+            None => String::new(),
+        };
         let _ = writeln!(
             out,
-            "leak: {} ({}) allocated in {} [ERA = {}]",
+            "leak: {} ({}) allocated in {} [ERA = {}]{degraded}",
             self.describe, self.site, self.method, self.era
         );
         for edge in &self.edges {

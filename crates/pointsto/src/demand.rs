@@ -35,8 +35,9 @@ use leakchecker_ir::ids::AllocSite;
 use leakchecker_ir::Program;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+use std::time::Instant;
 
 /// Tuning knobs for demand queries.
 #[derive(Copy, Clone, Debug)]
@@ -90,7 +91,52 @@ pub struct QueryStats {
     pub memo_hits: u64,
     /// `true` when the step budget ran out.
     pub budget_exhausted: bool,
+    /// `true` when a cooperative stop token or deadline cut the query
+    /// short (the result is incomplete for an external reason, not
+    /// because the work itself was too large).
+    pub interrupted: bool,
 }
+
+/// Cooperative controls for one governed query.
+///
+/// A ticket overrides the engine-wide budget and lets a caller thread a
+/// shared cancellation token and a wall-clock deadline through the
+/// traversal. Setting `use_memo` to `false` makes the query hermetic:
+/// it neither reads nor writes the shared memo table, so its step count
+/// — and therefore whether it completes under a given budget — depends
+/// only on the query itself, never on what other threads computed first.
+/// Governed clients that make *decisions* based on completeness need
+/// that determinism; ungoverned clients should keep the memo on.
+#[derive(Copy, Clone, Debug)]
+pub struct QueryTicket<'t> {
+    /// Step budget for this query (shared with its nested alias
+    /// sub-queries).
+    pub budget: usize,
+    /// Checked periodically; when it reads `true` the query stops with
+    /// `complete = false` and `interrupted = true`.
+    pub stop: Option<&'t AtomicBool>,
+    /// Wall-clock cutoff with the same effect as `stop`.
+    pub deadline: Option<Instant>,
+    /// Whether the shared memo table may serve or store results.
+    pub use_memo: bool,
+}
+
+impl<'t> QueryTicket<'t> {
+    /// A hermetic ticket: fixed budget, no external interruption, memo
+    /// bypassed.
+    pub fn hermetic(budget: usize) -> QueryTicket<'t> {
+        QueryTicket {
+            budget,
+            stop: None,
+            deadline: None,
+            use_memo: false,
+        }
+    }
+}
+
+/// How often (in worklist steps) the traversal polls the stop token and
+/// deadline. Keeps `Instant::now` off the per-step path.
+const INTERRUPT_POLL_MASK: u64 = 0x7f;
 
 /// Cumulative engine counters (snapshot of atomics; safe to read while
 /// other threads keep querying).
@@ -148,9 +194,13 @@ impl ShardedMemo {
     }
 
     fn get(&self, key: &(NodeId, CtxId)) -> Option<Arc<PtResult>> {
+        // A panicking (quarantined) worker must not poison the memo for
+        // the rest of the run: the table only ever holds finished,
+        // internally consistent `Arc<PtResult>` values, so recovering
+        // the guard is safe.
         self.shards[self.shard(key)]
             .read()
-            .unwrap()
+            .unwrap_or_else(|e| e.into_inner())
             .get(key)
             .cloned()
     }
@@ -158,20 +208,44 @@ impl ShardedMemo {
     fn insert(&self, key: (NodeId, CtxId), value: Arc<PtResult>) {
         self.shards[self.shard(&key)]
             .write()
-            .unwrap()
+            .unwrap_or_else(|e| e.into_inner())
             .insert(key, value);
     }
 
     fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().unwrap().len()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.read().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
     }
 }
 
 /// Mutable state threaded through one top-level query and its nested
 /// alias sub-queries.
-struct QueryState {
+struct QueryState<'t> {
     budget: usize,
     stats: QueryStats,
+    stop: Option<&'t AtomicBool>,
+    deadline: Option<Instant>,
+    use_memo: bool,
+}
+
+impl QueryState<'_> {
+    /// Polls the cooperative stop token and the wall-clock deadline.
+    /// Called every [`INTERRUPT_POLL_MASK`]+1 steps.
+    fn interrupted(&self) -> bool {
+        if let Some(stop) = self.stop {
+            if stop.load(Ordering::Relaxed) {
+                return true;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return true;
+            }
+        }
+        false
+    }
 }
 
 /// The demand-driven points-to analysis.
@@ -247,11 +321,34 @@ impl<'a> DemandPointsTo<'a> {
     /// Like [`DemandPointsTo::points_to`], also returning the per-query
     /// counters.
     pub fn points_to_with_stats(&self, node: Node, ctx: &Context) -> (PtResult, QueryStats) {
+        self.points_to_ticketed(
+            node,
+            ctx,
+            &QueryTicket {
+                budget: self.config.budget,
+                stop: None,
+                deadline: None,
+                use_memo: true,
+            },
+        )
+    }
+
+    /// Points-to query under explicit resource controls; see
+    /// [`QueryTicket`]. The engine-wide counters still accumulate.
+    pub fn points_to_ticketed(
+        &self,
+        node: Node,
+        ctx: &Context,
+        ticket: &QueryTicket,
+    ) -> (PtResult, QueryStats) {
         match self.pag.find(node) {
             Some(id) => {
                 let mut state = QueryState {
-                    budget: self.config.budget,
+                    budget: ticket.budget,
                     stats: QueryStats::default(),
+                    stop: ticket.stop,
+                    deadline: ticket.deadline,
+                    use_memo: ticket.use_memo,
                 };
                 let result = self.query(id, self.interner.intern(ctx), &mut state, 0);
                 self.counters.queries.fetch_add(1, Ordering::Relaxed);
@@ -303,9 +400,11 @@ impl<'a> DemandPointsTo<'a> {
         depth: usize,
     ) -> Arc<PtResult> {
         let key = (start, ctx);
-        if let Some(hit) = self.memo.get(&key) {
-            state.stats.memo_hits += 1;
-            return hit;
+        if state.use_memo {
+            if let Some(hit) = self.memo.get(&key) {
+                state.stats.memo_hits += 1;
+                return hit;
+            }
         }
         if depth > self.config.max_alias_depth {
             return Arc::new(PtResult {
@@ -323,6 +422,11 @@ impl<'a> DemandPointsTo<'a> {
             if state.budget == 0 {
                 complete = false;
                 state.stats.budget_exhausted = true;
+                break;
+            }
+            if state.stats.steps & INTERRUPT_POLL_MASK == 0 && state.interrupted() {
+                complete = false;
+                state.stats.interrupted = true;
                 break;
             }
             state.budget -= 1;
@@ -390,7 +494,7 @@ impl<'a> DemandPointsTo<'a> {
         }
 
         let result = Arc::new(PtResult { objects, complete });
-        if result.complete {
+        if result.complete && state.use_memo {
             self.memo.insert(key, Arc::clone(&result));
         }
         let _ = self.program;
@@ -617,6 +721,82 @@ mod tests {
         assert_eq!(r1.objects, r2.objects);
         assert_eq!(s2.steps, 0);
         assert_eq!(s2.memo_hits, 1);
+    }
+
+    #[test]
+    fn hermetic_tickets_bypass_the_memo_and_are_deterministic() {
+        let f = Fixture::new(
+            "class C {
+               static C id(C v) { return v; }
+               static void main() { C x = C.id(new C()); }
+             }",
+        );
+        let e = f.engine();
+        let node = f.local("C.main", "x");
+        // Warm the memo with an ordinary query.
+        let warm = e.points_to(node, &Context::empty());
+        assert!(warm.complete);
+        // A hermetic ticket must re-traverse from scratch: identical
+        // step counts on every repetition, zero memo hits, same answer.
+        let ticket = QueryTicket::hermetic(DemandConfig::default().budget);
+        let (r1, s1) = e.points_to_ticketed(node, &Context::empty(), &ticket);
+        let (r2, s2) = e.points_to_ticketed(node, &Context::empty(), &ticket);
+        assert!(r1.complete && r2.complete);
+        assert_eq!(r1.objects, warm.objects);
+        assert_eq!(s1.memo_hits, 0);
+        assert_eq!(s2.memo_hits, 0);
+        assert!(s1.steps > 0);
+        assert_eq!(s1.steps, s2.steps, "memo bypass makes steps reproducible");
+    }
+
+    #[test]
+    fn ticket_budget_overrides_engine_budget() {
+        let f = Fixture::new(
+            "class C {
+               static C id(C v) { return v; }
+               static void main() { C x = C.id(C.id(C.id(new C()))); }
+             }",
+        );
+        let e = f.engine();
+        let node = f.local("C.main", "x");
+        let (r, s) = e.points_to_ticketed(node, &Context::empty(), &QueryTicket::hermetic(2));
+        assert!(!r.complete);
+        assert!(s.budget_exhausted);
+        assert!(!s.interrupted);
+        let (r2, s2) =
+            e.points_to_ticketed(node, &Context::empty(), &QueryTicket::hermetic(100_000));
+        assert!(r2.complete, "escalated budget finishes: {s2:?}");
+        assert!(!s2.budget_exhausted);
+    }
+
+    #[test]
+    fn stop_token_interrupts_a_query() {
+        let f = Fixture::new("class C { static void main() { C x = new C(); } }");
+        let e = f.engine();
+        let node = f.local("C.main", "x");
+        let stop = AtomicBool::new(true);
+        let ticket = QueryTicket {
+            stop: Some(&stop),
+            ..QueryTicket::hermetic(100_000)
+        };
+        let (r, s) = e.points_to_ticketed(node, &Context::empty(), &ticket);
+        assert!(!r.complete);
+        assert!(s.interrupted);
+        assert!(!s.budget_exhausted);
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_a_query() {
+        let f = Fixture::new("class C { static void main() { C x = new C(); } }");
+        let e = f.engine();
+        let node = f.local("C.main", "x");
+        let ticket = QueryTicket {
+            deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
+            ..QueryTicket::hermetic(100_000)
+        };
+        let (r, s) = e.points_to_ticketed(node, &Context::empty(), &ticket);
+        assert!(!r.complete);
+        assert!(s.interrupted);
     }
 
     #[test]

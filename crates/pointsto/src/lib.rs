@@ -39,6 +39,8 @@ pub mod pag;
 
 pub use andersen::Andersen;
 pub use context::Context;
-pub use demand::{CtxObject, DemandConfig, DemandPointsTo, EngineStats, PtResult, QueryStats};
+pub use demand::{
+    CtxObject, DemandConfig, DemandPointsTo, EngineStats, PtResult, QueryStats, QueryTicket,
+};
 pub use intern::{ContextInterner, CtxId};
 pub use pag::{EdgeLabel, LoadStmt, Node, NodeId, Pag, StoreStmt};

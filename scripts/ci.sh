@@ -15,11 +15,33 @@ echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
 echo "==> cargo clippy -D warnings"
-cargo clippy --offline --all-targets -- -D warnings
+cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "==> fuzz smoke (200 fixed seeds, machine width)"
 cargo run -q --release --offline -p leakchecker-cli --bin leakc -- \
   fuzz --seeds 200 --jobs 0
+
+echo "==> fault-injection smoke (50 seeds: exhaust@3, panic@5, deadline@40)"
+# The quarantined seed must surface as the degraded-incomplete exit
+# code (3), never as clean (0) or as a soundness violation (1).
+set +e
+cargo run -q --release --offline -p leakchecker-cli --bin leakc -- \
+  fuzz --seeds 50 --jobs 0 --inject exhaust@3,panic@5,deadline@40 2>/dev/null
+rc=$?
+set -e
+if [ "$rc" -ne 3 ]; then
+  echo "fault-injection smoke: expected exit 3 (degraded), got $rc" >&2
+  exit 1
+fi
+
+echo "==> injected-deadline determinism (jobs 1 vs 8)"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+cargo run -q --release --offline -p leakchecker-cli --bin leakc -- \
+  fuzz --seeds 25 --jobs 1 --inject deadline@0 --json "$tmpdir/j1.json" >/dev/null
+cargo run -q --release --offline -p leakchecker-cli --bin leakc -- \
+  fuzz --seeds 25 --jobs 8 --inject deadline@0 --json "$tmpdir/j8.json" >/dev/null
+cmp "$tmpdir/j1.json" "$tmpdir/j8.json"
 
 echo "==> corpus replay"
 cargo test -q --offline --test corpus_replay

@@ -1,0 +1,200 @@
+//! End-to-end verification of the degradation ladder: under injected
+//! faults (forced budget exhaustion, worker panics, virtual deadline
+//! expiry) the detector must stay *sound* — every known leak still
+//! covered — and *deterministic* — byte-identical output at any
+//! `jobs` width — while tagging the affected evidence `Degraded`.
+
+use leakchecker::governor::{Confidence, GovernorConfig};
+use leakchecker::{check, parse_fault_plan, render_all, CheckTarget, DetectorConfig};
+use leakchecker_benchsuite::{all_subjects, evaluate};
+use leakchecker_fuzz::{render_campaign_json, run_campaign, FuzzConfig};
+
+/// Runs `f` with the default panic hook silenced, so intentionally
+/// injected worker panics don't spam the test output.
+fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(hook);
+    out
+}
+
+/// A detector configuration that forces every refinement query onto the
+/// Andersen fallback rung and panics the worker of the first item.
+fn faulted_config(jobs: usize) -> DetectorConfig {
+    let mut governor = GovernorConfig {
+        max_retries: 0,
+        ..GovernorConfig::default()
+    };
+    governor.faults = parse_fault_plan("exhaust@0,panic@1").unwrap();
+    governor.faults.exhaust_all = true;
+    DetectorConfig {
+        jobs,
+        governor,
+        ..DetectorConfig::default()
+    }
+}
+
+#[test]
+fn injected_faults_never_lose_a_known_leak_on_any_subject() {
+    with_quiet_panics(|| {
+        for subject in all_subjects() {
+            let unit = subject.compile();
+            let config = DetectorConfig {
+                governor: faulted_config(1).governor,
+                ..subject.detector_config()
+            };
+            let result = check(&unit.program, subject.target(&unit), config)
+                .unwrap_or_else(|e| panic!("{}: {e}", subject.name));
+            let score = evaluate::score(&result.program, &result);
+            assert_eq!(
+                score.missed_leaks, 0,
+                "{}: the degraded run dropped a known leak",
+                subject.name
+            );
+            assert!(
+                result.stats.is_degraded() || result.stats.candidate_sites == 0,
+                "{}: exhaust-all must register degradation when queries ran",
+                subject.name
+            );
+        }
+    });
+}
+
+#[test]
+fn faulted_reports_are_identical_across_jobs_and_carry_causes() {
+    with_quiet_panics(|| {
+        for subject in all_subjects() {
+            let unit = subject.compile();
+            let run = |jobs: usize| {
+                let config = DetectorConfig {
+                    governor: faulted_config(jobs).governor,
+                    jobs,
+                    ..subject.detector_config()
+                };
+                check(&unit.program, subject.target(&unit), config)
+                    .unwrap_or_else(|e| panic!("{}: {e}", subject.name))
+            };
+            let sequential = run(1);
+            let baseline = render_all(&sequential.program, &sequential.reports);
+            for report in &sequential.reports {
+                if let Confidence::Degraded { cause } = report.confidence {
+                    let rendered = report.render(&sequential.program);
+                    assert!(
+                        rendered.contains(&format!("degraded: {cause}")),
+                        "{}: degraded report hides its cause: {rendered}",
+                        subject.name
+                    );
+                }
+            }
+            for jobs in [2, 8] {
+                let parallel = run(jobs);
+                assert_eq!(
+                    baseline,
+                    render_all(&parallel.program, &parallel.reports),
+                    "{}: jobs={jobs} diverged under injected faults",
+                    subject.name
+                );
+                assert_eq!(
+                    sequential.stats.fallbacks, parallel.stats.fallbacks,
+                    "{}: fallback count must not depend on jobs",
+                    subject.name
+                );
+                assert_eq!(
+                    sequential.stats.quarantined, parallel.stats.quarantined,
+                    "{}: quarantine count must not depend on jobs",
+                    subject.name
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn injected_campaign_is_sound_and_byte_deterministic() {
+    let base = FuzzConfig {
+        seeds: 20,
+        base_seed: 0xFA117,
+        jobs: 1,
+        governor: GovernorConfig {
+            faults: parse_fault_plan("exhaust@4,panic@9,deadline@15").unwrap(),
+            ..GovernorConfig::default()
+        },
+        ..FuzzConfig::default()
+    };
+    let renders: Vec<String> = with_quiet_panics(|| {
+        [1usize, 2, 8]
+            .iter()
+            .map(|&jobs| {
+                let campaign = run_campaign(&FuzzConfig { jobs, ..base });
+                assert!(
+                    campaign.violations.is_empty(),
+                    "jobs={jobs}: injected faults cost soundness: {:?}",
+                    campaign
+                        .violations
+                        .iter()
+                        .map(|v| (v.verdict.seed, v.verdict.missed.clone()))
+                        .collect::<Vec<_>>()
+                );
+                assert!(campaign.errors.is_empty(), "{:?}", campaign.errors);
+                assert_eq!(
+                    campaign.quarantined_seeds,
+                    vec![base.base_seed + 9],
+                    "jobs={jobs}"
+                );
+                assert!(campaign.degraded_runs > 0, "jobs={jobs}");
+                render_campaign_json(&campaign)
+            })
+            .collect()
+    });
+    assert_eq!(renders[0], renders[1], "jobs=2 JSON diverged");
+    assert_eq!(renders[0], renders[2], "jobs=8 JSON diverged");
+}
+
+#[test]
+fn virtual_deadline_expiry_degrades_without_cancelling_determinism() {
+    let program = "class Item { }
+         class Holder { Item item; }
+         class Main {
+           static void main() {
+             Holder h = new Holder();
+             @check while (nondet()) {
+               Item it = new Item();
+               h.item = it;
+             }
+           }
+         }";
+    let unit = leakchecker_frontend::compile(program).unwrap();
+    let run = |jobs: usize| {
+        let mut governor = GovernorConfig::default();
+        governor.faults.deadline_at_item = Some(0);
+        check(
+            &unit.program,
+            CheckTarget::Loop(unit.checked_loops[0]),
+            DetectorConfig {
+                jobs,
+                governor,
+                ..DetectorConfig::default()
+            },
+        )
+        .unwrap()
+    };
+    let sequential = run(1);
+    assert_eq!(sequential.reports.len(), 1, "the leak survives expiry");
+    assert!(sequential.stats.deadline_hits > 0);
+    assert_eq!(
+        sequential.reports[0]
+            .confidence
+            .cause()
+            .map(|c| c.to_string()),
+        Some("deadline-expired".to_string())
+    );
+    for jobs in [2, 8] {
+        let parallel = run(jobs);
+        assert_eq!(
+            render_all(&sequential.program, &sequential.reports),
+            render_all(&parallel.program, &parallel.reports),
+            "jobs={jobs}"
+        );
+    }
+}

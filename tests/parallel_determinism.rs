@@ -17,6 +17,13 @@ fn fingerprint(result: &AnalysisResult) -> String {
         leaking_sites,
         flow_edges,
         candidate_sites,
+        refuted_candidates,
+        exhausted_queries,
+        retries,
+        fallbacks,
+        quarantined,
+        deadline_hits,
+        degraded_reports,
         // Excluded on purpose: wall-clock and thread count vary per run.
         time_secs: _,
         phases: _,
@@ -25,7 +32,10 @@ fn fingerprint(result: &AnalysisResult) -> String {
     format!(
         "methods={methods} statements={statements} loop_objects={loop_objects} \
          leaking_sites={leaking_sites} flow_edges={flow_edges} \
-         candidate_sites={candidate_sites}\n{}",
+         candidate_sites={candidate_sites} refuted={refuted_candidates} \
+         exhausted={exhausted_queries} retries={retries} fallbacks={fallbacks} \
+         quarantined={quarantined} deadline_hits={deadline_hits} \
+         degraded={degraded_reports}\n{}",
         render_all(&result.program, &result.reports)
     )
 }
