@@ -1,0 +1,284 @@
+//! Soak harness for `leakc serve`.
+//!
+//! Two modes:
+//!
+//! - Default (in-process): start a daemon, hammer it with N concurrent
+//!   clients firing a deterministic mix of plain checks, governed
+//!   checks, injected panics, and malformed lines; report a
+//!   throughput/latency table plus the daemon's final counters.
+//!
+//!   ```text
+//!   cargo run -p leakchecker-bench --bin soak -- --clients 8 --requests 25 --workers 4
+//!   ```
+//!
+//! - Client (`--connect ADDR --mixed N`): drive an already-running
+//!   daemon over TCP with the same deterministic request mix from a
+//!   single connection, printing one normalized line per response.
+//!   Timing-dependent fields (`uptime_ms`, phase milliseconds) are
+//!   stripped, so two daemons given the same sequence — whatever their
+//!   `--workers` — must produce byte-identical output. CI relies on
+//!   this for its determinism check.
+
+use leakchecker_cli::protocol::{json_escape, parse_json, Json};
+use leakchecker_cli::{ServeOptions, Server};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// The leaky exemplar every check request analyzes.
+const LEAKY: &str = "\
+class Item { int tag; }
+class Registry { Item[] slots; int n;
+  void put(Item it) { slots[n] = it; n = n + 1; } }
+class Main {
+  static void main() {
+    Registry r = new Registry(); r.slots = new Item[4096];
+    @check while (nondet()) { Item it = new Item(); r.put(it); } } }";
+
+struct Args {
+    clients: usize,
+    requests: usize,
+    queue: usize,
+    workers: usize,
+    connect: Option<String>,
+    mixed: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: soak [--clients N] [--requests N] [--queue N] [--workers N]\n\
+         \x20      soak --connect HOST:PORT --mixed N"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        clients: 8,
+        requests: 25,
+        queue: 64,
+        workers: 4,
+        connect: None,
+        mixed: 20,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut num = |name: &str| -> usize {
+            it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("{name} needs a number");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--clients" => args.clients = num("--clients"),
+            "--requests" => args.requests = num("--requests"),
+            "--queue" => args.queue = num("--queue"),
+            "--workers" => args.workers = num("--workers"),
+            "--mixed" => args.mixed = num("--mixed"),
+            "--connect" => args.connect = it.next().cloned().or_else(|| usage()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+/// The deterministic request mix, keyed by a global request index.
+/// Includes faulty requests on purpose: the daemon must survive them.
+fn request_for(index: usize) -> String {
+    match index % 10 {
+        0 => r#"{"kind": "health"}"#.to_string(),
+        3 => format!(
+            r#"{{"kind": "check", "id": {index}, "source": "{}", "query_budget": 1, "max_retries": 0}}"#,
+            json_escape(LEAKY)
+        ),
+        5 => format!(r#"{{"kind": "panic", "id": {index}}}"#),
+        7 => "this line is not json".to_string(),
+        8 => r#"{"kind": "stats"}"#.to_string(),
+        _ => format!(
+            r#"{{"kind": "check", "id": {index}, "source": "{}"}}"#,
+            json_escape(LEAKY)
+        ),
+    }
+}
+
+/// Normalizes a response line for byte-comparison across daemons:
+/// timing fields are replaced by a stable marker, everything else is
+/// kept verbatim.
+fn normalize(line: &str) -> String {
+    let Ok(Json::Obj(fields)) = parse_json(line) else {
+        return line.to_string();
+    };
+    let mut out = Vec::new();
+    for (key, value) in &fields {
+        match key.as_str() {
+            "uptime_ms" | "phases" => out.push(format!("\"{key}\": \"<timing>\"")),
+            _ => out.push(format!("\"{key}\": {}", render(value))),
+        }
+    }
+    format!("{{{}}}", out.join(", "))
+}
+
+fn render(value: &Json) -> String {
+    match value {
+        Json::Null => "null".to_string(),
+        Json::Bool(b) => b.to_string(),
+        Json::Num(n) => n.to_string(),
+        Json::Str(s) => format!("\"{}\"", json_escape(s)),
+        Json::Arr(items) => {
+            let inner: Vec<String> = items.iter().map(render).collect();
+            format!("[{}]", inner.join(", "))
+        }
+        Json::Obj(fields) => {
+            let inner: Vec<String> = fields
+                .iter()
+                .map(|(k, v)| format!("\"{k}\": {}", render(v)))
+                .collect();
+            format!("{{{}}}", inner.join(", "))
+        }
+    }
+}
+
+/// Client mode: one connection, `mixed` sequential requests, one
+/// normalized response line each.
+fn run_client(addr: &str, mixed: usize) {
+    let stream = TcpStream::connect(addr).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {addr}: {e}");
+        std::process::exit(2);
+    });
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+    for index in 0..mixed {
+        let request = request_for(index);
+        writer.write_all(request.as_bytes()).expect("write request");
+        writer.write_all(b"\n").expect("write newline");
+        writer.flush().expect("flush");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read response");
+        println!("{}", normalize(line.trim_end()));
+    }
+}
+
+fn classify(line: &str) -> &'static str {
+    if line.contains("\"status\": \"ok\"") {
+        "ok"
+    } else if line.contains("\"status\": \"overloaded\"") {
+        "shed"
+    } else if line.contains("\"status\": \"internal\"") {
+        "internal"
+    } else if line.contains("\"status\": \"error\"") {
+        "error"
+    } else {
+        "other"
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[rank]
+}
+
+fn main() {
+    let args = parse_args();
+    if let Some(addr) = &args.connect {
+        run_client(addr, args.mixed);
+        return;
+    }
+
+    let server = Server::start(&ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        socket: None,
+        queue: args.queue,
+        workers: args.workers,
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("cannot start daemon: {e}");
+        std::process::exit(2);
+    });
+    let addr = server.local_addr();
+    println!(
+        "soak: {} clients x {} requests, queue {}, {} workers",
+        args.clients, args.requests, args.queue, args.workers
+    );
+
+    let begin = Instant::now();
+    let per_client: Vec<(Vec<f64>, Vec<&'static str>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let stream = TcpStream::connect(addr).expect("connect");
+                    let _ = stream.set_nodelay(true);
+                    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                    let mut writer = stream;
+                    let mut latencies = Vec::new();
+                    let mut classes = Vec::new();
+                    for r in 0..args.requests {
+                        let request = request_for(c * args.requests + r);
+                        let t0 = Instant::now();
+                        writer.write_all(request.as_bytes()).expect("write");
+                        writer.write_all(b"\n").expect("write");
+                        writer.flush().expect("flush");
+                        let mut line = String::new();
+                        reader.read_line(&mut line).expect("read");
+                        latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+                        classes.push(classify(&line));
+                    }
+                    (latencies, classes)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    let elapsed = begin.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut counts: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+    for (lat, classes) in &per_client {
+        latencies.extend_from_slice(lat);
+        for class in classes {
+            *counts.entry(class).or_default() += 1;
+        }
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+
+    let total = latencies.len();
+    println!(
+        "served {} responses in {:.2}s  ({:.0} req/s)",
+        total,
+        elapsed,
+        total as f64 / elapsed
+    );
+    println!(
+        "latency ms: p50 {:.2}  p95 {:.2}  p99 {:.2}  max {:.2}",
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.95),
+        percentile(&latencies, 0.99),
+        percentile(&latencies, 1.0),
+    );
+    let breakdown: Vec<String> = counts.iter().map(|(k, v)| format!("{k} {v}")).collect();
+    println!("responses: {}", breakdown.join(", "));
+
+    let summary = server.drain();
+    println!(
+        "daemon: admitted={} served={} shed={} panicked={} drained_cleanly={}",
+        summary.stats.admitted,
+        summary.stats.served,
+        summary.stats.shed,
+        summary.stats.panicked,
+        summary.drained_cleanly
+    );
+    // Every client got a response line per request, including for the
+    // faulty ones — that is the robustness claim this harness soaks.
+    assert_eq!(total, args.clients * args.requests);
+}

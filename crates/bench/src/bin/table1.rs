@@ -91,7 +91,9 @@ fn main() {
 
     if let Some(path) = &args.json {
         let json = render_json(&rows, &sweep);
-        match std::fs::write(path, json) {
+        // Atomic temp-file + rename: a reader (or a kill) mid-write
+        // never observes a torn JSON file.
+        match leakchecker::write_atomic(std::path::Path::new(path), json.as_bytes()) {
             Ok(()) => println!("wrote {path}"),
             Err(e) => {
                 eprintln!("cannot write {path}: {e}");

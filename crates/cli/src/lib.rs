@@ -3,8 +3,13 @@
 //! The binary is a thin wrapper: argument parsing and command dispatch
 //! live here so they can be unit-tested without spawning processes.
 
+pub mod protocol;
+pub mod serve;
+
+pub use serve::{install_signal_handlers, run_serve, ServeOptions, Server};
+
 use leakchecker::governor::{parse_fault_plan, FaultPlan, GovernorConfig};
-use leakchecker::{check, render_all, CheckTarget, DetectorConfig};
+use leakchecker::{check, render_all, write_atomic, CheckTarget, DetectorConfig};
 use leakchecker_callgraph::Algorithm;
 use leakchecker_dynbaseline::{detect as dyn_detect, heap_growth_curve, DynConfig};
 use leakchecker_frontend::CompiledUnit;
@@ -93,6 +98,9 @@ pub enum Command {
         auto: bool,
         /// Detector options.
         options: CheckOptions,
+        /// `--json PATH` — write a machine-readable summary here
+        /// (atomic temp-file + rename).
+        json: Option<String>,
     },
     /// `leakc run <file> [--iterations N]` — execute and apply the
     /// dynamic baseline.
@@ -118,8 +126,16 @@ pub enum Command {
         /// Campaign options.
         options: FuzzOptions,
     },
-    /// `leakc --help` or parse failure with a message.
-    Help,
+    /// `leakc serve [options]` — long-running analysis daemon.
+    Serve {
+        /// Daemon options.
+        options: ServeOptions,
+    },
+    /// `leakc --help`, `leakc help [<command>]`, or `<command> --help`.
+    Help {
+        /// Subcommand to document; `None` prints the global usage.
+        topic: Option<String>,
+    },
 }
 
 /// Flags of the `fuzz` subcommand.
@@ -144,6 +160,12 @@ pub struct FuzzOptions {
     /// `--inject SPEC` — campaign-level fault injection, keyed by seed
     /// offset (`exhaust@N,panic@M,deadline@D`).
     pub inject: FaultPlan,
+    /// `--journal PATH` — checkpoint each seed's verdict to an
+    /// append-only, fsync'd journal as the campaign runs.
+    pub journal: Option<String>,
+    /// `--resume PATH` — reload a journal from an interrupted campaign,
+    /// skip its completed seeds, and keep appending to it.
+    pub resume: Option<String>,
 }
 
 impl Default for FuzzOptions {
@@ -158,6 +180,8 @@ impl Default for FuzzOptions {
             corpus_dir: None,
             write_exemplars: false,
             inject: FaultPlan::none(),
+            journal: None,
+            resume: None,
         }
     }
 }
@@ -231,6 +255,17 @@ impl CheckOptions {
     }
 }
 
+/// The exit-code contract, appended to every usage text.
+const EXIT_CODE_CONTRACT: &str = "\
+EXIT CODES:
+  0  clean — no leaks reported, full precision
+  1  leaks reported (fuzz: soundness violations found)
+  2  usage or input error (unknown flags print this usage to stderr)
+  3  degraded-incomplete — no leaks found, but budget/deadline fallbacks
+     or quarantined items mean a fully precise run might have found some
+  4  internal error (unexpected panic)
+";
+
 /// Usage text.
 pub const USAGE: &str = "\
 leakc — loop-centric static memory leak detection (CGO 2014 reproduction)
@@ -239,13 +274,18 @@ USAGE:
   leakc check <file.jml> [--loop N | --auto] [--no-pivot] [--threads]
                          [--no-library-modeling] [--k N] [--cha] [--jobs N]
                          [--deadline-ms N] [--query-budget N] [--max-retries N]
-                         [--inject SPEC]
+                         [--inject SPEC] [--json PATH]
   leakc run   <file.jml> [--iterations N]
   leakc print <file.jml>
   leakc loops <file.jml>
   leakc fuzz  [--seeds N] [--seed S] [--jobs N] [--iterations N]
               [--json PATH] [--corpus-dir DIR] [--write-exemplars]
-              [--inject SPEC]
+              [--inject SPEC] [--journal PATH | --resume PATH]
+  leakc serve [--addr HOST:PORT] [--socket PATH] [--queue N] [--workers N]
+  leakc help  [check|run|print|loops|fuzz|serve]
+
+`leakc help <command>` (or `leakc <command> --help`) documents every
+flag of one subcommand.
 
 The source language is Java-like; annotate the loop to analyze with
 `@check while (...) { ... }`, a checkable region method with `@region`,
@@ -265,14 +305,162 @@ per-site must-leak facts, and any dynamically confirmed leak the static
 detector misses is a soundness violation — minimized and written to
 --corpus-dir. A failing seed reproduces with `--seed S --seeds 1`.
 
+`serve` runs the detector as a long-lived daemon over a line-delimited
+JSON protocol with bounded admission (overflow requests are shed with a
+typed `overloaded` response) and graceful drain on SIGTERM/ctrl-c.
+
 EXIT CODES:
   0  clean — no leaks reported, full precision
   1  leaks reported (fuzz: soundness violations found)
-  2  usage or input error
+  2  usage or input error (unknown flags print this usage to stderr)
   3  degraded-incomplete — no leaks found, but budget/deadline fallbacks
      or quarantined items mean a fully precise run might have found some
   4  internal error (unexpected panic)
 ";
+
+const CHECK_USAGE: &str = "\
+leakc check — statically analyze a program for loop-clustered leaks
+
+USAGE:
+  leakc check <file.jml> [flags]
+
+TARGET SELECTION (default: every `@check` loop and `@region` method):
+  --loop N               analyze loop N of the program loop table
+  --auto                 analyze the highest-scoring candidate loop
+
+DETECTOR FLAGS:
+  --no-pivot             disable pivot-mode context pruning
+  --threads              model `Thread.start` edges in the callgraph
+  --no-library-modeling  treat library calls as opaque
+  --k N                  context-string depth bound (default 8)
+  --cha                  class-hierarchy callgraph (default RTA)
+  --jobs N               analysis worker threads (0 = machine width)
+
+GOVERNANCE FLAGS:
+  --query-budget N       per-demand-query step budget (default 100000)
+  --max-retries N        adaptive retries after exhaustion (default 1)
+  --deadline-ms N        wall-clock deadline for the whole run
+  --inject SPEC          deterministic fault injection, keyed by
+                         candidate index: exhaust@N,panic@M,deadline@D
+
+OUTPUT FLAGS:
+  --json PATH            also write a machine-readable summary, via an
+                         atomic temp-file + rename (never torn)
+
+On budget/deadline exhaustion the run degrades soundly to the
+context-insensitive over-approximation; affected reports are tagged
+`(degraded: <cause>)` and a finding-free degraded run exits 3.
+
+";
+
+const RUN_USAGE: &str = "\
+leakc run — execute a program and apply the dynamic staleness baseline
+
+USAGE:
+  leakc run <file.jml> [--iterations N]
+
+FLAGS:
+  --iterations N         tracked-loop iteration budget (default 100)
+
+";
+
+const PRINT_USAGE: &str = "\
+leakc print — pretty-print the compiled IR
+
+USAGE:
+  leakc print <file.jml>
+
+";
+
+const LOOPS_USAGE: &str = "\
+leakc loops — rank candidate loops structurally
+
+USAGE:
+  leakc loops <file.jml>
+
+";
+
+const FUZZ_USAGE: &str = "\
+leakc fuzz — differential campaign against interpreter ground truth
+
+USAGE:
+  leakc fuzz [flags]
+
+CAMPAIGN FLAGS:
+  --seeds N              programs to generate and judge (default 200)
+  --seed S               base seed; program i uses S + i
+  --jobs N               worker threads (0 = machine width); the
+                         campaign JSON is byte-identical at any value
+  --iterations N         tracked-loop iterations per handler (default 8)
+  --inject SPEC          campaign fault injection keyed by seed offset:
+                         exhaust@N,panic@M,deadline@D
+
+CHECKPOINTING FLAGS (mutually exclusive):
+  --journal PATH         append each seed's verdict to an fsync'd
+                         journal as it completes (crash-safe)
+  --resume PATH          reload a journal from an interrupted campaign,
+                         skip its completed seeds, keep appending; the
+                         final JSON is byte-identical to an
+                         uninterrupted run
+
+OUTPUT FLAGS:
+  --json PATH            write the campaign summary JSON, via an atomic
+                         temp-file + rename (never torn)
+  --corpus-dir DIR       write minimized reproducers of any soundness
+                         violation here
+  --write-exemplars      (re)generate the per-kind exemplar corpus in
+                         --corpus-dir and exit
+
+A failing seed reproduces with `--seed S --seeds 1`.
+
+";
+
+const SERVE_USAGE: &str = "\
+leakc serve — long-running analysis daemon (line-delimited JSON)
+
+USAGE:
+  leakc serve [flags]
+
+FLAGS:
+  --addr HOST:PORT       TCP endpoint (default 127.0.0.1:0; the bound
+                         address is printed on startup)
+  --socket PATH          additionally listen on a unix domain socket
+  --queue N              admission-queue bound (default 64); requests
+                         beyond it are shed with a typed `overloaded`
+                         response, never accepted and starved
+  --workers N            analysis worker threads (default 1; 0 =
+                         machine width)
+
+PROTOCOL (one JSON object per line, one response line per request):
+  {\"kind\": \"check\", \"id\": .., \"source\": \"..\",
+   \"query_budget\": N, \"max_retries\": N, \"deadline_ms\": N,
+   \"inject\": \"SPEC\"}        analyze inline source
+  {\"kind\": \"health\"}         liveness: state, queue depth, uptime
+  {\"kind\": \"stats\"}          counters and per-phase timings
+  {\"kind\": \"shutdown\"}       request a graceful drain
+  {\"kind\": \"panic\"}          fault drill: worker panics, daemon
+                             answers `internal` and stays up
+
+A panicking or deadline-blown request degrades or is quarantined
+without taking down the daemon. SIGTERM/ctrl-c (or `shutdown`) stops
+accepting, finishes in-flight work, flushes stats, and exits 0.
+
+";
+
+/// Usage text for one subcommand (or the global text for `None` /
+/// unknown topics).
+pub fn usage_for(topic: Option<&str>) -> String {
+    let body = match topic {
+        Some("check") => CHECK_USAGE,
+        Some("run") => RUN_USAGE,
+        Some("print") => PRINT_USAGE,
+        Some("loops") => LOOPS_USAGE,
+        Some("fuzz") => FUZZ_USAGE,
+        Some("serve") => SERVE_USAGE,
+        _ => return USAGE.to_string(),
+    };
+    format!("{body}{EXIT_CODE_CONTRACT}")
+}
 
 /// Parses a command line (excluding argv[0]).
 ///
@@ -282,17 +470,29 @@ EXIT CODES:
 pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut it = args.iter();
     let Some(cmd) = it.next() else {
-        return Ok(Command::Help);
+        return Ok(Command::Help { topic: None });
+    };
+    let help = |topic: &str| {
+        Ok(Command::Help {
+            topic: Some(topic.to_string()),
+        })
     };
     match cmd.as_str() {
-        "--help" | "-h" | "help" => Ok(Command::Help),
+        "--help" | "-h" => Ok(Command::Help { topic: None }),
+        "help" => Ok(Command::Help {
+            topic: it.next().cloned(),
+        }),
         "check" => {
             let file = it
                 .next()
                 .ok_or_else(|| "check: missing <file>".to_string())?
                 .clone();
+            if file == "--help" || file == "-h" {
+                return help("check");
+            }
             let mut loop_index = None;
             let mut auto = false;
+            let mut json = None;
             let mut options = CheckOptions::default();
             while let Some(flag) = it.next() {
                 match flag.as_str() {
@@ -336,6 +536,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         let spec = it.next().ok_or("--inject needs a spec")?;
                         options.inject = parse_fault_plan(spec)?;
                     }
+                    "--json" => {
+                        let p = it.next().ok_or("--json needs a path")?;
+                        json = Some(p.clone());
+                    }
+                    "--help" | "-h" => return help("check"),
                     other => return Err(format!("check: unknown flag `{other}`")),
                 }
             }
@@ -344,6 +549,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 loop_index,
                 auto,
                 options,
+                json,
             })
         }
         "run" => {
@@ -351,6 +557,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 .next()
                 .ok_or_else(|| "run: missing <file>".to_string())?
                 .clone();
+            if file == "--help" || file == "-h" {
+                return help("run");
+            }
             let mut iterations = 100;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
@@ -360,6 +569,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                             .parse::<u64>()
                             .map_err(|_| "--iterations needs a number")?;
                     }
+                    "--help" | "-h" => return help("run"),
                     other => return Err(format!("run: unknown flag `{other}`")),
                 }
             }
@@ -370,6 +580,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 .next()
                 .ok_or_else(|| "print: missing <file>".to_string())?
                 .clone();
+            if file == "--help" || file == "-h" {
+                return help("print");
+            }
             Ok(Command::Print { file })
         }
         "loops" => {
@@ -377,7 +590,40 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 .next()
                 .ok_or_else(|| "loops: missing <file>".to_string())?
                 .clone();
+            if file == "--help" || file == "-h" {
+                return help("loops");
+            }
             Ok(Command::Loops { file })
+        }
+        "serve" => {
+            let mut options = ServeOptions::default();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--addr" => {
+                        let a = it.next().ok_or("--addr needs HOST:PORT")?;
+                        options.addr = a.clone();
+                    }
+                    "--socket" => {
+                        let p = it.next().ok_or("--socket needs a path")?;
+                        options.socket = Some(p.clone());
+                    }
+                    "--queue" => {
+                        let n = it.next().ok_or("--queue needs a number")?;
+                        options.queue = n.parse::<usize>().map_err(|_| "--queue needs a number")?;
+                        if options.queue == 0 {
+                            return Err("--queue must be at least 1".to_string());
+                        }
+                    }
+                    "--workers" => {
+                        let n = it.next().ok_or("--workers needs a number")?;
+                        options.workers =
+                            n.parse::<usize>().map_err(|_| "--workers needs a number")?;
+                    }
+                    "--help" | "-h" => return help("serve"),
+                    other => return Err(format!("serve: unknown flag `{other}`")),
+                }
+            }
+            Ok(Command::Serve { options })
         }
         "fuzz" => {
             let mut options = FuzzOptions::default();
@@ -414,11 +660,27 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         let spec = it.next().ok_or("--inject needs a spec")?;
                         options.inject = parse_fault_plan(spec)?;
                     }
+                    "--journal" => {
+                        let p = it.next().ok_or("--journal needs a path")?;
+                        options.journal = Some(p.clone());
+                    }
+                    "--resume" => {
+                        let p = it.next().ok_or("--resume needs a journal path")?;
+                        options.resume = Some(p.clone());
+                    }
+                    "--help" | "-h" => return help("fuzz"),
                     other => return Err(format!("fuzz: unknown flag `{other}`")),
                 }
             }
             if options.write_exemplars && options.corpus_dir.is_none() {
                 return Err("--write-exemplars needs --corpus-dir".to_string());
+            }
+            if options.journal.is_some() && options.resume.is_some() {
+                return Err(
+                    "--journal and --resume are mutually exclusive (--resume appends to \
+                     the journal it resumes from)"
+                        .to_string(),
+                );
             }
             Ok(Command::Fuzz { options })
         }
@@ -441,7 +703,8 @@ fn compile_file(file: &str) -> Result<CompiledUnit, LeakcError> {
 /// failures.
 pub fn execute(command: Command) -> Result<CliOutput, LeakcError> {
     match command {
-        Command::Help => Ok(CliOutput::clean(USAGE.to_string())),
+        Command::Help { topic } => Ok(CliOutput::clean(usage_for(topic.as_deref()))),
+        Command::Serve { options } => run_serve(&options),
         Command::Print { file } => {
             let unit = compile_file(&file)?;
             Ok(CliOutput::clean(print_program(&unit.program)))
@@ -477,6 +740,7 @@ pub fn execute(command: Command) -> Result<CliOutput, LeakcError> {
             loop_index,
             auto,
             options,
+            json,
         } => {
             let unit = compile_file(&file)?;
             let targets: Vec<CheckTarget> = if let Some(idx) = loop_index {
@@ -504,9 +768,37 @@ pub fn execute(command: Command) -> Result<CliOutput, LeakcError> {
             let mut out = String::new();
             let mut leaks_found = false;
             let mut degraded = false;
+            let mut json_targets: Vec<String> = Vec::new();
             for target in targets {
                 let result = check(&unit.program, target, options.to_config())
                     .map_err(|e| LeakcError::Input(e.to_string()))?;
+                if json.is_some() {
+                    let reports: Vec<String> = result
+                        .reports
+                        .iter()
+                        .map(|r| {
+                            format!(
+                                "{{\"site\": {}, \"method\": {}, \"era\": {}, \"degraded\": {}}}",
+                                protocol::json_escape(&r.describe),
+                                protocol::json_escape(&r.method),
+                                protocol::json_escape(&r.era.to_string()),
+                                r.confidence.is_degraded()
+                            )
+                        })
+                        .collect();
+                    json_targets.push(format!(
+                        "{{\"target\": {}, \"methods\": {}, \"statements\": {}, \
+                         \"loop_objects\": {}, \"leaking_sites\": {}, \
+                         \"degraded_reports\": {}, \"reports\": [{}]}}",
+                        protocol::json_escape(&format!("{target:?}")),
+                        result.stats.methods,
+                        result.stats.statements,
+                        result.stats.loop_objects,
+                        result.stats.leaking_sites,
+                        result.stats.degraded_reports,
+                        reports.join(", ")
+                    ));
+                }
                 let _ = writeln!(
                     out,
                     "target {:?}: {} methods, {} statements, LO = {}, LS = {} ({:.3}s)",
@@ -561,6 +853,22 @@ pub fn execute(command: Command) -> Result<CliOutput, LeakcError> {
             } else {
                 EXIT_CLEAN
             };
+            if let Some(path) = &json {
+                // Deterministic machine summary (no timings) written via
+                // temp-file + rename so readers never observe a torn file.
+                let summary = format!(
+                    "{{\"file\": {}, \"exit_code\": {}, \"leaks\": {}, \"degraded\": {}, \
+                     \"targets\": [{}]}}\n",
+                    protocol::json_escape(&file),
+                    exit_code,
+                    leaks_found,
+                    degraded,
+                    json_targets.join(", ")
+                );
+                write_atomic(std::path::Path::new(path), summary.as_bytes())
+                    .map_err(|e| LeakcError::Input(format!("cannot write {path}: {e}")))?;
+                let _ = writeln!(out, "summary written to {path}");
+            }
             Ok(CliOutput {
                 text: out,
                 exit_code,
@@ -612,7 +920,8 @@ pub fn execute(command: Command) -> Result<CliOutput, LeakcError> {
 
 fn execute_fuzz(options: &FuzzOptions) -> Result<CliOutput, LeakcError> {
     use leakchecker_fuzz::{
-        render_campaign_json, render_entry, run_campaign, write_exemplars, CorpusEntry, FuzzConfig,
+        render_campaign_json, render_entry, run_campaign_resumable, write_exemplars, CorpusEntry,
+        FuzzConfig, Journal,
     };
 
     if options.write_exemplars {
@@ -630,7 +939,7 @@ fn execute_fuzz(options: &FuzzOptions) -> Result<CliOutput, LeakcError> {
         return Ok(CliOutput::clean(out));
     }
 
-    let campaign = run_campaign(&FuzzConfig {
+    let config = FuzzConfig {
         seeds: options.seeds,
         base_seed: options.seed,
         jobs: options.jobs,
@@ -639,9 +948,33 @@ fn execute_fuzz(options: &FuzzOptions) -> Result<CliOutput, LeakcError> {
             faults: options.inject,
             ..GovernorConfig::default()
         },
-    });
+    };
+    let (journal, resumed) = match (&options.journal, &options.resume) {
+        (Some(path), None) => {
+            let j =
+                Journal::create(std::path::Path::new(path), &config).map_err(LeakcError::Input)?;
+            (Some(j), std::collections::BTreeMap::new())
+        }
+        (None, Some(path)) => {
+            let (j, resumed) =
+                Journal::resume(std::path::Path::new(path), &config).map_err(LeakcError::Input)?;
+            (Some(j), resumed)
+        }
+        _ => (None, std::collections::BTreeMap::new()),
+    };
+    let resumed_count = resumed.len();
+    let campaign = run_campaign_resumable(&config, journal.as_ref(), &resumed);
 
     let mut out = String::new();
+    if let Some(path) = &options.resume {
+        let _ = writeln!(
+            out,
+            "resumed from journal {path}: {resumed_count} of {} seeds checkpointed",
+            options.seeds
+        );
+    } else if let Some(path) = &options.journal {
+        let _ = writeln!(out, "journaling campaign to {path}");
+    }
     let _ = writeln!(
         out,
         "fuzzed {} programs (base seed {}, {} statements explored)",
@@ -710,6 +1043,8 @@ fn execute_fuzz(options: &FuzzOptions) -> Result<CliOutput, LeakcError> {
                 seed: v.seed,
                 kinds,
                 iterations_per_handler: options.iterations,
+                query_budget: None,
+                max_retries: None,
                 verdict: verdict_line,
                 source,
             };
@@ -726,8 +1061,11 @@ fn execute_fuzz(options: &FuzzOptions) -> Result<CliOutput, LeakcError> {
         }
     }
     if let Some(path) = &options.json {
-        std::fs::write(path, render_campaign_json(&campaign))
-            .map_err(|e| LeakcError::Input(format!("cannot write {path}: {e}")))?;
+        write_atomic(
+            std::path::Path::new(path),
+            render_campaign_json(&campaign).as_bytes(),
+        )
+        .map_err(|e| LeakcError::Input(format!("cannot write {path}: {e}")))?;
         let _ = writeln!(out, "campaign summary written to {path}");
     }
     let exit_code = if !campaign.violations.is_empty() {
@@ -818,6 +1156,7 @@ mod tests {
                 jobs: 2,
                 ..CheckOptions::default()
             },
+            json: None,
         })
         .unwrap();
         assert_eq!(text.exit_code, EXIT_LEAKS);
@@ -852,7 +1191,7 @@ mod tests {
         assert!(parse_args(&argv(&["check", "x", "--k"])).is_err());
         assert!(parse_args(&argv(&["check", "x", "--wat"])).is_err());
         assert!(parse_args(&argv(&["frobnicate"])).is_err());
-        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help { topic: None });
     }
 
     #[test]
@@ -882,6 +1221,7 @@ mod tests {
             loop_index: None,
             auto: false,
             options: CheckOptions::default(),
+            json: None,
         })
         .unwrap();
         assert_eq!(out.exit_code, EXIT_LEAKS, "a found leak must exit 1");
@@ -978,9 +1318,9 @@ mod tests {
         })
         .unwrap()
         .text;
-        assert!(text.contains("11 exemplar corpus entries"), "{text}");
+        assert!(text.contains("12 exemplar corpus entries"), "{text}");
         let count = std::fs::read_dir(&dir).unwrap().count();
-        assert_eq!(count, 11);
+        assert_eq!(count, 12);
     }
 
     #[test]
@@ -1056,6 +1396,7 @@ mod tests {
                 max_retries: 0,
                 ..CheckOptions::default()
             },
+            json: None,
         })
         .unwrap();
         // Degradation may never launder a definite leak into exit 0 or 3:

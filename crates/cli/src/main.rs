@@ -14,6 +14,11 @@ fn main() {
             std::process::exit(leakchecker_cli::EXIT_USAGE);
         }
     };
+    if matches!(command, leakchecker_cli::Command::Serve { .. }) {
+        // SIGINT/SIGTERM flip a flag the serve loop polls, so the
+        // daemon drains in-flight requests instead of dying mid-reply.
+        leakchecker_cli::install_signal_handlers();
+    }
     let outcome = std::panic::catch_unwind(|| leakchecker_cli::execute(command));
     match outcome {
         Ok(Ok(out)) => {

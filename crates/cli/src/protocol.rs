@@ -1,0 +1,530 @@
+//! The `leakc serve` wire protocol: line-delimited JSON.
+//!
+//! Each request is one JSON object on one line; each response is one
+//! JSON object on one line, written in request order per connection.
+//! The workspace is hermetic (no serde), so this module carries a
+//! minimal JSON reader — objects, arrays, strings, integers, booleans,
+//! null — sized to the protocol, plus the typed request parser and the
+//! response renderers. Responses for `check` requests deliberately
+//! contain no timings or host details: the CI smoke byte-compares the
+//! response stream of a `--workers 1` daemon against a `--workers 8`
+//! one.
+//!
+//! Request kinds:
+//!
+//! * `{"kind": "check", "id": ..., "source": "...", "query_budget": N,
+//!   "max_retries": N, "deadline_ms": N, "inject": "SPEC"}` — run the
+//!   detector on the inline source (first `@check` loop and `@region`
+//!   methods), governed by the optional overrides.
+//! * `{"kind": "panic", "id": ...}` — deliberately panic the worker
+//!   (fault injection for the supervision path; the daemon must answer
+//!   `internal` and stay up).
+//! * `{"kind": "health"}` / `{"kind": "stats"}` — liveness and counters;
+//!   answered inline, never queued, so they work under overload.
+//! * `{"kind": "shutdown"}` — request a graceful drain (same path as
+//!   SIGTERM).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (the protocol only uses non-negative integers, but
+    /// the reader accepts minus signs so errors stay typed).
+    Num(i64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Num(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\r' || b == b'\n' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed by this
+                            // protocol; map them to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8".to_string())?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        text.parse::<i64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number at byte {start}"))
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            None => Err("unexpected end of input".to_string()),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut map = BTreeMap::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    map.insert(key, self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(map));
+                        }
+                        _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+                    }
+                }
+            }
+            Some(other) => Err(format!(
+                "unexpected `{}` at byte {}",
+                other as char, self.pos
+            )),
+        }
+    }
+}
+
+/// Parses one line of JSON into a value.
+///
+/// # Errors
+///
+/// Reports the first syntax error with its byte position.
+pub fn parse_json(line: &str) -> Result<Json, String> {
+    let mut reader = Reader {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    let value = reader.value()?;
+    reader.skip_ws();
+    if reader.pos != reader.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", reader.pos));
+    }
+    Ok(value)
+}
+
+/// Escapes a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Governance overrides a `check` request may carry; `None` fields use
+/// the daemon defaults.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CheckOverrides {
+    /// `"query_budget": N`
+    pub query_budget: Option<usize>,
+    /// `"max_retries": N`
+    pub max_retries: Option<u32>,
+    /// `"deadline_ms": N`
+    pub deadline_ms: Option<u64>,
+    /// `"inject": "exhaust@N,panic@M,deadline@D"`
+    pub inject: Option<String>,
+}
+
+/// One parsed request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness probe; answered inline.
+    Health,
+    /// Counter snapshot; answered inline.
+    Stats,
+    /// Graceful-drain request (protocol twin of SIGTERM).
+    Shutdown,
+    /// Injected worker panic (supervision fault drill).
+    Panic {
+        /// Echoed back in the response.
+        id: Option<String>,
+    },
+    /// Analyze inline source.
+    Check {
+        /// Echoed back in the response.
+        id: Option<String>,
+        /// The program text.
+        source: String,
+        /// Governance overrides.
+        overrides: CheckOverrides,
+    },
+}
+
+fn opt_u64(obj: &BTreeMap<String, Json>, key: &str) -> Result<Option<u64>, String> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Num(n)) if *n >= 0 => Ok(Some(*n as u64)),
+        Some(other) => Err(format!(
+            "field `{key}` must be a non-negative number, got {}",
+            other.type_name()
+        )),
+    }
+}
+
+fn request_id(obj: &BTreeMap<String, Json>) -> Result<Option<String>, String> {
+    match obj.get("id") {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Str(s)) => Ok(Some(format!("\"{}\"", json_escape(s)))),
+        Some(Json::Num(n)) => Ok(Some(n.to_string())),
+        Some(other) => Err(format!(
+            "field `id` must be a string or number, got {}",
+            other.type_name()
+        )),
+    }
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Malformed JSON, a missing/unknown `kind`, or ill-typed fields.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let Json::Obj(obj) = parse_json(line)? else {
+        return Err("request must be a JSON object".to_string());
+    };
+    let kind = match obj.get("kind") {
+        Some(Json::Str(s)) => s.as_str(),
+        Some(other) => {
+            return Err(format!(
+                "field `kind` must be a string, got {}",
+                other.type_name()
+            ))
+        }
+        None => return Err("missing field `kind`".to_string()),
+    };
+    match kind {
+        "health" => Ok(Request::Health),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        "panic" => Ok(Request::Panic {
+            id: request_id(&obj)?,
+        }),
+        "check" => {
+            let source = match obj.get("source") {
+                Some(Json::Str(s)) => s.clone(),
+                Some(other) => {
+                    return Err(format!(
+                        "field `source` must be a string, got {}",
+                        other.type_name()
+                    ))
+                }
+                None => return Err("check request missing field `source`".to_string()),
+            };
+            let inject = match obj.get("inject") {
+                None | Some(Json::Null) => None,
+                Some(Json::Str(s)) => Some(s.clone()),
+                Some(other) => {
+                    return Err(format!(
+                        "field `inject` must be a string, got {}",
+                        other.type_name()
+                    ))
+                }
+            };
+            Ok(Request::Check {
+                id: request_id(&obj)?,
+                source,
+                overrides: CheckOverrides {
+                    query_budget: opt_u64(&obj, "query_budget")?.map(|n| n as usize),
+                    max_retries: opt_u64(&obj, "max_retries")?.map(|n| n as u32),
+                    deadline_ms: opt_u64(&obj, "deadline_ms")?,
+                    inject,
+                },
+            })
+        }
+        other => Err(format!("unknown request kind `{other}`")),
+    }
+}
+
+/// The `"id": <id>, ` fragment when the request carried an id.
+fn id_fragment(id: &Option<String>) -> String {
+    match id {
+        Some(id) => format!("\"id\": {id}, "),
+        None => String::new(),
+    }
+}
+
+/// `status: ok` response for a completed check.
+pub fn render_check_ok(
+    id: &Option<String>,
+    exit_code: i32,
+    reports: u64,
+    degraded: bool,
+    output: &str,
+) -> String {
+    format!(
+        "{{{}\"status\": \"ok\", \"exit_code\": {exit_code}, \"reports\": {reports}, \
+         \"degraded\": {degraded}, \"output\": \"{}\"}}",
+        id_fragment(id),
+        json_escape(output)
+    )
+}
+
+/// `status: error` — the request was understood but could not be
+/// served (compile error, no target, bad inject spec).
+pub fn render_error(id: &Option<String>, message: &str) -> String {
+    format!(
+        "{{{}\"status\": \"error\", \"message\": \"{}\"}}",
+        id_fragment(id),
+        json_escape(message)
+    )
+}
+
+/// `status: internal` — the worker serving the request panicked and was
+/// quarantined; the daemon is still healthy.
+pub fn render_internal(id: &Option<String>, message: &str) -> String {
+    format!(
+        "{{{}\"status\": \"internal\", \"message\": \"{}\"}}",
+        id_fragment(id),
+        json_escape(message)
+    )
+}
+
+/// `status: overloaded` — typed shed: the bounded queue is full and the
+/// request was NOT admitted. Clients should back off and retry.
+pub fn render_overloaded(id: &Option<String>, queue_depth: u64) -> String {
+    format!(
+        "{{{}\"status\": \"overloaded\", \"queue_depth\": {queue_depth}}}",
+        id_fragment(id)
+    )
+}
+
+/// `status: draining` — the daemon is shutting down and no longer
+/// admits work.
+pub fn render_draining(id: &Option<String>) -> String {
+    format!("{{{}\"status\": \"draining\"}}", id_fragment(id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalar_and_nested_values() {
+        assert_eq!(parse_json("null").unwrap(), Json::Null);
+        assert_eq!(parse_json(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse_json("-42").unwrap(), Json::Num(-42));
+        assert_eq!(
+            parse_json("\"a\\n\\\"b\\u0041\"").unwrap(),
+            Json::Str("a\n\"bA".to_string())
+        );
+        let Json::Obj(obj) = parse_json(r#"{"a": [1, 2], "b": {"c": "d"}}"#).unwrap() else {
+            panic!("expected object");
+        };
+        assert_eq!(obj["a"], Json::Arr(vec![Json::Num(1), Json::Num(2)]));
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "1 2", "{\"a\":}"] {
+            assert!(parse_json(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn parses_requests() {
+        assert_eq!(
+            parse_request(r#"{"kind": "health"}"#).unwrap(),
+            Request::Health
+        );
+        assert_eq!(
+            parse_request(r#"{"kind": "stats"}"#).unwrap(),
+            Request::Stats
+        );
+        assert_eq!(
+            parse_request(r#"{"kind": "shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+        let req = parse_request(
+            r#"{"kind": "check", "id": 7, "source": "class A { }", "query_budget": 1, "inject": "exhaust@0"}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            req,
+            Request::Check {
+                id: Some("7".to_string()),
+                source: "class A { }".to_string(),
+                overrides: CheckOverrides {
+                    query_budget: Some(1),
+                    max_retries: None,
+                    deadline_ms: None,
+                    inject: Some("exhaust@0".to_string()),
+                },
+            }
+        );
+        assert!(parse_request(r#"{"kind": "check"}"#).is_err());
+        assert!(parse_request(r#"{"kind": "nope"}"#).is_err());
+        assert!(parse_request("[1]").is_err());
+        assert!(parse_request("{oops").is_err());
+    }
+
+    #[test]
+    fn responses_echo_the_id_and_escape_output() {
+        let id = Some("\"req-1\"".to_string());
+        let line = render_check_ok(&id, 1, 2, true, "leak: a\nleak: b");
+        assert!(
+            line.starts_with("{\"id\": \"req-1\", \"status\": \"ok\""),
+            "{line}"
+        );
+        assert!(line.contains("\\n"), "{line}");
+        assert!(parse_json(&line).is_ok(), "{line}");
+        for line in [
+            render_error(&None, "bad \"thing\""),
+            render_internal(&id, "worker panicked"),
+            render_overloaded(&None, 9),
+            render_draining(&id),
+        ] {
+            assert!(parse_json(&line).is_ok(), "{line}");
+        }
+    }
+}

@@ -1,0 +1,751 @@
+//! `leakc serve` — the long-running analysis daemon.
+//!
+//! Transport wiring over [`leakchecker::ServeCore`]: a TCP listener
+//! (and optionally a unix socket) accepts line-delimited JSON requests
+//! (see [`crate::protocol`]), inline kinds (`health`, `stats`,
+//! `shutdown`) are answered without queueing so they work under
+//! overload, and work kinds (`check`, `panic`) go through the core's
+//! bounded admission queue — shed with a typed `overloaded` response
+//! when the queue is full, refused with `draining` once shutdown has
+//! begun. Each admitted request executes inside
+//! `parallel_map_isolated`, so a panicking request is quarantined into
+//! an `internal` response while the daemon keeps serving.
+//!
+//! Graceful drain (SIGTERM, ctrl-c, or a `shutdown` request): stop
+//! accepting connections, refuse new submissions, let queued and
+//! in-flight requests finish, wait for their responses to reach the
+//! sockets, then report final counters and exit 0.
+
+use crate::protocol::{
+    parse_request, render_check_ok, render_draining, render_error, render_internal,
+    render_overloaded, CheckOverrides, Request,
+};
+use crate::{CliOutput, LeakcError};
+use leakchecker::governor::{parse_fault_plan, GovernorConfig};
+use leakchecker::{
+    check, render_all, CheckTarget, DetectorConfig, ServeConfig, ServeCore, SubmitError,
+};
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Flags of the `serve` subcommand.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// `--addr HOST:PORT` (port 0 = ephemeral; the bound address is
+    /// printed on startup).
+    pub addr: String,
+    /// `--socket PATH` — additionally listen on a unix domain socket.
+    pub socket: Option<String>,
+    /// `--queue N` — admission-queue bound; requests beyond it are shed.
+    pub queue: usize,
+    /// `--workers N` — analysis worker threads (0 = machine width).
+    pub workers: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        let core = ServeConfig::default();
+        ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            socket: None,
+            queue: core.capacity,
+            workers: core.workers,
+        }
+    }
+}
+
+/// Set by the SIGTERM/SIGINT handler; polled by [`run_serve`].
+static SIGNAL_SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+extern "C" fn on_signal(_sig: i32) {
+    // Only async-signal-safe work here: flip the flag, nothing else.
+    SIGNAL_SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Installs SIGTERM/SIGINT handlers that request a graceful drain.
+/// Called by the binary before entering [`run_serve`]; a no-op on
+/// non-unix targets (ctrl-c then kills the process, losing only the
+/// drain courtesy, never accepted work — responses are written as each
+/// request completes).
+pub fn install_signal_handlers() {
+    #[cfg(unix)]
+    {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
+}
+
+/// `true` once a termination signal has been observed.
+pub fn signal_shutdown_requested() -> bool {
+    SIGNAL_SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Aggregate analysis telemetry, accumulated across served checks and
+/// exposed by the `stats` request kind.
+#[derive(Default)]
+struct Telemetry {
+    checks: AtomicU64,
+    // Per-phase totals in microseconds, in RunStats phase order.
+    callgraph_us: AtomicU64,
+    effects_us: AtomicU64,
+    flows_us: AtomicU64,
+    contexts_us: AtomicU64,
+    refine_us: AtomicU64,
+    matching_us: AtomicU64,
+}
+
+impl Telemetry {
+    fn add_secs(field: &AtomicU64, secs: f64) {
+        field.fetch_add((secs * 1e6) as u64, Ordering::Relaxed);
+    }
+
+    fn phases_json(&self) -> String {
+        let ms = |field: &AtomicU64| field.load(Ordering::Relaxed) / 1000;
+        format!(
+            "{{\"callgraph_ms\": {}, \"effects_ms\": {}, \"flows_ms\": {}, \
+             \"contexts_ms\": {}, \"refine_ms\": {}, \"matching_ms\": {}}}",
+            ms(&self.callgraph_us),
+            ms(&self.effects_us),
+            ms(&self.flows_us),
+            ms(&self.contexts_us),
+            ms(&self.refine_us),
+            ms(&self.matching_us),
+        )
+    }
+}
+
+struct Inner {
+    core: ServeCore<Request, String>,
+    telemetry: Arc<Telemetry>,
+    start: Instant,
+    stop_accept: AtomicBool,
+    shutdown_requested: AtomicBool,
+    /// Responses admitted but not yet flushed to their socket; drain
+    /// waits for this to reach zero so no accepted request loses its
+    /// answer to process exit.
+    pending_replies: AtomicU64,
+}
+
+/// A running daemon (in-process handle; the binary and the soak
+/// harness both drive this).
+pub struct Server {
+    inner: Arc<Inner>,
+    accept_handle: Option<JoinHandle<()>>,
+    local_addr: SocketAddr,
+    socket_path: Option<String>,
+}
+
+/// Final counters reported by [`Server::drain`].
+#[derive(Copy, Clone, Debug)]
+pub struct ServeSummary {
+    /// Final core counters.
+    pub stats: leakchecker::ServeStats,
+    /// Whether every accepted request's response reached its socket
+    /// before the drain deadline.
+    pub drained_cleanly: bool,
+}
+
+/// Runs the detector on inline source: every `@check` loop and
+/// `@region` method, governed by the request's overrides. `jobs` is
+/// pinned to 1 — daemon parallelism comes from serving requests
+/// concurrently, and a single-threaded analysis keeps each response
+/// byte-identical however many workers the daemon runs.
+fn run_check_source(
+    telemetry: &Telemetry,
+    source: &str,
+    overrides: &CheckOverrides,
+) -> Result<(i32, u64, bool, String), String> {
+    let defaults = GovernorConfig::default();
+    let faults = match &overrides.inject {
+        Some(spec) => parse_fault_plan(spec)?,
+        None => Default::default(),
+    };
+    let config = DetectorConfig {
+        governor: GovernorConfig {
+            query_budget: overrides.query_budget.unwrap_or(defaults.query_budget),
+            max_retries: overrides.max_retries.unwrap_or(defaults.max_retries),
+            deadline_ms: overrides.deadline_ms,
+            faults,
+        },
+        jobs: 1,
+        ..DetectorConfig::default()
+    };
+    let unit = leakchecker_frontend::compile(source).map_err(|e| e.to_string())?;
+    let mut targets: Vec<CheckTarget> = unit
+        .checked_loops
+        .iter()
+        .map(|&l| CheckTarget::Loop(l))
+        .collect();
+    targets.extend(unit.region_methods.iter().map(|&m| CheckTarget::Region(m)));
+    if targets.is_empty() {
+        return Err("no @check loop or @region method in source".to_string());
+    }
+    let mut output = String::new();
+    let mut reports = 0u64;
+    let mut degraded = false;
+    for target in targets {
+        let result = check(&unit.program, target, config).map_err(|e| e.to_string())?;
+        reports += result.reports.len() as u64;
+        degraded |= result.stats.is_degraded();
+        output.push_str(&render_all(&result.program, &result.reports));
+        let p = result.stats.phases;
+        Telemetry::add_secs(&telemetry.callgraph_us, p.callgraph_secs);
+        Telemetry::add_secs(&telemetry.effects_us, p.effects_secs);
+        Telemetry::add_secs(&telemetry.flows_us, p.flows_secs);
+        Telemetry::add_secs(&telemetry.contexts_us, p.contexts_secs);
+        Telemetry::add_secs(&telemetry.refine_us, p.refine_secs);
+        Telemetry::add_secs(&telemetry.matching_us, p.matching_secs);
+    }
+    telemetry.checks.fetch_add(1, Ordering::Relaxed);
+    let exit_code = if reports > 0 {
+        crate::EXIT_LEAKS
+    } else if degraded {
+        crate::EXIT_DEGRADED
+    } else {
+        crate::EXIT_CLEAN
+    };
+    Ok((exit_code, reports, degraded, output))
+}
+
+impl Server {
+    /// Binds the listeners and starts the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Address/socket bind failures (reported as usage errors: the
+    /// operator passed an unusable endpoint).
+    pub fn start(options: &ServeOptions) -> Result<Server, LeakcError> {
+        let listener = TcpListener::bind(&options.addr)
+            .map_err(|e| LeakcError::Usage(format!("serve: cannot bind {}: {e}", options.addr)))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| LeakcError::Internal(format!("serve: no local addr: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| LeakcError::Internal(format!("serve: set_nonblocking: {e}")))?;
+
+        #[cfg(unix)]
+        let unix_listener = match &options.socket {
+            Some(path) => {
+                // A stale socket file from a previous run refuses the
+                // bind; remove it first.
+                let _ = std::fs::remove_file(path);
+                let l = std::os::unix::net::UnixListener::bind(path)
+                    .map_err(|e| LeakcError::Usage(format!("serve: cannot bind {path}: {e}")))?;
+                l.set_nonblocking(true)
+                    .map_err(|e| LeakcError::Internal(format!("serve: set_nonblocking: {e}")))?;
+                Some(l)
+            }
+            None => None,
+        };
+        #[cfg(not(unix))]
+        if options.socket.is_some() {
+            return Err(LeakcError::Usage(
+                "serve: --socket requires a unix platform".to_string(),
+            ));
+        }
+
+        let telemetry = Arc::new(Telemetry::default());
+        let handler_telemetry = Arc::clone(&telemetry);
+        let core = ServeCore::start(
+            ServeConfig {
+                capacity: options.queue,
+                workers: options.workers,
+            },
+            move |req: Request| match req {
+                Request::Panic { id } => {
+                    panic!(
+                        "injected request panic{}",
+                        match id {
+                            Some(id) => format!(" (id {id})"),
+                            None => String::new(),
+                        }
+                    )
+                }
+                Request::Check {
+                    id,
+                    source,
+                    overrides,
+                } => match run_check_source(&handler_telemetry, &source, &overrides) {
+                    Ok((exit_code, reports, degraded, output)) => {
+                        render_check_ok(&id, exit_code, reports, degraded, &output)
+                    }
+                    Err(message) => render_error(&id, &message),
+                },
+                // Inline kinds never reach the queue; answering them
+                // here anyway keeps the handler total.
+                Request::Health | Request::Stats | Request::Shutdown => {
+                    render_error(&None, "inline request kind reached the worker queue")
+                }
+            },
+        );
+        let inner = Arc::new(Inner {
+            core,
+            telemetry,
+            start: Instant::now(),
+            stop_accept: AtomicBool::new(false),
+            shutdown_requested: AtomicBool::new(false),
+            pending_replies: AtomicU64::new(0),
+        });
+
+        let accept_inner = Arc::clone(&inner);
+        let accept_handle = std::thread::spawn(move || {
+            while !accept_inner.stop_accept.load(Ordering::SeqCst) {
+                let mut idle = true;
+                // Responses are small line-delimited writes; without
+                // NODELAY, Nagle + delayed ACK adds ~40-200ms per
+                // roundtrip.
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        idle = false;
+                        let _ = stream.set_nonblocking(false);
+                        let _ = stream.set_nodelay(true);
+                        let conn_inner = Arc::clone(&accept_inner);
+                        std::thread::spawn(move || serve_tcp_connection(stream, &conn_inner));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                    Err(_) => {}
+                }
+                #[cfg(unix)]
+                if let Some(unix_listener) = &unix_listener {
+                    match unix_listener.accept() {
+                        Ok((stream, _)) => {
+                            idle = false;
+                            let _ = stream.set_nonblocking(false);
+                            let conn_inner = Arc::clone(&accept_inner);
+                            std::thread::spawn(move || serve_unix_connection(stream, &conn_inner));
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                        Err(_) => {}
+                    }
+                }
+                if idle {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        });
+
+        Ok(Server {
+            inner,
+            accept_handle: Some(accept_handle),
+            local_addr,
+            socket_path: options.socket.clone(),
+        })
+    }
+
+    /// The bound TCP address (resolves `--addr` port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// `true` once a protocol `shutdown` request has been received.
+    pub fn shutdown_requested(&self) -> bool {
+        self.inner.shutdown_requested.load(Ordering::SeqCst)
+    }
+
+    /// Requests a graceful drain (the in-process twin of SIGTERM).
+    pub fn request_shutdown(&self) {
+        self.inner.shutdown_requested.store(true, Ordering::SeqCst);
+    }
+
+    /// Graceful drain: stop accepting, refuse new submissions, wait for
+    /// queued and in-flight requests to complete and their responses to
+    /// be flushed (bounded wait), then return the final counters.
+    pub fn drain(mut self) -> ServeSummary {
+        self.inner.stop_accept.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        self.inner.core.begin_drain();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let drained_cleanly = loop {
+            let stats = self.inner.core.stats();
+            let pending = self.inner.pending_replies.load(Ordering::SeqCst);
+            if stats.queue_depth == 0 && stats.served == stats.admitted && pending == 0 {
+                break true;
+            }
+            if Instant::now() >= deadline {
+                break false;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        if let Some(path) = &self.socket_path {
+            let _ = std::fs::remove_file(path);
+        }
+        ServeSummary {
+            stats: self.inner.core.stats(),
+            drained_cleanly,
+        }
+    }
+}
+
+fn serve_tcp_connection(stream: TcpStream, inner: &Inner) {
+    let Ok(reader) = stream.try_clone() else {
+        return;
+    };
+    serve_connection(reader, stream, inner);
+}
+
+#[cfg(unix)]
+fn serve_unix_connection(stream: std::os::unix::net::UnixStream, inner: &Inner) {
+    let Ok(reader) = stream.try_clone() else {
+        return;
+    };
+    serve_connection(reader, stream, inner);
+}
+
+/// Extracts the id a queued request will be answered under, so the
+/// connection can render shed/quarantine responses for it.
+fn request_reply_id(req: &Request) -> Option<String> {
+    match req {
+        Request::Panic { id } | Request::Check { id, .. } => id.clone(),
+        _ => None,
+    }
+}
+
+fn serve_connection<R: Read, W: Write>(reader: R, mut writer: W, inner: &Inner) {
+    let mut reader = BufReader::new(reader);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return, // client closed (or died)
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match parse_request(line.trim_end()) {
+            Err(e) => render_error(&None, &format!("malformed request: {e}")),
+            Ok(Request::Health) => {
+                let stats = inner.core.stats();
+                format!(
+                    "{{\"status\": \"ok\", \"state\": \"{}\", \"queue_depth\": {}, \"uptime_ms\": {}}}",
+                    inner.core.state().label(),
+                    stats.queue_depth,
+                    inner.start.elapsed().as_millis()
+                )
+            }
+            Ok(Request::Stats) => {
+                let stats = inner.core.stats();
+                let mut out = String::from("{\"status\": \"ok\"");
+                let _ = write!(out, ", \"state\": \"{}\"", inner.core.state().label());
+                let _ = write!(out, ", \"admitted\": {}", stats.admitted);
+                let _ = write!(out, ", \"served\": {}", stats.served);
+                let _ = write!(out, ", \"shed\": {}", stats.shed);
+                let _ = write!(out, ", \"panicked\": {}", stats.panicked);
+                let _ = write!(out, ", \"queue_depth\": {}", stats.queue_depth);
+                let _ = write!(
+                    out,
+                    ", \"checks\": {}",
+                    inner.telemetry.checks.load(Ordering::Relaxed)
+                );
+                let _ = write!(out, ", \"phases\": {}", inner.telemetry.phases_json());
+                let _ = write!(
+                    out,
+                    ", \"uptime_ms\": {}}}",
+                    inner.start.elapsed().as_millis()
+                );
+                out
+            }
+            Ok(Request::Shutdown) => {
+                inner.shutdown_requested.store(true, Ordering::SeqCst);
+                "{\"status\": \"ok\", \"state\": \"draining\"}".to_string()
+            }
+            Ok(req) => {
+                let id = request_reply_id(&req);
+                match inner.core.submit(req) {
+                    Err(SubmitError::Overloaded { queue_depth }) => {
+                        render_overloaded(&id, queue_depth as u64)
+                    }
+                    Err(SubmitError::Draining) => render_draining(&id),
+                    Ok(rx) => {
+                        // Count the admitted request as pending until
+                        // its response is flushed, so drain never exits
+                        // with an answer stuck in this thread.
+                        inner.pending_replies.fetch_add(1, Ordering::SeqCst);
+                        let response = match rx.recv() {
+                            Ok(Ok(line)) => line,
+                            Ok(Err(panic_msg)) => render_internal(&id, &panic_msg),
+                            Err(_) => render_internal(&id, "worker lost"),
+                        };
+                        let result = writer
+                            .write_all(response.as_bytes())
+                            .and_then(|()| writer.write_all(b"\n"))
+                            .and_then(|()| writer.flush());
+                        inner.pending_replies.fetch_sub(1, Ordering::SeqCst);
+                        if result.is_err() {
+                            return;
+                        }
+                        continue;
+                    }
+                }
+            }
+        };
+        let result = writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush());
+        if result.is_err() {
+            return;
+        }
+    }
+}
+
+/// The blocking `leakc serve` entry point: binds, prints the endpoints,
+/// loops until a signal or protocol `shutdown`, drains, and returns the
+/// final summary as the command output.
+///
+/// # Errors
+///
+/// Bind failures (see [`Server::start`]).
+pub fn run_serve(options: &ServeOptions) -> Result<CliOutput, LeakcError> {
+    let server = Server::start(options)?;
+    // Printed directly (not via CliOutput) so operators and scripts can
+    // learn the bound port before the daemon blocks.
+    println!("leakc serve: listening on {}", server.local_addr());
+    if let Some(path) = &options.socket {
+        println!("leakc serve: listening on unix:{path}");
+    }
+    println!(
+        "leakc serve: queue bound {}, workers {}",
+        options.queue, options.workers
+    );
+    let _ = std::io::stdout().flush();
+    while !server.shutdown_requested() && !signal_shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let summary = server.drain();
+    let s = summary.stats;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "leakc serve: drained{} — admitted={} served={} shed={} panicked={}",
+        if summary.drained_cleanly {
+            ""
+        } else {
+            " (deadline hit; some responses may be lost)"
+        },
+        s.admitted,
+        s.served,
+        s.shed,
+        s.panicked
+    );
+    Ok(CliOutput::clean(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_panics<Ret>(f: impl FnOnce() -> Ret) -> Ret {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(hook);
+        out
+    }
+
+    const LEAKY: &str = "\
+class Cache { Object[] items; int n;
+  void add(Object o) { items[n] = o; n = n + 1; } }
+class Main {
+  static void main() {
+    Cache c = new Cache(); c.items = new Object[1024];
+    @check while (nondet()) { Object o = new Object(); c.add(o); } } }";
+
+    fn client(addr: SocketAddr) -> (BufReader<TcpStream>, TcpStream) {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        (reader, stream)
+    }
+
+    fn roundtrip(reader: &mut BufReader<TcpStream>, writer: &mut TcpStream, req: &str) -> String {
+        writer.write_all(req.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        line.trim_end().to_string()
+    }
+
+    #[test]
+    fn daemon_serves_health_check_and_malformed_lines() {
+        let server = Server::start(&ServeOptions::default()).unwrap();
+        let (mut reader, mut writer) = client(server.local_addr());
+
+        let health = roundtrip(&mut reader, &mut writer, r#"{"kind": "health"}"#);
+        assert!(health.contains("\"state\": \"running\""), "{health}");
+
+        let check = roundtrip(
+            &mut reader,
+            &mut writer,
+            &format!(
+                r#"{{"kind": "check", "id": 1, "source": "{}"}}"#,
+                crate::protocol::json_escape(LEAKY)
+            ),
+        );
+        assert!(check.contains("\"status\": \"ok\""), "{check}");
+        assert!(check.contains("\"exit_code\": 1"), "{check}");
+        assert!(check.contains("\"reports\": 1"), "{check}");
+        assert!(check.starts_with("{\"id\": 1, "), "{check}");
+
+        let bad = roundtrip(&mut reader, &mut writer, "this is not json");
+        assert!(bad.contains("\"status\": \"error\""), "{bad}");
+
+        let missing = roundtrip(&mut reader, &mut writer, r#"{"kind": "check"}"#);
+        assert!(missing.contains("missing field `source`"), "{missing}");
+
+        let stats = roundtrip(&mut reader, &mut writer, r#"{"kind": "stats"}"#);
+        assert!(stats.contains("\"served\": 1"), "{stats}");
+        assert!(stats.contains("\"phases\""), "{stats}");
+
+        let summary = server.drain();
+        assert!(summary.drained_cleanly);
+        assert_eq!(summary.stats.admitted, 1);
+        assert_eq!(summary.stats.served, 1);
+    }
+
+    #[test]
+    fn governed_check_degrades_and_panic_kind_is_quarantined() {
+        quiet_panics(|| {
+            let server = Server::start(&ServeOptions::default()).unwrap();
+            let (mut reader, mut writer) = client(server.local_addr());
+
+            // A starved budget forces the Andersen fallback: exit 1
+            // with the report still found, tagged degraded.
+            let degraded = roundtrip(
+                &mut reader,
+                &mut writer,
+                &format!(
+                    r#"{{"kind": "check", "id": "d", "source": "{}", "query_budget": 1, "max_retries": 0}}"#,
+                    crate::protocol::json_escape(LEAKY)
+                ),
+            );
+            assert!(degraded.contains("\"degraded\": true"), "{degraded}");
+            assert!(
+                degraded.contains("(degraded: budget-exhausted)"),
+                "{degraded}"
+            );
+
+            let panicked = roundtrip(&mut reader, &mut writer, r#"{"kind": "panic", "id": 9}"#);
+            assert!(panicked.contains("\"status\": \"internal\""), "{panicked}");
+            assert!(panicked.starts_with("{\"id\": 9, "), "{panicked}");
+
+            // The daemon survives the quarantined request.
+            let after = roundtrip(&mut reader, &mut writer, r#"{"kind": "health"}"#);
+            assert!(after.contains("\"state\": \"running\""), "{after}");
+
+            let summary = server.drain();
+            assert!(summary.drained_cleanly);
+            assert_eq!(summary.stats.panicked, 1);
+            // `health` is answered inline by the connection thread; only
+            // the check and the panic went through the queue.
+            assert_eq!(summary.stats.served, 2);
+        });
+    }
+
+    #[test]
+    fn overload_sheds_with_a_typed_response() {
+        quiet_panics(|| {
+            let server = Server::start(&ServeOptions {
+                queue: 1,
+                workers: 1,
+                ..ServeOptions::default()
+            })
+            .unwrap();
+            let addr = server.local_addr();
+            // Saturate: many concurrent clients each firing one check.
+            // With capacity 1 and one worker, some must be shed — and
+            // every client must still get exactly one response line.
+            let responses: Vec<String> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..12)
+                    .map(|i| {
+                        scope.spawn(move || {
+                            let (mut reader, mut writer) = client(addr);
+                            roundtrip(
+                                &mut reader,
+                                &mut writer,
+                                &format!(
+                                    r#"{{"kind": "check", "id": {i}, "source": "{}"}}"#,
+                                    crate::protocol::json_escape(LEAKY)
+                                ),
+                            )
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            let ok = responses
+                .iter()
+                .filter(|r| r.contains("\"status\": \"ok\""))
+                .count();
+            let shed = responses
+                .iter()
+                .filter(|r| r.contains("\"status\": \"overloaded\""))
+                .count();
+            assert_eq!(ok + shed, 12, "{responses:?}");
+            assert!(
+                ok >= 1,
+                "at least one request must be served: {responses:?}"
+            );
+            let summary = server.drain();
+            assert!(summary.drained_cleanly);
+            assert_eq!(summary.stats.shed as usize, shed);
+        });
+    }
+
+    #[test]
+    fn shutdown_request_triggers_drain_and_refusal() {
+        let server = Server::start(&ServeOptions::default()).unwrap();
+        let (mut reader, mut writer) = client(server.local_addr());
+        let resp = roundtrip(&mut reader, &mut writer, r#"{"kind": "shutdown"}"#);
+        assert!(resp.contains("\"state\": \"draining\""), "{resp}");
+        assert!(server.shutdown_requested());
+        let summary = server.drain();
+        assert!(summary.drained_cleanly);
+        // Post-drain submissions on a still-open connection are refused.
+        writer
+            .write_all(b"{\"kind\": \"panic\"}\n")
+            .and_then(|()| writer.flush())
+            .unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"status\": \"draining\""), "{line}");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_socket_serves_the_same_protocol() {
+        let path = std::env::temp_dir().join(format!("leakc-serve-{}.sock", std::process::id()));
+        let path_str = path.to_string_lossy().into_owned();
+        let server = Server::start(&ServeOptions {
+            socket: Some(path_str.clone()),
+            ..ServeOptions::default()
+        })
+        .unwrap();
+        let stream = std::os::unix::net::UnixStream::connect(&path).expect("unix connect");
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        writer.write_all(b"{\"kind\": \"health\"}\n").unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"state\": \"running\""), "{line}");
+        let _ = server.drain();
+        assert!(!path.exists(), "socket file removed on drain");
+    }
+}

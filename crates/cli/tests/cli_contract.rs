@@ -1,0 +1,222 @@
+//! Process-level contract tests for the `leakc` binary: exit codes,
+//! usage text on stderr, graceful SIGTERM drain, and crash-safety of
+//! `--json` outputs and campaign journals.
+
+use std::io::{BufRead, BufReader, Read};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn leakc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_leakc"))
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("leakc-contract-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn unknown_flags_print_usage_to_stderr_and_exit_2() {
+    for argv in [
+        vec!["check", "x.jml", "--frobnicate"],
+        vec!["fuzz", "--wat"],
+        vec!["serve", "--bogus"],
+        vec!["no-such-command"],
+    ] {
+        let out = leakc().args(&argv).output().expect("spawn leakc");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "argv {argv:?} must exit 2 (usage)"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("USAGE:"),
+            "argv {argv:?} must print usage to stderr, got:\n{stderr}"
+        );
+        assert!(
+            stderr.contains("error:"),
+            "argv {argv:?} must name the offending flag:\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn help_documents_every_subcommand_and_the_exit_codes() {
+    for argv in [
+        vec!["--help"],
+        vec!["help"],
+        vec!["help", "check"],
+        vec!["help", "fuzz"],
+        vec!["help", "serve"],
+        vec!["check", "--help"],
+        vec!["serve", "--help"],
+    ] {
+        let out = leakc().args(&argv).output().expect("spawn leakc");
+        assert_eq!(out.status.code(), Some(0), "{argv:?} is not an error");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains("EXIT CODES:"),
+            "{argv:?} must document the exit-code contract:\n{stdout}"
+        );
+    }
+}
+
+#[cfg(unix)]
+fn wait_for_line(child: &mut Child, needle: &str) -> String {
+    let stdout = child.stdout.as_mut().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut seen = String::new();
+    for _ in 0..50 {
+        let mut line = String::new();
+        if reader.read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        seen.push_str(&line);
+        if line.contains(needle) {
+            return seen;
+        }
+    }
+    panic!("child never printed `{needle}`; saw:\n{seen}");
+}
+
+#[cfg(unix)]
+#[test]
+fn sigterm_drains_the_daemon_and_exits_0() {
+    let mut child = leakc()
+        .args(["serve", "--addr", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn daemon");
+    wait_for_line(&mut child, "listening on");
+    let term = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success());
+    // The daemon must drain and exit 0, not die on the signal (143).
+    let start = std::time::Instant::now();
+    let status = loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            break status;
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(15),
+            "daemon did not exit after SIGTERM"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    assert_eq!(status.code(), Some(0), "graceful drain must exit 0");
+    let mut rest = String::new();
+    child
+        .stdout
+        .expect("piped stdout")
+        .read_to_string(&mut rest)
+        .expect("read remaining stdout");
+    assert!(
+        rest.contains("drained"),
+        "drain summary missing from stdout:\n{rest}"
+    );
+}
+
+/// Kills a campaign mid-flight and asserts the previously written
+/// `--json` file is never torn: afterwards it holds either the old
+/// bytes (rename never happened) or a complete fresh summary.
+#[cfg(unix)]
+#[test]
+fn killed_campaign_never_tears_the_json_summary() {
+    let dir = temp_dir("atomic-json");
+    let json = dir.join("campaign.json");
+    let old = "{\"sentinel\": \"previous campaign summary\"}\n";
+    std::fs::write(&json, old).expect("seed old json");
+
+    let mut child = leakc()
+        .args([
+            "fuzz",
+            "--seeds",
+            "64",
+            "--jobs",
+            "2",
+            "--json",
+            json.to_str().expect("utf8 path"),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn campaign");
+    std::thread::sleep(Duration::from_millis(150));
+    child.kill().expect("kill campaign");
+    let _ = child.wait();
+
+    let content = std::fs::read_to_string(&json).expect("json file still present");
+    let intact_old = content == old;
+    let complete_new = content.starts_with('{')
+        && content.trim_end().ends_with('}')
+        && content.contains("\"programs\"");
+    assert!(
+        intact_old || complete_new,
+        "torn JSON after kill:\n{content}"
+    );
+}
+
+/// An interrupted, journaled campaign resumed with `--resume` must
+/// produce the same summary JSON as an uninterrupted run — even at a
+/// different `--jobs` width.
+#[cfg(unix)]
+#[test]
+fn resumed_campaign_matches_an_uninterrupted_run() {
+    let dir = temp_dir("resume");
+    let full = dir.join("full.json");
+    let resumed = dir.join("resumed.json");
+    let journal = dir.join("campaign.journal");
+    let base = ["fuzz", "--seeds", "24", "--seed", "7", "--iterations", "6"];
+
+    let status = leakc()
+        .args(base)
+        .args(["--jobs", "1", "--json", full.to_str().expect("utf8")])
+        .stdout(Stdio::null())
+        .status()
+        .expect("full run");
+    assert!(status.code().is_some(), "full run finished");
+
+    let mut child = leakc()
+        .args(base)
+        .args(["--jobs", "2", "--journal", journal.to_str().expect("utf8")])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn journaled campaign");
+    std::thread::sleep(Duration::from_millis(120));
+    child.kill().expect("kill campaign");
+    let _ = child.wait();
+
+    let out = leakc()
+        .args(base)
+        .args([
+            "--jobs",
+            "4",
+            "--resume",
+            journal.to_str().expect("utf8"),
+            "--json",
+            resumed.to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("resume run");
+    assert!(
+        out.status.code().is_some(),
+        "resume run finished: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("resumed from journal"),
+        "resume banner missing:\n{stdout}"
+    );
+
+    let a = std::fs::read_to_string(&full).expect("full json");
+    let b = std::fs::read_to_string(&resumed).expect("resumed json");
+    assert_eq!(a, b, "resumed campaign JSON drifted from uninterrupted run");
+}

@@ -8,7 +8,9 @@
 //! recorded verdict, so a detector change that flips any corpus verdict
 //! fails loudly with the seed needed to reproduce it.
 
-use crate::oracle::{run_generated, ProgramVerdict};
+use crate::oracle::{run_generated, run_generated_with, ProgramVerdict};
+use leakchecker::governor::GovernorConfig;
+use leakchecker::DetectorConfig;
 use leakchecker_benchsuite::{generate_from_kinds, Generated, HandlerKind};
 
 /// One corpus file's content, parsed.
@@ -20,6 +22,14 @@ pub struct CorpusEntry {
     pub kinds: Vec<HandlerKind>,
     /// Interpreter budget the verdict was recorded under.
     pub iterations_per_handler: u64,
+    /// Governor override the verdict was recorded under: per-query step
+    /// budget (`// query-budget:` header). A starved budget forces the
+    /// Andersen fallback, so replay must starve identically to
+    /// reproduce `(degraded: ...)` verdicts. `None` means the default.
+    pub query_budget: Option<usize>,
+    /// Governor override: adaptive retries after exhaustion
+    /// (`// max-retries:` header). `None` means the default.
+    pub max_retries: Option<u32>,
     /// The canonical verdict line ([`ProgramVerdict::verdict_line`]).
     pub verdict: String,
     /// The program source.
@@ -33,14 +43,24 @@ impl CorpusEntry {
     }
 }
 
-/// Renders an entry to file content.
+/// Renders an entry to file content. Governor-override headers are
+/// emitted only when set, so entries recorded before governance existed
+/// keep their exact bytes.
 pub fn render_entry(entry: &CorpusEntry) -> String {
     let labels: Vec<String> = entry.kinds.iter().map(|k| k.label()).collect();
+    let mut governed = String::new();
+    if let Some(budget) = entry.query_budget {
+        governed.push_str(&format!("// query-budget: {budget}\n"));
+    }
+    if let Some(retries) = entry.max_retries {
+        governed.push_str(&format!("// max-retries: {retries}\n"));
+    }
     format!(
         "// leakchecker-fuzz corpus entry\n\
          // seed: {}\n\
          // kinds: {}\n\
          // iterations-per-handler: {}\n\
+         {governed}\
          // verdict: {}\n\
          \n\
          {}",
@@ -61,6 +81,8 @@ pub fn parse_entry(text: &str) -> Result<CorpusEntry, String> {
     let mut seed = None;
     let mut kinds = None;
     let mut iterations = None;
+    let mut query_budget = None;
+    let mut max_retries = None;
     let mut verdict = None;
     let mut rest = text;
     loop {
@@ -90,6 +112,18 @@ pub fn parse_entry(text: &str) -> Result<CorpusEntry, String> {
                         .parse::<u64>()
                         .map_err(|e| format!("bad iterations: {e}"))?,
                 );
+            } else if let Some(v) = header.strip_prefix("query-budget:") {
+                query_budget = Some(
+                    v.trim()
+                        .parse::<usize>()
+                        .map_err(|e| format!("bad query-budget: {e}"))?,
+                );
+            } else if let Some(v) = header.strip_prefix("max-retries:") {
+                max_retries = Some(
+                    v.trim()
+                        .parse::<u32>()
+                        .map_err(|e| format!("bad max-retries: {e}"))?,
+                );
             } else if let Some(v) = header.strip_prefix("verdict:") {
                 verdict = Some(v.trim().to_string());
             }
@@ -107,6 +141,8 @@ pub fn parse_entry(text: &str) -> Result<CorpusEntry, String> {
         seed: seed.ok_or("missing `// seed:` header")?,
         kinds: kinds.ok_or("missing `// kinds:` header")?,
         iterations_per_handler: iterations.ok_or("missing `// iterations-per-handler:` header")?,
+        query_budget,
+        max_retries,
         verdict: verdict.ok_or("missing `// verdict:` header")?,
         source,
     })
@@ -123,7 +159,21 @@ pub fn replay(entry: &CorpusEntry) -> Result<ProgramVerdict, String> {
         source: entry.source.clone(),
         kinds: entry.kinds.clone(),
     };
-    run_generated(&generated, entry.seed, entry.iterations_per_handler)
+    let defaults = GovernorConfig::default();
+    let detector = DetectorConfig {
+        governor: GovernorConfig {
+            query_budget: entry.query_budget.unwrap_or(defaults.query_budget),
+            max_retries: entry.max_retries.unwrap_or(defaults.max_retries),
+            ..defaults
+        },
+        ..DetectorConfig::default()
+    };
+    run_generated_with(
+        &generated,
+        entry.seed,
+        entry.iterations_per_handler,
+        detector,
+    )
 }
 
 /// Builds one exemplar entry per grammar kind: a single-handler program
@@ -148,7 +198,7 @@ pub fn exemplars(iterations_per_handler: u64) -> Result<Vec<CorpusEntry>, String
         HandlerKind::RecursiveEscape { depth: 2 },
         HandlerKind::DoubleEdge,
     ];
-    let mut out = Vec::with_capacity(all.len());
+    let mut out = Vec::with_capacity(all.len() + 1);
     for kind in all {
         let generated = generate_from_kinds(&[kind], 0, 0);
         let verdict = run_generated(&generated, 0, iterations_per_handler)?;
@@ -156,11 +206,42 @@ pub fn exemplars(iterations_per_handler: u64) -> Result<Vec<CorpusEntry>, String
             seed: 0,
             kinds: vec![kind],
             iterations_per_handler,
+            query_budget: None,
+            max_retries: None,
             verdict: verdict.verdict_line(),
             source: generated.source,
         });
     }
+    // A governed exemplar: the planted leak judged under a starved
+    // query budget with retries disabled, so every demand query falls
+    // back to the Andersen over-approximation. This locks the degraded
+    // verdict (`degraded=N` in the line, `(degraded: budget-exhausted)`
+    // in report rendering) into the replayed corpus.
+    let mut degraded = out[0].clone();
+    degraded.query_budget = Some(1);
+    degraded.max_retries = Some(0);
+    let verdict = replay(&degraded)?;
+    if verdict.degraded_reports == 0 {
+        return Err(format!(
+            "degraded exemplar did not degrade (query_budget=1): {}",
+            verdict.verdict_line()
+        ));
+    }
+    degraded.verdict = verdict.verdict_line();
+    out.push(degraded);
     Ok(out)
+}
+
+/// Stable file stem for an exemplar entry: the kind label, with
+/// governed entries suffixed so they never collide with the ungoverned
+/// exemplar of the same kind.
+fn exemplar_stem(entry: &CorpusEntry) -> String {
+    let label = entry.kinds[0].label();
+    if entry.query_budget.is_some() || entry.max_retries.is_some() {
+        "degraded-andersen".to_string()
+    } else {
+        label
+    }
 }
 
 /// Writes the exemplar entries into `dir` (one file per grammar kind,
@@ -176,8 +257,7 @@ pub fn write_exemplars(
     std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
     let mut written = Vec::new();
     for entry in exemplars(iterations_per_handler)? {
-        let label = entry.kinds[0].label();
-        let path = dir.join(format!("exemplar-{label}.jml"));
+        let path = dir.join(format!("exemplar-{}.jml", exemplar_stem(&entry)));
         std::fs::write(&path, render_entry(&entry))
             .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
         written.push(path);
@@ -193,13 +273,38 @@ mod tests {
     #[test]
     fn entries_round_trip_through_render_and_parse() {
         let entries = exemplars(DEFAULT_ITERATIONS_PER_HANDLER).unwrap();
-        assert_eq!(entries.len(), 11);
+        assert_eq!(entries.len(), 12);
         for entry in &entries {
             let text = render_entry(entry);
             let parsed =
                 parse_entry(&text).unwrap_or_else(|e| panic!("kind {:?}: {e}", entry.kinds));
             assert_eq!(&parsed, entry);
         }
+    }
+
+    #[test]
+    fn degraded_exemplar_records_a_degraded_verdict() {
+        let entries = exemplars(DEFAULT_ITERATIONS_PER_HANDLER).unwrap();
+        let degraded = entries
+            .iter()
+            .find(|e| e.query_budget.is_some())
+            .expect("governed exemplar present");
+        assert_eq!(exemplar_stem(degraded), "degraded-andersen");
+        assert_eq!(degraded.query_budget, Some(1));
+        assert_eq!(degraded.max_retries, Some(0));
+        assert!(
+            degraded.verdict.contains("sound=true"),
+            "starving the budget must not cost soundness: {}",
+            degraded.verdict
+        );
+        assert!(
+            degraded.verdict.contains(" degraded="),
+            "verdict must record degraded reports: {}",
+            degraded.verdict
+        );
+        let text = render_entry(degraded);
+        assert!(text.contains("// query-budget: 1\n"), "{text}");
+        assert!(text.contains("// max-retries: 0\n"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,422 @@
+//! Crash-safe campaign checkpointing: an append-only, fsync'd journal
+//! of per-seed verdicts, and the `--resume` path that replays it.
+//!
+//! A 10k-seed campaign that dies at seed 9,900 — OOM-killed, power cut,
+//! ctrl-c — used to lose everything. With `--journal PATH` each judged
+//! seed appends one self-contained record (flushed and fsync'd before
+//! the campaign moves on), and `--resume PATH` reloads those records,
+//! skips the completed seeds, and re-runs only the rest. Because every
+//! verdict is deterministic in `(seed, config)`, the resumed campaign's
+//! JSON is byte-identical to an uninterrupted run at any `--jobs` — a
+//! property the CLI test suite and CI both assert.
+//!
+//! Format: a header line binding the campaign configuration, then one
+//! `rec` line per seed. A crash can only truncate the *final* line, so
+//! the reader accepts a malformed tail and simply re-runs that seed.
+//! Records for unsound (violation) seeds and quarantined seeds are
+//! deliberately *not* reusable: violations are re-run on resume so the
+//! reducer can re-derive the minimized reproducer, and quarantined
+//! seeds never reach their journal write at all (the panic unwinds
+//! first), so both re-run — deterministically — on resume.
+
+use crate::oracle::ProgramVerdict;
+use crate::FuzzConfig;
+use leakchecker::governor::render_fault_plan;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::{Seek as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// One replayable journal record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JournalRecord {
+    /// The seed was judged sound; the full verdict is stored, so resume
+    /// skips the seed entirely.
+    Sound(ProgramVerdict),
+    /// The harness failed on this seed with a deterministic error
+    /// message; resume reuses the message without re-running.
+    HarnessError(String),
+    /// The seed was judged *unsound*. Resume re-runs it (the verdict is
+    /// deterministic) to re-derive the reduction for the report.
+    Violation,
+}
+
+/// An open journal being appended to by a running campaign.
+#[derive(Debug)]
+pub struct Journal {
+    file: Mutex<std::fs::File>,
+    path: PathBuf,
+}
+
+fn config_header(config: &FuzzConfig) -> String {
+    let g = &config.governor;
+    format!(
+        "leakc-fuzz-journal v1 seeds={} base_seed={} iterations={} budget={} retries={} deadline={} inject={}",
+        config.seeds,
+        config.base_seed,
+        config.iterations_per_handler,
+        g.query_budget,
+        g.max_retries,
+        g.deadline_ms.map_or("none".to_string(), |ms| ms.to_string()),
+        render_fault_plan(&g.faults),
+    )
+}
+
+impl Journal {
+    /// Creates (truncating) a journal for a fresh campaign and writes
+    /// the header binding its configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures, tagged with the path.
+    pub fn create(path: &Path, config: &FuzzConfig) -> Result<Journal, String> {
+        let mut file = std::fs::File::create(path)
+            .map_err(|e| format!("cannot create journal {}: {e}", path.display()))?;
+        writeln!(file, "{}", config_header(config))
+            .and_then(|()| file.sync_data())
+            .map_err(|e| format!("cannot write journal {}: {e}", path.display()))?;
+        Ok(Journal {
+            file: Mutex::new(file),
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Reopens a journal for `--resume`: validates the header against
+    /// the resuming configuration, parses every intact record, and
+    /// returns the journal (positioned for appending) plus the records
+    /// keyed by seed offset. A truncated or malformed tail line — the
+    /// signature of a mid-write crash — is discarded; a malformed line
+    /// *before* the tail is an error (the file is not a journal).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, a header that does not match `config` (resuming
+    /// under a different configuration would change verdicts), or a
+    /// corrupt interior record.
+    pub fn resume(
+        path: &Path,
+        config: &FuzzConfig,
+    ) -> Result<(Journal, BTreeMap<u64, JournalRecord>), String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read journal {}: {e}", path.display()))?;
+        let mut segments = text.split_inclusive('\n');
+        let header_segment = segments.next().unwrap_or("");
+        let header = header_segment.trim_end_matches('\n');
+        let expected = config_header(config);
+        if header != expected {
+            return Err(format!(
+                "journal {} was recorded under a different campaign configuration\n  journal: {header}\n  current: {expected}",
+                path.display()
+            ));
+        }
+        // Only newline-terminated lines are trusted: a kill mid-append
+        // can persist a prefix of the final record, and a torn record
+        // that still *parses* (a truncated count, say) would silently
+        // corrupt the resumed campaign. The newline is the last byte of
+        // every append, so its presence certifies the record complete.
+        let mut records = BTreeMap::new();
+        let mut valid_len = header_segment.len() as u64;
+        for (i, segment) in segments.enumerate() {
+            let line = segment.trim_end_matches('\n');
+            if !segment.ends_with('\n') {
+                break; // torn tail from a mid-append crash; re-run the seed
+            }
+            if line.trim().is_empty() {
+                valid_len += segment.len() as u64;
+                continue;
+            }
+            let (offset, record) = parse_record(line)
+                .map_err(|e| format!("journal {} line {}: {e}", path.display(), i + 2))?;
+            records.insert(offset, record);
+            valid_len += segment.len() as u64;
+        }
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| format!("cannot reopen journal {}: {e}", path.display()))?;
+        // Drop the torn tail so fresh appends start on a clean line,
+        // and park the write cursor at the new end.
+        let mut file = file;
+        file.set_len(valid_len)
+            .and_then(|()| file.sync_data())
+            .and_then(|()| file.seek(std::io::SeekFrom::End(0)).map(|_| ()))
+            .map_err(|e| format!("cannot truncate journal {}: {e}", path.display()))?;
+        Ok((
+            Journal {
+                file: Mutex::new(file),
+                path: path.to_path_buf(),
+            },
+            records,
+        ))
+    }
+
+    /// Appends one record and fsyncs it, so a crash immediately after
+    /// this call loses nothing. Called from worker threads under a
+    /// mutex; record order in the file is arrival order, which is fine —
+    /// records are keyed by offset, not position.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures, tagged with the path.
+    pub fn append(&self, offset: u64, record: &JournalRecord) -> Result<(), String> {
+        let line = render_record(offset, record);
+        let mut file = leakchecker::lock_resilient(&self.file);
+        file.write_all(line.as_bytes())
+            .and_then(|()| file.sync_data())
+            .map_err(|e| format!("cannot append to journal {}: {e}", self.path.display()))
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            other => return Err(format!("bad escape \\{other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+fn render_record(offset: u64, record: &JournalRecord) -> String {
+    let mut line = format!("rec offset={offset} ");
+    match record {
+        JournalRecord::Violation => line.push_str("status=violation"),
+        JournalRecord::HarnessError(msg) => {
+            let _ = write!(line, "status=error msg=\"{}\"", escape(msg));
+        }
+        JournalRecord::Sound(v) => {
+            let fp: Vec<String> = v
+                .fp_causes
+                .iter()
+                .map(|(cause, n)| format!("{cause}:{n}"))
+                .collect();
+            let _ = write!(
+                line,
+                "status=ok seed={} statements={} reports={} must_leak={} dyn_missed={} \
+                 dyn_extra={} degraded_reports={} degraded_run={} kinds={} fp={}",
+                v.seed,
+                v.statements,
+                v.reports,
+                v.must_leak,
+                v.dynamic_missed,
+                v.dynamic_extra,
+                v.degraded_reports,
+                v.degraded_run,
+                v.kinds.join(","),
+                fp.join(","),
+            );
+        }
+    }
+    line.push('\n');
+    line
+}
+
+fn take_field<'a>(fields: &BTreeMap<&str, &'a str>, key: &str) -> Result<&'a str, String> {
+    fields
+        .get(key)
+        .copied()
+        .ok_or_else(|| format!("missing field `{key}`"))
+}
+
+fn parse_u64(fields: &BTreeMap<&str, &str>, key: &str) -> Result<u64, String> {
+    take_field(fields, key)?
+        .parse::<u64>()
+        .map_err(|_| format!("field `{key}` is not a number"))
+}
+
+fn parse_record(line: &str) -> Result<(u64, JournalRecord), String> {
+    let body = line
+        .strip_prefix("rec ")
+        .ok_or_else(|| "not a `rec` line".to_string())?;
+    // `msg="..."` is always last and may contain spaces; split it off
+    // before tokenizing the fixed-shape fields.
+    let (body, msg) = match body.split_once(" msg=\"") {
+        Some((head, tail)) => {
+            let raw = tail
+                .strip_suffix('"')
+                .ok_or_else(|| "unterminated msg field".to_string())?;
+            (head, Some(unescape(raw)?))
+        }
+        None => (body, None),
+    };
+    let mut fields: BTreeMap<&str, &str> = BTreeMap::new();
+    for token in body.split(' ').filter(|t| !t.is_empty()) {
+        let (key, value) = token
+            .split_once('=')
+            .ok_or_else(|| format!("malformed token `{token}`"))?;
+        fields.insert(key, value);
+    }
+    let offset = parse_u64(&fields, "offset")?;
+    let record = match take_field(&fields, "status")? {
+        "violation" => JournalRecord::Violation,
+        "error" => JournalRecord::HarnessError(msg.ok_or("status=error without msg")?),
+        "ok" => {
+            let kinds_raw = take_field(&fields, "kinds")?;
+            let kinds: Vec<String> = if kinds_raw.is_empty() {
+                Vec::new()
+            } else {
+                kinds_raw.split(',').map(|k| k.to_string()).collect()
+            };
+            let mut fp_causes = BTreeMap::new();
+            let fp_raw = take_field(&fields, "fp")?;
+            for clause in fp_raw.split(',').filter(|c| !c.is_empty()) {
+                let (cause, n) = clause
+                    .split_once(':')
+                    .ok_or_else(|| format!("malformed fp clause `{clause}`"))?;
+                let n: u64 = n
+                    .parse()
+                    .map_err(|_| format!("malformed fp count in `{clause}`"))?;
+                fp_causes.insert(cause.to_string(), n);
+            }
+            JournalRecord::Sound(ProgramVerdict {
+                seed: parse_u64(&fields, "seed")?,
+                kinds,
+                statements: parse_u64(&fields, "statements")?,
+                reports: parse_u64(&fields, "reports")?,
+                must_leak: parse_u64(&fields, "must_leak")?,
+                missed: Vec::new(),
+                fp_causes,
+                dynamic_missed: parse_u64(&fields, "dyn_missed")?,
+                dynamic_extra: parse_u64(&fields, "dyn_extra")?,
+                degraded_reports: parse_u64(&fields, "degraded_reports")?,
+                degraded_run: match take_field(&fields, "degraded_run")? {
+                    "true" => true,
+                    "false" => false,
+                    other => return Err(format!("bad degraded_run `{other}`")),
+                },
+            })
+        }
+        other => return Err(format!("unknown status `{other}`")),
+    };
+    Ok((offset, record))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_verdict() -> ProgramVerdict {
+        let mut fp_causes = BTreeMap::new();
+        fp_causes.insert("flows-back-observed".to_string(), 2);
+        fp_causes.insert("never-escaped".to_string(), 1);
+        ProgramVerdict {
+            seed: 42,
+            kinds: vec!["leak".to_string(), "alias-chain-2".to_string()],
+            statements: 120,
+            reports: 3,
+            must_leak: 1,
+            missed: Vec::new(),
+            fp_causes,
+            dynamic_missed: 1,
+            dynamic_extra: 0,
+            degraded_reports: 1,
+            degraded_run: true,
+        }
+    }
+
+    #[test]
+    fn records_round_trip() {
+        for (offset, record) in [
+            (0, JournalRecord::Sound(sample_verdict())),
+            (7, JournalRecord::Violation),
+            (
+                9,
+                JournalRecord::HarnessError("compile failed: \"x\"\nline 2".to_string()),
+            ),
+        ] {
+            let line = render_record(offset, &record);
+            let (parsed_offset, parsed) = parse_record(line.trim_end()).unwrap();
+            assert_eq!(parsed_offset, offset);
+            assert_eq!(parsed, record, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn journal_create_append_resume_round_trips() {
+        let dir = std::env::temp_dir().join(format!("leakc-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.journal");
+        let config = FuzzConfig {
+            seeds: 4,
+            base_seed: 11,
+            ..FuzzConfig::default()
+        };
+        let journal = Journal::create(&path, &config).unwrap();
+        journal
+            .append(0, &JournalRecord::Sound(sample_verdict()))
+            .unwrap();
+        journal.append(2, &JournalRecord::Violation).unwrap();
+        drop(journal);
+        let (_journal, records) = Journal::resume(&path, &config).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records.get(&2), Some(&JournalRecord::Violation));
+        assert!(matches!(records.get(&0), Some(JournalRecord::Sound(v)) if v.seed == 42));
+    }
+
+    #[test]
+    fn truncated_tail_is_tolerated_but_config_mismatch_is_not() {
+        let dir = std::env::temp_dir().join(format!("leakc-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("truncated.journal");
+        let config = FuzzConfig {
+            seeds: 4,
+            base_seed: 11,
+            ..FuzzConfig::default()
+        };
+        let journal = Journal::create(&path, &config).unwrap();
+        journal
+            .append(1, &JournalRecord::Sound(sample_verdict()))
+            .unwrap();
+        drop(journal);
+        // Simulate a crash mid-append: a partial record with no newline.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("rec offset=2 status=ok seed=53 stat");
+        std::fs::write(&path, &text).unwrap();
+        let (_journal, records) = Journal::resume(&path, &config).unwrap();
+        assert_eq!(records.len(), 1, "the torn record is discarded");
+        assert!(records.contains_key(&1));
+
+        let other = FuzzConfig { seeds: 5, ..config };
+        let err = Journal::resume(&path, &other).unwrap_err();
+        assert!(err.contains("different campaign configuration"), "{err}");
+    }
+
+    #[test]
+    fn interior_corruption_is_an_error() {
+        let dir = std::env::temp_dir().join(format!("leakc-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.journal");
+        let config = FuzzConfig::default();
+        let journal = Journal::create(&path, &config).unwrap();
+        journal.append(0, &JournalRecord::Violation).unwrap();
+        drop(journal);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let corrupted =
+            text.replace("rec offset=0", "rec garbage") + "rec offset=1 status=violation\n";
+        std::fs::write(&path, corrupted).unwrap();
+        assert!(Journal::resume(&path, &config).is_err());
+    }
+}

@@ -17,10 +17,12 @@
 //! byte-identical output, which the test suite asserts.
 
 pub mod corpus;
+pub mod journal;
 pub mod oracle;
 pub mod reduce;
 
 pub use corpus::{exemplars, parse_entry, render_entry, replay, write_exemplars, CorpusEntry};
+pub use journal::{Journal, JournalRecord};
 pub use oracle::{
     run_generated, run_generated_with, run_one, run_one_with, ProgramVerdict,
     DEFAULT_ITERATIONS_PER_HANDLER,
@@ -168,25 +170,74 @@ impl Campaign {
 /// via `panic@M` or a genuine harness bug) is quarantined in place and
 /// the remaining seeds still complete.
 pub fn run_campaign(config: &FuzzConfig) -> Campaign {
-    let items: Vec<(u64, u64)> = (0..config.seeds)
-        .map(|i| (i, config.base_seed.wrapping_add(i)))
-        .collect();
+    run_campaign_resumable(config, None, &BTreeMap::new())
+}
+
+/// The per-seed outcome a campaign aggregates, whether it came from a
+/// live run or a resumed journal.
+type SeedOutcome = Result<Result<(ProgramVerdict, Option<Reduction>), String>, String>;
+
+/// [`run_campaign`] with crash-safe checkpointing: each seed's outcome
+/// is appended to `journal` (fsync'd) as soon as it is judged, and
+/// seeds present in `resumed` (from [`Journal::resume`]) are reused
+/// instead of re-run — except unsound ([`JournalRecord::Violation`])
+/// seeds, which re-run to re-derive their reduction. Quarantined seeds
+/// never reach the journal (the worker panics first) and so re-run —
+/// and re-panic, the fault plan being offset-keyed — on resume. The
+/// aggregation walks offsets in order over the merged (resumed ∪ fresh)
+/// outcomes, so a resumed campaign's JSON is byte-identical to an
+/// uninterrupted run at any `jobs` value.
+pub fn run_campaign_resumable(
+    config: &FuzzConfig,
+    journal: Option<&Journal>,
+    resumed: &BTreeMap<u64, JournalRecord>,
+) -> Campaign {
     let iterations = config.iterations_per_handler;
     let governor = config.governor;
-    let results = parallel_map_isolated(config.jobs, items.clone(), move |(offset, seed)| {
+    // Offsets whose outcome the journal cannot supply.
+    let items: Vec<(u64, u64)> = (0..config.seeds)
+        .map(|i| (i, config.base_seed.wrapping_add(i)))
+        .filter(|(offset, _)| {
+            !matches!(
+                resumed.get(offset),
+                Some(JournalRecord::Sound(_) | JournalRecord::HarnessError(_))
+            )
+        })
+        .collect();
+    let results = parallel_map_isolated(config.jobs, items.clone(), |(offset, seed)| {
         if governor.faults.panics(offset) {
             panic!("injected worker panic at seed offset {offset}");
         }
-        run_one_with(seed, iterations, detector_for_offset(&governor, offset)).map(|verdict| {
-            let reduction = if verdict.is_sound() {
-                None
-            } else {
-                let kinds = leakchecker_benchsuite::generate_fuzz(seed).kinds;
-                reduce_violation(&kinds, seed, iterations)
+        let outcome =
+            run_one_with(seed, iterations, detector_for_offset(&governor, offset)).map(|verdict| {
+                let reduction = if verdict.is_sound() {
+                    None
+                } else {
+                    let kinds = leakchecker_benchsuite::generate_fuzz(seed).kinds;
+                    reduce_violation(&kinds, seed, iterations)
+                };
+                (verdict, reduction)
+            });
+        if let Some(journal) = journal {
+            let record = match &outcome {
+                Err(e) => JournalRecord::HarnessError(e.clone()),
+                Ok((verdict, _)) if verdict.is_sound() => JournalRecord::Sound(verdict.clone()),
+                Ok(_) => JournalRecord::Violation,
             };
-            (verdict, reduction)
-        })
+            if let Err(e) = journal.append(offset, &record) {
+                // Checkpointing is an add-on to a campaign that is
+                // otherwise succeeding; losing it costs resumability,
+                // not correctness, so warn rather than abort.
+                eprintln!("warning: {e}");
+            }
+        }
+        outcome
     });
+    let fresh: BTreeMap<u64, SeedOutcome> = items
+        .iter()
+        .map(|&(offset, _)| offset)
+        .zip(results)
+        .collect();
 
     let mut campaign = Campaign {
         programs: config.seeds,
@@ -194,8 +245,17 @@ pub fn run_campaign(config: &FuzzConfig) -> Campaign {
         iterations_per_handler: iterations,
         ..Campaign::default()
     };
-    for (&(_, seed), result) in items.iter().zip(results) {
-        match result {
+    for offset in 0..config.seeds {
+        let seed = config.base_seed.wrapping_add(offset);
+        let outcome: SeedOutcome = match fresh.get(&offset) {
+            Some(result) => result.clone(),
+            None => match resumed.get(&offset) {
+                Some(JournalRecord::Sound(verdict)) => Ok(Ok((verdict.clone(), None))),
+                Some(JournalRecord::HarnessError(e)) => Ok(Err(e.clone())),
+                _ => unreachable!("offset {offset} neither run nor resumed"),
+            },
+        };
+        match outcome {
             Err(_) => campaign.quarantined_seeds.push(seed),
             Ok(Err(e)) => campaign.errors.push(e),
             Ok(Ok((verdict, reduction))) => {
@@ -502,6 +562,51 @@ mod tests {
             renders[0].contains("\"quarantined_seeds\": [48882]"),
             "{}",
             renders[0]
+        );
+    }
+
+    #[test]
+    fn resumed_campaign_json_is_byte_identical() {
+        let dir = std::env::temp_dir().join(format!("leakc-resume-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign.journal");
+        // Include injected faults: exhaust journals a (degraded, sound)
+        // verdict; the panic seed never journals and must re-quarantine
+        // identically on resume.
+        let config = injected_config("exhaust@2,panic@5");
+        let uninterrupted = with_quiet_panics(|| render_campaign_json(&run_campaign(&config)));
+
+        let journal = Journal::create(&path, &config).unwrap();
+        with_quiet_panics(|| run_campaign_resumable(&config, Some(&journal), &BTreeMap::new()));
+        drop(journal);
+
+        // Simulate a crash after seed offset 3: keep the header plus
+        // four records (plus a torn tail fragment, as a real kill
+        // mid-append would leave).
+        let text = std::fs::read_to_string(&path).unwrap();
+        let kept: Vec<&str> = text.lines().take(5).collect();
+        std::fs::write(
+            &path,
+            format!("{}\nrec offset=9 status=ok se", kept.join("\n")),
+        )
+        .unwrap();
+
+        let (journal, records) = Journal::resume(&path, &config).unwrap();
+        assert_eq!(records.len(), 4, "header + 4 records survive the crash");
+        let resumed = with_quiet_panics(|| {
+            render_campaign_json(&run_campaign_resumable(&config, Some(&journal), &records))
+        });
+        assert_eq!(
+            uninterrupted, resumed,
+            "resumed campaign JSON must be byte-identical to an uninterrupted run"
+        );
+        // And the replenished journal now resumes to a full skip-list.
+        drop(journal);
+        let (_j, records) = Journal::resume(&path, &config).unwrap();
+        assert_eq!(
+            records.len() as u64,
+            config.seeds - 1,
+            "all but the panic seed"
         );
     }
 

@@ -58,8 +58,10 @@ pub mod flows;
 pub mod governor;
 pub mod oracle;
 pub mod parallel;
+pub mod persist;
 pub mod refine;
 pub mod report;
+pub mod server;
 pub mod target;
 
 pub use contexts::{ContextConfig, ContextTable};
@@ -70,7 +72,12 @@ pub use governor::{
     GovernorConfig, GovernorStats,
 };
 pub use oracle::{compare as oracle_compare, covered_sites, OracleComparison};
-pub use parallel::{effective_jobs, parallel_map, parallel_map_isolated};
+pub use parallel::{
+    effective_jobs, lock_resilient, parallel_map, parallel_map_isolated, read_resilient,
+    write_resilient,
+};
+pub use persist::write_atomic;
 pub use refine::{Refinement, SiteVerdict};
 pub use report::{render_all, LeakReport};
+pub use server::{DrainState, ServeConfig, ServeCore, ServeStats, SubmitError};
 pub use target::{CheckTarget, ResolvedTarget, TargetError};

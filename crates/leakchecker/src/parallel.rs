@@ -16,6 +16,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+pub use leakchecker_pointsto::sync::{lock_resilient, read_resilient, write_resilient};
+
 /// Resolves a `jobs` knob: `0` means "use the machine", anything else is
 /// taken literally.
 pub fn effective_jobs(jobs: usize) -> usize {
@@ -56,15 +58,19 @@ where
                 if i >= n {
                     break;
                 }
-                let item = work[i].lock().unwrap().take().expect("item claimed once");
+                let item = lock_resilient(&work[i]).take().expect("item claimed once");
                 let result = f(item);
-                *slots[i].lock().unwrap() = Some(result);
+                *lock_resilient(&slots[i]) = Some(result);
             });
         }
     });
     slots
         .into_iter()
-        .map(|slot| slot.into_inner().unwrap().expect("worker filled slot"))
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("worker filled slot")
+        })
         .collect()
 }
 

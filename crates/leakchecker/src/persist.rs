@@ -1,0 +1,98 @@
+//! Crash-safe file persistence: atomic whole-file writes.
+//!
+//! Every machine-readable artifact this workspace emits (`--json`
+//! campaign summaries, Table 1 exports, check results) is consumed by
+//! downstream tooling that cannot tolerate a truncated document. A
+//! process killed mid-`write` leaves exactly that, so all such outputs
+//! go through [`write_atomic`]: the bytes land in a temporary file in
+//! the destination directory, are fsync'd, and are then renamed over
+//! the target. POSIX rename is atomic within a filesystem, so at any
+//! kill point the destination holds either the complete old document or
+//! the complete new one — never a prefix.
+
+use std::io::Write as _;
+use std::path::Path;
+
+/// Writes `contents` to `path` atomically: temp file in the same
+/// directory, flush + fsync, then rename over the destination.
+///
+/// # Errors
+///
+/// Propagates I/O failures from any step; on failure the destination is
+/// untouched (a stray temp file may remain and is overwritten by the
+/// next attempt).
+pub fn write_atomic(path: &Path, contents: &[u8]) -> std::io::Result<()> {
+    let dir = match path.parent() {
+        Some(parent) if !parent.as_os_str().is_empty() => parent,
+        _ => Path::new("."),
+    };
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("write_atomic: {} has no file name", path.display()),
+            )
+        })?
+        .to_string_lossy()
+        .into_owned();
+    // The temp name is keyed by pid so concurrent writers of *different*
+    // documents never collide; concurrent writers of the same document
+    // last-write-wins, which rename makes safe.
+    let tmp = dir.join(format!(".{file_name}.tmp.{}", std::process::id()));
+    let mut file = std::fs::File::create(&tmp)?;
+    file.write_all(contents)?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp, path)?;
+    // Best-effort directory fsync so the rename itself survives a power
+    // cut; ignored where directories cannot be opened (non-POSIX).
+    if let Ok(dirf) = std::fs::File::open(dir) {
+        let _ = dirf.sync_all();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("leakc-persist-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_and_overwrites() {
+        let dir = temp_dir("basic");
+        let path = dir.join("out.json");
+        write_atomic(&path, b"{\"v\": 1}\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\": 1}\n");
+        write_atomic(&path, b"{\"v\": 2}\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\": 2}\n");
+    }
+
+    #[test]
+    fn leaves_no_temp_file_behind() {
+        let dir = temp_dir("tmpfile");
+        let path = dir.join("artifact.json");
+        write_atomic(&path, b"data").unwrap();
+        let stray: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp."))
+            .collect();
+        assert!(stray.is_empty(), "stray temp files: {stray:?}");
+    }
+
+    #[test]
+    fn missing_directory_is_an_error_and_target_untouched() {
+        let dir = temp_dir("err");
+        let path = dir.join("keep.json");
+        write_atomic(&path, b"old").unwrap();
+        let bad = dir.join("no-such-subdir").join("out.json");
+        assert!(write_atomic(&bad, b"new").is_err());
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "old");
+    }
+}

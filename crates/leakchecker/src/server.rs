@@ -1,0 +1,436 @@
+//! The analysis-service core: a bounded admission queue, a panic-isolated
+//! worker pool, and a graceful-drain state machine.
+//!
+//! This module is transport-agnostic — it knows nothing about sockets
+//! or JSON. The CLI's `leakc serve` wires a line-delimited protocol on
+//! top; tests and the soak harness drive it in-process. The contract:
+//!
+//! * **admission control** — [`ServeCore::submit`] either admits a
+//!   request into a queue bounded by [`ServeConfig::capacity`] or sheds
+//!   it *immediately* with [`SubmitError::Overloaded`]. A shed request
+//!   is never silently dropped or starved: the caller always learns its
+//!   fate synchronously.
+//! * **isolation** — every admitted request runs through
+//!   [`crate::parallel_map_isolated`], so a panicking handler (an
+//!   injected fault or a genuine bug) yields an `Err(panic message)`
+//!   for *that request* while the worker thread, the queue, and every
+//!   other request keep going.
+//! * **graceful drain** — [`ServeCore::begin_drain`] flips the state
+//!   machine `Running → Draining`; submissions are refused with
+//!   [`SubmitError::Draining`], queued and in-flight requests complete,
+//!   and [`ServeCore::shutdown`] joins the workers (`Draining →
+//!   Stopped`) and returns the final counters.
+
+use crate::parallel::{lock_resilient, parallel_map_isolated};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Sizing knobs for the service core.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Maximum requests waiting for a worker; submissions beyond the
+    /// bound are shed with [`SubmitError::Overloaded`].
+    pub capacity: usize,
+    /// Worker threads executing admitted requests (resolved through
+    /// [`crate::effective_jobs`]; 0 = machine width).
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            capacity: 64,
+            workers: 1,
+        }
+    }
+}
+
+/// Why a submission was refused.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity; the request was shed, not enqueued.
+    Overloaded {
+        /// Queue depth observed at the shed decision.
+        queue_depth: usize,
+    },
+    /// The core is draining (or stopped); no new work is accepted.
+    Draining,
+}
+
+/// The drain state machine's observable state.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum DrainState {
+    /// Accepting and executing requests.
+    Running,
+    /// No longer accepting; finishing queued and in-flight requests.
+    Draining,
+    /// Workers joined; all accepted requests have been answered.
+    Stopped,
+}
+
+impl DrainState {
+    /// Stable lowercase label (used by the protocol's `health` reply).
+    pub fn label(self) -> &'static str {
+        match self {
+            DrainState::Running => "running",
+            DrainState::Draining => "draining",
+            DrainState::Stopped => "stopped",
+        }
+    }
+
+    fn from_u8(v: u8) -> DrainState {
+        match v {
+            0 => DrainState::Running,
+            1 => DrainState::Draining,
+            _ => DrainState::Stopped,
+        }
+    }
+}
+
+/// Final (or live) counters for the service.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests admitted into the queue.
+    pub admitted: u64,
+    /// Requests executed to completion (including panicked ones).
+    pub served: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Requests whose handler panicked (quarantined, answered with the
+    /// panic message).
+    pub panicked: u64,
+    /// Requests waiting for a worker right now.
+    pub queue_depth: usize,
+}
+
+struct QueueState<Req, Resp> {
+    items: VecDeque<(Req, Sender<Result<Resp, String>>)>,
+    closed: bool,
+}
+
+struct Shared<Req, Resp> {
+    queue: Mutex<QueueState<Req, Resp>>,
+    available: Condvar,
+    capacity: usize,
+    state: AtomicU8,
+    admitted: AtomicU64,
+    served: AtomicU64,
+    shed: AtomicU64,
+    panicked: AtomicU64,
+}
+
+/// The running service core. `Req` flows in through [`submit`]
+/// (`ServeCore::submit`), the handler maps it to `Resp`, and the caller
+/// receives `Result<Resp, String>` — `Err` carrying the panic message
+/// of a quarantined handler.
+pub struct ServeCore<Req: Send + 'static, Resp: Send + 'static> {
+    shared: Arc<Shared<Req, Resp>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<Req: Send + 'static, Resp: Send + 'static> ServeCore<Req, Resp> {
+    /// Starts `config.workers` worker threads executing `handler`.
+    pub fn start<F>(config: ServeConfig, handler: F) -> ServeCore<Req, Resp>
+    where
+        F: Fn(Req) -> Resp + Send + Sync + 'static,
+    {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity: config.capacity,
+            state: AtomicU8::new(0),
+            admitted: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
+        });
+        let handler = Arc::new(handler);
+        let workers = (0..crate::effective_jobs(config.workers))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let handler = Arc::clone(&handler);
+                std::thread::spawn(move || worker_loop(&shared, &*handler))
+            })
+            .collect();
+        ServeCore { shared, workers }
+    }
+
+    /// Offers a request. On admission, returns the receiver that will
+    /// yield the handler's result (or the panic message of a
+    /// quarantined run). On refusal, the typed reason — the request was
+    /// *not* enqueued.
+    pub fn submit(&self, req: Req) -> Result<Receiver<Result<Resp, String>>, SubmitError> {
+        let mut queue = lock_resilient(&self.shared.queue);
+        if queue.closed {
+            return Err(SubmitError::Draining);
+        }
+        if queue.items.len() >= self.shared.capacity {
+            self.shared.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::Overloaded {
+                queue_depth: queue.items.len(),
+            });
+        }
+        let (tx, rx) = channel();
+        queue.items.push_back((req, tx));
+        self.shared.admitted.fetch_add(1, Ordering::Relaxed);
+        drop(queue);
+        self.shared.available.notify_one();
+        Ok(rx)
+    }
+
+    /// Current drain state.
+    pub fn state(&self) -> DrainState {
+        DrainState::from_u8(self.shared.state.load(Ordering::Relaxed))
+    }
+
+    /// Live counters.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            admitted: self.shared.admitted.load(Ordering::Relaxed),
+            served: self.shared.served.load(Ordering::Relaxed),
+            shed: self.shared.shed.load(Ordering::Relaxed),
+            panicked: self.shared.panicked.load(Ordering::Relaxed),
+            queue_depth: lock_resilient(&self.shared.queue).items.len(),
+        }
+    }
+
+    /// `Running → Draining`: closes admission. Queued and in-flight
+    /// requests still complete; call [`shutdown`](ServeCore::shutdown)
+    /// to wait for them. Idempotent.
+    pub fn begin_drain(&self) {
+        {
+            let mut queue = lock_resilient(&self.shared.queue);
+            queue.closed = true;
+        }
+        let _ = self
+            .shared
+            .state
+            .compare_exchange(0, 1, Ordering::Relaxed, Ordering::Relaxed);
+        self.shared.available.notify_all();
+    }
+
+    /// Drains (if not already draining) and joins every worker. Returns
+    /// the final counters; afterwards the state is
+    /// [`DrainState::Stopped`] and every admitted request has been
+    /// answered.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.begin_drain();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.shared.state.store(2, Ordering::Relaxed);
+        self.stats()
+    }
+}
+
+fn worker_loop<Req: Send, Resp: Send>(
+    shared: &Shared<Req, Resp>,
+    handler: &(dyn Fn(Req) -> Resp + Sync),
+) {
+    loop {
+        let (req, reply) = {
+            let mut queue = lock_resilient(&shared.queue);
+            loop {
+                if let Some(item) = queue.items.pop_front() {
+                    break item;
+                }
+                if queue.closed {
+                    return;
+                }
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        // One-item isolated map: the request runs under the same
+        // quarantine primitive as the detector's fan-out phases, so a
+        // panicking handler degrades to an Err for this request only.
+        let mut out = parallel_map_isolated(1, vec![req], handler);
+        let result = out.pop().expect("one item in, one result out");
+        if result.is_err() {
+            shared.panicked.fetch_add(1, Ordering::Relaxed);
+        }
+        shared.served.fetch_add(1, Ordering::Relaxed);
+        // The submitter may have given up (connection gone); a dead
+        // receiver is not an error.
+        let _ = reply.send(result);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(hook);
+        out
+    }
+
+    #[test]
+    fn requests_round_trip_in_order_per_submitter() {
+        let core = ServeCore::start(
+            ServeConfig {
+                capacity: 8,
+                workers: 2,
+            },
+            |x: u32| x * 2,
+        );
+        for x in 0..20u32 {
+            let rx = core.submit(x).unwrap();
+            assert_eq!(rx.recv().unwrap(), Ok(x * 2));
+        }
+        let stats = core.shutdown();
+        assert_eq!(stats.admitted, 20);
+        assert_eq!(stats.served, 20);
+        assert_eq!(stats.shed, 0);
+        assert_eq!(stats.queue_depth, 0);
+    }
+
+    #[test]
+    fn overload_sheds_with_a_typed_refusal() {
+        // One worker blocked on a slow request, capacity 1: the second
+        // submission queues, the third is shed.
+        let core = ServeCore::start(
+            ServeConfig {
+                capacity: 1,
+                workers: 1,
+            },
+            |ms: u64| {
+                std::thread::sleep(Duration::from_millis(ms));
+                ms
+            },
+        );
+        let first = core.submit(150).unwrap();
+        // Give the worker time to claim the first item.
+        std::thread::sleep(Duration::from_millis(30));
+        let second = core.submit(0).unwrap();
+        match core.submit(0) {
+            Err(SubmitError::Overloaded { queue_depth }) => assert_eq!(queue_depth, 1),
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert_eq!(first.recv().unwrap(), Ok(150));
+        assert_eq!(second.recv().unwrap(), Ok(0));
+        let stats = core.shutdown();
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.served, 2);
+    }
+
+    #[test]
+    fn panicking_handler_is_quarantined_not_fatal() {
+        quiet_panics(|| {
+            let core = ServeCore::start(
+                ServeConfig {
+                    capacity: 8,
+                    workers: 1,
+                },
+                |x: u32| {
+                    if x == 13 {
+                        panic!("injected handler panic");
+                    }
+                    x
+                },
+            );
+            let bad = core.submit(13).unwrap();
+            let err = bad.recv().unwrap().unwrap_err();
+            assert!(err.contains("injected handler panic"), "{err}");
+            // The same worker thread keeps serving.
+            let good = core.submit(7).unwrap();
+            assert_eq!(good.recv().unwrap(), Ok(7));
+            let stats = core.shutdown();
+            assert_eq!(stats.panicked, 1);
+            assert_eq!(stats.served, 2);
+        });
+    }
+
+    #[test]
+    fn drain_refuses_new_work_but_finishes_queued_work() {
+        let core = ServeCore::start(
+            ServeConfig {
+                capacity: 8,
+                workers: 1,
+            },
+            |ms: u64| {
+                std::thread::sleep(Duration::from_millis(ms));
+                ms
+            },
+        );
+        let slow = core.submit(100).unwrap();
+        let queued = core.submit(1).unwrap();
+        core.begin_drain();
+        assert_eq!(core.state(), DrainState::Draining);
+        assert!(matches!(core.submit(0), Err(SubmitError::Draining)));
+        // Both accepted requests still complete during the drain.
+        assert_eq!(slow.recv().unwrap(), Ok(100));
+        assert_eq!(queued.recv().unwrap(), Ok(1));
+        let stats = core.shutdown();
+        assert_eq!(stats.admitted, 2);
+        assert_eq!(stats.served, 2);
+    }
+
+    #[test]
+    fn shutdown_is_terminal_and_counts_are_consistent() {
+        let core = ServeCore::start(ServeConfig::default(), |x: u8| x);
+        let rx = core.submit(1).unwrap();
+        assert_eq!(rx.recv().unwrap(), Ok(1));
+        let stats = core.shutdown();
+        assert_eq!(stats.admitted, stats.served);
+        assert_eq!(stats.queue_depth, 0);
+    }
+
+    #[test]
+    fn concurrent_submitters_never_hang_under_overload() {
+        // The soak-shaped invariant: every submission gets a synchronous
+        // verdict (admitted result or typed shed), even when far more
+        // clients than capacity arrive at once.
+        let core = Arc::new(ServeCore::start(
+            ServeConfig {
+                capacity: 4,
+                workers: 2,
+            },
+            |x: u32| {
+                std::thread::sleep(Duration::from_millis(2));
+                x + 1
+            },
+        ));
+        let outcomes: Vec<(u64, u64)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|t| {
+                    let core = Arc::clone(&core);
+                    scope.spawn(move || {
+                        let (mut ok, mut shed) = (0u64, 0u64);
+                        for i in 0..25u32 {
+                            match core.submit(t * 100 + i) {
+                                Ok(rx) => {
+                                    assert_eq!(rx.recv().unwrap(), Ok(t * 100 + i + 1));
+                                    ok += 1;
+                                }
+                                Err(SubmitError::Overloaded { .. }) => shed += 1,
+                                Err(SubmitError::Draining) => panic!("not draining"),
+                            }
+                        }
+                        (ok, shed)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let total_ok: u64 = outcomes.iter().map(|(ok, _)| ok).sum();
+        let total_shed: u64 = outcomes.iter().map(|(_, shed)| shed).sum();
+        assert_eq!(total_ok + total_shed, 200, "every request got a verdict");
+        let core = Arc::into_inner(core).expect("all submitters done");
+        let stats = core.shutdown();
+        assert_eq!(stats.served, total_ok);
+        assert_eq!(stats.shed, total_shed);
+    }
+}

@@ -31,6 +31,7 @@
 use crate::context::Context;
 use crate::intern::{ContextInterner, CtxId};
 use crate::pag::{EdgeLabel, LoadStmt, Node, NodeId, Pag};
+use crate::sync::{read_resilient, write_resilient};
 use leakchecker_ir::ids::AllocSite;
 use leakchecker_ir::Program;
 use std::collections::{BTreeSet, HashMap, HashSet};
@@ -198,25 +199,17 @@ impl ShardedMemo {
         // the rest of the run: the table only ever holds finished,
         // internally consistent `Arc<PtResult>` values, so recovering
         // the guard is safe.
-        self.shards[self.shard(key)]
-            .read()
-            .unwrap_or_else(|e| e.into_inner())
+        read_resilient(&self.shards[self.shard(key)])
             .get(key)
             .cloned()
     }
 
     fn insert(&self, key: (NodeId, CtxId), value: Arc<PtResult>) {
-        self.shards[self.shard(&key)]
-            .write()
-            .unwrap_or_else(|e| e.into_inner())
-            .insert(key, value);
+        write_resilient(&self.shards[self.shard(&key)]).insert(key, value);
     }
 
     fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.read().unwrap_or_else(|e| e.into_inner()).len())
-            .sum()
+        self.shards.iter().map(|s| read_resilient(s).len()).sum()
     }
 }
 

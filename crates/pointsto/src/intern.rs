@@ -23,6 +23,7 @@
 //! engine be shared across scoped worker threads.
 
 use crate::context::Context;
+use crate::sync::{read_resilient, write_resilient};
 use leakchecker_ir::ids::CallSite;
 use std::collections::HashMap;
 use std::fmt;
@@ -117,11 +118,7 @@ impl ContextInterner {
 
     /// Number of distinct contexts interned so far.
     pub fn len(&self) -> usize {
-        self.inner
-            .read()
-            .unwrap_or_else(|e| e.into_inner())
-            .entries
-            .len()
+        read_resilient(&self.inner).entries.len()
     }
 
     /// `true` when only the empty context exists.
@@ -134,39 +131,28 @@ impl ContextInterner {
         if ctx.is_empty() {
             return CtxId::EMPTY;
         }
-        if let Some(&id) = self
-            .inner
-            .read()
-            .unwrap_or_else(|e| e.into_inner())
-            .by_ctx
-            .get(ctx)
-        {
+        if let Some(&id) = read_resilient(&self.inner).by_ctx.get(ctx) {
             return id;
         }
-        self.inner
-            .write()
-            .unwrap_or_else(|e| e.into_inner())
-            .intern(ctx)
+        write_resilient(&self.inner).intern(ctx)
     }
 
     /// The materialized call string for an id (cheap `Arc` clone).
     pub fn resolve(&self, id: CtxId) -> Context {
-        self.inner.read().unwrap_or_else(|e| e.into_inner()).entries[id.index()]
-            .ctx
-            .clone()
+        read_resilient(&self.inner).entries[id.index()].ctx.clone()
     }
 
     /// Extends `id` by descending through `site`, keeping at most the
     /// innermost `k` frames — the CFL *open parenthesis*.
     pub fn push(&self, id: CtxId, site: CallSite) -> CtxId {
         {
-            let inner = self.inner.read().unwrap_or_else(|e| e.into_inner());
+            let inner = read_resilient(&self.inner);
             if let Some(&next) = inner.push_cache.get(&(id, site)) {
                 return next;
             }
         }
         let extended = self.resolve(id).push(site, self.k);
-        let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        let mut inner = write_resilient(&self.inner);
         let next = inner.intern(&extended);
         inner.push_cache.insert((id, site), next);
         next
@@ -179,7 +165,7 @@ impl ContextInterner {
         if id == CtxId::EMPTY {
             return Some(CtxId::EMPTY);
         }
-        let inner = self.inner.read().unwrap_or_else(|e| e.into_inner());
+        let inner = read_resilient(&self.inner);
         let entry = &inner.entries[id.index()];
         (entry.top == Some(site)).then_some(entry.parent)
     }

@@ -36,6 +36,7 @@ pub mod context;
 pub mod demand;
 pub mod intern;
 pub mod pag;
+pub mod sync;
 
 pub use andersen::Andersen;
 pub use context::Context;
@@ -44,3 +45,4 @@ pub use demand::{
 };
 pub use intern::{ContextInterner, CtxId};
 pub use pag::{EdgeLabel, LoadStmt, Node, NodeId, Pag, StoreStmt};
+pub use sync::{lock_resilient, read_resilient, write_resilient};

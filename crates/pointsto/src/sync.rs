@@ -1,0 +1,66 @@
+//! Poison-resistant lock acquisition.
+//!
+//! Worker panics are a survivable event everywhere in this workspace
+//! (quarantine in `parallel_map_isolated`, request isolation in the
+//! serve daemon), so a poisoned `Mutex`/`RwLock` must never cascade
+//! into a second panic at the next lock site. Every value guarded by a
+//! shared lock here is kept internally consistent across panics —
+//! writers only ever insert finished values — which makes recovering
+//! the guard sound. These helpers centralize the
+//! `unwrap_or_else(|e| e.into_inner())` pattern so every lock site in
+//! the workspace degrades identically.
+
+use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Locks a `Mutex`, recovering the guard from a poisoned lock.
+pub fn lock_resilient<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Read-locks an `RwLock`, recovering the guard from a poisoned lock.
+pub fn read_resilient<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Write-locks an `RwLock`, recovering the guard from a poisoned lock.
+pub fn write_resilient<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn mutex_guard_survives_poisoning() {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let mutex = Mutex::new(7u32);
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = lock_resilient(&mutex);
+            panic!("poison the lock");
+        }));
+        std::panic::set_hook(hook);
+        assert!(mutex.is_poisoned());
+        assert_eq!(*lock_resilient(&mutex), 7);
+        *lock_resilient(&mutex) = 8;
+        assert_eq!(*lock_resilient(&mutex), 8);
+    }
+
+    #[test]
+    fn rwlock_guards_survive_poisoning() {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let lock = RwLock::new(vec![1, 2, 3]);
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = write_resilient(&lock);
+            panic!("poison the lock");
+        }));
+        std::panic::set_hook(hook);
+        assert!(lock.is_poisoned());
+        assert_eq!(read_resilient(&lock).len(), 3);
+        write_resilient(&lock).push(4);
+        assert_eq!(read_resilient(&lock).len(), 4);
+    }
+}

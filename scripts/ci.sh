@@ -46,4 +46,67 @@ cmp "$tmpdir/j1.json" "$tmpdir/j8.json"
 echo "==> corpus replay"
 cargo test -q --offline --test corpus_replay
 
+echo "==> server smoke (20 mixed requests, SIGTERM drain, workers 1 vs 8)"
+# Start a daemon, drive it with the soak client's deterministic request
+# mix (plain checks, governed checks, injected panics, malformed
+# lines), SIGTERM it, and require a graceful drain (exit 0). Run twice
+# at different worker widths; the normalized responses must be
+# byte-identical.
+leakc="./target/release/leakc"
+soak="$(dirname "$leakc")/soak"
+cargo build -q --release --offline -p leakchecker-bench --bin soak
+serve_smoke() {
+  local workers="$1" out="$2"
+  "$leakc" serve --addr 127.0.0.1:0 --workers "$workers" \
+    > "$tmpdir/serve-$workers.log" 2>/dev/null &
+  local pid=$!
+  local addr=""
+  for _ in $(seq 1 100); do
+    addr="$(grep -om1 '127.0.0.1:[0-9]*' "$tmpdir/serve-$workers.log" || true)"
+    [ -n "$addr" ] && break
+    sleep 0.1
+  done
+  if [ -z "$addr" ]; then
+    echo "server smoke: daemon (workers $workers) never bound" >&2
+    exit 1
+  fi
+  "$soak" --connect "$addr" --mixed 20 > "$out"
+  kill -TERM "$pid"
+  local rc=0
+  wait "$pid" || rc=$?
+  if [ "$rc" -ne 0 ]; then
+    echo "server smoke: SIGTERM drain (workers $workers) exited $rc, want 0" >&2
+    exit 1
+  fi
+  grep -q "drained" "$tmpdir/serve-$workers.log" || {
+    echo "server smoke: no drain summary (workers $workers)" >&2
+    exit 1
+  }
+}
+serve_smoke 1 "$tmpdir/responses-w1.txt"
+serve_smoke 8 "$tmpdir/responses-w8.txt"
+cmp "$tmpdir/responses-w1.txt" "$tmpdir/responses-w8.txt"
+
+echo "==> journal resume determinism (kill -9 mid-campaign, then --resume)"
+# A campaign killed mid-flight and resumed from its journal must emit
+# the same summary JSON as an uninterrupted run — at any jobs width.
+fuzz_args="fuzz --seeds 48 --seed 11 --iterations 6"
+$leakc $fuzz_args --jobs 1 --json "$tmpdir/full.json" >/dev/null
+$leakc $fuzz_args --jobs 2 --journal "$tmpdir/campaign.journal" \
+  >/dev/null 2>&1 &
+fuzz_pid=$!
+sleep 0.3
+kill -9 "$fuzz_pid" 2>/dev/null || true
+wait "$fuzz_pid" 2>/dev/null || true
+set +e
+$leakc $fuzz_args --jobs 8 --resume "$tmpdir/campaign.journal" \
+  --json "$tmpdir/resumed.json" >/dev/null
+rc=$?
+set -e
+if [ "$rc" -gt 1 ]; then
+  echo "journal resume: resume run exited $rc" >&2
+  exit 1
+fi
+cmp "$tmpdir/full.json" "$tmpdir/resumed.json"
+
 echo "CI OK"

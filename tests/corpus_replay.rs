@@ -54,6 +54,54 @@ fn every_corpus_entry_replays_to_its_recorded_verdict() {
     }
 }
 
+/// Locks the degraded-report output format. The `degraded-andersen`
+/// exemplar records a verdict under `query-budget: 1` / `max-retries: 0`,
+/// which forces every demand query onto the Andersen fallback; the
+/// rendered report must carry the `(degraded: <cause>)` tag so operators
+/// can tell a full-precision report from a budget-starved one.
+#[test]
+fn degraded_exemplar_renders_the_degraded_tag() {
+    let path = corpus_dir().join("exemplar-degraded-andersen.jml");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let entry = parse_entry(&text).expect("well-formed degraded exemplar");
+    assert_eq!(entry.query_budget, Some(1));
+    assert_eq!(entry.max_retries, Some(0));
+    assert!(
+        entry.verdict.contains(" degraded="),
+        "recorded verdict must carry the degraded count: {}",
+        entry.verdict
+    );
+
+    let unit = leakchecker_frontend::compile(&entry.source).expect("exemplar compiles");
+    let target = *unit
+        .checked_loops
+        .first()
+        .expect("exemplar has a @check loop");
+    let result = leakchecker::check(
+        &unit.program,
+        leakchecker::CheckTarget::Loop(target),
+        leakchecker::DetectorConfig {
+            governor: leakchecker::GovernorConfig {
+                query_budget: 1,
+                max_retries: 0,
+                ..leakchecker::GovernorConfig::default()
+            },
+            ..leakchecker::DetectorConfig::default()
+        },
+    )
+    .expect("detector runs");
+    let rendered = leakchecker::render_all(&result.program, &result.reports);
+    assert!(
+        rendered.contains("(degraded: budget-exhausted)"),
+        "starved run must render the degraded tag:\n{rendered}"
+    );
+    assert!(
+        result.stats.is_degraded(),
+        "run stats must record degradation"
+    );
+}
+
 #[test]
 fn corpus_covers_every_grammar_kind() {
     let mut seen = std::collections::BTreeSet::new();
