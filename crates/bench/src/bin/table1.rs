@@ -9,8 +9,8 @@
 
 use leakchecker::render_all as render_reports;
 use leakchecker_bench::{
-    render_json, render_table, run_subject, size_sweep, subject_or_exit, table1_rows_jobs,
-    SweepPoint,
+    render_json, render_table, run_subject, size_sweep, subject_or_exit, summarize_trace,
+    table1_rows_jobs, SweepPoint,
 };
 
 struct Args {
@@ -18,6 +18,7 @@ struct Args {
     jobs: usize,
     json: Option<String>,
     sweep: bool,
+    trace_summary: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -26,6 +27,7 @@ fn parse_args() -> Args {
         jobs: 1,
         json: None,
         sweep: false,
+        trace_summary: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -40,6 +42,7 @@ fn parse_args() -> Args {
             }
             "--json" => args.json = it.next().cloned(),
             "--sweep" => args.sweep = true,
+            "--trace-summary" => args.trace_summary = it.next().cloned(),
             _ => usage(),
         }
     }
@@ -47,12 +50,41 @@ fn parse_args() -> Args {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: table1 [--case <subject>] [--jobs N] [--json <path>] [--sweep]");
+    eprintln!(
+        "usage: table1 [--case <subject>] [--jobs N] [--json <path>] [--sweep] \
+         [--trace-summary <trace.jsonl>]"
+    );
     std::process::exit(2);
+}
+
+/// Aggregates a `leakc check --trace out.jsonl` file: events, ticket
+/// spend and edge counts per phase and outcome.
+fn trace_summary(path: &str) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match summarize_trace(&text) {
+        Ok(summary) => {
+            println!("trace summary for {path}");
+            print!("{}", summary.render());
+        }
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
     let args = parse_args();
+    if let Some(path) = &args.trace_summary {
+        trace_summary(path);
+        return;
+    }
     if let Some(name) = &args.case {
         case_study(name);
         return;

@@ -275,6 +275,152 @@ pub fn render_json(rows: &[TableRow], sweep: &[SweepPoint]) -> String {
     out
 }
 
+/// Aggregate view of a `--trace` JSONL file (one event per demand query).
+///
+/// The trace schema is owned by `leakchecker::QueryTrace::to_json`; this
+/// summarizer is the consumer side the issue asks `table1` to provide, so
+/// a campaign's ticket spend and outcome mix can be inspected without
+/// re-running the analysis.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total trace events (lines) in the file.
+    pub events: u64,
+    /// Total ticket spend across all queries.
+    pub steps: u64,
+    /// Total provenance edges recorded across all queries.
+    pub edges: u64,
+    /// Event count per analysis phase, sorted by phase name.
+    pub phases: std::collections::BTreeMap<String, u64>,
+    /// Event count per query outcome, sorted by outcome name.
+    pub outcomes: std::collections::BTreeMap<String, u64>,
+}
+
+impl TraceSummary {
+    /// Renders the summary as the aligned text block `table1
+    /// --trace-summary` prints.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace events: {}  ticket spend: {}  witness edges: {}",
+            self.events, self.steps, self.edges
+        );
+        let _ = writeln!(out, "by phase:");
+        for (phase, count) in &self.phases {
+            let _ = writeln!(out, "  {phase:<24} {count}");
+        }
+        let _ = writeln!(out, "by outcome:");
+        for (outcome, count) in &self.outcomes {
+            let _ = writeln!(out, "  {outcome:<24} {count}");
+        }
+        out
+    }
+}
+
+/// Reads a JSON string field (`"key": "value"`) out of one trace line,
+/// honoring backslash escapes. The build is hermetic (no serde), and the
+/// producer emits one flat object per line, so field-level scanning is
+/// exact rather than approximate.
+fn trace_str_field(line: &str, key: &str) -> Result<String, String> {
+    let marker = format!("\"{key}\": \"");
+    let start = line
+        .find(&marker)
+        .ok_or_else(|| format!("trace event is missing field `{key}`: {line}"))?
+        + marker.len();
+    let mut out = String::new();
+    let mut chars = line[start..].chars();
+    loop {
+        match chars.next() {
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('u') => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16)
+                        .map_err(|_| format!("bad \\u escape in field `{key}`: {line}"))?;
+                    out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                }
+                Some(c) => out.push(c),
+                None => return Err(format!("unterminated escape in field `{key}`: {line}")),
+            },
+            Some(c) => out.push(c),
+            None => return Err(format!("unterminated string in field `{key}`: {line}")),
+        }
+    }
+}
+
+/// Reads a JSON number field (`"key": 42`) out of one trace line.
+fn trace_num_field(line: &str, key: &str) -> Result<u64, String> {
+    let marker = format!("\"{key}\": ");
+    let start = line
+        .find(&marker)
+        .ok_or_else(|| format!("trace event is missing field `{key}`: {line}"))?
+        + marker.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits
+        .parse()
+        .map_err(|_| format!("field `{key}` is not a number: {line}"))
+}
+
+/// Counts the strings in the `"edges": [...]` array of one trace line.
+fn trace_edge_count(line: &str) -> Result<u64, String> {
+    let marker = "\"edges\": [";
+    let start = line
+        .find(marker)
+        .ok_or_else(|| format!("trace event is missing field `edges`: {line}"))?
+        + marker.len();
+    let mut count = 0u64;
+    let mut in_string = false;
+    let mut chars = line[start..].chars();
+    loop {
+        match chars.next() {
+            Some('"') if !in_string => {
+                in_string = true;
+                count += 1;
+            }
+            Some('"') => in_string = false,
+            Some('\\') if in_string => {
+                chars.next();
+            }
+            Some(']') if !in_string => return Ok(count),
+            Some(_) => {}
+            None => return Err(format!("unterminated edges array: {line}")),
+        }
+    }
+}
+
+/// Summarizes the JSONL text a `leakc check --trace out.jsonl` run wrote.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line — a trace file is
+/// machine-written, so any parse failure means the file is torn or not a
+/// trace at all, and a partial summary would be misleading.
+pub fn summarize_trace(text: &str) -> Result<TraceSummary, String> {
+    let mut summary = TraceSummary::default();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let phase = trace_str_field(line, "phase").map_err(|e| format!("line {}: {e}", idx + 1))?;
+        let outcome =
+            trace_str_field(line, "outcome").map_err(|e| format!("line {}: {e}", idx + 1))?;
+        let steps = trace_num_field(line, "steps").map_err(|e| format!("line {}: {e}", idx + 1))?;
+        let edges = trace_edge_count(line).map_err(|e| format!("line {}: {e}", idx + 1))?;
+        summary.events += 1;
+        summary.steps += steps;
+        summary.edges += edges;
+        *summary.phases.entry(phase).or_insert(0) += 1;
+        *summary.outcomes.entry(outcome).or_insert(0) += 1;
+    }
+    Ok(summary)
+}
+
 /// Resolves a subject by name for `--case` style flags.
 ///
 /// # Panics
@@ -350,5 +496,78 @@ mod tests {
         assert!(json.contains("\"fallbacks\""));
         assert!(json.contains("\"degraded_reports\""));
         assert_eq!(json.matches("\"handlers\"").count(), 2);
+    }
+
+    #[test]
+    fn trace_summary_consumes_real_detector_traces() {
+        let subject = &all_subjects()[0];
+        let config = DetectorConfig {
+            witnesses: true,
+            ..subject.detector_config()
+        };
+        let (result, _) = run_subject_with(subject, config);
+        assert!(
+            !result.traces.is_empty(),
+            "witness-enabled run must record trace events"
+        );
+        let jsonl: String = result
+            .traces
+            .iter()
+            .map(|t| {
+                let mut line = t.to_json();
+                line.push('\n');
+                line
+            })
+            .collect();
+        let summary = summarize_trace(&jsonl).unwrap();
+        assert_eq!(summary.events, result.traces.len() as u64);
+        assert_eq!(
+            summary.steps,
+            result.traces.iter().map(|t| t.steps).sum::<u64>()
+        );
+        assert_eq!(
+            summary.edges,
+            result
+                .traces
+                .iter()
+                .map(|t| t.edges.len() as u64)
+                .sum::<u64>()
+        );
+        assert_eq!(
+            summary.phases.values().sum::<u64>(),
+            summary.events,
+            "every event lands in exactly one phase bucket"
+        );
+        assert_eq!(summary.outcomes.values().sum::<u64>(), summary.events);
+        let text = summary.render();
+        assert!(text.contains("trace events:"));
+        assert!(text.contains("by phase:"));
+        assert!(text.contains("by outcome:"));
+    }
+
+    #[test]
+    fn trace_summary_rejects_torn_lines() {
+        let good = "{\"phase\": \"flows\", \"site\": \"s\", \"query\": \"q\", \
+                    \"budget\": 10, \"steps\": 3, \"outcome\": \"proved\", \
+                    \"edges\": [\"a --assign--> b\", \"b --store f--> c\"]}\n";
+        let summary = summarize_trace(good).unwrap();
+        assert_eq!(summary.events, 1);
+        assert_eq!(summary.steps, 3);
+        assert_eq!(summary.edges, 2);
+        assert_eq!(summary.phases.get("flows"), Some(&1));
+        assert_eq!(summary.outcomes.get("proved"), Some(&1));
+
+        // A quoted `]` inside an edge label must not terminate the array.
+        let tricky = "{\"phase\": \"p\", \"site\": \"s\", \"query\": \"q\", \
+                      \"budget\": 1, \"steps\": 1, \"outcome\": \"o\", \
+                      \"edges\": [\"a[0] --assign--> b\"]}\n";
+        assert_eq!(summarize_trace(tricky).unwrap().edges, 1);
+
+        let torn = &good[..good.len() / 2];
+        let err = summarize_trace(torn).unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+
+        assert!(summarize_trace("not json\n").is_err());
+        assert_eq!(summarize_trace("\n\n").unwrap(), TraceSummary::default());
     }
 }

@@ -101,6 +101,9 @@ pub enum Command {
         /// `--json PATH` — write a machine-readable summary here
         /// (atomic temp-file + rename).
         json: Option<String>,
+        /// `--trace PATH` — stream per-query derivation traces as JSONL
+        /// (atomic temp-file + rename). Implies witness recording.
+        trace: Option<String>,
     },
     /// `leakc run <file> [--iterations N]` — execute and apply the
     /// dynamic baseline.
@@ -209,6 +212,8 @@ pub struct CheckOptions {
     pub max_retries: u32,
     /// `--inject SPEC` deterministic fault injection (tests/CI).
     pub inject: FaultPlan,
+    /// `--explain` render escape-chain witnesses under each report.
+    pub explain: bool,
 }
 
 impl Default for CheckOptions {
@@ -225,6 +230,7 @@ impl Default for CheckOptions {
             query_budget: governor.query_budget,
             max_retries: governor.max_retries,
             inject: FaultPlan::none(),
+            explain: false,
         }
     }
 }
@@ -248,6 +254,7 @@ impl CheckOptions {
                 deadline_ms: self.deadline_ms,
                 faults: self.inject,
             },
+            witnesses: self.explain,
             ..DetectorConfig::default()
         };
         config.contexts.k = self.k;
@@ -274,7 +281,8 @@ USAGE:
   leakc check <file.jml> [--loop N | --auto] [--no-pivot] [--threads]
                          [--no-library-modeling] [--k N] [--cha] [--jobs N]
                          [--deadline-ms N] [--query-budget N] [--max-retries N]
-                         [--inject SPEC] [--json PATH]
+                         [--inject SPEC] [--json PATH] [--explain]
+                         [--trace PATH]
   leakc run   <file.jml> [--iterations N]
   leakc print <file.jml>
   leakc loops <file.jml>
@@ -346,10 +354,23 @@ GOVERNANCE FLAGS:
 OUTPUT FLAGS:
   --json PATH            also write a machine-readable summary, via an
                          atomic temp-file + rename (never torn)
+  --explain              render each report's escape chain: the numbered,
+                         source-anchored store path through which the
+                         site's objects reach the outside object, plus
+                         the flows-in frontier searched and found empty
+  --trace PATH           stream per-query derivation traces as JSONL
+                         (one event per refinement query: phase, ticket
+                         spend, outcome, provenance edge list), via an
+                         atomic temp-file + rename
+
+Witness output (--explain/--trace) derives from the deterministic
+closure order and is byte-identical at any --jobs; recording is off
+unless requested and costs nothing when disabled.
 
 On budget/deadline exhaustion the run degrades soundly to the
 context-insensitive over-approximation; affected reports are tagged
-`(degraded: <cause>)` and a finding-free degraded run exits 3.
+`(degraded: <cause>)` and a finding-free degraded run exits 3 —
+witnesses then carry whatever partial derivation was recovered.
 
 ";
 
@@ -493,6 +514,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut loop_index = None;
             let mut auto = false;
             let mut json = None;
+            let mut trace = None;
             let mut options = CheckOptions::default();
             while let Some(flag) = it.next() {
                 match flag.as_str() {
@@ -540,6 +562,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         let p = it.next().ok_or("--json needs a path")?;
                         json = Some(p.clone());
                     }
+                    "--explain" => options.explain = true,
+                    "--trace" => {
+                        let p = it.next().ok_or("--trace needs a path")?;
+                        trace = Some(p.clone());
+                    }
                     "--help" | "-h" => return help("check"),
                     other => return Err(format!("check: unknown flag `{other}`")),
                 }
@@ -550,6 +577,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 auto,
                 options,
                 json,
+                trace,
             })
         }
         "run" => {
@@ -741,6 +769,7 @@ pub fn execute(command: Command) -> Result<CliOutput, LeakcError> {
             auto,
             options,
             json,
+            trace,
         } => {
             let unit = compile_file(&file)?;
             let targets: Vec<CheckTarget> = if let Some(idx) = loop_index {
@@ -765,13 +794,20 @@ pub fn execute(command: Command) -> Result<CliOutput, LeakcError> {
                 }
                 t
             };
+            let mut config = options.to_config();
+            // --trace needs the recording layer even without --explain.
+            config.witnesses |= trace.is_some();
             let mut out = String::new();
             let mut leaks_found = false;
             let mut degraded = false;
             let mut json_targets: Vec<String> = Vec::new();
+            let mut trace_lines: Vec<String> = Vec::new();
             for target in targets {
-                let result = check(&unit.program, target, options.to_config())
+                let result = check(&unit.program, target, config)
                     .map_err(|e| LeakcError::Input(e.to_string()))?;
+                if trace.is_some() {
+                    trace_lines.extend(result.traces.iter().map(leakchecker::QueryTrace::to_json));
+                }
                 if json.is_some() {
                     let reports: Vec<String> = result
                         .reports
@@ -840,7 +876,14 @@ pub fn execute(command: Command) -> Result<CliOutput, LeakcError> {
                 );
                 leaks_found |= !result.reports.is_empty();
                 degraded |= s.is_degraded();
-                out.push_str(&render_all(&result.program, &result.reports));
+                if options.explain {
+                    out.push_str(&leakchecker::report::render_all_explained(
+                        &result.program,
+                        &result.reports,
+                    ));
+                } else {
+                    out.push_str(&render_all(&result.program, &result.reports));
+                }
                 out.push('\n');
             }
             // Leaks are definite even when degraded (degradation only
@@ -868,6 +911,15 @@ pub fn execute(command: Command) -> Result<CliOutput, LeakcError> {
                 write_atomic(std::path::Path::new(path), summary.as_bytes())
                     .map_err(|e| LeakcError::Input(format!("cannot write {path}: {e}")))?;
                 let _ = writeln!(out, "summary written to {path}");
+            }
+            if let Some(path) = &trace {
+                let mut body = trace_lines.join("\n");
+                if !body.is_empty() {
+                    body.push('\n');
+                }
+                write_atomic(std::path::Path::new(path), body.as_bytes())
+                    .map_err(|e| LeakcError::Input(format!("cannot write {path}: {e}")))?;
+                let _ = writeln!(out, "{} trace events written to {path}", trace_lines.len());
             }
             Ok(CliOutput {
                 text: out,
@@ -1013,6 +1065,15 @@ fn execute_fuzz(options: &FuzzOptions) -> Result<CliOutput, LeakcError> {
             .collect();
         let _ = writeln!(out, "fp causes: {}", causes.join(", "));
     }
+    let _ = writeln!(
+        out,
+        "witness validation: {} hops replayed, {} mismatches",
+        campaign.witness_checked,
+        campaign.witness_mismatches.len()
+    );
+    for mismatch in &campaign.witness_mismatches {
+        let _ = writeln!(out, "  WITNESS MISMATCH {mismatch}");
+    }
     let _ = writeln!(out, "soundness violations: {}", campaign.violations.len());
     for violation in &campaign.violations {
         let v = &violation.verdict;
@@ -1068,7 +1129,10 @@ fn execute_fuzz(options: &FuzzOptions) -> Result<CliOutput, LeakcError> {
         .map_err(|e| LeakcError::Input(format!("cannot write {path}: {e}")))?;
         let _ = writeln!(out, "campaign summary written to {path}");
     }
-    let exit_code = if !campaign.violations.is_empty() {
+    // A witness naming an edge the dynamic run never produced is a
+    // hard failure on par with a missed leak (same leaks-over-degraded
+    // precedence): the explanation layer must never fabricate evidence.
+    let exit_code = if !campaign.violations.is_empty() || !campaign.witness_mismatches.is_empty() {
         EXIT_LEAKS
     } else if !campaign.quarantined_seeds.is_empty() {
         EXIT_DEGRADED
@@ -1157,6 +1221,7 @@ mod tests {
                 ..CheckOptions::default()
             },
             json: None,
+            trace: None,
         })
         .unwrap();
         assert_eq!(text.exit_code, EXIT_LEAKS);
@@ -1222,6 +1287,7 @@ mod tests {
             auto: false,
             options: CheckOptions::default(),
             json: None,
+            trace: None,
         })
         .unwrap();
         assert_eq!(out.exit_code, EXIT_LEAKS, "a found leak must exit 1");
@@ -1242,6 +1308,88 @@ mod tests {
 
         let text = execute(Command::Print { file }).unwrap().text;
         assert!(text.contains("class Holder"), "{text}");
+    }
+
+    #[test]
+    fn explain_and_trace_flags_run_end_to_end() {
+        let cmd = parse_args(&argv(&[
+            "check",
+            "app.jml",
+            "--explain",
+            "--trace",
+            "out.jsonl",
+        ]))
+        .unwrap();
+        let Command::Check {
+            options, ref trace, ..
+        } = cmd
+        else {
+            panic!("expected check");
+        };
+        assert!(options.explain);
+        assert_eq!(trace.as_deref(), Some("out.jsonl"));
+        assert!(options.to_config().witnesses);
+        assert!(parse_args(&argv(&["check", "x", "--trace"])).is_err());
+
+        let dir = std::env::temp_dir().join("leakc-test-explain");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("leaky.jml");
+        std::fs::write(
+            &path,
+            "class Item { }
+             class Holder { Item item; }
+             class Main {
+               static void main() {
+                 Holder h = new Holder();
+                 @check while (nondet()) {
+                   Item it = new Item();
+                   h.item = it;
+                 }
+               }
+             }",
+        )
+        .unwrap();
+        let trace_path = dir.join("trace.jsonl");
+        let out = execute(Command::Check {
+            file: path.to_string_lossy().to_string(),
+            loop_index: None,
+            auto: false,
+            options: CheckOptions {
+                explain: true,
+                ..CheckOptions::default()
+            },
+            json: None,
+            trace: Some(trace_path.to_string_lossy().to_string()),
+        })
+        .unwrap();
+        assert_eq!(out.exit_code, EXIT_LEAKS);
+        assert!(out.text.contains("escape chain:"), "{}", out.text);
+        assert!(out.text.contains("[stmt#"), "{}", out.text);
+        assert!(out.text.contains("frontier: no matching"), "{}", out.text);
+        let jsonl = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(!jsonl.is_empty());
+        for line in jsonl.lines() {
+            assert!(
+                line.starts_with("{\"phase\": \"refine\""),
+                "unexpected trace line {line:?}"
+            );
+            assert!(line.contains("\"outcome\": "), "{line}");
+            protocol::parse_json(line).expect("trace line parses as JSON");
+        }
+
+        // --trace without --explain still records, but renders plainly.
+        let out = execute(Command::Check {
+            file: path.to_string_lossy().to_string(),
+            loop_index: None,
+            auto: false,
+            options: CheckOptions::default(),
+            json: None,
+            trace: Some(trace_path.to_string_lossy().to_string()),
+        })
+        .unwrap();
+        assert_eq!(out.exit_code, EXIT_LEAKS);
+        assert!(!out.text.contains("escape chain"), "{}", out.text);
+        assert!(out.text.contains("trace events written"), "{}", out.text);
     }
 
     #[test]
@@ -1397,6 +1545,7 @@ mod tests {
                 ..CheckOptions::default()
             },
             json: None,
+            trace: None,
         })
         .unwrap();
         // Degradation may never launder a definite leak into exit 0 or 3:

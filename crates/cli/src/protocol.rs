@@ -13,9 +13,10 @@
 //! Request kinds:
 //!
 //! * `{"kind": "check", "id": ..., "source": "...", "query_budget": N,
-//!   "max_retries": N, "deadline_ms": N, "inject": "SPEC"}` — run the
-//!   detector on the inline source (first `@check` loop and `@region`
-//!   methods), governed by the optional overrides.
+//!   "max_retries": N, "deadline_ms": N, "inject": "SPEC",
+//!   "explain": true}` — run the detector on the inline source (first
+//!   `@check` loop and `@region` methods), governed by the optional
+//!   overrides; `explain` additionally renders escape-chain witnesses.
 //! * `{"kind": "panic", "id": ...}` — deliberately panic the worker
 //!   (fault injection for the supervision path; the daemon must answer
 //!   `internal` and stay up).
@@ -58,9 +59,16 @@ impl Json {
     }
 }
 
+/// Maximum container nesting the reader accepts. The protocol itself
+/// nests two levels deep; the bound exists so a malicious line of
+/// `[[[[…` exhausts a typed error, not the connection thread's stack
+/// (a stack overflow aborts the whole process, killing every worker).
+const MAX_DEPTH: usize = 64;
+
 struct Reader<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Reader<'a> {
@@ -148,6 +156,17 @@ impl<'a> Reader<'a> {
         }
     }
 
+    /// Records entry into a container, refusing past [`MAX_DEPTH`].
+    /// (Error paths abort the whole parse, so the counter need not be
+    /// wound back on failure.)
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH} levels"));
+        }
+        Ok(())
+    }
+
     fn number(&mut self) -> Result<Json, String> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
@@ -173,10 +192,12 @@ impl<'a> Reader<'a> {
             Some(b'-' | b'0'..=b'9') => self.number(),
             Some(b'[') => {
                 self.pos += 1;
+                self.enter()?;
                 let mut items = Vec::new();
                 self.skip_ws();
                 if self.peek() == Some(b']') {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 loop {
@@ -186,6 +207,7 @@ impl<'a> Reader<'a> {
                         Some(b',') => self.pos += 1,
                         Some(b']') => {
                             self.pos += 1;
+                            self.depth -= 1;
                             return Ok(Json::Arr(items));
                         }
                         _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
@@ -194,10 +216,12 @@ impl<'a> Reader<'a> {
             }
             Some(b'{') => {
                 self.pos += 1;
+                self.enter()?;
                 let mut map = BTreeMap::new();
                 self.skip_ws();
                 if self.peek() == Some(b'}') {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(map));
                 }
                 loop {
@@ -211,6 +235,7 @@ impl<'a> Reader<'a> {
                         Some(b',') => self.pos += 1,
                         Some(b'}') => {
                             self.pos += 1;
+                            self.depth -= 1;
                             return Ok(Json::Obj(map));
                         }
                         _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
@@ -234,6 +259,7 @@ pub fn parse_json(line: &str) -> Result<Json, String> {
     let mut reader = Reader {
         bytes: line.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     let value = reader.value()?;
     reader.skip_ws();
@@ -274,6 +300,9 @@ pub struct CheckOverrides {
     pub deadline_ms: Option<u64>,
     /// `"inject": "exhaust@N,panic@M,deadline@D"`
     pub inject: Option<String>,
+    /// `"explain": true` — enable witness recording and render each
+    /// report with its escape chain (the daemon twin of `--explain`).
+    pub explain: bool,
 }
 
 /// One parsed request.
@@ -361,6 +390,16 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 }
                 None => return Err("check request missing field `source`".to_string()),
             };
+            let explain = match obj.get("explain") {
+                None | Some(Json::Null) => false,
+                Some(Json::Bool(b)) => *b,
+                Some(other) => {
+                    return Err(format!(
+                        "field `explain` must be a boolean, got {}",
+                        other.type_name()
+                    ))
+                }
+            };
             let inject = match obj.get("inject") {
                 None | Some(Json::Null) => None,
                 Some(Json::Str(s)) => Some(s.clone()),
@@ -379,6 +418,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                     max_retries: opt_u64(&obj, "max_retries")?.map(|n| n as u32),
                     deadline_ms: opt_u64(&obj, "deadline_ms")?,
                     inject,
+                    explain,
                 },
             })
         }
@@ -472,6 +512,27 @@ mod tests {
     }
 
     #[test]
+    fn deep_nesting_is_a_typed_error_not_a_stack_overflow() {
+        // A hostile client can send megabytes of `[`; the reader must
+        // answer with a parse error instead of blowing the connection
+        // thread's stack (which would abort the whole daemon).
+        let hostile = "[".repeat(1_000_000);
+        let err = parse_json(&hostile).unwrap_err();
+        assert!(err.contains("nesting deeper than"), "{err}");
+        // Same bound for objects.
+        let mut nested_obj = String::new();
+        for _ in 0..MAX_DEPTH + 1 {
+            nested_obj.push_str("{\"k\":");
+        }
+        let err = parse_json(&nested_obj).unwrap_err();
+        assert!(err.contains("nesting deeper than"), "{err}");
+        // Depth at the bound still parses.
+        let mut ok = "[".repeat(MAX_DEPTH);
+        ok.push_str(&"]".repeat(MAX_DEPTH));
+        assert!(parse_json(&ok).is_ok());
+    }
+
+    #[test]
     fn parses_requests() {
         assert_eq!(
             parse_request(r#"{"kind": "health"}"#).unwrap(),
@@ -499,8 +560,20 @@ mod tests {
                     max_retries: None,
                     deadline_ms: None,
                     inject: Some("exhaust@0".to_string()),
+                    explain: false,
                 },
             }
+        );
+        let req = parse_request(r#"{"kind": "check", "source": "class A { }", "explain": true}"#)
+            .unwrap();
+        let Request::Check { overrides, .. } = req else {
+            panic!("expected check");
+        };
+        assert!(overrides.explain);
+        assert!(
+            parse_request(r#"{"kind": "check", "source": "x", "explain": 1}"#)
+                .unwrap_err()
+                .contains("`explain` must be a boolean")
         );
         assert!(parse_request(r#"{"kind": "check"}"#).is_err());
         assert!(parse_request(r#"{"kind": "nope"}"#).is_err());

@@ -105,6 +105,11 @@ struct Telemetry {
     contexts_us: AtomicU64,
     refine_us: AtomicU64,
     matching_us: AtomicU64,
+    // Witness-layer counters (only move when a request asks for
+    // `"explain": true`): derivation trace events recorded by the
+    // demand engine, and escape chains rendered into responses.
+    trace_events: AtomicU64,
+    witness_chains: AtomicU64,
 }
 
 impl Telemetry {
@@ -123,6 +128,14 @@ impl Telemetry {
             ms(&self.contexts_us),
             ms(&self.refine_us),
             ms(&self.matching_us),
+        )
+    }
+
+    fn witness_json(&self) -> String {
+        format!(
+            "{{\"trace_events\": {}, \"chains\": {}}}",
+            self.trace_events.load(Ordering::Relaxed),
+            self.witness_chains.load(Ordering::Relaxed),
         )
     }
 }
@@ -181,6 +194,7 @@ fn run_check_source(
             faults,
         },
         jobs: 1,
+        witnesses: overrides.explain,
         ..DetectorConfig::default()
     };
     let unit = leakchecker_frontend::compile(source).map_err(|e| e.to_string())?;
@@ -200,7 +214,25 @@ fn run_check_source(
         let result = check(&unit.program, target, config).map_err(|e| e.to_string())?;
         reports += result.reports.len() as u64;
         degraded |= result.stats.is_degraded();
-        output.push_str(&render_all(&result.program, &result.reports));
+        if overrides.explain {
+            let chains: u64 = result
+                .reports
+                .iter()
+                .map(|r| r.witnesses.len() as u64)
+                .sum();
+            telemetry
+                .trace_events
+                .fetch_add(result.traces.len() as u64, Ordering::Relaxed);
+            telemetry
+                .witness_chains
+                .fetch_add(chains, Ordering::Relaxed);
+            output.push_str(&leakchecker::report::render_all_explained(
+                &result.program,
+                &result.reports,
+            ));
+        } else {
+            output.push_str(&render_all(&result.program, &result.reports));
+        }
         let p = result.stats.phases;
         Telemetry::add_secs(&telemetry.callgraph_us, p.callgraph_secs);
         Telemetry::add_secs(&telemetry.effects_us, p.effects_secs);
@@ -454,6 +486,7 @@ fn serve_connection<R: Read, W: Write>(reader: R, mut writer: W, inner: &Inner) 
                     inner.telemetry.checks.load(Ordering::Relaxed)
                 );
                 let _ = write!(out, ", \"phases\": {}", inner.telemetry.phases_json());
+                let _ = write!(out, ", \"witness\": {}", inner.telemetry.witness_json());
                 let _ = write!(
                     out,
                     ", \"uptime_ms\": {}}}",
@@ -617,6 +650,50 @@ class Main {
         assert!(summary.drained_cleanly);
         assert_eq!(summary.stats.admitted, 1);
         assert_eq!(summary.stats.served, 1);
+    }
+
+    #[test]
+    fn explain_override_renders_witnesses_and_moves_stats_counters() {
+        let server = Server::start(&ServeOptions::default()).unwrap();
+        let (mut reader, mut writer) = client(server.local_addr());
+
+        // Plain check: no witness lines, witness counters stay zero.
+        let plain = roundtrip(
+            &mut reader,
+            &mut writer,
+            &format!(
+                r#"{{"kind": "check", "id": 1, "source": "{}"}}"#,
+                crate::protocol::json_escape(LEAKY)
+            ),
+        );
+        assert!(!plain.contains("escape chain"), "{plain}");
+        let stats = roundtrip(&mut reader, &mut writer, r#"{"kind": "stats"}"#);
+        assert!(
+            stats.contains("\"witness\": {\"trace_events\": 0, \"chains\": 0}"),
+            "{stats}"
+        );
+
+        // Explained check: escape chains in the output, counters move.
+        let explained = roundtrip(
+            &mut reader,
+            &mut writer,
+            &format!(
+                r#"{{"kind": "check", "id": 2, "source": "{}", "explain": true}}"#,
+                crate::protocol::json_escape(LEAKY)
+            ),
+        );
+        assert!(explained.contains("\"exit_code\": 1"), "{explained}");
+        assert!(explained.contains("escape chain:"), "{explained}");
+        assert!(explained.contains("frontier:"), "{explained}");
+        let stats = roundtrip(&mut reader, &mut writer, r#"{"kind": "stats"}"#);
+        assert!(stats.contains("\"trace_events\": "), "{stats}");
+        assert!(
+            !stats.contains("\"witness\": {\"trace_events\": 0,"),
+            "explained check must move the trace counter: {stats}"
+        );
+
+        let summary = server.drain();
+        assert!(summary.drained_cleanly);
     }
 
     #[test]

@@ -162,6 +162,210 @@ fn killed_campaign_never_tears_the_json_summary() {
     );
 }
 
+const CLEAN_JML: &str = "class Order { }
+class Tx { Order curr; }
+class Main {
+  static void main() {
+    Tx t = new Tx();
+    @check while (nondet()) {
+      Order o = new Order();
+      t.curr = o;
+      Order prev = t.curr;
+    }
+  }
+}
+";
+
+const LEAKY_JML: &str = "class Item { }
+class Holder { Item item; }
+class Main {
+  static void main() {
+    Holder h = new Holder();
+    @check while (nondet()) {
+      Item it = new Item();
+      h.item = it;
+    }
+  }
+}
+";
+
+/// Pins the full exit-code matrix over {leaks, no leaks} × {degraded,
+/// not degraded}, and in particular the 1-over-3 precedence: a run that
+/// both reports leaks and degrades must exit 1, never 3 — degradation
+/// only over-approximates, so reported leaks stay definite, while exit
+/// 3 is reserved for runs that would otherwise claim a clean bill of
+/// health.
+#[test]
+fn exit_code_matrix_pins_leaks_over_degraded_precedence() {
+    let dir = temp_dir("exit-matrix");
+    let clean = dir.join("clean.jml");
+    let leaky = dir.join("leaky.jml");
+    std::fs::write(&clean, CLEAN_JML).expect("write clean.jml");
+    std::fs::write(&leaky, LEAKY_JML).expect("write leaky.jml");
+    let clean = clean.to_str().expect("utf8 path");
+    let leaky = leaky.to_str().expect("utf8 path");
+    let starve = ["--query-budget", "1", "--max-retries", "0"];
+
+    // No leaks, not degraded -> 0.
+    let out = leakc().args(["check", clean]).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(0), "clean check must exit 0");
+
+    // No leaks, not degraded, starved budgets but no candidates to
+    // starve -> still 0: degradation is an event, not a configuration.
+    let out = leakc()
+        .args(["check", clean])
+        .args(starve)
+        .output()
+        .expect("spawn");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "no demand queries ran, so a starved budget must not claim degradation"
+    );
+
+    // Leaks, not degraded -> 1.
+    let out = leakc().args(["check", leaky]).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(1), "leaky check must exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("0 fallbacks") && !stdout.contains("(degraded:"),
+        "precise run must not be tagged degraded:\n{stdout}"
+    );
+
+    // Leaks AND degraded -> 1 (the precedence cell). The starved budget
+    // forces the refinement query onto the Andersen fallback, so the
+    // run is demonstrably degraded — and must still exit 1.
+    let out = leakc()
+        .args(["check", leaky])
+        .args(starve)
+        .output()
+        .expect("spawn");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "leaks must take precedence over degradation"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("1 fallbacks") && stdout.contains("(degraded: budget-exhausted)"),
+        "starved run must actually have degraded:\n{stdout}"
+    );
+
+    // Same precedence under a deadline-shaped degrade.
+    let out = leakc()
+        .args(["check", leaky, "--inject", "deadline@0"])
+        .output()
+        .expect("spawn");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "leaks must take precedence over a deadline degrade"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("(degraded: deadline-expired)"),
+        "injected deadline must tag the report:\n{stdout}"
+    );
+
+    // No leaks, degraded -> 3. `check` can only degrade while holding a
+    // candidate (which it then reports), so the finding-free degraded
+    // cell comes from a fuzz campaign with one quarantined seed.
+    let out = leakc()
+        .args(["fuzz", "--seeds", "6", "--jobs", "1", "--inject", "panic@1"])
+        .output()
+        .expect("spawn");
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "quarantine without findings must exit 3: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // No leaks, not degraded, fuzz flavor -> 0.
+    let out = leakc()
+        .args(["fuzz", "--seeds", "6", "--jobs", "1"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(0), "clean campaign must exit 0");
+}
+
+/// Drops the header lines that legitimately vary between runs —
+/// wall-clock timings, the resolved jobs count, and the trace path
+/// (the two runs write differently named files) — leaving every
+/// report, witness and governance line for exact comparison.
+fn strip_timing_lines(stdout: &[u8]) -> String {
+    String::from_utf8_lossy(stdout)
+        .lines()
+        .filter(|l| {
+            !l.starts_with("target ")
+                && !l.trim_start().starts_with("phases:")
+                && !l.contains("trace events written to")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Witness output must be a pure function of the program: `--explain`
+/// renders (modulo the timing header) and `--trace` JSONL streams are
+/// byte-identical at any `--jobs` width, over every committed corpus
+/// exemplar.
+#[test]
+fn witness_output_is_identical_across_jobs() {
+    let corpus = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus");
+    let dir = temp_dir("witness-determinism");
+    let mut exemplars: Vec<_> = std::fs::read_dir(&corpus)
+        .expect("tests/corpus exists")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "jml"))
+        .collect();
+    exemplars.sort();
+    assert!(!exemplars.is_empty(), "corpus must hold exemplars");
+
+    for exemplar in &exemplars {
+        let mut renders = Vec::new();
+        let mut traces = Vec::new();
+        for jobs in ["1", "8"] {
+            let trace = dir.join(format!(
+                "{}-j{jobs}.jsonl",
+                exemplar.file_stem().unwrap().to_str().unwrap()
+            ));
+            let out = leakc()
+                .args([
+                    "check",
+                    exemplar.to_str().expect("utf8 path"),
+                    "--explain",
+                    "--trace",
+                    trace.to_str().expect("utf8 path"),
+                    "--jobs",
+                    jobs,
+                ])
+                .output()
+                .expect("spawn leakc");
+            assert!(
+                matches!(out.status.code(), Some(0 | 1 | 3)),
+                "{} must analyze cleanly, got {:?}:\n{}",
+                exemplar.display(),
+                out.status.code(),
+                String::from_utf8_lossy(&out.stderr)
+            );
+            renders.push(out.stdout);
+            traces.push(std::fs::read(&trace).expect("trace file written"));
+        }
+        assert_eq!(
+            strip_timing_lines(&renders[0]),
+            strip_timing_lines(&renders[1]),
+            "{}: --explain render drifted between jobs 1 and 8",
+            exemplar.display()
+        );
+        assert_eq!(
+            String::from_utf8_lossy(&traces[0]),
+            String::from_utf8_lossy(&traces[1]),
+            "{}: --trace JSONL drifted between jobs 1 and 8",
+            exemplar.display()
+        );
+    }
+}
+
 /// An interrupted, journaled campaign resumed with `--resume` must
 /// produce the same summary JSON as an uninterrupted run — even at a
 /// different `--jobs` width.

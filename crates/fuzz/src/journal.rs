@@ -102,6 +102,19 @@ impl Journal {
             .map_err(|e| format!("cannot read journal {}: {e}", path.display()))?;
         let mut segments = text.split_inclusive('\n');
         let header_segment = segments.next().unwrap_or("");
+        // The newline-certifies-completeness rule applies to the header
+        // too: a kill during `create` can persist any prefix of the
+        // header line (including zero bytes). Without this check a torn
+        // header would fall through to the comparison below and be
+        // misreported as a *configuration mismatch* — sending the
+        // operator to diff flags instead of restarting the campaign.
+        if !header_segment.ends_with('\n') {
+            return Err(format!(
+                "journal {} has a torn header (crash during journal creation); \
+                 remove the file and start a fresh campaign",
+                path.display()
+            ));
+        }
         let header = header_segment.trim_end_matches('\n');
         let expected = config_header(config);
         if header != expected {
@@ -228,6 +241,11 @@ fn render_record(offset: u64, record: &JournalRecord) -> String {
                 v.kinds.join(","),
                 fp.join(","),
             );
+            // Append-only optional field: absent means 0, so journals
+            // written before witness validation existed still parse.
+            if v.witness_checked > 0 {
+                let _ = write!(line, " witness_checked={}", v.witness_checked);
+            }
         }
     }
     line.push('\n');
@@ -245,6 +263,17 @@ fn parse_u64(fields: &BTreeMap<&str, &str>, key: &str) -> Result<u64, String> {
     take_field(fields, key)?
         .parse::<u64>()
         .map_err(|_| format!("field `{key}` is not a number"))
+}
+
+/// Optional numeric field: absent reads as 0 (append-only format
+/// evolution — older journals simply never emitted the key).
+fn parse_opt_u64(fields: &BTreeMap<&str, &str>, key: &str) -> Result<u64, String> {
+    match fields.get(key) {
+        None => Ok(0),
+        Some(v) => v
+            .parse::<u64>()
+            .map_err(|_| format!("field `{key}` is not a number")),
+    }
 }
 
 fn parse_record(line: &str) -> Result<(u64, JournalRecord), String> {
@@ -307,6 +336,11 @@ fn parse_record(line: &str) -> Result<(u64, JournalRecord), String> {
                     "false" => false,
                     other => return Err(format!("bad degraded_run `{other}`")),
                 },
+                witness_checked: parse_opt_u64(&fields, "witness_checked")?,
+                // Sound records never carry mismatches: a seed with any
+                // witness disagreement journals as a violation and
+                // re-runs on resume.
+                witness_mismatches: Vec::new(),
             })
         }
         other => return Err(format!("unknown status `{other}`")),
@@ -334,6 +368,8 @@ mod tests {
             dynamic_extra: 0,
             degraded_reports: 1,
             degraded_run: true,
+            witness_checked: 4,
+            witness_mismatches: Vec::new(),
         }
     }
 
@@ -402,6 +438,59 @@ mod tests {
         let other = FuzzConfig { seeds: 5, ..config };
         let err = Journal::resume(&path, &other).unwrap_err();
         assert!(err.contains("different campaign configuration"), "{err}");
+    }
+
+    #[test]
+    fn torn_header_is_a_typed_error_not_a_config_mismatch() {
+        let dir = std::env::temp_dir().join(format!("leakc-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn-header.journal");
+        let config = FuzzConfig::default();
+        // Simulate a kill during `Journal::create`: any prefix of the
+        // header line, newline never written.
+        let full_header = config_header(&config);
+        for torn in [
+            "",
+            "leakc-fuzz",
+            &full_header[..full_header.len() - 1],
+            &full_header,
+        ] {
+            std::fs::write(&path, torn).unwrap();
+            let err = Journal::resume(&path, &config).unwrap_err();
+            assert!(
+                err.contains("torn header"),
+                "prefix {torn:?} must be diagnosed as torn, got: {err}"
+            );
+            assert!(
+                !err.contains("different campaign configuration"),
+                "torn header must not be misreported as a config mismatch: {err}"
+            );
+        }
+        // The boundary: the full header *with* its newline resumes fine.
+        std::fs::write(&path, format!("{full_header}\n")).unwrap();
+        let (_j, records) = Journal::resume(&path, &config).unwrap();
+        assert!(records.is_empty());
+    }
+
+    #[test]
+    fn witness_checked_field_is_optional_on_parse() {
+        // A record written before witness validation existed (no
+        // `witness_checked=` key) parses with the count defaulting to 0.
+        let mut old = sample_verdict();
+        old.witness_checked = 0;
+        let line = render_record(3, &JournalRecord::Sound(old.clone()));
+        assert!(
+            !line.contains("witness"),
+            "zero must not be emitted: {line}"
+        );
+        let (_, parsed) = parse_record(line.trim_end()).unwrap();
+        assert_eq!(parsed, JournalRecord::Sound(old));
+        // And a nonzero count round-trips through the appended field.
+        let new = sample_verdict();
+        let line = render_record(4, &JournalRecord::Sound(new.clone()));
+        assert!(line.contains(" witness_checked=4"), "{line}");
+        let (_, parsed) = parse_record(line.trim_end()).unwrap();
+        assert_eq!(parsed, JournalRecord::Sound(new));
     }
 
     #[test]

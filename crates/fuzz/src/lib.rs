@@ -146,6 +146,14 @@ pub struct Campaign {
     /// injection, or a genuine harness bug); the campaign continues
     /// past them but the run counts as incomplete.
     pub quarantined_seeds: Vec<u64>,
+    /// Escape-chain hops replayed against the interpreter's effect log
+    /// across all seeds (the witness validator's coverage).
+    pub witness_checked: u64,
+    /// Witness hops that named a store edge the dynamic run never
+    /// produced, each prefixed with its seed. Any entry fails the
+    /// campaign: a report whose explanation cannot be replayed is worse
+    /// than an unexplained report.
+    pub witness_mismatches: Vec<String>,
 }
 
 impl Campaign {
@@ -221,7 +229,12 @@ pub fn run_campaign_resumable(
         if let Some(journal) = journal {
             let record = match &outcome {
                 Err(e) => JournalRecord::HarnessError(e.clone()),
-                Ok((verdict, _)) if verdict.is_sound() => JournalRecord::Sound(verdict.clone()),
+                // Witness mismatches journal as violations too: the
+                // seed re-runs on resume to re-derive the mismatch
+                // descriptions (only counts are journaled).
+                Ok((verdict, _)) if verdict.is_sound() && verdict.witnesses_validated() => {
+                    JournalRecord::Sound(verdict.clone())
+                }
                 Ok(_) => JournalRecord::Violation,
             };
             if let Err(e) = journal.append(offset, &record) {
@@ -275,6 +288,13 @@ pub fn run_campaign_resumable(
                 if verdict.degraded_run {
                     campaign.degraded_runs += 1;
                 }
+                campaign.witness_checked += verdict.witness_checked;
+                campaign.witness_mismatches.extend(
+                    verdict
+                        .witness_mismatches
+                        .iter()
+                        .map(|m| format!("seed {}: {m}", verdict.seed)),
+                );
                 if !verdict.is_sound() {
                     campaign.violations.push(Violation { verdict, reduction });
                 }
@@ -340,6 +360,17 @@ pub fn render_campaign_json(campaign: &Campaign) -> String {
     );
     let _ = writeln!(out, "  \"dynamic_missed\": {},", campaign.dynamic_missed);
     let _ = writeln!(out, "  \"dynamic_extra\": {},", campaign.dynamic_extra);
+    let _ = writeln!(out, "  \"witness_checked\": {},", campaign.witness_checked);
+    let mismatches: Vec<String> = campaign
+        .witness_mismatches
+        .iter()
+        .map(|m| format!("\"{}\"", json_escape(m)))
+        .collect();
+    let _ = writeln!(
+        out,
+        "  \"witness_mismatches\": [{}],",
+        mismatches.join(", ")
+    );
     let _ = writeln!(out, "  \"degraded_runs\": {},", campaign.degraded_runs);
     let _ = writeln!(
         out,
@@ -444,6 +475,15 @@ mod tests {
         assert!(campaign.must_leaks > 0, "campaign must confirm some leaks");
         assert!(campaign.statements > 0);
         assert!(
+            campaign.witness_checked > 0,
+            "confirmed leaks must have validated witness hops"
+        );
+        assert!(
+            campaign.witness_mismatches.is_empty(),
+            "witness/effect-log disagreements: {:?}",
+            campaign.witness_mismatches
+        );
+        assert!(
             campaign.kind_counts.len() > 6,
             "grammar coverage: {:?}",
             campaign.kind_counts
@@ -488,6 +528,8 @@ mod tests {
             "\"soundness_violations\": 0",
             "\"violations\": []",
             "\"errors\": []",
+            "\"witness_checked\": ",
+            "\"witness_mismatches\": []",
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }
@@ -624,6 +666,8 @@ mod tests {
             dynamic_extra: 0,
             degraded_reports: 0,
             degraded_run: false,
+            witness_checked: 0,
+            witness_mismatches: Vec::new(),
         };
         assert_eq!(Campaign::fp_band(&v), 0);
         v.reports = 4;

@@ -18,9 +18,10 @@
 //! sites the run did not confirm are precision telemetry, bucketed by
 //! the dynamic fact that acquits them.
 
-use leakchecker::{check, covered_sites, oracle_compare, CheckTarget, DetectorConfig};
+use leakchecker::{check, covered_sites, oracle_compare, CheckTarget, DetectorConfig, HopBase};
 use leakchecker_benchsuite::{generate_fuzz, Generated};
 use leakchecker_dynbaseline::{detect as dyn_detect, three_way, DynConfig};
+use leakchecker_effects::TypeKey;
 use leakchecker_interp::{
     run as interp_run, site_facts, Config as InterpConfig, NonDetPolicy, SiteFacts,
 };
@@ -63,6 +64,13 @@ pub struct ProgramVerdict {
     /// refinement items, or deadline hits), even if no surviving report
     /// carries a degraded tag.
     pub degraded_run: bool,
+    /// Escape-chain hops validated against the interpreter's effect log
+    /// (witness replay; hops into statics are skipped — the interpreter
+    /// does not log static stores).
+    pub witness_checked: u64,
+    /// Witness hops naming a store edge the dynamic run never produced:
+    /// a fabricated explanation. Empty on a trustworthy run.
+    pub witness_mismatches: Vec<String>,
 }
 
 impl ProgramVerdict {
@@ -74,6 +82,12 @@ impl ProgramVerdict {
     /// Unconfirmed static reports (potential FPs).
     pub fn unconfirmed(&self) -> u64 {
         self.fp_causes.values().sum()
+    }
+
+    /// `true` when every validated witness hop was confirmed by the
+    /// interpreter's effect log.
+    pub fn witnesses_validated(&self) -> bool {
+        self.witness_mismatches.is_empty()
     }
 
     /// Canonical one-line verdict, recorded in corpus headers and
@@ -100,6 +114,18 @@ impl ProgramVerdict {
         // governance existed still replay byte-identically.
         if self.degraded_reports > 0 {
             let _ = write!(line, " degraded={}", self.degraded_reports);
+        }
+        // Same append-only discipline: a mismatch count appears only on
+        // runs whose witnesses disagreed with the effect log, so the
+        // committed corpus (recorded before witnesses existed) still
+        // replays byte-identically. The checked count is deliberately
+        // *not* in the line — it would drift every pre-witness entry.
+        if !self.witness_mismatches.is_empty() {
+            let _ = write!(
+                line,
+                " witness_mismatches={}",
+                self.witness_mismatches.len()
+            );
         }
         line
     }
@@ -165,6 +191,16 @@ pub fn run_generated_with(
         .first()
         .ok_or_else(|| describe_failure("generated program has no @check loop", ""))?;
 
+    // Witnesses are always recorded under the oracle: every emitted
+    // escape chain is replayed against the interpreter's effect log
+    // below, so a fabricated explanation fails the campaign even when
+    // the verdict itself is sound. (Recording provably does not perturb
+    // verdicts — the report-equality test in `leakchecker::report`
+    // locks that.)
+    let detector = DetectorConfig {
+        witnesses: true,
+        ..detector
+    };
     let result = check(&unit.program, CheckTarget::Loop(target_loop), detector)
         .map_err(|e| describe_failure("static detector failed", &e.to_string()))?;
 
@@ -200,6 +236,48 @@ pub fn run_generated_with(
             .or_default() += 1;
     }
 
+    // Witness replay: every hop of every escape chain on a
+    // dynamically-confirmed leak must correspond to a store edge the
+    // interpreter actually logged (same value site, field, and base
+    // site). Only must-leak sites are validated — an unconfirmed
+    // report's chain may legitimately describe a path the bounded
+    // execution never took — and hops whose base is the static-fields
+    // pseudo-object or `⊤` are skipped, because the interpreter does
+    // not log static stores.
+    let mut witness_checked = 0u64;
+    let mut witness_mismatches: Vec<String> = Vec::new();
+    for report in &result.reports {
+        if !must_leak.contains(&report.site) {
+            continue;
+        }
+        for chain in &report.witnesses {
+            for hop in &chain.hops {
+                let base_site = match &hop.base {
+                    HopBase::Inside(s) => *s,
+                    HopBase::Outside(Some(TypeKey::Site(s))) => *s,
+                    HopBase::Outside(_) => continue,
+                };
+                witness_checked += 1;
+                let produced = exec.effects.stores.iter().any(|e| {
+                    exec.heap.get(e.value).site == hop.value
+                        && e.field == hop.field
+                        && exec.heap.get(e.base).site == base_site
+                });
+                if !produced {
+                    witness_mismatches.push(format!(
+                        "site {} ({}): witness hop {} --{}--> {} ({}) never stored dynamically",
+                        report.site,
+                        report.describe,
+                        result.program.alloc(hop.value).describe,
+                        result.program.field(hop.field).name,
+                        result.program.alloc(base_site).describe,
+                        base_site,
+                    ));
+                }
+            }
+        }
+    }
+
     let dyn_report = dyn_detect(&unit.program, &exec, DynConfig::default());
     let three = three_way(&covered_sites(&result), &dyn_report, &must_leak);
 
@@ -215,6 +293,8 @@ pub fn run_generated_with(
         dynamic_extra: three.dynamic_extra.len() as u64,
         degraded_reports: result.stats.degraded_reports as u64,
         degraded_run: result.stats.is_degraded(),
+        witness_checked,
+        witness_mismatches,
     })
 }
 
@@ -260,6 +340,21 @@ mod tests {
         assert_eq!(v.reports, 1);
         assert_eq!(v.unconfirmed(), 0);
         assert!(v.dynamic_missed <= 1, "{}", v.verdict_line());
+        // The confirmed leak's escape chain replays against the
+        // effect log: at least one hop checked, none fabricated.
+        assert!(v.witness_checked > 0, "{}", v.verdict_line());
+        assert!(
+            v.witnesses_validated(),
+            "witness/effect-log disagreement: {:?}",
+            v.witness_mismatches
+        );
+        // And the mismatch field stays out of the canonical line so
+        // pre-witness corpus entries replay byte-identically.
+        assert!(
+            !v.verdict_line().contains("witness"),
+            "{}",
+            v.verdict_line()
+        );
     }
 
     #[test]
@@ -309,6 +404,11 @@ mod tests {
                 v.is_sound(),
                 "kind {kind:?} violates soundness: {}",
                 v.verdict_line()
+            );
+            assert!(
+                v.witnesses_validated(),
+                "kind {kind:?} fabricated a witness: {:?}",
+                v.witness_mismatches
             );
             if kind.is_dynamic_leak() {
                 assert!(

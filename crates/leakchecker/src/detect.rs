@@ -14,6 +14,7 @@ use crate::parallel::parallel_map;
 use crate::refine::refine_candidates;
 use crate::report::LeakReport;
 use crate::target::{resolve, CheckTarget, ResolvedTarget, TargetError};
+use crate::witness::{escape_chain, QueryTrace, StmtIndex};
 use leakchecker_callgraph::{Algorithm, CallGraph};
 use leakchecker_effects::{analyze_from, EffectConfig, EffectSummary, Era};
 use leakchecker_ir::ids::AllocSite;
@@ -46,6 +47,10 @@ pub struct DetectorConfig {
     /// Resource governance: per-query budgets, adaptive retries, the
     /// run deadline, and (in tests/CI) injected faults.
     pub governor: GovernorConfig,
+    /// Witness recording: escape chains on every report and derivation
+    /// traces on every refinement query (`--explain` / `--trace`).
+    /// Costs nothing when off — the demand engine's sink stays `None`.
+    pub witnesses: bool,
 }
 
 impl Default for DetectorConfig {
@@ -59,6 +64,7 @@ impl Default for DetectorConfig {
             model_threads: false,
             jobs: 1,
             governor: GovernorConfig::default(),
+            witnesses: false,
         }
     }
 }
@@ -141,6 +147,9 @@ pub struct AnalysisResult {
     pub contexts: ContextTable,
     /// The program as analyzed (augmented with a driver for regions).
     pub program: Program,
+    /// Per-query derivation traces, in deterministic order. Empty unless
+    /// [`DetectorConfig::witnesses`] was set.
+    pub traces: Vec<QueryTrace>,
 }
 
 impl AnalysisResult {
@@ -231,10 +240,12 @@ pub fn check(
         &candidates,
         &governor,
         config.jobs,
+        config.witnesses,
     );
     let kept: BTreeSet<AllocSite> = refinement.kept().into_iter().collect();
     let refuted_candidates = candidate_sites - kept.len();
     let confidence_of = refinement.confidence_of();
+    let traces = refinement.traces;
     phases.refine_secs = phase_start.elapsed().as_secs_f64();
 
     // Pivot mode: drop leaking sites contained in another leaking site's
@@ -262,7 +273,11 @@ pub fn check(
     };
 
     // Reports are built per site in parallel; the work list is already in
-    // site order, so the merged Vec is too.
+    // site order, so the merged Vec is too. The statement index is built
+    // once (only when witnesses are on) and shared read-only; chains are
+    // a pure function of (summary, flows, site, edge), so the output is
+    // identical at any job count.
+    let stmt_index = config.witnesses.then(|| StmtIndex::build(&program));
     let reports: Vec<LeakReport> = parallel_map(config.jobs, reported, |site| {
         let era = summary.era(site);
         let mut edges: Vec<OutsideEdge> = flows.unmatched_edges(site).cloned().collect();
@@ -276,6 +291,13 @@ pub fn check(
                 .map(|s| s.iter().cloned().collect())
                 .unwrap_or_default();
         }
+        let witnesses = match &stmt_index {
+            Some(index) => edges
+                .iter()
+                .map(|edge| escape_chain(&program, &summary, &flows, index, site, edge))
+                .collect(),
+            None => Vec::new(),
+        };
         let ctxs: Vec<Context> = contexts.of(site).cloned().collect();
         LeakReport {
             site,
@@ -288,6 +310,7 @@ pub fn check(
                 .get(&site)
                 .copied()
                 .unwrap_or(Confidence::Precise),
+            witnesses,
         }
     });
     phases.matching_secs += phase_start.elapsed().as_secs_f64();
@@ -326,6 +349,7 @@ pub fn check(
         flows,
         contexts,
         program,
+        traces,
     })
 }
 
@@ -580,6 +604,89 @@ mod tests {
             reported.contains(&"new Entry".to_string()),
             "history entries leak across region invocations: {reported:?}"
         );
+    }
+
+    #[test]
+    fn traces_are_byte_identical_at_any_job_count() {
+        let src = "class Item { }
+             class Node { Item item; }
+             class Holder { Node node; Item direct; }
+             class Main {
+               static void main() {
+                 Holder h = new Holder();
+                 @check while (nondet()) {
+                   Node n = new Node();
+                   Item it = new Item();
+                   n.item = it;
+                   h.direct = it;
+                   h.node = n;
+                 }
+               }
+             }";
+        let config = DetectorConfig {
+            witnesses: true,
+            pivot_mode: false,
+            ..DetectorConfig::default()
+        };
+        let seq = run(src, DetectorConfig { jobs: 1, ..config });
+        let par = run(src, DetectorConfig { jobs: 8, ..config });
+        assert!(!seq.traces.is_empty());
+        let render = |r: &AnalysisResult| {
+            r.traces
+                .iter()
+                .map(crate::witness::QueryTrace::to_json)
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(render(&seq), render(&par));
+        assert_eq!(
+            crate::report::render_all_explained(&seq.program, &seq.reports),
+            crate::report::render_all_explained(&par.program, &par.reports)
+        );
+        // Every trace is a complete refine-phase query with recorded
+        // provenance edges on this fully-resourced run.
+        for t in &seq.traces {
+            assert_eq!(t.phase, "refine");
+            assert_eq!(t.outcome, "complete");
+            assert!(!t.edges.is_empty(), "{t:?}");
+        }
+    }
+
+    #[test]
+    fn degraded_run_still_carries_partial_witnesses() {
+        let result = run(
+            "class Item { }
+             class Holder { Item item; }
+             class Main {
+               static void main() {
+                 Holder h = new Holder();
+                 @check while (nondet()) {
+                   Item it = new Item();
+                   h.item = it;
+                 }
+               }
+             }",
+            DetectorConfig {
+                witnesses: true,
+                governor: crate::governor::GovernorConfig {
+                    query_budget: 1,
+                    max_retries: 0,
+                    ..crate::governor::GovernorConfig::default()
+                },
+                ..DetectorConfig::default()
+            },
+        );
+        assert!(result.stats.is_degraded());
+        assert!(!result.traces.is_empty());
+        assert!(result.traces.iter().all(|t| t.outcome == "fallback"));
+        // The escape chain comes from the flow relations and survives
+        // degradation: the report still explains itself.
+        assert_eq!(result.reports.len(), 1);
+        assert!(!result.reports[0].witnesses.is_empty());
+        assert!(result.reports[0].witnesses[0].complete);
+        let text = crate::report::render_all_explained(&result.program, &result.reports);
+        assert!(text.contains("(degraded: budget-exhausted)"), "{text}");
+        assert!(text.contains("escape chain:"), "{text}");
     }
 
     #[test]

@@ -173,6 +173,19 @@ pub fn build(program: &Program, summary: &EffectSummary, config: FlowConfig) -> 
             let mut bits = bits;
             while bits != 0 {
                 let id = word * 64 + bits.trailing_zeros() as usize;
+                // The kernel only ORs rows together, so no decoded id can
+                // exceed the interned edge space — unless a row was sized
+                // or indexed wrong, in which case a stray high bit in the
+                // last word would otherwise surface as a bare
+                // index-out-of-bounds far from the cause. The edge count
+                // is not a multiple of 64 in general, so the last word
+                // legitimately has unused high bits that must stay zero.
+                assert!(
+                    id < edge_of_id.len(),
+                    "flows-out bitset decode: bit {id} set in word {word} of row {index}, \
+                     but only {} outside edges were interned",
+                    edge_of_id.len()
+                );
                 edges.insert(edge_of_id[id].clone());
                 bits &= bits - 1;
             }
@@ -676,5 +689,58 @@ mod tests {
             1,
             "without the return the library probe must not match"
         );
+    }
+
+    /// A leak escaping through `n` distinct static fields, with the
+    /// escaping object also held by an inside container so the bitset
+    /// kernel has to propagate the full row transitively.
+    fn edge_fanout_source(n: usize) -> String {
+        let mut fields = String::new();
+        let mut stores = String::new();
+        for i in 0..n {
+            fields.push_str(&format!(" static Box f{i};"));
+            stores.push_str(&format!(" G.f{i} = b;"));
+        }
+        format!(
+            "class Item {{ }}
+             class Box {{ Item item; }}
+             class G {{{fields} }}
+             class Main {{
+               static void main() {{
+                 @check while (nondet()) {{
+                   Box b = new Box();
+                   Item it = new Item();
+                   b.item = it;
+                   {stores}
+                 }}
+               }}
+             }}"
+        )
+    }
+
+    /// Exercises the dense-row decode at the last bit of the last word:
+    /// with the edge count ≡ 0 (mod 64) the top bit of the final word
+    /// is a real edge id, and with count ≢ 0 (mod 64) the final word
+    /// has unused high bits that must decode to nothing. Either shape
+    /// would have tripped an unchecked `edge_of_id[id]` if the kernel
+    /// sized rows wrong.
+    #[test]
+    fn bitset_decode_survives_word_boundary_edge_counts() {
+        for n in [63usize, 64, 65] {
+            let (p, rel) = relations(&edge_fanout_source(n), FlowConfig::default());
+            let boxed = site_of(&p, "new Box");
+            let item = site_of(&p, "new Item");
+            assert_eq!(
+                rel.flows_out.get(&boxed).map_or(0, BTreeSet::len),
+                n,
+                "{n} static stores must intern {n} distinct outside edges"
+            );
+            assert_eq!(
+                rel.flows_out.get(&item).map_or(0, BTreeSet::len),
+                n,
+                "contained member must inherit all {n} edges transitively"
+            );
+            assert_eq!(rel.unmatched_edges(boxed).count(), n);
+        }
     }
 }

@@ -63,6 +63,7 @@ pub mod refine;
 pub mod report;
 pub mod server;
 pub mod target;
+pub mod witness;
 
 pub use contexts::{ContextConfig, ContextTable};
 pub use detect::{check, AnalysisResult, DetectorConfig, PhaseTimes, RunStats};
@@ -81,3 +82,4 @@ pub use refine::{Refinement, SiteVerdict};
 pub use report::{render_all, LeakReport};
 pub use server::{DrainState, ServeConfig, ServeCore, ServeStats, SubmitError};
 pub use target::{CheckTarget, ResolvedTarget, TargetError};
+pub use witness::{ChainHop, EscapeChain, HopBase, QueryTrace, StmtAnchor, StmtIndex};

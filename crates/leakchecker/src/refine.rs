@@ -36,6 +36,7 @@
 use crate::flows::FlowRelations;
 use crate::governor::{Confidence, DegradeCause, Governor, RETRY_BUDGET_FACTOR};
 use crate::parallel::parallel_map_isolated;
+use crate::witness::{node_label, witness_edges, QueryTrace};
 use leakchecker_effects::{EffectSummary, Era};
 use leakchecker_ir::ids::AllocSite;
 use leakchecker_ir::Program;
@@ -62,6 +63,9 @@ pub struct SiteVerdict {
 pub struct Refinement {
     /// Per-candidate verdicts, in site order.
     pub verdicts: Vec<SiteVerdict>,
+    /// Per-query derivation traces, in deterministic (site, then query)
+    /// order. Empty unless witness recording was requested.
+    pub traces: Vec<QueryTrace>,
 }
 
 impl Refinement {
@@ -106,6 +110,14 @@ impl RefineCx<'_> {
 }
 
 /// Runs the refinement phase over the candidate set.
+///
+/// With `witnesses` set, every governed demand query runs in traced mode
+/// and the returned [`Refinement::traces`] carries one [`QueryTrace`]
+/// per (candidate, store source) query, in deterministic item order —
+/// the same order at any `jobs`, because `parallel_map_isolated`
+/// preserves item order and each item's queries are issued in
+/// `BTreeSet`-edge / PAG-store order.
+#[allow(clippy::too_many_arguments)]
 pub fn refine_candidates(
     program: &Program,
     summary: &EffectSummary,
@@ -114,6 +126,7 @@ pub fn refine_candidates(
     candidates: &BTreeSet<AllocSite>,
     governor: &Governor,
     jobs: usize,
+    witnesses: bool,
 ) -> Refinement {
     if candidates.is_empty() {
         return Refinement::default();
@@ -149,17 +162,22 @@ pub fn refine_candidates(
         if cx.governor.config().faults.panics(index) {
             panic!("injected worker panic at item {index}");
         }
-        refine_one(&cx, index, site)
+        refine_one(&cx, index, site, witnesses)
     });
 
+    let mut traces = Vec::new();
     let verdicts = items
         .into_iter()
         .zip(outcomes)
         .map(|((_, site), outcome)| match outcome {
-            Ok(verdict) => verdict,
+            Ok((verdict, item_traces)) => {
+                traces.extend(item_traces);
+                verdict
+            }
             Err(_) => {
                 // Quarantine: keep the candidate — dropping on a panic
                 // could lose a true leak — and say why it's degraded.
+                // A quarantined item contributes no traces.
                 governor.note_quarantined();
                 SiteVerdict {
                     site,
@@ -171,7 +189,7 @@ pub fn refine_candidates(
             }
         })
         .collect();
-    Refinement { verdicts }
+    Refinement { verdicts, traces }
 }
 
 /// For each candidate, the site itself plus every inside site that
@@ -205,13 +223,23 @@ fn containment_targets(
 }
 
 /// Refines one candidate; runs inside the isolated fan-out.
-fn refine_one(cx: &RefineCx<'_>, index: u64, site: AllocSite) -> SiteVerdict {
+///
+/// Returns the verdict plus, in traced mode, one [`QueryTrace`] per
+/// distinct store source resolved (the per-item cache guarantees each
+/// source is queried — and traced — at most once).
+fn refine_one(
+    cx: &RefineCx<'_>,
+    index: u64,
+    site: AllocSite,
+    witnesses: bool,
+) -> (SiteVerdict, Vec<QueryTrace>) {
     let era = cx.summary.era(site);
     let targets = &cx.targets[&site];
     // Per-item cache of resolved store sources: several unmatched edges
     // often share fields/stores, and the cache is item-local so it
     // cannot couple items across threads.
     let mut resolved: HashMap<NodeId, (BTreeSet<AllocSite>, Option<DegradeCause>)> = HashMap::new();
+    let mut traces = Vec::new();
     let mut cause: Option<DegradeCause> = None;
     let mut any_edge_confirmed = false;
 
@@ -225,10 +253,15 @@ fn refine_one(cx: &RefineCx<'_>, index: u64, site: AllocSite) -> SiteVerdict {
         }
         let mut edge_alive = false;
         for store in stores {
-            let (sites, degrade) = resolved
-                .entry(store.src)
-                .or_insert_with(|| resolve_store_src(cx, index, store.src))
-                .clone();
+            let (sites, degrade) = match resolved.entry(store.src) {
+                std::collections::hash_map::Entry::Occupied(e) => e.get().clone(),
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    let (sites, degrade, trace) =
+                        resolve_store_src(cx, index, site, store.src, witnesses);
+                    traces.extend(trace);
+                    slot.insert((sites, degrade)).clone()
+                }
+            };
             if let Some(c) = degrade {
                 cause.get_or_insert(c);
             }
@@ -243,14 +276,15 @@ fn refine_one(cx: &RefineCx<'_>, index: u64, site: AllocSite) -> SiteVerdict {
     }
 
     let keep = era == Era::Top || any_edge_confirmed;
-    SiteVerdict {
+    let verdict = SiteVerdict {
         site,
         keep,
         confidence: match cause {
             Some(cause) => Confidence::Degraded { cause },
             None => Confidence::Precise,
         },
-    }
+    };
+    (verdict, traces)
 }
 
 /// The degradation ladder for one store-source points-to query.
@@ -262,13 +296,31 @@ fn refine_one(cx: &RefineCx<'_>, index: u64, site: AllocSite) -> SiteVerdict {
 fn resolve_store_src(
     cx: &RefineCx<'_>,
     index: u64,
+    site: AllocSite,
     src: NodeId,
-) -> (BTreeSet<AllocSite>, Option<DegradeCause>) {
+    witnesses: bool,
+) -> (
+    BTreeSet<AllocSite>,
+    Option<DegradeCause>,
+    Option<QueryTrace>,
+) {
     let governor = cx.governor;
     let config = governor.config();
     let node = cx.pag.node_info(src);
     let ctx = Context::empty();
     let injected_expiry = config.faults.deadline_expired(index);
+    // Traced mode keeps the last attempt's spend and provenance edges;
+    // on fallback the partial witness is still reported (honesty over
+    // completeness).
+    let mut trace = witnesses.then(|| QueryTrace {
+        phase: "refine".to_string(),
+        site: site.to_string(),
+        query: node_label(cx.program, node),
+        budget: 0,
+        steps: 0,
+        outcome: "fallback".to_string(),
+        edges: Vec::new(),
+    });
 
     if !injected_expiry && !governor.real_deadline_expired() && !governor.cancelled() {
         let mut budget = config.query_budget;
@@ -288,13 +340,28 @@ fn resolve_store_src(
                 deadline: governor.deadline(),
                 ..QueryTicket::hermetic(budget)
             };
-            let (result, stats) = cx.engine.points_to_ticketed(node, &ctx, &ticket);
+            let (result, stats) = if let Some(trace) = trace.as_mut() {
+                let (result, stats, site_witnesses) =
+                    cx.engine.points_to_traced(node, &ctx, &ticket);
+                trace.budget = budget;
+                trace.steps += stats.steps;
+                trace.edges = witness_edges(cx.program, &site_witnesses);
+                (result, stats)
+            } else {
+                cx.engine.points_to_ticketed(node, &ctx, &ticket)
+            };
             if result.complete {
-                return (result.sites(), None);
+                if let Some(trace) = trace.as_mut() {
+                    trace.outcome = "complete".to_string();
+                }
+                return (result.sites(), None, trace);
             }
             if stats.interrupted {
                 // Deadline or cancellation, not workload size: retrying
                 // cannot help.
+                if let Some(trace) = trace.as_mut() {
+                    trace.outcome = "interrupted".to_string();
+                }
                 break;
             }
             if attempt == 0 {
@@ -311,7 +378,12 @@ fn resolve_store_src(
     } else {
         DegradeCause::BudgetExhausted
     };
-    (cx.andersen().points_to(src).clone(), Some(cause))
+    if let Some(trace) = trace.as_mut() {
+        if trace.outcome != "interrupted" {
+            trace.outcome = "fallback".to_string();
+        }
+    }
+    (cx.andersen().points_to(src).clone(), Some(cause), trace)
 }
 
 #[cfg(test)]
@@ -371,7 +443,16 @@ mod tests {
         let (program, summary, flows, pag, candidates) = fixture();
         assert!(!candidates.is_empty());
         let governor = Governor::new(GovernorConfig::default());
-        let r = refine_candidates(&program, &summary, &flows, &pag, &candidates, &governor, 1);
+        let r = refine_candidates(
+            &program,
+            &summary,
+            &flows,
+            &pag,
+            &candidates,
+            &governor,
+            1,
+            false,
+        );
         assert_eq!(r.kept(), candidates.iter().copied().collect::<Vec<_>>());
         assert!(r
             .verdicts
@@ -388,7 +469,16 @@ mod tests {
             max_retries: 0,
             ..GovernorConfig::default()
         });
-        let r = refine_candidates(&program, &summary, &flows, &pag, &candidates, &governor, 1);
+        let r = refine_candidates(
+            &program,
+            &summary,
+            &flows,
+            &pag,
+            &candidates,
+            &governor,
+            1,
+            false,
+        );
         assert_eq!(
             r.kept(),
             candidates.iter().copied().collect::<Vec<_>>(),
@@ -415,7 +505,16 @@ mod tests {
             },
             ..GovernorConfig::default()
         });
-        let r = refine_candidates(&program, &summary, &flows, &pag, &candidates, &governor, 1);
+        let r = refine_candidates(
+            &program,
+            &summary,
+            &flows,
+            &pag,
+            &candidates,
+            &governor,
+            1,
+            false,
+        );
         assert!(r.verdicts.iter().all(|v| v.keep));
         assert!(r
             .verdicts
@@ -436,7 +535,16 @@ mod tests {
             },
             ..GovernorConfig::default()
         });
-        let r = refine_candidates(&program, &summary, &flows, &pag, &candidates, &governor, 1);
+        let r = refine_candidates(
+            &program,
+            &summary,
+            &flows,
+            &pag,
+            &candidates,
+            &governor,
+            1,
+            false,
+        );
         assert!(r.verdicts.iter().all(|v| v.keep));
         assert!(r.verdicts.iter().all(|v| v.confidence
             == Confidence::Degraded {
@@ -457,7 +565,16 @@ mod tests {
             },
             ..GovernorConfig::default()
         });
-        let r = refine_candidates(&program, &summary, &flows, &pag, &candidates, &governor, 2);
+        let r = refine_candidates(
+            &program,
+            &summary,
+            &flows,
+            &pag,
+            &candidates,
+            &governor,
+            2,
+            false,
+        );
         std::panic::set_hook(hook);
         assert!(r.verdicts[0].keep, "quarantined item kept conservatively");
         assert_eq!(

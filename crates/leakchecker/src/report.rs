@@ -2,6 +2,7 @@
 
 use crate::flows::OutsideEdge;
 use crate::governor::Confidence;
+use crate::witness::{EscapeChain, HopBase};
 use leakchecker_effects::{Era, TypeKey};
 use leakchecker_ir::ids::AllocSite;
 use leakchecker_ir::Program;
@@ -28,6 +29,9 @@ pub struct LeakReport {
     /// precision or fell down the degradation ladder (see
     /// [`crate::governor`]).
     pub confidence: Confidence,
+    /// Replayable escape chains, one per edge in `edges`, in edge order.
+    /// Empty unless witness recording was enabled.
+    pub witnesses: Vec<EscapeChain>,
 }
 
 impl LeakReport {
@@ -66,6 +70,93 @@ impl LeakReport {
         }
         out
     }
+
+    /// Renders the report with its escape-chain witnesses (`--explain`):
+    /// the plain render, plus under each redundant edge a numbered,
+    /// source-anchored escape chain and the flows-in frontier the
+    /// detector searched but found empty.
+    ///
+    /// The plain [`render`](Self::render) output is a prefix-preserved
+    /// subset: explain only *inserts* lines after each edge, so tooling
+    /// keyed on the plain format keeps working.
+    pub fn render_explain(&self, program: &Program) -> String {
+        let mut out = String::new();
+        let degraded = match self.confidence.cause() {
+            Some(cause) => format!(" (degraded: {cause})"),
+            None => String::new(),
+        };
+        let _ = writeln!(
+            out,
+            "leak: {} ({}) allocated in {} [ERA = {}]{degraded}",
+            self.describe, self.site, self.method, self.era
+        );
+        for edge in &self.edges {
+            let base = base_str(program, edge.base);
+            let field = program.field(edge.field).name.clone();
+            let _ = writeln!(out, "  redundant edge: {base}.{field}");
+            match self.witnesses.iter().find(|c| c.edge == *edge) {
+                Some(chain) => {
+                    let _ = writeln!(out, "    escape chain:");
+                    for (i, hop) in chain.hops.iter().enumerate() {
+                        let hop_base = match &hop.base {
+                            HopBase::Inside(s) => base_str(program, Some(TypeKey::Site(*s))),
+                            HopBase::Outside(key) => base_str(program, *key),
+                        };
+                        let lib = if hop.in_library { " [library]" } else { "" };
+                        let anchor = match &hop.stmt {
+                            Some(a) => format!(" [stmt#{} in {}: {}]", a.id, a.method, a.text),
+                            None => String::new(),
+                        };
+                        let _ = writeln!(
+                            out,
+                            "      {}. {} ({}) --{}--> {}{lib}{anchor}",
+                            i + 1,
+                            program.alloc(hop.value).describe,
+                            hop.value,
+                            program.field(hop.field).name,
+                            hop_base,
+                        );
+                    }
+                    if !chain.complete {
+                        let _ = writeln!(
+                            out,
+                            "      (incomplete: escape path not fully reconstructed)"
+                        );
+                    }
+                    if chain.matched_in {
+                        let _ = writeln!(
+                            out,
+                            "    frontier: a matching `{base}.{field}` load exists; reported for ERA"
+                        );
+                    } else {
+                        let _ = writeln!(
+                            out,
+                            "    frontier: no matching `{base}.{field}` load reaches a later iteration"
+                        );
+                    }
+                }
+                None => {
+                    let _ = writeln!(out, "    escape chain: <not recorded>");
+                }
+            }
+        }
+        if self.contexts.is_empty() {
+            let _ = writeln!(out, "  context: <loop body>");
+        }
+        for ctx in &self.contexts {
+            let _ = writeln!(out, "  context: {ctx}");
+        }
+        out
+    }
+}
+
+/// Renders an outside-edge base object (shared by both render modes).
+fn base_str(program: &Program, base: Option<TypeKey>) -> String {
+    match base {
+        Some(TypeKey::Site(s)) => format!("{} ({s})", program.alloc(s).describe),
+        Some(TypeKey::Globals) => "<static fields>".to_string(),
+        None => "<unknown object>".to_string(),
+    }
 }
 
 /// Renders a full result summary, one block per report.
@@ -76,6 +167,19 @@ pub fn render_all(program: &Program, reports: &[LeakReport]) -> String {
     let mut out = String::new();
     for (i, report) in reports.iter().enumerate() {
         let _ = write!(out, "[{}] {}", i + 1, report.render(program));
+    }
+    out
+}
+
+/// Renders a full result summary with escape-chain witnesses
+/// (`--explain`), one block per report.
+pub fn render_all_explained(program: &Program, reports: &[LeakReport]) -> String {
+    if reports.is_empty() {
+        return "no leaks reported\n".to_string();
+    }
+    let mut out = String::new();
+    for (i, report) in reports.iter().enumerate() {
+        let _ = write!(out, "[{}] {}", i + 1, report.render_explain(program));
     }
     out
 }
@@ -114,6 +218,92 @@ mod tests {
         assert!(text.contains("redundant edge"), "{text}");
         assert!(text.contains("new Holder"), "{text}");
         assert!(text.contains("item"), "{text}");
+    }
+
+    #[test]
+    fn explain_renders_numbered_anchored_chain_and_frontier() {
+        let unit = compile(
+            "class Item { }
+             class Holder { Item item; }
+             class Main {
+               static void main() {
+                 Holder h = new Holder();
+                 @check while (nondet()) {
+                   Item it = new Item();
+                   h.item = it;
+                 }
+               }
+             }",
+        )
+        .unwrap();
+        let result = check(
+            &unit.program,
+            CheckTarget::Loop(unit.checked_loops[0]),
+            DetectorConfig {
+                witnesses: true,
+                ..DetectorConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(result.reports.len(), 1);
+        let report = &result.reports[0];
+        assert_eq!(report.witnesses.len(), report.edges.len());
+        assert!(report.witnesses[0].complete);
+        let text = render_all_explained(&result.program, &result.reports);
+        assert!(text.contains("escape chain:"), "{text}");
+        assert!(text.contains("      1. new Item"), "{text}");
+        assert!(text.contains("--item--> new Holder"), "{text}");
+        assert!(text.contains("[stmt#"), "{text}");
+        assert!(text.contains("h.item = it"), "{text}");
+        assert!(text.contains("frontier: no matching `new Holder"), "{text}");
+        // The plain render is unchanged and contains no witness lines.
+        let plain = render_all(&result.program, &result.reports);
+        assert!(!plain.contains("escape chain"), "{plain}");
+        // Explain preserves every plain line (it only inserts).
+        for line in plain.lines() {
+            assert!(text.contains(line), "missing {line:?} in explain output");
+        }
+    }
+
+    #[test]
+    fn witnesses_off_by_default_and_reports_unchanged() {
+        let unit = compile(
+            "class Item { }
+             class Holder { Item item; }
+             class Main {
+               static void main() {
+                 Holder h = new Holder();
+                 @check while (nondet()) {
+                   Item it = new Item();
+                   h.item = it;
+                 }
+               }
+             }",
+        )
+        .unwrap();
+        let plain = check(
+            &unit.program,
+            CheckTarget::Loop(unit.checked_loops[0]),
+            DetectorConfig::default(),
+        )
+        .unwrap();
+        assert!(plain.reports[0].witnesses.is_empty());
+        assert!(plain.traces.is_empty());
+        let explained = check(
+            &unit.program,
+            CheckTarget::Loop(unit.checked_loops[0]),
+            DetectorConfig {
+                witnesses: true,
+                ..DetectorConfig::default()
+            },
+        )
+        .unwrap();
+        // Witness recording must not perturb the analysis verdicts.
+        assert_eq!(
+            render_all(&plain.program, &plain.reports),
+            render_all(&explained.program, &explained.reports)
+        );
+        assert!(!explained.traces.is_empty());
     }
 
     #[test]

@@ -32,7 +32,7 @@ use crate::context::Context;
 use crate::intern::{ContextInterner, CtxId};
 use crate::pag::{EdgeLabel, LoadStmt, Node, NodeId, Pag};
 use crate::sync::{read_resilient, write_resilient};
-use leakchecker_ir::ids::AllocSite;
+use leakchecker_ir::ids::{AllocSite, CallSite, FieldId};
 use leakchecker_ir::Program;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::hash::{Hash, Hasher};
@@ -139,6 +139,60 @@ impl<'t> QueryTicket<'t> {
 /// deadline. Keeps `Instant::now` off the per-step path.
 const INTERRUPT_POLL_MASK: u64 = 0x7f;
 
+/// How one provenance hop of a points-to derivation was justified.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WitnessKind {
+    /// A plain copy edge (`x = y`).
+    Assign,
+    /// An argument-to-parameter binding matched as a *close parenthesis*
+    /// at this call site.
+    ParamBind(CallSite),
+    /// A return-to-destination binding pushed as an *open parenthesis*
+    /// at this call site.
+    ReturnBind(CallSite),
+    /// Flow through a static field, erasing the call string.
+    StaticErase,
+    /// A load `dst = base.f` matched against a may-aliased store
+    /// `sbase.f = src`.
+    HeapMatch(FieldId),
+}
+
+/// One forward dataflow hop of a derivation: a reference flowed from
+/// `from` (nearer the allocation) to `to` (nearer the queried variable).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WitnessStep {
+    /// The source node of the flow.
+    pub from: Node,
+    /// The destination node of the flow.
+    pub to: Node,
+    /// How the hop was justified.
+    pub kind: WitnessKind,
+    /// `true` when the hop crosses the application/library boundary.
+    pub crosses_library: bool,
+}
+
+/// The provenance of one `(site, context)` answer: the chain of hops the
+/// traversal followed from the allocation to the queried variable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SiteWitness {
+    /// The allocation site whose flow this witness explains.
+    pub site: AllocSite,
+    /// The calling context the site was found under.
+    pub ctx: Context,
+    /// Hops in dataflow order (allocation first, queried variable last).
+    pub steps: Vec<WitnessStep>,
+}
+
+/// Provenance recorded during one traced traversal. The parent map is a
+/// tree over visited `(node, ctx)` states (each state is pushed exactly
+/// once, so first-write-wins is deterministic given the traversal
+/// order), and `found` lists allocation seeds in pop order.
+#[derive(Default)]
+struct WitnessTape {
+    parent: HashMap<(NodeId, CtxId), ((NodeId, CtxId), WitnessKind)>,
+    found: Vec<(AllocSite, CtxId, (NodeId, CtxId))>,
+}
+
 /// Cumulative engine counters (snapshot of atomics; safe to read while
 /// other threads keep querying).
 #[derive(Copy, Clone, Debug, Default)]
@@ -221,6 +275,9 @@ struct QueryState<'t> {
     stop: Option<&'t AtomicBool>,
     deadline: Option<Instant>,
     use_memo: bool,
+    /// `Some` only for traced queries; recording is a single `Option`
+    /// check per edge push when disabled.
+    witness: Option<WitnessTape>,
 }
 
 impl QueryState<'_> {
@@ -334,6 +391,36 @@ impl<'a> DemandPointsTo<'a> {
         ctx: &Context,
         ticket: &QueryTicket,
     ) -> (PtResult, QueryStats) {
+        let (result, stats, _) = self.run_query(node, ctx, ticket, false);
+        (result, stats)
+    }
+
+    /// Like [`DemandPointsTo::points_to_ticketed`], additionally
+    /// recording, per abstract object in the answer, the provenance
+    /// chain the traversal followed from its allocation seed to the
+    /// queried variable.
+    ///
+    /// Traced queries always bypass the memo table (a memoized result
+    /// carries no provenance, and determinism requires the recorded
+    /// chain to depend only on the query, never on what other threads
+    /// computed first), so repeated traced queries yield byte-identical
+    /// witnesses.
+    pub fn points_to_traced(
+        &self,
+        node: Node,
+        ctx: &Context,
+        ticket: &QueryTicket,
+    ) -> (PtResult, QueryStats, Vec<SiteWitness>) {
+        self.run_query(node, ctx, ticket, true)
+    }
+
+    fn run_query(
+        &self,
+        node: Node,
+        ctx: &Context,
+        ticket: &QueryTicket,
+        traced: bool,
+    ) -> (PtResult, QueryStats, Vec<SiteWitness>) {
         match self.pag.find(node) {
             Some(id) => {
                 let mut state = QueryState {
@@ -341,7 +428,8 @@ impl<'a> DemandPointsTo<'a> {
                     stats: QueryStats::default(),
                     stop: ticket.stop,
                     deadline: ticket.deadline,
-                    use_memo: ticket.use_memo,
+                    use_memo: ticket.use_memo && !traced,
+                    witness: traced.then(WitnessTape::default),
                 };
                 let result = self.query(id, self.interner.intern(ctx), &mut state, 0);
                 self.counters.queries.fetch_add(1, Ordering::Relaxed);
@@ -356,7 +444,11 @@ impl<'a> DemandPointsTo<'a> {
                         .budget_exhaustions
                         .fetch_add(1, Ordering::Relaxed);
                 }
-                ((*result).clone(), state.stats)
+                let witnesses = match state.witness.take() {
+                    Some(tape) => self.replay_tape(tape),
+                    None => Vec::new(),
+                };
+                ((*result).clone(), state.stats, witnesses)
             }
             None => (
                 PtResult {
@@ -364,7 +456,49 @@ impl<'a> DemandPointsTo<'a> {
                     complete: true,
                 },
                 QueryStats::default(),
+                Vec::new(),
             ),
+        }
+    }
+
+    /// Walks each allocation seed's parent chain back to the query root,
+    /// materializing hops in dataflow (allocation-first) order. One
+    /// witness per distinct `(site, context)` answer, first found wins —
+    /// deterministic because the traversal itself is.
+    fn replay_tape(&self, tape: WitnessTape) -> Vec<SiteWitness> {
+        let mut witnesses = Vec::new();
+        let mut seen: HashSet<(AllocSite, CtxId)> = HashSet::new();
+        for (site, ctx_id, mut key) in tape.found {
+            if !seen.insert((site, ctx_id)) {
+                continue;
+            }
+            let mut steps = Vec::new();
+            while let Some((parent_key, kind)) = tape.parent.get(&key) {
+                let from = self.pag.node_info(key.0);
+                let to = self.pag.node_info(parent_key.0);
+                steps.push(WitnessStep {
+                    from,
+                    to,
+                    kind: kind.clone(),
+                    crosses_library: self.node_in_library(from) != self.node_in_library(to),
+                });
+                key = *parent_key;
+            }
+            witnesses.push(SiteWitness {
+                site,
+                ctx: self.interner.resolve(ctx_id),
+                steps,
+            });
+        }
+        witnesses
+    }
+
+    /// Does the node live in library code? Library-boundary hops get
+    /// tagged on the witness steps.
+    fn node_in_library(&self, node: Node) -> bool {
+        match node {
+            Node::Local(m, _) | Node::Ret(m) => self.program.is_library_method(m),
+            Node::Static(_) => false,
         }
     }
 
@@ -431,6 +565,11 @@ impl<'a> DemandPointsTo<'a> {
                 let cur_ctx = self.interner.resolve(cur);
                 for &site in allocs {
                     objects.insert((site, cur_ctx.clone()));
+                    if depth == 0 {
+                        if let Some(tape) = state.witness.as_mut() {
+                            tape.found.push((site, cur, (node, cur)));
+                        }
+                    }
                 }
             }
 
@@ -454,6 +593,17 @@ impl<'a> DemandPointsTo<'a> {
                 };
                 if let Some(nc) = next_ctx {
                     if visited.insert((src, nc)) {
+                        if depth == 0 {
+                            if let Some(tape) = state.witness.as_mut() {
+                                let kind = match label {
+                                    EdgeLabel::None if erase => WitnessKind::StaticErase,
+                                    EdgeLabel::None => WitnessKind::Assign,
+                                    EdgeLabel::Enter(cs) => WitnessKind::ParamBind(cs),
+                                    EdgeLabel::Exit(cs) => WitnessKind::ReturnBind(cs),
+                                };
+                                tape.parent.insert((src, nc), ((node, cur), kind));
+                            }
+                        }
                         stack.push((src, nc));
                     }
                 }
@@ -478,6 +628,14 @@ impl<'a> DemandPointsTo<'a> {
                         if alias {
                             let entry = (store.src, CtxId::EMPTY);
                             if visited.insert(entry) {
+                                if depth == 0 {
+                                    if let Some(tape) = state.witness.as_mut() {
+                                        tape.parent.insert(
+                                            entry,
+                                            ((node, cur), WitnessKind::HeapMatch(load.field)),
+                                        );
+                                    }
+                                }
                                 stack.push(entry);
                             }
                         }
@@ -490,7 +648,6 @@ impl<'a> DemandPointsTo<'a> {
         if result.complete && state.use_memo {
             self.memo.insert(key, Arc::clone(&result));
         }
-        let _ = self.program;
         result
     }
 }
@@ -790,6 +947,109 @@ mod tests {
         let (r, s) = e.points_to_ticketed(node, &Context::empty(), &ticket);
         assert!(!r.complete);
         assert!(s.interrupted);
+    }
+
+    #[test]
+    fn traced_query_records_a_heap_match_chain() {
+        let f = Fixture::new(
+            "class Box { Item item; }
+             class Item { }
+             class Main {
+               static void main() {
+                 Box b = new Box();
+                 Item i = new Item();
+                 b.item = i;
+                 Item j = b.item;
+               }
+             }",
+        );
+        let e = f.engine();
+        let ticket = QueryTicket::hermetic(DemandConfig::default().budget);
+        let (r, _, witnesses) =
+            e.points_to_traced(f.local("Main.main", "j"), &Context::empty(), &ticket);
+        assert!(r.complete);
+        assert_eq!(witnesses.len(), 1, "{witnesses:?}");
+        let w = &witnesses[0];
+        assert!(!w.steps.is_empty(), "chain must have at least one hop");
+        assert!(
+            w.steps
+                .iter()
+                .any(|s| matches!(s.kind, WitnessKind::HeapMatch(_))),
+            "the load must be justified by a heap match: {:?}",
+            w.steps
+        );
+        // The chain ends at the queried variable.
+        assert_eq!(
+            w.steps.last().unwrap().to,
+            f.local("Main.main", "j"),
+            "{:?}",
+            w.steps
+        );
+        // No hop crosses a library boundary in an app-only program.
+        assert!(w.steps.iter().all(|s| !s.crosses_library));
+    }
+
+    #[test]
+    fn traced_queries_bypass_the_memo_and_are_deterministic() {
+        let f = Fixture::new(
+            "class C {
+               static C id(C v) { return v; }
+               static void main() { C x = C.id(new C()); }
+             }",
+        );
+        let e = f.engine();
+        let node = f.local("C.main", "x");
+        // Warm the memo: a traced query must ignore it.
+        let warm = e.points_to(node, &Context::empty());
+        let ticket = QueryTicket {
+            use_memo: true,
+            ..QueryTicket::hermetic(DemandConfig::default().budget)
+        };
+        let (r1, s1, w1) = e.points_to_traced(node, &Context::empty(), &ticket);
+        let (r2, s2, w2) = e.points_to_traced(node, &Context::empty(), &ticket);
+        assert!(r1.complete && r2.complete);
+        assert_eq!(r1.objects, warm.objects, "tracing must not change answers");
+        assert_eq!(s1.memo_hits, 0, "traced queries never read the memo");
+        assert_eq!(s1.steps, s2.steps);
+        assert_eq!(w1, w2, "witnesses are a function of the query alone");
+        assert!(w1.iter().all(|w| w.steps.iter().any(|s| matches!(
+            s.kind,
+            WitnessKind::ReturnBind(_)
+        ) || matches!(
+            s.kind,
+            WitnessKind::ParamBind(_)
+        ))));
+    }
+
+    #[test]
+    fn witness_tags_library_boundary_and_static_erase() {
+        let f = Fixture::new(
+            "library class Lib {
+               static C make() { C c = new C(); return c; }
+             }
+             class C {
+               static C g;
+               static void main() {
+                 C.g = Lib.make();
+                 C got = C.g;
+               }
+             }",
+        );
+        let e = f.engine();
+        let ticket = QueryTicket::hermetic(DemandConfig::default().budget);
+        let (r, _, witnesses) =
+            e.points_to_traced(f.local("C.main", "got"), &Context::empty(), &ticket);
+        assert!(r.complete);
+        assert_eq!(witnesses.len(), 1, "{witnesses:?}");
+        let steps = &witnesses[0].steps;
+        assert!(
+            steps.iter().any(|s| s.crosses_library),
+            "library-to-app return must be tagged: {steps:?}"
+        );
+        assert!(
+            steps.iter().any(|s| s.kind == WitnessKind::StaticErase),
+            "flow through the static erases context: {steps:?}"
+        );
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub use andersen::Andersen;
 pub use context::Context;
 pub use demand::{
     CtxObject, DemandConfig, DemandPointsTo, EngineStats, PtResult, QueryStats, QueryTicket,
+    SiteWitness, WitnessKind, WitnessStep,
 };
 pub use intern::{ContextInterner, CtxId};
 pub use pag::{EdgeLabel, LoadStmt, Node, NodeId, Pag, StoreStmt};

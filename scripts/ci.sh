@@ -87,6 +87,31 @@ serve_smoke 1 "$tmpdir/responses-w1.txt"
 serve_smoke 8 "$tmpdir/responses-w8.txt"
 cmp "$tmpdir/responses-w1.txt" "$tmpdir/responses-w8.txt"
 
+echo "==> witness determinism (--explain/--trace, jobs 1 vs 8, all exemplars)"
+# Witness output is a pure function of the program: for every corpus
+# exemplar the --explain render (modulo the timing header) and the
+# --trace JSONL must be byte-identical at any jobs width.
+for exemplar in tests/corpus/*.jml; do
+  name="$(basename "$exemplar" .jml)"
+  for jobs in 1 8; do
+    set +e
+    "$leakc" check "$exemplar" --explain --jobs "$jobs" \
+      --trace "$tmpdir/$name-j$jobs.jsonl" > "$tmpdir/$name-j$jobs.txt"
+    rc=$?
+    set -e
+    if [ "$rc" -gt 3 ]; then
+      echo "witness determinism: $exemplar (jobs $jobs) exited $rc" >&2
+      exit 1
+    fi
+    # Drop wall-clock timings, the jobs count, and the per-run trace
+    # path; everything else must match exactly.
+    grep -v '^target \|^  phases:\|trace events written to' \
+      "$tmpdir/$name-j$jobs.txt" > "$tmpdir/$name-j$jobs.norm"
+  done
+  cmp "$tmpdir/$name-j1.norm" "$tmpdir/$name-j8.norm"
+  cmp "$tmpdir/$name-j1.jsonl" "$tmpdir/$name-j8.jsonl"
+done
+
 echo "==> journal resume determinism (kill -9 mid-campaign, then --resume)"
 # A campaign killed mid-flight and resumed from its journal must emit
 # the same summary JSON as an uninterrupted run — at any jobs width.
