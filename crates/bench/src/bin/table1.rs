@@ -9,8 +9,8 @@
 
 use leakchecker::render_all as render_reports;
 use leakchecker_bench::{
-    render_json, render_table, run_subject, size_sweep, subject_or_exit, summarize_trace,
-    table1_rows_jobs, SweepPoint,
+    render_json, render_scaling, render_table, run_subject, scaling_sweep, size_sweep,
+    subject_or_exit, summarize_trace, table1_rows_jobs, ScalingPoint, SweepPoint,
 };
 
 struct Args {
@@ -18,6 +18,8 @@ struct Args {
     jobs: usize,
     json: Option<String>,
     sweep: bool,
+    scale: usize,
+    jobs_list: Vec<usize>,
     trace_summary: Option<String>,
 }
 
@@ -27,6 +29,8 @@ fn parse_args() -> Args {
         jobs: 1,
         json: None,
         sweep: false,
+        scale: 100_000,
+        jobs_list: vec![1, 2, 4, 8],
         trace_summary: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -42,6 +46,25 @@ fn parse_args() -> Args {
             }
             "--json" => args.json = it.next().cloned(),
             "--sweep" => args.sweep = true,
+            "--scale" => {
+                args.scale = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--jobs-list" => {
+                args.jobs_list = it
+                    .next()
+                    .map(|list| {
+                        list.split(',')
+                            .map(|n| n.trim().parse().unwrap_or_else(|_| usage()))
+                            .collect()
+                    })
+                    .unwrap_or_else(|| usage());
+                if args.jobs_list.is_empty() {
+                    usage();
+                }
+            }
             "--trace-summary" => args.trace_summary = it.next().cloned(),
             _ => usage(),
         }
@@ -52,7 +75,7 @@ fn parse_args() -> Args {
 fn usage() -> ! {
     eprintln!(
         "usage: table1 [--case <subject>] [--jobs N] [--json <path>] [--sweep] \
-         [--trace-summary <trace.jsonl>]"
+         [--scale <statements>] [--jobs-list N,N,...] [--trace-summary <trace.jsonl>]"
     );
     std::process::exit(2);
 }
@@ -121,8 +144,24 @@ fn main() {
         Vec::new()
     };
 
+    let scaling: Vec<ScalingPoint> = if args.sweep {
+        println!(
+            "parallel-scaling sweep: one ~{}-statement generated subject, jobs {:?} \
+             (best of 2 after warmup; machine width {}):",
+            args.scale,
+            args.jobs_list,
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        );
+        let scaling = scaling_sweep(args.scale, &args.jobs_list, 2);
+        print!("{}", render_scaling(&scaling));
+        println!();
+        scaling
+    } else {
+        Vec::new()
+    };
+
     if let Some(path) = &args.json {
-        let json = render_json(&rows, &sweep);
+        let json = render_json(&rows, &sweep, &scaling);
         // Atomic temp-file + rename: a reader (or a kill) mid-write
         // never observes a torn JSON file.
         match leakchecker::write_atomic(std::path::Path::new(path), json.as_bytes()) {

@@ -9,8 +9,10 @@
 //! pipelines.
 
 use leakchecker::parallel::{effective_jobs, parallel_map};
-use leakchecker::{check, AnalysisResult, CheckTarget, DetectorConfig};
-use leakchecker_benchsuite::{all_subjects, by_name, evaluate, generate, GenConfig, Subject};
+use leakchecker::{check, render_all, AnalysisResult, CheckTarget, DetectorConfig};
+use leakchecker_benchsuite::{
+    all_subjects, by_name, evaluate, generate, generate_large, GenConfig, LargeConfig, Subject,
+};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -213,6 +215,149 @@ pub fn size_sweep(sizes: &[usize], jobs: usize) -> Vec<SweepPoint> {
         .collect()
 }
 
+/// One point of the parallel-scaling sweep: a large generated subject
+/// analyzed at one worker width, with the per-phase wall-clock split and
+/// the efficiency relative to the sweep's sequential baseline.
+#[derive(Clone, Debug)]
+pub struct ScalingPoint {
+    /// Statement target the subject was generated for.
+    pub target_statements: usize,
+    /// Realized statements in reachable methods.
+    pub statements: usize,
+    /// Reachable methods.
+    pub methods: usize,
+    /// Requested worker width for this point.
+    pub jobs: usize,
+    /// Resolved width (after mapping `0` to the machine width).
+    pub eff_jobs: usize,
+    /// Best-of-N end-to-end wall-clock, in seconds.
+    pub secs: f64,
+    /// Flows-closure phase seconds (SCC waves — the widest phase).
+    pub flows_secs: f64,
+    /// Refinement phase seconds (batched demand queries).
+    pub refine_secs: f64,
+    /// Everything else (callgraph, effects, contexts, matching).
+    pub other_secs: f64,
+    /// Sequential-baseline seconds over this point's seconds.
+    pub speedup: f64,
+    /// `speedup / eff_jobs` — 1.0 is perfect linear scaling.
+    pub efficiency: f64,
+    /// Reports found (byte-identical across the sweep by construction).
+    pub reports: usize,
+}
+
+/// Runs the parallel-scaling sweep the issue's Table-1 extension asks
+/// for: one seed-deterministic large subject (about `target_statements`
+/// statements), analyzed once per width in `jobs_list`, each width timed
+/// as best-of-`samples` after one warmup. The rendered reports of every
+/// width are asserted byte-identical against the first width before any
+/// timing is trusted. The speedup baseline is the `jobs = 1` point if
+/// the list has one, else the first point.
+///
+/// # Panics
+///
+/// Panics if the generated subject fails to compile or analyze, or if
+/// any width changes the rendered reports — determinism bugs covered by
+/// `tests/large_scale.rs` and `tests/parallel_determinism.rs`.
+pub fn scaling_sweep(
+    target_statements: usize,
+    jobs_list: &[usize],
+    samples: usize,
+) -> Vec<ScalingPoint> {
+    let generated = generate_large(LargeConfig {
+        target_statements,
+        ..LargeConfig::default()
+    });
+    let unit = leakchecker_frontend::compile(&generated.source).expect("large subject compiles");
+    let target = CheckTarget::Loop(unit.checked_loops[0]);
+    let run = |jobs: usize| {
+        let config = DetectorConfig {
+            jobs,
+            ..DetectorConfig::default()
+        };
+        check(&unit.program, target, config).expect("large subject analyzes")
+    };
+
+    // First pass: one verification run per width (doubles as warmup),
+    // byte-comparing the rendered reports, then best-of-N timed runs.
+    let mut timed = Vec::with_capacity(jobs_list.len());
+    let mut expected: Option<String> = None;
+    for &jobs in jobs_list {
+        let result = run(jobs);
+        let rendered = render_all(&result.program, &result.reports);
+        match &expected {
+            None => expected = Some(rendered),
+            Some(e) => assert_eq!(*e, rendered, "jobs={jobs} changed the rendered reports"),
+        }
+        let secs = stopwatch::measure_best(0, samples, || run(jobs)).as_secs_f64();
+        timed.push((jobs, result, secs));
+    }
+
+    // Second pass: speedups relative to the jobs = 1 point (or the first
+    // point if the list has none).
+    let baseline_secs = timed
+        .iter()
+        .find(|(jobs, _, _)| *jobs == 1)
+        .or(timed.first())
+        .map(|(_, _, secs)| *secs)
+        .unwrap_or(0.0);
+    timed
+        .into_iter()
+        .map(|(jobs, result, secs)| {
+            let p = result.stats.phases;
+            let speedup = if secs > 0.0 {
+                baseline_secs / secs
+            } else {
+                0.0
+            };
+            let eff_jobs = effective_jobs(jobs);
+            ScalingPoint {
+                target_statements,
+                statements: result.stats.statements,
+                methods: result.stats.methods,
+                jobs,
+                eff_jobs,
+                secs,
+                flows_secs: p.flows_secs,
+                refine_secs: p.refine_secs,
+                other_secs: p.callgraph_secs + p.effects_secs + p.contexts_secs + p.matching_secs,
+                speedup,
+                efficiency: if eff_jobs > 0 {
+                    speedup / eff_jobs as f64
+                } else {
+                    0.0
+                },
+                reports: result.reports.len(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the scaling sweep as an aligned text table.
+pub fn render_scaling(points: &[ScalingPoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>5} {:>8} {:>9} {:>9} {:>9} {:>9} {:>8} {:>5}",
+        "jobs", "stmts", "total(s)", "flows(s)", "refine(s)", "other(s)", "speedup", "eff"
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:>5} {:>8} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>7.2}x {:>4.0}%",
+            p.jobs,
+            p.statements,
+            p.secs,
+            p.flows_secs,
+            p.refine_secs,
+            p.other_secs,
+            p.speedup,
+            p.efficiency * 100.0
+        );
+    }
+    out
+}
+
 /// Escapes a string for JSON embedding.
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -230,9 +375,10 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Renders the Table-1 rows and the jobs sweep as a JSON document
-/// (hand-rolled: the build is hermetic, no serde).
-pub fn render_json(rows: &[TableRow], sweep: &[SweepPoint]) -> String {
+/// Renders the Table-1 rows, the jobs sweep, and the parallel-scaling
+/// sweep as a JSON document (hand-rolled: the build is hermetic, no
+/// serde).
+pub fn render_json(rows: &[TableRow], sweep: &[SweepPoint], scaling: &[ScalingPoint]) -> String {
     let mut out = String::from("{\n  \"table1\": [\n");
     for (i, row) in rows.iter().enumerate() {
         let _ = write!(
@@ -270,6 +416,29 @@ pub fn render_json(rows: &[TableRow], sweep: &[SweepPoint]) -> String {
             point.reports
         );
         out.push_str(if i + 1 < sweep.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n  \"scaling_sweep\": [\n");
+    for (i, p) in scaling.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"target_statements\": {}, \"statements\": {}, \"methods\": {}, \
+             \"jobs\": {}, \"eff_jobs\": {}, \"secs\": {:.6}, \"flows_secs\": {:.6}, \
+             \"refine_secs\": {:.6}, \"other_secs\": {:.6}, \"speedup\": {:.3}, \
+             \"efficiency\": {:.3}, \"reports\": {}}}",
+            p.target_statements,
+            p.statements,
+            p.methods,
+            p.jobs,
+            p.eff_jobs,
+            p.secs,
+            p.flows_secs,
+            p.refine_secs,
+            p.other_secs,
+            p.speedup,
+            p.efficiency,
+            p.reports
+        );
+        out.push_str(if i + 1 < scaling.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ]\n}\n");
     out
@@ -488,14 +657,40 @@ mod tests {
             assert!(point.seq_secs > 0.0 && point.par_secs > 0.0);
         }
         let rows = table1_rows();
-        let json = render_json(&rows, &sweep);
+        let scaling = scaling_sweep(6_000, &[1, 2], 1);
+        let json = render_json(&rows, &sweep, &scaling);
         assert!(json.contains("\"table1\""));
         assert!(json.contains("\"jobs_sweep\""));
+        assert!(json.contains("\"scaling_sweep\""));
         assert!(json.contains("\"specjbb\""));
         assert!(json.contains("\"speedup\""));
         assert!(json.contains("\"fallbacks\""));
         assert!(json.contains("\"degraded_reports\""));
+        assert!(json.contains("\"flows_secs\""));
         assert_eq!(json.matches("\"handlers\"").count(), 2);
+    }
+
+    #[test]
+    fn scaling_sweep_is_deterministic_and_baselined() {
+        let points = scaling_sweep(6_000, &[1, 2], 1);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].jobs, 1);
+        assert!(
+            (points[0].speedup - 1.0).abs() < 1e-9,
+            "jobs=1 is its own baseline"
+        );
+        for p in &points {
+            assert_eq!(
+                p.reports, points[0].reports,
+                "reports identical across widths"
+            );
+            assert!(p.statements >= 4_500, "realized size near target");
+            assert!(p.secs > 0.0);
+            assert!(p.flows_secs >= 0.0 && p.refine_secs >= 0.0 && p.other_secs >= 0.0);
+        }
+        let text = render_scaling(&points);
+        assert!(text.contains("speedup"));
+        assert!(text.lines().count() >= 3);
     }
 
     #[test]

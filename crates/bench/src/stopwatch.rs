@@ -41,6 +41,25 @@ impl Sample {
     }
 }
 
+/// Runs `f` untimed `warmups` times (to settle allocator state, caches
+/// and branch predictors), then `samples` timed times, and returns the
+/// fastest duration. Best-of-N is the standard noise filter for
+/// wall-clock scaling measurements: interference from the rest of the
+/// machine only ever slows a run down, so the minimum is the closest
+/// observable to the true cost. `samples` is clamped to at least 1.
+pub fn measure_best<R>(warmups: usize, samples: usize, mut f: impl FnMut() -> R) -> Duration {
+    for _ in 0..warmups {
+        black_box(f());
+    }
+    let mut best = Duration::MAX;
+    for _ in 0..samples.max(1) {
+        let start = Instant::now();
+        black_box(f());
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
 /// Runs `f` once as warmup and `samples` timed times, printing one
 /// aligned result line. The closure's result is passed through
 /// [`black_box`] so the work is not optimized away.
@@ -82,5 +101,23 @@ mod tests {
         assert_eq!(s.times.len(), 5);
         assert!(s.min() <= s.median() && s.median() <= *s.times.last().unwrap());
         assert!(n >= 6, "warmup plus samples all ran");
+    }
+
+    #[test]
+    fn measure_best_runs_warmups_and_returns_a_sampled_time() {
+        let mut n = 0u64;
+        let best = measure_best(3, 4, || {
+            n += 1;
+            std::hint::black_box(n)
+        });
+        assert_eq!(n, 7, "3 warmups + 4 samples");
+        assert!(best < Duration::MAX);
+        // Zero samples still measures once (the clamp).
+        let mut m = 0u64;
+        let _ = measure_best(0, 0, || {
+            m += 1;
+            std::hint::black_box(m)
+        });
+        assert_eq!(m, 1);
     }
 }

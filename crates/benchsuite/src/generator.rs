@@ -284,6 +284,271 @@ pub fn generate_from_kinds(kinds: &[HandlerKind], padding_methods: usize, seed: 
     render(kinds.to_vec(), padding_methods, &mut rng)
 }
 
+/// Parameters for the large-program mode ([`generate_large`]).
+#[derive(Copy, Clone, Debug)]
+pub struct LargeConfig {
+    /// Approximate number of statements in reachable methods. The
+    /// generator calibrates its handler count to land near this target;
+    /// the realized count stays within roughly ±25% (asserted by the
+    /// `tests/large_scale.rs` bounds test).
+    pub target_statements: usize,
+    /// Fraction of handlers that leak, in percent. The rest split evenly
+    /// between carry-over and loop-local handlers.
+    pub leak_percent: u8,
+    /// RNG seed. Generation is a pure function of the config: the same
+    /// config yields byte-identical source.
+    pub seed: u64,
+}
+
+impl Default for LargeConfig {
+    fn default() -> Self {
+        LargeConfig {
+            target_statements: 100_000,
+            leak_percent: 30,
+            seed: 0x1A26E,
+        }
+    }
+}
+
+/// Shared-strata bucket count: handler `i` routes its payload through
+/// bucket `i % LARGE_BUCKETS` of the shared `Depot`/`Vault` pair, so
+/// thousands of handlers funnel into a handful of store statements —
+/// the workload shape where per-candidate demand resolution degenerates
+/// to quadratic work and the batched multi-root traversal stays linear.
+pub const LARGE_BUCKETS: usize = 8;
+
+/// Statements a single handler contributes on average (handler class +
+/// its slice of the dispatcher), measured on the compiled IR across the
+/// depth range. Only a calibration constant: the bounds test pins the
+/// realized count to the target, not this estimate.
+const LARGE_STMTS_PER_HANDLER: usize = 123;
+
+/// Generates a large event-driven program: one shared `Msg` payload
+/// class, a shared library stratum (`Depot` routing chains over a
+/// `library class Vault` with [`LARGE_BUCKETS`] slots), and enough
+/// handler classes to reach `target_statements`. Each handler drives its
+/// payload through a seed-chosen 5–10 deep chain of private stage
+/// methods before the final stage leaks it into a shared vault slot,
+/// carries it over (store + read-back on a disjoint slot family), or
+/// keeps it local. Deterministic in the config; ground truth is the
+/// `kinds` vector plus `@leak` annotations.
+pub fn generate_large(config: LargeConfig) -> Generated {
+    let mut rng = SplitMix64::new(config.seed);
+    let handlers = (config.target_statements / LARGE_STMTS_PER_HANDLER).max(LARGE_BUCKETS);
+    let mut kinds = Vec::with_capacity(handlers);
+    let mut depths = Vec::with_capacity(handlers);
+    for _ in 0..handlers {
+        let roll = rng.gen_range(0, 100) as u8;
+        let kind = if roll < config.leak_percent {
+            HandlerKind::Leak
+        } else if roll.is_multiple_of(2) {
+            HandlerKind::CarryOver
+        } else {
+            HandlerKind::Local
+        };
+        kinds.push(kind);
+        depths.push(5 + rng.gen_range(0, 6) as usize);
+    }
+    // Carry handlers each get a private keep-slot in the shared vault:
+    // the effect domain bounds distinct sites per heap cell
+    // (`type_set_bound`), so funneling many carried sites into one cell
+    // would collapse it to ⊤ and erase their flow-back edges. Leak
+    // buckets have no such cliff — their store effects come from the
+    // inlined parameter value, one site per caller — so they stay
+    // shared, which is exactly what makes refinement queries batchable.
+    let carry_slot: Vec<usize> = {
+        let mut next = 0usize;
+        kinds
+            .iter()
+            .map(|k| {
+                if *k == HandlerKind::CarryOver {
+                    next += 1;
+                    next - 1
+                } else {
+                    usize::MAX
+                }
+            })
+            .collect()
+    };
+    let carries = kinds
+        .iter()
+        .filter(|k| **k == HandlerKind::CarryOver)
+        .count();
+
+    let mut src = String::new();
+    let _ = writeln!(src, "class Msg {{ int tag; }}");
+
+    // The shared library stratum. `slotN` fields are store-only (leak
+    // buckets: a `put` probes internally, which library modeling must
+    // ignore); `keepN` fields are stored and read back through `fetch`
+    // (one per carry handler: the returned load is a flows-in edge).
+    let _ = writeln!(src, "library class Vault {{");
+    for b in 0..LARGE_BUCKETS {
+        let _ = writeln!(src, "  Msg slot{b};");
+    }
+    for c in 0..carries {
+        let _ = writeln!(src, "  Msg keep{c};");
+    }
+    for b in 0..LARGE_BUCKETS {
+        let _ = writeln!(
+            src,
+            "  void put{b}(Msg it) {{\n\
+             \x20   Msg probe{b} = this.slot{b};\n\
+             \x20   this.slot{b} = it;\n\
+             \x20 }}"
+        );
+    }
+    for c in 0..carries {
+        let _ = writeln!(
+            src,
+            "  void stash{c}(Msg it) {{\n\
+             \x20   Msg held{c} = this.keep{c};\n\
+             \x20   this.keep{c} = it;\n\
+             \x20 }}\n\
+             \x20 Msg fetch{c}() {{\n\
+             \x20   Msg v{c} = this.keep{c};\n\
+             \x20   return v{c};\n\
+             \x20 }}"
+        );
+    }
+    let _ = writeln!(src, "}}");
+
+    // The application-side routing chains every leak handler funnels
+    // through: save -> route -> persist -> commit, one chain per bucket,
+    // ending in the vault store. Demand queries rooted at `commitN`'s
+    // parameter are shared by every handler on bucket N.
+    let _ = writeln!(src, "class Depot {{");
+    let _ = writeln!(src, "  Vault vault = new Vault();");
+    for b in 0..LARGE_BUCKETS {
+        let _ = writeln!(
+            src,
+            "  void save{b}(Msg m) {{\n\
+             \x20   this.route{b}(m);\n\
+             \x20 }}\n\
+             \x20 void route{b}(Msg m) {{\n\
+             \x20   this.persist{b}(m);\n\
+             \x20 }}\n\
+             \x20 void persist{b}(Msg m) {{\n\
+             \x20   this.commit{b}(m);\n\
+             \x20 }}\n\
+             \x20 void commit{b}(Msg m) {{\n\
+             \x20   Vault v = this.vault;\n\
+             \x20   v.put{b}(m);\n\
+             \x20 }}"
+        );
+    }
+    for c in 0..carries {
+        let _ = writeln!(
+            src,
+            "  void keep{c}(Msg m) {{\n\
+             \x20   Vault v = this.vault;\n\
+             \x20   v.stash{c}(m);\n\
+             \x20 }}\n\
+             \x20 Msg last{c}() {{\n\
+             \x20   Vault v = this.vault;\n\
+             \x20   Msg r = v.fetch{c}();\n\
+             \x20   return r;\n\
+             \x20 }}"
+        );
+    }
+    let _ = writeln!(src, "}}");
+
+    for (i, kind) in kinds.iter().enumerate() {
+        let depth = depths[i];
+        let bucket = i % LARGE_BUCKETS;
+        let _ = writeln!(src, "class Handler{i} {{");
+        let _ = writeln!(src, "  Depot depot;");
+        let _ = writeln!(src, "  int ticks;");
+        let _ = writeln!(
+            src,
+            "  void init(Depot d) {{\n\
+             \x20   this.depot = d;\n\
+             \x20 }}"
+        );
+        let site = match kind {
+            HandlerKind::Leak => "@leak new Msg()",
+            _ => "new Msg()",
+        };
+        let _ = writeln!(
+            src,
+            "  void handle(int event) {{\n\
+             \x20   Msg m = {site};\n\
+             \x20   m.tag = event;\n\
+             \x20   this.stage0(m, event);\n\
+             \x20 }}"
+        );
+        for j in 0..depth {
+            let a = rng.gen_range(1, 100) as i64;
+            let b = rng.gen_range(1, 100) as i64;
+            let next = j + 1;
+            let _ = writeln!(
+                src,
+                "  void stage{j}(Msg m, int x) {{\n\
+                 \x20   int acc = x * {a} + {b};\n\
+                 \x20   int i = 0;\n\
+                 \x20   while (i < 3) {{ acc = acc + i * {a}; i = i + 1; }}\n\
+                 \x20   this.stage{next}(m, acc);\n\
+                 \x20 }}"
+            );
+        }
+        match kind {
+            HandlerKind::Leak => {
+                let _ = writeln!(
+                    src,
+                    "  void stage{depth}(Msg m, int x) {{\n\
+                     \x20   this.ticks = this.ticks + x;\n\
+                     \x20   Depot d = this.depot;\n\
+                     \x20   d.save{bucket}(m);\n\
+                     \x20 }}"
+                );
+            }
+            HandlerKind::CarryOver => {
+                let slot = carry_slot[i];
+                let _ = writeln!(
+                    src,
+                    "  void stage{depth}(Msg m, int x) {{\n\
+                     \x20   this.ticks = this.ticks + x;\n\
+                     \x20   Depot d = this.depot;\n\
+                     \x20   Msg prev = d.last{slot}();\n\
+                     \x20   if (prev != null) {{ this.ticks = this.ticks + prev.tag; }}\n\
+                     \x20   d.keep{slot}(m);\n\
+                     \x20 }}"
+                );
+            }
+            _ => {
+                let _ = writeln!(
+                    src,
+                    "  void stage{depth}(Msg m, int x) {{\n\
+                     \x20   int t = m.tag;\n\
+                     \x20   this.ticks = this.ticks + x + t;\n\
+                     \x20 }}"
+                );
+            }
+        }
+        let _ = writeln!(src, "}}");
+    }
+
+    let _ = writeln!(src, "class Main {{");
+    let _ = writeln!(src, "  static void main() {{");
+    let _ = writeln!(src, "    Depot depot = new Depot();");
+    for i in 0..handlers {
+        let _ = writeln!(src, "    Handler{i} h{i} = new Handler{i}();");
+        let _ = writeln!(src, "    h{i}.init(depot);");
+    }
+    let _ = writeln!(src, "    int event = 0;");
+    let _ = writeln!(src, "    @check while (nondet()) {{");
+    let _ = writeln!(src, "      int which = event % {};", handlers.max(1));
+    for i in 0..handlers {
+        let _ = writeln!(src, "      if (which == {i}) {{ h{i}.handle(event); }}");
+    }
+    let _ = writeln!(src, "      event = event + 1;");
+    let _ = writeln!(src, "    }}");
+    let _ = writeln!(src, "  }}");
+    let _ = writeln!(src, "}}");
+
+    Generated { source: src, kinds }
+}
+
 fn render(kinds: Vec<HandlerKind>, padding_methods: usize, rng: &mut SplitMix64) -> Generated {
     let mut src = String::new();
     for (i, kind) in kinds.iter().enumerate() {

@@ -38,7 +38,8 @@ pub mod subjects;
 
 pub use evaluate::{score, Score};
 pub use generator::{
-    generate, generate_from_kinds, generate_fuzz, Expectation, GenConfig, Generated, HandlerKind,
+    generate, generate_from_kinds, generate_fuzz, generate_large, Expectation, GenConfig,
+    Generated, HandlerKind, LargeConfig, LARGE_BUCKETS,
 };
 pub use rng::SplitMix64;
 pub use subjects::{all as all_subjects, by_name, PaperRow, Subject};

@@ -122,6 +122,11 @@ pub struct RunStats {
     pub deadline_hits: u64,
     /// Reports carrying `Confidence::Degraded`.
     pub degraded_reports: usize,
+    /// Store-source queries answered through the batched multi-root
+    /// traversal (zero on the legacy per-candidate refine path).
+    pub batched_queries: usize,
+    /// Batches those queries were grouped into.
+    pub query_batches: usize,
 }
 
 impl RunStats {
@@ -194,7 +199,7 @@ pub fn check(
         library_modeling: config.library_modeling,
         model_threads: config.model_threads,
     };
-    let flows = build_flows(&program, &summary, flow_config);
+    let flows = build_flows(&program, &summary, flow_config, config.jobs);
     phases.flows_secs = phase_start.elapsed().as_secs_f64();
 
     let phase_start = Instant::now();
@@ -245,6 +250,8 @@ pub fn check(
     let kept: BTreeSet<AllocSite> = refinement.kept().into_iter().collect();
     let refuted_candidates = candidate_sites - kept.len();
     let confidence_of = refinement.confidence_of();
+    let batched_queries = refinement.batched_queries;
+    let query_batches = refinement.query_batches;
     let traces = refinement.traces;
     phases.refine_secs = phase_start.elapsed().as_secs_f64();
 
@@ -253,20 +260,58 @@ pub fn check(
     // allocation sites (container internals like map entries) never
     // suppress application sites — the report must name the application
     // objects the developer can act on.
+    // One multi-source traversal over `contains` replaces the former
+    // per-site `members_of` probe (quadratic in kept sites): a site is
+    // dropped iff it is contains-reachable (via at least one edge) from
+    // some *other* kept non-library root. Each node carries up to two
+    // distinct root provenances — enough to decide the predicate
+    // exactly: a node whose set is full holds two distinct roots, at
+    // most one of which can be the node itself, so a foreign root
+    // always survives capping; a node whose set is not full still
+    // accepts every new root that reaches it. In particular a root in a
+    // contains cycle that only reaches *itself* keeps provenance
+    // `{self}` and is not dropped — matching the old `other != site`
+    // test bit for bit.
     let phase_start = Instant::now();
     let reported: Vec<AllocSite> = if config.pivot_mode {
-        let items: Vec<AllocSite> = kept.iter().copied().collect();
-        let keep = parallel_map(config.jobs, items.clone(), |site| {
-            !kept.iter().any(|&other| {
-                other != site
-                    && !program.is_library_method(program.alloc(other).method)
-                    && flows.members_of(other).contains(&site)
+        let roots: Vec<AllocSite> = kept
+            .iter()
+            .copied()
+            .filter(|&s| !program.is_library_method(program.alloc(s).method))
+            .collect();
+        let mut prov: std::collections::HashMap<AllocSite, Vec<AllocSite>> =
+            std::collections::HashMap::new();
+        let mut queue: std::collections::VecDeque<AllocSite> = std::collections::VecDeque::new();
+        for &r in &roots {
+            prov.insert(r, vec![r]);
+            queue.push_back(r);
+        }
+        while let Some(n) = queue.pop_front() {
+            let Some(members) = flows.contains.get(&n) else {
+                continue;
+            };
+            let ps = prov[&n].clone();
+            for &m in members {
+                let entry = prov.entry(m).or_default();
+                let mut changed = false;
+                for &p in &ps {
+                    if entry.len() < 2 && !entry.contains(&p) {
+                        entry.push(p);
+                        changed = true;
+                    }
+                }
+                if changed {
+                    queue.push_back(m);
+                }
+            }
+        }
+        kept.iter()
+            .copied()
+            .filter(|&site| {
+                !prov
+                    .get(&site)
+                    .is_some_and(|ps| ps.iter().any(|&p| p != site))
             })
-        });
-        items
-            .into_iter()
-            .zip(keep)
-            .filter_map(|(site, keep)| keep.then_some(site))
             .collect()
     } else {
         kept.into_iter().collect()
@@ -340,6 +385,8 @@ pub fn check(
             .iter()
             .filter(|r| r.confidence.is_degraded())
             .count(),
+        batched_queries,
+        query_batches,
     };
 
     Ok(AnalysisResult {

@@ -18,6 +18,7 @@
 //! pseudo-object, `⊤` bases (conservative), and — under thread modeling —
 //! started `Thread` objects regardless of their own ERA.
 
+use crate::parallel::parallel_map;
 use leakchecker_effects::{EffectBase, EffectSummary, Era, TypeKey};
 use leakchecker_ir::ids::{AllocSite, FieldId};
 use leakchecker_ir::Program;
@@ -103,7 +104,18 @@ fn inside_site(summary: &EffectSummary, value_key: TypeKey) -> Option<AllocSite>
 }
 
 /// Builds the flow relations from an effect summary.
-pub fn build(program: &Program, summary: &EffectSummary, config: FlowConfig) -> FlowRelations {
+///
+/// `jobs` bounds the worker threads used for the dense closure and its
+/// decode; `0` means machine width and `1` runs fully inline. The
+/// resulting relations are identical at any width — the closure is a
+/// unique fixpoint and the parallel schedule only changes who computes
+/// which row.
+pub fn build(
+    program: &Program,
+    summary: &EffectSummary,
+    config: FlowConfig,
+    jobs: usize,
+) -> FlowRelations {
     let mut rel = FlowRelations::default();
 
     // Direct outside escapes and inside containment edges.
@@ -127,9 +139,21 @@ pub fn build(program: &Program, summary: &EffectSummary, config: FlowConfig) -> 
     // Transitive flows-out: members of an escaping structure escape
     // through the same outside edge (r ⊐* o ▷_g b  ⟹  r ▷*_g b).
     //
-    // The distinct outside edges get dense ids and each site gets a
-    // bitset row over them, so a worklist step ORs a handful of words
-    // instead of cloning and merging `BTreeSet`s per pop.
+    // The distinct outside edges get dense ids and each contains-graph
+    // node gets a bitset row over them, so a closure step ORs words
+    // instead of cloning and merging `BTreeSet`s. The closure itself is
+    // computed on the SCC condensation of the contains graph: every site
+    // in a cycle provably ends up with the same row (each reaches the
+    // others), so one row per SCC suffices, and the condensation is a
+    // DAG whose nodes can be processed in topological *waves* — all
+    // predecessors of a wave live in strictly earlier waves, so the SCCs
+    // within a wave are data-independent and fan out across workers.
+    debug_assert!(
+        direct_out
+            .keys()
+            .all(|s| s.index() < program.allocs().len()),
+        "effect summary names an alloc site outside the program"
+    );
     let mut edge_of_id: Vec<OutsideEdge> = Vec::new();
     let mut id_of_edge: BTreeMap<&OutsideEdge, usize> = BTreeMap::new();
     for edge in direct_out.values().flatten() {
@@ -139,59 +163,135 @@ pub fn build(program: &Program, summary: &EffectSummary, config: FlowConfig) -> 
         });
     }
     let words = edge_of_id.len().div_ceil(64);
-    let mut rows: Vec<Vec<u64>> = vec![vec![0u64; words]; program.allocs().len()];
-    for (site, edges) in &direct_out {
-        for edge in edges {
-            let id = id_of_edge[edge];
-            rows[site.index()][id / 64] |= 1u64 << (id % 64);
+
+    // Sites touched by the contains graph (as container or member). A
+    // site outside it can never gain edges transitively: its final
+    // flows-out is exactly its direct set.
+    let nodes: Vec<AllocSite> = {
+        let mut set: BTreeSet<AllocSite> = rel.contains.keys().copied().collect();
+        set.extend(rel.contains.values().flatten().copied());
+        set.into_iter().collect()
+    };
+    let node_id: BTreeMap<AllocSite, usize> =
+        nodes.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+    for (&site, edges) in &direct_out {
+        if !node_id.contains_key(&site) {
+            rel.flows_out.insert(site, edges.clone());
         }
     }
-    let mut queue: VecDeque<AllocSite> = direct_out.keys().copied().collect();
-    while let Some(container) = queue.pop_front() {
-        let Some(members) = rel.contains.get(&container) else {
-            continue;
-        };
-        let src = rows[container.index()].clone();
-        for &member in members {
-            let dst = &mut rows[member.index()];
-            let mut changed = false;
-            for (d, &s) in dst.iter_mut().zip(&src) {
-                let merged = *d | s;
-                if merged != *d {
-                    *d = merged;
-                    changed = true;
+
+    if !nodes.is_empty() && words > 0 {
+        // Direct rows, indexed by contains-graph node id.
+        let mut direct_rows: Vec<Vec<u64>> = vec![vec![0u64; words]; nodes.len()];
+        for (site, edges) in &direct_out {
+            let Some(&n) = node_id.get(site) else {
+                continue;
+            };
+            for edge in edges {
+                let id = id_of_edge[edge];
+                direct_rows[n][id / 64] |= 1u64 << (id % 64);
+            }
+        }
+        let adj: Vec<Vec<usize>> = nodes
+            .iter()
+            .map(|site| {
+                rel.contains
+                    .get(site)
+                    .into_iter()
+                    .flatten()
+                    .map(|m| node_id[m])
+                    .collect()
+            })
+            .collect();
+
+        let scc = condense(&adj);
+
+        // Predecessor SCCs along contains edges (container SCC precedes
+        // member SCC), then longest-path-from-roots levels: every
+        // predecessor of an SCC sits in a strictly earlier level.
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); scc.members.len()];
+        for (u, succs) in adj.iter().enumerate() {
+            for &v in succs {
+                let (su, sv) = (scc.of[u], scc.of[v]);
+                if su != sv {
+                    preds[sv].push(su);
                 }
             }
-            if changed {
-                queue.push_back(member);
+        }
+        for p in &mut preds {
+            p.sort_unstable();
+            p.dedup();
+        }
+        // Tarjan emits successors before predecessors, so reverse
+        // emission order is topological: predecessors resolve first.
+        let mut level = vec![0usize; scc.members.len()];
+        let mut depth = 0;
+        for s in (0..scc.members.len()).rev() {
+            level[s] = preds[s].iter().map(|&p| level[p] + 1).max().unwrap_or(0);
+            depth = depth.max(level[s]);
+        }
+        let mut waves: Vec<Vec<usize>> = vec![Vec::new(); depth + 1];
+        for s in (0..scc.members.len()).rev() {
+            waves[level[s]].push(s);
+        }
+
+        // scc_row(S) = OR(direct rows of S's members) | OR(scc_row(P))
+        // over predecessor SCCs P — the unique closure fixpoint, so the
+        // result is identical at any `jobs` width.
+        let mut scc_rows: Vec<Vec<u64>> = vec![Vec::new(); scc.members.len()];
+        for wave in &waves {
+            let computed = parallel_map(jobs, wave.clone(), |s| {
+                let mut row = vec![0u64; words];
+                for &m in &scc.members[s] {
+                    for (d, &b) in row.iter_mut().zip(&direct_rows[m]) {
+                        *d |= b;
+                    }
+                }
+                for &p in &preds[s] {
+                    for (d, &b) in row.iter_mut().zip(&scc_rows[p]) {
+                        *d |= b;
+                    }
+                }
+                row
+            });
+            for (&s, row) in wave.iter().zip(computed) {
+                scc_rows[s] = row;
             }
         }
-    }
-    for (index, row) in rows.iter().enumerate() {
-        let mut edges = BTreeSet::new();
-        for (word, &bits) in row.iter().enumerate() {
-            let mut bits = bits;
-            while bits != 0 {
-                let id = word * 64 + bits.trailing_zeros() as usize;
-                // The kernel only ORs rows together, so no decoded id can
-                // exceed the interned edge space — unless a row was sized
-                // or indexed wrong, in which case a stray high bit in the
-                // last word would otherwise surface as a bare
-                // index-out-of-bounds far from the cause. The edge count
-                // is not a multiple of 64 in general, so the last word
-                // legitimately has unused high bits that must stay zero.
-                assert!(
-                    id < edge_of_id.len(),
-                    "flows-out bitset decode: bit {id} set in word {word} of row {index}, \
-                     but only {} outside edges were interned",
-                    edge_of_id.len()
-                );
-                edges.insert(edge_of_id[id].clone());
-                bits &= bits - 1;
+
+        // Decode once per SCC (members share the row bit-for-bit), in
+        // parallel across SCCs, then fan the decoded set out to members.
+        let decoded = parallel_map(jobs, (0..scc_rows.len()).collect(), |s| {
+            let mut edges = BTreeSet::new();
+            for (word, &bits) in scc_rows[s].iter().enumerate() {
+                let mut bits = bits;
+                while bits != 0 {
+                    let id = word * 64 + bits.trailing_zeros() as usize;
+                    // The kernel only ORs rows together, so no decoded id
+                    // can exceed the interned edge space — unless a row
+                    // was sized or indexed wrong, in which case a stray
+                    // high bit in the last word would otherwise surface
+                    // as a bare index-out-of-bounds far from the cause.
+                    // The edge count is not a multiple of 64 in general,
+                    // so the last word legitimately has unused high bits
+                    // that must stay zero.
+                    assert!(
+                        id < edge_of_id.len(),
+                        "flows-out bitset decode: bit {id} set in word {word} of SCC {s}, \
+                         but only {} outside edges were interned",
+                        edge_of_id.len()
+                    );
+                    edges.insert(edge_of_id[id].clone());
+                    bits &= bits - 1;
+                }
             }
-        }
-        if !edges.is_empty() {
-            rel.flows_out.insert(AllocSite::from_index(index), edges);
+            edges
+        });
+        for (n, &site) in nodes.iter().enumerate() {
+            let edges = &decoded[scc.of[n]];
+            if !edges.is_empty() {
+                rel.flows_out.insert(site, edges.clone());
+            }
         }
     }
 
@@ -234,6 +334,75 @@ pub fn build(program: &Program, summary: &EffectSummary, config: FlowConfig) -> 
     }
 
     rel
+}
+
+/// The strongly connected components of a directed graph.
+struct Condensation {
+    /// SCC id of each node, in Tarjan emission order (every SCC is
+    /// emitted after all SCCs it has edges into).
+    of: Vec<usize>,
+    /// Member nodes of each SCC.
+    members: Vec<Vec<usize>>,
+}
+
+/// Iterative Tarjan over an adjacency list. The contains graph of a
+/// generated 1M-statement program nests thousands deep, so the textbook
+/// recursive formulation would overflow the stack; the DFS state lives
+/// in an explicit `(node, next edge)` stack instead.
+fn condense(adj: &[Vec<usize>]) -> Condensation {
+    const UNVISITED: usize = usize::MAX;
+    let n = adj.len();
+    let mut index = vec![UNVISITED; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut of = vec![UNVISITED; n];
+    let mut members: Vec<Vec<usize>> = Vec::new();
+    let mut next_index = 0usize;
+    let mut dfs: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        dfs.push((root, 0));
+        while let Some(&(v, ei)) = dfs.last() {
+            if ei == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = adj[v].get(ei) {
+                dfs.last_mut().expect("nonempty").1 += 1;
+                if index[w] == UNVISITED {
+                    dfs.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                dfs.pop();
+                if let Some(&(parent, _)) = dfs.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let id = members.len();
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("SCC root still on stack");
+                        on_stack[w] = false;
+                        of[w] = id;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    members.push(scc);
+                }
+            }
+        }
+    }
+    Condensation { of, members }
 }
 
 impl FlowRelations {
@@ -309,7 +478,7 @@ mod tests {
                 ..EffectConfig::default()
             },
         );
-        let rel = build(&unit.program, &summary, config);
+        let rel = build(&unit.program, &summary, config, 1);
         (unit.program, rel)
     }
 
@@ -596,7 +765,7 @@ mod tests {
         summary
             .loads
             .insert(eff(inside(0), 0, outside_base(1), false));
-        let rel = build(&program, &summary, FlowConfig::default());
+        let rel = build(&program, &summary, FlowConfig::default(), 1);
         assert!(!rel.escapes(AllocSite(0)));
         assert_eq!(rel.unmatched_edges(AllocSite(0)).count(), 0);
         assert!(rel.flows_in.contains_key(&AllocSite(0)));
@@ -623,7 +792,7 @@ mod tests {
         summary
             .loads
             .insert(eff(inside(0), 0, outside_base(1), false));
-        let rel = build(&program, &summary, FlowConfig::default());
+        let rel = build(&program, &summary, FlowConfig::default(), 1);
         assert_eq!(rel.flows_out[&AllocSite(0)].len(), 2, "edges deduplicate");
         let unmatched: Vec<&OutsideEdge> = rel.unmatched_edges(AllocSite(0)).collect();
         assert_eq!(unmatched.len(), 1);
@@ -648,7 +817,7 @@ mod tests {
         summary
             .loads
             .insert(eff(inside(0), 1, outside_base(1), false));
-        let rel = build(&program, &summary, FlowConfig::default());
+        let rel = build(&program, &summary, FlowConfig::default(), 1);
         assert!(rel.flows_in.contains_key(&AllocSite(0)), "flows-in exists");
         assert_eq!(
             rel.unmatched_edges(AllocSite(0)).count(),
@@ -675,7 +844,7 @@ mod tests {
         summary
             .returned_from_library
             .insert(TypeKey::Site(AllocSite(0)));
-        let rel = build(&program, &summary, FlowConfig::default());
+        let rel = build(&program, &summary, FlowConfig::default(), 1);
         assert_eq!(
             rel.unmatched_edges(AllocSite(0)).count(),
             0,
@@ -683,12 +852,71 @@ mod tests {
         );
 
         summary.returned_from_library.clear();
-        let rel = build(&program, &summary, FlowConfig::default());
+        let rel = build(&program, &summary, FlowConfig::default(), 1);
         assert_eq!(
             rel.unmatched_edges(AllocSite(0)).count(),
             1,
             "without the return the library probe must not match"
         );
+    }
+
+    fn inside_base(site: u32) -> EffectBase {
+        EffectBase::Type(AbsType::site(AllocSite(site), Era::Current))
+    }
+
+    #[test]
+    fn cyclic_containment_shares_every_edge() {
+        // Containment cycle 0 → 1 → 2 → 0 with a single direct escape on
+        // site 0: the SCC collapses the cycle, and all three sites must
+        // end up with the same flows-out row.
+        let program = four_site_program();
+        let mut summary = EffectSummary::default();
+        for s in 0..3 {
+            summary.inside_sites.insert(AllocSite(s));
+        }
+        summary
+            .stores
+            .insert(eff(inside(0), 0, outside_base(3), false));
+        summary
+            .stores
+            .insert(eff(inside(1), 1, inside_base(0), false));
+        summary
+            .stores
+            .insert(eff(inside(2), 1, inside_base(1), false));
+        summary
+            .stores
+            .insert(eff(inside(0), 1, inside_base(2), false));
+        let rel = build(&program, &summary, FlowConfig::default(), 1);
+        for s in 0..3 {
+            assert_eq!(
+                rel.flows_out.get(&AllocSite(s)).map_or(0, BTreeSet::len),
+                1,
+                "site {s} must inherit the cycle's escape edge"
+            );
+        }
+        assert!(!rel.flows_out.contains_key(&AllocSite(3)));
+    }
+
+    #[test]
+    fn closure_is_identical_at_any_jobs_width() {
+        // The SCC waves fan out across workers; the fixpoint is unique,
+        // so every width must produce the same relations.
+        let src = edge_fanout_source(70);
+        let baseline = relations(&src, FlowConfig::default()).1;
+        for jobs in [2usize, 4, 8] {
+            let unit = compile(&src).unwrap();
+            let cg = CallGraph::build(&unit.program, Algorithm::Rta);
+            let summary = analyze(
+                &unit.program,
+                &cg,
+                unit.checked_loops[0],
+                EffectConfig::default(),
+            );
+            let rel = build(&unit.program, &summary, FlowConfig::default(), jobs);
+            assert_eq!(rel.flows_out, baseline.flows_out, "jobs={jobs}");
+            assert_eq!(rel.flows_in, baseline.flows_in, "jobs={jobs}");
+            assert_eq!(rel.contains, baseline.contains, "jobs={jobs}");
+        }
     }
 
     /// A leak escaping through `n` distinct static fields, with the

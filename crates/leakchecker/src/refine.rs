@@ -41,7 +41,7 @@ use leakchecker_effects::{EffectSummary, Era};
 use leakchecker_ir::ids::AllocSite;
 use leakchecker_ir::Program;
 use leakchecker_pointsto::{
-    Andersen, Context, DemandConfig, DemandPointsTo, NodeId, Pag, QueryTicket,
+    Andersen, Context, DemandConfig, DemandPointsTo, Node, NodeId, Pag, QueryTicket,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::OnceLock;
@@ -66,6 +66,11 @@ pub struct Refinement {
     /// Per-query derivation traces, in deterministic (site, then query)
     /// order. Empty unless witness recording was requested.
     pub traces: Vec<QueryTrace>,
+    /// Store-source queries answered through the batched multi-root
+    /// traversal (zero on the legacy per-candidate path).
+    pub batched_queries: usize,
+    /// Batches the queries were grouped into.
+    pub query_batches: usize,
 }
 
 impl Refinement {
@@ -152,6 +157,17 @@ pub fn refine_candidates(
         targets: &targets,
     };
 
+    // Fast path: without witness recording or fault injection, the
+    // per-candidate queries deduplicate and batch globally — queries
+    // rooted in the same method share one frontier expansion instead of
+    // re-deriving it per candidate. Witnessed runs need per-candidate
+    // traced queries (a batch carries no provenance), and fault plans
+    // key off the candidate index, so both keep the legacy path; its
+    // outputs are unchanged.
+    if !witnesses && !governor.config().faults.is_active() {
+        return refine_batched(&cx, candidates, jobs);
+    }
+
     let items: Vec<(u64, AllocSite)> = candidates
         .iter()
         .copied()
@@ -189,7 +205,206 @@ pub fn refine_candidates(
             }
         })
         .collect();
-    Refinement { verdicts, traces }
+    Refinement {
+        verdicts,
+        traces,
+        batched_queries: 0,
+        query_batches: 0,
+    }
+}
+
+/// The batch width: one bit per root in the engine's multi-root mask.
+const BATCH_WIDTH: usize = 64;
+
+/// The batched refinement fast path.
+///
+/// Three stages, all deterministic at any `jobs` width:
+///
+/// 1. **Plan** (sequential): walk candidates in site order, their
+///    unmatched edges in set order, each edge's stores in PAG order, and
+///    collect the distinct store-source nodes first-seen — the full set
+///    of points-to queries the phase needs, each exactly once. The
+///    legacy path resolves a source once *per candidate that needs it*;
+///    with shared library strata that multiplies the hottest queries by
+///    the candidate count.
+/// 2. **Resolve** (parallel over batches): group the sources by rooting
+///    method — same-method roots share traversal frontier — chunk each
+///    group to the engine's 64-root mask width, and run each batch down
+///    the degradation ladder: a governed multi-root traversal with the
+///    per-query budget scaled by batch size, adaptive retries, then the
+///    Andersen fallback per root. Batch composition is fixed by the
+///    plan, so answers — and the governor's ladder counters — do not
+///    depend on scheduling.
+/// 3. **Verdict** (sequential lookups): re-run the per-candidate edge
+///    logic against the resolved table, with the same
+///    confirm-and-break order as the legacy path so degrade causes
+///    attribute identically.
+fn refine_batched(cx: &RefineCx<'_>, candidates: &BTreeSet<AllocSite>, jobs: usize) -> Refinement {
+    // Stage 1: the deterministic query plan.
+    let mut plan: Vec<NodeId> = Vec::new();
+    let mut planned: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+    for &site in candidates {
+        for edge in cx.flows.unmatched_edges(site) {
+            for store in cx.pag.stores_of(edge.field) {
+                if planned.insert(store.src) {
+                    plan.push(store.src);
+                }
+            }
+        }
+    }
+
+    // Stage 2: group by rooting method (first-occurrence order), chunk
+    // to the mask width, resolve each chunk down the ladder.
+    let mut group_order: Vec<Option<leakchecker_ir::ids::MethodId>> = Vec::new();
+    let mut groups: HashMap<Option<leakchecker_ir::ids::MethodId>, Vec<NodeId>> = HashMap::new();
+    for &src in &plan {
+        let key = match cx.pag.node_info(src) {
+            Node::Local(m, _) | Node::Ret(m) => Some(m),
+            Node::Static(_) => None,
+        };
+        let bucket = groups.entry(key).or_default();
+        if bucket.is_empty() {
+            group_order.push(key);
+        }
+        bucket.push(src);
+    }
+    let batches: Vec<Vec<NodeId>> = group_order
+        .iter()
+        .flat_map(|key| groups[key].chunks(BATCH_WIDTH).map(<[NodeId]>::to_vec))
+        .collect();
+    let query_batches = batches.len();
+    let batched_queries = plan.len();
+
+    let outcomes = parallel_map_isolated(jobs, batches.clone(), |batch| resolve_batch(cx, &batch));
+    let mut resolved: HashMap<NodeId, (BTreeSet<AllocSite>, Option<DegradeCause>)> = HashMap::new();
+    for (batch, outcome) in batches.iter().zip(outcomes) {
+        match outcome {
+            Ok(answers) => {
+                for (&src, answer) in batch.iter().zip(answers) {
+                    resolved.insert(src, answer);
+                }
+            }
+            Err(_) => {
+                // A genuinely panicking batch quarantines only itself:
+                // its roots fall back to the independently computed
+                // Andersen solution (still an over-approximation, so
+                // refutation stays sound) and carry the panic cause.
+                cx.governor.note_quarantined();
+                for &src in batch {
+                    resolved.insert(
+                        src,
+                        (
+                            cx.andersen().points_to(src).clone(),
+                            Some(DegradeCause::WorkerPanic),
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // Stage 3: per-candidate verdicts from pure lookups, preserving the
+    // legacy confirm-and-break cause attribution.
+    let verdicts = candidates
+        .iter()
+        .map(|&site| {
+            let era = cx.summary.era(site);
+            let targets = &cx.targets[&site];
+            let mut cause: Option<DegradeCause> = None;
+            let mut any_edge_confirmed = false;
+            for edge in cx.flows.unmatched_edges(site) {
+                let stores = cx.pag.stores_of(edge.field);
+                if stores.is_empty() {
+                    any_edge_confirmed = true;
+                    continue;
+                }
+                let mut edge_alive = false;
+                for store in stores {
+                    let (sites, degrade) = &resolved[&store.src];
+                    if let Some(c) = degrade {
+                        cause.get_or_insert(*c);
+                    }
+                    if sites.iter().any(|s| targets.contains(s)) {
+                        edge_alive = true;
+                        break;
+                    }
+                }
+                if edge_alive {
+                    any_edge_confirmed = true;
+                }
+            }
+            SiteVerdict {
+                site,
+                keep: era == Era::Top || any_edge_confirmed,
+                confidence: match cause {
+                    Some(cause) => Confidence::Degraded { cause },
+                    None => Confidence::Precise,
+                },
+            }
+        })
+        .collect();
+    Refinement {
+        verdicts,
+        traces: Vec::new(),
+        batched_queries,
+        query_batches,
+    }
+}
+
+/// The degradation ladder for one batch of store-source queries.
+///
+/// Mirrors [`resolve_store_src`] at batch granularity: a governed
+/// multi-root traversal whose shared budget is the per-query budget ×
+/// batch size, scaled by [`RETRY_BUDGET_FACTOR`] per retry; on final
+/// exhaustion (or deadline expiry) every root falls back to the
+/// Andersen solution. One exhaustion/retry note per batch, one fallback
+/// note per root that actually fell back.
+fn resolve_batch(
+    cx: &RefineCx<'_>,
+    srcs: &[NodeId],
+) -> Vec<(BTreeSet<AllocSite>, Option<DegradeCause>)> {
+    let governor = cx.governor;
+    let config = governor.config();
+    let nodes: Vec<Node> = srcs.iter().map(|&s| cx.pag.node_info(s)).collect();
+    let ctx = Context::empty();
+
+    if !governor.real_deadline_expired() && !governor.cancelled() {
+        let mut budget = config.query_budget.saturating_mul(srcs.len().max(1));
+        for attempt in 0..=config.max_retries {
+            if attempt > 0 {
+                governor.note_retry();
+                budget = budget.saturating_mul(RETRY_BUDGET_FACTOR);
+            }
+            let ticket = QueryTicket {
+                stop: Some(governor.cancel_token()),
+                deadline: governor.deadline(),
+                ..QueryTicket::hermetic(budget)
+            };
+            let (results, stats) = cx.engine.points_to_batch(&nodes, &ctx, &ticket);
+            if results.iter().all(|r| r.complete) {
+                return results.iter().map(|r| (r.sites(), None)).collect();
+            }
+            if stats.interrupted {
+                break;
+            }
+            if attempt == 0 {
+                governor.note_exhausted();
+            }
+        }
+    }
+
+    let cause = if governor.cancelled() {
+        governor.note_deadline_hit();
+        DegradeCause::DeadlineExpired
+    } else {
+        DegradeCause::BudgetExhausted
+    };
+    srcs.iter()
+        .map(|&src| {
+            governor.note_fallback();
+            (cx.andersen().points_to(src).clone(), Some(cause))
+        })
+        .collect()
 }
 
 /// For each candidate, the site itself plus every inside site that
@@ -427,7 +642,7 @@ mod tests {
             unit.checked_loops[0],
             EffectConfig::default(),
         );
-        let flows = crate::flows::build(&program, &summary, crate::flows::FlowConfig::default());
+        let flows = crate::flows::build(&program, &summary, crate::flows::FlowConfig::default(), 1);
         let pag = Pag::build(&program, &callgraph);
         let candidates: BTreeSet<AllocSite> = summary
             .inside_sites

@@ -354,8 +354,12 @@ mod tests {
             unit.checked_loops[0],
             EffectConfig::default(),
         );
-        let flows =
-            crate::flows::build(&unit.program, &summary, crate::flows::FlowConfig::default());
+        let flows = crate::flows::build(
+            &unit.program,
+            &summary,
+            crate::flows::FlowConfig::default(),
+            1,
+        );
         (unit.program, summary, flows)
     }
 

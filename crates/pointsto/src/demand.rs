@@ -502,6 +502,187 @@ impl<'a> DemandPointsTo<'a> {
         }
     }
 
+    /// Answers up to 64 points-to queries sharing one context in a
+    /// single traversal.
+    ///
+    /// Queries rooted in the same method overlap heavily: they reach the
+    /// same parameters, the same heap loads, the same library plumbing.
+    /// Run individually (as governed refinement queries are — hermetic,
+    /// memo off), each re-derives that shared frontier from scratch. The
+    /// batch traversal visits each `(node, context)` state once,
+    /// tracking *which roots* reach it in a 64-bit mask, and caches the
+    /// state's successor list — including the expensive load-vs-store
+    /// alias matching — so nested alias sub-queries run once per state
+    /// instead of once per root.
+    ///
+    /// Returns one [`PtResult`] per root, in input order. The step
+    /// budget is shared by the whole batch (size it accordingly, e.g.
+    /// per-query budget × batch size); on exhaustion or interruption
+    /// *every* root is conservatively marked incomplete, so completeness
+    /// stays deterministic — it depends only on the batch and its
+    /// ticket, never on which root "caused" the overrun. The memo table
+    /// is neither read nor written: batch callers are governed clients
+    /// that need hermetic step counts.
+    ///
+    /// A complete batch answer for a root is identical to that root's
+    /// individual complete answer: both are the closure of the same
+    /// successor relation from the same seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when given more than 64 roots (the mask width).
+    pub fn points_to_batch(
+        &self,
+        roots: &[Node],
+        ctx: &Context,
+        ticket: &QueryTicket,
+    ) -> (Vec<PtResult>, QueryStats) {
+        assert!(
+            roots.len() <= 64,
+            "points_to_batch takes at most 64 roots, got {}",
+            roots.len()
+        );
+        let mut state = QueryState {
+            budget: ticket.budget,
+            stats: QueryStats::default(),
+            stop: ticket.stop,
+            deadline: ticket.deadline,
+            use_memo: false,
+            witness: None,
+        };
+        let ctx_id = self.interner.intern(ctx);
+        let mut objects: Vec<BTreeSet<CtxObject>> = vec![BTreeSet::new(); roots.len()];
+        let mut complete = true;
+
+        // Per-state mask of roots whose exploration has reached it; a
+        // state re-enters the worklist only when *new* bits arrive.
+        let mut mask: HashMap<(NodeId, CtxId), u64> = HashMap::new();
+        let mut stack: Vec<(NodeId, CtxId, u64)> = Vec::new();
+        for (i, root) in roots.iter().enumerate() {
+            // Absent nodes (never-assigned variables) keep an empty
+            // complete result, matching the single-query behavior.
+            if let Some(id) = self.pag.find(*root) {
+                let entry = mask.entry((id, ctx_id)).or_insert(0);
+                let add = (1u64 << i) & !*entry;
+                if add != 0 {
+                    *entry |= add;
+                    stack.push((id, ctx_id, add));
+                }
+            }
+        }
+
+        // Successor lists cached per state — this is where the batch
+        // sharing happens: the alias matching behind a loaded field is
+        // resolved on first arrival and replayed for every later root.
+        type SuccCache = HashMap<(NodeId, CtxId), Arc<Vec<(NodeId, CtxId)>>>;
+        let mut succs: SuccCache = HashMap::new();
+
+        while let Some((node, cur, bits)) = stack.pop() {
+            if state.budget == 0 {
+                complete = false;
+                state.stats.budget_exhausted = true;
+                break;
+            }
+            if state.stats.steps & INTERRUPT_POLL_MASK == 0 && state.interrupted() {
+                complete = false;
+                state.stats.interrupted = true;
+                break;
+            }
+            state.budget -= 1;
+            state.stats.steps += 1;
+
+            // Allocation seeds, credited to exactly the newly arrived
+            // roots (earlier arrivals already collected them).
+            let allocs = self.pag.allocs_into(node);
+            if !allocs.is_empty() {
+                let cur_ctx = self.interner.resolve(cur);
+                for &site in allocs {
+                    let mut b = bits;
+                    while b != 0 {
+                        let i = b.trailing_zeros() as usize;
+                        objects[i].insert((site, cur_ctx.clone()));
+                        b &= b - 1;
+                    }
+                }
+            }
+
+            let key = (node, cur);
+            let list = match succs.get(&key) {
+                Some(list) => Arc::clone(list),
+                None => {
+                    let mut list = Vec::new();
+                    let erase = matches!(self.pag.node_info(node), Node::Static(_));
+                    for &(src, label) in self.pag.edges_into(node) {
+                        let next_ctx = match label {
+                            EdgeLabel::None => {
+                                if erase {
+                                    Some(CtxId::EMPTY)
+                                } else {
+                                    Some(cur)
+                                }
+                            }
+                            EdgeLabel::Enter(cs) => self.interner.pop_matching(cur, cs),
+                            EdgeLabel::Exit(cs) => Some(self.interner.push(cur, cs)),
+                        };
+                        if let Some(nc) = next_ctx {
+                            list.push((src, nc));
+                        }
+                    }
+                    if let Some(loads) = self.loads_by_dst.get(&node) {
+                        for load in loads {
+                            let base_result = self.query(load.base, cur, &mut state, 1);
+                            if !base_result.complete {
+                                complete = false;
+                            }
+                            let base_sites = base_result.sites();
+                            for store in self.pag.stores_of(load.field) {
+                                let sbase_result =
+                                    self.query(store.base, CtxId::EMPTY, &mut state, 1);
+                                if !sbase_result.complete {
+                                    complete = false;
+                                }
+                                let alias = !base_result.complete
+                                    || !sbase_result.complete
+                                    || sbase_result.sites().iter().any(|s| base_sites.contains(s));
+                                if alias {
+                                    list.push((store.src, CtxId::EMPTY));
+                                }
+                            }
+                        }
+                    }
+                    let list = Arc::new(list);
+                    succs.insert(key, Arc::clone(&list));
+                    list
+                }
+            };
+            for &(s, nc) in list.iter() {
+                let entry = mask.entry((s, nc)).or_insert(0);
+                let add = bits & !*entry;
+                if add != 0 {
+                    *entry |= add;
+                    stack.push((s, nc, add));
+                }
+            }
+        }
+
+        self.counters
+            .queries
+            .fetch_add(roots.len() as u64, Ordering::Relaxed);
+        self.counters
+            .steps
+            .fetch_add(state.stats.steps, Ordering::Relaxed);
+        if state.stats.budget_exhausted {
+            self.counters
+                .budget_exhaustions
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        let results = objects
+            .into_iter()
+            .map(|objects| PtResult { objects, complete })
+            .collect();
+        (results, state.stats)
+    }
+
     /// May the two variables point to the same object? Incomplete queries
     /// answer `true` (conservative).
     pub fn may_alias(&self, a: Node, ctx_a: &Context, b: Node, ctx_b: &Context) -> bool {
@@ -1050,6 +1231,161 @@ mod tests {
             steps.iter().any(|s| s.kind == WitnessKind::StaticErase),
             "flow through the static erases context: {steps:?}"
         );
+    }
+
+    #[test]
+    fn batch_matches_individual_queries() {
+        // Two factory-returned variables plus a heap round-trip: every
+        // batch answer must equal the root's individual hermetic answer.
+        let f = Fixture::new(
+            "class Box { Item item; }
+             class Item { }
+             class C {
+               static Item id(Item v) { return v; }
+               static void main() {
+                 Box b = new Box();
+                 Item i1 = new Item();
+                 Item i2 = new Item();
+                 Item x = C.id(i1);
+                 Item y = C.id(i2);
+                 b.item = i1;
+                 Item j = b.item;
+               }
+             }",
+        );
+        let e = f.engine();
+        let roots = [
+            f.local("C.main", "x"),
+            f.local("C.main", "y"),
+            f.local("C.main", "j"),
+            f.local("C.main", "i1"),
+        ];
+        let ticket = QueryTicket::hermetic(DemandConfig::default().budget);
+        let (batch, stats) = e.points_to_batch(&roots, &Context::empty(), &ticket);
+        assert_eq!(batch.len(), roots.len());
+        assert!(stats.steps > 0);
+        for (root, result) in roots.iter().zip(&batch) {
+            assert!(result.complete);
+            let (solo, _) = e.points_to_ticketed(*root, &Context::empty(), &ticket);
+            assert_eq!(
+                result.objects, solo.objects,
+                "batch answer for {root:?} diverged from the individual query"
+            );
+        }
+        assert_ne!(batch[0].sites(), batch[1].sites(), "contexts stay distinct");
+    }
+
+    #[test]
+    fn batch_shares_frontier_across_same_method_roots() {
+        // Both roots copy from the same load-bearing tail (two levels of
+        // heap dereference). Run separately, each query re-derives the
+        // alias matching behind both loads; the batch resolves each
+        // load-carrying state once and replays the cached successors for
+        // the second root, so it must spend fewer steps than the sum.
+        let f = Fixture::new(
+            "class Box { Item item; }
+             class Pack { Box box; }
+             class Item { }
+             class Main {
+               static void main() {
+                 Pack p = new Pack();
+                 Box b = new Box();
+                 Item i = new Item();
+                 p.box = b;
+                 b.item = i;
+                 Box tb = p.box;
+                 Item t = tb.item;
+                 Item x = t;
+                 Item y = t;
+               }
+             }",
+        );
+        let e = f.engine();
+        let roots = [f.local("Main.main", "x"), f.local("Main.main", "y")];
+        let ticket = QueryTicket::hermetic(DemandConfig::default().budget);
+        let (r_x, s_x) = e.points_to_ticketed(roots[0], &Context::empty(), &ticket);
+        assert_eq!(r_x.objects.len(), 1);
+        let (_, s_y) = e.points_to_ticketed(roots[1], &Context::empty(), &ticket);
+        let (batch, s_batch) = e.points_to_batch(&roots, &Context::empty(), &ticket);
+        assert!(batch.iter().all(|r| r.complete));
+        assert!(
+            s_batch.steps < s_x.steps + s_y.steps,
+            "batch {} steps must undercut separate {} + {}",
+            s_batch.steps,
+            s_x.steps,
+            s_y.steps
+        );
+    }
+
+    #[test]
+    fn batch_is_deterministic_and_hermetic() {
+        let f = Fixture::new(
+            "class C {
+               static C id(C v) { return v; }
+               static void main() {
+                 C a = new C();
+                 C x = C.id(a);
+                 C y = C.id(C.id(a));
+               }
+             }",
+        );
+        let e = f.engine();
+        // Warm the memo; the batch must ignore it.
+        let _ = e.points_to(f.local("C.main", "x"), &Context::empty());
+        let roots = [f.local("C.main", "x"), f.local("C.main", "y")];
+        let ticket = QueryTicket::hermetic(DemandConfig::default().budget);
+        let (r1, s1) = e.points_to_batch(&roots, &Context::empty(), &ticket);
+        let (r2, s2) = e.points_to_batch(&roots, &Context::empty(), &ticket);
+        assert_eq!(s1.steps, s2.steps, "hermetic batches repeat exactly");
+        assert_eq!(s1.memo_hits, 0);
+        for (a, b) in r1.iter().zip(&r2) {
+            assert_eq!(a.objects, b.objects);
+            assert_eq!(a.complete, b.complete);
+        }
+    }
+
+    #[test]
+    fn batch_exhaustion_marks_every_root_incomplete() {
+        let f = Fixture::new(
+            "class C {
+               static C id(C v) { return v; }
+               static void main() {
+                 C x = C.id(C.id(C.id(new C())));
+                 C y = new C();
+               }
+             }",
+        );
+        let e = f.engine();
+        let roots = [f.local("C.main", "x"), f.local("C.main", "y")];
+        let (batch, stats) =
+            e.points_to_batch(&roots, &Context::empty(), &QueryTicket::hermetic(2));
+        assert!(stats.budget_exhausted);
+        assert!(
+            batch.iter().all(|r| !r.complete),
+            "a starved batch must not certify any root complete"
+        );
+    }
+
+    #[test]
+    fn batch_handles_absent_and_duplicate_roots() {
+        let f = Fixture::new(
+            "class C {
+               C unused;
+               static void main() { C x = new C(); }
+             }",
+        );
+        let e = f.engine();
+        let x = f.local("C.main", "x");
+        // A node the PAG never saw: per-root empty complete result.
+        let ghost = Node::Local(
+            f.program.method_by_path("C.main").unwrap(),
+            LocalId::from_index(7),
+        );
+        let ticket = QueryTicket::hermetic(DemandConfig::default().budget);
+        let (batch, _) = e.points_to_batch(&[x, ghost, x], &Context::empty(), &ticket);
+        assert_eq!(batch[0].objects.len(), 1);
+        assert!(batch[1].objects.is_empty() && batch[1].complete);
+        assert_eq!(batch[2].objects, batch[0].objects, "duplicate roots agree");
     }
 
     #[test]

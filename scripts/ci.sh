@@ -17,6 +17,15 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "==> large-program scale smoke (100k statements, timed)"
+# Generates a seed-deterministic ~100k-statement subject, checks it at
+# jobs 1 and 4, byte-compares the reports, and enforces a sequential
+# wall-clock ceiling. The speedup(jobs=4) >= 2x floor is asserted only
+# on machines with >= 4 cores (scale_smoke skips it with a notice on
+# narrower ones, where parallel speedup is not observable).
+cargo run -q --release --offline -p leakchecker-bench --bin scale_smoke -- \
+  --stmts 100000 --ceiling 60 --min-speedup 2.0 --jobs-list 1,4
+
 echo "==> fuzz smoke (200 fixed seeds, machine width)"
 cargo run -q --release --offline -p leakchecker-cli --bin leakc -- \
   fuzz --seeds 200 --jobs 0

@@ -24,6 +24,8 @@ fn fingerprint(result: &AnalysisResult) -> String {
         quarantined,
         deadline_hits,
         degraded_reports,
+        batched_queries,
+        query_batches,
         // Excluded on purpose: wall-clock and thread count vary per run.
         time_secs: _,
         phases: _,
@@ -35,7 +37,8 @@ fn fingerprint(result: &AnalysisResult) -> String {
          candidate_sites={candidate_sites} refuted={refuted_candidates} \
          exhausted={exhausted_queries} retries={retries} fallbacks={fallbacks} \
          quarantined={quarantined} deadline_hits={deadline_hits} \
-         degraded={degraded_reports}\n{}",
+         degraded={degraded_reports} batched={batched_queries} \
+         batches={query_batches}\n{}",
         render_all(&result.program, &result.reports)
     )
 }
