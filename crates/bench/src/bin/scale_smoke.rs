@@ -5,15 +5,17 @@
 //! * a wall-clock regression — the sequential end-to-end time must stay
 //!   under `--ceiling` seconds;
 //! * a scaling regression — the widest run must reach `--min-speedup`
-//!   over sequential, asserted only when the machine actually has that
-//!   many cores (a 1-CPU container cannot show parallel speedup, so the
-//!   assertion is skipped with a notice there);
+//!   over sequential end-to-end, and its effects phase must reach
+//!   `--min-effects-speedup` over the sequential effects phase (the
+//!   Jacobi-rounds gate); both asserted only when the machine actually
+//!   has that many cores (a 1-CPU container cannot show parallel
+//!   speedup, so the assertions are skipped with a notice there);
 //! * any determinism violation — `scaling_sweep` byte-compares the
 //!   rendered reports across widths before timing anything.
 //!
 //! ```text
 //! cargo run -p leakchecker-bench --release --bin scale_smoke -- \
-//!   --stmts 100000 --ceiling 60 --min-speedup 2.0
+//!   --stmts 100000 --ceiling 60 --min-speedup 2.0 --min-effects-speedup 2.0
 //! ```
 
 use leakchecker_bench::{render_scaling, scaling_sweep};
@@ -22,6 +24,7 @@ struct Args {
     stmts: usize,
     ceiling_secs: f64,
     min_speedup: f64,
+    min_effects_speedup: f64,
     jobs_list: Vec<usize>,
 }
 
@@ -30,6 +33,7 @@ fn parse_args() -> Args {
         stmts: 100_000,
         ceiling_secs: 120.0,
         min_speedup: 2.0,
+        min_effects_speedup: 2.0,
         jobs_list: vec![1, 4],
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -53,6 +57,9 @@ fn parse_args() -> Args {
             "--min-speedup" => {
                 args.min_speedup = next("a ratio").parse::<f64>().unwrap_or_else(|_| bad())
             }
+            "--min-effects-speedup" => {
+                args.min_effects_speedup = next("a ratio").parse::<f64>().unwrap_or_else(|_| bad())
+            }
             "--jobs-list" => {
                 args.jobs_list = next("a comma list")
                     .split(',')
@@ -62,7 +69,7 @@ fn parse_args() -> Args {
             _ => {
                 eprintln!(
                     "usage: scale_smoke [--stmts N] [--ceiling SECS] [--min-speedup X] \
-                     [--jobs-list N,N,...]"
+                     [--min-effects-speedup X] [--jobs-list N,N,...]"
                 );
                 std::process::exit(2);
             }
@@ -119,9 +126,35 @@ fn main() {
                 );
                 std::process::exit(1);
             }
+            // The Jacobi-rounds gate: the effects phase itself must
+            // scale, not just ride along on the flows/refine speedup.
+            let effects_speedup = if widest.effects_secs > 0.0 {
+                seq.effects_secs / widest.effects_secs
+            } else {
+                0.0
+            };
+            if effects_speedup < args.min_effects_speedup {
+                eprintln!(
+                    "FAIL: effects-phase speedup at jobs={} is {:.2}x \
+                     ({:.3}s -> {:.3}s), floor is {:.2}x",
+                    widest.jobs,
+                    effects_speedup,
+                    seq.effects_secs,
+                    widest.effects_secs,
+                    args.min_effects_speedup
+                );
+                std::process::exit(1);
+            }
             println!(
-                "OK: {:.2}x at jobs={} (floor {:.2}x), sequential {:.2}s (ceiling {:.2}s)",
-                widest.speedup, widest.jobs, args.min_speedup, seq.secs, args.ceiling_secs
+                "OK: {:.2}x at jobs={} (floor {:.2}x), effects {:.2}x (floor {:.2}x), \
+                 sequential {:.2}s (ceiling {:.2}s)",
+                widest.speedup,
+                widest.jobs,
+                args.min_speedup,
+                effects_speedup,
+                args.min_effects_speedup,
+                seq.secs,
+                args.ceiling_secs
             );
         } else {
             println!(

@@ -45,6 +45,11 @@ pub struct TableRow {
     pub fallbacks: u64,
     /// Reports tagged `Degraded` rather than `Precise`.
     pub degraded_reports: usize,
+    /// Jacobi rounds the effects fixpoint ran (jobs-independent).
+    pub effects_rounds: usize,
+    /// The effect summary hit the inlining depth cap (sound but
+    /// conservative; 0 expected on every registry subject).
+    pub effects_truncated: bool,
 }
 
 /// Runs the full pipeline on a subject with its case-study configuration.
@@ -95,6 +100,8 @@ pub fn table1_rows_jobs(jobs: usize) -> Vec<TableRow> {
             missed: score.missed_leaks,
             fallbacks: result.stats.fallbacks,
             degraded_reports: result.stats.degraded_reports,
+            effects_rounds: result.stats.effects_rounds,
+            effects_truncated: result.stats.effects_truncated,
         }
     })
 }
@@ -234,9 +241,11 @@ pub struct ScalingPoint {
     pub secs: f64,
     /// Flows-closure phase seconds (SCC waves — the widest phase).
     pub flows_secs: f64,
+    /// Effects-fixpoint phase seconds (parallel Jacobi rounds).
+    pub effects_secs: f64,
     /// Refinement phase seconds (batched demand queries).
     pub refine_secs: f64,
-    /// Everything else (callgraph, effects, contexts, matching).
+    /// Everything else (callgraph, contexts, matching).
     pub other_secs: f64,
     /// Sequential-baseline seconds over this point's seconds.
     pub speedup: f64,
@@ -319,8 +328,9 @@ pub fn scaling_sweep(
                 eff_jobs,
                 secs,
                 flows_secs: p.flows_secs,
+                effects_secs: p.effects_secs,
                 refine_secs: p.refine_secs,
-                other_secs: p.callgraph_secs + p.effects_secs + p.contexts_secs + p.matching_secs,
+                other_secs: p.callgraph_secs + p.contexts_secs + p.matching_secs,
                 speedup,
                 efficiency: if eff_jobs > 0 {
                     speedup / eff_jobs as f64
@@ -338,17 +348,26 @@ pub fn render_scaling(points: &[ScalingPoint]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:>5} {:>8} {:>9} {:>9} {:>9} {:>9} {:>8} {:>5}",
-        "jobs", "stmts", "total(s)", "flows(s)", "refine(s)", "other(s)", "speedup", "eff"
+        "{:>5} {:>8} {:>9} {:>9} {:>10} {:>9} {:>9} {:>8} {:>5}",
+        "jobs",
+        "stmts",
+        "total(s)",
+        "flows(s)",
+        "effects(s)",
+        "refine(s)",
+        "other(s)",
+        "speedup",
+        "eff"
     );
     for p in points {
         let _ = writeln!(
             out,
-            "{:>5} {:>8} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>7.2}x {:>4.0}%",
+            "{:>5} {:>8} {:>9.3} {:>9.3} {:>10.3} {:>9.3} {:>9.3} {:>7.2}x {:>4.0}%",
             p.jobs,
             p.statements,
             p.secs,
             p.flows_secs,
+            p.effects_secs,
             p.refine_secs,
             p.other_secs,
             p.speedup,
@@ -386,7 +405,8 @@ pub fn render_json(rows: &[TableRow], sweep: &[SweepPoint], scaling: &[ScalingPo
             "    {{\"name\": \"{}\", \"methods\": {}, \"statements\": {}, \
              \"time_secs\": {:.6}, \"loop_objects\": {}, \"leaking_sites\": {}, \
              \"false_positives\": {}, \"fpr\": {:.4}, \"missed\": {}, \
-             \"fallbacks\": {}, \"degraded_reports\": {}}}",
+             \"fallbacks\": {}, \"degraded_reports\": {}, \
+             \"effects_rounds\": {}, \"effects_truncated\": {}}}",
             json_escape(&row.name),
             row.methods,
             row.statements,
@@ -397,7 +417,9 @@ pub fn render_json(rows: &[TableRow], sweep: &[SweepPoint], scaling: &[ScalingPo
             row.fpr,
             row.missed,
             row.fallbacks,
-            row.degraded_reports
+            row.degraded_reports,
+            row.effects_rounds,
+            row.effects_truncated
         );
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
@@ -423,8 +445,8 @@ pub fn render_json(rows: &[TableRow], sweep: &[SweepPoint], scaling: &[ScalingPo
             out,
             "    {{\"target_statements\": {}, \"statements\": {}, \"methods\": {}, \
              \"jobs\": {}, \"eff_jobs\": {}, \"secs\": {:.6}, \"flows_secs\": {:.6}, \
-             \"refine_secs\": {:.6}, \"other_secs\": {:.6}, \"speedup\": {:.3}, \
-             \"efficiency\": {:.3}, \"reports\": {}}}",
+             \"effects_secs\": {:.6}, \"refine_secs\": {:.6}, \"other_secs\": {:.6}, \
+             \"speedup\": {:.3}, \"efficiency\": {:.3}, \"reports\": {}}}",
             p.target_statements,
             p.statements,
             p.methods,
@@ -432,6 +454,7 @@ pub fn render_json(rows: &[TableRow], sweep: &[SweepPoint], scaling: &[ScalingPo
             p.eff_jobs,
             p.secs,
             p.flows_secs,
+            p.effects_secs,
             p.refine_secs,
             p.other_secs,
             p.speedup,
@@ -620,6 +643,8 @@ mod tests {
                 row.name
             );
             assert_eq!(row.degraded_reports, 0, "{}", row.name);
+            assert!(row.effects_rounds > 0, "{} ran no effects rounds", row.name);
+            assert!(!row.effects_truncated, "{} truncated effects", row.name);
         }
         let text = render_table(&rows);
         assert!(text.contains("average FPR"));
@@ -667,6 +692,9 @@ mod tests {
         assert!(json.contains("\"fallbacks\""));
         assert!(json.contains("\"degraded_reports\""));
         assert!(json.contains("\"flows_secs\""));
+        assert!(json.contains("\"effects_secs\""));
+        assert!(json.contains("\"effects_rounds\""));
+        assert!(json.contains("\"effects_truncated\""));
         assert_eq!(json.matches("\"handlers\"").count(), 2);
     }
 
@@ -687,6 +715,7 @@ mod tests {
             assert!(p.statements >= 4_500, "realized size near target");
             assert!(p.secs > 0.0);
             assert!(p.flows_secs >= 0.0 && p.refine_secs >= 0.0 && p.other_secs >= 0.0);
+            assert!(p.effects_secs >= 0.0);
         }
         let text = render_scaling(&points);
         assert!(text.contains("speedup"));

@@ -814,7 +814,8 @@ pub fn execute(command: Command) -> Result<CliOutput, LeakcError> {
                         .iter()
                         .map(|r| {
                             format!(
-                                "{{\"site\": {}, \"method\": {}, \"era\": {}, \"degraded\": {}}}",
+                                "{{\"site\": \"{}\", \"method\": \"{}\", \"era\": \"{}\", \
+                                 \"degraded\": {}}}",
                                 protocol::json_escape(&r.describe),
                                 protocol::json_escape(&r.method),
                                 protocol::json_escape(&r.era.to_string()),
@@ -823,15 +824,18 @@ pub fn execute(command: Command) -> Result<CliOutput, LeakcError> {
                         })
                         .collect();
                     json_targets.push(format!(
-                        "{{\"target\": {}, \"methods\": {}, \"statements\": {}, \
+                        "{{\"target\": \"{}\", \"methods\": {}, \"statements\": {}, \
                          \"loop_objects\": {}, \"leaking_sites\": {}, \
-                         \"degraded_reports\": {}, \"reports\": [{}]}}",
+                         \"degraded_reports\": {}, \"effects_rounds\": {}, \
+                         \"effects_truncated\": {}, \"reports\": [{}]}}",
                         protocol::json_escape(&format!("{target:?}")),
                         result.stats.methods,
                         result.stats.statements,
                         result.stats.loop_objects,
                         result.stats.leaking_sites,
                         result.stats.degraded_reports,
+                        result.stats.effects_rounds,
+                        result.stats.effects_truncated,
                         reports.join(", ")
                     ));
                 }
@@ -846,11 +850,15 @@ pub fn execute(command: Command) -> Result<CliOutput, LeakcError> {
                     result.stats.time_secs
                 );
                 let p = result.stats.phases;
+                // `effects_regions` is jobs- and machine-width-dependent,
+                // so it lives on this timing line (normalized away by the
+                // CI determinism compare), never on the governance line.
                 let _ = writeln!(
                     out,
                     "  phases: callgraph {:.3}s, effects {:.3}s, flows {:.3}s, \
                      contexts {:.3}s, refine {:.3}s, matching {:.3}s  \
-                     ({} flow edges, {} candidates, {} refuted, {} jobs)",
+                     ({} flow edges, {} candidates, {} refuted, {} jobs; \
+                     effects: {} rounds, {} regions)",
                     p.callgraph_secs,
                     p.effects_secs,
                     p.flows_secs,
@@ -860,19 +868,23 @@ pub fn execute(command: Command) -> Result<CliOutput, LeakcError> {
                     result.stats.flow_edges,
                     result.stats.candidate_sites,
                     result.stats.refuted_candidates,
-                    result.stats.jobs
+                    result.stats.jobs,
+                    result.stats.effects_rounds,
+                    result.stats.effects_regions
                 );
                 let s = result.stats;
                 let _ = writeln!(
                     out,
                     "  governance: {} exhausted, {} retries, {} fallbacks, \
-                     {} quarantined, {} deadline hits, {} degraded reports",
+                     {} quarantined, {} deadline hits, {} degraded reports, \
+                     effects truncated: {}",
                     s.exhausted_queries,
                     s.retries,
                     s.fallbacks,
                     s.quarantined,
                     s.deadline_hits,
-                    s.degraded_reports
+                    s.degraded_reports,
+                    if s.effects_truncated { "yes" } else { "no" }
                 );
                 leaks_found |= !result.reports.is_empty();
                 degraded |= s.is_degraded();
@@ -900,7 +912,7 @@ pub fn execute(command: Command) -> Result<CliOutput, LeakcError> {
                 // Deterministic machine summary (no timings) written via
                 // temp-file + rename so readers never observe a torn file.
                 let summary = format!(
-                    "{{\"file\": {}, \"exit_code\": {}, \"leaks\": {}, \"degraded\": {}, \
+                    "{{\"file\": \"{}\", \"exit_code\": {}, \"leaks\": {}, \"degraded\": {}, \
                      \"targets\": [{}]}}\n",
                     protocol::json_escape(&file),
                     exit_code,
@@ -1230,7 +1242,50 @@ mod tests {
         assert!(text.contains("refine"), "{text}");
         assert!(text.contains("governance:"), "{text}");
         assert!(text.contains("2 jobs"), "{text}");
+        assert!(text.contains("rounds"), "{text}");
+        assert!(text.contains("regions"), "{text}");
+        assert!(text.contains("effects truncated: no"), "{text}");
         assert!(text.contains("new Item"), "{text}");
+    }
+
+    #[test]
+    fn check_surfaces_effects_truncation() {
+        // Regression: `EffectSummary::truncated` used to be computed and
+        // then silently dropped by the detector. A recursion-to-cap
+        // subject must now surface it on the governance line and in the
+        // machine summary — without claiming degradation (truncation is
+        // a jobs-independent soundness note, not a resource-ladder rung).
+        let dir = std::env::temp_dir().join("leakc-test-truncation");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("recursive.jml");
+        std::fs::write(
+            &path,
+            "class Main {
+               static void spin(int n) { Main.spin(n - 1); }
+               static void main() {
+                 @check while (nondet()) {
+                   Main.spin(3);
+                 }
+               }
+             }",
+        )
+        .unwrap();
+        let json_path = dir.join("summary.json");
+        let out = execute(Command::Check {
+            file: path.to_string_lossy().to_string(),
+            loop_index: None,
+            auto: false,
+            options: CheckOptions::default(),
+            json: Some(json_path.to_string_lossy().to_string()),
+            trace: None,
+        })
+        .unwrap();
+        assert_eq!(out.exit_code, EXIT_CLEAN, "{}", out.text);
+        assert!(out.text.contains("effects truncated: yes"), "{}", out.text);
+        let summary = std::fs::read_to_string(&json_path).unwrap();
+        assert!(summary.contains("\"effects_truncated\": true"), "{summary}");
+        assert!(summary.contains("\"effects_rounds\": "), "{summary}");
+        assert!(summary.contains("\"degraded\": false"), "{summary}");
     }
 
     #[test]

@@ -110,6 +110,10 @@ struct Telemetry {
     // demand engine, and escape chains rendered into responses.
     trace_events: AtomicU64,
     witness_chains: AtomicU64,
+    // Effects-fixpoint counters: Jacobi rounds across served checks,
+    // and checks whose effect summary hit the inlining depth cap.
+    effects_rounds: AtomicU64,
+    effects_truncated: AtomicU64,
 }
 
 impl Telemetry {
@@ -121,13 +125,16 @@ impl Telemetry {
         let ms = |field: &AtomicU64| field.load(Ordering::Relaxed) / 1000;
         format!(
             "{{\"callgraph_ms\": {}, \"effects_ms\": {}, \"flows_ms\": {}, \
-             \"contexts_ms\": {}, \"refine_ms\": {}, \"matching_ms\": {}}}",
+             \"contexts_ms\": {}, \"refine_ms\": {}, \"matching_ms\": {}, \
+             \"effects_rounds\": {}, \"effects_truncated\": {}}}",
             ms(&self.callgraph_us),
             ms(&self.effects_us),
             ms(&self.flows_us),
             ms(&self.contexts_us),
             ms(&self.refine_us),
             ms(&self.matching_us),
+            self.effects_rounds.load(Ordering::Relaxed),
+            self.effects_truncated.load(Ordering::Relaxed),
         )
     }
 
@@ -240,6 +247,12 @@ fn run_check_source(
         Telemetry::add_secs(&telemetry.contexts_us, p.contexts_secs);
         Telemetry::add_secs(&telemetry.refine_us, p.refine_secs);
         Telemetry::add_secs(&telemetry.matching_us, p.matching_secs);
+        telemetry
+            .effects_rounds
+            .fetch_add(result.stats.effects_rounds as u64, Ordering::Relaxed);
+        telemetry
+            .effects_truncated
+            .fetch_add(u64::from(result.stats.effects_truncated), Ordering::Relaxed);
     }
     telemetry.checks.fetch_add(1, Ordering::Relaxed);
     let exit_code = if reports > 0 {

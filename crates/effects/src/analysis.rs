@@ -17,14 +17,31 @@
 //! refers to it). Heap cells whose iteration-local container died with its
 //! iteration are thereby garbage-collected from the report, which is what
 //! keeps truly iteration-local structures classified `ĉ`.
+//!
+//! # Parallel (Jacobi) rounds
+//!
+//! With [`EffectConfig::jobs`] ≠ 1 the designated-loop fixpoint runs each
+//! abstract iteration as a *round* of independent regions: the loop body
+//! is partitioned (see `partition.rs`) so that no abstract fact can flow
+//! between two regions within one iteration, every region executes
+//! against an immutable snapshot of the post-aging heap, and the
+//! per-region deltas (heap overlay, written locals, effect sets) are
+//! merged back in a fixed region order. Because the regions are truly
+//! independent, each round reproduces the sequential iteration's
+//! post-state *exactly* — same environments, heap, effect sets, iteration
+//! count, and truncation flag — not merely the same fixpoint, which is
+//! what keeps [`EffectSummary`] byte-identical at every job count.
 
 use crate::domain::{AbsEffect, AbsType, EffectBase, TypeKey, Val};
 use crate::era::Era;
+use crate::partition::{partition, Region};
 use leakchecker_callgraph::CallGraph;
 use leakchecker_ir::ids::{AllocSite, FieldId, LocalId, LoopId, MethodId};
 use leakchecker_ir::stmt::Stmt;
 use leakchecker_ir::Program;
+use leakchecker_parallel::{effective_jobs, parallel_map};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 /// Analysis configuration.
 #[derive(Copy, Clone, Debug)]
@@ -40,6 +57,11 @@ pub struct EffectConfig {
     /// study's workaround): objects captured by a thread on which
     /// `start()` was invoked escape regardless of the thread's own ERA.
     pub model_threads: bool,
+    /// Worker threads for the designated-loop Jacobi rounds: `1` runs the
+    /// classic sequential walk (the default), `0` uses one worker per
+    /// hardware thread, `n` uses `n` workers. Results are identical at
+    /// every value.
+    pub jobs: usize,
 }
 
 impl Default for EffectConfig {
@@ -49,6 +71,7 @@ impl Default for EffectConfig {
             max_inline_depth: 24,
             max_fixpoint_iters: 40,
             model_threads: false,
+            jobs: 1,
         }
     }
 }
@@ -75,6 +98,15 @@ pub struct EffectSummary {
     /// `true` if inlining depth, recursion, or a fixpoint cap truncated
     /// the analysis (results may under-approximate).
     pub truncated: bool,
+    /// Abstract iterations executed across designated-loop fixpoints.
+    /// Identical at every job count (each parallel round reproduces one
+    /// sequential iteration exactly).
+    pub rounds: usize,
+    /// Regions in the largest designated-loop partition actually run on
+    /// the parallel path; `0` when the sequential path ran. Telemetry
+    /// only — depends on the resolved worker count, so it is excluded
+    /// from cross-width equivalence comparisons.
+    pub regions: usize,
 }
 
 impl EffectSummary {
@@ -111,7 +143,7 @@ pub fn analyze_from(
         callgraph,
         config,
         designated,
-        heap: BTreeMap::new(),
+        heap: HeapView::default(),
         stores: BTreeSet::new(),
         loads: BTreeSet::new(),
         inside_sites: BTreeSet::new(),
@@ -122,6 +154,9 @@ pub fn analyze_from(
         truncated: false,
         final_roots: Vec::new(),
         top_escape: false,
+        in_region: false,
+        rounds: 0,
+        region_count: 0,
     };
     let mut env = Env::default();
     let nlocals = program.method(root).locals.len();
@@ -132,11 +167,16 @@ pub fn analyze_from(
 }
 
 /// One abstract frame: values of the current method's locals.
+///
+/// Public (but hidden) so the lattice-law property tests can exercise
+/// [`join_env`]/[`age_env`] on arbitrary frames; not part of the stable
+/// API.
+#[doc(hidden)]
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
-struct Env {
-    locals: Vec<Val>,
+pub struct Env {
+    pub locals: Vec<Val>,
     /// Join of all values returned so far from this frame.
-    ret: Val,
+    pub ret: Val,
 }
 
 /// Which generation of container instances a heap cell describes.
@@ -147,8 +187,9 @@ struct Env {
 /// `f̂`/`⊤̂` base in a later iteration (both are "old" instances), while
 /// cells of containers that died with their iteration stay separate from
 /// the fresh instances of the next one.
+#[doc(hidden)]
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-enum Gen {
+pub enum Gen {
     /// Containers created outside the designated loop.
     Outside,
     /// Containers created in the current abstract iteration.
@@ -157,7 +198,8 @@ enum Gen {
     Old,
 }
 
-fn gen_of(era: Era) -> Gen {
+#[doc(hidden)]
+pub fn gen_of(era: Era) -> Gen {
     match era {
         Era::Outside => Gen::Outside,
         Era::Current => Gen::Fresh,
@@ -165,7 +207,82 @@ fn gen_of(era: Era) -> Gen {
     }
 }
 
-type HeapKey = (TypeKey, Gen, FieldId);
+#[doc(hidden)]
+pub type HeapKey = (TypeKey, Gen, FieldId);
+
+/// The abstract heap as a (possibly layered) view: an optional immutable
+/// snapshot shared by every region of a Jacobi round, overlaid by a local
+/// delta map. On the sequential path `base` is `None` and `local` *is*
+/// the heap, reproducing the original single-map behavior bit for bit.
+#[derive(Clone, Debug, Default)]
+struct HeapView {
+    base: Option<Arc<BTreeMap<HeapKey, Val>>>,
+    local: BTreeMap<HeapKey, Val>,
+}
+
+impl HeapView {
+    fn get(&self, key: &HeapKey) -> Val {
+        if let Some(v) = self.local.get(key) {
+            return v.clone();
+        }
+        match &self.base {
+            Some(b) => b.get(key).cloned().unwrap_or(Val::Bottom),
+            None => Val::Bottom,
+        }
+    }
+
+    /// Weak update: joins `val` into the cell. Mirrors the sequential
+    /// `entry(key).or_default()` discipline exactly — in particular a
+    /// previously absent key is materialized even when the joined value
+    /// stays `⊥`, because heap-equality convergence checks distinguish
+    /// absent cells from `⊥` cells and the parallel path must reach
+    /// stability in the same iteration the sequential path does.
+    fn store_join(&mut self, key: HeapKey, val: Val, bound: usize) {
+        let cur = self.get(&key);
+        let new = cur.join(&val, bound);
+        let in_base = self.base.as_ref().is_some_and(|b| b.contains_key(&key));
+        if self.local.contains_key(&key) || !in_base || new != cur {
+            self.local.insert(key, new);
+        }
+    }
+
+    /// Strong update (flow-back reclassification). Callers only invoke
+    /// this when the value actually changed, so the overlay entry always
+    /// differs from the snapshot underneath it.
+    fn set(&mut self, key: HeapKey, val: Val) {
+        self.local.insert(key, val);
+    }
+
+    /// Every key of `field` in the effective heap, in key order (the
+    /// order the sequential single-map walk would enumerate them).
+    fn field_keys(&self, field: FieldId) -> Vec<HeapKey> {
+        let local = self.local.keys().filter(|(_, _, f)| *f == field).cloned();
+        match &self.base {
+            None => local.collect(),
+            Some(b) => {
+                let mut keys: BTreeSet<HeapKey> =
+                    b.keys().filter(|(_, _, f)| *f == field).cloned().collect();
+                keys.extend(local);
+                keys.into_iter().collect()
+            }
+        }
+    }
+}
+
+/// Everything one region of a Jacobi round produces, merged back into
+/// the main interpreter in fixed region order.
+struct RegionOutcome {
+    overlay: BTreeMap<HeapKey, Val>,
+    env: Env,
+    stores: BTreeSet<AbsEffect>,
+    loads: BTreeSet<AbsEffect>,
+    inside_sites: BTreeSet<AllocSite>,
+    returned_from_library: BTreeSet<TypeKey>,
+    started_threads: BTreeSet<TypeKey>,
+    final_roots: Vec<Env>,
+    truncated: bool,
+    top_escape: bool,
+}
 
 struct AbstractInterp<'a> {
     program: &'a Program,
@@ -174,7 +291,7 @@ struct AbstractInterp<'a> {
     designated: LoopId,
     /// Abstract heap H: (base type, field) → stored value. Static fields
     /// live under `TypeKey::Globals` with era `0̂`.
-    heap: BTreeMap<HeapKey, Val>,
+    heap: HeapView,
     stores: BTreeSet<AbsEffect>,
     loads: BTreeSet<AbsEffect>,
     inside_sites: BTreeSet<AllocSite>,
@@ -191,6 +308,14 @@ struct AbstractInterp<'a> {
     /// is conservatively reported `⊤̂` (only reachable when the value
     /// domain collapses, e.g. under the formal bound-1 configuration).
     top_escape: bool,
+    /// `true` while executing one region of a Jacobi round: forces any
+    /// (structurally impossible) nested designated-loop fixpoint onto
+    /// the sequential path.
+    in_region: bool,
+    /// Designated-loop abstract iterations executed so far.
+    rounds: usize,
+    /// Largest partition actually run on the parallel path.
+    region_count: usize,
 }
 
 impl AbstractInterp<'_> {
@@ -226,13 +351,12 @@ impl AbstractInterp<'_> {
     }
 
     fn heap_load(&self, key: &HeapKey) -> Val {
-        self.heap.get(key).cloned().unwrap_or(Val::Bottom)
+        self.heap.get(key)
     }
 
     fn heap_store(&mut self, key: HeapKey, val: Val) {
         let bound = self.bound();
-        let entry = self.heap.entry(key).or_default();
-        *entry = entry.join(&val, bound);
+        self.heap.store_join(key, val, bound);
     }
 
     /// All heap keys a base value can denote. `⊤` bases touch every key of
@@ -240,12 +364,7 @@ impl AbstractInterp<'_> {
     fn keys_for_base(&self, base: &Val, field: FieldId) -> Vec<HeapKey> {
         match base {
             Val::Bottom => Vec::new(),
-            Val::Top => self
-                .heap
-                .keys()
-                .filter(|(_, _, f)| *f == field)
-                .cloned()
-                .collect(),
+            Val::Top => self.heap.field_keys(field),
             Val::Types(_) => base
                 .types()
                 .map(|t| (t.key, gen_of(t.era), field))
@@ -547,20 +666,11 @@ impl AbstractInterp<'_> {
         }
         match cell {
             Val::Types(m) => {
-                let adjusted: BTreeMap<TypeKey, Era> = m
-                    .iter()
-                    .map(|(&k, &e)| {
-                        let e2 = if e.is_inside() && e.persists() {
-                            Era::Future
-                        } else {
-                            e
-                        };
-                        (k, e2)
-                    })
-                    .collect();
+                let adjusted: BTreeMap<TypeKey, Era> =
+                    m.iter().map(|(&k, &e)| (k, e.flow_back())).collect();
                 let new = Val::Types(adjusted);
                 if new != *cell {
-                    self.heap.insert(key, new.clone());
+                    self.heap.set(key, new.clone());
                 }
                 new
             }
@@ -569,14 +679,29 @@ impl AbstractInterp<'_> {
     }
 
     /// A non-designated loop: plain fixed point, no iteration semantics.
+    ///
+    /// Note the convergence criterion is environment + heap only; the
+    /// designated loop additionally watches the effect-log lengths. The
+    /// asymmetry is deliberate (and test-pinned): a plain loop that adds
+    /// a new effect necessarily also changes an environment value or a
+    /// heap cell *or* repeats an effect already recorded, because effects
+    /// are keyed by the abstract values involved — whereas a designated
+    /// loop's aging operator can cycle the same env/heap while the
+    /// `inside_loop` flag of freshly recorded effects still changes.
+    ///
+    /// Comparing `heap.local` is exact in both contexts: on the
+    /// sequential path it *is* the heap, and inside a region the overlay
+    /// changes iff the effective heap changes (stores only materialize
+    /// overlay entries that differ from the snapshot or update existing
+    /// ones).
     fn exec_plain_loop(&mut self, body: &[Stmt], env: &mut Env) {
         let mut state = env.clone();
         for _ in 0..self.config.max_fixpoint_iters {
-            let heap_before = self.heap.clone();
+            let heap_before = self.heap.local.clone();
             let mut iter_env = state.clone();
             self.exec_stmts(body, &mut iter_env);
             let joined = join_env(&state, &iter_env, self.bound());
-            if joined == state && self.heap == heap_before {
+            if joined == state && self.heap.local == heap_before {
                 *env = joined;
                 return;
             }
@@ -586,22 +711,49 @@ impl AbstractInterp<'_> {
         *env = state;
     }
 
-    /// The designated loop: rule TWhile with iteration aging.
+    /// The designated loop: rule TWhile with iteration aging. Each
+    /// abstract iteration runs either sequentially or as one parallel
+    /// Jacobi round; the two produce identical post-states, so iteration
+    /// counts, truncation, and every summary component agree.
     fn exec_designated_loop(&mut self, body: &[Stmt], env: &mut Env) {
         self.loop_depth += 1;
+        let workers = effective_jobs(self.config.jobs);
+        let regions = if workers > 1 && !self.in_region {
+            partition(
+                self.program,
+                self.callgraph,
+                self.current_method(),
+                &self.call_stack,
+                self.config.max_inline_depth,
+                body,
+            )
+        } else {
+            Vec::new()
+        };
+        // A single region would serialize through parallel_map for
+        // nothing; the sequential walk is the same computation.
+        let parallel = regions.len() >= 2;
+        if parallel {
+            self.region_count = self.region_count.max(regions.len());
+        }
         let mut state = env.clone();
         let mut stable = false;
         for _ in 0..self.config.max_fixpoint_iters {
-            let heap_before = self.heap.clone();
+            let heap_before = self.heap.local.clone();
             let stores_before = self.stores.len();
             let loads_before = self.loads.len();
             // ⊕: age the environment and the heap at the iteration start.
             let mut iter_env = age_env(&state);
             self.age_heap();
-            self.exec_stmts(body, &mut iter_env);
+            self.rounds += 1;
+            if parallel {
+                self.exec_round_parallel(&regions, body, &mut iter_env, workers);
+            } else {
+                self.exec_stmts(body, &mut iter_env);
+            }
             let joined = join_env(&state, &iter_env, self.bound());
             if joined == state
-                && self.heap == heap_before
+                && self.heap.local == heap_before
                 && self.stores.len() == stores_before
                 && self.loads.len() == loads_before
             {
@@ -618,21 +770,122 @@ impl AbstractInterp<'_> {
         *env = state;
     }
 
+    /// One Jacobi round: every region executes against an immutable
+    /// snapshot of the post-aging heap, then the deltas are merged in
+    /// region order. The partition guarantees the regions are
+    /// independent, so the merge order only matters for determinism, not
+    /// for the result: overlapping overlay entries can only come from
+    /// concurrent loads of the same untouched cell, whose idempotent
+    /// flow-back adjustments write identical values.
+    fn exec_round_parallel(
+        &mut self,
+        regions: &[Region],
+        body: &[Stmt],
+        iter_env: &mut Env,
+        workers: usize,
+    ) {
+        debug_assert!(self.heap.base.is_none(), "rounds run on the main heap");
+        let snapshot = Arc::new(std::mem::take(&mut self.heap.local));
+        let program = self.program;
+        let callgraph = self.callgraph;
+        let config = self.config;
+        let designated = self.designated;
+        let loop_depth = self.loop_depth;
+        let call_stack = &self.call_stack;
+        let base_env = &*iter_env;
+        let snap = &snapshot;
+        // Schedule big regions first (work-stealing drains the singleton
+        // tail); results are re-indexed so the merge below still runs in
+        // canonical region order.
+        let mut order: Vec<usize> = (0..regions.len()).collect();
+        order.sort_by_key(|&r| (usize::MAX - regions[r].stmts.len(), r));
+        let outcomes = parallel_map(workers, order.clone(), |r: usize| {
+            let mut sub = AbstractInterp {
+                program,
+                callgraph,
+                config,
+                designated,
+                heap: HeapView {
+                    base: Some(Arc::clone(snap)),
+                    local: BTreeMap::new(),
+                },
+                stores: BTreeSet::new(),
+                loads: BTreeSet::new(),
+                inside_sites: BTreeSet::new(),
+                loop_depth,
+                call_stack: call_stack.clone(),
+                returned_from_library: BTreeSet::new(),
+                started_threads: BTreeSet::new(),
+                truncated: false,
+                final_roots: Vec::new(),
+                top_escape: false,
+                in_region: true,
+                rounds: 0,
+                region_count: 0,
+            };
+            let mut env = base_env.clone();
+            for &i in &regions[r].stmts {
+                sub.exec_stmt(&body[i], &mut env);
+            }
+            RegionOutcome {
+                overlay: sub.heap.local,
+                env,
+                stores: sub.stores,
+                loads: sub.loads,
+                inside_sites: sub.inside_sites,
+                returned_from_library: sub.returned_from_library,
+                started_threads: sub.started_threads,
+                final_roots: sub.final_roots,
+                truncated: sub.truncated,
+                top_escape: sub.top_escape,
+            }
+        });
+        let mut local =
+            Arc::try_unwrap(snapshot).expect("every region dropped its snapshot handle");
+        let bound = self.bound();
+        let mut slots: Vec<Option<RegionOutcome>> = Vec::with_capacity(regions.len());
+        slots.resize_with(regions.len(), || None);
+        for (r, out) in order.into_iter().zip(outcomes) {
+            slots[r] = Some(out);
+        }
+        let merged = slots.into_iter().map(|s| s.expect("every region ran"));
+        for (region, out) in regions.iter().zip(merged) {
+            // Heap delta: plain insert — entries are either for cells no
+            // other region touches, or identical flow-back rewrites.
+            for (k, v) in out.overlay {
+                local.insert(k, v);
+            }
+            // Environment delta: the partition guarantees each local is
+            // written by at most one region (and read by no other), so
+            // taking the writer's final value is exact, not a join.
+            for &l in &region.writes {
+                iter_env.locals[l.index()] = out.env.locals[l.index()].clone();
+            }
+            // `ret` is accumulate-only (never read during execution), so
+            // folding the per-region joins reproduces the sequential
+            // value by idempotence.
+            iter_env.ret = iter_env.ret.join(&out.env.ret, bound);
+            self.stores.extend(out.stores);
+            self.loads.extend(out.loads);
+            self.inside_sites.extend(out.inside_sites);
+            self.returned_from_library.extend(out.returned_from_library);
+            self.started_threads.extend(out.started_threads);
+            // finish()'s reachability join is order-independent, so the
+            // region-order concatenation is equivalent to the sequential
+            // interleaving.
+            self.final_roots.extend(out.final_roots);
+            self.truncated |= out.truncated;
+            self.top_escape |= out.top_escape;
+        }
+        self.heap.local = local;
+    }
+
     /// Ages every heap binding: fresh cells become old cells, and every
     /// stored value moves `ĉ`/`f̂` → `⊤̂` until a load proves flow-back.
     fn age_heap(&mut self) {
-        let mut aged: BTreeMap<HeapKey, Val> = BTreeMap::new();
+        debug_assert!(self.heap.base.is_none(), "aging runs on the main heap");
         let bound = self.bound();
-        for ((key, gen, field), val) in std::mem::take(&mut self.heap) {
-            let new_gen = match gen {
-                Gen::Fresh => Gen::Old,
-                other => other,
-            };
-            let new_val = val.age();
-            let entry = aged.entry((key, new_gen, field)).or_default();
-            *entry = entry.join(&new_val, bound);
-        }
-        self.heap = aged;
+        self.heap.local = age_heap_map(std::mem::take(&mut self.heap.local), bound);
     }
 
     /// Computes the final report: reachable-occurrence ERA join.
@@ -664,8 +917,10 @@ impl AbstractInterp<'_> {
             AbsType::new(TypeKey::Globals, Era::Outside),
         );
         // Outside objects are live by assumption; their heap cells are
-        // reachable.
-        for ((key, gen, _), _) in self.heap.iter() {
+        // reachable. (The main interpreter's heap never has a snapshot
+        // layer by the time the report is computed.)
+        debug_assert!(self.heap.base.is_none());
+        for ((key, gen, _), _) in self.heap.local.iter() {
             if *gen == Gen::Outside {
                 add(&mut queue, &mut reachable, AbsType::new(*key, Era::Outside));
             }
@@ -683,7 +938,7 @@ impl AbstractInterp<'_> {
             // Follow heap edges: an object of generation g reaches the
             // cells addressed by that generation.
             let gen = gen_of(era);
-            for ((bkey, bgen, _f), val) in self.heap.iter() {
+            for ((bkey, bgen, _f), val) in self.heap.local.iter() {
                 if (*bkey, *bgen) == (key, gen) {
                     let cell_id = (*bkey, *bgen, *_f);
                     if visited_cells.insert(cell_id) {
@@ -713,11 +968,17 @@ impl AbstractInterp<'_> {
             returned_from_library: self.returned_from_library,
             started_threads: self.started_threads,
             truncated: self.truncated,
+            rounds: self.rounds,
+            regions: self.region_count,
         }
     }
 }
 
-fn join_env(a: &Env, b: &Env, bound: usize) -> Env {
+/// Pointwise join of two frames. Public (hidden) for the lattice-law
+/// property suite; the Jacobi merge relies on this being a semilattice
+/// join (commutative, associative, idempotent, monotone).
+#[doc(hidden)]
+pub fn join_env(a: &Env, b: &Env, bound: usize) -> Env {
     debug_assert_eq!(a.locals.len(), b.locals.len());
     Env {
         locals: a
@@ -730,9 +991,29 @@ fn join_env(a: &Env, b: &Env, bound: usize) -> Env {
     }
 }
 
-fn age_env(env: &Env) -> Env {
+/// Pointwise aging of a frame (`⊕` of rule TWhile).
+#[doc(hidden)]
+pub fn age_env(env: &Env) -> Env {
     Env {
         locals: env.locals.iter().map(Val::age).collect(),
         ret: env.ret.age(),
     }
+}
+
+/// Ages a whole abstract heap: fresh-generation cells move to the old
+/// generation (joining with any existing old cell) and every value is
+/// aged. Public (hidden) so the property suite can check monotonicity.
+#[doc(hidden)]
+pub fn age_heap_map(heap: BTreeMap<HeapKey, Val>, bound: usize) -> BTreeMap<HeapKey, Val> {
+    let mut aged: BTreeMap<HeapKey, Val> = BTreeMap::new();
+    for ((key, gen, field), val) in heap {
+        let new_gen = match gen {
+            Gen::Fresh => Gen::Old,
+            other => other,
+        };
+        let new_val = val.age();
+        let entry = aged.entry((key, new_gen, field)).or_default();
+        *entry = entry.join(&new_val, bound);
+    }
+    aged
 }

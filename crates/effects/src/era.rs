@@ -56,6 +56,23 @@ impl Era {
         }
     }
 
+    /// Rule TLoad's flow-back refinement at the era level: observing an
+    /// object through a base that persists across iterations proves the
+    /// object can be used after the iteration that created it, so a
+    /// persisting inside era becomes `f̂`. Everything else — `0̂` and the
+    /// strictly iteration-local `ĉ` — is untouched. The operator is
+    /// monotone on the inside chain and idempotent, and it never moves an era out of the
+    /// escape chain (the result of a persisting inside era is still
+    /// `⊒ f̂`), which is what lets concurrent Jacobi regions replay the
+    /// same strong heap update without losing escape information.
+    pub fn flow_back(self) -> Era {
+        if self.is_inside() && self.persists() {
+            Era::Future
+        } else {
+            self
+        }
+    }
+
     /// Returns `true` for the inside values `ĉ`, `f̂`, `⊤̂`.
     pub fn is_inside(self) -> bool {
         self != Era::Outside
@@ -106,6 +123,20 @@ mod tests {
         assert_eq!(Era::Future.age(), Era::Top);
         assert_eq!(Era::Top.age(), Era::Top);
         assert_eq!(Era::Outside.age(), Era::Outside);
+    }
+
+    #[test]
+    fn flow_back_table() {
+        assert_eq!(Era::Outside.flow_back(), Era::Outside);
+        assert_eq!(Era::Current.flow_back(), Era::Current);
+        assert_eq!(Era::Future.flow_back(), Era::Future);
+        assert_eq!(Era::Top.flow_back(), Era::Future);
+        for e in ALL {
+            // Idempotent, and never leaves the escape chain.
+            assert_eq!(e.flow_back().flow_back(), e.flow_back());
+            assert_eq!(e.flow_back().persists(), e.persists());
+            assert_eq!(e.flow_back().is_inside(), e.is_inside());
+        }
     }
 
     #[test]

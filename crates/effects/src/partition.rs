@@ -1,0 +1,686 @@
+//! Region partitioning for the parallel (Jacobi) designated-loop rounds.
+//!
+//! The sequential fixpoint walks the loop body statement by statement
+//! (Gauss–Seidel: statement *i* sees the heap and environment updates of
+//! statements *< i* within the same abstract iteration). To run the body
+//! as independent snapshot-reading regions and still produce the *exact*
+//! sequential state after every round — not just the same fixpoint — the
+//! partition must guarantee that no abstract fact can flow between two
+//! regions **within** one iteration.
+//!
+//! Abstract facts cross statement boundaries through exactly two
+//! channels: the current frame's locals, and abstract-heap cells (whose
+//! keys embed the field being accessed). Two conservative static
+//! conflict rules close both; statements are union-found into regions
+//! over them:
+//!
+//! 1. **Local dataflow** — if any statement writes a local that another
+//!    statement touches (reads *or* writes), all touchers merge. Only
+//!    reference-typed locals count (see the truncation precondition
+//!    below for why integer traffic — loop counters, dispatch
+//!    arithmetic — is provably invisible).
+//! 2. **Field footprints** — if any statement's transitive callee
+//!    closure may *store* a reference field that another statement's
+//!    closure touches, all touchers of that field merge. Heap keys are
+//!    `(type, generation, field)` triples, so every cross-statement
+//!    cell collision goes through a shared field; this rule therefore
+//!    also covers collisions via shared callees (e.g. two statements
+//!    inlining the same method that stores through `this`) and the `⊤`-
+//!    base store/load paths, which enumerate every existing cell of one
+//!    field. Fields that are only ever *loaded* stay shared: concurrent
+//!    loads of an untouched cell commute, including their flow-back
+//!    strong updates, which are idempotent rewrites of the same
+//!    snapshot value.
+//!
+//!    Note that sharing *callees* per se does not merge: a method like
+//!    an empty constructor inlined by every statement has no effect
+//!    channel between regions (callee frames are private to their
+//!    inlining; allocation-site facts are set-unions), so keying the
+//!    partition on callee-set disjointness would needlessly serialize
+//!    any program whose handlers allocate a common payload class.
+//!
+//! # The truncation precondition
+//!
+//! Both rules ignore integer-typed locals and fields. That is exact
+//! only while no abstract value ever flows into them, which holds
+//! precisely when the interpreter can never truncate a call (recursion
+//! or inlining-depth cut) anywhere under the loop body: a cut returns
+//! `⊤` into an arbitrary-typed destination, and from there `⊤` could
+//! seep through integer locals and fields the rules do not watch.
+//! Whether a cut is reachable is a property of the static call
+//! structure alone (target sets come from the call graph, never from
+//! abstract values), so [`partition`] decides it up front and returns a
+//! single region — forcing the sequential path — whenever a cut is
+//! possible. Truncating subjects were never going to parallelize well
+//! anyway: their time goes into the cut-off re-analysis, not the loop
+//! body fan-out.
+
+use leakchecker_callgraph::CallGraph;
+use leakchecker_ir::ids::{FieldId, LocalId, MethodId, ARRAY_ELEM_FIELD};
+use leakchecker_ir::stmt::Stmt;
+use leakchecker_ir::Program;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One independent region of the designated-loop body.
+#[derive(Clone, Debug)]
+pub(crate) struct Region {
+    /// Indices into the loop body's top-level statement list, in
+    /// original order.
+    pub stmts: Vec<usize>,
+    /// Reference locals some statement of the region may write. The
+    /// round merge takes exactly these slots from the region's final
+    /// environment; the partition guarantees no other region touches
+    /// them.
+    pub writes: BTreeSet<LocalId>,
+}
+
+/// The footprint of one top-level statement (its own frame accesses,
+/// plus the field accesses of everything its callee closure can do).
+#[derive(Default)]
+struct Footprint {
+    reads: BTreeSet<LocalId>,
+    writes: BTreeSet<LocalId>,
+    fields_loaded: BTreeSet<FieldId>,
+    fields_stored: BTreeSet<FieldId>,
+    /// Direct call targets, before closure.
+    direct: Vec<MethodId>,
+}
+
+/// Per-method summary: direct callees and reference-field touches, used
+/// to close footprints over the call graph and to bound the inlining
+/// depth.
+struct MethodSummary {
+    callees: Vec<MethodId>,
+    fields_loaded: BTreeSet<FieldId>,
+    fields_stored: BTreeSet<FieldId>,
+}
+
+/// Is this field's content visible to the abstract interpreter? Under
+/// the truncation precondition only reference fields can carry facts
+/// (integer stores early-out on a `⊥` source, integer loads yield `⊥`).
+/// The smashed array-element pseudo-field is conservatively a
+/// reference.
+fn field_is_reference(program: &Program, field: FieldId) -> bool {
+    field == ARRAY_ELEM_FIELD || program.field(field).ty.is_reference()
+}
+
+/// Walks one statement tree of `method`'s frame, collecting the locals
+/// and fields the abstract interpreter would touch and the direct call
+/// targets. `If`/`While` conditions are skipped on purpose: the
+/// abstract semantics never evaluates them, and `Const`/`NonDetBool`/
+/// `BinOp` are no-ops in the abstract domain.
+fn walk_stmt(
+    program: &Program,
+    callgraph: &CallGraph,
+    method: MethodId,
+    stmt: &Stmt,
+    fp: &mut Footprint,
+) {
+    let local_is_ref = |l: LocalId| program.method(method).locals[l.index()].ty.is_reference();
+    let read = |fp: &mut Footprint, l: LocalId| {
+        if local_is_ref(l) {
+            fp.reads.insert(l);
+        }
+    };
+    let write = |fp: &mut Footprint, l: LocalId| {
+        if local_is_ref(l) {
+            fp.writes.insert(l);
+        }
+    };
+    match stmt {
+        Stmt::New { dst, .. } | Stmt::NewArray { dst, .. } => write(fp, *dst),
+        Stmt::Assign { dst, src } => {
+            write(fp, *dst);
+            read(fp, *src);
+        }
+        Stmt::AssignNull { dst } => write(fp, *dst),
+        Stmt::Const { .. } | Stmt::NonDetBool { .. } | Stmt::BinOp { .. } | Stmt::Nop => {}
+        Stmt::Store { base, field, src } => {
+            read(fp, *base);
+            read(fp, *src);
+            if field_is_reference(program, *field) {
+                fp.fields_stored.insert(*field);
+            }
+        }
+        Stmt::ArrayStore { base, src, .. } => {
+            read(fp, *base);
+            read(fp, *src);
+            fp.fields_stored.insert(ARRAY_ELEM_FIELD);
+        }
+        Stmt::Load { dst, base, field } => {
+            write(fp, *dst);
+            read(fp, *base);
+            if field_is_reference(program, *field) {
+                fp.fields_loaded.insert(*field);
+            }
+        }
+        Stmt::ArrayLoad { dst, base, .. } => {
+            write(fp, *dst);
+            read(fp, *base);
+            fp.fields_loaded.insert(ARRAY_ELEM_FIELD);
+        }
+        Stmt::StaticStore { field, src } => {
+            // The interpreter guards static accesses by field type, so
+            // integer statics are invisible even under truncation.
+            if field_is_reference(program, *field) {
+                read(fp, *src);
+                fp.fields_stored.insert(*field);
+            }
+        }
+        Stmt::StaticLoad { dst, field } => {
+            if field_is_reference(program, *field) {
+                write(fp, *dst);
+                fp.fields_loaded.insert(*field);
+            }
+        }
+        Stmt::Call {
+            dst,
+            method: named,
+            receiver,
+            args,
+            site,
+            ..
+        } => {
+            if let Some(d) = dst {
+                write(fp, *d);
+            }
+            if let Some(r) = receiver {
+                read(fp, *r);
+            }
+            for a in args {
+                read(fp, *a);
+            }
+            // Mirror the interpreter's target resolution: call-graph
+            // targets, falling back to the statically named method.
+            let targets = callgraph.targets(*site);
+            if targets.is_empty() {
+                fp.direct.push(*named);
+            } else {
+                fp.direct.extend_from_slice(targets);
+            }
+        }
+        Stmt::Return(v) => {
+            if let Some(v) = v {
+                read(fp, *v);
+            }
+        }
+        Stmt::Break | Stmt::Continue => {}
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            for s in then_branch.iter().chain(else_branch) {
+                walk_stmt(program, callgraph, method, s, fp);
+            }
+        }
+        Stmt::While { body, .. } => {
+            for s in body {
+                walk_stmt(program, callgraph, method, s, fp);
+            }
+        }
+    }
+}
+
+fn method_summary(program: &Program, callgraph: &CallGraph, method: MethodId) -> MethodSummary {
+    let mut fp = Footprint::default();
+    for stmt in &program.method(method).body {
+        walk_stmt(program, callgraph, method, stmt, &mut fp);
+    }
+    fp.direct.sort_unstable();
+    fp.direct.dedup();
+    MethodSummary {
+        callees: fp.direct,
+        fields_loaded: fp.fields_loaded,
+        fields_stored: fp.fields_stored,
+    }
+}
+
+/// Deepest chain of call-stack pushes reachable from inside `m`,
+/// memoized over the (verified acyclic) closure.
+fn depth_of(
+    m: MethodId,
+    summaries: &BTreeMap<MethodId, MethodSummary>,
+    memo: &mut BTreeMap<MethodId, usize>,
+) -> usize {
+    if let Some(&d) = memo.get(&m) {
+        return d;
+    }
+    let d = summaries[&m]
+        .callees
+        .clone()
+        .into_iter()
+        .map(|c| 1 + depth_of(c, summaries, memo))
+        .max()
+        .unwrap_or(0);
+    memo.insert(m, d);
+    d
+}
+
+/// Partitions the designated-loop body into independent regions (see
+/// the module docs for the conflict rules and the truncation
+/// precondition). `method` owns the frame the body's locals index into;
+/// `call_stack` and `max_inline_depth` replicate the interpreter's cut
+/// conditions. The result is deterministic: regions are ordered by
+/// their first statement index and hold their statements in original
+/// order. A possible truncation cut yields a single region, which the
+/// caller runs on the sequential path.
+pub(crate) fn partition(
+    program: &Program,
+    callgraph: &CallGraph,
+    method: MethodId,
+    call_stack: &[MethodId],
+    max_inline_depth: usize,
+    body: &[Stmt],
+) -> Vec<Region> {
+    let n = body.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let sequential = |body: &[Stmt]| -> Vec<Region> {
+        let mut fp = Footprint::default();
+        for stmt in body {
+            walk_stmt(program, callgraph, method, stmt, &mut fp);
+        }
+        vec![Region {
+            stmts: (0..n).collect(),
+            writes: fp.writes,
+        }]
+    };
+
+    // Per-statement raw footprints.
+    let mut fps: Vec<Footprint> = body
+        .iter()
+        .map(|stmt| {
+            let mut fp = Footprint::default();
+            walk_stmt(program, callgraph, method, stmt, &mut fp);
+            fp
+        })
+        .collect();
+
+    // Close the callee sets, building summaries on demand, and check
+    // the truncation precondition: no method of the closure may call
+    // back into an active frame, no closure cycle (recursion cut), and
+    // no chain deep enough to hit the inlining bound.
+    let mut summaries: BTreeMap<MethodId, MethodSummary> = BTreeMap::new();
+    let mut closures: Vec<BTreeSet<MethodId>> = Vec::with_capacity(n);
+    for fp in &fps {
+        let mut closure: BTreeSet<MethodId> = BTreeSet::new();
+        let mut frontier = fp.direct.clone();
+        while let Some(m) = frontier.pop() {
+            if !closure.insert(m) {
+                continue;
+            }
+            if call_stack.contains(&m) {
+                return sequential(body);
+            }
+            let summary = summaries
+                .entry(m)
+                .or_insert_with(|| method_summary(program, callgraph, m));
+            frontier.extend(summary.callees.iter().copied());
+        }
+        closures.push(closure);
+    }
+    // Cycle check over the union closure (tri-color DFS).
+    let all: BTreeSet<MethodId> = closures.iter().flatten().copied().collect();
+    {
+        let mut color: BTreeMap<MethodId, u8> = BTreeMap::new(); // 1 = open, 2 = done
+        for &root in &all {
+            if color.contains_key(&root) {
+                continue;
+            }
+            // Explicit stack: (method, next-callee index).
+            let mut stack: Vec<(MethodId, usize)> = vec![(root, 0)];
+            color.insert(root, 1);
+            while let Some(frame) = stack.last_mut() {
+                let (m, i) = (frame.0, frame.1);
+                let callees = &summaries[&m].callees;
+                if i < callees.len() {
+                    frame.1 += 1;
+                    let c = callees[i];
+                    match color.get(&c) {
+                        Some(1) => return sequential(body), // cycle → cut possible
+                        Some(_) => {}
+                        None => {
+                            color.insert(c, 1);
+                            stack.push((c, 0));
+                        }
+                    }
+                } else {
+                    color.insert(m, 2);
+                    stack.pop();
+                }
+            }
+        }
+    }
+    // Depth check: a call attempted at stack length ≥ max_inline_depth
+    // cuts; the deepest attempt from a top-level call to `t` happens at
+    // length `len(call_stack) + depth_of(t)`.
+    let mut memo: BTreeMap<MethodId, usize> = BTreeMap::new();
+    for fp in &fps {
+        for &t in &fp.direct {
+            if call_stack.len() + depth_of(t, &summaries, &mut memo) >= max_inline_depth {
+                return sequential(body);
+            }
+        }
+    }
+
+    // Fold the closure's field effects into each statement's footprint.
+    for (fp, closure) in fps.iter_mut().zip(&closures) {
+        for m in closure {
+            fp.fields_loaded.extend(summaries[m].fields_loaded.iter());
+            fp.fields_stored.extend(summaries[m].fields_stored.iter());
+        }
+    }
+
+    // Union-find over statement indices, smallest index as
+    // representative for determinism.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], i: usize) -> usize {
+        if parent[i] != i {
+            let root = find(parent, parent[i]);
+            parent[i] = root;
+        }
+        parent[i]
+    }
+    fn union(parent: &mut [usize], a: usize, b: usize) {
+        let (ra, rb) = (find(parent, a), find(parent, b));
+        if ra != rb {
+            let (lo, hi) = (ra.min(rb), ra.max(rb));
+            parent[hi] = lo;
+        }
+    }
+
+    // Rule 1: local dataflow — a written local glues all its touchers.
+    let mut local_writers: BTreeMap<LocalId, Vec<usize>> = BTreeMap::new();
+    let mut local_touchers: BTreeMap<LocalId, Vec<usize>> = BTreeMap::new();
+    for (i, fp) in fps.iter().enumerate() {
+        for &l in &fp.writes {
+            local_writers.entry(l).or_default().push(i);
+            local_touchers.entry(l).or_default().push(i);
+        }
+        for &l in &fp.reads {
+            local_touchers.entry(l).or_default().push(i);
+        }
+    }
+    for (l, writers) in &local_writers {
+        for &t in &local_touchers[l] {
+            union(&mut parent, writers[0], t);
+        }
+    }
+
+    // Rule 2: field footprints — a stored field glues all its touchers.
+    let mut field_storers: BTreeMap<FieldId, Vec<usize>> = BTreeMap::new();
+    let mut field_touchers: BTreeMap<FieldId, Vec<usize>> = BTreeMap::new();
+    for (i, fp) in fps.iter().enumerate() {
+        for &f in &fp.fields_stored {
+            field_storers.entry(f).or_default().push(i);
+            field_touchers.entry(f).or_default().push(i);
+        }
+        for &f in &fp.fields_loaded {
+            field_touchers.entry(f).or_default().push(i);
+        }
+    }
+    for (f, storers) in &field_storers {
+        for &t in &field_touchers[f] {
+            union(&mut parent, storers[0], t);
+        }
+    }
+
+    // Materialize regions in first-statement order.
+    let mut by_root: BTreeMap<usize, Region> = BTreeMap::new();
+    for (i, fp) in fps.iter().enumerate().take(n) {
+        let root = find(&mut parent, i);
+        let region = by_root.entry(root).or_insert_with(|| Region {
+            stmts: Vec::new(),
+            writes: BTreeSet::new(),
+        });
+        region.stmts.push(i);
+        region.writes.extend(fp.writes.iter());
+    }
+    by_root.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leakchecker_callgraph::Algorithm;
+    use leakchecker_frontend::compile;
+    use leakchecker_ir::ids::LoopId;
+
+    /// Compiles, finds the designated loop's body in `main`, and
+    /// partitions it the way `exec_designated_loop` would (stack =
+    /// `[main]`, default inlining depth).
+    fn regions_of(src: &str) -> (Vec<Region>, usize) {
+        let unit = compile(src).expect("test program compiles");
+        let program = unit.program;
+        let entry = program.entry().expect("has main");
+        let callgraph = CallGraph::build_from(&program, &[entry], Algorithm::Rta);
+        let designated = unit.checked_loops[0];
+        fn find_loop(stmts: &[Stmt], id: LoopId) -> Option<Vec<Stmt>> {
+            for s in stmts {
+                match s {
+                    Stmt::While { id: l, body, .. } if *l == id => return Some(body.clone()),
+                    Stmt::While { body, .. } => {
+                        if let Some(b) = find_loop(body, id) {
+                            return Some(b);
+                        }
+                    }
+                    Stmt::If {
+                        then_branch,
+                        else_branch,
+                        ..
+                    } => {
+                        if let Some(b) =
+                            find_loop(then_branch, id).or_else(|| find_loop(else_branch, id))
+                        {
+                            return Some(b);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            None
+        }
+        let body =
+            find_loop(&program.method(entry).body, designated).expect("designated loop found");
+        let regions = partition(&program, &callgraph, entry, &[entry], 24, &body);
+        (regions, body.len())
+    }
+
+    #[test]
+    fn independent_handlers_split_and_every_statement_is_covered() {
+        let (regions, nstmts) = regions_of(
+            "class Item { int tag; }
+             class HolderA { Item item; }
+             class HolderB { Item item; }
+             class Main {
+               static void main() {
+                 HolderA a = new HolderA();
+                 HolderB b = new HolderB();
+                 int event = 0;
+                 @check while (nondet()) {
+                   Item x = new Item();
+                   a.item = x;
+                   Item y = new Item();
+                   b.item = y;
+                   event = event + 1;
+                 }
+               }
+             }",
+        );
+        // The two handler chains write different locals and different
+        // fields (HolderA.item vs HolderB.item are distinct FieldIds);
+        // the shared implicit Item constructor has no effect channel and
+        // the integer bump is invisible. At least two regions must
+        // appear, and the partition must cover every statement once.
+        assert!(regions.len() >= 2, "regions: {regions:?}");
+        let mut covered: Vec<usize> = regions.iter().flat_map(|r| r.stmts.clone()).collect();
+        covered.sort_unstable();
+        assert_eq!(covered, (0..nstmts).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shared_field_store_load_merges() {
+        let (regions, _) = regions_of(
+            "class Item { }
+             class Holder { Item item; }
+             class Main {
+               static void main() {
+                 Holder h = new Holder();
+                 @check while (nondet()) {
+                   Item x = new Item();
+                   h.item = x;
+                   Item y = h.item;
+                 }
+               }
+             }",
+        );
+        // The store and the load of Holder.item must share a region; the
+        // `new` feeding the store is glued by local dataflow.
+        let touching: Vec<&Region> = regions.iter().filter(|r| r.stmts.len() > 1).collect();
+        assert_eq!(touching.len(), 1, "{regions:?}");
+        assert!(touching[0].stmts.len() >= 3);
+    }
+
+    #[test]
+    fn shared_pure_callee_does_not_merge() {
+        let (regions, _) = regions_of(
+            "class Item { }
+             class SinkA { Item slot; }
+             class SinkB { Item slot; }
+             class Lib {
+               static Item mk() { Item i = new Item(); return i; }
+             }
+             class Main {
+               static void main() {
+                 SinkA a = new SinkA();
+                 SinkB b = new SinkB();
+                 @check while (nondet()) {
+                   Item x = Lib.mk();
+                   a.slot = x;
+                   Item y = Lib.mk();
+                   b.slot = y;
+                 }
+               }
+             }",
+        );
+        // Both chains inline Lib.mk, but a callee with no field effects
+        // is not a channel between regions: its frames are private and
+        // its allocation-site facts are set-unions. The chains stay
+        // split — this is what lets thousands of handlers allocating a
+        // shared payload class run in parallel.
+        let multi: Vec<&Region> = regions.iter().filter(|r| r.stmts.len() > 1).collect();
+        assert_eq!(multi.len(), 2, "{regions:?}");
+    }
+
+    #[test]
+    fn shared_callee_storing_a_field_merges() {
+        let (regions, _) = regions_of(
+            "class Item { }
+             class Shared { Item cache; }
+             class Lib {
+               static void put(Shared s, Item it) { s.cache = it; }
+             }
+             class Main {
+               static void main() {
+                 Shared s = new Shared();
+                 @check while (nondet()) {
+                   Item x = new Item();
+                   Lib.put(s, x);
+                   Item y = new Item();
+                   Lib.put(s, y);
+                 }
+               }
+             }",
+        );
+        // Both chains store Shared.cache through the inlined callee:
+        // the cells collide, so the chains must merge.
+        let multi: Vec<&Region> = regions.iter().filter(|r| r.stmts.len() > 1).collect();
+        assert_eq!(multi.len(), 1, "{regions:?}");
+    }
+
+    #[test]
+    fn load_only_sharing_stays_split() {
+        let (regions, _) = regions_of(
+            "class Cfg { }
+             class App { Cfg cfg; }
+             class SinkA { Cfg seen; }
+             class SinkB { Cfg seen; }
+             class Main {
+               static void main() {
+                 App app = new App();
+                 SinkA a = new SinkA();
+                 SinkB b = new SinkB();
+                 @check while (nondet()) {
+                   Cfg c1 = app.cfg;
+                   a.seen = c1;
+                   Cfg c2 = app.cfg;
+                   b.seen = c2;
+                 }
+               }
+             }",
+        );
+        // App.cfg is loaded by both chains but stored by neither inside
+        // the loop; SinkA.seen / SinkB.seen are distinct fields. The
+        // chains stay independent.
+        let multi: Vec<&Region> = regions.iter().filter(|r| r.stmts.len() > 1).collect();
+        assert_eq!(multi.len(), 2, "{regions:?}");
+    }
+
+    #[test]
+    fn written_local_glues_its_readers() {
+        let (regions, _) = regions_of(
+            "class Item { }
+             class HolderA { Item item; }
+             class HolderB { Item item; }
+             class Main {
+               static void main() {
+                 HolderA a = new HolderA();
+                 HolderB b = new HolderB();
+                 @check while (nondet()) {
+                   Item x = new Item();
+                   a.item = x;
+                   b.item = x;
+                 }
+               }
+             }",
+        );
+        // Both stores read local x; the lowered `new` chain (New +
+        // constructor call + Assign) writes it: one five-statement
+        // region.
+        let multi: Vec<&Region> = regions.iter().filter(|r| r.stmts.len() > 1).collect();
+        assert_eq!(multi.len(), 1, "{regions:?}");
+        assert_eq!(multi[0].stmts.len(), 5, "{regions:?}");
+    }
+
+    #[test]
+    fn possible_recursion_cut_forces_a_single_region() {
+        let (regions, nstmts) = regions_of(
+            "class Item { }
+             class HolderA { Item item; }
+             class HolderB { Item item; }
+             class Rec {
+               static int spin(int n) { int r = Rec.spin(n - 1); return r; }
+             }
+             class Main {
+               static void main() {
+                 HolderA a = new HolderA();
+                 HolderB b = new HolderB();
+                 @check while (nondet()) {
+                   Item x = new Item();
+                   a.item = x;
+                   int k = Rec.spin(3);
+                   Item y = new Item();
+                   b.item = y;
+                 }
+               }
+             }",
+        );
+        // Rec.spin recurses, so the interpreter will cut and return ⊤
+        // into an int local the conflict rules do not watch. The whole
+        // body collapses to one region (sequential execution).
+        assert_eq!(regions.len(), 1, "{regions:?}");
+        assert_eq!(regions[0].stmts.len(), nstmts);
+    }
+}

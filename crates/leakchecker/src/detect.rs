@@ -127,6 +127,17 @@ pub struct RunStats {
     pub batched_queries: usize,
     /// Batches those queries were grouped into.
     pub query_batches: usize,
+    /// Jacobi rounds the effects fixpoint ran (aging iterations of the
+    /// designated loop). Independent of the job count.
+    pub effects_rounds: usize,
+    /// Widest region partition a parallel effects round used. Zero on
+    /// the sequential path; depends on the job count and machine width,
+    /// so equivalence comparisons must exclude it.
+    pub effects_regions: usize,
+    /// The effects fixpoint hit its inlining depth cap: the summary is
+    /// sound but conservative (recursive or very deep call chains were
+    /// widened to ⊤). Previously computed but silently dropped.
+    pub effects_truncated: bool,
 }
 
 impl RunStats {
@@ -186,9 +197,21 @@ pub fn check(
     let callgraph = CallGraph::build_from(&program, &[root], config.callgraph);
     phases.callgraph_secs = start.elapsed().as_secs_f64();
 
+    // The effects fixpoint parallelizes its Jacobi rounds, but witness
+    // recording and fault injection both need the single-threaded
+    // execution order (witness chains replay statement order; injected
+    // faults are counted against a deterministic sequential schedule),
+    // so those runs pin the phase to the sequential path — mirroring
+    // the demand engine's `points_to_batch` fallback.
+    let effects_jobs = if config.witnesses || config.governor.faults.is_active() {
+        1
+    } else {
+        config.jobs
+    };
     let phase_start = Instant::now();
     let effect_config = EffectConfig {
         model_threads: config.model_threads,
+        jobs: effects_jobs,
         ..config.effects
     };
     let summary = analyze_from(&program, &callgraph, root, designated, effect_config);
@@ -387,6 +410,9 @@ pub fn check(
             .count(),
         batched_queries,
         query_batches,
+        effects_rounds: summary.rounds,
+        effects_regions: summary.regions,
+        effects_truncated: summary.truncated,
     };
 
     Ok(AnalysisResult {
@@ -504,6 +530,105 @@ mod tests {
         assert_eq!(
             result.reports[0].confidence,
             crate::governor::Confidence::Precise
+        );
+    }
+
+    #[test]
+    fn effects_truncation_is_surfaced_not_swallowed() {
+        // Regression: the effect analysis always computed `truncated`,
+        // but the detector dropped it on the floor — a recursion-capped
+        // (under-approximating) run looked identical to a complete one.
+        let result = run(
+            "class Main {
+               static void spin(int n) { Main.spin(n - 1); }
+               static void main() {
+                 @check while (nondet()) {
+                   Main.spin(3);
+                 }
+               }
+             }",
+            DetectorConfig::default(),
+        );
+        assert!(result.stats.effects_truncated);
+        assert!(result.stats.effects_rounds > 0);
+        // Truncation is deliberately NOT a degradation-ladder rung: it
+        // is jobs-independent and structural, while `is_degraded()`
+        // tracks resource-governed precision loss. Locking the
+        // distinction keeps every existing degradation exit-code and
+        // fuzz-oracle contract intact.
+        assert!(!result.stats.is_degraded());
+
+        let complete = run(
+            "class Item { }
+             class Holder { Item item; }
+             class Main {
+               static void main() {
+                 Holder h = new Holder();
+                 @check while (nondet()) {
+                   Item it = new Item();
+                   h.item = it;
+                 }
+               }
+             }",
+            DetectorConfig::default(),
+        );
+        assert!(!complete.stats.effects_truncated);
+        assert!(complete.stats.effects_rounds > 0);
+        assert_eq!(
+            complete.stats.effects_regions, 0,
+            "jobs=1 must never partition"
+        );
+    }
+
+    #[test]
+    fn witnesses_pin_the_sequential_effects_path() {
+        // Two independent leak buckets: the loop body partitions into
+        // two regions, so a plain jobs=8 run takes the parallel effects
+        // path — and flipping witnesses on must force it back to the
+        // sequential walk (witness chains replay statement order).
+        let src = "class Item { }
+             class A { Item x; }
+             class B { Item y; }
+             class Main {
+               static void main() {
+                 A a = new A();
+                 B b = new B();
+                 @check while (nondet()) {
+                   Item i = new Item();
+                   a.x = i;
+                   Item j = new Item();
+                   b.y = j;
+                 }
+               }
+             }";
+        let plain = run(
+            src,
+            DetectorConfig {
+                jobs: 8,
+                ..DetectorConfig::default()
+            },
+        );
+        assert!(
+            plain.stats.effects_regions >= 2,
+            "expected a real partition, got {} regions",
+            plain.stats.effects_regions
+        );
+        let with = run(
+            src,
+            DetectorConfig {
+                jobs: 8,
+                witnesses: true,
+                ..DetectorConfig::default()
+            },
+        );
+        assert_eq!(
+            with.stats.effects_regions, 0,
+            "witness runs must take the sequential effects path"
+        );
+        assert_eq!(plain.stats.effects_rounds, with.stats.effects_rounds);
+        assert_eq!(
+            crate::report::render_all(&plain.program, &plain.reports),
+            crate::report::render_all(&with.program, &with.reports)
         );
     }
 

@@ -20,11 +20,21 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> large-program scale smoke (100k statements, timed)"
 # Generates a seed-deterministic ~100k-statement subject, checks it at
 # jobs 1 and 4, byte-compares the reports, and enforces a sequential
-# wall-clock ceiling. The speedup(jobs=4) >= 2x floor is asserted only
-# on machines with >= 4 cores (scale_smoke skips it with a notice on
-# narrower ones, where parallel speedup is not observable).
+# wall-clock ceiling. The end-to-end speedup(jobs=4) >= 2x floor and the
+# effects-phase speedup(jobs=4) >= 2x floor (the parallel Jacobi rounds)
+# are asserted only on machines with >= 4 cores (scale_smoke skips them
+# with a notice on narrower ones, where parallel speedup is not
+# observable).
 cargo run -q --release --offline -p leakchecker-bench --bin scale_smoke -- \
-  --stmts 100000 --ceiling 60 --min-speedup 2.0 --jobs-list 1,4
+  --stmts 100000 --ceiling 60 --min-speedup 2.0 --min-effects-speedup 2.0 \
+  --jobs-list 1,4
+
+echo "==> effects lattice laws + parallel Jacobi equivalence"
+# Satellite suites of the parallel effects fixpoint: the lattice-law
+# battery (the algebraic preconditions of the Jacobi merge) and the
+# exact EffectSummary equivalence sweep (corpus exemplars, large
+# generated subjects, 200 fuzz seeds, witness/fault fallbacks).
+cargo test -q --offline --test effects_lattice --test effects_parallel
 
 echo "==> fuzz smoke (200 fixed seeds, machine width)"
 cargo run -q --release --offline -p leakchecker-cli --bin leakc -- \

@@ -26,10 +26,14 @@ fn fingerprint(result: &AnalysisResult) -> String {
         degraded_reports,
         batched_queries,
         query_batches,
-        // Excluded on purpose: wall-clock and thread count vary per run.
+        effects_rounds,
+        effects_truncated,
+        // Excluded on purpose: wall-clock and thread count vary per run,
+        // and the effects region width depends on jobs and machine width.
         time_secs: _,
         phases: _,
         jobs: _,
+        effects_regions: _,
     } = result.stats;
     format!(
         "methods={methods} statements={statements} loop_objects={loop_objects} \
@@ -38,7 +42,8 @@ fn fingerprint(result: &AnalysisResult) -> String {
          exhausted={exhausted_queries} retries={retries} fallbacks={fallbacks} \
          quarantined={quarantined} deadline_hits={deadline_hits} \
          degraded={degraded_reports} batched={batched_queries} \
-         batches={query_batches}\n{}",
+         batches={query_batches} effects_rounds={effects_rounds} \
+         effects_truncated={effects_truncated}\n{}",
         render_all(&result.program, &result.reports)
     )
 }
