@@ -1,6 +1,6 @@
-//! Soak harness for `leakc serve`.
+//! Soak harness for `leakc serve` and the `leakc route` fleet.
 //!
-//! Two modes:
+//! Modes:
 //!
 //! - Default (in-process): start a daemon, hammer it with N concurrent
 //!   clients firing a deterministic mix of plain checks, governed
@@ -12,18 +12,34 @@
 //!   ```
 //!
 //! - Client (`--connect ADDR --mixed N`): drive an already-running
-//!   daemon over TCP with the same deterministic request mix from a
-//!   single connection, printing one normalized line per response.
-//!   Timing-dependent fields (`uptime_ms`, phase milliseconds) are
-//!   stripped, so two daemons given the same sequence — whatever their
-//!   `--workers` — must produce byte-identical output. CI relies on
-//!   this for its determinism check.
+//!   daemon (or router) over TCP with the same deterministic request
+//!   mix from a single connection, printing one normalized line per
+//!   response. Timing-dependent fields (`uptime_ms`, phase
+//!   milliseconds) are stripped, so two daemons given the same
+//!   sequence — whatever their `--workers` — must produce
+//!   byte-identical output. CI relies on this for its determinism
+//!   check. With `--checks-only`, the inline `health`/`stats` slots of
+//!   the mix are remapped to checks, so the output also byte-compares
+//!   across fleet shapes (a router's health frame describes the fleet,
+//!   a shard's describes itself; check responses are identical
+//!   everywhere). A refused or reset connection is retried with
+//!   bounded backoff and then reported as a typed error (exit 2) —
+//!   never a panic backtrace.
+//!
+//! - Fleet (`--fleet N`): start N in-process shards behind an
+//!   in-process router and run the default campaign through it.
+//!   `--chaos SPEC` puts a fault-injecting proxy in front of shard 0
+//!   (`kill@N[:ms]`, `stall@N:ms`, `drop@N`, `torn@N`, keyed by the
+//!   proxy's work-request clock); `--hedge-ms N` enables latency
+//!   hedging in the router. Every accepted request must still get
+//!   exactly one response.
 
+use leakchecker_bench::chaos::{parse_chaos_plan, ChaosPlan, ChaosProxy};
 use leakchecker_cli::protocol::{json_escape, parse_json, Json};
-use leakchecker_cli::{ServeOptions, Server};
+use leakchecker_cli::{RouteOptions, Router, ServeOptions, Server};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The leaky exemplar every check request analyzes.
 const LEAKY: &str = "\
@@ -42,12 +58,18 @@ struct Args {
     workers: usize,
     connect: Option<String>,
     mixed: usize,
+    checks_only: bool,
+    fleet: usize,
+    chaos: Option<String>,
+    hedge_ms: Option<u64>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: soak [--clients N] [--requests N] [--queue N] [--workers N]\n\
-         \x20      soak --connect HOST:PORT --mixed N"
+         \x20      soak --fleet N [--chaos SPEC] [--hedge-ms N] [campaign flags]\n\
+         \x20      soak --connect HOST:PORT --mixed N [--checks-only]\n\
+         \x20  chaos SPEC: kill@N[:ms],stall@N:ms,drop@N,torn@N (work-request index)"
     );
     std::process::exit(2);
 }
@@ -60,6 +82,10 @@ fn parse_args() -> Args {
         workers: 4,
         connect: None,
         mixed: 20,
+        checks_only: false,
+        fleet: 0,
+        chaos: None,
+        hedge_ms: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -76,7 +102,11 @@ fn parse_args() -> Args {
             "--queue" => args.queue = num("--queue"),
             "--workers" => args.workers = num("--workers"),
             "--mixed" => args.mixed = num("--mixed"),
+            "--fleet" => args.fleet = num("--fleet"),
+            "--hedge-ms" => args.hedge_ms = Some(num("--hedge-ms") as u64),
+            "--checks-only" => args.checks_only = true,
             "--connect" => args.connect = it.next().cloned().or_else(|| usage()),
+            "--chaos" => args.chaos = it.next().cloned().or_else(|| usage()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -84,13 +114,30 @@ fn parse_args() -> Args {
             }
         }
     }
+    if args.chaos.is_some() && args.fleet == 0 {
+        eprintln!("--chaos needs --fleet N (it faults a fleet shard)");
+        usage();
+    }
     args
 }
 
 /// The deterministic request mix, keyed by a global request index.
 /// Includes faulty requests on purpose: the daemon must survive them.
-fn request_for(index: usize) -> String {
-    match index % 10 {
+/// With `checks_only`, the inline `health`/`stats` slots become checks
+/// so the normalized output is identical whatever answers — a bare
+/// shard or a router fronting any number of them.
+fn request_for(index: usize, checks_only: bool) -> String {
+    let slot = match index % 10 {
+        s @ (0 | 8) if checks_only => {
+            if s == 0 {
+                1
+            } else {
+                3
+            }
+        }
+        s => s,
+    };
+    match slot {
         0 => r#"{"kind": "health"}"#.to_string(),
         3 => format!(
             r#"{{"kind": "check", "id": {index}, "source": "{}", "query_budget": 1, "max_retries": 0}}"#,
@@ -143,25 +190,69 @@ fn render(value: &Json) -> String {
     }
 }
 
-/// Client mode: one connection, `mixed` sequential requests, one
-/// normalized response line each.
-fn run_client(addr: &str, mixed: usize) {
-    let stream = TcpStream::connect(addr).unwrap_or_else(|e| {
-        eprintln!("cannot connect to {addr}: {e}");
-        std::process::exit(2);
-    });
-    let _ = stream.set_nodelay(true);
-    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
-    let mut writer = stream;
-    for index in 0..mixed {
-        let request = request_for(index);
-        writer.write_all(request.as_bytes()).expect("write request");
-        writer.write_all(b"\n").expect("write newline");
-        writer.flush().expect("flush");
-        let mut line = String::new();
-        reader.read_line(&mut line).expect("read response");
-        println!("{}", normalize(line.trim_end()));
+/// Connects with bounded retry + exponential backoff. A daemon that is
+/// still binding (or a router whose shards are mid-restart) refuses the
+/// first attempts; only after the budget is spent does this report a
+/// typed error for the caller to surface — never a panic.
+fn connect_with_retry(addr: &str) -> Result<TcpStream, String> {
+    const ATTEMPTS: u32 = 5;
+    let mut backoff = Duration::from_millis(40);
+    let mut last_error = String::new();
+    for attempt in 0..ATTEMPTS {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last_error = e.to_string(),
+        }
+        if attempt + 1 < ATTEMPTS {
+            std::thread::sleep(backoff);
+            backoff *= 2;
+        }
     }
+    Err(format!(
+        "cannot connect to {addr} after {ATTEMPTS} attempts: {last_error}"
+    ))
+}
+
+/// Client mode: one connection, `mixed` sequential requests, one
+/// normalized response line each. Every transport failure is a typed
+/// error naming the request it interrupted.
+fn run_client(addr: &str, mixed: usize, checks_only: bool) -> Result<(), String> {
+    let stream = connect_with_retry(addr)?;
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| format!("cannot clone connection to {addr}: {e}"))?,
+    );
+    let mut writer = stream;
+    let mut stdout = std::io::stdout().lock();
+    for index in 0..mixed {
+        let request = request_for(index, checks_only);
+        writer
+            .write_all(request.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .map_err(|e| format!("lost connection to {addr} writing request {index}: {e}"))?;
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => {
+                return Err(format!(
+                    "{addr} closed the connection before answering request {index}"
+                ))
+            }
+            Err(e) => {
+                return Err(format!(
+                    "lost connection to {addr} reading response {index}: {e}"
+                ))
+            }
+            Ok(_) => {}
+        }
+        // A closed stdout (downstream pipe went away) ends the run as a
+        // typed error, not a print panic.
+        writeln!(stdout, "{}", normalize(line.trim_end()))
+            .map_err(|e| format!("stdout closed while writing response {index}: {e}"))?;
+    }
+    Ok(())
 }
 
 fn classify(line: &str) -> &'static str {
@@ -173,6 +264,8 @@ fn classify(line: &str) -> &'static str {
         "internal"
     } else if line.contains("\"status\": \"error\"") {
         "error"
+    } else if line.contains("\"status\": \"unavailable\"") {
+        "unavailable"
     } else {
         "other"
     }
@@ -186,31 +279,10 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[rank]
 }
 
-fn main() {
-    let args = parse_args();
-    if let Some(addr) = &args.connect {
-        run_client(addr, args.mixed);
-        return;
-    }
-
-    let server = Server::start(&ServeOptions {
-        addr: "127.0.0.1:0".to_string(),
-        socket: None,
-        queue: args.queue,
-        workers: args.workers,
-    })
-    .unwrap_or_else(|e| {
-        eprintln!("cannot start daemon: {e}");
-        std::process::exit(2);
-    });
-    let addr = server.local_addr();
-    println!(
-        "soak: {} clients x {} requests, queue {}, {} workers",
-        args.clients, args.requests, args.queue, args.workers
-    );
-
-    let begin = Instant::now();
-    let per_client: Vec<(Vec<f64>, Vec<&'static str>)> = std::thread::scope(|scope| {
+/// Runs the concurrent campaign against `addr` and returns per-client
+/// latency and response-class observations.
+fn run_campaign(addr: std::net::SocketAddr, args: &Args) -> Vec<(Vec<f64>, Vec<&'static str>)> {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = (0..args.clients)
             .map(|c| {
                 scope.spawn(move || {
@@ -221,7 +293,7 @@ fn main() {
                     let mut latencies = Vec::new();
                     let mut classes = Vec::new();
                     for r in 0..args.requests {
-                        let request = request_for(c * args.requests + r);
+                        let request = request_for(c * args.requests + r, args.checks_only);
                         let t0 = Instant::now();
                         writer.write_all(request.as_bytes()).expect("write");
                         writer.write_all(b"\n").expect("write");
@@ -239,19 +311,19 @@ fn main() {
             .into_iter()
             .map(|h| h.join().expect("client"))
             .collect()
-    });
-    let elapsed = begin.elapsed().as_secs_f64();
+    })
+}
 
+fn report_campaign(per_client: &[(Vec<f64>, Vec<&'static str>)], elapsed: f64) -> usize {
     let mut latencies: Vec<f64> = Vec::new();
     let mut counts: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
-    for (lat, classes) in &per_client {
+    for (lat, classes) in per_client {
         latencies.extend_from_slice(lat);
         for class in classes {
             *counts.entry(class).or_default() += 1;
         }
     }
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-
     let total = latencies.len();
     println!(
         "served {} responses in {:.2}s  ({:.0} req/s)",
@@ -268,6 +340,147 @@ fn main() {
     );
     let breakdown: Vec<String> = counts.iter().map(|(k, v)| format!("{k} {v}")).collect();
     println!("responses: {}", breakdown.join(", "));
+    total
+}
+
+/// Fleet mode: N in-process shards behind an in-process router, with an
+/// optional chaos proxy torturing shard 0 while the campaign runs.
+fn run_fleet(args: &Args) {
+    let plan: ChaosPlan = match &args.chaos {
+        Some(spec) => parse_chaos_plan(spec).unwrap_or_else(|e| {
+            eprintln!("bad --chaos spec: {e}");
+            std::process::exit(2);
+        }),
+        None => ChaosPlan::default(),
+    };
+    let shards: Vec<Server> = (0..args.fleet)
+        .map(|i| {
+            Server::start(&ServeOptions {
+                queue: args.queue,
+                workers: args.workers,
+                shard: Some(format!("shard-{i}")),
+                ..ServeOptions::default()
+            })
+            .unwrap_or_else(|e| {
+                eprintln!("cannot start shard {i}: {e}");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    let mut addrs: Vec<String> = shards.iter().map(|s| s.local_addr().to_string()).collect();
+    let proxy = if plan.is_empty() {
+        None
+    } else {
+        let proxy = ChaosProxy::start(shards[0].local_addr(), plan).unwrap_or_else(|e| {
+            eprintln!("cannot start chaos proxy: {e}");
+            std::process::exit(2);
+        });
+        addrs[0] = proxy.local_addr().to_string();
+        Some(proxy)
+    };
+    let router = Router::start(&RouteOptions {
+        shards: addrs,
+        backoff_ms: 10,
+        retries: 6,
+        hedge_ms: args.hedge_ms,
+        breaker_cooldown_ms: 200,
+        probe_interval_ms: 25,
+        ..RouteOptions::default()
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("cannot start router: {e}");
+        std::process::exit(2);
+    });
+    println!(
+        "soak fleet: {} shard(s){}{} behind router, {} clients x {} requests",
+        args.fleet,
+        if args.chaos.is_some() {
+            " (shard 0 behind chaos proxy)"
+        } else {
+            ""
+        },
+        match args.hedge_ms {
+            Some(ms) => format!(", hedge {ms}ms"),
+            None => String::new(),
+        },
+        args.clients,
+        args.requests
+    );
+
+    let begin = Instant::now();
+    let per_client = run_campaign(router.local_addr(), args);
+    let elapsed = begin.elapsed().as_secs_f64();
+    let total = report_campaign(&per_client, elapsed);
+
+    if let Some(proxy) = proxy {
+        println!(
+            "chaos proxy: {} work requests on the fault clock, {} lines forwarded",
+            proxy.work_requests_seen(),
+            proxy.forwarded()
+        );
+        proxy.stop();
+    }
+    router.request_shutdown();
+    let clean = {
+        // Pull the router counters through its own stats verb before
+        // draining, the same way an operator would.
+        let stream = TcpStream::connect(router.local_addr()).expect("router stats connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = stream;
+        writer.write_all(b"{\"kind\": \"stats\"}\n").expect("stats");
+        writer.flush().expect("flush");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("stats read");
+        println!("router: {}", line.trim_end());
+        router.drain()
+    };
+    let mut admitted = 0;
+    let mut served = 0;
+    for shard in shards {
+        let summary = shard.drain();
+        admitted += summary.stats.admitted;
+        served += summary.stats.served;
+    }
+    println!("fleet: admitted={admitted} served={served} router_drained_cleanly={clean}");
+    // The robustness claim: every client got one response per request,
+    // chaos or not.
+    assert_eq!(total, args.clients * args.requests);
+}
+
+fn main() {
+    let args = parse_args();
+    if let Some(addr) = &args.connect {
+        if let Err(message) = run_client(addr, args.mixed, args.checks_only) {
+            eprintln!("soak: {message}");
+            eprintln!("usage: soak --connect HOST:PORT --mixed N [--checks-only]");
+            std::process::exit(2);
+        }
+        return;
+    }
+    if args.fleet > 0 {
+        run_fleet(&args);
+        return;
+    }
+
+    let server = Server::start(&ServeOptions {
+        queue: args.queue,
+        workers: args.workers,
+        ..ServeOptions::default()
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("cannot start daemon: {e}");
+        std::process::exit(2);
+    });
+    let addr = server.local_addr();
+    println!(
+        "soak: {} clients x {} requests, queue {}, {} workers",
+        args.clients, args.requests, args.queue, args.workers
+    );
+
+    let begin = Instant::now();
+    let per_client = run_campaign(addr, &args);
+    let elapsed = begin.elapsed().as_secs_f64();
+    let total = report_campaign(&per_client, elapsed);
 
     let summary = server.drain();
     println!(

@@ -16,6 +16,7 @@ use leakchecker_benchsuite::{
 use std::fmt::Write as _;
 use std::time::Instant;
 
+pub mod chaos;
 pub mod stopwatch;
 
 /// One row of the reproduced Table 1.

@@ -4,8 +4,10 @@
 //! live here so they can be unit-tested without spawning processes.
 
 pub mod protocol;
+pub mod router;
 pub mod serve;
 
+pub use router::{run_route, RouteOptions, Router};
 pub use serve::{install_signal_handlers, run_serve, ServeOptions, Server};
 
 use leakchecker::governor::{parse_fault_plan, FaultPlan, GovernorConfig};
@@ -133,6 +135,12 @@ pub enum Command {
     Serve {
         /// Daemon options.
         options: ServeOptions,
+    },
+    /// `leakc route [options]` — fleet coordinator in front of
+    /// replicated `serve` shards.
+    Route {
+        /// Router options.
+        options: RouteOptions,
     },
     /// `leakc --help`, `leakc help [<command>]`, or `<command> --help`.
     Help {
@@ -290,7 +298,11 @@ USAGE:
               [--json PATH] [--corpus-dir DIR] [--write-exemplars]
               [--inject SPEC] [--journal PATH | --resume PATH]
   leakc serve [--addr HOST:PORT] [--socket PATH] [--queue N] [--workers N]
-  leakc help  [check|run|print|loops|fuzz|serve]
+              [--shard NAME] [--epoch N] [--deadline-ms N]
+  leakc route --shard HOST:PORT [--shard HOST:PORT ...] [--addr HOST:PORT]
+              [--retries N] [--backoff-ms N] [--hedge-ms N] [--deadline-ms N]
+              [--breaker-failures N] [--breaker-cooldown-ms N]
+  leakc help  [check|run|print|loops|fuzz|serve|route]
 
 `leakc help <command>` (or `leakc <command> --help`) documents every
 flag of one subcommand.
@@ -316,6 +328,11 @@ detector misses is a soundness violation — minimized and written to
 `serve` runs the detector as a long-lived daemon over a line-delimited
 JSON protocol with bounded admission (overflow requests are shed with a
 typed `overloaded` response) and graceful drain on SIGTERM/ctrl-c.
+
+`route` presents the same protocol in front of N replicated `serve`
+shards: consistent-hash placement, per-shard circuit breakers driven by
+health probes, bounded retry with backoff against surviving replicas,
+optional latency hedging, and end-to-end deadline propagation.
 
 EXIT CODES:
   0  clean — no leaks reported, full precision
@@ -452,6 +469,17 @@ FLAGS:
   --workers N            analysis worker threads (default 1; 0 =
                          machine width)
 
+FLEET FLAGS (for running behind `leakc route`):
+  --shard NAME           this daemon's fleet identity, echoed in
+                         `health`/`stats` frames (never in check
+                         responses, which stay replica-independent)
+  --epoch N              incarnation counter; restart a shard with a
+                         higher epoch so routers see it as the same
+                         slot under a fresh process
+  --deadline-ms N        operator ceiling on per-request analysis time;
+                         combined with any request-carried deadline_ms
+                         by taking the minimum
+
 PROTOCOL (one JSON object per line, one response line per request):
   {\"kind\": \"check\", \"id\": .., \"source\": \"..\",
    \"query_budget\": N, \"max_retries\": N, \"deadline_ms\": N,
@@ -464,7 +492,56 @@ PROTOCOL (one JSON object per line, one response line per request):
 
 A panicking or deadline-blown request degrades or is quarantined
 without taking down the daemon. SIGTERM/ctrl-c (or `shutdown`) stops
-accepting, finishes in-flight work, flushes stats, and exits 0.
+accepting, finishes in-flight work, flushes stats, and exits 0. A
+`shutdown` request flips the `health` state to `draining` immediately,
+so routers and load balancers divert traffic before it can be refused.
+
+";
+
+const ROUTE_USAGE: &str = "\
+leakc route — fault-tolerant coordinator for a fleet of serve shards
+
+USAGE:
+  leakc route --shard HOST:PORT [--shard HOST:PORT ...] [flags]
+
+FLEET FLAGS:
+  --shard HOST:PORT      a backend `leakc serve` shard (repeatable;
+                         at least one required)
+  --addr HOST:PORT       the router's own endpoint (default
+                         127.0.0.1:0; the bound address is printed)
+  --vnodes N             virtual nodes per shard on the consistent-hash
+                         ring (default 64)
+
+RETRY FLAGS:
+  --retries N            extra attempts after the first (default 4)
+  --backoff-ms N         base backoff; attempt k waits backoff * 2^k
+                         plus deterministic jitter (default 20)
+  --hedge-ms N           launch a hedged attempt on the next replica if
+                         the primary has not answered within N ms
+                         (off by default)
+  --deadline-ms N        default end-to-end budget for requests without
+                         their own deadline_ms; the frame forwarded to
+                         each shard carries the *remaining* budget
+  --attempt-timeout-ms N per-attempt connect+read cap (default 10000)
+
+BREAKER FLAGS:
+  --breaker-failures N   consecutive transport failures that open a
+                         shard's circuit breaker (default 3)
+  --breaker-cooldown-ms N  open-state cooldown before the single
+                         half-open probe (default 250)
+  --probe-interval-ms N  background health-probe period (default 50)
+
+Checks are placed on the ring by their source text, so the same
+program+loop always lands on the same primary shard; replicas further
+along the ring are failover targets. Check analysis is deterministic
+and responses carry no shard identity, so any replica computes
+byte-identical answers — that is what makes retry and hedging safe.
+Typed refusals (`overloaded`, `draining`) and transport failures
+(refused, reset, timeout, torn frame) are retried; terminal answers
+are forwarded verbatim; exhaustion yields a typed `unavailable`
+response, never a hang or a dropped request. The router's own `health`
+and `stats` verbs report fleet state, routing counters, and each
+shard's breaker walk.
 
 ";
 
@@ -478,6 +555,7 @@ pub fn usage_for(topic: Option<&str>) -> String {
         Some("loops") => LOOPS_USAGE,
         Some("fuzz") => FUZZ_USAGE,
         Some("serve") => SERVE_USAGE,
+        Some("route") => ROUTE_USAGE,
         _ => return USAGE.to_string(),
     };
     format!("{body}{EXIT_CODE_CONTRACT}")
@@ -647,11 +725,99 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         options.workers =
                             n.parse::<usize>().map_err(|_| "--workers needs a number")?;
                     }
+                    "--shard" => {
+                        let name = it.next().ok_or("--shard needs a name")?;
+                        options.shard = Some(name.clone());
+                    }
+                    "--epoch" => {
+                        let n = it.next().ok_or("--epoch needs a number")?;
+                        options.epoch = n.parse::<u64>().map_err(|_| "--epoch needs a number")?;
+                    }
+                    "--deadline-ms" => {
+                        let n = it.next().ok_or("--deadline-ms needs a number")?;
+                        options.deadline_ms = Some(
+                            n.parse::<u64>()
+                                .map_err(|_| "--deadline-ms needs a number")?,
+                        );
+                    }
                     "--help" | "-h" => return help("serve"),
                     other => return Err(format!("serve: unknown flag `{other}`")),
                 }
             }
             Ok(Command::Serve { options })
+        }
+        "route" => {
+            let mut options = RouteOptions::default();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--addr" => {
+                        let a = it.next().ok_or("--addr needs HOST:PORT")?;
+                        options.addr = a.clone();
+                    }
+                    "--shard" => {
+                        let a = it.next().ok_or("--shard needs HOST:PORT")?;
+                        options.shards.push(a.clone());
+                    }
+                    "--retries" => {
+                        let n = it.next().ok_or("--retries needs a number")?;
+                        options.retries =
+                            n.parse::<u32>().map_err(|_| "--retries needs a number")?;
+                    }
+                    "--backoff-ms" => {
+                        let n = it.next().ok_or("--backoff-ms needs a number")?;
+                        options.backoff_ms = n
+                            .parse::<u64>()
+                            .map_err(|_| "--backoff-ms needs a number")?;
+                    }
+                    "--hedge-ms" => {
+                        let n = it.next().ok_or("--hedge-ms needs a number")?;
+                        options.hedge_ms =
+                            Some(n.parse::<u64>().map_err(|_| "--hedge-ms needs a number")?);
+                    }
+                    "--deadline-ms" => {
+                        let n = it.next().ok_or("--deadline-ms needs a number")?;
+                        options.deadline_ms = Some(
+                            n.parse::<u64>()
+                                .map_err(|_| "--deadline-ms needs a number")?,
+                        );
+                    }
+                    "--attempt-timeout-ms" => {
+                        let n = it.next().ok_or("--attempt-timeout-ms needs a number")?;
+                        options.attempt_timeout_ms = n
+                            .parse::<u64>()
+                            .map_err(|_| "--attempt-timeout-ms needs a number")?;
+                    }
+                    "--breaker-failures" => {
+                        let n = it.next().ok_or("--breaker-failures needs a number")?;
+                        options.breaker_failures = n
+                            .parse::<u32>()
+                            .map_err(|_| "--breaker-failures needs a number")?;
+                    }
+                    "--breaker-cooldown-ms" => {
+                        let n = it.next().ok_or("--breaker-cooldown-ms needs a number")?;
+                        options.breaker_cooldown_ms = n
+                            .parse::<u64>()
+                            .map_err(|_| "--breaker-cooldown-ms needs a number")?;
+                    }
+                    "--probe-interval-ms" => {
+                        let n = it.next().ok_or("--probe-interval-ms needs a number")?;
+                        options.probe_interval_ms = n
+                            .parse::<u64>()
+                            .map_err(|_| "--probe-interval-ms needs a number")?;
+                    }
+                    "--vnodes" => {
+                        let n = it.next().ok_or("--vnodes needs a number")?;
+                        options.vnodes =
+                            n.parse::<usize>().map_err(|_| "--vnodes needs a number")?;
+                    }
+                    "--help" | "-h" => return help("route"),
+                    other => return Err(format!("route: unknown flag `{other}`")),
+                }
+            }
+            if options.shards.is_empty() {
+                return Err("route: at least one --shard HOST:PORT is required".to_string());
+            }
+            Ok(Command::Route { options })
         }
         "fuzz" => {
             let mut options = FuzzOptions::default();
@@ -733,6 +899,7 @@ pub fn execute(command: Command) -> Result<CliOutput, LeakcError> {
     match command {
         Command::Help { topic } => Ok(CliOutput::clean(usage_for(topic.as_deref()))),
         Command::Serve { options } => run_serve(&options),
+        Command::Route { options } => run_route(&options),
         Command::Print { file } => {
             let unit = compile_file(&file)?;
             Ok(CliOutput::clean(print_program(&unit.program)))
@@ -1445,6 +1612,68 @@ mod tests {
         assert_eq!(out.exit_code, EXIT_LEAKS);
         assert!(!out.text.contains("escape chain"), "{}", out.text);
         assert!(out.text.contains("trace events written"), "{}", out.text);
+    }
+
+    #[test]
+    fn parses_serve_fleet_and_route_flags() {
+        let cmd = parse_args(&argv(&[
+            "serve",
+            "--shard",
+            "shard-a",
+            "--epoch",
+            "2",
+            "--deadline-ms",
+            "750",
+        ]))
+        .unwrap();
+        let Command::Serve { options } = cmd else {
+            panic!("expected serve");
+        };
+        assert_eq!(options.shard.as_deref(), Some("shard-a"));
+        assert_eq!(options.epoch, 2);
+        assert_eq!(options.deadline_ms, Some(750));
+
+        let cmd = parse_args(&argv(&[
+            "route",
+            "--shard",
+            "127.0.0.1:7001",
+            "--shard",
+            "127.0.0.1:7002",
+            "--retries",
+            "6",
+            "--backoff-ms",
+            "5",
+            "--hedge-ms",
+            "40",
+            "--deadline-ms",
+            "9000",
+            "--breaker-failures",
+            "2",
+            "--breaker-cooldown-ms",
+            "100",
+            "--vnodes",
+            "32",
+        ]))
+        .unwrap();
+        let Command::Route { options } = cmd else {
+            panic!("expected route");
+        };
+        assert_eq!(options.shards, vec!["127.0.0.1:7001", "127.0.0.1:7002"]);
+        assert_eq!(options.retries, 6);
+        assert_eq!(options.backoff_ms, 5);
+        assert_eq!(options.hedge_ms, Some(40));
+        assert_eq!(options.deadline_ms, Some(9000));
+        assert_eq!(options.breaker_failures, 2);
+        assert_eq!(options.breaker_cooldown_ms, 100);
+        assert_eq!(options.vnodes, 32);
+
+        // A fleet of zero shards is a usage error, as is an unknown flag.
+        assert!(parse_args(&argv(&["route"])).is_err());
+        assert!(parse_args(&argv(&["route", "--shard"])).is_err());
+        assert!(parse_args(&argv(&["route", "--shard", "x", "--wat"])).is_err());
+        // `leakc help route` documents the subcommand.
+        assert!(usage_for(Some("route")).contains("half-open"));
+        assert!(usage_for(Some("serve")).contains("--epoch"));
     }
 
     #[test]

@@ -14,8 +14,11 @@ fn main() {
             std::process::exit(leakchecker_cli::EXIT_USAGE);
         }
     };
-    if matches!(command, leakchecker_cli::Command::Serve { .. }) {
-        // SIGINT/SIGTERM flip a flag the serve loop polls, so the
+    if matches!(
+        command,
+        leakchecker_cli::Command::Serve { .. } | leakchecker_cli::Command::Route { .. }
+    ) {
+        // SIGINT/SIGTERM flip a flag the serve/route loops poll, so the
         // daemon drains in-flight requests instead of dying mid-reply.
         leakchecker_cli::install_signal_handlers();
     }

@@ -426,10 +426,87 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     }
 }
 
+/// Renders a parsed request back into one canonical wire line. Used by
+/// the router to forward frames: re-rendering (instead of byte-copying
+/// the client's line) is what lets it rewrite `deadline_ms` to the
+/// *remaining* end-to-end budget on every attempt. `parse_request` of
+/// the output round-trips to an equal `Request`.
+pub fn render_request(req: &Request) -> String {
+    match req {
+        Request::Health => "{\"kind\": \"health\"}".to_string(),
+        Request::Stats => "{\"kind\": \"stats\"}".to_string(),
+        Request::Shutdown => "{\"kind\": \"shutdown\"}".to_string(),
+        Request::Panic { id } => format!("{{\"kind\": \"panic\"{}}}", id_suffix(id)),
+        Request::Check {
+            id,
+            source,
+            overrides,
+        } => {
+            let mut out = format!("{{\"kind\": \"check\"{}", id_suffix(id));
+            let _ = write!(out, ", \"source\": \"{}\"", json_escape(source));
+            if let Some(n) = overrides.query_budget {
+                let _ = write!(out, ", \"query_budget\": {n}");
+            }
+            if let Some(n) = overrides.max_retries {
+                let _ = write!(out, ", \"max_retries\": {n}");
+            }
+            if let Some(n) = overrides.deadline_ms {
+                let _ = write!(out, ", \"deadline_ms\": {n}");
+            }
+            if let Some(spec) = &overrides.inject {
+                let _ = write!(out, ", \"inject\": \"{}\"", json_escape(spec));
+            }
+            if overrides.explain {
+                out.push_str(", \"explain\": true");
+            }
+            out.push('}');
+            out
+        }
+    }
+}
+
+/// How a router should treat one backend response line.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ResponseClass {
+    /// A definitive answer (`ok`, `error`, `internal`): forward it to
+    /// the client. Retrying elsewhere would recompute the same bytes —
+    /// check analysis is deterministic — so there is nothing to gain.
+    Terminal,
+    /// A typed transient refusal (`overloaded`, `draining`): the shard
+    /// is alive but declined the work. Retry on a replica after
+    /// backoff; never forward to the client while budget remains.
+    Retryable,
+    /// Not a recognizable response frame (torn or corrupt): treat like
+    /// a transport failure and retry elsewhere.
+    Malformed,
+}
+
+/// Classifies a backend response line for the retry policy.
+pub fn response_class(line: &str) -> ResponseClass {
+    let Ok(Json::Obj(obj)) = parse_json(line) else {
+        return ResponseClass::Malformed;
+    };
+    match obj.get("status") {
+        Some(Json::Str(s)) => match s.as_str() {
+            "overloaded" | "draining" => ResponseClass::Retryable,
+            _ => ResponseClass::Terminal,
+        },
+        _ => ResponseClass::Malformed,
+    }
+}
+
 /// The `"id": <id>, ` fragment when the request carried an id.
 fn id_fragment(id: &Option<String>) -> String {
     match id {
         Some(id) => format!("\"id\": {id}, "),
+        None => String::new(),
+    }
+}
+
+/// The `, "id": <id>` fragment (for frames where `kind` leads).
+fn id_suffix(id: &Option<String>) -> String {
+    match id {
+        Some(id) => format!(", \"id\": {id}"),
         None => String::new(),
     }
 }
@@ -483,6 +560,18 @@ pub fn render_overloaded(id: &Option<String>, queue_depth: u64) -> String {
 /// admits work.
 pub fn render_draining(id: &Option<String>) -> String {
     format!("{{{}\"status\": \"draining\"}}", id_fragment(id))
+}
+
+/// `status: unavailable` — a router exhausted its retry budget or
+/// end-to-end deadline without extracting a terminal answer from any
+/// replica. The request was *not* (observably) served; clients may
+/// retry with a fresh budget.
+pub fn render_unavailable(id: &Option<String>, message: &str) -> String {
+    format!(
+        "{{{}\"status\": \"unavailable\", \"message\": \"{}\"}}",
+        id_fragment(id),
+        json_escape(message)
+    )
 }
 
 #[cfg(test)]
@@ -579,6 +668,88 @@ mod tests {
         assert!(parse_request(r#"{"kind": "nope"}"#).is_err());
         assert!(parse_request("[1]").is_err());
         assert!(parse_request("{oops").is_err());
+    }
+
+    #[test]
+    fn render_request_round_trips() {
+        let requests = [
+            Request::Health,
+            Request::Stats,
+            Request::Shutdown,
+            Request::Panic { id: None },
+            Request::Panic {
+                id: Some("7".to_string()),
+            },
+            Request::Check {
+                id: Some("\"req-1\"".to_string()),
+                source: "class A { void m() { } }\nclass B { }".to_string(),
+                overrides: CheckOverrides {
+                    query_budget: Some(12),
+                    max_retries: Some(2),
+                    deadline_ms: Some(4500),
+                    inject: Some("exhaust@1".to_string()),
+                    explain: true,
+                },
+            },
+            Request::Check {
+                id: None,
+                source: "class A { }".to_string(),
+                overrides: CheckOverrides::default(),
+            },
+        ];
+        for req in requests {
+            let line = render_request(&req);
+            assert_eq!(parse_request(&line).unwrap(), req, "{line}");
+        }
+        // The router's deadline rewrite: re-render with a tightened
+        // budget and the frame carries the new value.
+        let Request::Check {
+            id,
+            source,
+            mut overrides,
+        } = parse_request(r#"{"kind": "check", "id": 3, "source": "x y", "deadline_ms": 9000}"#)
+            .unwrap()
+        else {
+            panic!("expected check")
+        };
+        overrides.deadline_ms = Some(1234);
+        let line = render_request(&Request::Check {
+            id,
+            source,
+            overrides,
+        });
+        assert!(line.contains("\"deadline_ms\": 1234"), "{line}");
+    }
+
+    #[test]
+    fn response_classification_separates_retryable_from_terminal() {
+        let id = Some("1".to_string());
+        for terminal in [
+            render_check_ok(&id, 0, 0, false, "no leaks"),
+            render_error(&id, "compile error"),
+            render_internal(&id, "worker panicked"),
+            render_unavailable(&id, "deadline exhausted"),
+        ] {
+            assert_eq!(
+                response_class(&terminal),
+                ResponseClass::Terminal,
+                "{terminal}"
+            );
+        }
+        for retryable in [render_overloaded(&id, 5), render_draining(&id)] {
+            assert_eq!(
+                response_class(&retryable),
+                ResponseClass::Retryable,
+                "{retryable}"
+            );
+        }
+        for malformed in ["", "{\"status\": \"ok\"", "torn bytes", "{\"id\": 1}"] {
+            assert_eq!(
+                response_class(malformed),
+                ResponseClass::Malformed,
+                "{malformed}"
+            );
+        }
     }
 
     #[test]

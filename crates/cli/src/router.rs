@@ -1,0 +1,947 @@
+//! `leakc route` — the fault-tolerant fleet coordinator.
+//!
+//! Sits in front of N replicated `leakc serve` shards and presents the
+//! same line-delimited JSON protocol on one address. Work requests
+//! (`check`, `panic`) are placed on a consistent-hash ring
+//! ([`leakchecker::HashRing`]) keyed by the check's source text, so the
+//! same program+loop lands on the same primary shard (warm for any
+//! future caching) while replicas further along the ring serve as
+//! failover targets. Every shard sits behind a circuit breaker
+//! ([`leakchecker::CircuitBreaker`]): consecutive transport failures
+//! open it, a cooldown later a single half-open probe decides whether
+//! the shard is re-admitted. A background prober drives the breakers
+//! even when no client traffic flows, and marks shards whose `health`
+//! frame reports `draining` so the router diverts work before it can be
+//! refused.
+//!
+//! The retry policy leans on a fleet invariant the shards uphold: check
+//! analysis is deterministic and check responses carry no shard
+//! identity or timing, so *any* replica computes byte-identical answer
+//! frames. That makes retry and hedging safe — the client cannot
+//! observe which replica answered. Responses are classified by
+//! [`crate::protocol::response_class`]: terminal answers are forwarded
+//! verbatim; typed refusals (`overloaded`, `draining`) and transport
+//! failures (connection refused/reset, read timeout, torn frame) are
+//! retried against the next replica in ring order with exponential
+//! backoff plus deterministic jitter (seeded from the routing key, so
+//! reruns behave identically). The client's `deadline_ms` is the
+//! end-to-end budget: on every forwarded attempt the frame is
+//! re-rendered with the *remaining* budget, which the shard tightens
+//! into its governor (`GovernorConfig::tighten_deadline`), and once the
+//! budget or the retry allowance is exhausted the router answers a
+//! typed `unavailable` — never a silent drop, never a panic.
+//!
+//! Optionally (`--hedge-ms`), a request whose primary attempt has not
+//! answered within the given latency allowance launches a second
+//! attempt on the next replica and takes whichever answers first —
+//! determinism of the analysis is what makes the race benign.
+
+use crate::protocol::{
+    json_escape, parse_json, parse_request, render_error, render_request, render_unavailable,
+    response_class, Json, Request, ResponseClass,
+};
+use crate::{CliOutput, LeakcError};
+use leakchecker::{route_key, BreakerConfig, BreakerStats, CircuitBreaker, HashRing};
+use leakchecker_benchsuite::SplitMix64;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Flags of the `route` subcommand.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RouteOptions {
+    /// `--addr HOST:PORT` for the router's own listener (port 0 =
+    /// ephemeral; the bound address is printed on startup).
+    pub addr: String,
+    /// `--shard HOST:PORT`, repeatable — the backend fleet.
+    pub shards: Vec<String>,
+    /// `--retries N` — additional attempts after the first (so a
+    /// request costs at most `retries + 1` shard round trips).
+    pub retries: u32,
+    /// `--backoff-ms N` — base retry backoff; attempt k waits
+    /// `backoff * 2^k` plus jitter in `[0, backoff)`.
+    pub backoff_ms: u64,
+    /// `--hedge-ms N` — launch a hedged attempt on the next replica if
+    /// the primary has not answered within N ms (off when `None`).
+    pub hedge_ms: Option<u64>,
+    /// `--deadline-ms N` — default end-to-end budget for requests that
+    /// do not carry their own `deadline_ms`.
+    pub deadline_ms: Option<u64>,
+    /// `--attempt-timeout-ms N` — per-attempt cap on connect+read
+    /// against one shard (also bounded by the remaining deadline).
+    pub attempt_timeout_ms: u64,
+    /// `--breaker-failures N` — consecutive failures that open a
+    /// shard's breaker.
+    pub breaker_failures: u32,
+    /// `--breaker-cooldown-ms N` — how long an open breaker waits
+    /// before admitting its half-open probe.
+    pub breaker_cooldown_ms: u64,
+    /// `--probe-interval-ms N` — background health-probe period.
+    pub probe_interval_ms: u64,
+    /// `--vnodes N` — virtual nodes per shard on the hash ring.
+    pub vnodes: usize,
+}
+
+impl Default for RouteOptions {
+    fn default() -> Self {
+        RouteOptions {
+            addr: "127.0.0.1:0".to_string(),
+            shards: Vec::new(),
+            retries: 4,
+            backoff_ms: 20,
+            hedge_ms: None,
+            deadline_ms: None,
+            attempt_timeout_ms: 10_000,
+            breaker_failures: BreakerConfig::default().failure_threshold,
+            breaker_cooldown_ms: 250,
+            probe_interval_ms: 50,
+            vnodes: 64,
+        }
+    }
+}
+
+/// One backend shard as the router sees it.
+struct Endpoint {
+    addr: String,
+    breaker: Mutex<CircuitBreaker>,
+    /// Last health-probe verdict: `true` means the shard reported
+    /// `draining` (or its drain refusal was seen on the request path),
+    /// so the picker skips it while alternatives exist.
+    draining: AtomicBool,
+    /// Last observed state label for the stats output: `running`,
+    /// `draining`, or `unreachable`.
+    last_state: Mutex<String>,
+    /// Shard identity from its health frame (`--shard`/`--epoch`),
+    /// empty until the first successful probe.
+    identity: Mutex<String>,
+    /// Last observed epoch; a jump means "same slot, fresh process".
+    epoch: AtomicU64,
+    /// Observed epoch changes (shard restarts behind the same address).
+    restarts: AtomicU64,
+    /// Terminal responses this shard produced.
+    served: AtomicU64,
+}
+
+/// Router-level counters, exposed by the `stats` verb.
+#[derive(Default)]
+struct RouterTelemetry {
+    routed: AtomicU64,
+    retries: AtomicU64,
+    hedges: AtomicU64,
+    hedge_wins: AtomicU64,
+    unavailable: AtomicU64,
+    malformed: AtomicU64,
+}
+
+struct RouterInner {
+    endpoints: Vec<Endpoint>,
+    ring: HashRing,
+    options: RouteOptions,
+    telemetry: RouterTelemetry,
+    start: Instant,
+    stop: AtomicBool,
+    shutdown_requested: AtomicBool,
+    /// Requests currently being routed; drain waits for zero so no
+    /// accepted request loses its answer.
+    in_flight: AtomicU64,
+}
+
+/// A running router (in-process handle; the binary, the soak harness,
+/// and the chaos tests all drive this).
+pub struct Router {
+    inner: Arc<RouterInner>,
+    accept_handle: Option<JoinHandle<()>>,
+    probe_handle: Option<JoinHandle<()>>,
+    local_addr: SocketAddr,
+}
+
+/// Outcome of one attempt against one shard.
+enum Attempt {
+    /// A definitive response line to forward verbatim.
+    Terminal(String),
+    /// A typed refusal (`overloaded`/`draining`): shard alive, retry
+    /// elsewhere. Carries the status for drain bookkeeping.
+    Refused(String),
+    /// Transport-level failure (refused, reset, timeout, torn frame).
+    Failed(String),
+}
+
+/// One request/response round trip against `addr`, bounded by
+/// `timeout` for connect and read. A response line without its
+/// trailing newline (the peer died mid-write) is a torn frame and
+/// counts as a transport failure — exactly the fault the `torn@N`
+/// chaos plan injects.
+fn attempt_roundtrip(addr: &str, line: &str, timeout: Duration) -> Attempt {
+    let Some(sock_addr) = addr.to_socket_addrs().ok().and_then(|mut a| a.next()) else {
+        return Attempt::Failed(format!("cannot resolve {addr}"));
+    };
+    let stream = match TcpStream::connect_timeout(&sock_addr, timeout) {
+        Ok(s) => s,
+        Err(e) => return Attempt::Failed(format!("connect {addr}: {e}")),
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(e) => return Attempt::Failed(format!("clone {addr}: {e}")),
+    };
+    if let Err(e) = writer
+        .write_all(line.as_bytes())
+        .and_then(|()| writer.write_all(b"\n"))
+        .and_then(|()| writer.flush())
+    {
+        return Attempt::Failed(format!("write {addr}: {e}"));
+    }
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    match reader.read_line(&mut response) {
+        Ok(0) => Attempt::Failed(format!("{addr} closed the connection")),
+        Err(e) => Attempt::Failed(format!("read {addr}: {e}")),
+        Ok(_) if !response.ends_with('\n') => {
+            Attempt::Failed(format!("torn frame from {addr} (no trailing newline)"))
+        }
+        Ok(_) => {
+            let response = response.trim_end().to_string();
+            match response_class(&response) {
+                ResponseClass::Terminal => Attempt::Terminal(response),
+                ResponseClass::Retryable => Attempt::Refused(response),
+                ResponseClass::Malformed => Attempt::Failed(format!("malformed frame from {addr}")),
+            }
+        }
+    }
+}
+
+/// Runs one attempt against endpoint `idx` and feeds the outcome back
+/// into its breaker and drain bookkeeping. Called from the routing
+/// thread and from hedge threads alike.
+fn attempt_and_record(inner: &RouterInner, idx: usize, line: &str, timeout: Duration) -> Attempt {
+    let ep = &inner.endpoints[idx];
+    let outcome = attempt_roundtrip(&ep.addr, line, timeout);
+    match &outcome {
+        Attempt::Terminal(_) => {
+            ep.breaker.lock().unwrap().record_success();
+            ep.served.fetch_add(1, Ordering::Relaxed);
+        }
+        Attempt::Refused(response) => {
+            // The shard answered, so the transport is healthy — but a
+            // drain refusal means new work should go elsewhere until
+            // the prober sees it running again.
+            ep.breaker.lock().unwrap().record_success();
+            if response.contains("\"status\": \"draining\"") {
+                ep.draining.store(true, Ordering::SeqCst);
+            }
+        }
+        Attempt::Failed(_) => {
+            ep.breaker.lock().unwrap().record_failure(Instant::now());
+        }
+    }
+    outcome
+}
+
+/// Picks the next endpoint to try: walks the ring preference starting
+/// at `cursor`, skipping shards that are draining or whose breaker
+/// refuses admission. Falls back to ignoring the draining flag (a
+/// draining shard still *answers*, with a typed refusal that keeps the
+/// retry loop honest) when every admitted shard is draining.
+fn pick_endpoint(inner: &RouterInner, preference: &[usize], cursor: &mut usize) -> Option<usize> {
+    let now = Instant::now();
+    for honor_draining in [true, false] {
+        for step in 0..preference.len() {
+            let idx = preference[(*cursor + step) % preference.len()];
+            let ep = &inner.endpoints[idx];
+            if honor_draining && ep.draining.load(Ordering::SeqCst) {
+                continue;
+            }
+            if ep.breaker.lock().unwrap().admit(now) {
+                *cursor = (*cursor + step + 1) % preference.len();
+                return Some(idx);
+            }
+        }
+    }
+    None
+}
+
+/// Remaining milliseconds until `deadline` (`None` = unbounded).
+fn remaining_ms(deadline: Option<Instant>) -> Option<u64> {
+    deadline.map(|d| d.saturating_duration_since(Instant::now()).as_millis() as u64)
+}
+
+/// Re-renders the request with `deadline_ms` rewritten to the
+/// remaining end-to-end budget, so the shard's governor sees how much
+/// time this attempt really has left (min with its own `--deadline-ms`
+/// ceiling via `GovernorConfig::tighten_deadline`).
+fn render_attempt(req: &Request, deadline: Option<Instant>) -> String {
+    match (req, remaining_ms(deadline)) {
+        (
+            Request::Check {
+                id,
+                source,
+                overrides,
+            },
+            Some(left),
+        ) => {
+            let mut overrides = overrides.clone();
+            overrides.deadline_ms = Some(left);
+            render_request(&Request::Check {
+                id: id.clone(),
+                source: source.clone(),
+                overrides,
+            })
+        }
+        _ => render_request(req),
+    }
+}
+
+/// Routes one work request to completion: ring placement, breaker
+/// gating, bounded retry with backoff+jitter, optional hedging, and a
+/// typed `unavailable` when every avenue is exhausted.
+fn route_request(inner: &Arc<RouterInner>, req: &Request) -> String {
+    let key = match req {
+        Request::Check { source, .. } => route_key(source.as_bytes()),
+        other => route_key(render_request(other).as_bytes()),
+    };
+    let preference = inner.ring.preference(key);
+    let client_deadline = match req {
+        Request::Check { overrides, .. } => overrides.deadline_ms,
+        _ => None,
+    };
+    let budget_ms = client_deadline.or(inner.options.deadline_ms);
+    let deadline = budget_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    let id = match req {
+        Request::Check { id, .. } | Request::Panic { id } => id.clone(),
+        _ => None,
+    };
+    let mut jitter = SplitMix64::new(key);
+    let mut cursor = 0usize;
+    let mut last_failure = String::from("no shard available");
+    let total_attempts = inner.options.retries as u64 + 1;
+    for attempt in 0..total_attempts {
+        if remaining_ms(deadline) == Some(0) {
+            last_failure = "end-to-end deadline exhausted".to_string();
+            break;
+        }
+        if attempt > 0 {
+            inner.telemetry.retries.fetch_add(1, Ordering::Relaxed);
+            // Exponential backoff with deterministic jitter: reruns of
+            // the same request mix behave identically.
+            let base = inner.options.backoff_ms << (attempt - 1).min(6);
+            let wait = base + jitter.gen_range(0, inner.options.backoff_ms.max(1));
+            let wait = match remaining_ms(deadline) {
+                Some(left) => wait.min(left),
+                None => wait,
+            };
+            std::thread::sleep(Duration::from_millis(wait));
+        }
+        let Some(primary) = pick_endpoint(inner, &preference, &mut cursor) else {
+            last_failure = "all shard breakers open".to_string();
+            continue;
+        };
+        let timeout = Duration::from_millis(match remaining_ms(deadline) {
+            Some(left) => inner.options.attempt_timeout_ms.min(left.max(1)),
+            None => inner.options.attempt_timeout_ms,
+        });
+        let frame = render_attempt(req, deadline);
+        let outcome = match inner.options.hedge_ms {
+            Some(hedge_ms) => hedged_attempt(
+                inner,
+                primary,
+                &preference,
+                &mut cursor,
+                &frame,
+                timeout,
+                hedge_ms,
+            ),
+            None => attempt_and_record(inner, primary, &frame, timeout),
+        };
+        match outcome {
+            Attempt::Terminal(response) => {
+                inner.telemetry.routed.fetch_add(1, Ordering::Relaxed);
+                return response;
+            }
+            Attempt::Refused(response) => {
+                last_failure = format!("shard refused: {response}");
+            }
+            Attempt::Failed(message) => {
+                last_failure = message;
+            }
+        }
+    }
+    inner.telemetry.unavailable.fetch_add(1, Ordering::Relaxed);
+    render_unavailable(
+        &id,
+        &format!("no replica answered within {total_attempts} attempts: {last_failure}"),
+    )
+}
+
+/// Primary attempt with a latency hedge: if the primary has not
+/// answered within `hedge_ms`, launch the same frame at the next
+/// replica and take whichever answers first. Attempt threads are
+/// detached — a stalled loser must not hold the winner's response
+/// hostage — but each still runs to completion so its breaker
+/// bookkeeping lands when the slow shard finally answers (or fails).
+fn hedged_attempt(
+    inner: &Arc<RouterInner>,
+    primary: usize,
+    preference: &[usize],
+    cursor: &mut usize,
+    frame: &str,
+    timeout: Duration,
+    hedge_ms: u64,
+) -> Attempt {
+    let (tx, rx) = std::sync::mpsc::channel::<(bool, Attempt)>();
+    let primary_tx = tx.clone();
+    let primary_inner = Arc::clone(inner);
+    let primary_frame = frame.to_string();
+    std::thread::spawn(move || {
+        let outcome = attempt_and_record(&primary_inner, primary, &primary_frame, timeout);
+        let _ = primary_tx.send((false, outcome));
+    });
+    if let Ok((_, outcome)) = rx.recv_timeout(Duration::from_millis(hedge_ms)) {
+        return outcome;
+    }
+    // Primary is slow: hedge on the next distinct replica (if the
+    // fleet has one the breakers will admit).
+    let hedge_idx = pick_endpoint(inner, preference, cursor).filter(|&i| i != primary);
+    if let Some(idx) = hedge_idx {
+        inner.telemetry.hedges.fetch_add(1, Ordering::Relaxed);
+        let hedge_tx = tx.clone();
+        let hedge_inner = Arc::clone(inner);
+        let hedge_frame = frame.to_string();
+        std::thread::spawn(move || {
+            let outcome = attempt_and_record(&hedge_inner, idx, &hedge_frame, timeout);
+            let _ = hedge_tx.send((true, outcome));
+        });
+    }
+    drop(tx);
+    // Take the first terminal answer; fall back to whatever the
+    // last arrival was if neither is terminal.
+    let mut last: Option<Attempt> = None;
+    let expected = if hedge_idx.is_some() { 2 } else { 1 };
+    for _ in 0..expected {
+        match rx.recv() {
+            Ok((was_hedge, outcome)) => {
+                if matches!(outcome, Attempt::Terminal(_)) {
+                    if was_hedge {
+                        inner.telemetry.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return outcome;
+                }
+                last = Some(outcome);
+            }
+            Err(_) => break,
+        }
+    }
+    last.unwrap_or(Attempt::Failed("hedge channel closed".to_string()))
+}
+
+/// Background health prober: periodically probes every shard whose
+/// breaker admits traffic, feeding successes and failures back into the
+/// breaker. This is what walks an open breaker through its half-open
+/// probe back to closed when a killed shard comes back — even when no
+/// client traffic is flowing — and what flips the draining flag off
+/// once a drained shard is restarted.
+fn probe_endpoints(inner: &RouterInner) {
+    for ep in &inner.endpoints {
+        let now = Instant::now();
+        if !ep.breaker.lock().unwrap().admit(now) {
+            continue;
+        }
+        let timeout = Duration::from_millis(inner.options.probe_interval_ms.max(50));
+        match attempt_roundtrip(&ep.addr, "{\"kind\": \"health\"}", timeout) {
+            Attempt::Terminal(frame) => {
+                ep.breaker.lock().unwrap().record_success();
+                apply_health_frame(ep, &frame);
+            }
+            Attempt::Refused(_) | Attempt::Failed(_) => {
+                ep.breaker.lock().unwrap().record_failure(Instant::now());
+                *ep.last_state.lock().unwrap() = "unreachable".to_string();
+            }
+        }
+    }
+}
+
+/// Updates an endpoint's picture of its shard from a health frame:
+/// drain state, identity, and epoch (an epoch jump counts a restart).
+fn apply_health_frame(ep: &Endpoint, frame: &str) {
+    let Ok(Json::Obj(obj)) = parse_json(frame) else {
+        return;
+    };
+    if let Some(Json::Str(state)) = obj.get("state") {
+        ep.draining.store(state != "running", Ordering::SeqCst);
+        *ep.last_state.lock().unwrap() = state.clone();
+    }
+    let first_contact = {
+        let mut identity = ep.identity.lock().unwrap();
+        let first = identity.is_empty();
+        if let Some(Json::Str(shard)) = obj.get("shard") {
+            *identity = shard.clone();
+        } else if first {
+            // Anonymous shard (no --shard flag): record contact so a
+            // later epoch jump still counts as a restart.
+            *identity = "?".to_string();
+        }
+        first
+    };
+    if let Some(Json::Num(epoch)) = obj.get("epoch") {
+        let epoch = *epoch as u64;
+        let prev = ep.epoch.swap(epoch, Ordering::SeqCst);
+        // The first observation just learns the epoch; only a *change*
+        // afterwards means the slot was restarted under a new process.
+        if !first_contact && epoch > prev {
+            ep.restarts.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// The router's own `health` frame: fleet-level state.
+fn render_router_health(inner: &RouterInner) -> String {
+    let available = inner
+        .endpoints
+        .iter()
+        .filter(|ep| !ep.draining.load(Ordering::SeqCst))
+        .count();
+    let state = if inner.shutdown_requested.load(Ordering::SeqCst) {
+        "draining"
+    } else {
+        "running"
+    };
+    format!(
+        "{{\"status\": \"ok\", \"state\": \"{state}\", \"role\": \"router\", \
+         \"shards\": {}, \"available\": {available}, \"uptime_ms\": {}}}",
+        inner.endpoints.len(),
+        inner.start.elapsed().as_millis()
+    )
+}
+
+/// The router's own `stats` frame: routing counters plus one object per
+/// shard with its breaker walk — `half_open_probes` and
+/// `closed_from_half_open` are how the chaos harness proves a killed
+/// shard was re-admitted through the half-open gate.
+fn render_router_stats(inner: &RouterInner) -> String {
+    let t = &inner.telemetry;
+    let mut out = String::from("{\"status\": \"ok\", \"role\": \"router\"");
+    let _ = write!(
+        out,
+        ", \"routed\": {}, \"retries\": {}, \"hedges\": {}, \"hedge_wins\": {}, \
+         \"unavailable\": {}, \"malformed\": {}",
+        t.routed.load(Ordering::Relaxed),
+        t.retries.load(Ordering::Relaxed),
+        t.hedges.load(Ordering::Relaxed),
+        t.hedge_wins.load(Ordering::Relaxed),
+        t.unavailable.load(Ordering::Relaxed),
+        t.malformed.load(Ordering::Relaxed),
+    );
+    out.push_str(", \"shards\": [");
+    for (i, ep) in inner.endpoints.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let (label, stats): (&'static str, BreakerStats) = {
+            let breaker = ep.breaker.lock().unwrap();
+            (breaker.state().label(), breaker.stats())
+        };
+        let _ = write!(
+            out,
+            "{{\"addr\": \"{}\", \"identity\": \"{}\", \"epoch\": {}, \"restarts\": {}, \
+             \"state\": \"{}\", \"breaker\": \"{label}\", \"failures\": {}, \"opened\": {}, \
+             \"half_open_probes\": {}, \"closed_from_half_open\": {}, \"reopened\": {}, \
+             \"served\": {}}}",
+            json_escape(&ep.addr),
+            json_escape(&ep.identity.lock().unwrap()),
+            ep.epoch.load(Ordering::SeqCst),
+            ep.restarts.load(Ordering::SeqCst),
+            ep.last_state.lock().unwrap(),
+            stats.failures,
+            stats.opened,
+            stats.half_open_probes,
+            stats.closed_from_half_open,
+            stats.reopened,
+            ep.served.load(Ordering::Relaxed),
+        );
+    }
+    let _ = write!(
+        out,
+        "], \"uptime_ms\": {}}}",
+        inner.start.elapsed().as_millis()
+    );
+    out
+}
+
+fn route_connection(stream: TcpStream, inner: &Arc<RouterInner>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    let mut reader = BufReader::new(read_half);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match parse_request(line.trim_end()) {
+            // Byte-for-byte the same refusal a shard renders, so a
+            // routed fleet and a bare shard are indistinguishable to
+            // clients even on the error path.
+            Err(e) => {
+                inner.telemetry.malformed.fetch_add(1, Ordering::Relaxed);
+                render_error(&None, &format!("malformed request: {e}"))
+            }
+            Ok(Request::Health) => render_router_health(inner),
+            Ok(Request::Stats) => render_router_stats(inner),
+            Ok(Request::Shutdown) => {
+                inner.shutdown_requested.store(true, Ordering::SeqCst);
+                "{\"status\": \"ok\", \"state\": \"draining\", \"role\": \"router\"}".to_string()
+            }
+            Ok(req) => {
+                inner.in_flight.fetch_add(1, Ordering::SeqCst);
+                let response = route_request(inner, &req);
+                inner.in_flight.fetch_sub(1, Ordering::SeqCst);
+                response
+            }
+        };
+        let result = writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush());
+        if result.is_err() {
+            return;
+        }
+    }
+}
+
+impl Router {
+    /// Binds the listener, builds the ring and breakers, and starts the
+    /// accept loop plus the health prober.
+    ///
+    /// # Errors
+    ///
+    /// No shards, or an unusable listen address (usage errors).
+    pub fn start(options: &RouteOptions) -> Result<Router, LeakcError> {
+        if options.shards.is_empty() {
+            return Err(LeakcError::Usage(
+                "route: at least one --shard HOST:PORT is required".to_string(),
+            ));
+        }
+        let listener = TcpListener::bind(&options.addr)
+            .map_err(|e| LeakcError::Usage(format!("route: cannot bind {}: {e}", options.addr)))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| LeakcError::Internal(format!("route: no local addr: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| LeakcError::Internal(format!("route: set_nonblocking: {e}")))?;
+
+        let breaker_config = BreakerConfig {
+            failure_threshold: options.breaker_failures.max(1),
+            cooldown: Duration::from_millis(options.breaker_cooldown_ms),
+        };
+        let endpoints = options
+            .shards
+            .iter()
+            .map(|addr| Endpoint {
+                addr: addr.clone(),
+                breaker: Mutex::new(CircuitBreaker::new(breaker_config)),
+                draining: AtomicBool::new(false),
+                last_state: Mutex::new("unknown".to_string()),
+                identity: Mutex::new(String::new()),
+                epoch: AtomicU64::new(0),
+                restarts: AtomicU64::new(0),
+                served: AtomicU64::new(0),
+            })
+            .collect::<Vec<_>>();
+        let inner = Arc::new(RouterInner {
+            ring: HashRing::new(endpoints.len(), options.vnodes.max(1)),
+            endpoints,
+            options: options.clone(),
+            telemetry: RouterTelemetry::default(),
+            start: Instant::now(),
+            stop: AtomicBool::new(false),
+            shutdown_requested: AtomicBool::new(false),
+            in_flight: AtomicU64::new(0),
+        });
+
+        let accept_inner = Arc::clone(&inner);
+        let accept_handle = std::thread::spawn(move || {
+            while !accept_inner.stop.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = stream.set_nonblocking(false);
+                        let _ = stream.set_nodelay(true);
+                        let conn_inner = Arc::clone(&accept_inner);
+                        std::thread::spawn(move || route_connection(stream, &conn_inner));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => {}
+                }
+            }
+        });
+        let probe_inner = Arc::clone(&inner);
+        let probe_handle = std::thread::spawn(move || {
+            while !probe_inner.stop.load(Ordering::SeqCst) {
+                probe_endpoints(&probe_inner);
+                // Sleep in small slices so drain() never waits out a
+                // long probe interval just to join this thread.
+                let until = Instant::now()
+                    + Duration::from_millis(probe_inner.options.probe_interval_ms.max(1));
+                while Instant::now() < until && !probe_inner.stop.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        });
+
+        Ok(Router {
+            inner,
+            accept_handle: Some(accept_handle),
+            probe_handle: Some(probe_handle),
+            local_addr,
+        })
+    }
+
+    /// The bound listen address (resolves `--addr` port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// `true` once a protocol `shutdown` request has been received.
+    pub fn shutdown_requested(&self) -> bool {
+        self.inner.shutdown_requested.load(Ordering::SeqCst)
+    }
+
+    /// Requests a graceful drain (the in-process twin of SIGTERM).
+    pub fn request_shutdown(&self) {
+        self.inner.shutdown_requested.store(true, Ordering::SeqCst);
+    }
+
+    /// Graceful drain: stop accepting, wait (bounded) for in-flight
+    /// requests to finish routing, and return whether none were lost.
+    pub fn drain(mut self) -> bool {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.probe_handle.take() {
+            let _ = handle.join();
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            if self.inner.in_flight.load(Ordering::SeqCst) == 0 {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+/// The blocking `leakc route` entry point: binds, prints the endpoint,
+/// loops until a signal or protocol `shutdown`, drains, and reports.
+///
+/// # Errors
+///
+/// Bind/usage failures (see [`Router::start`]).
+pub fn run_route(options: &RouteOptions) -> Result<CliOutput, LeakcError> {
+    let router = Router::start(options)?;
+    println!("leakc route: listening on {}", router.local_addr());
+    println!(
+        "leakc route: fleet of {} shard(s): {}",
+        options.shards.len(),
+        options.shards.join(", ")
+    );
+    let _ = std::io::stdout().flush();
+    while !router.shutdown_requested() && !crate::serve::signal_shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let inner = Arc::clone(&router.inner);
+    let clean = router.drain();
+    let t = &inner.telemetry;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "leakc route: drained{} — routed={} retries={} hedges={} hedge_wins={} unavailable={}",
+        if clean {
+            ""
+        } else {
+            " (deadline hit; some responses may be lost)"
+        },
+        t.routed.load(Ordering::Relaxed),
+        t.retries.load(Ordering::Relaxed),
+        t.hedges.load(Ordering::Relaxed),
+        t.hedge_wins.load(Ordering::Relaxed),
+        t.unavailable.load(Ordering::Relaxed),
+    );
+    Ok(CliOutput::clean(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::{ServeOptions, Server};
+
+    const LEAKY: &str = "\
+class Cache { Object[] items; int n;
+  void add(Object o) { items[n] = o; n = n + 1; } }
+class Main {
+  static void main() {
+    Cache c = new Cache(); c.items = new Object[1024];
+    @check while (nondet()) { Object o = new Object(); c.add(o); } } }";
+
+    fn shard(name: &str) -> Server {
+        Server::start(&ServeOptions {
+            shard: Some(name.to_string()),
+            ..ServeOptions::default()
+        })
+        .unwrap()
+    }
+
+    fn client(addr: SocketAddr) -> (BufReader<TcpStream>, TcpStream) {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        (reader, stream)
+    }
+
+    fn roundtrip(reader: &mut BufReader<TcpStream>, writer: &mut TcpStream, req: &str) -> String {
+        writer.write_all(req.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        line.trim_end().to_string()
+    }
+
+    fn check_line(id: u64) -> String {
+        format!(
+            r#"{{"kind": "check", "id": {id}, "source": "{}"}}"#,
+            json_escape(LEAKY)
+        )
+    }
+
+    #[test]
+    fn routes_checks_and_forwards_shard_responses_verbatim() {
+        let a = shard("a");
+        let b = shard("b");
+        let router = Router::start(&RouteOptions {
+            shards: vec![a.local_addr().to_string(), b.local_addr().to_string()],
+            ..RouteOptions::default()
+        })
+        .unwrap();
+        let (mut reader, mut writer) = client(router.local_addr());
+
+        // The routed response is exactly what a bare shard renders.
+        let direct = {
+            let (mut r, mut w) = client(a.local_addr());
+            roundtrip(&mut r, &mut w, &check_line(1))
+        };
+        let routed = roundtrip(&mut reader, &mut writer, &check_line(1));
+        assert_eq!(routed, direct);
+        assert!(routed.contains("\"exit_code\": 1"), "{routed}");
+
+        // Same source → same key → same shard: stats shows exactly one
+        // shard served both repeats.
+        let again = roundtrip(&mut reader, &mut writer, &check_line(1));
+        assert_eq!(again, routed);
+        let stats = roundtrip(&mut reader, &mut writer, r#"{"kind": "stats"}"#);
+        assert!(stats.contains("\"routed\": 2"), "{stats}");
+
+        // Malformed lines get the same refusal a shard would render.
+        let bad = roundtrip(&mut reader, &mut writer, "this is not json");
+        assert!(bad.contains("malformed request"), "{bad}");
+
+        let health = roundtrip(&mut reader, &mut writer, r#"{"kind": "health"}"#);
+        assert!(health.contains("\"role\": \"router\""), "{health}");
+        assert!(health.contains("\"shards\": 2"), "{health}");
+
+        assert!(router.drain());
+        let _ = a.drain();
+        let _ = b.drain();
+    }
+
+    #[test]
+    fn retries_onto_the_surviving_replica_when_a_shard_dies() {
+        let a = shard("a");
+        let b = shard("b");
+        let dead_addr = a.local_addr();
+        let _ = a.drain(); // kill shard a: its port now refuses connections
+        let router = Router::start(&RouteOptions {
+            shards: vec![dead_addr.to_string(), b.local_addr().to_string()],
+            backoff_ms: 1,
+            ..RouteOptions::default()
+        })
+        .unwrap();
+        let (mut reader, mut writer) = client(router.local_addr());
+        // Whatever the ring picks first, every check must come back
+        // terminal off the surviving shard.
+        for id in 0..6 {
+            let resp = roundtrip(&mut reader, &mut writer, &check_line(id));
+            assert!(resp.contains("\"status\": \"ok\""), "{resp}");
+        }
+        let stats = roundtrip(&mut reader, &mut writer, r#"{"kind": "stats"}"#);
+        assert!(stats.contains("\"routed\": 6"), "{stats}");
+        assert!(router.drain());
+        let _ = b.drain();
+    }
+
+    #[test]
+    fn all_shards_dead_yields_a_typed_unavailable_not_a_hang() {
+        let a = shard("a");
+        let dead_addr = a.local_addr();
+        let _ = a.drain();
+        let router = Router::start(&RouteOptions {
+            shards: vec![dead_addr.to_string()],
+            retries: 2,
+            backoff_ms: 1,
+            deadline_ms: Some(2_000),
+            ..RouteOptions::default()
+        })
+        .unwrap();
+        let (mut reader, mut writer) = client(router.local_addr());
+        let resp = roundtrip(&mut reader, &mut writer, &check_line(1));
+        assert!(
+            resp.starts_with("{\"id\": 1, \"status\": \"unavailable\""),
+            "{resp}"
+        );
+        assert!(router.drain());
+    }
+
+    #[test]
+    fn draining_shard_is_diverted_from_after_one_refusal() {
+        let a = shard("a");
+        let b = shard("b");
+        let router = Router::start(&RouteOptions {
+            shards: vec![a.local_addr().to_string(), b.local_addr().to_string()],
+            backoff_ms: 1,
+            // Slow prober: the request path's own refusal handling must
+            // flip the draining flag, not the background probe.
+            probe_interval_ms: 60_000,
+            ..RouteOptions::default()
+        })
+        .unwrap();
+        // Drain shard a via the protocol; it stays up but refuses work.
+        {
+            let (mut r, mut w) = client(a.local_addr());
+            let resp = roundtrip(&mut r, &mut w, r#"{"kind": "shutdown"}"#);
+            assert!(resp.contains("draining"), "{resp}");
+        }
+        let (mut reader, mut writer) = client(router.local_addr());
+        for id in 0..6 {
+            let resp = roundtrip(&mut reader, &mut writer, &check_line(id));
+            assert!(resp.contains("\"status\": \"ok\""), "{resp}");
+        }
+        assert!(router.drain());
+        let _ = a.drain();
+        let _ = b.drain();
+    }
+}

@@ -45,6 +45,18 @@ pub struct ServeOptions {
     pub queue: usize,
     /// `--workers N` — analysis worker threads (0 = machine width).
     pub workers: usize,
+    /// `--shard NAME` — this daemon's fleet identity, echoed in
+    /// `health`/`stats` frames so a router can tell replicas apart.
+    pub shard: Option<String>,
+    /// `--epoch N` — incarnation counter for the shard identity. A
+    /// restarted shard should be started with a higher epoch; routers
+    /// treat an epoch change as "same slot, fresh process" (warm state
+    /// such as served counters starts over).
+    pub epoch: u64,
+    /// `--deadline-ms N` — operator ceiling on per-request analysis
+    /// time. Combined with any request-carried `deadline_ms` by taking
+    /// the minimum (see `GovernorConfig::tighten_deadline`).
+    pub deadline_ms: Option<u64>,
 }
 
 impl Default for ServeOptions {
@@ -55,6 +67,9 @@ impl Default for ServeOptions {
             socket: None,
             queue: core.capacity,
             workers: core.workers,
+            shard: None,
+            epoch: 0,
+            deadline_ms: None,
         }
     }
 }
@@ -151,6 +166,9 @@ struct Inner {
     core: ServeCore<Request, String>,
     telemetry: Arc<Telemetry>,
     start: Instant,
+    /// Fleet identity (`--shard`/`--epoch`), echoed in health/stats
+    /// frames; `", "shard": ..., "epoch": N"` or empty when unnamed.
+    identity_fragment: String,
     stop_accept: AtomicBool,
     shutdown_requested: AtomicBool,
     /// Responses admitted but not yet flushed to their socket; drain
@@ -187,6 +205,7 @@ fn run_check_source(
     telemetry: &Telemetry,
     source: &str,
     overrides: &CheckOverrides,
+    shard_deadline_ms: Option<u64>,
 ) -> Result<(i32, u64, bool, String), String> {
     let defaults = GovernorConfig::default();
     let faults = match &overrides.inject {
@@ -194,12 +213,16 @@ fn run_check_source(
         None => Default::default(),
     };
     let config = DetectorConfig {
+        // The request's remaining end-to-end budget (as rewritten by
+        // the router on each hop) and the shard's own ceiling combine
+        // by minimum, then flow into every QueryTicket of the run.
         governor: GovernorConfig {
             query_budget: overrides.query_budget.unwrap_or(defaults.query_budget),
             max_retries: overrides.max_retries.unwrap_or(defaults.max_retries),
             deadline_ms: overrides.deadline_ms,
             faults,
-        },
+        }
+        .tighten_deadline(shard_deadline_ms),
         jobs: 1,
         witnesses: overrides.explain,
         ..DetectorConfig::default()
@@ -305,6 +328,7 @@ impl Server {
 
         let telemetry = Arc::new(Telemetry::default());
         let handler_telemetry = Arc::clone(&telemetry);
+        let shard_deadline_ms = options.deadline_ms;
         let core = ServeCore::start(
             ServeConfig {
                 capacity: options.queue,
@@ -324,7 +348,12 @@ impl Server {
                     id,
                     source,
                     overrides,
-                } => match run_check_source(&handler_telemetry, &source, &overrides) {
+                } => match run_check_source(
+                    &handler_telemetry,
+                    &source,
+                    &overrides,
+                    shard_deadline_ms,
+                ) {
                     Ok((exit_code, reports, degraded, output)) => {
                         render_check_ok(&id, exit_code, reports, degraded, &output)
                     }
@@ -341,6 +370,14 @@ impl Server {
             core,
             telemetry,
             start: Instant::now(),
+            identity_fragment: match &options.shard {
+                Some(name) => format!(
+                    ", \"shard\": \"{}\", \"epoch\": {}",
+                    crate::protocol::json_escape(name),
+                    options.epoch
+                ),
+                None => String::new(),
+            },
             stop_accept: AtomicBool::new(false),
             shutdown_requested: AtomicBool::new(false),
             pending_replies: AtomicU64::new(0),
@@ -477,9 +514,16 @@ fn serve_connection<R: Read, W: Write>(reader: R, mut writer: W, inner: &Inner) 
             Err(e) => render_error(&None, &format!("malformed request: {e}")),
             Ok(Request::Health) => {
                 let stats = inner.core.stats();
+                // The state is the core's DrainState verbatim — the
+                // load-balancer contract is that `draining` appears
+                // here the moment admission closes (a `shutdown`
+                // request drains the core immediately, before the
+                // process-exit path catches up), so routers stop
+                // sending work early instead of eating refusals.
                 format!(
-                    "{{\"status\": \"ok\", \"state\": \"{}\", \"queue_depth\": {}, \"uptime_ms\": {}}}",
+                    "{{\"status\": \"ok\", \"state\": \"{}\"{}, \"queue_depth\": {}, \"uptime_ms\": {}}}",
                     inner.core.state().label(),
+                    inner.identity_fragment,
                     stats.queue_depth,
                     inner.start.elapsed().as_millis()
                 )
@@ -488,6 +532,7 @@ fn serve_connection<R: Read, W: Write>(reader: R, mut writer: W, inner: &Inner) 
                 let stats = inner.core.stats();
                 let mut out = String::from("{\"status\": \"ok\"");
                 let _ = write!(out, ", \"state\": \"{}\"", inner.core.state().label());
+                out.push_str(&inner.identity_fragment);
                 let _ = write!(out, ", \"admitted\": {}", stats.admitted);
                 let _ = write!(out, ", \"served\": {}", stats.served);
                 let _ = write!(out, ", \"shed\": {}", stats.shed);
@@ -509,6 +554,11 @@ fn serve_connection<R: Read, W: Write>(reader: R, mut writer: W, inner: &Inner) 
             }
             Ok(Request::Shutdown) => {
                 inner.shutdown_requested.store(true, Ordering::SeqCst);
+                // Close admission right here rather than waiting for
+                // the serve loop to notice: health probes observe
+                // `draining` immediately and routers divert traffic
+                // before it can be refused.
+                inner.core.begin_drain();
                 "{\"status\": \"ok\", \"state\": \"draining\"}".to_string()
             }
             Ok(req) => {
@@ -796,6 +846,83 @@ class Main {
             assert!(summary.drained_cleanly);
             assert_eq!(summary.stats.shed as usize, shed);
         });
+    }
+
+    #[test]
+    fn shard_identity_surfaces_and_shutdown_drains_health_immediately() {
+        let server = Server::start(&ServeOptions {
+            shard: Some("shard-a".to_string()),
+            epoch: 3,
+            ..ServeOptions::default()
+        })
+        .unwrap();
+        let (mut reader, mut writer) = client(server.local_addr());
+
+        let health = roundtrip(&mut reader, &mut writer, r#"{"kind": "health"}"#);
+        assert!(health.contains("\"shard\": \"shard-a\""), "{health}");
+        assert!(health.contains("\"epoch\": 3"), "{health}");
+        assert!(health.contains("\"state\": \"running\""), "{health}");
+        let stats = roundtrip(&mut reader, &mut writer, r#"{"kind": "stats"}"#);
+        assert!(stats.contains("\"shard\": \"shard-a\""), "{stats}");
+
+        let resp = roundtrip(&mut reader, &mut writer, r#"{"kind": "shutdown"}"#);
+        assert!(resp.contains("\"state\": \"draining\""), "{resp}");
+        // The DrainState flips the moment shutdown is acknowledged —
+        // before the serve loop runs the full drain — so a router's
+        // next health probe stops routing here early.
+        let health = roundtrip(&mut reader, &mut writer, r#"{"kind": "health"}"#);
+        assert!(health.contains("\"state\": \"draining\""), "{health}");
+        let refused = roundtrip(
+            &mut reader,
+            &mut writer,
+            &format!(
+                r#"{{"kind": "check", "id": 1, "source": "{}"}}"#,
+                crate::protocol::json_escape(LEAKY)
+            ),
+        );
+        assert!(refused.contains("\"status\": \"draining\""), "{refused}");
+        let summary = server.drain();
+        assert!(summary.drained_cleanly);
+        assert_eq!(summary.stats.admitted, 0);
+    }
+
+    #[test]
+    fn shard_deadline_ceiling_tightens_request_governance() {
+        // An operator-set --deadline-ms 0 means every check's governor
+        // starts expired: the analysis degrades soundly (the leak is
+        // still reported, tagged deadline-expired) instead of running
+        // unbounded — the shard-side half of end-to-end deadline
+        // propagation.
+        let server = Server::start(&ServeOptions {
+            deadline_ms: Some(0),
+            ..ServeOptions::default()
+        })
+        .unwrap();
+        let (mut reader, mut writer) = client(server.local_addr());
+        let resp = roundtrip(
+            &mut reader,
+            &mut writer,
+            &format!(
+                r#"{{"kind": "check", "id": 1, "source": "{}"}}"#,
+                crate::protocol::json_escape(LEAKY)
+            ),
+        );
+        assert!(resp.contains("\"status\": \"ok\""), "{resp}");
+        assert!(resp.contains("\"degraded\": true"), "{resp}");
+        assert!(resp.contains("(degraded: deadline-expired)"), "{resp}");
+        // A request-carried deadline cannot *loosen* the shard ceiling
+        // (min wins), so an explicit generous value still degrades.
+        let resp = roundtrip(
+            &mut reader,
+            &mut writer,
+            &format!(
+                r#"{{"kind": "check", "id": 2, "source": "{}", "deadline_ms": 60000}}"#,
+                crate::protocol::json_escape(LEAKY)
+            ),
+        );
+        assert!(resp.contains("\"degraded\": true"), "{resp}");
+        let summary = server.drain();
+        assert!(summary.drained_cleanly);
     }
 
     #[test]

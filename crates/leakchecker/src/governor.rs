@@ -160,6 +160,25 @@ impl Default for GovernorConfig {
     }
 }
 
+impl GovernorConfig {
+    /// Tightens the deadline to `min(current, other)`, treating `None`
+    /// as unbounded. This is how an end-to-end deadline propagates down
+    /// the serve stack: the router computes the *remaining* budget of a
+    /// request each time it forwards it, the shard combines that with
+    /// its own operator-set ceiling, and the result reaches every
+    /// [`crate::refine::QueryTicket`] of the run — so a request whose
+    /// time is spent degrades soundly (Andersen fallback, exit 3
+    /// semantics) instead of hanging past its caller's patience.
+    #[must_use]
+    pub fn tighten_deadline(mut self, other_ms: Option<u64>) -> GovernorConfig {
+        self.deadline_ms = match (self.deadline_ms, other_ms) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self
+    }
+}
+
 /// Snapshot of the governor's degradation counters.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct GovernorStats {
@@ -221,6 +240,18 @@ impl Governor {
     /// The resolved wall-clock deadline, if any.
     pub fn deadline(&self) -> Option<Instant> {
         self.deadline
+    }
+
+    /// Milliseconds left until the deadline (`None` when unbounded,
+    /// `Some(0)` once expired). Routers and shards use this to thread
+    /// the *remaining* budget — never the original one — into
+    /// downstream retries and forwarded frames.
+    pub fn remaining_ms(&self) -> Option<u64> {
+        self.deadline.map(|deadline| {
+            deadline
+                .saturating_duration_since(Instant::now())
+                .as_millis() as u64
+        })
     }
 
     /// Requests cooperative cancellation of all in-flight governed
@@ -376,6 +407,34 @@ mod tests {
         });
         assert!(g.real_deadline_expired());
         assert!(g.cancelled(), "first observer cancels everyone else");
+    }
+
+    #[test]
+    fn deadline_tightening_takes_the_minimum_and_propagates_remaining() {
+        let base = GovernorConfig::default();
+        assert_eq!(base.tighten_deadline(None).deadline_ms, None);
+        assert_eq!(base.tighten_deadline(Some(500)).deadline_ms, Some(500));
+        let shard = GovernorConfig {
+            deadline_ms: Some(1000),
+            ..GovernorConfig::default()
+        };
+        assert_eq!(shard.tighten_deadline(None).deadline_ms, Some(1000));
+        assert_eq!(shard.tighten_deadline(Some(200)).deadline_ms, Some(200));
+        assert_eq!(shard.tighten_deadline(Some(5000)).deadline_ms, Some(1000));
+
+        let g = Governor::new(GovernorConfig::default());
+        assert_eq!(g.remaining_ms(), None, "unbounded run has no budget");
+        let g = Governor::new(GovernorConfig {
+            deadline_ms: Some(60_000),
+            ..GovernorConfig::default()
+        });
+        let remaining = g.remaining_ms().unwrap();
+        assert!(remaining <= 60_000 && remaining > 55_000, "{remaining}");
+        let g = Governor::new(GovernorConfig {
+            deadline_ms: Some(0),
+            ..GovernorConfig::default()
+        });
+        assert_eq!(g.remaining_ms(), Some(0), "expired clamps to zero");
     }
 
     #[test]

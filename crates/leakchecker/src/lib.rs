@@ -80,6 +80,9 @@ pub use parallel::{
 pub use persist::write_atomic;
 pub use refine::{Refinement, SiteVerdict};
 pub use report::{render_all, LeakReport};
-pub use server::{DrainState, ServeConfig, ServeCore, ServeStats, SubmitError};
+pub use server::{
+    route_key, BreakerConfig, BreakerState, BreakerStats, CircuitBreaker, DrainState, HashRing,
+    ServeConfig, ServeCore, ServeStats, SubmitError,
+};
 pub use target::{CheckTarget, ResolvedTarget, TargetError};
 pub use witness::{ChainHop, EscapeChain, HopBase, QueryTrace, StmtAnchor, StmtIndex};

@@ -27,6 +27,7 @@ use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Sizing knobs for the service core.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -264,10 +265,266 @@ fn worker_loop<Req: Send, Resp: Send>(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Fleet primitives: the circuit breaker and the consistent-hash ring.
+//
+// Both are transport-agnostic — the `leakc route` coordinator wires
+// them to sockets, and the chaos harness drives them in-process. They
+// live here (next to `ServeCore`) because they are the replica-aware
+// half of the serve contract: a shard that stops answering must be
+// evicted from routing *without* losing accepted work, and a recovered
+// shard must be re-admitted through a controlled probe, never a
+// thundering herd.
+
+/// Tuning for one shard's [`CircuitBreaker`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive transport failures that trip `Closed → Open`.
+    pub failure_threshold: u32,
+    /// How long an open breaker refuses traffic before allowing one
+    /// half-open probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(250),
+        }
+    }
+}
+
+/// The breaker's observable state.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: every request is admitted.
+    Closed,
+    /// Tripped: requests are refused until the cooldown elapses.
+    Open,
+    /// Cooled down: exactly one probe is in flight; its outcome decides
+    /// `Closed` (success) or `Open` again (failure).
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase label (used by the router's `stats` reply).
+    pub fn label(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// Lifetime counters of one breaker (surfaced by the router's `stats`
+/// verb so chaos tests can observe the half-open re-admission path).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct BreakerStats {
+    /// Transport failures recorded.
+    pub failures: u64,
+    /// `Closed → Open` transitions.
+    pub opened: u64,
+    /// Probes admitted in the half-open state.
+    pub half_open_probes: u64,
+    /// `HalfOpen → Closed` recoveries (a probe succeeded).
+    pub closed_from_half_open: u64,
+    /// `HalfOpen → Open` relapses (a probe failed).
+    pub reopened: u64,
+}
+
+/// Per-shard circuit breaker: `Closed → Open` after
+/// [`BreakerConfig::failure_threshold`] consecutive transport failures,
+/// `Open → HalfOpen` after the cooldown, and the single half-open
+/// probe's outcome decides between `Closed` and `Open`.
+///
+/// Time is passed in explicitly (`now: Instant`) so the state machine
+/// is testable without sleeping and the router can drive every breaker
+/// off one clock read per request.
+#[derive(Clone, Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+    stats: BreakerStats,
+}
+
+impl CircuitBreaker {
+    /// A closed (healthy) breaker.
+    pub fn new(config: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at: None,
+            stats: BreakerStats::default(),
+        }
+    }
+
+    /// Should a request be sent to this shard right now? `Closed`
+    /// always admits; `Open` admits nothing until the cooldown elapses,
+    /// at which point the breaker moves to `HalfOpen` and admits
+    /// exactly one probe; `HalfOpen` refuses everything else until the
+    /// in-flight probe reports back.
+    pub fn admit(&mut self, now: Instant) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::HalfOpen => false,
+            BreakerState::Open => {
+                let cooled = self
+                    .opened_at
+                    .is_none_or(|at| now.duration_since(at) >= self.config.cooldown);
+                if cooled {
+                    self.state = BreakerState::HalfOpen;
+                    self.stats.half_open_probes += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a successful exchange (the shard answered — even an
+    /// `overloaded` shed proves the process is alive).
+    pub fn record_success(&mut self) {
+        if self.state == BreakerState::HalfOpen {
+            self.stats.closed_from_half_open += 1;
+        }
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+        self.opened_at = None;
+    }
+
+    /// Records a transport failure (refused/reset connection, read
+    /// timeout, torn frame).
+    pub fn record_failure(&mut self, now: Instant) {
+        self.stats.failures += 1;
+        match self.state {
+            BreakerState::HalfOpen => {
+                // The probe failed: relapse to open and restart the
+                // cooldown from now.
+                self.state = BreakerState::Open;
+                self.opened_at = Some(now);
+                self.stats.reopened += 1;
+            }
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.config.failure_threshold {
+                    self.state = BreakerState::Open;
+                    self.opened_at = Some(now);
+                    self.stats.opened += 1;
+                }
+            }
+            BreakerState::Open => {
+                // Extra failures while open (e.g. a losing hedge)
+                // restart the cooldown.
+                self.opened_at = Some(now);
+            }
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> BreakerStats {
+        self.stats
+    }
+}
+
+/// 64-bit finalizer (SplitMix64's mixing function): cheap, stateless,
+/// and well-distributed — exactly what ring-point placement needs.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a byte string: the routing key for a request (the check
+/// source text). Stable across processes and platforms, so every router
+/// instance agrees on placement.
+pub fn route_key(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A consistent-hash ring over `nodes` shard slots, each placed at
+/// `vnodes` pseudo-random points. [`HashRing::preference`] walks the
+/// ring clockwise from a key and returns every distinct node in
+/// encounter order — the primary first, then the replicas a router
+/// should fail over to. Adding or removing one node relocates only the
+/// keys whose arc it owned, which is the property that lets a fleet
+/// resize without a full cache/affinity reshuffle.
+#[derive(Clone, Debug)]
+pub struct HashRing {
+    /// `(ring position, node index)`, sorted by position.
+    points: Vec<(u64, usize)>,
+    nodes: usize,
+}
+
+impl HashRing {
+    /// Builds a ring over node indices `0..nodes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `nodes` or `vnodes` is zero.
+    pub fn new(nodes: usize, vnodes: usize) -> HashRing {
+        assert!(nodes > 0, "ring needs at least one node");
+        assert!(vnodes > 0, "ring needs at least one vnode per node");
+        let mut points = Vec::with_capacity(nodes * vnodes);
+        for node in 0..nodes {
+            for vnode in 0..vnodes {
+                let point = mix64((node as u64) << 32 | vnode as u64);
+                points.push((point, node));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points, nodes }
+    }
+
+    /// Number of nodes on the ring.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Every node in ring order starting at `key`'s successor: the
+    /// primary placement followed by the fail-over replicas.
+    pub fn preference(&self, key: u64) -> Vec<usize> {
+        let start = self.points.partition_point(|&(p, _)| p < key);
+        let mut seen = vec![false; self.nodes];
+        let mut order = Vec::with_capacity(self.nodes);
+        for i in 0..self.points.len() {
+            let (_, node) = self.points[(start + i) % self.points.len()];
+            if !seen[node] {
+                seen[node] = true;
+                order.push(node);
+                if order.len() == self.nodes {
+                    break;
+                }
+            }
+        }
+        order
+    }
+
+    /// The primary node for `key`.
+    pub fn primary(&self, key: u64) -> usize {
+        self.preference(key)[0]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::time::Duration;
 
     fn quiet_panics<R>(f: impl FnOnce() -> R) -> R {
         let hook = std::panic::take_hook();
@@ -432,5 +689,186 @@ mod tests {
         let stats = core.shutdown();
         assert_eq!(stats.served, total_ok);
         assert_eq!(stats.shed, total_shed);
+    }
+
+    #[test]
+    fn concurrent_drain_overload_and_panics_lose_no_accepted_request() {
+        // The three failure modes together: submitters racing a
+        // mid-flight begin_drain, a queue small enough to shed, and a
+        // handler that panics on a third of the inputs. The contract
+        // under the combination: every submission gets exactly one
+        // synchronous verdict, every *accepted* request gets exactly
+        // one response (panicked ones as Err), and the final counters
+        // balance — admitted == served, shed == refusals observed.
+        quiet_panics(|| {
+            let core = Arc::new(ServeCore::start(
+                ServeConfig {
+                    capacity: 3,
+                    workers: 2,
+                },
+                |x: u32| {
+                    std::thread::sleep(Duration::from_millis(1));
+                    if x.is_multiple_of(3) {
+                        panic!("chaos handler panic on {x}");
+                    }
+                    x + 1
+                },
+            ));
+            let drainer = {
+                let core = Arc::clone(&core);
+                std::thread::spawn(move || {
+                    std::thread::sleep(Duration::from_millis(20));
+                    core.begin_drain();
+                })
+            };
+            let outcomes: Vec<(u64, u64, u64, u64)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..6)
+                    .map(|t| {
+                        let core = Arc::clone(&core);
+                        scope.spawn(move || {
+                            let (mut ok, mut panicked, mut shed, mut drained) = (0, 0, 0, 0u64);
+                            for i in 0..40u32 {
+                                let x = t * 1000 + i;
+                                match core.submit(x) {
+                                    Ok(rx) => {
+                                        // An accepted request must be
+                                        // answered even while draining.
+                                        match rx.recv().expect("accepted request answered") {
+                                            Ok(v) => {
+                                                assert_eq!(v, x + 1);
+                                                ok += 1;
+                                            }
+                                            Err(msg) => {
+                                                assert!(
+                                                    msg.contains("chaos handler panic"),
+                                                    "{msg}"
+                                                );
+                                                panicked += 1;
+                                            }
+                                        }
+                                    }
+                                    Err(SubmitError::Overloaded { .. }) => shed += 1,
+                                    Err(SubmitError::Draining) => drained += 1,
+                                }
+                            }
+                            (ok, panicked, shed, drained)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            drainer.join().unwrap();
+            let total: u64 = outcomes.iter().map(|o| o.0 + o.1 + o.2 + o.3).sum();
+            assert_eq!(total, 240, "every submission got exactly one verdict");
+            let ok: u64 = outcomes.iter().map(|o| o.0).sum();
+            let panicked: u64 = outcomes.iter().map(|o| o.1).sum();
+            let shed: u64 = outcomes.iter().map(|o| o.2).sum();
+            let core = Arc::into_inner(core).expect("all submitters done");
+            let stats = core.shutdown();
+            assert_eq!(stats.admitted, ok + panicked, "admitted = answered");
+            assert_eq!(stats.served, stats.admitted, "drain finished the queue");
+            assert_eq!(stats.panicked, panicked);
+            assert_eq!(stats.shed, shed);
+            assert_eq!(stats.queue_depth, 0);
+        });
+    }
+
+    #[test]
+    fn breaker_walks_closed_open_half_open_closed() {
+        let config = BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(100),
+        };
+        let mut breaker = CircuitBreaker::new(config);
+        let t0 = Instant::now();
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        assert!(breaker.admit(t0));
+
+        // Two failures: still closed (threshold is 3).
+        breaker.record_failure(t0);
+        breaker.record_failure(t0);
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        // A success resets the consecutive count.
+        breaker.record_success();
+        breaker.record_failure(t0);
+        breaker.record_failure(t0);
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        // Third consecutive failure trips it.
+        breaker.record_failure(t0);
+        assert_eq!(breaker.state(), BreakerState::Open);
+        assert_eq!(breaker.stats().opened, 1);
+
+        // Open refuses until the cooldown elapses...
+        assert!(!breaker.admit(t0 + Duration::from_millis(50)));
+        // ...then admits exactly one half-open probe.
+        let t1 = t0 + Duration::from_millis(100);
+        assert!(breaker.admit(t1));
+        assert_eq!(breaker.state(), BreakerState::HalfOpen);
+        assert!(!breaker.admit(t1), "only one probe in flight");
+        assert_eq!(breaker.stats().half_open_probes, 1);
+
+        // Probe failure relapses to open and restarts the cooldown.
+        breaker.record_failure(t1);
+        assert_eq!(breaker.state(), BreakerState::Open);
+        assert_eq!(breaker.stats().reopened, 1);
+        assert!(!breaker.admit(t1 + Duration::from_millis(99)));
+        let t2 = t1 + Duration::from_millis(100);
+        assert!(breaker.admit(t2));
+
+        // Probe success closes the breaker for good.
+        breaker.record_success();
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        assert_eq!(breaker.stats().closed_from_half_open, 1);
+        assert!(breaker.admit(t2));
+        let stats = breaker.stats();
+        assert_eq!(stats.failures, 6);
+        assert_eq!(stats.half_open_probes, 2);
+    }
+
+    #[test]
+    fn ring_preference_is_stable_total_and_mostly_sticky() {
+        let ring = HashRing::new(3, 64);
+        assert_eq!(ring.nodes(), 3);
+        // Preference lists are permutations of every node and are a
+        // pure function of the key.
+        for key in [0u64, 1, 42, u64::MAX, route_key(b"class Main { }")] {
+            let pref = ring.preference(key);
+            let mut sorted = pref.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2], "{pref:?}");
+            assert_eq!(pref, ring.preference(key));
+            assert_eq!(pref[0], ring.primary(key));
+        }
+        // Placement is reasonably balanced across many keys.
+        let mut counts = [0usize; 3];
+        for i in 0..3000u64 {
+            counts[ring.primary(route_key(&i.to_le_bytes()))] += 1;
+        }
+        for &c in &counts {
+            assert!((500..=1800).contains(&c), "unbalanced ring: {counts:?}");
+        }
+        // Consistency: growing 3 -> 4 nodes moves only the keys the new
+        // node takes over — keys that stay on 0..=2 keep their primary.
+        let grown = HashRing::new(4, 64);
+        let mut moved_between_old_nodes = 0;
+        for i in 0..3000u64 {
+            let key = route_key(&i.to_le_bytes());
+            let (before, after) = (ring.primary(key), grown.primary(key));
+            if after != before && after != 3 {
+                moved_between_old_nodes += 1;
+            }
+        }
+        assert_eq!(
+            moved_between_old_nodes, 0,
+            "consistent hashing must not reshuffle keys between surviving nodes"
+        );
+    }
+
+    #[test]
+    fn route_key_is_stable() {
+        // Pinned FNV-1a values: routers on different hosts must agree.
+        assert_eq!(route_key(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(route_key(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(route_key(b"program-a"), route_key(b"program-b"));
     }
 }

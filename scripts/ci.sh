@@ -106,6 +106,74 @@ serve_smoke 1 "$tmpdir/responses-w1.txt"
 serve_smoke 8 "$tmpdir/responses-w8.txt"
 cmp "$tmpdir/responses-w1.txt" "$tmpdir/responses-w8.txt"
 
+echo "==> fleet chaos smoke (3 shards + router, kill -9 one shard mid-flight)"
+# The byte-identical-under-chaos gate from DESIGN.md §14: a campaign
+# through a 3-shard router with one shard kill -9'd mid-flight must
+# produce exactly the bytes of the same campaign against a fault-free
+# single-shard fleet, and the router must still drain cleanly (exit 0).
+# --checks-only keeps health/stats out of the mix, since those frames
+# legitimately describe the fleet shape.
+wait_addr() {
+  local log="$1" addr=""
+  for _ in $(seq 1 100); do
+    addr="$(grep -om1 '127.0.0.1:[0-9]*' "$log" 2>/dev/null || true)"
+    [ -n "$addr" ] && break
+    sleep 0.1
+  done
+  if [ -z "$addr" ]; then
+    echo "fleet smoke: process never bound ($log)" >&2
+    exit 1
+  fi
+  echo "$addr"
+}
+# Fault-free baseline: one shard behind a router.
+"$leakc" serve --addr 127.0.0.1:0 --shard base \
+  > "$tmpdir/fleet-base.log" 2>/dev/null &
+base_pid=$!
+"$leakc" route --shard "$(wait_addr "$tmpdir/fleet-base.log")" \
+  > "$tmpdir/route-base.log" 2>/dev/null &
+base_router_pid=$!
+"$soak" --connect "$(wait_addr "$tmpdir/route-base.log")" \
+  --mixed 60 --checks-only > "$tmpdir/fleet-baseline.txt"
+kill -TERM "$base_router_pid" "$base_pid"
+wait "$base_router_pid" "$base_pid" || {
+  echo "fleet smoke: baseline router/shard did not drain cleanly" >&2
+  exit 1
+}
+# Chaos run: three shards, one of them murdered mid-campaign.
+shard_pids=()
+shard_flags=()
+for i in 0 1 2; do
+  "$leakc" serve --addr 127.0.0.1:0 --shard "shard-$i" \
+    > "$tmpdir/fleet-s$i.log" 2>/dev/null &
+  shard_pids+=($!)
+done
+for i in 0 1 2; do
+  shard_flags+=(--shard "$(wait_addr "$tmpdir/fleet-s$i.log")")
+done
+"$leakc" route "${shard_flags[@]}" > "$tmpdir/route-chaos.log" 2>/dev/null &
+router_pid=$!
+"$soak" --connect "$(wait_addr "$tmpdir/route-chaos.log")" \
+  --mixed 60 --checks-only > "$tmpdir/fleet-chaos.txt" &
+soak_pid=$!
+sleep 0.3
+kill -9 "${shard_pids[0]}" 2>/dev/null || true
+wait "$soak_pid" || {
+  echo "fleet smoke: soak campaign failed while a shard was down" >&2
+  exit 1
+}
+cmp "$tmpdir/fleet-baseline.txt" "$tmpdir/fleet-chaos.txt"
+kill -TERM "$router_pid"
+rc=0
+wait "$router_pid" || rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "fleet smoke: router exited $rc after chaos, want 0" >&2
+  exit 1
+fi
+kill -TERM "${shard_pids[1]}" "${shard_pids[2]}"
+wait "${shard_pids[1]}" "${shard_pids[2]}" || true
+wait "${shard_pids[0]}" 2>/dev/null || true
+
 echo "==> witness determinism (--explain/--trace, jobs 1 vs 8, all exemplars)"
 # Witness output is a pure function of the program: for every corpus
 # exemplar the --explain render (modulo the timing header) and the

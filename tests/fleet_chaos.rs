@@ -1,0 +1,359 @@
+//! Fleet chaos harness: proves the `leakc route` coordinator masks
+//! shard faults without changing a single response byte.
+//!
+//! The contract under test (DESIGN.md §14): check responses carry no
+//! shard identity or timing, and the analysis is deterministic, so a
+//! campaign through a router over N shards — one of them being killed,
+//! stalled, dropping connections, or tearing frames mid-response —
+//! must produce *byte-identical* output to the same campaign against a
+//! fault-free single-shard fleet. Every accepted request gets exactly
+//! one response; a recovered shard is re-admitted through the
+//! breaker's half-open probe.
+
+use leakchecker_bench::chaos::{parse_chaos_plan, ChaosPlan, ChaosProxy};
+use leakchecker_cli::protocol::{json_escape, parse_json, Json};
+use leakchecker_cli::{RouteOptions, Router, ServeOptions, Server};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// The leaky exemplar; the campaign varies the array size so the
+/// routing key (an FNV-1a hash of the source) spreads requests across
+/// all shards instead of pinning every check to one replica.
+const LEAKY: &str = "\
+class Item { int tag; }
+class Registry { Item[] slots; int n;
+  void put(Item it) { slots[n] = it; n = n + 1; } }
+class Main {
+  static void main() {
+    Registry r = new Registry(); r.slots = new Item[4096];
+    @check while (nondet()) { Item it = new Item(); r.put(it); } } }";
+
+const CAMPAIGN_LEN: usize = 24;
+
+/// The deterministic campaign: mostly plain checks over per-index
+/// source variants, with a governed check and a malformed line mixed
+/// in. No health/stats — those frames legitimately differ between a
+/// shard and a router, and between fleet shapes.
+fn request_for(index: usize) -> String {
+    match index % 8 {
+        3 => format!(
+            r#"{{"kind": "check", "id": {index}, "source": "{}", "query_budget": 1, "max_retries": 0}}"#,
+            json_escape(&variant(index))
+        ),
+        6 => "this line is not json".to_string(),
+        _ => format!(
+            r#"{{"kind": "check", "id": {index}, "source": "{}"}}"#,
+            json_escape(&variant(index))
+        ),
+    }
+}
+
+fn variant(index: usize) -> String {
+    LEAKY.replace("4096", &format!("{}", 4096 + index))
+}
+
+/// Strips timing fields (none appear in check responses today, but the
+/// comparison must not silently start depending on them).
+fn normalize(line: &str) -> String {
+    let Ok(Json::Obj(fields)) = parse_json(line) else {
+        return line.to_string();
+    };
+    let rendered: Vec<String> = fields
+        .iter()
+        .map(|(key, value)| match key.as_str() {
+            "uptime_ms" | "phases" => format!("\"{key}\": \"<timing>\""),
+            _ => format!("\"{key}\": {}", render(value)),
+        })
+        .collect();
+    format!("{{{}}}", rendered.join(", "))
+}
+
+fn render(value: &Json) -> String {
+    match value {
+        Json::Null => "null".to_string(),
+        Json::Bool(b) => b.to_string(),
+        Json::Num(n) => n.to_string(),
+        Json::Str(s) => format!("\"{}\"", json_escape(s)),
+        Json::Arr(items) => {
+            let inner: Vec<String> = items.iter().map(render).collect();
+            format!("[{}]", inner.join(", "))
+        }
+        Json::Obj(fields) => {
+            let inner: Vec<String> = fields
+                .iter()
+                .map(|(k, v)| format!("\"{k}\": {}", render(v)))
+                .collect();
+            format!("{{{}}}", inner.join(", "))
+        }
+    }
+}
+
+struct Fleet {
+    shards: Vec<Server>,
+    proxy: Option<ChaosProxy>,
+    router: Router,
+}
+
+impl Fleet {
+    /// `size` shards behind a router; when `plan` is non-empty, shard 0
+    /// sits behind a chaos proxy that injects the plan's faults.
+    fn start(size: usize, plan: ChaosPlan, hedge_ms: Option<u64>) -> Fleet {
+        let shards: Vec<Server> = (0..size)
+            .map(|i| {
+                Server::start(&ServeOptions {
+                    shard: Some(format!("shard-{i}")),
+                    workers: 2,
+                    ..ServeOptions::default()
+                })
+                .expect("start shard")
+            })
+            .collect();
+        let mut addrs: Vec<String> = shards.iter().map(|s| s.local_addr().to_string()).collect();
+        let proxy = if plan.is_empty() {
+            None
+        } else {
+            let proxy = ChaosProxy::start(shards[0].local_addr(), plan).expect("start proxy");
+            addrs[0] = proxy.local_addr().to_string();
+            Some(proxy)
+        };
+        let router = Router::start(&RouteOptions {
+            shards: addrs,
+            retries: 6,
+            backoff_ms: 5,
+            hedge_ms,
+            breaker_cooldown_ms: 150,
+            probe_interval_ms: 20,
+            ..RouteOptions::default()
+        })
+        .expect("start router");
+        Fleet {
+            shards,
+            proxy,
+            router,
+        }
+    }
+
+    /// One connection, the whole campaign, one normalized line each.
+    fn run_campaign(&self) -> Vec<String> {
+        let stream = TcpStream::connect(self.router.local_addr()).expect("connect router");
+        let _ = stream.set_nodelay(true);
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = stream;
+        let mut responses = Vec::new();
+        for index in 0..CAMPAIGN_LEN {
+            writer
+                .write_all(format!("{}\n", request_for(index)).as_bytes())
+                .expect("write request");
+            writer.flush().expect("flush");
+            let mut line = String::new();
+            let n = reader.read_line(&mut line).expect("read response");
+            assert!(n > 0, "router closed mid-campaign at request {index}");
+            responses.push(normalize(line.trim_end()));
+        }
+        responses
+    }
+
+    fn router_stats(&self) -> Json {
+        let stream = TcpStream::connect(self.router.local_addr()).expect("connect router");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = stream;
+        writer.write_all(b"{\"kind\": \"stats\"}\n").expect("write");
+        writer.flush().expect("flush");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read stats");
+        parse_json(line.trim_end()).expect("stats is json")
+    }
+
+    fn shutdown(self) {
+        if let Some(proxy) = self.proxy {
+            proxy.stop();
+        }
+        self.router.request_shutdown();
+        assert!(self.router.drain(), "router must drain cleanly");
+        for shard in self.shards {
+            shard.drain();
+        }
+    }
+}
+
+fn num(value: &Json) -> i64 {
+    match value {
+        Json::Num(n) => *n,
+        other => panic!("expected number, got {other:?}"),
+    }
+}
+
+fn field<'a>(obj: &'a Json, key: &str) -> &'a Json {
+    match obj {
+        Json::Obj(fields) => fields.get(key).unwrap_or_else(|| panic!("missing {key}")),
+        other => panic!("expected object, got {other:?}"),
+    }
+}
+
+/// The shard-0 entry of the router's per-shard stats array (the one
+/// behind the chaos proxy).
+fn shard0_stats(stats: &Json) -> &Json {
+    match field(stats, "shards") {
+        Json::Arr(items) => &items[0],
+        other => panic!("expected shards array, got {other:?}"),
+    }
+}
+
+fn assert_no_unavailable(responses: &[String]) {
+    for (i, line) in responses.iter().enumerate() {
+        assert!(
+            !line.contains("\"status\": \"unavailable\""),
+            "request {i} was dropped on the floor: {line}"
+        );
+    }
+}
+
+/// The fault matrix: every fault kind, firing both early (while the
+/// first routed requests are still queueing) and late (mid-campaign,
+/// while earlier analyses are in flight). Each cell must be
+/// byte-identical to the fault-free single-shard baseline.
+#[test]
+fn responses_are_byte_identical_under_fault_matrix() {
+    let baseline_fleet = Fleet::start(1, ChaosPlan::default(), None);
+    let baseline = baseline_fleet.run_campaign();
+    baseline_fleet.shutdown();
+    assert_eq!(baseline.len(), CAMPAIGN_LEN);
+    assert_no_unavailable(&baseline);
+
+    let plans = [
+        "kill@0:400",
+        "kill@2",
+        "stall@0:120",
+        "stall@2:120",
+        "drop@0",
+        "drop@2",
+        "torn@0",
+        "torn@2",
+    ];
+    for spec in plans {
+        let plan = parse_chaos_plan(spec).expect("valid plan");
+        let fleet = Fleet::start(3, plan, None);
+        let responses = fleet.run_campaign();
+        let faulted = fleet.proxy.as_ref().expect("proxy").work_requests_seen();
+        fleet.shutdown();
+        assert_eq!(
+            responses, baseline,
+            "fault plan `{spec}` changed response bytes (proxy saw {faulted} work requests)"
+        );
+        assert_no_unavailable(&responses);
+    }
+}
+
+/// A killed-then-revived shard must be re-admitted through the
+/// breaker: the router's stats have to show at least one half-open
+/// probe and the breaker back in `closed` for shard 0.
+#[test]
+fn breaker_readmits_revived_shard_via_half_open_probe() {
+    let plan = parse_chaos_plan("kill@0:300").expect("valid plan");
+    let fleet = Fleet::start(3, plan, None);
+    let responses = fleet.run_campaign();
+    assert_eq!(responses.len(), CAMPAIGN_LEN);
+    assert_no_unavailable(&responses);
+
+    // The campaign triggered the kill; now the health prober has to
+    // trip the breaker on the dead proxy port, cool down, half-open
+    // probe, fail or succeed depending on the revival clock, and
+    // eventually close again once the proxy serves traffic anew.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut readmitted = false;
+    while Instant::now() < deadline {
+        let stats = fleet.router_stats();
+        let shard0 = shard0_stats(&stats);
+        let probes = num(field(shard0, "half_open_probes"));
+        let breaker = field(shard0, "breaker");
+        if probes >= 1 && matches!(breaker, Json::Str(s) if s == "closed") {
+            readmitted = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert!(
+        readmitted,
+        "breaker never re-admitted the revived shard: {:?}",
+        fleet.router_stats()
+    );
+
+    // And the re-admitted shard must actually serve again: a fresh
+    // campaign with the fault spent must route some work to shard 0.
+    let before = num(field(shard0_stats(&fleet.router_stats()), "served"));
+    let responses = fleet.run_campaign();
+    assert_no_unavailable(&responses);
+    let after = num(field(shard0_stats(&fleet.router_stats()), "served"));
+    assert!(
+        after > before,
+        "revived shard served nothing ({before} -> {after})"
+    );
+    fleet.shutdown();
+}
+
+/// With hedging enabled, a stalled shard must not cost the client the
+/// stall: the router races a second replica and takes its answer.
+#[test]
+fn hedging_wins_against_a_stalled_shard() {
+    let plan = parse_chaos_plan("stall@0:1500").expect("valid plan");
+    let fleet = Fleet::start(3, plan, Some(40));
+    let begin = Instant::now();
+    let responses = fleet.run_campaign();
+    let elapsed = begin.elapsed();
+    assert_eq!(responses.len(), CAMPAIGN_LEN);
+    assert_no_unavailable(&responses);
+    let stats = fleet.router_stats();
+    let hedge_wins = num(field(&stats, "hedge_wins"));
+    assert!(
+        hedge_wins >= 1,
+        "expected at least one hedge win, stats: {stats:?}"
+    );
+    assert!(
+        elapsed < Duration::from_millis(1500),
+        "campaign waited out the stall ({elapsed:?}) instead of hedging past it"
+    );
+    fleet.shutdown();
+}
+
+/// When no replica can answer, the router must degrade to a *typed*
+/// unavailable response — a parseable frame naming the exhausted
+/// budget, never a hang or a dropped connection.
+#[test]
+fn all_shards_dead_yields_typed_unavailable() {
+    // Bind-then-drop two listeners to get ports that refuse connections.
+    let dead: Vec<String> = (0..2)
+        .map(|_| {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+            listener.local_addr().expect("addr").to_string()
+        })
+        .collect();
+    let router = Router::start(&RouteOptions {
+        shards: dead,
+        retries: 1,
+        backoff_ms: 1,
+        attempt_timeout_ms: 500,
+        probe_interval_ms: 60_000,
+        ..RouteOptions::default()
+    })
+    .expect("start router");
+    let stream = TcpStream::connect(router.local_addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    writer
+        .write_all(format!("{}\n", request_for(0)).as_bytes())
+        .expect("write");
+    writer.flush().expect("flush");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read");
+    assert!(
+        line.contains("\"status\": \"unavailable\""),
+        "expected typed unavailable, got: {line}"
+    );
+    assert!(
+        line.contains("no replica answered"),
+        "unavailable frame must explain itself: {line}"
+    );
+    router.request_shutdown();
+    router.drain();
+}
