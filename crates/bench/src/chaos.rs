@@ -24,9 +24,26 @@
 //! The proxy never invents response bytes, so everything a client does
 //! receive through it is something the shard really said — the chaos
 //! tests' byte-identical assertion rests on that.
+//!
+//! The harness also injects *disk* faults into a persistent summary
+//! cache file ([`parse_disk_plan`] / [`apply_disk_plan`]), keyed by
+//! record index (line 0 is the header):
+//!
+//! * `torn-cache@N` — cut the file mid-record N, no trailing newline
+//!   (a process killed mid-append; the loader must truncate the torn
+//!   tail).
+//! * `flip@N:byte` — invert one byte of record N (bit rot / partial
+//!   sector write; the record checksum must catch it).
+//! * `trunc@N` — truncate the file at the start of record N (a lost
+//!   tail after an fsync barrier was skipped).
+//!
+//! The cache's contract under every one of these is *degrade to a
+//! miss, never to a wrong answer* — the chaos gate re-checks warm
+//! after injection and byte-compares against a cache-disabled run.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -341,6 +358,189 @@ impl ChaosProxy {
     }
 }
 
+/// One injectable cache-file fault.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum DiskFault {
+    /// Cut the file partway through this record, dropping everything
+    /// after it and leaving no trailing newline.
+    TornCache,
+    /// Invert one byte of the record (offset clamped inside the
+    /// record's content, never its terminating newline).
+    Flip {
+        /// Byte offset within the record to invert.
+        byte: usize,
+    },
+    /// Truncate the file at the start of this record.
+    Trunc,
+}
+
+/// A deterministic cache-file fault schedule keyed by record index.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DiskPlan {
+    faults: Vec<(usize, DiskFault)>,
+}
+
+impl DiskPlan {
+    /// The fault scheduled for record `index`, if any.
+    pub fn fault_at(&self, index: usize) -> Option<DiskFault> {
+        self.faults
+            .iter()
+            .find(|(at, _)| *at == index)
+            .map(|&(_, fault)| fault)
+    }
+
+    /// `true` when the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The scheduled faults in record order.
+    pub fn faults(&self) -> &[(usize, DiskFault)] {
+        &self.faults
+    }
+}
+
+/// Parses the disk-fault DSL: comma-separated `torn-cache@N`,
+/// `flip@N:byte`, `trunc@N` terms, where N is a record index in the
+/// cache file (record 0 is the header line).
+///
+/// # Errors
+///
+/// Unknown fault names, malformed indices, missing or extra arguments,
+/// and duplicate indices are all reported with the offending term.
+pub fn parse_disk_plan(spec: &str) -> Result<DiskPlan, String> {
+    let mut faults: Vec<(usize, DiskFault)> = Vec::new();
+    for term in spec.split(',').filter(|t| !t.trim().is_empty()) {
+        let term = term.trim();
+        let (name, rest) = term
+            .split_once('@')
+            .ok_or_else(|| format!("disk fault `{term}` needs `name@record`"))?;
+        let (index_str, arg) = match rest.split_once(':') {
+            Some((i, a)) => (i, Some(a)),
+            None => (rest, None),
+        };
+        let index: usize = index_str
+            .parse()
+            .map_err(|_| format!("disk fault `{term}`: bad record index `{index_str}`"))?;
+        let fault = match name {
+            "torn-cache" => {
+                if arg.is_some() {
+                    return Err(format!("disk fault `{term}`: torn-cache takes no argument"));
+                }
+                DiskFault::TornCache
+            }
+            "flip" => DiskFault::Flip {
+                byte: arg
+                    .ok_or_else(|| format!("disk fault `{term}` needs `flip@N:byte`"))?
+                    .parse()
+                    .map_err(|_| format!("disk fault `{term}`: bad byte offset"))?,
+            },
+            "trunc" => {
+                if arg.is_some() {
+                    return Err(format!("disk fault `{term}`: trunc takes no argument"));
+                }
+                DiskFault::Trunc
+            }
+            other => return Err(format!("unknown disk fault `{other}` in `{term}`")),
+        };
+        if faults.iter().any(|(at, _)| *at == index) {
+            return Err(format!("duplicate disk-fault record index {index}"));
+        }
+        faults.push((index, fault));
+    }
+    faults.sort_by_key(|&(at, _)| at);
+    Ok(DiskPlan { faults })
+}
+
+/// Applies a [`DiskPlan`] to a summary-cache file in place, returning
+/// one description per applied fault.
+///
+/// Records are the file's newline-terminated lines (record 0 is the
+/// header). Byte flips land on every record that survives the cut;
+/// `torn-cache`/`trunc` establish the cut point (the smallest such
+/// index wins when several are scheduled).
+///
+/// # Errors
+///
+/// I/O failures and out-of-range record indices — a CI plan that names
+/// a record the file does not have is a stale plan, not a no-op.
+pub fn apply_disk_plan(path: &Path, plan: &DiskPlan) -> Result<Vec<String>, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("chaos: read {}: {e}", path.display()))?;
+    let mut records: Vec<Vec<u8>> = Vec::new();
+    let mut start = 0usize;
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'\n' {
+            records.push(bytes[start..=i].to_vec());
+            start = i + 1;
+        }
+    }
+    if start < bytes.len() {
+        records.push(bytes[start..].to_vec()); // already-torn tail
+    }
+    for &(index, _) in &plan.faults {
+        if index >= records.len() {
+            return Err(format!(
+                "chaos: plan names record {index} but {} has only {} records",
+                path.display(),
+                records.len()
+            ));
+        }
+    }
+
+    let cut = plan
+        .faults
+        .iter()
+        .filter(|(_, f)| matches!(f, DiskFault::TornCache | DiskFault::Trunc))
+        .map(|&(at, _)| at)
+        .min();
+    let mut applied = Vec::new();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    for (index, record) in records.iter().enumerate() {
+        if let Some(cut_at) = cut {
+            if index > cut_at {
+                break;
+            }
+            if index == cut_at {
+                match plan.fault_at(index) {
+                    Some(DiskFault::TornCache) => {
+                        // Half the record's bytes, newline gone: the
+                        // shape a crash mid-append leaves behind.
+                        let keep = (record.len() / 2).max(1).min(record.len() - 1);
+                        out.extend_from_slice(&record[..keep]);
+                        applied.push(format!(
+                            "torn-cache@{index}: kept {keep} of {} bytes, no newline",
+                            record.len()
+                        ));
+                    }
+                    Some(DiskFault::Trunc) => {
+                        applied.push(format!(
+                            "trunc@{index}: dropped record {index} and {} after it",
+                            records.len() - index - 1
+                        ));
+                    }
+                    _ => unreachable!("cut index always carries a cutting fault"),
+                }
+                break;
+            }
+        }
+        match plan.fault_at(index) {
+            Some(DiskFault::Flip { byte }) => {
+                let mut flipped = record.clone();
+                // Never flip the terminating newline: merging two
+                // records is the torn case, not the bit-rot case.
+                let content_len = flipped.len().saturating_sub(1).max(1);
+                let at = byte.min(content_len - 1);
+                flipped[at] ^= 0xFF;
+                applied.push(format!("flip@{index}:{at}: inverted one byte"));
+                out.extend_from_slice(&flipped);
+            }
+            _ => out.extend_from_slice(record),
+        }
+    }
+    std::fs::write(path, &out).map_err(|e| format!("chaos: write {}: {e}", path.display()))?;
+    Ok(applied)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -507,6 +707,87 @@ mod tests {
         let reply = send_work(addr, 2).unwrap();
         assert!(reply.contains("\"status\": \"ok\""), "{reply}");
         proxy.stop();
+    }
+
+    #[test]
+    fn parses_the_disk_fault_dsl() {
+        let plan = parse_disk_plan("torn-cache@5,flip@2:17,trunc@9").unwrap();
+        assert_eq!(plan.fault_at(5), Some(DiskFault::TornCache));
+        assert_eq!(plan.fault_at(2), Some(DiskFault::Flip { byte: 17 }));
+        assert_eq!(plan.fault_at(9), Some(DiskFault::Trunc));
+        assert_eq!(plan.fault_at(0), None);
+        assert_eq!(plan.faults().len(), 3);
+        assert!(parse_disk_plan("").unwrap().is_empty());
+
+        for bad in [
+            "torn-cache",
+            "torn-cache@x",
+            "torn-cache@1:5",
+            "flip@3",
+            "flip@3:x",
+            "trunc@1:5",
+            "melt@3",
+            "flip@1:0,flip@1:2",
+        ] {
+            assert!(parse_disk_plan(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn disk_plan_mutates_the_file_as_scheduled() {
+        let dir = std::env::temp_dir().join(format!("lkc-chaos-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("summaries.lkc");
+        let lines = ["HEADER 1\n", "R 1 aa 2 k1 p1\n", "R 1 bb 2 k2 p2\n"];
+        let write_fresh = || std::fs::write(&path, lines.concat()).unwrap();
+
+        // flip inverts exactly one byte and leaves the record count alone.
+        write_fresh();
+        let applied = apply_disk_plan(&path, &parse_disk_plan("flip@1:3").unwrap()).unwrap();
+        assert_eq!(applied.len(), 1, "{applied:?}");
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes.len(), lines.concat().len());
+        let diff: Vec<usize> = bytes
+            .iter()
+            .zip(lines.concat().as_bytes())
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(diff.len(), 1, "exactly one byte inverted");
+
+        // torn-cache cuts mid-record with no trailing newline.
+        write_fresh();
+        apply_disk_plan(&path, &parse_disk_plan("torn-cache@2").unwrap()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.starts_with("HEADER 1\nR 1 aa 2 k1 p1\nR 1 bb"),
+            "{text:?}"
+        );
+        assert!(!text.ends_with('\n'), "torn tail must not terminate");
+
+        // trunc drops the record and everything after it.
+        write_fresh();
+        apply_disk_plan(&path, &parse_disk_plan("trunc@1").unwrap()).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "HEADER 1\n");
+
+        // The smallest cutting index wins; flips before it still land.
+        write_fresh();
+        let applied = apply_disk_plan(
+            &path,
+            &parse_disk_plan("flip@0:2,trunc@2,torn-cache@1").unwrap(),
+        )
+        .unwrap();
+        assert_eq!(applied.len(), 2, "{applied:?}");
+        let text = String::from_utf8_lossy(&std::fs::read(&path).unwrap()).into_owned();
+        assert!(!text.contains("k2"), "records past the cut are gone");
+
+        // Out-of-range records are a stale plan, not a no-op.
+        write_fresh();
+        let err = apply_disk_plan(&path, &parse_disk_plan("trunc@7").unwrap()).unwrap_err();
+        assert!(err.contains("record 7"), "{err}");
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

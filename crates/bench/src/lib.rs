@@ -9,11 +9,16 @@
 //! pipelines.
 
 use leakchecker::parallel::{effective_jobs, parallel_map};
-use leakchecker::{check, render_all, AnalysisResult, CheckTarget, DetectorConfig};
+use leakchecker::{
+    check, compute_keys, render_all, AnalysisResult, CacheStats, CheckTarget, DetectorConfig,
+    SummaryCache,
+};
 use leakchecker_benchsuite::{
     all_subjects, by_name, evaluate, generate, generate_large, GenConfig, LargeConfig, Subject,
 };
+use leakchecker_cli::{cached_target_of, json_fragment_of};
 use std::fmt::Write as _;
+use std::path::Path;
 use std::time::Instant;
 
 pub mod chaos;
@@ -51,6 +56,15 @@ pub struct TableRow {
     /// The effect summary hit the inlining depth cap (sound but
     /// conservative; 0 expected on every registry subject).
     pub effects_truncated: bool,
+    /// Persistent-summary-cache replays (0 on a cache-less run, as in
+    /// the registry table; populated when a harness attaches a store).
+    pub cache_hits: u64,
+    /// Cache lookups that missed and fell through to a cold analysis.
+    pub cache_misses: u64,
+    /// Stored summaries invalidated by content-hash drift.
+    pub cache_invalidated: u64,
+    /// Corrupt cache records quarantined and recovered as misses.
+    pub cache_corrupt_recovered: u64,
 }
 
 /// Runs the full pipeline on a subject with its case-study configuration.
@@ -103,6 +117,10 @@ pub fn table1_rows_jobs(jobs: usize) -> Vec<TableRow> {
             degraded_reports: result.stats.degraded_reports,
             effects_rounds: result.stats.effects_rounds,
             effects_truncated: result.stats.effects_truncated,
+            cache_hits: result.stats.cache_hits,
+            cache_misses: result.stats.cache_misses,
+            cache_invalidated: result.stats.cache_invalidated,
+            cache_corrupt_recovered: result.stats.cache_corrupt_recovered,
         }
     })
 }
@@ -378,6 +396,270 @@ pub fn render_scaling(points: &[ScalingPoint]) -> String {
     out
 }
 
+/// Bumps the first stage-arithmetic integer constant in a generated
+/// subject's source — a one-method edit the semantic projection proves
+/// analysis-invisible (integer literals are normalized), which is the
+/// persistent cache's warm-hit case.
+///
+/// # Panics
+///
+/// Panics if the source has no `int acc = x * N` stage statement —
+/// only generated large subjects are expected here.
+pub fn bump_one_constant(source: &str) -> String {
+    let marker = "int acc = x * ";
+    let at = source
+        .find(marker)
+        .expect("generated subject has stage arithmetic")
+        + marker.len();
+    let digits: String = source[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    let value: u64 = digits.parse().expect("stage constant parses");
+    format!(
+        "{}{}{}",
+        &source[..at],
+        value + 7,
+        &source[at + digits.len()..]
+    )
+}
+
+/// One point of the warm-vs-cold incremental sweep: a generated large
+/// subject edited in one method, re-checked cold (cache disabled) and
+/// warm (replayed from the persistent summary store seeded at a
+/// different worker width).
+#[derive(Clone, Debug)]
+pub struct WarmColdPoint {
+    /// Statement target the subject was generated for.
+    pub target_statements: usize,
+    /// Realized statements in reachable methods.
+    pub statements: usize,
+    /// Reachable methods.
+    pub methods: usize,
+    /// Worker width of this point's runs.
+    pub jobs: usize,
+    /// Cold post-compile analysis seconds on the edited program with
+    /// the cache disabled — the work the warm path replaces.
+    pub cold_secs: f64,
+    /// Warm post-compile seconds: content-hash key computation plus
+    /// the store lookup that replays the summary.
+    pub warm_secs: f64,
+    /// The warm lookup hit (a miss means the keys drifted under an
+    /// analysis-invisible edit — a cache bug).
+    pub warm_hit: bool,
+    /// The warm replayed report byte-equals the cache-disabled cold
+    /// run's rendered report.
+    pub byte_identical: bool,
+    /// Reports found by the cold run.
+    pub reports: usize,
+    /// Store counters after this point's lookup.
+    pub cache: CacheStats,
+}
+
+impl WarmColdPoint {
+    /// Cold-over-warm wall-clock ratio (the incremental win).
+    pub fn speedup(&self) -> f64 {
+        if self.warm_secs > 0.0 {
+            self.cold_secs / self.warm_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Runs the warm-vs-cold incremental sweep: generates one large
+/// subject, seeds a persistent summary store with a cold recording run
+/// at the first width, bumps one integer constant in one stage method,
+/// then for each width in `jobs_list` re-checks the edited program both
+/// cold (cache disabled, the byte-compare baseline) and warm (keys +
+/// lookup against the seeded store). The store is seeded once — a warm
+/// hit at every other width is exactly the jobs-invariance claim, since
+/// the cache's config fingerprint normalizes the worker width.
+///
+/// # Panics
+///
+/// Panics if the subject fails to compile or analyze, or if the store
+/// cannot be created under `cache_dir` — harness bugs, not detector
+/// verdicts; the verdict fields (`warm_hit`, `byte_identical`) are
+/// returned for the caller to gate on.
+pub fn warm_cold_sweep(
+    target_statements: usize,
+    jobs_list: &[usize],
+    cache_dir: &Path,
+) -> Vec<WarmColdPoint> {
+    let generated = generate_large(LargeConfig {
+        target_statements,
+        ..LargeConfig::default()
+    });
+    let edited_source = bump_one_constant(&generated.source);
+    let unit = leakchecker_frontend::compile(&generated.source).expect("large subject compiles");
+    let edited = leakchecker_frontend::compile(&edited_source).expect("edited subject compiles");
+    let target = CheckTarget::Loop(unit.checked_loops[0]);
+
+    let mut store = SummaryCache::open(cache_dir).expect("summary store opens");
+    let seed_config = DetectorConfig {
+        jobs: jobs_list.first().copied().unwrap_or(1),
+        ..DetectorConfig::default()
+    };
+    let seed = check(&unit.program, target, seed_config).expect("seed run analyzes");
+    assert!(
+        !seed.stats.is_degraded(),
+        "seed run degraded; degraded results are never cached"
+    );
+    let resolved = leakchecker::target::resolve(&unit.program, target).expect("target resolves");
+    let keys = compute_keys(&resolved.program, resolved.root, seed_config.callgraph);
+    let cached = cached_target_of(&seed, json_fragment_of(target, &seed));
+    store
+        .record(keys.result_key(target, &seed_config), &cached)
+        .and_then(|()| store.sync_methods(&keys))
+        .expect("seed run records");
+
+    jobs_list
+        .iter()
+        .map(|&jobs| {
+            let config = DetectorConfig {
+                jobs,
+                ..DetectorConfig::default()
+            };
+            let start = Instant::now();
+            let cold = check(&edited.program, target, config).expect("cold run analyzes");
+            let cold_secs = start.elapsed().as_secs_f64();
+            let cold_report = render_all(&cold.program, &cold.reports);
+
+            let start = Instant::now();
+            let resolved =
+                leakchecker::target::resolve(&edited.program, target).expect("target resolves");
+            let keys = compute_keys(&resolved.program, resolved.root, config.callgraph);
+            let hit = store.lookup(keys.result_key(target, &config));
+            let warm_secs = start.elapsed().as_secs_f64();
+
+            let (warm_hit, byte_identical) = match &hit {
+                Some(h) => (true, h.report == cold_report),
+                None => (false, false),
+            };
+            WarmColdPoint {
+                target_statements,
+                statements: cold.stats.statements,
+                methods: cold.stats.methods,
+                jobs,
+                cold_secs,
+                warm_secs,
+                warm_hit,
+                byte_identical,
+                reports: cold.reports.len(),
+                cache: store.stats,
+            }
+        })
+        .collect()
+}
+
+/// Outcome of one disk-fault recovery drill ([`chaos_recovery_check`]).
+#[derive(Clone, Debug)]
+pub struct ChaosRecovery {
+    /// Human descriptions of the faults actually injected.
+    pub applied: Vec<String>,
+    /// The post-injection lookup still hit (the fault landed away from
+    /// the result record, which replayed byte-identically).
+    pub warm_hit: bool,
+    /// The warm-path report byte-equals the cache-disabled cold run —
+    /// the *degrade to a miss, never to a wrong answer* invariant.
+    pub byte_identical: bool,
+    /// Store counters after reopening the damaged file.
+    pub cache: CacheStats,
+}
+
+/// Runs one disk-fault recovery drill: seeds a persistent summary
+/// store with a cold run, injects `spec`'s faults (the
+/// [`chaos::parse_disk_plan`] DSL) into the cache file, reopens the
+/// store, and re-checks warm. Whatever the warm path produces — a
+/// replay if the result record survived, a fresh analysis if it was
+/// quarantined or lost — must byte-equal the cache-disabled cold
+/// report.
+///
+/// # Errors
+///
+/// Malformed fault specs, out-of-range record indices, and store I/O
+/// failures.
+///
+/// # Panics
+///
+/// Panics if the generated subject fails to compile or analyze —
+/// harness bugs, not detector verdicts.
+pub fn chaos_recovery_check(
+    target_statements: usize,
+    spec: &str,
+    cache_dir: &Path,
+) -> Result<ChaosRecovery, String> {
+    let plan = chaos::parse_disk_plan(spec)?;
+    let generated = generate_large(LargeConfig {
+        target_statements,
+        ..LargeConfig::default()
+    });
+    let unit = leakchecker_frontend::compile(&generated.source).expect("large subject compiles");
+    let target = CheckTarget::Loop(unit.checked_loops[0]);
+    let config = DetectorConfig::default();
+
+    let cold = check(&unit.program, target, config).expect("cold run analyzes");
+    let cold_report = render_all(&cold.program, &cold.reports);
+    let resolved = leakchecker::target::resolve(&unit.program, target).expect("target resolves");
+    let keys = compute_keys(&resolved.program, resolved.root, config.callgraph);
+    let result_key = keys.result_key(target, &config);
+
+    let cache_file = {
+        let mut store = SummaryCache::open(cache_dir).map_err(|e| format!("cache open: {e}"))?;
+        store
+            .record(
+                result_key,
+                &cached_target_of(&cold, json_fragment_of(target, &cold)),
+            )
+            .and_then(|()| store.sync_methods(&keys))
+            .map_err(|e| format!("cache seed: {e}"))?;
+        store.file_path().to_path_buf()
+    };
+    let applied = chaos::apply_disk_plan(&cache_file, &plan)?;
+
+    let mut store = SummaryCache::open(cache_dir).map_err(|e| format!("cache reopen: {e}"))?;
+    let (warm_hit, warm_report) = match store.lookup(result_key) {
+        Some(hit) => (true, hit.report),
+        None => {
+            // Quarantined or lost: the warm path degrades to a miss and
+            // re-analyzes, exactly like a cold run.
+            let redo = check(&unit.program, target, config).expect("recovery run analyzes");
+            (false, render_all(&redo.program, &redo.reports))
+        }
+    };
+    Ok(ChaosRecovery {
+        applied,
+        warm_hit,
+        byte_identical: warm_report == cold_report,
+        cache: store.stats,
+    })
+}
+
+/// Renders the warm/cold sweep as an aligned text table.
+pub fn render_warm_cold(points: &[WarmColdPoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>5} {:>8} {:>9} {:>9} {:>8} {:>5} {:>6}",
+        "jobs", "stmts", "cold(s)", "warm(s)", "speedup", "hit", "bytes"
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:>5} {:>8} {:>9.3} {:>9.3} {:>7.1}x {:>5} {:>6}",
+            p.jobs,
+            p.statements,
+            p.cold_secs,
+            p.warm_secs,
+            p.speedup(),
+            if p.warm_hit { "hit" } else { "MISS" },
+            if p.byte_identical { "equal" } else { "DRIFT" },
+        );
+    }
+    out
+}
+
 /// Escapes a string for JSON embedding.
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -407,7 +689,9 @@ pub fn render_json(rows: &[TableRow], sweep: &[SweepPoint], scaling: &[ScalingPo
              \"time_secs\": {:.6}, \"loop_objects\": {}, \"leaking_sites\": {}, \
              \"false_positives\": {}, \"fpr\": {:.4}, \"missed\": {}, \
              \"fallbacks\": {}, \"degraded_reports\": {}, \
-             \"effects_rounds\": {}, \"effects_truncated\": {}}}",
+             \"effects_rounds\": {}, \"effects_truncated\": {}, \
+             \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"cache_invalidated\": {}, \"cache_corrupt_recovered\": {}}}",
             json_escape(&row.name),
             row.methods,
             row.statements,
@@ -420,7 +704,11 @@ pub fn render_json(rows: &[TableRow], sweep: &[SweepPoint], scaling: &[ScalingPo
             row.fallbacks,
             row.degraded_reports,
             row.effects_rounds,
-            row.effects_truncated
+            row.effects_truncated,
+            row.cache_hits,
+            row.cache_misses,
+            row.cache_invalidated,
+            row.cache_corrupt_recovered
         );
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
@@ -696,7 +984,95 @@ mod tests {
         assert!(json.contains("\"effects_secs\""));
         assert!(json.contains("\"effects_rounds\""));
         assert!(json.contains("\"effects_truncated\""));
+        assert!(json.contains("\"cache_hits\""));
+        assert!(json.contains("\"cache_misses\""));
+        assert!(json.contains("\"cache_invalidated\""));
+        assert!(json.contains("\"cache_corrupt_recovered\""));
         assert_eq!(json.matches("\"handlers\"").count(), 2);
+    }
+
+    #[test]
+    fn warm_cold_sweep_replays_across_widths() {
+        let dir = std::env::temp_dir().join(format!("lkc-warmcold-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).ok();
+        let points = warm_cold_sweep(6_000, &[1, 2], &dir);
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(p.warm_hit, "jobs={}: edit invalidated the summary", p.jobs);
+            assert!(
+                p.byte_identical,
+                "jobs={}: warm replay drifted from the cold report",
+                p.jobs
+            );
+            assert!(p.reports > 0, "planted leaks must be found");
+            assert!(
+                p.warm_secs < p.cold_secs,
+                "jobs={}: warm ({:.4}s) not faster than cold ({:.4}s)",
+                p.jobs,
+                p.warm_secs,
+                p.cold_secs
+            );
+        }
+        // Both widths replay the single seed recording: the store was
+        // seeded once, so two hits and no misses is the jobs-invariance
+        // proof.
+        assert_eq!(points[1].cache.hits, 2);
+        assert_eq!(points[1].cache.misses, 0);
+        assert_eq!(points[1].cache.corrupt_recovered, 0);
+        let text = render_warm_cold(&points);
+        assert!(text.contains("speedup"));
+        assert!(!text.contains("MISS") && !text.contains("DRIFT"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chaos_matrix_recovers_every_fault_as_a_miss_or_identical_replay() {
+        let base = std::env::temp_dir().join(format!("lkc-chaosrec-{}", std::process::id()));
+        // Record 0 is the header, record 1 the result (R) record, and
+        // records 2.. the per-method (M) records — so this matrix hits
+        // the result payload, the method region, and the whole tail.
+        let matrix = [
+            ("flip@1:40", false, true),            // checksum catches bit rot in R
+            ("torn-cache@2", true, true),          // R survives, torn M tail healed
+            ("trunc@1", false, false),             // lost tail: clean file, pure miss
+            ("flip@2:9,torn-cache@3", true, true), // compound damage in M region
+        ];
+        for (i, &(spec, expect_hit, expect_quarantine)) in matrix.iter().enumerate() {
+            let dir = base.join(i.to_string());
+            std::fs::create_dir_all(&dir).ok();
+            let outcome = chaos_recovery_check(3_000, spec, &dir).unwrap();
+            assert!(!outcome.applied.is_empty(), "{spec}: no fault landed");
+            assert!(
+                outcome.byte_identical,
+                "{spec}: warm path drifted from the cache-disabled report"
+            );
+            assert_eq!(outcome.warm_hit, expect_hit, "{spec}: {outcome:?}");
+            assert_eq!(
+                outcome.cache.corrupt_recovered > 0,
+                expect_quarantine,
+                "{spec}: {outcome:?}"
+            );
+        }
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn bumped_constant_changes_exactly_one_literal() {
+        let generated = generate_large(LargeConfig {
+            target_statements: 3_000,
+            ..LargeConfig::default()
+        });
+        let edited = bump_one_constant(&generated.source);
+        assert_ne!(generated.source, edited);
+        assert_eq!(generated.source.lines().count(), edited.lines().count());
+        let diff: Vec<(&str, &str)> = generated
+            .source
+            .lines()
+            .zip(edited.lines())
+            .filter(|(a, b)| a != b)
+            .collect();
+        assert_eq!(diff.len(), 1, "exactly one line edited: {diff:?}");
+        assert!(diff[0].0.contains("int acc = x * "), "{:?}", diff[0]);
     }
 
     #[test]

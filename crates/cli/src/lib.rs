@@ -11,7 +11,10 @@ pub use router::{run_route, RouteOptions, Router};
 pub use serve::{install_signal_handlers, run_serve, ServeOptions, Server};
 
 use leakchecker::governor::{parse_fault_plan, FaultPlan, GovernorConfig};
-use leakchecker::{check, render_all, write_atomic, CheckTarget, DetectorConfig};
+use leakchecker::{
+    cacheable_config, check, compute_keys, render_all, write_atomic, CachedTarget, CheckTarget,
+    DetectorConfig, SummaryCache,
+};
 use leakchecker_callgraph::Algorithm;
 use leakchecker_dynbaseline::{detect as dyn_detect, heap_growth_curve, DynConfig};
 use leakchecker_frontend::CompiledUnit;
@@ -106,6 +109,10 @@ pub enum Command {
         /// `--trace PATH` — stream per-query derivation traces as JSONL
         /// (atomic temp-file + rename). Implies witness recording.
         trace: Option<String>,
+        /// `--cache DIR` — durable summary cache: replay byte-identical
+        /// results for unchanged (modulo analysis-invisible edits)
+        /// programs, record cold ones.
+        cache: Option<String>,
     },
     /// `leakc run <file> [--iterations N]` — execute and apply the
     /// dynamic baseline.
@@ -290,7 +297,7 @@ USAGE:
                          [--no-library-modeling] [--k N] [--cha] [--jobs N]
                          [--deadline-ms N] [--query-budget N] [--max-retries N]
                          [--inject SPEC] [--json PATH] [--explain]
-                         [--trace PATH]
+                         [--trace PATH] [--cache DIR]
   leakc run   <file.jml> [--iterations N]
   leakc print <file.jml>
   leakc loops <file.jml>
@@ -298,7 +305,7 @@ USAGE:
               [--json PATH] [--corpus-dir DIR] [--write-exemplars]
               [--inject SPEC] [--journal PATH | --resume PATH]
   leakc serve [--addr HOST:PORT] [--socket PATH] [--queue N] [--workers N]
-              [--shard NAME] [--epoch N] [--deadline-ms N]
+              [--shard NAME] [--epoch N] [--deadline-ms N] [--cache DIR]
   leakc route --shard HOST:PORT [--shard HOST:PORT ...] [--addr HOST:PORT]
               [--retries N] [--backoff-ms N] [--hedge-ms N] [--deadline-ms N]
               [--breaker-failures N] [--breaker-cooldown-ms N]
@@ -379,6 +386,13 @@ OUTPUT FLAGS:
                          (one event per refinement query: phase, ticket
                          spend, outcome, provenance edge list), via an
                          atomic temp-file + rename
+  --cache DIR            durable summary cache: re-checks of a program
+                         whose analysis-visible content is unchanged
+                         replay the recorded result byte-identically
+                         instead of re-analyzing; corrupt cache records
+                         degrade to misses, never to wrong answers.
+                         Ignored (cold run) under --explain/--trace,
+                         --inject, or --deadline-ms
 
 Witness output (--explain/--trace) derives from the deterministic
 closure order and is byte-identical at any --jobs; recording is off
@@ -468,6 +482,12 @@ FLAGS:
                          response, never accepted and starved
   --workers N            analysis worker threads (default 1; 0 =
                          machine width)
+  --cache DIR            durable summary cache shared by all workers:
+                         checks whose analysis-visible content is
+                         unchanged replay the recorded result, and the
+                         `delta` verb re-checks edits warm; corrupt
+                         records degrade to misses, never to wrong
+                         answers
 
 FLEET FLAGS (for running behind `leakc route`):
   --shard NAME           this daemon's fleet identity, echoed in
@@ -484,6 +504,10 @@ PROTOCOL (one JSON object per line, one response line per request):
   {\"kind\": \"check\", \"id\": .., \"source\": \"..\",
    \"query_budget\": N, \"max_retries\": N, \"deadline_ms\": N,
    \"inject\": \"SPEC\"}        analyze inline source
+  {\"kind\": \"delta\", \"id\": .., \"source\": \"..\",
+   \"changed\": [\"M.f\", ..]}   incremental re-check against --cache:
+                             invalidate transitively, replay warm;
+                             response adds warm/invalidated/changed
   {\"kind\": \"health\"}         liveness: state, queue depth, uptime
   {\"kind\": \"stats\"}          counters and per-phase timings
   {\"kind\": \"shutdown\"}       request a graceful drain
@@ -593,6 +617,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut auto = false;
             let mut json = None;
             let mut trace = None;
+            let mut cache = None;
             let mut options = CheckOptions::default();
             while let Some(flag) = it.next() {
                 match flag.as_str() {
@@ -645,6 +670,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         let p = it.next().ok_or("--trace needs a path")?;
                         trace = Some(p.clone());
                     }
+                    "--cache" => {
+                        let p = it.next().ok_or("--cache needs a directory")?;
+                        cache = Some(p.clone());
+                    }
                     "--help" | "-h" => return help("check"),
                     other => return Err(format!("check: unknown flag `{other}`")),
                 }
@@ -656,6 +685,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 options,
                 json,
                 trace,
+                cache,
             })
         }
         "run" => {
@@ -739,6 +769,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                             n.parse::<u64>()
                                 .map_err(|_| "--deadline-ms needs a number")?,
                         );
+                    }
+                    "--cache" => {
+                        let p = it.next().ok_or("--cache needs a directory")?;
+                        options.cache = Some(p.clone());
                     }
                     "--help" | "-h" => return help("serve"),
                     other => return Err(format!("serve: unknown flag `{other}`")),
@@ -882,6 +916,100 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     }
 }
 
+/// The deterministic per-target `--json` fragment (no timings): the
+/// CLI summary embeds it and the cache persists it verbatim, so warm
+/// replays — whether through `leakc check --cache` or the serve delta
+/// verb — reproduce the cold bytes exactly.
+pub fn json_fragment_of(target: CheckTarget, result: &leakchecker::AnalysisResult) -> String {
+    let reports: Vec<String> = result
+        .reports
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"site\": \"{}\", \"method\": \"{}\", \"era\": \"{}\", \
+                 \"degraded\": {}}}",
+                protocol::json_escape(&r.describe),
+                protocol::json_escape(&r.method),
+                protocol::json_escape(&r.era.to_string()),
+                r.confidence.is_degraded()
+            )
+        })
+        .collect();
+    format!(
+        "{{\"target\": \"{}\", \"methods\": {}, \"statements\": {}, \
+         \"loop_objects\": {}, \"leaking_sites\": {}, \
+         \"degraded_reports\": {}, \"effects_rounds\": {}, \
+         \"effects_truncated\": {}, \"reports\": [{}]}}",
+        protocol::json_escape(&format!("{target:?}")),
+        result.stats.methods,
+        result.stats.statements,
+        result.stats.loop_objects,
+        result.stats.leaking_sites,
+        result.stats.degraded_reports,
+        result.stats.effects_rounds,
+        result.stats.effects_truncated,
+        reports.join(", ")
+    )
+}
+
+/// Packs a cold analysis result (plus its pre-rendered `--json`
+/// fragment) into the payload a warm replay needs.
+pub fn cached_target_of(result: &leakchecker::AnalysisResult, json: String) -> CachedTarget {
+    let s = result.stats;
+    CachedTarget {
+        reports_n: result.reports.len() as u64,
+        degraded: s.is_degraded(),
+        report: render_all(&result.program, &result.reports),
+        json,
+        counters: [
+            s.methods as u64,
+            s.statements as u64,
+            s.loop_objects as u64,
+            s.leaking_sites as u64,
+            s.flow_edges as u64,
+            s.candidate_sites as u64,
+            s.refuted_candidates as u64,
+            s.exhausted_queries,
+            s.retries,
+            s.fallbacks,
+            s.quarantined,
+            s.deadline_hits,
+            s.degraded_reports as u64,
+            s.batched_queries as u64,
+            s.query_batches as u64,
+            s.effects_rounds as u64,
+        ],
+        effects_truncated: s.effects_truncated,
+    }
+}
+
+/// Renders a warm (cache-replayed) target block: same deterministic
+/// lines as a cold run — the governance line and the report text are
+/// byte-identical — with `(cached)` in place of the wall-clock figures.
+fn render_warm_target(out: &mut String, target: CheckTarget, hit: &CachedTarget) {
+    let c = &hit.counters;
+    let _ = writeln!(
+        out,
+        "target {:?}: {} methods, {} statements, LO = {}, LS = {} (cached)",
+        target, c[0], c[1], c[2], c[3]
+    );
+    let _ = writeln!(
+        out,
+        "  governance: {} exhausted, {} retries, {} fallbacks, \
+         {} quarantined, {} deadline hits, {} degraded reports, \
+         effects truncated: {}",
+        c[7],
+        c[8],
+        c[9],
+        c[10],
+        c[11],
+        c[12],
+        if hit.effects_truncated { "yes" } else { "no" }
+    );
+    out.push_str(&hit.report);
+    out.push('\n');
+}
+
 fn compile_file(file: &str) -> Result<CompiledUnit, LeakcError> {
     let source = std::fs::read_to_string(file)
         .map_err(|e| LeakcError::Input(format!("cannot read {file}: {e}")))?;
@@ -937,6 +1065,7 @@ pub fn execute(command: Command) -> Result<CliOutput, LeakcError> {
             options,
             json,
             trace,
+            cache,
         } => {
             let unit = compile_file(&file)?;
             let targets: Vec<CheckTarget> = if let Some(idx) = loop_index {
@@ -964,47 +1093,61 @@ pub fn execute(command: Command) -> Result<CliOutput, LeakcError> {
             let mut config = options.to_config();
             // --trace needs the recording layer even without --explain.
             config.witnesses |= trace.is_some();
+            // The cache replays recorded output verbatim, so it only
+            // engages for runs whose output is a pure function of the
+            // content key: witness, fault-injected and deadline-governed
+            // runs always go cold.
+            let mut store = match cache.as_deref().filter(|_| cacheable_config(&config)) {
+                Some(dir) => Some(
+                    SummaryCache::open(std::path::Path::new(dir))
+                        .map_err(|e| LeakcError::Input(format!("cannot open cache {dir}: {e}")))?,
+                ),
+                None => None,
+            };
             let mut out = String::new();
             let mut leaks_found = false;
             let mut degraded = false;
             let mut json_targets: Vec<String> = Vec::new();
             let mut trace_lines: Vec<String> = Vec::new();
             for target in targets {
+                let keyed = store.as_ref().map(|_| {
+                    let resolved = leakchecker::target::resolve(&unit.program, target)
+                        .map_err(|e| LeakcError::Input(e.to_string()))?;
+                    let keys = compute_keys(&resolved.program, resolved.root, config.callgraph);
+                    Ok::<_, LeakcError>((keys.result_key(target, &config), keys))
+                });
+                let keyed = match keyed {
+                    Some(r) => Some(r?),
+                    None => None,
+                };
+                if let (Some(store), Some((key, _))) = (store.as_mut(), keyed.as_ref()) {
+                    if let Some(hit) = store.lookup(*key) {
+                        json_targets.push(hit.json.clone());
+                        render_warm_target(&mut out, target, &hit);
+                        leaks_found |= hit.reports_n > 0;
+                        degraded |= hit.degraded;
+                        continue;
+                    }
+                }
                 let result = check(&unit.program, target, config)
                     .map_err(|e| LeakcError::Input(e.to_string()))?;
                 if trace.is_some() {
                     trace_lines.extend(result.traces.iter().map(leakchecker::QueryTrace::to_json));
                 }
-                if json.is_some() {
-                    let reports: Vec<String> = result
-                        .reports
-                        .iter()
-                        .map(|r| {
-                            format!(
-                                "{{\"site\": \"{}\", \"method\": \"{}\", \"era\": \"{}\", \
-                                 \"degraded\": {}}}",
-                                protocol::json_escape(&r.describe),
-                                protocol::json_escape(&r.method),
-                                protocol::json_escape(&r.era.to_string()),
-                                r.confidence.is_degraded()
-                            )
-                        })
-                        .collect();
-                    json_targets.push(format!(
-                        "{{\"target\": \"{}\", \"methods\": {}, \"statements\": {}, \
-                         \"loop_objects\": {}, \"leaking_sites\": {}, \
-                         \"degraded_reports\": {}, \"effects_rounds\": {}, \
-                         \"effects_truncated\": {}, \"reports\": [{}]}}",
-                        protocol::json_escape(&format!("{target:?}")),
-                        result.stats.methods,
-                        result.stats.statements,
-                        result.stats.loop_objects,
-                        result.stats.leaking_sites,
-                        result.stats.degraded_reports,
-                        result.stats.effects_rounds,
-                        result.stats.effects_truncated,
-                        reports.join(", ")
-                    ));
+                let fragment = json_fragment_of(target, &result);
+                json_targets.push(fragment.clone());
+                if let (Some(store), Some((key, keys))) = (store.as_mut(), keyed.as_ref()) {
+                    // Degraded results depend on budget luck, not
+                    // content — never persist them.
+                    if !result.stats.is_degraded() {
+                        let entry = cached_target_of(&result, fragment);
+                        store
+                            .record(*key, &entry)
+                            .and_then(|()| store.sync_methods(keys))
+                            .map_err(|e| {
+                                LeakcError::Input(format!("cannot write cache record: {e}"))
+                            })?;
+                    }
                 }
                 let _ = writeln!(
                     out,
@@ -1099,6 +1242,16 @@ pub fn execute(command: Command) -> Result<CliOutput, LeakcError> {
                 write_atomic(std::path::Path::new(path), body.as_bytes())
                     .map_err(|e| LeakcError::Input(format!("cannot write {path}: {e}")))?;
                 let _ = writeln!(out, "{} trace events written to {path}", trace_lines.len());
+            }
+            if let Some(store) = &store {
+                let cs = store.stats;
+                let _ = writeln!(
+                    out,
+                    "cache: {} hits, {} misses, {} invalidated, {} corrupt recovered",
+                    cs.hits, cs.misses, cs.invalidated, cs.corrupt_recovered
+                );
+            } else if cache.is_some() {
+                let _ = writeln!(out, "cache: disabled for this run (non-replayable flags)");
             }
             Ok(CliOutput {
                 text: out,
@@ -1401,6 +1554,8 @@ mod tests {
             },
             json: None,
             trace: None,
+
+            cache: None,
         })
         .unwrap();
         assert_eq!(text.exit_code, EXIT_LEAKS);
@@ -1445,6 +1600,8 @@ mod tests {
             options: CheckOptions::default(),
             json: Some(json_path.to_string_lossy().to_string()),
             trace: None,
+
+            cache: None,
         })
         .unwrap();
         assert_eq!(out.exit_code, EXIT_CLEAN, "{}", out.text);
@@ -1510,6 +1667,8 @@ mod tests {
             options: CheckOptions::default(),
             json: None,
             trace: None,
+
+            cache: None,
         })
         .unwrap();
         assert_eq!(out.exit_code, EXIT_LEAKS, "a found leak must exit 1");
@@ -1582,6 +1741,8 @@ mod tests {
             },
             json: None,
             trace: Some(trace_path.to_string_lossy().to_string()),
+
+            cache: None,
         })
         .unwrap();
         assert_eq!(out.exit_code, EXIT_LEAKS);
@@ -1607,6 +1768,8 @@ mod tests {
             options: CheckOptions::default(),
             json: None,
             trace: Some(trace_path.to_string_lossy().to_string()),
+
+            cache: None,
         })
         .unwrap();
         assert_eq!(out.exit_code, EXIT_LEAKS);
@@ -1830,6 +1993,8 @@ mod tests {
             },
             json: None,
             trace: None,
+
+            cache: None,
         })
         .unwrap();
         // Degradation may never launder a definite leak into exit 0 or 3:

@@ -17,6 +17,13 @@
 //!   "explain": true}` — run the detector on the inline source (first
 //!   `@check` loop and `@region` methods), governed by the optional
 //!   overrides; `explain` additionally renders escape-chain witnesses.
+//! * `{"kind": "delta", "id": ..., "source": "...", "changed": ["M.f"]}`
+//!   — incremental re-check against the daemon's persistent summary
+//!   cache (requires `serve --cache DIR`): stored summaries whose
+//!   composed content key drifted are invalidated transitively and the
+//!   result replays warm when the analysis-visible content is
+//!   unchanged. The response carries `warm`, `invalidated` and the
+//!   verified changed-method set alongside the usual report text.
 //! * `{"kind": "panic", "id": ...}` — deliberately panic the worker
 //!   (fault injection for the supervision path; the daemon must answer
 //!   `internal` and stay up).
@@ -328,6 +335,22 @@ pub enum Request {
         /// Governance overrides.
         overrides: CheckOverrides,
     },
+    /// Incremental re-check of edited source against the daemon's
+    /// persistent summary cache: the client names the methods it
+    /// changed, the server invalidates transitively (everything whose
+    /// composed key drifted) and replays or recomputes warm.
+    Delta {
+        /// Echoed back in the response.
+        id: Option<String>,
+        /// The full post-edit program text.
+        source: String,
+        /// Qualified names of the methods the client edited (advisory:
+        /// the server verifies against stored content hashes and
+        /// reports the set it actually observed changed).
+        changed: Vec<String>,
+        /// Governance overrides.
+        overrides: CheckOverrides,
+    },
 }
 
 fn opt_u64(obj: &BTreeMap<String, Json>, key: &str) -> Result<Option<u64>, String> {
@@ -422,6 +445,64 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 },
             })
         }
+        "delta" => {
+            let source = match obj.get("source") {
+                Some(Json::Str(s)) => s.clone(),
+                Some(other) => {
+                    return Err(format!(
+                        "field `source` must be a string, got {}",
+                        other.type_name()
+                    ))
+                }
+                None => return Err("delta request missing field `source`".to_string()),
+            };
+            let changed = match obj.get("changed") {
+                None | Some(Json::Null) => Vec::new(),
+                Some(Json::Arr(items)) => {
+                    let mut names = Vec::with_capacity(items.len());
+                    for item in items {
+                        match item {
+                            Json::Str(s) => names.push(s.clone()),
+                            other => {
+                                return Err(format!(
+                                    "field `changed` must hold strings, got {}",
+                                    other.type_name()
+                                ))
+                            }
+                        }
+                    }
+                    names
+                }
+                Some(other) => {
+                    return Err(format!(
+                        "field `changed` must be an array, got {}",
+                        other.type_name()
+                    ))
+                }
+            };
+            let inject = match obj.get("inject") {
+                None | Some(Json::Null) => None,
+                Some(Json::Str(s)) => Some(s.clone()),
+                Some(other) => {
+                    return Err(format!(
+                        "field `inject` must be a string, got {}",
+                        other.type_name()
+                    ))
+                }
+            };
+            Ok(Request::Delta {
+                id: request_id(&obj)?,
+                source,
+                changed,
+                overrides: CheckOverrides {
+                    query_budget: opt_u64(&obj, "query_budget")?.map(|n| n as usize),
+                    max_retries: opt_u64(&obj, "max_retries")?.map(|n| n as u32),
+                    deadline_ms: opt_u64(&obj, "deadline_ms")?,
+                    inject,
+                    explain: false,
+                },
+            })
+        }
         other => Err(format!("unknown request kind `{other}`")),
     }
 }
@@ -458,6 +539,36 @@ pub fn render_request(req: &Request) -> String {
             }
             if overrides.explain {
                 out.push_str(", \"explain\": true");
+            }
+            out.push('}');
+            out
+        }
+        Request::Delta {
+            id,
+            source,
+            changed,
+            overrides,
+        } => {
+            let mut out = format!("{{\"kind\": \"delta\"{}", id_suffix(id));
+            let _ = write!(out, ", \"source\": \"{}\"", json_escape(source));
+            if !changed.is_empty() {
+                let names: Vec<String> = changed
+                    .iter()
+                    .map(|n| format!("\"{}\"", json_escape(n)))
+                    .collect();
+                let _ = write!(out, ", \"changed\": [{}]", names.join(", "));
+            }
+            if let Some(n) = overrides.query_budget {
+                let _ = write!(out, ", \"query_budget\": {n}");
+            }
+            if let Some(n) = overrides.max_retries {
+                let _ = write!(out, ", \"max_retries\": {n}");
+            }
+            if let Some(n) = overrides.deadline_ms {
+                let _ = write!(out, ", \"deadline_ms\": {n}");
+            }
+            if let Some(spec) = &overrides.inject {
+                let _ = write!(out, ", \"inject\": \"{}\"", json_escape(spec));
             }
             out.push('}');
             out
@@ -523,6 +634,48 @@ pub fn render_check_ok(
         "{{{}\"status\": \"ok\", \"exit_code\": {exit_code}, \"reports\": {reports}, \
          \"degraded\": {degraded}, \"output\": \"{}\"}}",
         id_fragment(id),
+        json_escape(output)
+    )
+}
+
+/// Warm/invalidation accounting of one delta re-check, rendered by
+/// [`render_delta_ok`] next to the usual check fields.
+pub struct DeltaAccounting<'a> {
+    /// Targets replayed from the persistent store.
+    pub warm: u64,
+    /// Stored summaries invalidated by content-hash drift.
+    pub invalidated: u64,
+    /// Changed methods *verified* against the stored hashes — the
+    /// client's claim is cross-checked, never echoed.
+    pub changed: &'a [String],
+}
+
+/// `status: ok` response for a completed delta re-check: the check
+/// fields plus the warm/invalidation accounting and the verified
+/// changed-method set.
+pub fn render_delta_ok(
+    id: &Option<String>,
+    exit_code: i32,
+    reports: u64,
+    degraded: bool,
+    accounting: &DeltaAccounting<'_>,
+    output: &str,
+) -> String {
+    let DeltaAccounting {
+        warm,
+        invalidated,
+        changed,
+    } = *accounting;
+    let names: Vec<String> = changed
+        .iter()
+        .map(|n| format!("\"{}\"", json_escape(n)))
+        .collect();
+    format!(
+        "{{{}\"status\": \"ok\", \"exit_code\": {exit_code}, \"reports\": {reports}, \
+         \"degraded\": {degraded}, \"warm\": {warm}, \"invalidated\": {invalidated}, \
+         \"changed\": [{}], \"output\": \"{}\"}}",
+        id_fragment(id),
+        names.join(", "),
         json_escape(output)
     )
 }
@@ -665,6 +818,9 @@ mod tests {
                 .contains("`explain` must be a boolean")
         );
         assert!(parse_request(r#"{"kind": "check"}"#).is_err());
+        assert!(parse_request(r#"{"kind": "delta"}"#).is_err());
+        assert!(parse_request(r#"{"kind": "delta", "source": "x", "changed": "A.m"}"#).is_err());
+        assert!(parse_request(r#"{"kind": "delta", "source": "x", "changed": [1]}"#).is_err());
         assert!(parse_request(r#"{"kind": "nope"}"#).is_err());
         assert!(parse_request("[1]").is_err());
         assert!(parse_request("{oops").is_err());
@@ -694,6 +850,24 @@ mod tests {
             Request::Check {
                 id: None,
                 source: "class A { }".to_string(),
+                overrides: CheckOverrides::default(),
+            },
+            Request::Delta {
+                id: Some("\"edit-9\"".to_string()),
+                source: "class A { void m() { } }".to_string(),
+                changed: vec!["A.m".to_string(), "B.<init>".to_string()],
+                overrides: CheckOverrides {
+                    query_budget: Some(9),
+                    max_retries: None,
+                    deadline_ms: Some(1200),
+                    inject: None,
+                    explain: false,
+                },
+            },
+            Request::Delta {
+                id: None,
+                source: "class A { }".to_string(),
+                changed: Vec::new(),
                 overrides: CheckOverrides::default(),
             },
         ];

@@ -17,19 +17,21 @@
 //! sockets, then report final counters and exit 0.
 
 use crate::protocol::{
-    parse_request, render_check_ok, render_draining, render_error, render_internal,
-    render_overloaded, CheckOverrides, Request,
+    parse_request, render_check_ok, render_delta_ok, render_draining, render_error,
+    render_internal, render_overloaded, CheckOverrides, Request,
 };
 use crate::{CliOutput, LeakcError};
 use leakchecker::governor::{parse_fault_plan, GovernorConfig};
 use leakchecker::{
-    check, render_all, CheckTarget, DetectorConfig, ServeConfig, ServeCore, SubmitError,
+    cacheable_config, check, compute_keys, render_all, CheckTarget, DetectorConfig, ServeConfig,
+    ServeCore, SubmitError, SummaryCache,
 };
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::Mutex;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -57,6 +59,11 @@ pub struct ServeOptions {
     /// time. Combined with any request-carried `deadline_ms` by taking
     /// the minimum (see `GovernorConfig::tighten_deadline`).
     pub deadline_ms: Option<u64>,
+    /// `--cache DIR` — durable summary cache shared by every worker:
+    /// replayable checks whose analysis-visible content is unchanged
+    /// answer from the store, and the `delta` verb re-checks
+    /// changed-method patches warm.
+    pub cache: Option<String>,
 }
 
 impl Default for ServeOptions {
@@ -70,6 +77,7 @@ impl Default for ServeOptions {
             shard: None,
             epoch: 0,
             deadline_ms: None,
+            cache: None,
         }
     }
 }
@@ -175,6 +183,9 @@ struct Inner {
     /// waits for this to reach zero so no accepted request loses its
     /// answer to process exit.
     pending_replies: AtomicU64,
+    /// The shared summary cache (`--cache DIR`), also read by the
+    /// `stats` verb for hit/miss/invalidation/corruption counters.
+    cache: Arc<Option<Mutex<SummaryCache>>>,
 }
 
 /// A running daemon (in-process handle; the binary and the soak
@@ -196,17 +207,40 @@ pub struct ServeSummary {
     pub drained_cleanly: bool,
 }
 
+/// What serving one `check`/`delta` request produced.
+struct CheckOutcome {
+    exit_code: i32,
+    reports: u64,
+    degraded: bool,
+    output: String,
+    /// Targets answered from the summary cache.
+    warm: u64,
+    /// Stored summaries invalidated by this request's content drift.
+    invalidated: u64,
+    /// Stored methods whose exact content hash drifted (verified
+    /// against the store, not trusted from the client's `changed`
+    /// field); empty when no cache is configured.
+    changed: Vec<String>,
+}
+
 /// Runs the detector on inline source: every `@check` loop and
 /// `@region` method, governed by the request's overrides. `jobs` is
 /// pinned to 1 — daemon parallelism comes from serving requests
 /// concurrently, and a single-threaded analysis keeps each response
 /// byte-identical however many workers the daemon runs.
+///
+/// With a summary cache, replayable targets (no witnesses, faults or
+/// deadlines in play) answer from the store when their content key
+/// matches and are recorded after a cold run — so `check` warms the
+/// cache and `delta` re-checks against it; the two verbs differ only
+/// in the accounting their responses carry.
 fn run_check_source(
     telemetry: &Telemetry,
     source: &str,
     overrides: &CheckOverrides,
     shard_deadline_ms: Option<u64>,
-) -> Result<(i32, u64, bool, String), String> {
+    cache: Option<&Mutex<SummaryCache>>,
+) -> Result<CheckOutcome, String> {
     let defaults = GovernorConfig::default();
     let faults = match &overrides.inject {
         Some(spec) => parse_fault_plan(spec)?,
@@ -237,11 +271,56 @@ fn run_check_source(
     if targets.is_empty() {
         return Err("no @check loop or @region method in source".to_string());
     }
+    // The cache only engages for runs whose output is a pure function
+    // of the content key.
+    let cache = cache.filter(|_| cacheable_config(&config));
+    let keyed: Vec<Option<(u64, leakchecker::ProgramKeys)>> = targets
+        .iter()
+        .map(|&target| {
+            let _ = cache?;
+            let resolved = leakchecker::target::resolve(&unit.program, target).ok()?;
+            let keys = compute_keys(&resolved.program, resolved.root, config.callgraph);
+            Some((keys.result_key(target, &config), keys))
+        })
+        .collect();
+    // The verified changed set must be read before recording refreshes
+    // the stored hashes.
+    let changed = match (cache, keyed.iter().flatten().next()) {
+        (Some(cache), Some((_, keys))) => lock_cache(cache).changed_methods(keys),
+        _ => Vec::new(),
+    };
     let mut output = String::new();
     let mut reports = 0u64;
     let mut degraded = false;
-    for target in targets {
+    let mut warm = 0u64;
+    let mut invalidated = 0u64;
+    for (target, keyed) in targets.into_iter().zip(keyed) {
+        if let (Some(cache), Some((key, _))) = (cache, keyed.as_ref()) {
+            if let Some(hit) = lock_cache(cache).lookup(*key) {
+                reports += hit.reports_n;
+                degraded |= hit.degraded;
+                warm += 1;
+                output.push_str(&hit.report);
+                continue;
+            }
+        }
         let result = check(&unit.program, target, config).map_err(|e| e.to_string())?;
+        if let (Some(cache), Some((key, keys))) = (cache, keyed.as_ref()) {
+            // Degraded results depend on budget luck, not content —
+            // never persist them. A failed disk commit degrades the
+            // store to session-local (the in-memory view is updated
+            // first); it must not fail the check.
+            if !result.stats.is_degraded() {
+                let entry =
+                    crate::cached_target_of(&result, crate::json_fragment_of(target, &result));
+                let mut store = lock_cache(cache);
+                let before = store.stats.invalidated;
+                let _ = store
+                    .record(*key, &entry)
+                    .and_then(|()| store.sync_methods(keys));
+                invalidated += store.stats.invalidated - before;
+            }
+        }
         reports += result.reports.len() as u64;
         degraded |= result.stats.is_degraded();
         if overrides.explain {
@@ -285,7 +364,24 @@ fn run_check_source(
     } else {
         crate::EXIT_CLEAN
     };
-    Ok((exit_code, reports, degraded, output))
+    Ok(CheckOutcome {
+        exit_code,
+        reports,
+        degraded,
+        output,
+        warm,
+        invalidated,
+        changed,
+    })
+}
+
+/// Locks the shared store, recovering from a poisoned mutex: the store
+/// is corruption-tolerant by design, so a panic in another worker is no
+/// reason to stop serving cache answers.
+fn lock_cache(cache: &Mutex<SummaryCache>) -> std::sync::MutexGuard<'_, SummaryCache> {
+    cache
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 impl Server {
@@ -329,6 +425,15 @@ impl Server {
         let telemetry = Arc::new(Telemetry::default());
         let handler_telemetry = Arc::clone(&telemetry);
         let shard_deadline_ms = options.deadline_ms;
+        let cache: Arc<Option<Mutex<SummaryCache>>> = Arc::new(match &options.cache {
+            Some(dir) => Some(Mutex::new(
+                SummaryCache::open(std::path::Path::new(dir)).map_err(|e| {
+                    LeakcError::Usage(format!("serve: cannot open cache {dir}: {e}"))
+                })?,
+            )),
+            None => None,
+        });
+        let handler_cache = Arc::clone(&cache);
         let core = ServeCore::start(
             ServeConfig {
                 capacity: options.queue,
@@ -353,12 +458,47 @@ impl Server {
                     &source,
                     &overrides,
                     shard_deadline_ms,
+                    handler_cache.as_ref().as_ref(),
                 ) {
-                    Ok((exit_code, reports, degraded, output)) => {
-                        render_check_ok(&id, exit_code, reports, degraded, &output)
-                    }
+                    Ok(o) => render_check_ok(&id, o.exit_code, o.reports, o.degraded, &o.output),
                     Err(message) => render_error(&id, &message),
                 },
+                Request::Delta {
+                    id,
+                    source,
+                    // The client's edit hint is advisory; the response
+                    // carries the set verified against stored hashes.
+                    changed: _,
+                    overrides,
+                } => {
+                    if handler_cache.is_none() {
+                        return render_error(
+                            &id,
+                            "delta requires a summary cache (start with --cache DIR)",
+                        );
+                    }
+                    match run_check_source(
+                        &handler_telemetry,
+                        &source,
+                        &overrides,
+                        shard_deadline_ms,
+                        handler_cache.as_ref().as_ref(),
+                    ) {
+                        Ok(o) => render_delta_ok(
+                            &id,
+                            o.exit_code,
+                            o.reports,
+                            o.degraded,
+                            &crate::protocol::DeltaAccounting {
+                                warm: o.warm,
+                                invalidated: o.invalidated,
+                                changed: &o.changed,
+                            },
+                            &o.output,
+                        ),
+                        Err(message) => render_error(&id, &message),
+                    }
+                }
                 // Inline kinds never reach the queue; answering them
                 // here anyway keeps the handler total.
                 Request::Health | Request::Stats | Request::Shutdown => {
@@ -381,6 +521,7 @@ impl Server {
             stop_accept: AtomicBool::new(false),
             shutdown_requested: AtomicBool::new(false),
             pending_replies: AtomicU64::new(0),
+            cache,
         });
 
         let accept_inner = Arc::clone(&inner);
@@ -493,7 +634,7 @@ fn serve_unix_connection(stream: std::os::unix::net::UnixStream, inner: &Inner) 
 /// connection can render shed/quarantine responses for it.
 fn request_reply_id(req: &Request) -> Option<String> {
     match req {
-        Request::Panic { id } | Request::Check { id, .. } => id.clone(),
+        Request::Panic { id } | Request::Check { id, .. } | Request::Delta { id, .. } => id.clone(),
         _ => None,
     }
 }
@@ -545,6 +686,15 @@ fn serve_connection<R: Read, W: Write>(reader: R, mut writer: W, inner: &Inner) 
                 );
                 let _ = write!(out, ", \"phases\": {}", inner.telemetry.phases_json());
                 let _ = write!(out, ", \"witness\": {}", inner.telemetry.witness_json());
+                if let Some(cache) = inner.cache.as_ref() {
+                    let cs = lock_cache(cache).stats;
+                    let _ = write!(
+                        out,
+                        ", \"cache\": {{\"hits\": {}, \"misses\": {}, \"invalidated\": {}, \
+                         \"corrupt_recovered\": {}}}",
+                        cs.hits, cs.misses, cs.invalidated, cs.corrupt_recovered
+                    );
+                }
                 let _ = write!(
                     out,
                     ", \"uptime_ms\": {}}}",
@@ -942,6 +1092,89 @@ class Main {
         let mut line = String::new();
         reader.read_line(&mut line).unwrap();
         assert!(line.contains("\"status\": \"draining\""), "{line}");
+    }
+
+    #[test]
+    fn delta_verb_replays_warm_and_reports_verified_changes() {
+        let dir = std::env::temp_dir().join(format!("leakc-serve-delta-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let server = Server::start(&ServeOptions {
+            cache: Some(dir.to_string_lossy().into_owned()),
+            ..ServeOptions::default()
+        })
+        .unwrap();
+        let (mut reader, mut writer) = client(server.local_addr());
+
+        // Without a cache the verb is a typed error.
+        let plain = Server::start(&ServeOptions::default()).unwrap();
+        let (mut preader, mut pwriter) = client(plain.local_addr());
+        let refused = roundtrip(
+            &mut preader,
+            &mut pwriter,
+            r#"{"kind": "delta", "id": 0, "source": "class A { }"}"#,
+        );
+        assert!(refused.contains("requires a summary cache"), "{refused}");
+        let _ = plain.drain();
+
+        // Cold check populates the store.
+        let cold = roundtrip(
+            &mut reader,
+            &mut writer,
+            &format!(
+                r#"{{"kind": "check", "id": 1, "source": "{}"}}"#,
+                crate::protocol::json_escape(LEAKY)
+            ),
+        );
+        assert!(cold.contains("\"exit_code\": 1"), "{cold}");
+
+        // Unchanged source: full warm replay, byte-identical output.
+        let warm = roundtrip(
+            &mut reader,
+            &mut writer,
+            &format!(
+                r#"{{"kind": "delta", "id": 2, "source": "{}"}}"#,
+                crate::protocol::json_escape(LEAKY)
+            ),
+        );
+        assert!(warm.contains("\"warm\": 1"), "{warm}");
+        assert!(warm.contains("\"changed\": []"), "{warm}");
+        let output_of = |resp: &str| {
+            let start = resp.find("\"output\": ").expect("output field") + 10;
+            resp[start..resp.len() - 1].to_string()
+        };
+        assert_eq!(
+            output_of(&cold),
+            output_of(&warm),
+            "warm replay must be byte-identical"
+        );
+
+        // An analysis-visible edit (extra allocation kept live) misses,
+        // invalidates the stored summaries, and names the method.
+        let edited = LEAKY.replace(
+            "Object o = new Object();",
+            "Object o = new Object(); Object extra = new Object(); c.add(extra);",
+        );
+        let delta = roundtrip(
+            &mut reader,
+            &mut writer,
+            &format!(
+                r#"{{"kind": "delta", "id": 3, "source": "{}", "changed": ["Main.main"]}}"#,
+                crate::protocol::json_escape(&edited)
+            ),
+        );
+        assert!(delta.contains("\"warm\": 0"), "{delta}");
+        assert!(delta.contains("\"changed\": [\"Main.main\"]"), "{delta}");
+        assert!(delta.contains("\"exit_code\": 1"), "{delta}");
+
+        let stats = roundtrip(&mut reader, &mut writer, r#"{"kind": "stats"}"#);
+        assert!(
+            stats.contains("\"cache\": {\"hits\": 1, \"misses\": 2,"),
+            "{stats}"
+        );
+
+        let summary = server.drain();
+        assert!(summary.drained_cleanly);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[cfg(unix)]

@@ -424,3 +424,110 @@ fn resumed_campaign_matches_an_uninterrupted_run() {
     let b = std::fs::read_to_string(&resumed).expect("resumed json");
     assert_eq!(a, b, "resumed campaign JSON drifted from uninterrupted run");
 }
+
+/// Drops the lines that vary between cached and cache-less runs — the
+/// cache telemetry line on top of the usual timing headers — leaving
+/// the report bytes for exact comparison.
+fn strip_cache_lines(stdout: &[u8]) -> String {
+    strip_timing_lines(stdout)
+        .lines()
+        .filter(|l| !l.starts_with("cache:"))
+        .collect::<Vec<_>>()
+        .join("\n")
+        .trim_end()
+        .to_string()
+}
+
+/// kill -9 mid-commit: a check killed while appending to the summary
+/// store leaves a torn, newline-less record. The next run must
+/// quarantine it, degrade to a miss, re-analyze, and produce output
+/// byte-identical to a cache-less run — and the run after that must
+/// replay warm from the self-healed store.
+#[test]
+fn kill_nine_mid_commit_recovers_the_cache_as_a_miss() {
+    let dir = temp_dir("cache-tear");
+    let clean = dir.join("clean.jml");
+    let leaky = dir.join("leaky.jml");
+    std::fs::write(&clean, CLEAN_JML).expect("write clean.jml");
+    std::fs::write(&leaky, LEAKY_JML).expect("write leaky.jml");
+    let clean = clean.to_str().expect("utf8 path");
+    let leaky = leaky.to_str().expect("utf8 path");
+    let cache = dir.join("cache");
+    let cache = cache.to_str().expect("utf8 path");
+    let cache_file = dir.join("cache").join("summaries.lkc");
+
+    // Cache-less baseline: the bytes every cached run must reproduce.
+    let baseline = leakc().args(["check", leaky]).output().expect("spawn");
+    assert_eq!(baseline.status.code(), Some(1));
+    let baseline_text = strip_cache_lines(&baseline.stdout);
+
+    // Seed the store with a different target so the header is already
+    // committed and the next run's result append is a plain append.
+    let out = leakc()
+        .args(["check", clean, "--cache", cache])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(0), "seed run is clean");
+
+    // The tear: die 30 bytes into the result-record append, no fsync.
+    let out = leakc()
+        .args(["check", leaky, "--cache", cache])
+        .env("LEAKC_CACHE_TEAR_AT", "30")
+        .output()
+        .expect("spawn");
+    assert!(
+        !out.status.success(),
+        "torn run must die mid-commit, got {:?}",
+        out.status
+    );
+    let bytes = std::fs::read(&cache_file).expect("cache file exists");
+    assert!(
+        !bytes.ends_with(b"\n"),
+        "the tear must leave an uncertified (newline-less) record"
+    );
+
+    // Recovery: the torn record is quarantined, the lookup misses, and
+    // the re-analysis reproduces the cache-less bytes exactly.
+    let out = leakc()
+        .args(["check", leaky, "--cache", cache])
+        .output()
+        .expect("spawn");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "recovery run still finds the leak"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("1 misses") && stdout.contains("1 corrupt recovered"),
+        "recovery run must count the quarantined record:\n{stdout}"
+    );
+    assert_eq!(
+        strip_cache_lines(&out.stdout),
+        baseline_text,
+        "recovered run drifted from the cache-less baseline"
+    );
+    let bytes = std::fs::read(&cache_file).expect("cache file exists");
+    assert!(bytes.ends_with(b"\n"), "recovery self-heals the torn tail");
+
+    // Warm replay from the self-healed store: same bytes again.
+    let out = leakc()
+        .args(["check", leaky, "--cache", cache])
+        .output()
+        .expect("spawn");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "warm run preserves the exit code"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("(cached)") && stdout.contains("1 hits"),
+        "warm run must replay from the store:\n{stdout}"
+    );
+    assert_eq!(
+        strip_cache_lines(&out.stdout),
+        baseline_text,
+        "warm replay drifted from the cache-less baseline"
+    );
+}

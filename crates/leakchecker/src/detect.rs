@@ -138,6 +138,16 @@ pub struct RunStats {
     /// sound but conservative (recursive or very deep call chains were
     /// widened to ⊤). Previously computed but silently dropped.
     pub effects_truncated: bool,
+    /// Summary-cache lookups answered from the persistent store.
+    pub cache_hits: u64,
+    /// Summary-cache lookups that fell through to a cold analysis.
+    pub cache_misses: u64,
+    /// Stored per-method summaries invalidated by content drift
+    /// (edited methods plus everything composing over them).
+    pub cache_invalidated: u64,
+    /// Cache records quarantined by load-time validation and recovered
+    /// as misses (torn writes, bit flips, truncation, stale epochs).
+    pub cache_corrupt_recovered: u64,
 }
 
 impl RunStats {
@@ -413,6 +423,10 @@ pub fn check(
         effects_rounds: summary.rounds,
         effects_regions: summary.regions,
         effects_truncated: summary.truncated,
+        cache_hits: 0,
+        cache_misses: 0,
+        cache_invalidated: 0,
+        cache_corrupt_recovered: 0,
     };
 
     Ok(AnalysisResult {

@@ -52,6 +52,7 @@
 //! assert_eq!(result.reports[0].describe, "new Order");
 //! ```
 
+pub mod cache;
 pub mod contexts;
 pub mod detect;
 pub mod flows;
@@ -65,6 +66,9 @@ pub mod server;
 pub mod target;
 pub mod witness;
 
+pub use cache::{
+    cacheable_config, compute_keys, CacheStats, CachedTarget, ProgramKeys, SummaryCache,
+};
 pub use contexts::{ContextConfig, ContextTable};
 pub use detect::{check, AnalysisResult, DetectorConfig, PhaseTimes, RunStats};
 pub use flows::{FlowConfig, FlowRelations, OutsideEdge};

@@ -1,17 +1,27 @@
 //! Crash-safe file persistence: atomic whole-file writes.
 //!
 //! Every machine-readable artifact this workspace emits (`--json`
-//! campaign summaries, Table 1 exports, check results) is consumed by
-//! downstream tooling that cannot tolerate a truncated document. A
-//! process killed mid-`write` leaves exactly that, so all such outputs
-//! go through [`write_atomic`]: the bytes land in a temporary file in
-//! the destination directory, are fsync'd, and are then renamed over
-//! the target. POSIX rename is atomic within a filesystem, so at any
-//! kill point the destination holds either the complete old document or
-//! the complete new one — never a prefix.
+//! campaign summaries, Table 1 exports, check results, summary-cache
+//! compactions) is consumed by downstream tooling that cannot tolerate
+//! a truncated document. A process killed mid-`write` leaves exactly
+//! that, so all such outputs go through [`write_atomic`]: the bytes
+//! land in a temporary file in the destination directory, are fsync'd,
+//! and are then renamed over the target. POSIX rename is atomic within
+//! a filesystem, so at any kill point the destination holds either the
+//! complete old document or the complete new one — never a prefix.
 
 use std::io::Write as _;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-process sequence number for temp-file names. The pid alone is
+/// not enough: two threads of one process writing the same destination
+/// would otherwise share a temp file and interleave their `write_all`
+/// calls, and the final rename could publish a torn blend of both
+/// documents. The counter gives each in-flight write its own temp file;
+/// the rename then makes concurrent same-path writers last-write-wins
+/// over *complete* documents only.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// Writes `contents` to `path` atomically: temp file in the same
 /// directory, flush + fsync, then rename over the destination.
@@ -19,8 +29,7 @@ use std::path::Path;
 /// # Errors
 ///
 /// Propagates I/O failures from any step; on failure the destination is
-/// untouched (a stray temp file may remain and is overwritten by the
-/// next attempt).
+/// untouched and the temporary file is removed (best-effort).
 pub fn write_atomic(path: &Path, contents: &[u8]) -> std::io::Result<()> {
     let dir = match path.parent() {
         Some(parent) if !parent.as_os_str().is_empty() => parent,
@@ -36,15 +45,23 @@ pub fn write_atomic(path: &Path, contents: &[u8]) -> std::io::Result<()> {
         })?
         .to_string_lossy()
         .into_owned();
-    // The temp name is keyed by pid so concurrent writers of *different*
-    // documents never collide; concurrent writers of the same document
-    // last-write-wins, which rename makes safe.
-    let tmp = dir.join(format!(".{file_name}.tmp.{}", std::process::id()));
-    let mut file = std::fs::File::create(&tmp)?;
-    file.write_all(contents)?;
-    file.sync_all()?;
-    drop(file);
-    std::fs::rename(&tmp, path)?;
+    // Keyed by pid (cross-process) and a per-process counter
+    // (cross-thread) so no two in-flight writes ever share a temp file.
+    let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let tmp = dir.join(format!(".{file_name}.tmp.{}.{seq}", std::process::id()));
+    let write = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(contents)?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)
+    })();
+    if write.is_err() {
+        // Best-effort cleanup: never leave a stray temp file behind on
+        // the error path (the rename consumed it on success).
+        let _ = std::fs::remove_file(&tmp);
+        return write;
+    }
     // Best-effort directory fsync so the rename itself survives a power
     // cut; ignored where directories cannot be opened (non-POSIX).
     if let Ok(dirf) = std::fs::File::open(dir) {
@@ -94,5 +111,61 @@ mod tests {
         let bad = dir.join("no-such-subdir").join("out.json");
         assert!(write_atomic(&bad, b"new").is_err());
         assert_eq!(std::fs::read_to_string(&path).unwrap(), "old");
+    }
+
+    #[test]
+    fn concurrent_writers_never_publish_a_torn_blend() {
+        // Satellite regression: with pid-only temp names, two threads
+        // writing the same destination shared one temp file and the
+        // rename could publish interleaved halves. With per-write temp
+        // names the destination always holds one writer's complete
+        // document.
+        let dir = temp_dir("race");
+        let path = dir.join("contended.json");
+        let mut payloads = Vec::new();
+        for i in 0..8u8 {
+            // Large enough that a torn blend is overwhelmingly likely
+            // to be caught by the uniformity check below.
+            payloads.push(vec![b'a' + i; 64 * 1024]);
+        }
+        std::thread::scope(|scope| {
+            for payload in &payloads {
+                let path = path.clone();
+                scope.spawn(move || {
+                    for _ in 0..16 {
+                        write_atomic(&path, payload).unwrap();
+                    }
+                });
+            }
+        });
+        let published = std::fs::read(&path).unwrap();
+        assert_eq!(published.len(), 64 * 1024, "torn or blended length");
+        assert!(
+            published.windows(2).all(|w| w[0] == w[1]),
+            "destination holds bytes from more than one writer"
+        );
+        let stray: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp."))
+            .collect();
+        assert!(stray.is_empty(), "stray temp files: {stray:?}");
+    }
+
+    #[test]
+    fn failed_write_leaves_directory_clean() {
+        // Satellite regression: the error path used to leak the temp
+        // file. Provoke a rename failure by making the destination an
+        // occupied directory.
+        let dir = temp_dir("cleanup");
+        let path = dir.join("blocked");
+        std::fs::create_dir_all(path.join("occupied")).unwrap();
+        assert!(write_atomic(&path, b"data").is_err());
+        let stray: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp."))
+            .collect();
+        assert!(stray.is_empty(), "error path leaked temp files: {stray:?}");
     }
 }

@@ -221,4 +221,84 @@ if [ "$rc" -gt 1 ]; then
 fi
 cmp "$tmpdir/full.json" "$tmpdir/resumed.json"
 
+echo "==> warm-vs-cold cache determinism (1-method edit, leakc level)"
+# A cold `--cache` run, an analysis-invisible one-method edit, and the
+# warm re-check must agree byte-for-byte with a cache-less run — same
+# --json summary, same report lines (modulo timing/cache telemetry).
+cat > "$tmpdir/incr.jml" <<'JML'
+class Item { }
+class Holder { Item item; }
+class Main {
+  static void main() {
+    Holder h = new Holder();
+    int pad = 1 + 2;
+    @check while (nondet()) {
+      Item it = new Item();
+      h.item = it;
+    }
+  }
+}
+JML
+norm_check() {
+  grep -v '^target \|^  phases:\|^cache:\|^summary written to ' "$1" > "$2"
+}
+set +e
+"$leakc" check "$tmpdir/incr.jml" --json "$tmpdir/incr-nocache.json" \
+  > "$tmpdir/incr-nocache.txt"; rc_a=$?
+"$leakc" check "$tmpdir/incr.jml" --cache "$tmpdir/cache" \
+  --json "$tmpdir/incr-cold.json" > "$tmpdir/incr-cold.txt"; rc_b=$?
+set -e
+if [ "$rc_a" -ne 1 ] || [ "$rc_b" -ne 1 ]; then
+  echo "cache determinism: cold runs exited $rc_a/$rc_b, want 1" >&2
+  exit 1
+fi
+grep -q '1 misses' "$tmpdir/incr-cold.txt" || {
+  echo "cache determinism: cold run did not count its miss" >&2
+  exit 1
+}
+# The one-method edit, in place: new integer constants, same analysis
+# semantics, same path (the --json summary embeds the file name).
+sed 's/int pad = 1 + 2;/int pad = 7 + 9;/' "$tmpdir/incr.jml" \
+  > "$tmpdir/incr-edited.jml"
+cmp -s "$tmpdir/incr.jml" "$tmpdir/incr-edited.jml" && {
+  echo "cache determinism: edit did not change the source" >&2
+  exit 1
+}
+mv "$tmpdir/incr-edited.jml" "$tmpdir/incr.jml"
+set +e
+"$leakc" check "$tmpdir/incr.jml" --cache "$tmpdir/cache" \
+  --json "$tmpdir/incr-warm.json" > "$tmpdir/incr-warm.txt"; rc_c=$?
+set -e
+if [ "$rc_c" -ne 1 ]; then
+  echo "cache determinism: warm run exited $rc_c, want 1" >&2
+  exit 1
+fi
+grep -q '(cached)' "$tmpdir/incr-warm.txt" || {
+  echo "cache determinism: edited re-check did not replay warm" >&2
+  exit 1
+}
+cmp "$tmpdir/incr-nocache.json" "$tmpdir/incr-cold.json"
+cmp "$tmpdir/incr-nocache.json" "$tmpdir/incr-warm.json"
+norm_check "$tmpdir/incr-nocache.txt" "$tmpdir/incr-nocache.norm"
+norm_check "$tmpdir/incr-warm.txt" "$tmpdir/incr-warm.norm"
+cmp "$tmpdir/incr-nocache.norm" "$tmpdir/incr-warm.norm"
+
+echo "==> cache smoke (100k statements, warm >= 10x cold, byte-identical)"
+# The incremental-analysis acceptance gate: seed the store cold, bump
+# one integer constant in one stage method, and the warm re-check must
+# hit, replay byte-identically at jobs 1 and 4, and beat cold by >= 10x.
+cargo run -q --release --offline -p leakchecker-bench --bin cache_smoke -- \
+  --stmts 100000 --jobs-list 1,4 --min-speedup 10
+
+echo "==> cache chaos matrix (torn-cache / flip / trunc / compound)"
+# The crash-safety gate: under every disk fault the store degrades to a
+# miss — never a wrong answer — and the warm-path report byte-equals a
+# cache-disabled run. Record 1 is the result record, records 2.. the
+# method records, so the matrix covers payload rot, a torn method tail,
+# a lost tail, and compound damage.
+for plan in 'flip@1:40' 'torn-cache@2' 'trunc@1' 'flip@2:9,torn-cache@3'; do
+  cargo run -q --release --offline -p leakchecker-bench --bin cache_smoke -- \
+    --stmts 20000 --chaos "$plan"
+done
+
 echo "CI OK"

@@ -28,6 +28,10 @@ fn fingerprint(result: &AnalysisResult) -> String {
         query_batches,
         effects_rounds,
         effects_truncated,
+        cache_hits,
+        cache_misses,
+        cache_invalidated,
+        cache_corrupt_recovered,
         // Excluded on purpose: wall-clock and thread count vary per run,
         // and the effects region width depends on jobs and machine width.
         time_secs: _,
@@ -43,7 +47,9 @@ fn fingerprint(result: &AnalysisResult) -> String {
          quarantined={quarantined} deadline_hits={deadline_hits} \
          degraded={degraded_reports} batched={batched_queries} \
          batches={query_batches} effects_rounds={effects_rounds} \
-         effects_truncated={effects_truncated}\n{}",
+         effects_truncated={effects_truncated} cache_hits={cache_hits} \
+         cache_misses={cache_misses} cache_invalidated={cache_invalidated} \
+         cache_corrupt_recovered={cache_corrupt_recovered}\n{}",
         render_all(&result.program, &result.reports)
     )
 }
