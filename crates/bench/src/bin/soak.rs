@@ -35,9 +35,10 @@
 //!   exactly one response.
 
 use leakchecker_bench::chaos::{parse_chaos_plan, ChaosPlan, ChaosProxy};
-use leakchecker_cli::protocol::{json_escape, parse_json, Json};
+use leakchecker_bench::metrics::{parse_exposition, Exposition};
+use leakchecker_cli::protocol::{json_escape, parse_json, parse_metrics_response, Json};
 use leakchecker_cli::{RouteOptions, Router, ServeOptions, Server};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
@@ -62,13 +63,25 @@ struct Args {
     fleet: usize,
     chaos: Option<String>,
     hedge_ms: Option<u64>,
+    /// `--scrape ADDR`: fetch the exposition via the `metrics` protocol
+    /// verb, validate it strictly, and print it.
+    scrape: Option<String>,
+    /// `--scrape-http ADDR`: same, over a raw `GET /metrics`.
+    scrape_http: Option<String>,
+    /// `--require NAME:MIN`, repeatable: after a scrape, the summed
+    /// value of series NAME must be >= MIN or the run exits 2.
+    require: Vec<(String, f64)>,
+    /// `--min-rps N`: campaign modes fail unless throughput reached N.
+    min_rps: Option<f64>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: soak [--clients N] [--requests N] [--queue N] [--workers N]\n\
+        "usage: soak [--clients N] [--requests N] [--queue N] [--workers N] [--min-rps N]\n\
          \x20      soak --fleet N [--chaos SPEC] [--hedge-ms N] [campaign flags]\n\
          \x20      soak --connect HOST:PORT --mixed N [--checks-only]\n\
+         \x20      soak --scrape HOST:PORT | --scrape-http HOST:PORT\n\
+         \x20           [--require NAME:MIN ...]\n\
          \x20  chaos SPEC: kill@N[:ms],stall@N:ms,drop@N,torn@N (work-request index)"
     );
     std::process::exit(2);
@@ -86,6 +99,10 @@ fn parse_args() -> Args {
         fleet: 0,
         chaos: None,
         hedge_ms: None,
+        scrape: None,
+        scrape_http: None,
+        require: Vec::new(),
+        min_rps: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -107,6 +124,26 @@ fn parse_args() -> Args {
             "--checks-only" => args.checks_only = true,
             "--connect" => args.connect = it.next().cloned().or_else(|| usage()),
             "--chaos" => args.chaos = it.next().cloned().or_else(|| usage()),
+            "--scrape" => args.scrape = it.next().cloned().or_else(|| usage()),
+            "--scrape-http" => args.scrape_http = it.next().cloned().or_else(|| usage()),
+            "--require" => {
+                let spec = it.next().cloned().unwrap_or_else(|| usage());
+                let Some((name, min)) = spec.rsplit_once(':') else {
+                    eprintln!("--require needs NAME:MIN, got `{spec}`");
+                    usage();
+                };
+                let Ok(min) = min.parse::<f64>() else {
+                    eprintln!("--require `{spec}`: MIN is not a number");
+                    usage();
+                };
+                args.require.push((name.to_string(), min));
+            }
+            "--min-rps" => {
+                args.min_rps = it.next().and_then(|v| v.parse().ok()).or_else(|| {
+                    eprintln!("--min-rps needs a number");
+                    usage()
+                });
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -253,6 +290,106 @@ fn run_client(addr: &str, mixed: usize, checks_only: bool) -> Result<(), String>
             .map_err(|e| format!("stdout closed while writing response {index}: {e}"))?;
     }
     Ok(())
+}
+
+/// Fetches the exposition via the `metrics` protocol verb.
+fn scrape_protocol(addr: &str) -> Result<String, String> {
+    let stream = connect_with_retry(addr)?;
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| format!("cannot clone connection to {addr}: {e}"))?,
+    );
+    let mut writer = stream;
+    writer
+        .write_all(b"{\"kind\": \"metrics\"}\n")
+        .and_then(|()| writer.flush())
+        .map_err(|e| format!("lost connection to {addr} writing metrics verb: {e}"))?;
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => Err(format!("{addr} closed before answering the metrics verb")),
+        Err(e) => Err(format!("lost connection to {addr} reading metrics: {e}")),
+        Ok(_) => parse_metrics_response(line.trim_end()),
+    }
+}
+
+/// Fetches the exposition raw: `GET /metrics` against `--metrics-addr`.
+fn scrape_http(addr: &str) -> Result<String, String> {
+    let mut stream = connect_with_retry(addr)?;
+    stream
+        .write_all(b"GET /metrics HTTP/1.0\r\nHost: soak\r\n\r\n")
+        .map_err(|e| format!("cannot write GET /metrics to {addr}: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("cannot read /metrics from {addr}: {e}"))?;
+    let Some((head, body)) = response.split_once("\r\n\r\n") else {
+        return Err(format!("{addr}: no header/body separator in response"));
+    };
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains(" 200 ") {
+        return Err(format!("{addr}: GET /metrics answered `{status}`"));
+    }
+    Ok(body.to_string())
+}
+
+/// Strict-parses a scraped exposition and enforces every `--require`.
+fn validate_exposition(
+    label: &str,
+    text: &str,
+    require: &[(String, f64)],
+) -> Result<Exposition, String> {
+    let exposition =
+        parse_exposition(text).map_err(|e| format!("{label}: malformed exposition: {e}"))?;
+    for (name, min) in require {
+        let value = exposition
+            .value(name)
+            .ok_or_else(|| format!("{label}: required series `{name}` is absent"))?;
+        if value < *min {
+            return Err(format!("{label}: {name} = {value}, required >= {min}"));
+        }
+    }
+    Ok(exposition)
+}
+
+/// A `--scrape*` transport: fetches the raw exposition from an address.
+type ScrapeFetch = fn(&str) -> Result<String, String>;
+
+/// Runs whichever `--scrape*` flags were given: fetch, strict-parse,
+/// enforce `--require`, and print the exposition.
+fn run_scrapes(args: &Args) -> Result<(), String> {
+    let mut stdout = std::io::stdout().lock();
+    let scrapes: [(&str, &Option<String>, ScrapeFetch); 2] = [
+        ("scrape", &args.scrape, scrape_protocol),
+        ("scrape-http", &args.scrape_http, scrape_http),
+    ];
+    for (label, target, fetch) in scrapes {
+        let Some(addr) = target else { continue };
+        let text = fetch(addr)?;
+        let exposition = validate_exposition(label, &text, &args.require)?;
+        writeln!(
+            stdout,
+            "# soak {label} {addr}: {} families, {} samples, all constraints met",
+            exposition.types.len(),
+            exposition.samples.len()
+        )
+        .map_err(|e| format!("stdout closed: {e}"))?;
+        write!(stdout, "{text}").map_err(|e| format!("stdout closed: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Enforces `--min-rps` against a finished campaign.
+fn enforce_min_rps(args: &Args, total: usize, elapsed: f64) {
+    if let Some(min) = args.min_rps {
+        let rps = total as f64 / elapsed;
+        assert!(
+            rps >= min,
+            "throughput gate failed: {rps:.0} req/s < required {min:.0}"
+        );
+        println!("throughput gate: {rps:.0} req/s >= {min:.0} required");
+    }
 }
 
 fn classify(line: &str) -> &'static str {
@@ -411,6 +548,31 @@ fn run_fleet(args: &Args) {
     let per_client = run_campaign(router.local_addr(), args);
     let elapsed = begin.elapsed().as_secs_f64();
     let total = report_campaign(&per_client, elapsed);
+    enforce_min_rps(args, total, elapsed);
+
+    // Scrape the router's aggregated fleet exposition while the fleet
+    // is still up, the way a monitoring agent would mid-soak.
+    match scrape_protocol(&router.local_addr().to_string())
+        .and_then(|text| validate_exposition("fleet metrics", &text, &args.require))
+    {
+        Ok(exposition) => {
+            let read = |name: &str| exposition.value(name).unwrap_or(0.0);
+            println!(
+                "fleet metrics: {} families parsed cleanly; served={} coalesced={} \
+                 shed={} retries={} reporting={}",
+                exposition.types.len(),
+                read("leakc_fleet_requests_served_total"),
+                read("leakc_fleet_requests_coalesced_total"),
+                read("leakc_fleet_requests_shed_total"),
+                read("leakc_router_retries_total"),
+                read("leakc_fleet_shards_reporting"),
+            );
+        }
+        Err(e) => {
+            eprintln!("soak: {e}");
+            std::process::exit(2);
+        }
+    }
 
     if let Some(proxy) = proxy {
         println!(
@@ -455,6 +617,18 @@ fn main() {
             eprintln!("usage: soak --connect HOST:PORT --mixed N [--checks-only]");
             std::process::exit(2);
         }
+        if let Err(message) = run_scrapes(&args) {
+            eprintln!("soak: {message}");
+            std::process::exit(2);
+        }
+        return;
+    }
+    if args.scrape.is_some() || args.scrape_http.is_some() {
+        // Standalone scrape: no campaign, just fetch + strict-validate.
+        if let Err(message) = run_scrapes(&args) {
+            eprintln!("soak: {message}");
+            std::process::exit(2);
+        }
         return;
     }
     if args.fleet > 0 {
@@ -482,13 +656,15 @@ fn main() {
     let elapsed = begin.elapsed().as_secs_f64();
     let total = report_campaign(&per_client, elapsed);
 
+    enforce_min_rps(&args, total, elapsed);
     let summary = server.drain();
     println!(
-        "daemon: admitted={} served={} shed={} panicked={} drained_cleanly={}",
+        "daemon: admitted={} served={} shed={} panicked={} coalesced={} drained_cleanly={}",
         summary.stats.admitted,
         summary.stats.served,
         summary.stats.shed,
         summary.stats.panicked,
+        summary.stats.coalesced,
         summary.drained_cleanly
     );
     // Every client got a response line per request, including for the

@@ -160,6 +160,10 @@ struct Shared {
     clock: AtomicUsize,
     /// Lines actually forwarded to the shard (all kinds).
     forwarded: AtomicUsize,
+    /// The work-request lines that really reached the shard, verbatim —
+    /// the chaos tests assert over these (e.g. that a router never
+    /// dispatched a `"deadline_ms": 0` frame).
+    work_frames: Mutex<Vec<String>>,
     killed: Mutex<KillState>,
     stop: AtomicBool,
 }
@@ -253,6 +257,13 @@ fn proxy_connection(client: TcpStream, upstream_addr: SocketAddr, shared: &Share
             return;
         }
         shared.forwarded.fetch_add(1, Ordering::SeqCst);
+        if is_work {
+            shared
+                .work_frames
+                .lock()
+                .unwrap()
+                .push(line.trim_end().to_string());
+        }
         let mut response = String::new();
         match upstream_reader.read_line(&mut response) {
             Ok(0) | Err(_) => return,
@@ -297,6 +308,7 @@ impl ChaosProxy {
             plan,
             clock: AtomicUsize::new(0),
             forwarded: AtomicUsize::new(0),
+            work_frames: Mutex::new(Vec::new()),
             killed: Mutex::new(None),
             stop: AtomicBool::new(false),
         });
@@ -346,6 +358,12 @@ impl ChaosProxy {
     /// Lines of any kind forwarded to the shard.
     pub fn forwarded(&self) -> usize {
         self.shared.forwarded.load(Ordering::SeqCst)
+    }
+
+    /// The work-request lines that actually reached the shard, in
+    /// arrival order.
+    pub fn work_frames(&self) -> Vec<String> {
+        self.shared.work_frames.lock().unwrap().clone()
     }
 
     /// Stops the accept loop and closes down (open connections die on

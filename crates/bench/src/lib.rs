@@ -22,6 +22,7 @@ use std::path::Path;
 use std::time::Instant;
 
 pub mod chaos;
+pub mod metrics;
 pub mod stopwatch;
 
 /// One row of the reproduced Table 1.

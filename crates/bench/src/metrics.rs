@@ -1,0 +1,414 @@
+//! Strict Prometheus text-format parser for the metrics-scrape gates.
+//!
+//! The serve tier exposes its `/metrics` exposition both as a protocol
+//! verb and over plain HTTP; CI scrapes it mid-soak and this parser is
+//! the referee. It is deliberately *stricter* than a real Prometheus
+//! scraper: every metric family must announce itself with `# HELP` and
+//! `# TYPE` before its first sample, names and labels must stay inside
+//! the legal charset, no series may appear twice, and histogram
+//! families must be cumulative with a `+Inf` bucket whose count equals
+//! the family's `_count`. A lenient parser would wave through exactly
+//! the malformed output this gate exists to catch.
+
+use std::collections::BTreeMap;
+
+/// One sample line: `name{label="v",...} value`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Metric name (for histogram series this includes the `_bucket` /
+    /// `_sum` / `_count` suffix).
+    pub name: String,
+    /// Label pairs in source order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value (`+Inf` parses to `f64::INFINITY`).
+    pub value: f64,
+}
+
+/// A parsed exposition: declared families and their samples.
+#[derive(Clone, Debug, Default)]
+pub struct Exposition {
+    /// Family name → declared `# TYPE` (counter, gauge, histogram...).
+    pub types: BTreeMap<String, String>,
+    /// All samples in source order.
+    pub samples: Vec<Sample>,
+}
+
+impl Exposition {
+    /// Sum of every sample of `name` across its label sets. Histogram
+    /// internal series must be addressed by their full suffixed name.
+    pub fn value(&self, name: &str) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut seen = false;
+        for s in &self.samples {
+            if s.name == name {
+                sum += s.value;
+                seen = true;
+            }
+        }
+        seen.then_some(sum)
+    }
+
+    /// The sample of `name` carrying every `(label, value)` pair in
+    /// `labels` (other labels may also be present).
+    pub fn value_with(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| {
+                s.name == name
+                    && labels
+                        .iter()
+                        .all(|(k, v)| s.labels.iter().any(|(sk, sv)| sk == k && sv == v))
+            })
+            .map(|s| s.value)
+    }
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn parse_value(text: &str) -> Result<f64, String> {
+    match text {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        other => other
+            .parse::<f64>()
+            .map_err(|_| format!("unparseable sample value `{other}`")),
+    }
+}
+
+/// Splits a `{...}` label body into pairs, honouring escaped quotes.
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without `=` in `{{{body}}}`"))?;
+        let name = rest[..eq].to_string();
+        if !valid_label_name(&name) {
+            return Err(format!("illegal label name `{name}`"));
+        }
+        let after = &rest[eq + 1..];
+        if !after.starts_with('"') {
+            return Err(format!("label `{name}` value is not quoted"));
+        }
+        let mut value = String::new();
+        let mut chars = after[1..].char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, e)) => value.push(e),
+                    None => return Err(format!("dangling escape in label `{name}`")),
+                },
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        let end = end.ok_or_else(|| format!("unterminated label value for `{name}`"))?;
+        labels.push((name, value));
+        rest = &after[1 + end + 1..];
+        match rest.strip_prefix(',') {
+            Some(tail) => rest = tail,
+            None if rest.is_empty() => {}
+            None => return Err(format!("junk after label value in `{{{body}}}`")),
+        }
+    }
+    Ok(labels)
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (series, value_text) = match line.find('{') {
+        Some(open) => {
+            let close = line
+                .rfind('}')
+                .ok_or_else(|| format!("unterminated label set: {line}"))?;
+            (
+                (&line[..open], parse_labels(&line[open + 1..close])?),
+                line[close + 1..].trim(),
+            )
+        }
+        None => {
+            let mut parts = line.splitn(2, ' ');
+            let name = parts.next().unwrap_or("");
+            ((name, Vec::new()), parts.next().unwrap_or("").trim())
+        }
+    };
+    let (name, labels) = series;
+    if !valid_name(name) {
+        return Err(format!("illegal metric name `{name}`"));
+    }
+    if value_text.is_empty() {
+        return Err(format!("sample without a value: {line}"));
+    }
+    Ok(Sample {
+        name: name.to_string(),
+        labels,
+        value: parse_value(value_text)?,
+    })
+}
+
+/// The family a sample belongs to: histogram internal series drop
+/// their `_bucket`/`_sum`/`_count` suffix iff that family was declared
+/// a histogram.
+fn family_of<'a>(name: &'a str, types: &BTreeMap<String, String>) -> &'a str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stem) = name.strip_suffix(suffix) {
+            if types.get(stem).map(String::as_str) == Some("histogram") {
+                return stem;
+            }
+        }
+    }
+    name
+}
+
+/// Parses a full exposition, enforcing the structural rules described
+/// in the module docs.
+///
+/// # Errors
+///
+/// A human-readable description of the first violation found.
+pub fn parse_exposition(text: &str) -> Result<Exposition, String> {
+    let mut exposition = Exposition::default();
+    let mut helped: BTreeMap<String, bool> = BTreeMap::new();
+    let mut seen_series: Vec<(String, Vec<(String, String)>)> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: String| format!("line {}: {msg}", lineno + 1);
+        if let Some(comment) = line.strip_prefix("# ") {
+            let mut parts = comment.splitn(3, ' ');
+            match (parts.next(), parts.next(), parts.next()) {
+                (Some("HELP"), Some(name), Some(_)) => {
+                    if !valid_name(name) {
+                        return Err(err(format!("illegal family name `{name}`")));
+                    }
+                    helped.insert(name.to_string(), true);
+                }
+                (Some("TYPE"), Some(name), Some(kind)) => {
+                    if !helped.contains_key(name) {
+                        return Err(err(format!("# TYPE {name} before its # HELP")));
+                    }
+                    if exposition.types.contains_key(name) {
+                        return Err(err(format!("family `{name}` declared twice")));
+                    }
+                    if !matches!(
+                        kind,
+                        "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                    ) {
+                        return Err(err(format!("unknown family type `{kind}`")));
+                    }
+                    exposition.types.insert(name.to_string(), kind.to_string());
+                }
+                _ => return Err(err(format!("unrecognized comment `{line}`"))),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            return Err(err(format!("malformed comment `{line}`")));
+        }
+        let sample = parse_sample(line).map_err(err)?;
+        let family = family_of(&sample.name, &exposition.types);
+        if !exposition.types.contains_key(family) {
+            return Err(err(format!(
+                "sample `{}` before its family's # TYPE",
+                sample.name
+            )));
+        }
+        let series = (sample.name.clone(), sample.labels.clone());
+        if seen_series.contains(&series) {
+            return Err(err(format!("duplicate series `{}`", sample.name)));
+        }
+        seen_series.push(series);
+        exposition.samples.push(sample);
+    }
+    check_histograms(&exposition)?;
+    Ok(exposition)
+}
+
+/// Per-histogram structural checks: buckets are cumulative (sorted by
+/// `le`, non-decreasing), end in `+Inf`, and `_count` equals the
+/// `+Inf` bucket.
+fn check_histograms(exposition: &Exposition) -> Result<(), String> {
+    let histograms: Vec<&String> = exposition
+        .types
+        .iter()
+        .filter(|(_, kind)| kind.as_str() == "histogram")
+        .map(|(name, _)| name)
+        .collect();
+    for family in histograms {
+        // Group buckets by their non-`le` label set (e.g. per phase).
+        let mut groups: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+        let bucket_name = format!("{family}_bucket");
+        for s in &exposition.samples {
+            if s.name != bucket_name {
+                continue;
+            }
+            let le = s
+                .labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .ok_or_else(|| format!("{bucket_name} sample without `le`"))?;
+            let bound =
+                parse_value(&le.1).map_err(|e| format!("{bucket_name}: bad `le` bound: {e}"))?;
+            let group_key = s
+                .labels
+                .iter()
+                .filter(|(k, _)| k != "le")
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(",");
+            groups.entry(group_key).or_default().push((bound, s.value));
+        }
+        for (group, buckets) in &groups {
+            let mut prev_bound = f64::NEG_INFINITY;
+            let mut prev_count = 0.0;
+            for (bound, count) in buckets {
+                if *bound <= prev_bound {
+                    return Err(format!(
+                        "{family}{{{group}}}: bucket bounds not increasing at le={bound}"
+                    ));
+                }
+                if *count < prev_count {
+                    return Err(format!(
+                        "{family}{{{group}}}: bucket counts not cumulative at le={bound}"
+                    ));
+                }
+                prev_bound = *bound;
+                prev_count = *count;
+            }
+            let Some((last_bound, last_count)) = buckets.last() else {
+                continue;
+            };
+            if !last_bound.is_infinite() {
+                return Err(format!("{family}{{{group}}}: missing +Inf bucket"));
+            }
+            let count_labels: Vec<(&str, &str)> = group
+                .split(',')
+                .filter(|p| !p.is_empty())
+                .filter_map(|p| p.split_once('='))
+                .collect();
+            let declared = exposition
+                .value_with(&format!("{family}_count"), &count_labels)
+                .ok_or_else(|| format!("{family}{{{group}}}: missing _count series"))?;
+            if (declared - last_count).abs() > f64::EPSILON {
+                return Err(format!(
+                    "{family}{{{group}}}: _count {declared} != +Inf bucket {last_count}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "\
+# HELP leakc_up Daemon liveness.
+# TYPE leakc_up gauge
+leakc_up 1
+# HELP leakc_requests_served_total Requests served.
+# TYPE leakc_requests_served_total counter
+leakc_requests_served_total 42
+# HELP leakc_phase_seconds Per-phase latency.
+# TYPE leakc_phase_seconds histogram
+leakc_phase_seconds_bucket{phase=\"flows\",le=\"0.001\"} 3
+leakc_phase_seconds_bucket{phase=\"flows\",le=\"0.1\"} 5
+leakc_phase_seconds_bucket{phase=\"flows\",le=\"+Inf\"} 7
+leakc_phase_seconds_sum{phase=\"flows\"} 1.250000
+leakc_phase_seconds_count{phase=\"flows\"} 7
+";
+
+    #[test]
+    fn parses_a_well_formed_exposition() {
+        let exposition = parse_exposition(GOOD).expect("good exposition");
+        assert_eq!(exposition.value("leakc_up"), Some(1.0));
+        assert_eq!(exposition.value("leakc_requests_served_total"), Some(42.0));
+        assert_eq!(
+            exposition.value_with(
+                "leakc_phase_seconds_bucket",
+                &[("phase", "flows"), ("le", "+Inf")]
+            ),
+            Some(7.0)
+        );
+        assert_eq!(
+            exposition.types.get("leakc_phase_seconds").unwrap(),
+            "histogram"
+        );
+        assert_eq!(exposition.value("leakc_missing"), None);
+    }
+
+    #[test]
+    fn rejects_samples_without_a_declared_family() {
+        let err = parse_exposition("leakc_orphan 1\n").unwrap_err();
+        assert!(err.contains("before its family's # TYPE"), "{err}");
+    }
+
+    #[test]
+    fn rejects_type_before_help_and_duplicate_declarations() {
+        let err = parse_exposition("# TYPE leakc_x counter\nleakc_x 1\n").unwrap_err();
+        assert!(err.contains("before its # HELP"), "{err}");
+        let text = "# HELP leakc_x X.\n# TYPE leakc_x counter\n\
+                    # HELP leakc_x X.\n# TYPE leakc_x counter\nleakc_x 1\n";
+        let err = parse_exposition(text).unwrap_err();
+        assert!(err.contains("declared twice"), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_series_and_bad_names() {
+        let text = "# HELP leakc_x X.\n# TYPE leakc_x counter\nleakc_x 1\nleakc_x 2\n";
+        let err = parse_exposition(text).unwrap_err();
+        assert!(err.contains("duplicate series"), "{err}");
+        let err = parse_exposition("# HELP 9bad X.\n").unwrap_err();
+        assert!(err.contains("illegal family name"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_cumulative_and_inf_less_histograms() {
+        let text = "# HELP h H.\n# TYPE h histogram\n\
+                    h_bucket{le=\"0.1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n";
+        let err = parse_exposition(text).unwrap_err();
+        assert!(err.contains("not cumulative"), "{err}");
+        let text = "# HELP h H.\n# TYPE h histogram\n\
+                    h_bucket{le=\"0.1\"} 5\nh_sum 1\nh_count 5\n";
+        let err = parse_exposition(text).unwrap_err();
+        assert!(err.contains("missing +Inf"), "{err}");
+        let text = "# HELP h H.\n# TYPE h histogram\n\
+                    h_bucket{le=\"0.1\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 4\n";
+        let err = parse_exposition(text).unwrap_err();
+        assert!(err.contains("!= +Inf bucket"), "{err}");
+    }
+
+    #[test]
+    fn label_escapes_round_trip() {
+        let text = "# HELP m M.\n# TYPE m gauge\nm{path=\"a\\\\b\\\"c\"} 2\n";
+        let exposition = parse_exposition(text).expect("escaped labels");
+        assert_eq!(
+            exposition.value_with("m", &[("path", "a\\b\"c")]),
+            Some(2.0)
+        );
+    }
+}

@@ -306,9 +306,11 @@ USAGE:
               [--inject SPEC] [--journal PATH | --resume PATH]
   leakc serve [--addr HOST:PORT] [--socket PATH] [--queue N] [--workers N]
               [--shard NAME] [--epoch N] [--deadline-ms N] [--cache DIR]
+              [--metrics-addr HOST:PORT] [--no-coalesce]
   leakc route --shard HOST:PORT [--shard HOST:PORT ...] [--addr HOST:PORT]
               [--retries N] [--backoff-ms N] [--hedge-ms N] [--deadline-ms N]
               [--breaker-failures N] [--breaker-cooldown-ms N]
+              [--metrics-addr HOST:PORT]
   leakc help  [check|run|print|loops|fuzz|serve|route]
 
 `leakc help <command>` (or `leakc <command> --help`) documents every
@@ -488,6 +490,13 @@ FLAGS:
                          `delta` verb re-checks edits warm; corrupt
                          records degrade to misses, never to wrong
                          answers
+  --metrics-addr HOST:PORT  additionally serve the Prometheus text
+                         exposition raw over plain `GET /metrics` on
+                         this address (the bound address is printed)
+  --no-coalesce          disable in-flight coalescing of identical
+                         check requests (on by default; twins of a
+                         queued or running check attach to the same
+                         computation and get byte-identical responses)
 
 FLEET FLAGS (for running behind `leakc route`):
   --shard NAME           this daemon's fleet identity, echoed in
@@ -510,6 +519,9 @@ PROTOCOL (one JSON object per line, one response line per request):
                              response adds warm/invalidated/changed
   {\"kind\": \"health\"}         liveness: state, queue depth, uptime
   {\"kind\": \"stats\"}          counters and per-phase timings
+  {\"kind\": \"metrics\"}        Prometheus text exposition (JSON-escaped
+                             in the `metrics` field), answered inline
+                             even under full load or while draining
   {\"kind\": \"shutdown\"}       request a graceful drain
   {\"kind\": \"panic\"}          fault drill: worker panics, daemon
                              answers `internal` and stays up
@@ -554,6 +566,12 @@ BREAKER FLAGS:
   --breaker-cooldown-ms N  open-state cooldown before the single
                          half-open probe (default 250)
   --probe-interval-ms N  background health-probe period (default 50)
+
+OBSERVABILITY FLAGS:
+  --metrics-addr HOST:PORT  additionally serve the aggregated fleet
+                         exposition raw over plain `GET /metrics`
+                         (also available as the `metrics` protocol
+                         verb on the main endpoint)
 
 Checks are placed on the ring by their source text, so the same
 program+loop always lands on the same primary shard; replicas further
@@ -774,6 +792,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         let p = it.next().ok_or("--cache needs a directory")?;
                         options.cache = Some(p.clone());
                     }
+                    "--metrics-addr" => {
+                        let a = it.next().ok_or("--metrics-addr needs HOST:PORT")?;
+                        options.metrics_addr = Some(a.clone());
+                    }
+                    "--no-coalesce" => {
+                        options.coalesce = false;
+                    }
                     "--help" | "-h" => return help("serve"),
                     other => return Err(format!("serve: unknown flag `{other}`")),
                 }
@@ -843,6 +868,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         let n = it.next().ok_or("--vnodes needs a number")?;
                         options.vnodes =
                             n.parse::<usize>().map_err(|_| "--vnodes needs a number")?;
+                    }
+                    "--metrics-addr" => {
+                        let a = it.next().ok_or("--metrics-addr needs HOST:PORT")?;
+                        options.metrics_addr = Some(a.clone());
                     }
                     "--help" | "-h" => return help("route"),
                     other => return Err(format!("route: unknown flag `{other}`")),
@@ -1787,6 +1816,9 @@ mod tests {
             "2",
             "--deadline-ms",
             "750",
+            "--metrics-addr",
+            "127.0.0.1:9100",
+            "--no-coalesce",
         ]))
         .unwrap();
         let Command::Serve { options } = cmd else {
@@ -1795,6 +1827,8 @@ mod tests {
         assert_eq!(options.shard.as_deref(), Some("shard-a"));
         assert_eq!(options.epoch, 2);
         assert_eq!(options.deadline_ms, Some(750));
+        assert_eq!(options.metrics_addr.as_deref(), Some("127.0.0.1:9100"));
+        assert!(!options.coalesce);
 
         let cmd = parse_args(&argv(&[
             "route",
@@ -1816,6 +1850,8 @@ mod tests {
             "100",
             "--vnodes",
             "32",
+            "--metrics-addr",
+            "127.0.0.1:9101",
         ]))
         .unwrap();
         let Command::Route { options } = cmd else {
@@ -1829,6 +1865,7 @@ mod tests {
         assert_eq!(options.breaker_failures, 2);
         assert_eq!(options.breaker_cooldown_ms, 100);
         assert_eq!(options.vnodes, 32);
+        assert_eq!(options.metrics_addr.as_deref(), Some("127.0.0.1:9101"));
 
         // A fleet of zero shards is a usage error, as is an unknown flag.
         assert!(parse_args(&argv(&["route"])).is_err());

@@ -29,6 +29,9 @@
 //!   `internal` and stay up).
 //! * `{"kind": "health"}` / `{"kind": "stats"}` — liveness and counters;
 //!   answered inline, never queued, so they work under overload.
+//! * `{"kind": "metrics"}` — the Prometheus text exposition as one
+//!   escaped JSON string; answered inline like `health`/`stats` (the
+//!   same text is also served raw on the `--metrics-addr` listener).
 //! * `{"kind": "shutdown"}` — request a graceful drain (same path as
 //!   SIGTERM).
 
@@ -319,6 +322,9 @@ pub enum Request {
     Health,
     /// Counter snapshot; answered inline.
     Stats,
+    /// Prometheus-text exposition wrapped in one JSON frame; answered
+    /// inline (like `health`/`stats`) even while draining.
+    Metrics,
     /// Graceful-drain request (protocol twin of SIGTERM).
     Shutdown,
     /// Injected worker panic (supervision fault drill).
@@ -398,6 +404,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     match kind {
         "health" => Ok(Request::Health),
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
         "shutdown" => Ok(Request::Shutdown),
         "panic" => Ok(Request::Panic {
             id: request_id(&obj)?,
@@ -516,6 +523,7 @@ pub fn render_request(req: &Request) -> String {
     match req {
         Request::Health => "{\"kind\": \"health\"}".to_string(),
         Request::Stats => "{\"kind\": \"stats\"}".to_string(),
+        Request::Metrics => "{\"kind\": \"metrics\"}".to_string(),
         Request::Shutdown => "{\"kind\": \"shutdown\"}".to_string(),
         Request::Panic { id } => format!("{{\"kind\": \"panic\"{}}}", id_suffix(id)),
         Request::Check {
@@ -611,6 +619,18 @@ fn id_fragment(id: &Option<String>) -> String {
     match id {
         Some(id) => format!("\"id\": {id}, "),
         None => String::new(),
+    }
+}
+
+/// Re-addresses a response frame that was computed for the id-less
+/// canonical twin of a coalesced request: inserts this submitter's
+/// `"id"` as the leading field, yielding exactly the bytes an
+/// uncoalesced run would have rendered. A `None` id (or a non-object
+/// frame) returns the response unchanged.
+pub fn readdress_response(id: &Option<String>, response: &str) -> String {
+    match (id, response.strip_prefix('{')) {
+        (Some(_), Some(rest)) => format!("{{{}{rest}", id_fragment(id)),
+        _ => response.to_string(),
     }
 }
 
@@ -727,6 +747,34 @@ pub fn render_unavailable(id: &Option<String>, message: &str) -> String {
     )
 }
 
+/// Response to the `metrics` verb: the full Prometheus text exposition
+/// carried as one escaped string, so it fits the line-delimited frame.
+/// Scrapers unescape `metrics` to recover the multi-line text (the
+/// plain `GET /metrics` listener serves the same text unwrapped).
+pub fn render_metrics_ok(exposition: &str) -> String {
+    format!(
+        "{{\"status\": \"ok\", \"metrics\": \"{}\"}}",
+        json_escape(exposition)
+    )
+}
+
+/// Extracts the raw exposition text from a `metrics`-verb response
+/// frame, undoing the JSON string escaping.
+pub fn parse_metrics_response(line: &str) -> Result<String, String> {
+    let json = parse_json(line)?;
+    let Json::Obj(obj) = json else {
+        return Err("metrics response is not an object".to_string());
+    };
+    match obj.get("status") {
+        Some(Json::Str(s)) if s == "ok" => {}
+        other => return Err(format!("metrics response status: {other:?}")),
+    }
+    match obj.get("metrics") {
+        Some(Json::Str(text)) => Ok(text.clone()),
+        other => Err(format!("metrics response body: {other:?}")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -831,6 +879,7 @@ mod tests {
         let requests = [
             Request::Health,
             Request::Stats,
+            Request::Metrics,
             Request::Shutdown,
             Request::Panic { id: None },
             Request::Panic {
@@ -893,6 +942,36 @@ mod tests {
             overrides,
         });
         assert!(line.contains("\"deadline_ms\": 1234"), "{line}");
+    }
+
+    #[test]
+    fn readdressing_an_idless_frame_matches_the_direct_render() {
+        let id = Some("7".to_string());
+        assert_eq!(
+            readdress_response(&id, &render_check_ok(&None, 1, 2, false, "out")),
+            render_check_ok(&id, 1, 2, false, "out")
+        );
+        assert_eq!(
+            readdress_response(&id, &render_internal(&None, "boom")),
+            render_internal(&id, "boom")
+        );
+        let frame = render_check_ok(&None, 0, 0, false, "");
+        assert_eq!(readdress_response(&None, &frame), frame);
+    }
+
+    #[test]
+    fn metrics_frame_round_trips_the_exposition_text() {
+        assert_eq!(
+            parse_request(r#"{"kind": "metrics"}"#).unwrap(),
+            Request::Metrics
+        );
+        let text =
+            "# HELP leakc_queue_depth depth\n# TYPE leakc_queue_depth gauge\nleakc_queue_depth 0\n";
+        let frame = render_metrics_ok(text);
+        assert!(frame.starts_with("{\"status\": \"ok\", \"metrics\": \""));
+        assert_eq!(parse_metrics_response(&frame).unwrap(), text);
+        assert!(parse_metrics_response("{\"status\": \"error\"}").is_err());
+        assert!(parse_metrics_response("nope").is_err());
     }
 
     #[test]

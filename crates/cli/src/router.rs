@@ -35,14 +35,23 @@
 //! answered within the given latency allowance launches a second
 //! attempt on the next replica and takes whichever answers first —
 //! determinism of the analysis is what makes the race benign.
+//!
+//! Observability: the `metrics` protocol verb (and, with
+//! `--metrics-addr`, a plain `GET /metrics` listener) exposes routing
+//! counters, per-shard breaker state, and `leakc_fleet_*` aggregates
+//! scraped from each live shard's `stats` verb.
 
 use crate::protocol::{
-    json_escape, parse_json, parse_request, render_error, render_request, render_unavailable,
-    response_class, Json, Request, ResponseClass,
+    json_escape, parse_json, parse_request, render_error, render_metrics_ok, render_request,
+    render_unavailable, response_class, Json, Request, ResponseClass,
 };
+use crate::serve::{push_family, serve_http_metrics};
 use crate::{CliOutput, LeakcError};
-use leakchecker::{route_key, BreakerConfig, BreakerStats, CircuitBreaker, HashRing};
+use leakchecker::{
+    lock_resilient, route_key, BreakerConfig, BreakerStats, CircuitBreaker, HashRing,
+};
 use leakchecker_benchsuite::SplitMix64;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -84,6 +93,9 @@ pub struct RouteOptions {
     pub probe_interval_ms: u64,
     /// `--vnodes N` — virtual nodes per shard on the hash ring.
     pub vnodes: usize,
+    /// `--metrics-addr HOST:PORT` — additionally serve the aggregated
+    /// fleet exposition raw over plain `GET /metrics` on this address.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for RouteOptions {
@@ -100,6 +112,7 @@ impl Default for RouteOptions {
             breaker_cooldown_ms: 250,
             probe_interval_ms: 50,
             vnodes: 64,
+            metrics_addr: None,
         }
     }
 }
@@ -157,6 +170,7 @@ pub struct Router {
     accept_handle: Option<JoinHandle<()>>,
     probe_handle: Option<JoinHandle<()>>,
     local_addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
 }
 
 /// Outcome of one attempt against one shard.
@@ -224,20 +238,20 @@ fn attempt_and_record(inner: &RouterInner, idx: usize, line: &str, timeout: Dura
     let outcome = attempt_roundtrip(&ep.addr, line, timeout);
     match &outcome {
         Attempt::Terminal(_) => {
-            ep.breaker.lock().unwrap().record_success();
+            lock_resilient(&ep.breaker).record_success();
             ep.served.fetch_add(1, Ordering::Relaxed);
         }
         Attempt::Refused(response) => {
             // The shard answered, so the transport is healthy — but a
             // drain refusal means new work should go elsewhere until
             // the prober sees it running again.
-            ep.breaker.lock().unwrap().record_success();
+            lock_resilient(&ep.breaker).record_success();
             if response.contains("\"status\": \"draining\"") {
                 ep.draining.store(true, Ordering::SeqCst);
             }
         }
         Attempt::Failed(_) => {
-            ep.breaker.lock().unwrap().record_failure(Instant::now());
+            lock_resilient(&ep.breaker).record_failure(Instant::now());
         }
     }
     outcome
@@ -257,7 +271,7 @@ fn pick_endpoint(inner: &RouterInner, preference: &[usize], cursor: &mut usize) 
             if honor_draining && ep.draining.load(Ordering::SeqCst) {
                 continue;
             }
-            if ep.breaker.lock().unwrap().admit(now) {
+            if lock_resilient(&ep.breaker).admit(now) {
                 *cursor = (*cursor + step + 1) % preference.len();
                 return Some(idx);
             }
@@ -272,11 +286,14 @@ fn remaining_ms(deadline: Option<Instant>) -> Option<u64> {
 }
 
 /// Re-renders the request with `deadline_ms` rewritten to the
-/// remaining end-to-end budget, so the shard's governor sees how much
-/// time this attempt really has left (min with its own `--deadline-ms`
-/// ceiling via `GovernorConfig::tighten_deadline`).
-fn render_attempt(req: &Request, deadline: Option<Instant>) -> String {
-    match (req, remaining_ms(deadline)) {
+/// remaining end-to-end budget (`left`, read once by the caller so an
+/// exhausted budget is short-circuited *before* rendering — a
+/// `"deadline_ms": 0` frame must never be dispatched). The shard's
+/// governor sees how much time this attempt really has left (min with
+/// its own `--deadline-ms` ceiling via
+/// `GovernorConfig::tighten_deadline`).
+fn render_attempt(req: &Request, left: Option<u64>) -> String {
+    match (req, left) {
         (
             Request::Check {
                 id,
@@ -341,11 +358,21 @@ fn route_request(inner: &Arc<RouterInner>, req: &Request) -> String {
             last_failure = "all shard breakers open".to_string();
             continue;
         };
-        let timeout = Duration::from_millis(match remaining_ms(deadline) {
+        // Read the remaining budget exactly once for this attempt: the
+        // backoff sleep above (capped at the budget) or the endpoint
+        // pick may have drained it since the loop-top check, and a
+        // doomed `"deadline_ms": 0` frame must be short-circuited to
+        // the typed `unavailable` here, never dispatched to a shard.
+        let left = remaining_ms(deadline);
+        if left == Some(0) {
+            last_failure = "end-to-end deadline exhausted".to_string();
+            break;
+        }
+        let timeout = Duration::from_millis(match left {
             Some(left) => inner.options.attempt_timeout_ms.min(left.max(1)),
             None => inner.options.attempt_timeout_ms,
         });
-        let frame = render_attempt(req, deadline);
+        let frame = render_attempt(req, left);
         let outcome = match inner.options.hedge_ms {
             Some(hedge_ms) => hedged_attempt(
                 inner,
@@ -448,18 +475,18 @@ fn hedged_attempt(
 fn probe_endpoints(inner: &RouterInner) {
     for ep in &inner.endpoints {
         let now = Instant::now();
-        if !ep.breaker.lock().unwrap().admit(now) {
+        if !lock_resilient(&ep.breaker).admit(now) {
             continue;
         }
         let timeout = Duration::from_millis(inner.options.probe_interval_ms.max(50));
         match attempt_roundtrip(&ep.addr, "{\"kind\": \"health\"}", timeout) {
             Attempt::Terminal(frame) => {
-                ep.breaker.lock().unwrap().record_success();
+                lock_resilient(&ep.breaker).record_success();
                 apply_health_frame(ep, &frame);
             }
             Attempt::Refused(_) | Attempt::Failed(_) => {
-                ep.breaker.lock().unwrap().record_failure(Instant::now());
-                *ep.last_state.lock().unwrap() = "unreachable".to_string();
+                lock_resilient(&ep.breaker).record_failure(Instant::now());
+                *lock_resilient(&ep.last_state) = "unreachable".to_string();
             }
         }
     }
@@ -473,10 +500,10 @@ fn apply_health_frame(ep: &Endpoint, frame: &str) {
     };
     if let Some(Json::Str(state)) = obj.get("state") {
         ep.draining.store(state != "running", Ordering::SeqCst);
-        *ep.last_state.lock().unwrap() = state.clone();
+        *lock_resilient(&ep.last_state) = state.clone();
     }
     let first_contact = {
-        let mut identity = ep.identity.lock().unwrap();
+        let mut identity = lock_resilient(&ep.identity);
         let first = identity.is_empty();
         if let Some(Json::Str(shard)) = obj.get("shard") {
             *identity = shard.clone();
@@ -542,7 +569,7 @@ fn render_router_stats(inner: &RouterInner) -> String {
             out.push_str(", ");
         }
         let (label, stats): (&'static str, BreakerStats) = {
-            let breaker = ep.breaker.lock().unwrap();
+            let breaker = lock_resilient(&ep.breaker);
             (breaker.state().label(), breaker.stats())
         };
         let _ = write!(
@@ -552,10 +579,10 @@ fn render_router_stats(inner: &RouterInner) -> String {
              \"half_open_probes\": {}, \"closed_from_half_open\": {}, \"reopened\": {}, \
              \"served\": {}}}",
             json_escape(&ep.addr),
-            json_escape(&ep.identity.lock().unwrap()),
+            json_escape(&lock_resilient(&ep.identity)),
             ep.epoch.load(Ordering::SeqCst),
             ep.restarts.load(Ordering::SeqCst),
-            ep.last_state.lock().unwrap(),
+            lock_resilient(&ep.last_state),
             stats.failures,
             stats.opened,
             stats.half_open_probes,
@@ -568,6 +595,268 @@ fn render_router_stats(inner: &RouterInner) -> String {
         out,
         "], \"uptime_ms\": {}}}",
         inner.start.elapsed().as_millis()
+    );
+    out
+}
+
+/// One shard's exposition snapshot: (escaped addr label, breaker state
+/// label, breaker stats, restarts, served) — taken under one lock hold
+/// so every family reports a consistent view.
+type ShardSnapshot = (String, &'static str, BreakerStats, u64, u64);
+
+/// Reads one per-shard counter out of a [`ShardSnapshot`].
+type ShardCounter = fn(&ShardSnapshot) -> u64;
+
+/// Escapes a Prometheus label value (`\` → `\\`, `"` → `\"`).
+fn label_escape(value: &str) -> String {
+    value.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Reads a non-negative numeric field out of a parsed stats frame.
+fn stats_num(obj: &BTreeMap<String, Json>, key: &str) -> u64 {
+    match obj.get(key) {
+        Some(Json::Num(n)) if *n >= 0 => *n as u64,
+        _ => 0,
+    }
+}
+
+/// Counters summed across the shards that answered a `stats` scrape.
+#[derive(Default)]
+struct FleetSums {
+    reporting: u64,
+    admitted: u64,
+    served: u64,
+    shed: u64,
+    panicked: u64,
+    coalesced: u64,
+    queue_depth: u64,
+    checks: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+/// Scrapes every shard's `stats` verb (short per-shard timeout; dead
+/// shards are skipped, not waited on) and sums the fleet counters.
+fn scrape_fleet(inner: &RouterInner) -> FleetSums {
+    let mut sums = FleetSums::default();
+    let timeout = Duration::from_millis(250);
+    for ep in &inner.endpoints {
+        let Attempt::Terminal(frame) =
+            attempt_roundtrip(&ep.addr, "{\"kind\": \"stats\"}", timeout)
+        else {
+            continue;
+        };
+        let Ok(Json::Obj(obj)) = parse_json(&frame) else {
+            continue;
+        };
+        sums.reporting += 1;
+        sums.admitted += stats_num(&obj, "admitted");
+        sums.served += stats_num(&obj, "served");
+        sums.shed += stats_num(&obj, "shed");
+        sums.panicked += stats_num(&obj, "panicked");
+        sums.coalesced += stats_num(&obj, "coalesced");
+        sums.queue_depth += stats_num(&obj, "queue_depth");
+        sums.checks += stats_num(&obj, "checks");
+        if let Some(Json::Obj(cache)) = obj.get("cache") {
+            sums.cache_hits += stats_num(cache, "hits");
+            sums.cache_misses += stats_num(cache, "misses");
+        }
+    }
+    sums
+}
+
+/// The router's Prometheus text exposition: routing/retry/hedge
+/// counters, per-shard breaker state (one-hot over
+/// closed/open/half-open) and failure/restart counters, plus
+/// `leakc_fleet_*` series aggregated by scraping each live shard's
+/// `stats` verb. Aggregation sums counters and gauges; the per-phase
+/// latency histograms stay per-shard (scrape each shard's own
+/// `/metrics` for those — bucket merging across restarts would lie).
+fn render_router_metrics(inner: &RouterInner) -> String {
+    let t = &inner.telemetry;
+    let mut out = String::new();
+    push_family(&mut out, "leakc_router_up", "gauge", "Router liveness.", 1);
+    push_family(
+        &mut out,
+        "leakc_router_shards",
+        "gauge",
+        "Configured backend shards.",
+        inner.endpoints.len() as u64,
+    );
+    push_family(
+        &mut out,
+        "leakc_router_routed_total",
+        "counter",
+        "Requests answered with a terminal frame.",
+        t.routed.load(Ordering::Relaxed),
+    );
+    push_family(
+        &mut out,
+        "leakc_router_retries_total",
+        "counter",
+        "Retry attempts beyond each request's first.",
+        t.retries.load(Ordering::Relaxed),
+    );
+    push_family(
+        &mut out,
+        "leakc_router_hedges_total",
+        "counter",
+        "Hedged attempts launched.",
+        t.hedges.load(Ordering::Relaxed),
+    );
+    push_family(
+        &mut out,
+        "leakc_router_hedge_wins_total",
+        "counter",
+        "Hedged attempts that answered first.",
+        t.hedge_wins.load(Ordering::Relaxed),
+    );
+    push_family(
+        &mut out,
+        "leakc_router_unavailable_total",
+        "counter",
+        "Requests answered with a typed unavailable.",
+        t.unavailable.load(Ordering::Relaxed),
+    );
+    push_family(
+        &mut out,
+        "leakc_router_malformed_total",
+        "counter",
+        "Malformed request lines refused.",
+        t.malformed.load(Ordering::Relaxed),
+    );
+
+    let _ = writeln!(
+        out,
+        "# HELP leakc_router_breaker_state Breaker state per shard (one-hot)."
+    );
+    let _ = writeln!(out, "# TYPE leakc_router_breaker_state gauge");
+    let snapshots: Vec<ShardSnapshot> = inner
+        .endpoints
+        .iter()
+        .map(|ep| {
+            let (label, stats) = {
+                let breaker = lock_resilient(&ep.breaker);
+                (breaker.state().label(), breaker.stats())
+            };
+            (
+                label_escape(&ep.addr),
+                label,
+                stats,
+                ep.restarts.load(Ordering::SeqCst),
+                ep.served.load(Ordering::Relaxed),
+            )
+        })
+        .collect();
+    for (addr, label, _, _, _) in &snapshots {
+        for state in ["closed", "open", "half-open"] {
+            let _ = writeln!(
+                out,
+                "leakc_router_breaker_state{{shard=\"{addr}\",state=\"{state}\"}} {}",
+                u64::from(*label == state)
+            );
+        }
+    }
+    let per_shard: [(&str, &str, ShardCounter); 4] = [
+        (
+            "leakc_router_shard_failures_total",
+            "Transport failures recorded against the shard.",
+            |s| s.2.failures,
+        ),
+        (
+            "leakc_router_shard_opened_total",
+            "Closed-to-open breaker transitions.",
+            |s| s.2.opened,
+        ),
+        (
+            "leakc_router_shard_restarts_total",
+            "Epoch jumps observed (shard restarted behind its address).",
+            |s| s.3,
+        ),
+        (
+            "leakc_router_shard_served_total",
+            "Terminal responses the shard produced via this router.",
+            |s| s.4,
+        ),
+    ];
+    for (name, help, read) in per_shard {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        for snap in &snapshots {
+            let _ = writeln!(out, "{name}{{shard=\"{}\"}} {}", snap.0, read(snap));
+        }
+    }
+
+    let sums = scrape_fleet(inner);
+    push_family(
+        &mut out,
+        "leakc_fleet_shards_reporting",
+        "gauge",
+        "Shards that answered the aggregation scrape.",
+        sums.reporting,
+    );
+    push_family(
+        &mut out,
+        "leakc_fleet_requests_admitted_total",
+        "counter",
+        "Fleet-wide requests admitted (summed).",
+        sums.admitted,
+    );
+    push_family(
+        &mut out,
+        "leakc_fleet_requests_served_total",
+        "counter",
+        "Fleet-wide requests served (summed).",
+        sums.served,
+    );
+    push_family(
+        &mut out,
+        "leakc_fleet_requests_shed_total",
+        "counter",
+        "Fleet-wide requests shed (summed).",
+        sums.shed,
+    );
+    push_family(
+        &mut out,
+        "leakc_fleet_requests_quarantined_total",
+        "counter",
+        "Fleet-wide quarantined panics (summed).",
+        sums.panicked,
+    );
+    push_family(
+        &mut out,
+        "leakc_fleet_requests_coalesced_total",
+        "counter",
+        "Fleet-wide coalesced twins (summed).",
+        sums.coalesced,
+    );
+    push_family(
+        &mut out,
+        "leakc_fleet_queue_depth",
+        "gauge",
+        "Fleet-wide queued requests (summed).",
+        sums.queue_depth,
+    );
+    push_family(
+        &mut out,
+        "leakc_fleet_checks_total",
+        "counter",
+        "Fleet-wide analyses served (summed).",
+        sums.checks,
+    );
+    push_family(
+        &mut out,
+        "leakc_fleet_cache_hits_total",
+        "counter",
+        "Fleet-wide summary-cache hits (summed).",
+        sums.cache_hits,
+    );
+    push_family(
+        &mut out,
+        "leakc_fleet_cache_misses_total",
+        "counter",
+        "Fleet-wide summary-cache misses (summed).",
+        sums.cache_misses,
     );
     out
 }
@@ -598,6 +887,7 @@ fn route_connection(stream: TcpStream, inner: &Arc<RouterInner>) {
             }
             Ok(Request::Health) => render_router_health(inner),
             Ok(Request::Stats) => render_router_stats(inner),
+            Ok(Request::Metrics) => render_metrics_ok(&render_router_metrics(inner)),
             Ok(Request::Shutdown) => {
                 inner.shutdown_requested.store(true, Ordering::SeqCst);
                 "{\"status\": \"ok\", \"state\": \"draining\", \"role\": \"router\"}".to_string()
@@ -670,20 +960,51 @@ impl Router {
             in_flight: AtomicU64::new(0),
         });
 
+        let metrics_listener = match &options.metrics_addr {
+            Some(addr) => {
+                let l = TcpListener::bind(addr).map_err(|e| {
+                    LeakcError::Usage(format!("route: cannot bind metrics addr {addr}: {e}"))
+                })?;
+                l.set_nonblocking(true)
+                    .map_err(|e| LeakcError::Internal(format!("route: set_nonblocking: {e}")))?;
+                Some(l)
+            }
+            None => None,
+        };
+        let metrics_addr = metrics_listener.as_ref().and_then(|l| l.local_addr().ok());
+
         let accept_inner = Arc::clone(&inner);
         let accept_handle = std::thread::spawn(move || {
             while !accept_inner.stop.load(Ordering::SeqCst) {
+                let mut idle = true;
                 match listener.accept() {
                     Ok((stream, _)) => {
+                        idle = false;
                         let _ = stream.set_nonblocking(false);
                         let _ = stream.set_nodelay(true);
                         let conn_inner = Arc::clone(&accept_inner);
                         std::thread::spawn(move || route_connection(stream, &conn_inner));
                     }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(5));
-                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
                     Err(_) => {}
+                }
+                if let Some(metrics) = &metrics_listener {
+                    match metrics.accept() {
+                        Ok((stream, _)) => {
+                            idle = false;
+                            let _ = stream.set_nonblocking(false);
+                            let _ = stream.set_nodelay(true);
+                            let conn_inner = Arc::clone(&accept_inner);
+                            std::thread::spawn(move || {
+                                serve_http_metrics(stream, || render_router_metrics(&conn_inner));
+                            });
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                        Err(_) => {}
+                    }
+                }
+                if idle {
+                    std::thread::sleep(Duration::from_millis(5));
                 }
             }
         });
@@ -706,12 +1027,18 @@ impl Router {
             accept_handle: Some(accept_handle),
             probe_handle: Some(probe_handle),
             local_addr,
+            metrics_addr,
         })
     }
 
     /// The bound listen address (resolves `--addr` port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The bound `GET /metrics` address, when `--metrics-addr` was set.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// `true` once a protocol `shutdown` request has been received.
@@ -756,6 +1083,9 @@ impl Router {
 pub fn run_route(options: &RouteOptions) -> Result<CliOutput, LeakcError> {
     let router = Router::start(options)?;
     println!("leakc route: listening on {}", router.local_addr());
+    if let Some(addr) = router.metrics_addr() {
+        println!("leakc route: metrics on {addr}");
+    }
     println!(
         "leakc route: fleet of {} shard(s): {}",
         options.shards.len(),
@@ -914,6 +1244,83 @@ class Main {
             "{resp}"
         );
         assert!(router.drain());
+    }
+
+    #[test]
+    fn poisoned_breaker_does_not_kill_the_router() {
+        let a = shard("a");
+        let router = Router::start(&RouteOptions {
+            shards: vec![a.local_addr().to_string()],
+            ..RouteOptions::default()
+        })
+        .unwrap();
+        // Poison the breaker and last_state mutexes the way a panicking
+        // prober or hedge thread would: panic while holding the guard.
+        let inner = Arc::clone(&router.inner);
+        let poisoner = std::thread::spawn(move || {
+            let _breaker = inner.endpoints[0].breaker.lock().unwrap();
+            let _state = inner.endpoints[0].last_state.lock().unwrap();
+            panic!("poison both locks");
+        });
+        assert!(poisoner.join().is_err(), "poisoner must panic");
+        assert!(router.inner.endpoints[0].breaker.lock().is_err());
+
+        // Routing, stats, and metrics must all still answer: every lock
+        // site goes through `lock_resilient`, which adopts the poisoned
+        // state instead of propagating the panic.
+        let (mut reader, mut writer) = client(router.local_addr());
+        let resp = roundtrip(&mut reader, &mut writer, &check_line(1));
+        assert!(resp.contains("\"status\": \"ok\""), "{resp}");
+        let stats = roundtrip(&mut reader, &mut writer, r#"{"kind": "stats"}"#);
+        assert!(stats.contains("\"routed\": 1"), "{stats}");
+        let metrics = roundtrip(&mut reader, &mut writer, r#"{"kind": "metrics"}"#);
+        assert!(metrics.contains("leakc_router_breaker_state"), "{metrics}");
+        assert!(router.drain());
+        let _ = a.drain();
+    }
+
+    #[test]
+    fn metrics_verb_and_http_listener_expose_the_fleet_aggregate() {
+        let a = shard("a");
+        let b = shard("b");
+        let router = Router::start(&RouteOptions {
+            shards: vec![a.local_addr().to_string(), b.local_addr().to_string()],
+            metrics_addr: Some("127.0.0.1:0".to_string()),
+            ..RouteOptions::default()
+        })
+        .unwrap();
+        let (mut reader, mut writer) = client(router.local_addr());
+        let resp = roundtrip(&mut reader, &mut writer, &check_line(1));
+        assert!(resp.contains("\"status\": \"ok\""), "{resp}");
+
+        let metrics = roundtrip(&mut reader, &mut writer, r#"{"kind": "metrics"}"#);
+        let text = crate::protocol::parse_metrics_response(&metrics).expect("metrics frame");
+        assert!(
+            text.contains("# TYPE leakc_router_routed_total counter"),
+            "{text}"
+        );
+        assert!(text.contains("leakc_router_routed_total 1"), "{text}");
+        assert!(text.contains("leakc_fleet_shards_reporting 2"), "{text}");
+        assert!(
+            text.contains("leakc_fleet_requests_served_total 1"),
+            "{text}"
+        );
+        assert!(text.contains("leakc_router_breaker_state{shard="), "{text}");
+
+        // The same exposition comes back raw over plain HTTP.
+        let http_addr = router.metrics_addr().expect("metrics listener bound");
+        let mut stream = TcpStream::connect(http_addr).expect("connect metrics");
+        stream
+            .write_all(b"GET /metrics HTTP/1.0\r\n\r\n")
+            .expect("write request");
+        let mut body = String::new();
+        std::io::Read::read_to_string(&mut stream, &mut body).expect("read response");
+        assert!(body.starts_with("HTTP/1.0 200 OK"), "{body}");
+        assert!(body.contains("leakc_router_up 1"), "{body}");
+
+        assert!(router.drain());
+        let _ = a.drain();
+        let _ = b.drain();
     }
 
     #[test]

@@ -17,8 +17,9 @@
 //! sockets, then report final counters and exit 0.
 
 use crate::protocol::{
-    parse_request, render_check_ok, render_delta_ok, render_draining, render_error,
-    render_internal, render_overloaded, CheckOverrides, Request,
+    parse_request, readdress_response, render_check_ok, render_delta_ok, render_draining,
+    render_error, render_internal, render_metrics_ok, render_overloaded, render_request,
+    CheckOverrides, Request,
 };
 use crate::{CliOutput, LeakcError};
 use leakchecker::governor::{parse_fault_plan, GovernorConfig};
@@ -64,6 +65,14 @@ pub struct ServeOptions {
     /// answer from the store, and the `delta` verb re-checks
     /// changed-method patches warm.
     pub cache: Option<String>,
+    /// `--metrics-addr HOST:PORT` — additionally serve the Prometheus
+    /// text exposition raw over plain `GET /metrics` on this address
+    /// (the `{"kind": "metrics"}` protocol verb is always available).
+    pub metrics_addr: Option<String>,
+    /// In-flight request coalescing (`--no-coalesce` disables it):
+    /// identical deterministic checks admitted while a twin is queued
+    /// or running attach to one computation.
+    pub coalesce: bool,
 }
 
 impl Default for ServeOptions {
@@ -78,6 +87,8 @@ impl Default for ServeOptions {
             epoch: 0,
             deadline_ms: None,
             cache: None,
+            metrics_addr: None,
+            coalesce: true,
         }
     }
 }
@@ -116,11 +127,61 @@ pub fn signal_shutdown_requested() -> bool {
     SIGNAL_SHUTDOWN.load(Ordering::SeqCst)
 }
 
+/// Fixed upper bounds (microseconds) for the per-phase latency
+/// histograms exposed on `/metrics`. Fixed — never derived from the
+/// data — so two scrapes of any two shards are bucket-compatible and
+/// the exposition is byte-stable for a given counter state. Rendered
+/// as seconds (`le="0.001"` … `le="10"` plus `+Inf`).
+const LATENCY_BUCKETS_US: [u64; 7] = [
+    1_000, 5_000, 25_000, 100_000, 500_000, 2_500_000, 10_000_000,
+];
+
+/// Phase labels, in `RunStats` phase order (matches the histogram
+/// array in [`Telemetry`]).
+const PHASE_NAMES: [&str; 6] = [
+    "callgraph",
+    "effects",
+    "flows",
+    "contexts",
+    "refine",
+    "matching",
+];
+
+/// One fixed-bucket latency histogram: non-cumulative per-bucket
+/// counts (the last slot is the `+Inf` overflow) plus the running sum.
+struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
+    sum_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    fn observe_secs(&self, secs: f64) {
+        let us = (secs * 1e6) as u64;
+        let slot = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        self.buckets[slot].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+}
+
 /// Aggregate analysis telemetry, accumulated across served checks and
 /// exposed by the `stats` request kind.
 #[derive(Default)]
 struct Telemetry {
     checks: AtomicU64,
+    /// Checks that served a degraded (budget/deadline/fallback) result.
+    degraded_checks: AtomicU64,
     // Per-phase totals in microseconds, in RunStats phase order.
     callgraph_us: AtomicU64,
     effects_us: AtomicU64,
@@ -128,6 +189,9 @@ struct Telemetry {
     contexts_us: AtomicU64,
     refine_us: AtomicU64,
     matching_us: AtomicU64,
+    /// Per-phase fixed-bucket latency histograms, in [`PHASE_NAMES`]
+    /// order, feeding the `leakc_phase_seconds` exposition family.
+    phase_hist: [LatencyHistogram; 6],
     // Witness-layer counters (only move when a request asks for
     // `"explain": true`): derivation trace events recorded by the
     // demand engine, and escape chains rendered into responses.
@@ -186,6 +250,158 @@ struct Inner {
     /// The shared summary cache (`--cache DIR`), also read by the
     /// `stats` verb for hit/miss/invalidation/corruption counters.
     cache: Arc<Option<Mutex<SummaryCache>>>,
+    /// Whether deterministic twin checks coalesce onto one computation.
+    coalesce: bool,
+}
+
+/// Appends one single-sample metric family (`# HELP` + `# TYPE` +
+/// sample). Every family carries both comment lines — the bench-side
+/// strict parser rejects bare samples. Shared with the router's
+/// exposition.
+pub(crate) fn push_family(out: &mut String, name: &str, kind: &str, help: &str, value: u64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// A bucket bound in seconds, rendered the way `f64` displays it
+/// (`0.001`, `0.5`, `10`) so the `le` labels are byte-stable.
+fn secs_label(us: u64) -> String {
+    format!("{}", us as f64 / 1e6)
+}
+
+/// Renders the `leakc_phase_seconds` histogram family: one series per
+/// analysis phase, cumulative fixed buckets per the Prometheus text
+/// format (`_bucket{le=...}`, `_sum`, `_count`).
+fn push_phase_histograms(out: &mut String, telemetry: &Telemetry) {
+    let name = "leakc_phase_seconds";
+    let _ = writeln!(
+        out,
+        "# HELP {name} Per-phase analysis latency across served checks."
+    );
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    for (phase, hist) in PHASE_NAMES.iter().zip(&telemetry.phase_hist) {
+        let mut cumulative = 0u64;
+        for (slot, bound) in LATENCY_BUCKETS_US.iter().enumerate() {
+            cumulative += hist.buckets[slot].load(Ordering::Relaxed);
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{phase=\"{phase}\",le=\"{}\"}} {cumulative}",
+                secs_label(*bound)
+            );
+        }
+        cumulative += hist.buckets[LATENCY_BUCKETS_US.len()].load(Ordering::Relaxed);
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{phase=\"{phase}\",le=\"+Inf\"}} {cumulative}"
+        );
+        let _ = writeln!(
+            out,
+            "{name}_sum{{phase=\"{phase}\"}} {:.6}",
+            hist.sum_us.load(Ordering::Relaxed) as f64 / 1e6
+        );
+        let _ = writeln!(out, "{name}_count{{phase=\"{phase}\"}} {cumulative}");
+    }
+}
+
+/// The daemon's full Prometheus text exposition: admission counters,
+/// coalescing, degradation/quarantine, cache effectiveness, and the
+/// per-phase latency histograms. Served by the `metrics` protocol verb
+/// (JSON-wrapped) and raw on the `--metrics-addr` listener.
+fn metrics_text(inner: &Inner) -> String {
+    let stats = inner.core.stats();
+    let telemetry = &inner.telemetry;
+    let mut out = String::new();
+    push_family(&mut out, "leakc_up", "gauge", "Daemon liveness.", 1);
+    push_family(
+        &mut out,
+        "leakc_queue_depth",
+        "gauge",
+        "Requests waiting for a worker.",
+        stats.queue_depth as u64,
+    );
+    push_family(
+        &mut out,
+        "leakc_requests_admitted_total",
+        "counter",
+        "Requests admitted into the bounded queue.",
+        stats.admitted,
+    );
+    push_family(
+        &mut out,
+        "leakc_requests_served_total",
+        "counter",
+        "Requests executed to completion.",
+        stats.served,
+    );
+    push_family(
+        &mut out,
+        "leakc_requests_shed_total",
+        "counter",
+        "Requests shed by admission control.",
+        stats.shed,
+    );
+    push_family(
+        &mut out,
+        "leakc_requests_quarantined_total",
+        "counter",
+        "Requests whose handler panicked and was quarantined.",
+        stats.panicked,
+    );
+    push_family(
+        &mut out,
+        "leakc_requests_coalesced_total",
+        "counter",
+        "Requests answered by attaching to an in-flight twin.",
+        stats.coalesced,
+    );
+    push_family(
+        &mut out,
+        "leakc_checks_total",
+        "counter",
+        "Check/delta analyses served.",
+        telemetry.checks.load(Ordering::Relaxed),
+    );
+    push_family(
+        &mut out,
+        "leakc_checks_degraded_total",
+        "counter",
+        "Checks that served a degraded (budget/deadline) result.",
+        telemetry.degraded_checks.load(Ordering::Relaxed),
+    );
+    if let Some(cache) = inner.cache.as_ref() {
+        let cs = lock_cache(cache).stats;
+        push_family(
+            &mut out,
+            "leakc_cache_hits_total",
+            "counter",
+            "Summary-cache warm hits.",
+            cs.hits,
+        );
+        push_family(
+            &mut out,
+            "leakc_cache_misses_total",
+            "counter",
+            "Summary-cache misses (cold runs).",
+            cs.misses,
+        );
+        push_family(
+            &mut out,
+            "leakc_cache_invalidated_total",
+            "counter",
+            "Stored summaries invalidated by content drift.",
+            cs.invalidated,
+        );
+        push_family(
+            &mut out,
+            "leakc_cache_corrupt_recovered_total",
+            "counter",
+            "Corrupt cache entries recovered from.",
+            cs.corrupt_recovered,
+        );
+    }
+    push_phase_histograms(&mut out, telemetry);
+    out
 }
 
 /// A running daemon (in-process handle; the binary and the soak
@@ -194,6 +410,7 @@ pub struct Server {
     inner: Arc<Inner>,
     accept_handle: Option<JoinHandle<()>>,
     local_addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     socket_path: Option<String>,
 }
 
@@ -349,6 +566,16 @@ fn run_check_source(
         Telemetry::add_secs(&telemetry.contexts_us, p.contexts_secs);
         Telemetry::add_secs(&telemetry.refine_us, p.refine_secs);
         Telemetry::add_secs(&telemetry.matching_us, p.matching_secs);
+        for (hist, secs) in telemetry.phase_hist.iter().zip([
+            p.callgraph_secs,
+            p.effects_secs,
+            p.flows_secs,
+            p.contexts_secs,
+            p.refine_secs,
+            p.matching_secs,
+        ]) {
+            hist.observe_secs(secs);
+        }
         telemetry
             .effects_rounds
             .fetch_add(result.stats.effects_rounds as u64, Ordering::Relaxed);
@@ -357,6 +584,9 @@ fn run_check_source(
             .fetch_add(u64::from(result.stats.effects_truncated), Ordering::Relaxed);
     }
     telemetry.checks.fetch_add(1, Ordering::Relaxed);
+    if degraded {
+        telemetry.degraded_checks.fetch_add(1, Ordering::Relaxed);
+    }
     let exit_code = if reports > 0 {
         crate::EXIT_LEAKS
     } else if degraded {
@@ -421,6 +651,25 @@ impl Server {
                 "serve: --socket requires a unix platform".to_string(),
             ));
         }
+
+        let metrics_listener = match &options.metrics_addr {
+            Some(addr) => {
+                let l = TcpListener::bind(addr).map_err(|e| {
+                    LeakcError::Usage(format!("serve: cannot bind metrics addr {addr}: {e}"))
+                })?;
+                l.set_nonblocking(true)
+                    .map_err(|e| LeakcError::Internal(format!("serve: set_nonblocking: {e}")))?;
+                Some(l)
+            }
+            None => None,
+        };
+        let metrics_addr = match &metrics_listener {
+            Some(l) => Some(
+                l.local_addr()
+                    .map_err(|e| LeakcError::Internal(format!("serve: no metrics addr: {e}")))?,
+            ),
+            None => None,
+        };
 
         let telemetry = Arc::new(Telemetry::default());
         let handler_telemetry = Arc::clone(&telemetry);
@@ -501,7 +750,7 @@ impl Server {
                 }
                 // Inline kinds never reach the queue; answering them
                 // here anyway keeps the handler total.
-                Request::Health | Request::Stats | Request::Shutdown => {
+                Request::Health | Request::Stats | Request::Metrics | Request::Shutdown => {
                     render_error(&None, "inline request kind reached the worker queue")
                 }
             },
@@ -522,6 +771,7 @@ impl Server {
             shutdown_requested: AtomicBool::new(false),
             pending_replies: AtomicU64::new(0),
             cache,
+            coalesce: options.coalesce,
         });
 
         let accept_inner = Arc::clone(&inner);
@@ -555,6 +805,19 @@ impl Server {
                         Err(_) => {}
                     }
                 }
+                if let Some(metrics_listener) = &metrics_listener {
+                    match metrics_listener.accept() {
+                        Ok((stream, _)) => {
+                            idle = false;
+                            let _ = stream.set_nonblocking(false);
+                            let _ = stream.set_nodelay(true);
+                            let conn_inner = Arc::clone(&accept_inner);
+                            std::thread::spawn(move || serve_metrics_http(stream, &conn_inner));
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                        Err(_) => {}
+                    }
+                }
                 if idle {
                     std::thread::sleep(Duration::from_millis(10));
                 }
@@ -565,6 +828,7 @@ impl Server {
             inner,
             accept_handle: Some(accept_handle),
             local_addr,
+            metrics_addr,
             socket_path: options.socket.clone(),
         })
     }
@@ -572,6 +836,11 @@ impl Server {
     /// The bound TCP address (resolves `--addr` port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The bound `--metrics-addr` listener, when one was requested.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// `true` once a protocol `shutdown` request has been received.
@@ -620,6 +889,58 @@ fn serve_tcp_connection(stream: TcpStream, inner: &Inner) {
         return;
     };
     serve_connection(reader, stream, inner);
+}
+
+/// One `GET /metrics` scrape on a `--metrics-addr` listener: a minimal
+/// HTTP/1.0 exchange serving the raw text exposition produced by
+/// `render` (called only for a well-formed `GET /metrics`, so a fresh
+/// snapshot is taken per scrape). Any other request line gets a 404.
+/// One response per connection. Shared by the daemon and the router.
+pub(crate) fn serve_http_metrics(stream: TcpStream, render: impl FnOnce() -> String) {
+    // A scraper that never finishes its headers must not pin this
+    // thread (the exposition is served inline, even mid-drain).
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let Ok(reader) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(reader);
+    let mut writer = stream;
+    let mut request_line = String::new();
+    match reader.read_line(&mut request_line) {
+        Ok(0) | Err(_) => return,
+        Ok(_) => {}
+    }
+    // Drain the header block (bounded) so well-formed clients see the
+    // response after their full request.
+    let mut header = String::new();
+    for _ in 0..64 {
+        header.clear();
+        match reader.read_line(&mut header) {
+            Ok(0) | Err(_) => break,
+            Ok(_) if header.trim().is_empty() => break,
+            Ok(_) => {}
+        }
+    }
+    let path_ok = {
+        let mut parts = request_line.split_whitespace();
+        parts.next() == Some("GET") && parts.next() == Some("/metrics")
+    };
+    let (status, body) = if path_ok {
+        ("200 OK", render())
+    } else {
+        ("404 Not Found", "only GET /metrics is served\n".to_string())
+    };
+    let _ = write!(
+        writer,
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = writer.flush();
+}
+
+fn serve_metrics_http(stream: TcpStream, inner: &Inner) {
+    serve_http_metrics(stream, || metrics_text(inner));
 }
 
 #[cfg(unix)]
@@ -678,6 +999,7 @@ fn serve_connection<R: Read, W: Write>(reader: R, mut writer: W, inner: &Inner) 
                 let _ = write!(out, ", \"served\": {}", stats.served);
                 let _ = write!(out, ", \"shed\": {}", stats.shed);
                 let _ = write!(out, ", \"panicked\": {}", stats.panicked);
+                let _ = write!(out, ", \"coalesced\": {}", stats.coalesced);
                 let _ = write!(out, ", \"queue_depth\": {}", stats.queue_depth);
                 let _ = write!(
                     out,
@@ -702,6 +1024,9 @@ fn serve_connection<R: Read, W: Write>(reader: R, mut writer: W, inner: &Inner) 
                 );
                 out
             }
+            // Metrics are answered inline like health/stats — they
+            // work under full load and keep answering mid-drain.
+            Ok(Request::Metrics) => render_metrics_ok(&metrics_text(inner)),
             Ok(Request::Shutdown) => {
                 inner.shutdown_requested.store(true, Ordering::SeqCst);
                 // Close admission right here rather than waiting for
@@ -713,12 +1038,37 @@ fn serve_connection<R: Read, W: Write>(reader: R, mut writer: W, inner: &Inner) 
             }
             Ok(req) => {
                 let id = request_reply_id(&req);
-                match inner.core.submit(req) {
+                // Identical deterministic checks coalesce onto one
+                // computation. The identity key hashes the canonical
+                // id-less frame — source plus effective config — so
+                // twins match regardless of their ids; explain,
+                // fault-injected and deadline-carrying runs never
+                // coalesce (their output is not a pure function of
+                // that key).
+                let (req, key) = match req {
+                    Request::Check {
+                        source, overrides, ..
+                    } if inner.coalesce
+                        && overrides.inject.is_none()
+                        && !overrides.explain
+                        && overrides.deadline_ms.is_none() =>
+                    {
+                        let canonical = Request::Check {
+                            id: None,
+                            source,
+                            overrides,
+                        };
+                        let key = leakchecker::route_key(render_request(&canonical).as_bytes());
+                        (canonical, Some(key))
+                    }
+                    other => (other, None),
+                };
+                match inner.core.submit_coalesced(req, key) {
                     Err(SubmitError::Overloaded { queue_depth }) => {
                         render_overloaded(&id, queue_depth as u64)
                     }
                     Err(SubmitError::Draining) => render_draining(&id),
-                    Ok(rx) => {
+                    Ok((rx, _)) => {
                         // Count the admitted request as pending until
                         // its response is flushed, so drain never exits
                         // with an answer stuck in this thread.
@@ -727,6 +1077,15 @@ fn serve_connection<R: Read, W: Write>(reader: R, mut writer: W, inner: &Inner) 
                             Ok(Ok(line)) => line,
                             Ok(Err(panic_msg)) => render_internal(&id, &panic_msg),
                             Err(_) => render_internal(&id, "worker lost"),
+                        };
+                        // The worker answered the id-less canonical
+                        // twin; re-address the frame for this
+                        // submitter so the bytes match an uncoalesced
+                        // run exactly.
+                        let response = if key.is_some() {
+                            readdress_response(&id, &response)
+                        } else {
+                            response
                         };
                         let result = writer
                             .write_all(response.as_bytes())
@@ -766,6 +1125,9 @@ pub fn run_serve(options: &ServeOptions) -> Result<CliOutput, LeakcError> {
     if let Some(path) = &options.socket {
         println!("leakc serve: listening on unix:{path}");
     }
+    if let Some(addr) = server.metrics_addr() {
+        println!("leakc serve: metrics on {addr}");
+    }
     println!(
         "leakc serve: queue bound {}, workers {}",
         options.queue, options.workers
@@ -779,7 +1141,7 @@ pub fn run_serve(options: &ServeOptions) -> Result<CliOutput, LeakcError> {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "leakc serve: drained{} — admitted={} served={} shed={} panicked={}",
+        "leakc serve: drained{} — admitted={} served={} shed={} panicked={} coalesced={}",
         if summary.drained_cleanly {
             ""
         } else {
@@ -788,7 +1150,8 @@ pub fn run_serve(options: &ServeOptions) -> Result<CliOutput, LeakcError> {
         s.admitted,
         s.served,
         s.shed,
-        s.panicked
+        s.panicked,
+        s.coalesced
     );
     Ok(CliOutput::clean(out))
 }
@@ -996,6 +1359,190 @@ class Main {
             assert!(summary.drained_cleanly);
             assert_eq!(summary.stats.shed as usize, shed);
         });
+    }
+
+    fn stats_field(stats: &str, key: &str) -> i64 {
+        let Ok(crate::protocol::Json::Obj(obj)) = crate::protocol::parse_json(stats) else {
+            panic!("unparseable stats frame: {stats}");
+        };
+        match obj.get(key) {
+            Some(crate::protocol::Json::Num(n)) => *n,
+            other => panic!("stats[{key}] = {other:?} in {stats}"),
+        }
+    }
+
+    /// Fires `n` concurrent identical checks (same id, same source) and
+    /// returns every response line.
+    fn identical_burst(addr: SocketAddr, n: usize) -> Vec<String> {
+        let line = format!(
+            r#"{{"kind": "check", "id": 7, "source": "{}"}}"#,
+            crate::protocol::json_escape(LEAKY)
+        );
+        let line = &line;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let (mut reader, mut writer) = client(addr);
+                        roundtrip(&mut reader, &mut writer, line)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    }
+
+    #[test]
+    fn identical_concurrent_checks_coalesce_and_byte_match_an_uncoalesced_run() {
+        // Baseline: the exact frame a coalescing-off daemon renders.
+        let baseline = {
+            let server = Server::start(&ServeOptions {
+                coalesce: false,
+                ..ServeOptions::default()
+            })
+            .unwrap();
+            let (mut reader, mut writer) = client(server.local_addr());
+            let frame = roundtrip(
+                &mut reader,
+                &mut writer,
+                &format!(
+                    r#"{{"kind": "check", "id": 7, "source": "{}"}}"#,
+                    crate::protocol::json_escape(LEAKY)
+                ),
+            );
+            let _ = server.drain();
+            frame
+        };
+        assert!(baseline.contains("\"exit_code\": 1"), "{baseline}");
+
+        for workers in [1usize, 8] {
+            let server = Server::start(&ServeOptions {
+                workers,
+                queue: 64,
+                ..ServeOptions::default()
+            })
+            .unwrap();
+            let addr = server.local_addr();
+            let (mut reader, mut writer) = client(addr);
+            // Whether or not a twin attaches is a race; repeat bursts on
+            // the single-worker daemon until one demonstrably did.
+            let mut coalesced = 0;
+            for _round in 0..25 {
+                for resp in identical_burst(addr, 12) {
+                    assert_eq!(resp, baseline, "coalesced response must byte-match");
+                }
+                let stats = roundtrip(&mut reader, &mut writer, r#"{"kind": "stats"}"#);
+                coalesced = stats_field(&stats, "coalesced");
+                // Followers never compute: every analysis belongs to an
+                // admitted leader, so the check count tracks admissions.
+                assert_eq!(
+                    stats_field(&stats, "checks"),
+                    stats_field(&stats, "admitted"),
+                    "{stats}"
+                );
+                if workers > 1 || coalesced > 0 {
+                    break;
+                }
+            }
+            if workers == 1 {
+                assert!(coalesced > 0, "no twin ever coalesced under a busy worker");
+            }
+            let summary = server.drain();
+            assert!(summary.drained_cleanly);
+        }
+    }
+
+    #[test]
+    fn explain_and_injected_requests_are_never_coalesced() {
+        let server = Server::start(&ServeOptions {
+            workers: 1,
+            ..ServeOptions::default()
+        })
+        .unwrap();
+        let addr = server.local_addr();
+        let explain_line = format!(
+            r#"{{"kind": "check", "id": 7, "source": "{}", "explain": true}}"#,
+            crate::protocol::json_escape(LEAKY)
+        );
+        let inject_line = format!(
+            r#"{{"kind": "check", "id": 7, "source": "{}", "inject": "exhaust@0"}}"#,
+            crate::protocol::json_escape(LEAKY)
+        );
+        std::thread::scope(|scope| {
+            for line in [&explain_line, &inject_line] {
+                for _ in 0..4 {
+                    scope.spawn(move || {
+                        let (mut reader, mut writer) = client(addr);
+                        let resp = roundtrip(&mut reader, &mut writer, line);
+                        assert!(resp.contains("\"status\": \"ok\""), "{resp}");
+                    });
+                }
+            }
+        });
+        let (mut reader, mut writer) = client(addr);
+        let stats = roundtrip(&mut reader, &mut writer, r#"{"kind": "stats"}"#);
+        assert_eq!(stats_field(&stats, "coalesced"), 0, "{stats}");
+        assert_eq!(stats_field(&stats, "admitted"), 8, "{stats}");
+        let summary = server.drain();
+        assert!(summary.drained_cleanly);
+    }
+
+    #[test]
+    fn metrics_verb_answers_inline_while_draining_and_http_serves_raw() {
+        let server = Server::start(&ServeOptions {
+            metrics_addr: Some("127.0.0.1:0".to_string()),
+            ..ServeOptions::default()
+        })
+        .unwrap();
+        let (mut reader, mut writer) = client(server.local_addr());
+        let check = roundtrip(
+            &mut reader,
+            &mut writer,
+            &format!(
+                r#"{{"kind": "check", "id": 1, "source": "{}"}}"#,
+                crate::protocol::json_escape(LEAKY)
+            ),
+        );
+        assert!(check.contains("\"status\": \"ok\""), "{check}");
+
+        // Flip to draining; the metrics verb must still answer inline.
+        let resp = roundtrip(&mut reader, &mut writer, r#"{"kind": "shutdown"}"#);
+        assert!(resp.contains("\"state\": \"draining\""), "{resp}");
+        let metrics = roundtrip(&mut reader, &mut writer, r#"{"kind": "metrics"}"#);
+        let text = crate::protocol::parse_metrics_response(&metrics)
+            .expect("metrics verb answers while draining");
+        assert!(text.contains("leakc_up 1"), "{text}");
+        assert!(text.contains("leakc_checks_total 1"), "{text}");
+        assert!(
+            text.contains("# TYPE leakc_phase_seconds histogram"),
+            "{text}"
+        );
+        assert!(
+            text.contains("leakc_phase_seconds_bucket{phase=\"flows\",le=\"+Inf\"} 1"),
+            "{text}"
+        );
+
+        // The same exposition comes back raw over plain HTTP.
+        let http = server.metrics_addr().expect("metrics listener bound");
+        let mut stream = TcpStream::connect(http).expect("connect metrics");
+        stream
+            .write_all(b"GET /metrics HTTP/1.0\r\nHost: test\r\n\r\n")
+            .unwrap();
+        let mut body = String::new();
+        stream.read_to_string(&mut body).unwrap();
+        assert!(body.starts_with("HTTP/1.0 200 OK"), "{body}");
+        assert!(body.contains("text/plain; version=0.0.4"), "{body}");
+        assert!(body.contains("leakc_up 1"), "{body}");
+
+        // Unknown paths get a 404, not a hang or an exposition.
+        let mut stream = TcpStream::connect(http).expect("connect metrics");
+        stream.write_all(b"GET /other HTTP/1.0\r\n\r\n").unwrap();
+        let mut body = String::new();
+        stream.read_to_string(&mut body).unwrap();
+        assert!(body.starts_with("HTTP/1.0 404"), "{body}");
+
+        let summary = server.drain();
+        assert!(summary.drained_cleanly);
     }
 
     #[test]

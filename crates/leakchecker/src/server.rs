@@ -20,9 +20,16 @@
 //!   [`SubmitError::Draining`], queued and in-flight requests complete,
 //!   and [`ServeCore::shutdown`] joins the workers (`Draining →
 //!   Stopped`) and returns the final counters.
+//! * **in-flight coalescing** — [`ServeCore::submit_coalesced`] accepts
+//!   an optional identity key; a submission whose key matches a request
+//!   that is still queued or running attaches as a *follower* and
+//!   receives a clone of that one computation's result instead of
+//!   occupying a queue slot. Followers are counted in
+//!   [`ServeStats::coalesced`] and are answered even across a drain
+//!   (the leader they attached to always completes).
 
 use crate::parallel::{lock_resilient, parallel_map_isolated};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
@@ -103,12 +110,23 @@ pub struct ServeStats {
     /// Requests whose handler panicked (quarantined, answered with the
     /// panic message).
     pub panicked: u64,
+    /// Requests answered by attaching to an in-flight twin instead of
+    /// computing (they never occupied a queue slot).
+    pub coalesced: u64,
     /// Requests waiting for a worker right now.
     pub queue_depth: usize,
 }
 
+/// The response channel a queued request's submitter is waiting on.
+type ReplyTx<Resp> = Sender<Result<Resp, String>>;
+
 struct QueueState<Req, Resp> {
-    items: VecDeque<(Req, Sender<Result<Resp, String>>)>,
+    items: VecDeque<(Req, ReplyTx<Resp>, Option<u64>)>,
+    /// Keys with a leader currently queued or running, mapped to the
+    /// followers awaiting that leader's result. An entry is created at
+    /// leader admission and removed (with its followers drained for
+    /// broadcast) when the leader's computation completes.
+    followers: HashMap<u64, Vec<ReplyTx<Resp>>>,
     closed: bool,
 }
 
@@ -121,18 +139,23 @@ struct Shared<Req, Resp> {
     served: AtomicU64,
     shed: AtomicU64,
     panicked: AtomicU64,
+    coalesced: AtomicU64,
 }
 
 /// The running service core. `Req` flows in through [`submit`]
 /// (`ServeCore::submit`), the handler maps it to `Resp`, and the caller
 /// receives `Result<Resp, String>` — `Err` carrying the panic message
 /// of a quarantined handler.
-pub struct ServeCore<Req: Send + 'static, Resp: Send + 'static> {
+///
+/// `Resp: Clone` because a coalesced result is broadcast to every
+/// follower; responses are expected to be cheap to clone (the serve
+/// daemon's are rendered `String`s).
+pub struct ServeCore<Req: Send + 'static, Resp: Clone + Send + 'static> {
     shared: Arc<Shared<Req, Resp>>,
     workers: Vec<JoinHandle<()>>,
 }
 
-impl<Req: Send + 'static, Resp: Send + 'static> ServeCore<Req, Resp> {
+impl<Req: Send + 'static, Resp: Clone + Send + 'static> ServeCore<Req, Resp> {
     /// Starts `config.workers` worker threads executing `handler`.
     pub fn start<F>(config: ServeConfig, handler: F) -> ServeCore<Req, Resp>
     where
@@ -141,6 +164,7 @@ impl<Req: Send + 'static, Resp: Send + 'static> ServeCore<Req, Resp> {
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState {
                 items: VecDeque::new(),
+                followers: HashMap::new(),
                 closed: false,
             }),
             available: Condvar::new(),
@@ -150,6 +174,7 @@ impl<Req: Send + 'static, Resp: Send + 'static> ServeCore<Req, Resp> {
             served: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             panicked: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
         });
         let handler = Arc::new(handler);
         let workers = (0..crate::effective_jobs(config.workers))
@@ -167,22 +192,49 @@ impl<Req: Send + 'static, Resp: Send + 'static> ServeCore<Req, Resp> {
     /// quarantined run). On refusal, the typed reason — the request was
     /// *not* enqueued.
     pub fn submit(&self, req: Req) -> Result<Receiver<Result<Resp, String>>, SubmitError> {
+        self.submit_coalesced(req, None).map(|(rx, _)| rx)
+    }
+
+    /// Like [`submit`](ServeCore::submit), but with an optional identity
+    /// key. If `key` matches a request that is still queued or running,
+    /// this submission attaches as a follower of that computation — it
+    /// occupies no queue slot, cannot be shed, and will receive a clone
+    /// of the twin's result. The returned flag is `true` iff the
+    /// request coalesced. Callers must only pass a key for requests
+    /// whose response is a pure function of the key.
+    pub fn submit_coalesced(
+        &self,
+        req: Req,
+        key: Option<u64>,
+    ) -> Result<(Receiver<Result<Resp, String>>, bool), SubmitError> {
         let mut queue = lock_resilient(&self.shared.queue);
         if queue.closed {
             return Err(SubmitError::Draining);
         }
-        if queue.items.len() >= self.shared.capacity {
+        if let Some(k) = key {
+            if let Some(waiters) = queue.followers.get_mut(&k) {
+                let (tx, rx) = channel();
+                waiters.push(tx);
+                self.shared.coalesced.fetch_add(1, Ordering::Relaxed);
+                return Ok((rx, true));
+            }
+        }
+        // Capture the depth at the shed decision itself so the typed
+        // refusal reports the exact occupancy that caused it.
+        let depth = queue.items.len();
+        if depth >= self.shared.capacity {
             self.shared.shed.fetch_add(1, Ordering::Relaxed);
-            return Err(SubmitError::Overloaded {
-                queue_depth: queue.items.len(),
-            });
+            return Err(SubmitError::Overloaded { queue_depth: depth });
         }
         let (tx, rx) = channel();
-        queue.items.push_back((req, tx));
+        if let Some(k) = key {
+            queue.followers.insert(k, Vec::new());
+        }
+        queue.items.push_back((req, tx, key));
         self.shared.admitted.fetch_add(1, Ordering::Relaxed);
         drop(queue);
         self.shared.available.notify_one();
-        Ok(rx)
+        Ok((rx, false))
     }
 
     /// Current drain state.
@@ -197,6 +249,7 @@ impl<Req: Send + 'static, Resp: Send + 'static> ServeCore<Req, Resp> {
             served: self.shared.served.load(Ordering::Relaxed),
             shed: self.shared.shed.load(Ordering::Relaxed),
             panicked: self.shared.panicked.load(Ordering::Relaxed),
+            coalesced: self.shared.coalesced.load(Ordering::Relaxed),
             queue_depth: lock_resilient(&self.shared.queue).items.len(),
         }
     }
@@ -230,12 +283,12 @@ impl<Req: Send + 'static, Resp: Send + 'static> ServeCore<Req, Resp> {
     }
 }
 
-fn worker_loop<Req: Send, Resp: Send>(
+fn worker_loop<Req: Send, Resp: Clone + Send>(
     shared: &Shared<Req, Resp>,
     handler: &(dyn Fn(Req) -> Resp + Sync),
 ) {
     loop {
-        let (req, reply) = {
+        let (req, reply, key) = {
             let mut queue = lock_resilient(&shared.queue);
             loop {
                 if let Some(item) = queue.items.pop_front() {
@@ -259,8 +312,21 @@ fn worker_loop<Req: Send, Resp: Send>(
             shared.panicked.fetch_add(1, Ordering::Relaxed);
         }
         shared.served.fetch_add(1, Ordering::Relaxed);
+        // Retire the key *before* answering anyone: once the entry is
+        // gone a fresh identical submission starts a new leader rather
+        // than attaching to a computation that already finished.
+        let followers = match key {
+            Some(k) => lock_resilient(&shared.queue)
+                .followers
+                .remove(&k)
+                .unwrap_or_default(),
+            None => Vec::new(),
+        };
         // The submitter may have given up (connection gone); a dead
         // receiver is not an error.
+        for follower in followers {
+            let _ = follower.send(result.clone());
+        }
         let _ = reply.send(result);
     }
 }
@@ -573,7 +639,12 @@ mod tests {
         std::thread::sleep(Duration::from_millis(30));
         let second = core.submit(0).unwrap();
         match core.submit(0) {
-            Err(SubmitError::Overloaded { queue_depth }) => assert_eq!(queue_depth, 1),
+            Err(SubmitError::Overloaded { queue_depth }) => {
+                // The depth is the occupancy observed at the shed
+                // decision itself, so it is never below capacity.
+                assert!(queue_depth >= 1, "depth {queue_depth} below capacity");
+                assert_eq!(queue_depth, 1);
+            }
             other => panic!("expected Overloaded, got {other:?}"),
         }
         assert_eq!(first.recv().unwrap(), Ok(150));
@@ -581,6 +652,126 @@ mod tests {
         let stats = core.shutdown();
         assert_eq!(stats.shed, 1);
         assert_eq!(stats.served, 2);
+    }
+
+    #[test]
+    fn coalesced_twins_compute_once_and_all_get_the_result() {
+        use std::sync::atomic::AtomicU64;
+        let runs = Arc::new(AtomicU64::new(0));
+        let handler_runs = Arc::clone(&runs);
+        let core = ServeCore::start(
+            ServeConfig {
+                capacity: 8,
+                workers: 1,
+            },
+            move |x: u64| {
+                handler_runs.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(80));
+                x * 10
+            },
+        );
+        let (leader, was_coalesced) = core.submit_coalesced(7, Some(7)).unwrap();
+        assert!(!was_coalesced);
+        // Let the worker claim the leader so the twins attach to a
+        // *running* computation, not just a queued one.
+        std::thread::sleep(Duration::from_millis(20));
+        let followers: Vec<_> = (0..4)
+            .map(|_| {
+                let (rx, was_coalesced) = core.submit_coalesced(7, Some(7)).unwrap();
+                assert!(was_coalesced);
+                rx
+            })
+            .collect();
+        // A different key is a different computation.
+        let (other, was_coalesced) = core.submit_coalesced(9, Some(9)).unwrap();
+        assert!(!was_coalesced);
+        assert_eq!(leader.recv().unwrap(), Ok(70));
+        for rx in followers {
+            assert_eq!(rx.recv().unwrap(), Ok(70));
+        }
+        assert_eq!(other.recv().unwrap(), Ok(90));
+        assert_eq!(runs.load(Ordering::Relaxed), 2, "one run per distinct key");
+        let stats = core.shutdown();
+        assert_eq!(stats.coalesced, 4);
+        assert_eq!(stats.admitted, 2);
+        assert_eq!(stats.served, 2);
+    }
+
+    #[test]
+    fn keyless_submissions_never_coalesce() {
+        use std::sync::atomic::AtomicU64;
+        let runs = Arc::new(AtomicU64::new(0));
+        let handler_runs = Arc::clone(&runs);
+        let core = ServeCore::start(
+            ServeConfig {
+                capacity: 8,
+                workers: 1,
+            },
+            move |x: u64| {
+                handler_runs.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(40));
+                x
+            },
+        );
+        let a = core.submit_coalesced(1, None).unwrap().0;
+        std::thread::sleep(Duration::from_millis(10));
+        let b = core.submit_coalesced(1, None).unwrap().0;
+        assert_eq!(a.recv().unwrap(), Ok(1));
+        assert_eq!(b.recv().unwrap(), Ok(1));
+        assert_eq!(runs.load(Ordering::Relaxed), 2);
+        let stats = core.shutdown();
+        assert_eq!(stats.coalesced, 0);
+        assert_eq!(stats.admitted, 2);
+    }
+
+    #[test]
+    fn completed_key_is_retired_and_recomputes() {
+        let core = ServeCore::start(
+            ServeConfig {
+                capacity: 8,
+                workers: 1,
+            },
+            |x: u64| x + 1,
+        );
+        let (first, _) = core.submit_coalesced(5, Some(5)).unwrap();
+        assert_eq!(first.recv().unwrap(), Ok(6));
+        // The twin window closed with the computation: a fresh
+        // submission under the same key is a new leader.
+        let (second, was_coalesced) = core.submit_coalesced(5, Some(5)).unwrap();
+        assert!(!was_coalesced);
+        assert_eq!(second.recv().unwrap(), Ok(6));
+        let stats = core.shutdown();
+        assert_eq!(stats.coalesced, 0);
+        assert_eq!(stats.served, 2);
+    }
+
+    #[test]
+    fn followers_are_answered_across_a_drain() {
+        let core = ServeCore::start(
+            ServeConfig {
+                capacity: 8,
+                workers: 1,
+            },
+            |ms: u64| {
+                std::thread::sleep(Duration::from_millis(ms));
+                ms
+            },
+        );
+        let (leader, _) = core.submit_coalesced(120, Some(1)).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        let (follower, was_coalesced) = core.submit_coalesced(120, Some(1)).unwrap();
+        assert!(was_coalesced);
+        core.begin_drain();
+        assert!(matches!(
+            core.submit_coalesced(120, Some(1)),
+            Err(SubmitError::Draining)
+        ));
+        assert_eq!(leader.recv().unwrap(), Ok(120));
+        assert_eq!(follower.recv().unwrap(), Ok(120));
+        let stats = core.shutdown();
+        assert_eq!(stats.coalesced, 1);
+        assert_eq!(stats.admitted, 1);
+        assert_eq!(stats.served, 1);
     }
 
     #[test]

@@ -174,6 +174,107 @@ kill -TERM "${shard_pids[1]}" "${shard_pids[2]}"
 wait "${shard_pids[1]}" "${shard_pids[2]}" || true
 wait "${shard_pids[0]}" 2>/dev/null || true
 
+echo "==> metrics scrape smoke (protocol verb + GET /metrics, strict parse)"
+# Start a daemon with a metrics listener, drive the mixed workload, and
+# strict-parse both expositions (HELP/TYPE discipline, histogram
+# cumulativity, no duplicate series), requiring the core families to
+# have moved.
+"$leakc" serve --addr 127.0.0.1:0 --metrics-addr 127.0.0.1:0 --workers 2 \
+  > "$tmpdir/serve-metrics.log" 2>/dev/null &
+metrics_pid=$!
+metrics_main="$(wait_addr "$tmpdir/serve-metrics.log")"
+metrics_http=""
+for _ in $(seq 1 100); do
+  metrics_http="$(grep -om1 'metrics on 127\.0\.0\.1:[0-9]*' \
+    "$tmpdir/serve-metrics.log" | grep -o '127.0.0.1:[0-9]*' || true)"
+  [ -n "$metrics_http" ] && break
+  sleep 0.1
+done
+if [ -z "$metrics_http" ]; then
+  echo "metrics smoke: daemon never bound its metrics listener" >&2
+  exit 1
+fi
+"$soak" --connect "$metrics_main" --mixed 20 > /dev/null
+"$soak" --scrape "$metrics_main" --scrape-http "$metrics_http" \
+  --require leakc_up:1 --require leakc_checks_total:1 \
+  --require leakc_requests_served_total:1 > "$tmpdir/scrape.txt"
+kill -TERM "$metrics_pid"
+wait "$metrics_pid" || {
+  echo "metrics smoke: daemon did not drain cleanly" >&2
+  exit 1
+}
+
+echo "==> coalescing gate (4 identical campaigns, workers 1, byte-identical to --no-coalesce)"
+# Baseline: one client runs the deterministic campaign against a
+# coalescing-off single-worker daemon.
+"$leakc" serve --addr 127.0.0.1:0 --no-coalesce --workers 1 \
+  > "$tmpdir/serve-nocoalesce.log" 2>/dev/null &
+nocoalesce_pid=$!
+"$soak" --connect "$(wait_addr "$tmpdir/serve-nocoalesce.log")" \
+  --mixed 30 --checks-only > "$tmpdir/coalesce-off.txt"
+kill -TERM "$nocoalesce_pid"
+wait "$nocoalesce_pid" || {
+  echo "coalescing gate: baseline daemon did not drain cleanly" >&2
+  exit 1
+}
+# Coalescing on: four clients race the identical campaign against one
+# worker, so queued twins attach to one computation. Every client's
+# response stream must byte-equal the coalescing-off baseline, and the
+# daemon must report at least one coalesced twin. Whether any given
+# round overlaps is scheduling luck, so the burst retries (the
+# byte-identity invariant is asserted on every round regardless).
+"$leakc" serve --addr 127.0.0.1:0 --workers 1 \
+  > "$tmpdir/serve-coalesce.log" 2>/dev/null &
+coalesce_pid=$!
+coalesce_addr="$(wait_addr "$tmpdir/serve-coalesce.log")"
+coalesced=0
+for round in $(seq 1 10); do
+  client_pids=()
+  for c in 1 2 3 4; do
+    "$soak" --connect "$coalesce_addr" --mixed 30 --checks-only \
+      > "$tmpdir/coalesce-on-$c.txt" &
+    client_pids+=($!)
+  done
+  for pid in "${client_pids[@]}"; do
+    wait "$pid" || {
+      echo "coalescing gate: campaign client failed (round $round)" >&2
+      exit 1
+    }
+  done
+  for c in 1 2 3 4; do
+    cmp "$tmpdir/coalesce-off.txt" "$tmpdir/coalesce-on-$c.txt"
+  done
+  if "$soak" --scrape "$coalesce_addr" \
+    --require leakc_requests_coalesced_total:1 > /dev/null 2>&1; then
+    coalesced=1
+    break
+  fi
+done
+if [ "$coalesced" -ne 1 ]; then
+  echo "coalescing gate: no request coalesced in 10 concurrent rounds" >&2
+  exit 1
+fi
+kill -TERM "$coalesce_pid"
+wait "$coalesce_pid" || {
+  echo "coalescing gate: daemon did not drain cleanly" >&2
+  exit 1
+}
+
+echo "==> fleet throughput gate (3 shards, coalescing on, mixed workload)"
+# The in-process fleet campaign scrapes and strict-parses the router's
+# aggregated exposition mid-soak. The >=100k req/s aggregate floor only
+# holds with real parallelism, so (like the scale smoke's speedup
+# floors) it is asserted only on machines with >= 8 cores.
+cores="$(nproc 2>/dev/null || echo 1)"
+if [ "$cores" -ge 8 ]; then
+  cargo run -q --release --offline -p leakchecker-bench --bin soak -- \
+    --fleet 3 --clients 8 --requests 400 --workers 4 --min-rps 100000
+else
+  echo "    (skipping >=100k req/s floor: $cores core(s); functional fleet pass only)"
+  cargo run -q --release --offline -p leakchecker-bench --bin soak -- \
+    --fleet 3 --clients 4 --requests 25 --workers 2
+fi
+
 echo "==> witness determinism (--explain/--trace, jobs 1 vs 8, all exemplars)"
 # Witness output is a pure function of the program: for every corpus
 # exemplar the --explain render (modulo the timing header) and the

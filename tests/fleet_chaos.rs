@@ -316,6 +316,73 @@ fn hedging_wins_against_a_stalled_shard() {
     fleet.shutdown();
 }
 
+/// An exhausted end-to-end budget must short-circuit to the typed
+/// `unavailable` *before* an attempt is rendered — a `"deadline_ms": 0`
+/// frame (an instantly-degrading analysis the client never asked for)
+/// must never reach a shard. The stall drains the budget
+/// deterministically: the first attempt burns ~100 ms against the
+/// stalled proxy, and the retry backoff (huge on purpose) is capped at
+/// the remaining budget, so the second attempt wakes with exactly 0 ms
+/// left.
+#[test]
+fn exhausted_budget_is_never_dispatched_as_a_zero_deadline_frame() {
+    let shard = Server::start(&ServeOptions {
+        shard: Some("shard-0".to_string()),
+        ..ServeOptions::default()
+    })
+    .expect("start shard");
+    let plan = parse_chaos_plan("stall@0:400").expect("valid plan");
+    let proxy = ChaosProxy::start(shard.local_addr(), plan).expect("start proxy");
+    let router = Router::start(&RouteOptions {
+        shards: vec![proxy.local_addr().to_string()],
+        retries: 2,
+        backoff_ms: 10_000,
+        deadline_ms: Some(250),
+        attempt_timeout_ms: 100,
+        probe_interval_ms: 60_000,
+        ..RouteOptions::default()
+    })
+    .expect("start router");
+
+    let stream = TcpStream::connect(router.local_addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    writer
+        .write_all(format!("{}\n", request_for(0)).as_bytes())
+        .expect("write");
+    writer.flush().expect("flush");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read");
+    assert!(
+        line.contains("\"status\": \"unavailable\""),
+        "expected typed unavailable, got: {line}"
+    );
+    assert!(
+        line.contains("deadline exhausted"),
+        "the refusal must name the exhausted budget: {line}"
+    );
+
+    // Wait out the stall so the first (legitimate) attempt has been
+    // forwarded and recorded before asserting over the frame log.
+    std::thread::sleep(Duration::from_millis(600));
+    let frames = proxy.work_frames();
+    assert!(
+        !frames.is_empty(),
+        "the pre-stall attempt should have reached the shard"
+    );
+    for frame in &frames {
+        assert!(
+            !frame.contains("\"deadline_ms\": 0,") && !frame.contains("\"deadline_ms\": 0}"),
+            "a zero-deadline frame was dispatched to the shard: {frame}"
+        );
+    }
+
+    router.request_shutdown();
+    router.drain();
+    proxy.stop();
+    shard.drain();
+}
+
 /// When no replica can answer, the router must degrade to a *typed*
 /// unavailable response — a parseable frame naming the exhausted
 /// budget, never a hang or a dropped connection.
